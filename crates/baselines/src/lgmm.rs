@@ -1,0 +1,226 @@
+//! Grid-based Gaussian-mixture EM localizer ("LGMM", ref. \[20\]).
+//!
+//! Zhang et al. enumerate grid points and fit a Gaussian mixture over
+//! the RSS series with expectation–maximization, choosing the component
+//! count by BIC. Our implementation follows that recipe: for each
+//! hypothesized count `K`, EM alternates soft responsibilities with a
+//! per-component grid search for the maximizing grid point; BIC over
+//! `K` picks the model.
+//!
+//! LGMM is blind (it never looks at BSSIDs) but, lacking CrowdWiFi's
+//! sparse-recovery structure and consolidation, it needs many more
+//! readings for the same accuracy — the Fig. 8 contrast.
+
+// Index-based loops below mirror the textbook algorithms; iterator
+// rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{ApLocalizer, LocalizationEstimate};
+use crowdwifi_channel::bic::{bic, free_params_for_ap_count};
+use crowdwifi_channel::{GmmModel, PathLossModel, RssReading};
+use crowdwifi_geo::{Grid, Point};
+
+/// The LGMM localizer.
+#[derive(Debug, Clone)]
+pub struct Lgmm {
+    gmm: GmmModel,
+    lattice: f64,
+    radio_range: f64,
+    max_k: usize,
+    em_iterations: usize,
+}
+
+impl Lgmm {
+    /// Creates an LGMM localizer on the given channel model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lattice` or `radio_range` is not positive, or
+    /// `max_k == 0`.
+    pub fn new(pathloss: PathLossModel, lattice: f64, radio_range: f64, max_k: usize) -> Self {
+        assert!(lattice > 0.0, "lattice must be positive");
+        assert!(radio_range > 0.0, "radio_range must be positive");
+        assert!(max_k > 0, "max_k must be positive");
+        Lgmm {
+            gmm: GmmModel::new(pathloss, 0.05).expect("static sigma factor is valid"),
+            lattice,
+            radio_range,
+            max_k,
+            em_iterations: 12,
+        }
+    }
+
+    /// EM fit for a fixed component count; returns positions and the
+    /// final log-likelihood.
+    fn fit_k(&self, data: &[(Point, f64)], grid: &Grid, k: usize) -> (Vec<Point>, f64) {
+        let m = data.len();
+        // Deterministic initialization: spread components along the
+        // reading sequence (drive order ≈ spatial order).
+        let mut aps: Vec<Point> = (0..k)
+            .map(|c| {
+                let idx = (c * m + m / 2) / k.max(1);
+                data[idx.min(m - 1)].0
+            })
+            .collect();
+
+        for _ in 0..self.em_iterations {
+            // E-step: responsibilities r_ic ∝ w_ic · N(r_i; μ_ic, σ_ic).
+            let mut resp = vec![vec![0.0; k]; m];
+            for (i, &(pos, rss)) in data.iter().enumerate() {
+                let weights = self.gmm.weights(pos, &aps);
+                let mut total = 0.0;
+                for (c, ap) in aps.iter().enumerate() {
+                    let d = pos.distance(*ap);
+                    let mu = self.gmm.pathloss().mean_rss(d);
+                    let sigma = (self.gmm.sigma_factor() * mu.abs()).max(1e-6);
+                    let z = (rss - mu) / sigma;
+                    let dens = (-0.5 * z * z).exp() / sigma;
+                    resp[i][c] = weights[c] * dens;
+                    total += resp[i][c];
+                }
+                if total > 0.0 {
+                    for c in 0..k {
+                        resp[i][c] /= total;
+                    }
+                } else {
+                    for c in 0..k {
+                        resp[i][c] = 1.0 / k as f64;
+                    }
+                }
+            }
+            // M-step: each component moves to the grid point maximizing
+            // its responsibility-weighted log-density.
+            let mut moved = false;
+            for c in 0..k {
+                let mut best: Option<(f64, Point)> = None;
+                for gp in grid.iter() {
+                    // Skip grid points unreachable from any responsible
+                    // reading (cheap pruning).
+                    let mut score = 0.0;
+                    let mut relevant = false;
+                    for (i, &(pos, rss)) in data.iter().enumerate() {
+                        if resp[i][c] <= 1e-6 {
+                            continue;
+                        }
+                        let d = pos.distance(gp);
+                        if d > self.radio_range {
+                            score += resp[i][c] * -1e3; // impossible
+                            continue;
+                        }
+                        relevant = true;
+                        let mu = self.gmm.pathloss().mean_rss(d);
+                        let sigma = (self.gmm.sigma_factor() * mu.abs()).max(1e-6);
+                        let z = (rss - mu) / sigma;
+                        score += resp[i][c] * (-0.5 * z * z - sigma.ln());
+                    }
+                    if relevant && best.is_none_or(|(b, _)| score > b) {
+                        best = Some((score, gp));
+                    }
+                }
+                if let Some((_, gp)) = best {
+                    if gp.distance(aps[c]) > 1e-9 {
+                        moved = true;
+                    }
+                    aps[c] = gp;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        let ll = self.gmm.log_likelihood(data, &aps);
+        (aps, ll)
+    }
+}
+
+impl ApLocalizer for Lgmm {
+    fn localize(&self, readings: &[RssReading]) -> LocalizationEstimate {
+        if readings.is_empty() {
+            return LocalizationEstimate { positions: vec![] };
+        }
+        let data: Vec<(Point, f64)> = readings.iter().map(|r| (r.position, r.rss_dbm)).collect();
+        let positions: Vec<Point> = readings.iter().map(|r| r.position).collect();
+        let Ok(grid) = Grid::from_reference_points(&positions, self.radio_range, self.lattice)
+        else {
+            return LocalizationEstimate { positions: vec![] };
+        };
+
+        let m = readings.len();
+        let mut best: Option<(f64, Vec<Point>)> = None;
+        for k in 1..=self.max_k.min(m) {
+            let (aps, ll) = self.fit_k(&data, &grid, k);
+            if !ll.is_finite() {
+                continue;
+            }
+            let score = bic(ll, free_params_for_ap_count(k), m);
+            if best.as_ref().is_none_or(|(b, _)| score > *b) {
+                best = Some((score, aps));
+            }
+        }
+        LocalizationEstimate {
+            positions: best.map(|(_, aps)| aps).unwrap_or_default(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "lgmm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn localizer() -> Lgmm {
+        Lgmm::new(PathLossModel::uci_campus(), 10.0, 100.0, 4)
+    }
+
+    /// Fading-free readings, nearest AP heard, staggered lanes.
+    fn drive(aps: &[Point], n: usize, spacing: f64) -> Vec<RssReading> {
+        let model = PathLossModel::uci_campus();
+        (0..n)
+            .map(|i| {
+                let p = Point::new(
+                    spacing * i as f64,
+                    if (i / 4) % 2 == 0 { 0.0 } else { 10.0 },
+                );
+                let nearest = aps
+                    .iter()
+                    .min_by(|a, b| p.distance(**a).partial_cmp(&p.distance(**b)).unwrap())
+                    .unwrap();
+                RssReading::new(p, model.mean_rss(p.distance(*nearest)), i as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_single_ap() {
+        let ap = Point::new(60.0, 30.0);
+        let readings = drive(&[ap], 24, 5.0);
+        let est = localizer().localize(&readings);
+        assert_eq!(est.count(), 1, "got {est:?}");
+        assert!(est.positions[0].distance(ap) < 25.0);
+    }
+
+    #[test]
+    fn finds_two_separated_aps() {
+        let ap1 = Point::new(20.0, 25.0);
+        let ap2 = Point::new(160.0, 25.0);
+        let readings = drive(&[ap1, ap2], 30, 6.0);
+        let est = localizer().localize(&readings);
+        assert!(est.count() >= 2, "got {est:?}");
+        for truth in [ap1, ap2] {
+            let d = est
+                .positions
+                .iter()
+                .map(|p| p.distance(truth))
+                .fold(f64::INFINITY, f64::min);
+            assert!(d < 35.0, "AP {truth} unmatched ({d:.1} m)");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(localizer().localize(&[]).count(), 0);
+    }
+}

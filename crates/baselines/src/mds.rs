@@ -1,0 +1,309 @@
+//! Multidimensional-scaling radio-scan localizer ("MDS", ref. \[9\]).
+//!
+//! Koo & Cha embed WiFi APs with classical MDS from radio-scan
+//! dissimilarities. Our implementation builds the joint configuration of
+//! scan anchors (positions known from GPS) and heard APs:
+//!
+//! 1. anchor–anchor distances are Euclidean (known),
+//! 2. AP–anchor distances come from inverting the path-loss model on the
+//!    strongest scans,
+//! 3. AP–AP distances are completed through the best common anchor
+//!    (`min_a d(AP, a) + d(AP', a)`),
+//! 4. classical MDS (double-centered Gram matrix, top-2 eigenpairs)
+//!    embeds everything in the plane,
+//! 5. an orthogonal Procrustes alignment of the embedded anchors onto
+//!    their true positions maps the AP embedding into world coordinates.
+
+// Index-based loops below mirror the textbook algorithms; iterator
+// rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{group_by_source, ApLocalizer, LocalizationEstimate};
+use crowdwifi_channel::{PathLossModel, RssReading};
+use crowdwifi_geo::Point;
+use crowdwifi_linalg::{Matrix, SymmetricEigen, Svd};
+
+/// The classical-MDS localizer.
+#[derive(Debug, Clone)]
+pub struct MdsLocalizer {
+    pathloss: PathLossModel,
+    /// Number of scan anchors subsampled from the drive.
+    anchors: usize,
+    /// Strongest scans per (AP, anchor) used for ranging.
+    top_scans: usize,
+}
+
+impl MdsLocalizer {
+    /// Creates an MDS localizer on the given channel model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `anchors < 3` (the Procrustes alignment needs a
+    /// non-degenerate anchor set).
+    pub fn new(pathloss: PathLossModel, anchors: usize) -> Self {
+        assert!(anchors >= 3, "need at least 3 anchors");
+        MdsLocalizer {
+            pathloss,
+            anchors,
+            top_scans: 3,
+        }
+    }
+
+    fn pick_anchors(&self, readings: &[RssReading]) -> Vec<Point> {
+        // Evenly spaced along the drive.
+        let n = readings.len();
+        let count = self.anchors.min(n);
+        (0..count)
+            .map(|i| readings[i * n / count].position)
+            .collect()
+    }
+}
+
+impl ApLocalizer for MdsLocalizer {
+    fn localize(&self, readings: &[RssReading]) -> LocalizationEstimate {
+        let groups = group_by_source(readings);
+        if groups.is_empty() || readings.len() < 3 {
+            return LocalizationEstimate { positions: vec![] };
+        }
+        let anchors = self.pick_anchors(readings);
+        let a = anchors.len();
+        let k = groups.len();
+        let n = a + k;
+
+        // AP–anchor ranges: for each AP, each anchor takes the mean
+        // inverted range of the `top_scans` scans nearest that anchor.
+        let mut ap_anchor = vec![vec![f64::NAN; a]; k];
+        for (gi, group) in groups.values().enumerate() {
+            for (ai, anchor) in anchors.iter().enumerate() {
+                let mut scans: Vec<&RssReading> = group.iter().collect();
+                scans.sort_by(|p, q| {
+                    p.position
+                        .distance(*anchor)
+                        .partial_cmp(&q.position.distance(*anchor))
+                        .expect("finite distances")
+                });
+                scans.truncate(self.top_scans);
+                if scans.is_empty() {
+                    continue;
+                }
+                // Range estimate anchored at the scan positions: the
+                // inverted path-loss range plus the scan→anchor offset
+                // bounds the AP–anchor distance.
+                let est = scans
+                    .iter()
+                    .map(|s| {
+                        self.pathloss.distance_for_rss(s.rss_dbm)
+                            + s.position.distance(*anchor)
+                    })
+                    .sum::<f64>()
+                    / scans.len() as f64;
+                ap_anchor[gi][ai] = est;
+            }
+        }
+
+        // Full dissimilarity matrix.
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..a {
+            for j in 0..a {
+                d.set(i, j, anchors[i].distance(anchors[j]));
+            }
+        }
+        for gi in 0..k {
+            for ai in 0..a {
+                let v = ap_anchor[gi][ai];
+                let v = if v.is_nan() { 1e4 } else { v };
+                d.set(a + gi, ai, v);
+                d.set(ai, a + gi, v);
+            }
+        }
+        for gi in 0..k {
+            for gj in 0..k {
+                if gi == gj {
+                    continue;
+                }
+                // Complete through the best common anchor.
+                let mut best = f64::INFINITY;
+                for ai in 0..a {
+                    let (x, y) = (ap_anchor[gi][ai], ap_anchor[gj][ai]);
+                    if !x.is_nan() && !y.is_nan() {
+                        best = best.min(x + y);
+                    }
+                }
+                if !best.is_finite() {
+                    best = 1e4;
+                }
+                d.set(a + gi, a + gj, best);
+            }
+        }
+
+        // Classical MDS: B = −½ J D² J, top-2 eigenpairs.
+        let d2 = Matrix::from_fn(n, n, |i, j| d.get(i, j) * d.get(i, j));
+        let row_means: Vec<f64> = (0..n)
+            .map(|i| (0..n).map(|j| d2.get(i, j)).sum::<f64>() / n as f64)
+            .collect();
+        let grand = row_means.iter().sum::<f64>() / n as f64;
+        let b = Matrix::from_fn(n, n, |i, j| {
+            -0.5 * (d2.get(i, j) - row_means[i] - row_means[j] + grand)
+        });
+        let Ok(eig) = SymmetricEigen::new(&b) else {
+            return LocalizationEstimate { positions: vec![] };
+        };
+        let coords: Vec<Point> = (0..n)
+            .map(|i| {
+                let e1 = eig.eigenvalues()[0].max(0.0).sqrt();
+                let e2 = if n > 1 {
+                    eig.eigenvalues()[1].max(0.0).sqrt()
+                } else {
+                    0.0
+                };
+                Point::new(
+                    eig.eigenvectors().get(i, 0) * e1,
+                    if n > 1 {
+                        eig.eigenvectors().get(i, 1) * e2
+                    } else {
+                        0.0
+                    },
+                )
+            })
+            .collect();
+
+        // Procrustes: align embedded anchors to true anchor positions
+        // (rotation/reflection + translation, no scaling).
+        let embedded_anchors = &coords[..a];
+        let (rot, t_embedded, t_true) = procrustes(embedded_anchors, &anchors);
+        let positions = coords[a..]
+            .iter()
+            .map(|p| {
+                let centered = [p.x - t_embedded.x, p.y - t_embedded.y];
+                Point::new(
+                    rot[0][0] * centered[0] + rot[0][1] * centered[1] + t_true.x,
+                    rot[1][0] * centered[0] + rot[1][1] * centered[1] + t_true.y,
+                )
+            })
+            .collect();
+        LocalizationEstimate { positions }
+    }
+
+    fn name(&self) -> &'static str {
+        "mds"
+    }
+}
+
+/// Orthogonal Procrustes: returns `(R, x̄, ȳ)` such that
+/// `(x − x̄)·Rᵀ + ȳ ≈ y` in the least-squares sense.
+fn procrustes(xs: &[Point], ys: &[Point]) -> ([[f64; 2]; 2], Point, Point) {
+    let n = xs.len().max(1) as f64;
+    let mx = Point::new(
+        xs.iter().map(|p| p.x).sum::<f64>() / n,
+        xs.iter().map(|p| p.y).sum::<f64>() / n,
+    );
+    let my = Point::new(
+        ys.iter().map(|p| p.x).sum::<f64>() / n,
+        ys.iter().map(|p| p.y).sum::<f64>() / n,
+    );
+    // Cross-covariance H = Σ (x − mx)(y − my)ᵀ.
+    let mut h = Matrix::zeros(2, 2);
+    for (x, y) in xs.iter().zip(ys) {
+        let cx = [x.x - mx.x, x.y - mx.y];
+        let cy = [y.x - my.x, y.y - my.y];
+        for r in 0..2 {
+            for c in 0..2 {
+                h.set(r, c, h.get(r, c) + cx[r] * cy[c]);
+            }
+        }
+    }
+    let rot = match Svd::new(&h) {
+        Ok(svd) => {
+            // R = V Uᵀ maps x-frame into y-frame.
+            let r = svd.v().matmul(&svd.u().transpose());
+            [[r.get(0, 0), r.get(0, 1)], [r.get(1, 0), r.get(1, 1)]]
+        }
+        Err(_) => [[1.0, 0.0], [0.0, 1.0]],
+    };
+    // Note: applying as y ≈ R (x − mx) + my with R = V Uᵀ transposed
+    // appropriately; our caller multiplies rot · centered.
+    (rot, mx, my)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdwifi_channel::ApId;
+
+    fn localizer() -> MdsLocalizer {
+        MdsLocalizer::new(PathLossModel::uci_campus(), 10)
+    }
+
+    /// Tagged, fading-free readings from the nearest AP along a
+    /// staggered drive.
+    fn drive(aps: &[(ApId, Point)], n: usize, spacing: f64) -> Vec<RssReading> {
+        let model = PathLossModel::uci_campus();
+        (0..n)
+            .map(|i| {
+                let p = Point::new(
+                    spacing * i as f64,
+                    if (i / 3) % 2 == 0 { 0.0 } else { 12.0 },
+                );
+                let (id, ap) = aps
+                    .iter()
+                    .min_by(|a, b| {
+                        p.distance(a.1).partial_cmp(&p.distance(b.1)).unwrap()
+                    })
+                    .unwrap();
+                RssReading::with_source(p, model.mean_rss(p.distance(*ap)), i as f64, *id)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn procrustes_identity_when_aligned() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        let (r, mx, my) = procrustes(&pts, &pts);
+        assert!((r[0][0] - 1.0).abs() < 1e-9);
+        assert!((r[1][1] - 1.0).abs() < 1e-9);
+        assert!(mx.distance(my) < 1e-9);
+    }
+
+    #[test]
+    fn counts_heard_bssids() {
+        let aps = [
+            (ApId(0), Point::new(30.0, 25.0)),
+            (ApId(1), Point::new(150.0, 25.0)),
+        ];
+        let readings = drive(&aps, 30, 6.0);
+        let est = localizer().localize(&readings);
+        assert_eq!(est.count(), 2);
+    }
+
+    #[test]
+    fn positions_are_roughly_in_the_right_region() {
+        let aps = [
+            (ApId(0), Point::new(30.0, 25.0)),
+            (ApId(1), Point::new(170.0, 25.0)),
+        ];
+        let readings = drive(&aps, 40, 5.0);
+        let est = localizer().localize(&readings);
+        // MDS errors are large (that is the paper's point) but the two
+        // APs must land on their own halves of the drive.
+        let mut xs: Vec<f64> = est.positions.iter().map(|p| p.x).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(xs[0] < 100.0, "left AP at x = {}", xs[0]);
+        assert!(xs[1] > 100.0, "right AP at x = {}", xs[1]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(localizer().localize(&[]).count(), 0);
+        let one = [RssReading::with_source(
+            Point::new(0.0, 0.0),
+            -60.0,
+            0.0,
+            ApId(0),
+        )];
+        assert_eq!(localizer().localize(&one).count(), 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Criterion bench: iterative-inference cost vs assignment-graph size
+//! and degree (the crowd-server side of §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdwifi_crowd::graph::BipartiteAssignment;
+use crowdwifi_crowd::inference::IterativeInference;
+use crowdwifi_crowd::worker::SpammerHammerPrior;
+use crowdwifi_crowd::LabelMatrix;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn setup(tasks: usize, l: usize, gamma: usize, seed: u64) -> LabelMatrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let graph = BipartiteAssignment::regular(tasks, l, gamma, &mut rng).expect("feasible graph");
+    let truth: Vec<i8> = (0..tasks).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+    let pool = SpammerHammerPrior::default().draw_pool(graph.workers(), &mut rng);
+    LabelMatrix::generate(&graph, &truth, &pool, &mut rng)
+}
+
+fn inference_vs_tasks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kos_inference_vs_tasks");
+    for tasks in [250usize, 1000, 4000] {
+        let labels = setup(tasks, 5, 5, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, _| {
+            let decoder = IterativeInference {
+                random_init: false,
+                ..IterativeInference::default()
+            };
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| black_box(decoder.run(&labels, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn inference_vs_degree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kos_inference_vs_degree");
+    for l in [5usize, 15, 25] {
+        let labels = setup(1000, l, 5, 13);
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, _| {
+            let decoder = IterativeInference {
+                random_init: false,
+                ..IterativeInference::default()
+            };
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| black_box(decoder.run(&labels, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = inference_vs_tasks, inference_vs_degree
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion bench: online-CS round latency vs sliding-window size.
+//!
+//! §4.3.2's claim: the sliding window keeps per-round cost low enough
+//! for online use in a moving vehicle. One round here is grid formation,
+//! hypothesis search, recovery and BIC selection over a window of
+//! drive-by readings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdwifi_core::pipeline::{OnlineCs, OnlineCsConfig};
+use crowdwifi_core::window::WindowConfig;
+use crowdwifi_vanet_sim::{mobility, RssCollector, Scenario};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn round_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_cs_round_vs_window");
+    let scenario = Scenario::uci_campus();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let route = mobility::uci_loop_route_with(1, 25.0);
+    let readings =
+        RssCollector::new(&scenario).collect_along(&route, route.duration() / 181.0, &mut rng);
+
+    for window in [20usize, 40, 60] {
+        let config = OnlineCsConfig {
+            window: WindowConfig {
+                size: window,
+                step: 10,
+                ttl: f64::INFINITY,
+            },
+            max_ap_per_window: 4,
+            ..OnlineCsConfig::default()
+        };
+        let pipeline = OnlineCs::new(config, *scenario.pathloss()).expect("valid config");
+        let round = &readings[..window.min(readings.len())];
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, _| {
+            b.iter(|| black_box(pipeline.process_round(round).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn full_drive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_cs_full_drive");
+    group.sample_size(10);
+    let scenario = Scenario::uci_campus();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let route = mobility::uci_loop_route_with(1, 25.0);
+    let readings =
+        RssCollector::new(&scenario).collect_along(&route, route.duration() / 181.0, &mut rng);
+    let config = OnlineCsConfig {
+        window: WindowConfig {
+            size: 40,
+            step: 10,
+            ttl: f64::INFINITY,
+        },
+        max_ap_per_window: 4,
+        ..OnlineCsConfig::default()
+    };
+    let pipeline = OnlineCs::new(config, *scenario.pathloss()).expect("valid config");
+    group.bench_function("uci_180_readings", |b| {
+        b.iter(|| black_box(pipeline.run(&readings).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = round_latency, full_drive
+);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Fig. 11 — impact of lookup accuracy on TCP transfers.
+//!
+//! Paper setup (§6.3): 10 KB transfers with the 10 s stall-restart
+//! rule, evaluated under injected counting errors and localization
+//! errors of 0..300 %. Paper result: with accurate lookup AllAP's
+//! median transfer time is ~0.61 s (≈ 50 % better than BRR) and its
+//! throughput is about double; the advantage persists under moderate
+//! errors and both policies degrade as errors grow.
+
+use crowdwifi_bench::{print_table, Row};
+use crowdwifi_handoff::connectivity::{simulate, ConnectivityConfig, Policy};
+use crowdwifi_handoff::db::ApDatabase;
+use crowdwifi_handoff::transfer::{run_transfers, TransferConfig};
+use crowdwifi_vanet_sim::mobility::vanlan_round;
+use crowdwifi_vanet_sim::Scenario;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const LATTICE: f64 = 10.0;
+const TRIALS: u64 = 5;
+
+/// Median transfer time and transfers/session for one policy and error
+/// setting, averaged over trials.
+fn run_case(
+    policy: Policy,
+    counting_error: f64,
+    localization_error: f64,
+) -> (f64, f64) {
+    let scenario = Scenario::vanlan();
+    let truth = scenario.ap_positions();
+    let route = vanlan_round(0.0);
+    let mut med_sum = 0.0;
+    let mut med_n = 0usize;
+    let mut tput_sum = 0.0;
+    for trial in 0..TRIALS {
+        let mut rng = ChaCha8Rng::seed_from_u64(300 + trial);
+        let db = ApDatabase::perturbed(
+            &truth,
+            scenario.area(),
+            counting_error,
+            localization_error,
+            LATTICE,
+            &mut rng,
+        );
+        let trace = simulate(
+            policy,
+            &scenario,
+            &route,
+            &db,
+            ConnectivityConfig::default(),
+            &mut rng,
+        )
+        .expect("valid connectivity config");
+        let stats = run_transfers(&trace, TransferConfig::default(), &mut rng);
+        if let Some(m) = stats.median_time() {
+            med_sum += m;
+            med_n += 1;
+        }
+        tput_sum += stats.transfers_per_session;
+    }
+    (
+        if med_n > 0 { med_sum / med_n as f64 } else { f64::NAN },
+        tput_sum / TRIALS as f64,
+    )
+}
+
+fn sweep(errors: &[f64], is_counting: bool) {
+    let mut time_rows = Vec::new();
+    let mut tput_rows = Vec::new();
+    for &err in errors {
+        let (ce, le) = if is_counting { (err, 0.0) } else { (0.0, err) };
+        let (brr_t, brr_x) = run_case(Policy::Brr, ce, le);
+        let (all_t, all_x) = run_case(Policy::AllAp, ce, le);
+        time_rows.push(Row {
+            cells: vec![
+                format!("{:.0}", err * 100.0),
+                format!("{brr_t:.2}"),
+                format!("{all_t:.2}"),
+            ],
+        });
+        tput_rows.push(Row {
+            cells: vec![
+                format!("{:.0}", err * 100.0),
+                format!("{brr_x:.1}"),
+                format!("{all_x:.1}"),
+            ],
+        });
+    }
+    let which = if is_counting { "counting" } else { "localization" };
+    print_table(
+        &format!("Fig. 11: median transfer time (s) vs {which} error"),
+        &["error_%", "BRR", "AllAP"],
+        &time_rows,
+    );
+    print_table(
+        &format!("Fig. 11: transfers per session vs {which} error"),
+        &["error_%", "BRR", "AllAP"],
+        &tput_rows,
+    );
+}
+
+fn main() {
+    println!("10 KB transfers, 10 s stall restart, {TRIALS} van rounds per point");
+    let errors = [0.0, 0.5, 1.0, 2.0, 3.0];
+    sweep(&errors, true); // Fig. 11(a, c)
+    sweep(&errors, false); // Fig. 11(b, d)
+    println!("\npaper: AllAP ~0.61 s median (≈50% better than BRR) and ~2x throughput at zero error; advantage persists under tolerable errors");
+}

@@ -1,0 +1,77 @@
+//! Fig. 5 — AP lookup along the UCI campus trajectory.
+//!
+//! Paper setup (§6.1, first simulation set): 300 × 180 m UCI map, 8 APs
+//! physically on grid points, 8 m lattice, SNR 30 dB, sliding window 60
+//! / step 10, estimates taken when the collector has gathered 60, 120
+//! and 180 RSS values. Paper result: spurious estimates get filtered as
+//! data accumulates; at 120 points the count is exact; at 180 points
+//! all 8 APs match with average estimation error 1.8316 m (down from
+//! 2.6157 m at 60 points).
+
+use crowdwifi_bench::{fmt_opt, lookup_errors, print_table, Row};
+use crowdwifi_core::pipeline::{OnlineCs, OnlineCsConfig};
+use crowdwifi_core::window::WindowConfig;
+use crowdwifi_geo::{Grid, Point};
+use crowdwifi_vanet_sim::{mobility, RssCollector, Scenario};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let scenario = Scenario::uci_campus();
+    let grid = Grid::new(scenario.area(), 8.0).expect("static grid");
+    // First simulation set: APs exactly on grid points.
+    let scenario = scenario.snapped_to_grid(&grid);
+    let truth = scenario.ap_positions();
+
+    let route = mobility::uci_loop_route_with(2, 25.0);
+    let interval = route.duration() / 181.0;
+    let readings = RssCollector::new(&scenario).collect_along(&route, interval, &mut rng);
+    println!(
+        "UCI campus drive: {} readings over {:.0} s (sampling every {:.2} s)",
+        readings.len(),
+        route.duration(),
+        interval
+    );
+
+    // Window 40/step 10 (the paper's 60/10 at its own sampling rate
+    // spans a comparable road distance at ours; see EXPERIMENTS.md).
+    let config = OnlineCsConfig {
+        window: WindowConfig {
+            size: 40,
+            step: 10,
+            ttl: f64::INFINITY,
+        },
+        lattice: 8.0,
+        max_ap_per_window: 4,
+        sigma_factor: 0.04,
+        merge_radius: 20.0,
+        ..OnlineCsConfig::default()
+    };
+    let pipeline = OnlineCs::new(config, *scenario.pathloss()).expect("valid config");
+
+    let mut rows = Vec::new();
+    for n in [60usize, 120, 180] {
+        let n = n.min(readings.len());
+        let estimates = pipeline.run(&readings[..n]).expect("pipeline run");
+        let est: Vec<Point> = estimates.iter().map(|e| e.position).collect();
+        let e = lookup_errors(&truth, &est, 8.0);
+        rows.push(Row {
+            cells: vec![
+                n.to_string(),
+                format!("{}", e.estimated_k),
+                "8".to_string(),
+                format!("{:.2}", e.counting),
+                fmt_opt(e.mean_distance_m, 2),
+            ],
+        });
+    }
+    print_table(
+        "Fig. 5: UCI lookup vs number of collected RSS readings",
+        &["points", "k_est", "k_true", "count_err", "avg_err_m"],
+        &rows,
+    );
+    println!(
+        "\npaper: avg error 2.6157 m at 60 points -> 1.8316 m at 180 points, exact count at >=120"
+    );
+}

@@ -1,0 +1,134 @@
+//! Fig. 9 — the UCI testbed experiment (simulated substitute).
+//!
+//! Paper setup (§6.2): six Open-Mesh OM1P nodes over a 100 × 100 m
+//! campus area, 30 m transmission radius, 10 m lattice; one vehicle
+//! collects RSS at 20, 35 and 45 mph; lookup snapshots at 20 and 40
+//! collected samples; the offline crowdsourcing aggregates the three
+//! speeds' results with reliability weighting. Paper result: error
+//! shrinks from 3.6016 m (20 points, 45 mph) to 2.2509 m after
+//! crowdsourced fusion, finding all six nodes; Skyhook on the same area
+//! errs 11.6028 m.
+
+use crowdwifi_baselines::skyhook::Skyhook;
+use crowdwifi_baselines::ApLocalizer;
+use crowdwifi_bench::{fmt_opt, lookup_errors, print_table, Row};
+use crowdwifi_core::pipeline::{OnlineCs, OnlineCsConfig};
+use crowdwifi_core::window::WindowConfig;
+use crowdwifi_crowd::fusion::{fuse_submissions, Submission};
+use crowdwifi_geo::Point;
+use crowdwifi_vanet_sim::{mobility, RssCollector, Scenario};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const LATTICE: f64 = 10.0;
+
+fn pipeline_for(scenario: &Scenario) -> OnlineCs {
+    let config = OnlineCsConfig {
+        window: WindowConfig {
+            size: 20,
+            step: 5,
+            ttl: f64::INFINITY,
+        },
+        lattice: LATTICE,
+        radio_range: 35.0,
+        max_ap_per_window: 3,
+        merge_radius: 15.0,
+        ..OnlineCsConfig::default()
+    };
+    OnlineCs::new(config, *scenario.pathloss()).expect("valid pipeline config")
+}
+
+fn main() {
+    let scenario = Scenario::testbed();
+    let truth = scenario.ap_positions();
+    println!(
+        "testbed: {} Open-Mesh nodes over 100x100 m, 30 m radius, lattice {LATTICE} m",
+        truth.len()
+    );
+
+    let mut rows = Vec::new();
+    let mut submissions = Vec::new();
+    for (i, speed) in [20.0, 35.0, 45.0].iter().enumerate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(100 + i as u64);
+        let route = mobility::testbed_passes(scenario.area(), 4, *speed);
+        let collector = RssCollector::new(&scenario);
+        // Sample so that a full pass yields ~60 readings.
+        let readings =
+            collector.collect_along(&route, route.duration() / 60.0, &mut rng);
+        let pipeline = pipeline_for(&scenario);
+
+        for n in [20usize, 40] {
+            let n = n.min(readings.len());
+            let est: Vec<Point> = pipeline
+                .run(&readings[..n])
+                .expect("pipeline run")
+                .iter()
+                .map(|e| e.position)
+                .collect();
+            let e = lookup_errors(&truth, &est, LATTICE);
+            rows.push(Row {
+                cells: vec![
+                    format!("{speed:.0}"),
+                    n.to_string(),
+                    e.estimated_k.to_string(),
+                    fmt_opt(e.mean_distance_m, 2),
+                ],
+            });
+        }
+        // Full-drive estimate (ensemble recipe) becomes this vehicle's
+        // upload.
+        let ens_config = OnlineCsConfig {
+            lattice: LATTICE,
+            radio_range: 35.0,
+            merge_radius: 12.0,
+            ..OnlineCsConfig::default()
+        };
+        let full: Vec<Point> =
+            crowdwifi_core::pipeline::ensemble_run(&readings, ens_config, *scenario.pathloss(), 6)
+                .expect("ensemble run")
+                .iter()
+                .map(|e| e.position)
+                .collect();
+        // Reliability proxy: faster drives see fewer beacons per AP, so
+        // the server's inference (exercised end-to-end in fig7 and the
+        // middleware tests) typically ranks them slightly lower.
+        let reliability = match *speed as u32 {
+            20 => 0.95,
+            35 => 0.85,
+            _ => 0.75,
+        };
+        submissions.push(Submission::new(full, reliability));
+    }
+    print_table(
+        "Fig. 9(b,c): single-vehicle lookup vs speed and sample count",
+        &["speed_mph", "points", "k_est", "avg_err_m"],
+        &rows,
+    );
+
+    // Crowdsourced fusion of the three drives (Fig. 9(d)).
+    let fused = fuse_submissions(&submissions, 12.0, 0.3, 0.8);
+    let fused_points: Vec<Point> = fused.iter().map(|f| f.position).collect();
+    let e = lookup_errors(&truth, &fused_points, LATTICE);
+    println!(
+        "\nFig. 9(d) crowdsourced fusion: k_est = {} (k = 6), avg error = {} m",
+        e.estimated_k,
+        fmt_opt(e.mean_distance_m, 3)
+    );
+
+    // Skyhook comparison on the 20 mph drive (most favorable to it).
+    let mut rng = ChaCha8Rng::seed_from_u64(100);
+    let route = mobility::testbed_passes(scenario.area(), 4, 20.0);
+    let readings = RssCollector::new(&scenario).collect_along(
+        &route,
+        route.duration() / 60.0,
+        &mut rng,
+    );
+    let sky = Skyhook::default().localize(&readings).positions;
+    let es = lookup_errors(&truth, &sky, LATTICE);
+    println!(
+        "Skyhook on the same area: k_est = {}, avg error = {} m",
+        es.estimated_k,
+        fmt_opt(es.mean_distance_m, 3)
+    );
+    println!("\npaper: 3.6016 m (20 pts, 45 mph) -> 2.2509 m crowdsourced; Skyhook 11.6028 m");
+}

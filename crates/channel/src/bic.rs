@@ -1,0 +1,64 @@
+//! Bayesian information criterion for AP-count model selection (§4.3.5).
+
+/// The paper's BIC: `2·max log p(R|v) − v·log(m)` where `v` is the number
+/// of free parameters and `m` the number of samples.
+///
+/// Larger is better; CrowdWiFi picks the AP count `K` whose best
+/// constellation maximizes this score. For a `K`-AP model `v = 2K` (two
+/// coordinates per AP).
+///
+/// `m = 0` (no data) yields exactly `2·log_likelihood` — the penalty term
+/// vanishes, matching the `lim m→1, log m→0` convention and keeping the
+/// function total.
+///
+/// # Example
+///
+/// ```
+/// use crowdwifi_channel::bic::bic;
+///
+/// // Same fit quality: fewer parameters win.
+/// assert!(bic(-10.0, 2, 100) > bic(-10.0, 4, 100));
+/// // Much better fit can justify more parameters.
+/// assert!(bic(-2.0, 4, 100) > bic(-10.0, 2, 100));
+/// ```
+pub fn bic(max_log_likelihood: f64, free_params: usize, samples: usize) -> f64 {
+    let penalty = if samples == 0 {
+        0.0
+    } else {
+        free_params as f64 * (samples as f64).ln()
+    };
+    2.0 * max_log_likelihood - penalty
+}
+
+/// Free-parameter count for a `K`-AP constellation: `v = 2K`.
+pub fn free_params_for_ap_count(k: usize) -> usize {
+    2 * k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalty_grows_with_samples_and_params() {
+        assert!(bic(0.0, 2, 10) > bic(0.0, 2, 100));
+        assert!(bic(0.0, 2, 100) > bic(0.0, 6, 100));
+    }
+
+    #[test]
+    fn one_sample_has_zero_penalty() {
+        // ln(1) = 0.
+        assert_eq!(bic(-3.0, 8, 1), -6.0);
+    }
+
+    #[test]
+    fn zero_samples_is_total() {
+        assert_eq!(bic(-3.0, 8, 0), -6.0);
+    }
+
+    #[test]
+    fn param_counting() {
+        assert_eq!(free_params_for_ap_count(0), 0);
+        assert_eq!(free_params_for_ap_count(8), 16);
+    }
+}

@@ -1,0 +1,72 @@
+//! RF channel substrate for the CrowdWiFi reproduction.
+//!
+//! Implements §4.2.1 of the paper:
+//!
+//! * [`pathloss`] — the log-distance path-loss model
+//!   `r = t − l₀ − 10γ·log₁₀(d/d₀) − S`,
+//! * [`noise`] — log-normal shadow fading `S` and additive white Gaussian
+//!   measurement noise at a chosen SNR,
+//! * [`gmm`] — the Gaussian-mixture likelihood of an RSS series given a
+//!   candidate AP constellation (Eq. 1), with the paper's myopic
+//!   distance-softmax weights,
+//! * [`bic`] — the Bayesian information criterion used for model
+//!   selection over the AP count `K` (§4.3.5),
+//! * [`reading`] — the `(position, RSS, time)` sample type exchanged
+//!   between the simulator, the pipeline and the middleware.
+//!
+//! # Example
+//!
+//! ```
+//! use crowdwifi_channel::pathloss::PathLossModel;
+//!
+//! // UCI campus simulation parameters from §6.1.
+//! let model = PathLossModel::new(20.0, 45.6, 1.76, 1.0)?;
+//! let rss_near = model.mean_rss(10.0);
+//! let rss_far = model.mean_rss(100.0);
+//! assert!(rss_near > rss_far);
+//! # Ok::<(), crowdwifi_channel::ChannelError>(())
+//! ```
+
+#![deny(missing_docs)]
+// `!(x > 0.0)` style guards are used deliberately throughout: unlike
+// `x <= 0.0`, they also reject NaN, which is exactly what parameter
+// validation wants.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+
+pub mod bic;
+pub mod gmm;
+pub mod noise;
+pub mod pathloss;
+pub mod reading;
+
+pub use gmm::GmmModel;
+pub use pathloss::PathLossModel;
+pub use reading::{ApId, RssReading};
+
+/// Errors produced by channel-model constructors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChannelError {
+    /// A model parameter is out of its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::InvalidParameter { name, value } => {
+                write!(f, "invalid channel parameter `{name}` = {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// Convenience alias for channel results.
+pub type Result<T> = std::result::Result<T, ChannelError>;

@@ -1,0 +1,150 @@
+//! Stochastic channel impairments: shadow fading and measurement noise.
+//!
+//! The paper's channel adds log-normal shadow fading `S` (σ = 0.5 dB in
+//! the UCI simulation) to every reading, and the evaluation additionally
+//! injects white Gaussian noise on the measurement vector at a target
+//! SNR (30 dB in §6.1).
+
+use rand::{Rng, RngExt};
+
+/// Samples a zero-mean Gaussian via the Box–Muller transform.
+///
+/// `rand` alone (without `rand_distr`) has no normal distribution; the
+/// transform is exact and needs only two uniforms.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    if std_dev == 0.0 {
+        return mean;
+    }
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    mean + std_dev * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Log-normal shadow fading: a zero-mean Gaussian in the dB domain with
+/// standard deviation `sigma_db`.
+///
+/// # Example
+///
+/// ```
+/// use crowdwifi_channel::noise::ShadowFading;
+/// use rand::SeedableRng;
+///
+/// let fading = ShadowFading::new(0.5);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let s = fading.sample(&mut rng);
+/// assert!(s.abs() < 5.0); // 10σ outliers are essentially impossible
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShadowFading {
+    sigma_db: f64,
+}
+
+impl ShadowFading {
+    /// Creates a fading source with the given dB standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_db` is negative or non-finite.
+    pub fn new(sigma_db: f64) -> Self {
+        assert!(
+            sigma_db >= 0.0 && sigma_db.is_finite(),
+            "sigma_db must be a non-negative finite value"
+        );
+        ShadowFading { sigma_db }
+    }
+
+    /// A fading source that never perturbs (σ = 0).
+    pub fn none() -> Self {
+        ShadowFading { sigma_db: 0.0 }
+    }
+
+    /// The dB standard deviation.
+    pub fn sigma_db(&self) -> f64 {
+        self.sigma_db
+    }
+
+    /// Draws one fading value in dB.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        gaussian(rng, 0.0, self.sigma_db)
+    }
+}
+
+/// Adds white Gaussian noise to `signal` in place such that the resulting
+/// signal-to-noise ratio is `snr_db` (power ratio of the *given* signal
+/// to the injected noise) — the `N(0, σ²)` perturbation of §6.1 with
+/// SNR = 30 dB.
+///
+/// A zero signal is left untouched (SNR is undefined).
+pub fn add_awgn<R: Rng + ?Sized>(rng: &mut R, signal: &mut [f64], snr_db: f64) {
+    if signal.is_empty() {
+        return;
+    }
+    let power: f64 = signal.iter().map(|x| x * x).sum::<f64>() / signal.len() as f64;
+    if power == 0.0 {
+        return;
+    }
+    let noise_power = power / 10f64.powf(snr_db / 10.0);
+    let sigma = noise_power.sqrt();
+    for x in signal.iter_mut() {
+        *x += gaussian(rng, 0.0, sigma);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng, 2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(gaussian(&mut rng, 5.0, 0.0), 5.0);
+        assert_eq!(ShadowFading::none().sample(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn awgn_hits_target_snr() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let clean: Vec<f64> = (0..5000).map(|i| (-60.0) + (i % 17) as f64).collect();
+        let mut noisy = clean.clone();
+        add_awgn(&mut rng, &mut noisy, 30.0);
+        let sig_p: f64 = clean.iter().map(|x| x * x).sum::<f64>() / clean.len() as f64;
+        let noise_p: f64 = clean
+            .iter()
+            .zip(&noisy)
+            .map(|(c, n)| (n - c).powi(2))
+            .sum::<f64>()
+            / clean.len() as f64;
+        let snr_db = 10.0 * (sig_p / noise_p).log10();
+        assert!((snr_db - 30.0).abs() < 1.0, "measured SNR {snr_db} dB");
+    }
+
+    #[test]
+    fn awgn_ignores_degenerate_signals() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut empty: Vec<f64> = vec![];
+        add_awgn(&mut rng, &mut empty, 30.0);
+        let mut zeros = vec![0.0; 4];
+        add_awgn(&mut rng, &mut zeros, 30.0);
+        assert_eq!(zeros, vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sigma_panics() {
+        ShadowFading::new(-1.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Log-distance path-loss model (§4.2.1, after Rappaport).
+
+use crate::{ChannelError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The log-distance path-loss channel
+/// `r(d) = t − l₀ − 10·γ·log₁₀(d/d₀)` (shadow fading is added separately
+/// by [`crate::noise`]).
+///
+/// Distances below the reference distance `d₀` are clamped to `d₀`, as is
+/// conventional — the model is only calibrated for `d ≥ d₀`.
+///
+/// # Example
+///
+/// ```
+/// use crowdwifi_channel::PathLossModel;
+///
+/// let m = PathLossModel::new(20.0, 45.6, 1.76, 1.0)?;
+/// // Mean RSS at the reference distance is t − l₀.
+/// assert!((m.mean_rss(1.0) - (20.0 - 45.6)).abs() < 1e-12);
+/// // Inverse recovers the distance.
+/// let d = m.distance_for_rss(m.mean_rss(37.5));
+/// assert!((d - 37.5).abs() < 1e-9);
+/// # Ok::<(), crowdwifi_channel::ChannelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathLossModel {
+    tx_power_dbm: f64,
+    ref_loss_db: f64,
+    exponent: f64,
+    ref_distance_m: f64,
+}
+
+impl PathLossModel {
+    /// Creates a model from transmit power `t` (dBm), reference path loss
+    /// `l₀` (dB at `d₀`), path-loss exponent `γ` and reference distance
+    /// `d₀` (meters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidParameter`] for non-finite inputs,
+    /// non-positive `γ` or non-positive `d₀`.
+    pub fn new(tx_power_dbm: f64, ref_loss_db: f64, exponent: f64, ref_distance_m: f64) -> Result<Self> {
+        if !tx_power_dbm.is_finite() {
+            return Err(ChannelError::InvalidParameter {
+                name: "tx_power_dbm",
+                value: tx_power_dbm,
+            });
+        }
+        if !ref_loss_db.is_finite() {
+            return Err(ChannelError::InvalidParameter {
+                name: "ref_loss_db",
+                value: ref_loss_db,
+            });
+        }
+        if !(exponent > 0.0) || !exponent.is_finite() {
+            return Err(ChannelError::InvalidParameter {
+                name: "exponent",
+                value: exponent,
+            });
+        }
+        if !(ref_distance_m > 0.0) || !ref_distance_m.is_finite() {
+            return Err(ChannelError::InvalidParameter {
+                name: "ref_distance_m",
+                value: ref_distance_m,
+            });
+        }
+        Ok(PathLossModel {
+            tx_power_dbm,
+            ref_loss_db,
+            exponent,
+            ref_distance_m,
+        })
+    }
+
+    /// The UCI campus simulation channel of §6.1: `l₀ = 45.6` dB at 1 m,
+    /// `γ = 1.76`, with a 20 dBm transmitter (typical consumer AP).
+    pub fn uci_campus() -> Self {
+        PathLossModel::new(20.0, 45.6, 1.76, 1.0).expect("static parameters are valid")
+    }
+
+    /// The VanLan-like channel of §6.3: Atheros radios at 26.02 dBm
+    /// output power; free-space-like reference loss at 2.4 GHz
+    /// (≈40 dB at 1 m) with a denser-campus exponent of 2.6.
+    pub fn vanlan() -> Self {
+        PathLossModel::new(26.02, 40.0, 2.6, 1.0).expect("static parameters are valid")
+    }
+
+    /// Transmit power `t` in dBm.
+    pub fn tx_power_dbm(&self) -> f64 {
+        self.tx_power_dbm
+    }
+
+    /// Reference path loss `l₀` in dB.
+    pub fn ref_loss_db(&self) -> f64 {
+        self.ref_loss_db
+    }
+
+    /// Path-loss exponent `γ`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Reference distance `d₀` in meters.
+    pub fn ref_distance_m(&self) -> f64 {
+        self.ref_distance_m
+    }
+
+    /// Mean (fading-free) RSS in dBm at distance `d` meters; `d` is
+    /// clamped to the reference distance.
+    pub fn mean_rss(&self, d: f64) -> f64 {
+        let d = d.max(self.ref_distance_m);
+        self.tx_power_dbm - self.ref_loss_db - 10.0 * self.exponent * (d / self.ref_distance_m).log10()
+    }
+
+    /// Inverse model: the distance at which the mean RSS equals
+    /// `rss_dbm`. RSS values above the reference-distance RSS map to
+    /// `d₀`.
+    pub fn distance_for_rss(&self, rss_dbm: f64) -> f64 {
+        let exponent_db = (self.tx_power_dbm - self.ref_loss_db - rss_dbm) / (10.0 * self.exponent);
+        (self.ref_distance_m * 10f64.powf(exponent_db)).max(self.ref_distance_m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rss_decreases_with_distance() {
+        let m = PathLossModel::uci_campus();
+        let mut prev = f64::INFINITY;
+        for d in [1.0, 5.0, 10.0, 50.0, 100.0, 500.0] {
+            let r = m.mean_rss(d);
+            assert!(r < prev, "RSS must strictly decrease beyond d0");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn clamped_below_reference_distance() {
+        let m = PathLossModel::uci_campus();
+        assert_eq!(m.mean_rss(0.0), m.mean_rss(1.0));
+        assert_eq!(m.mean_rss(0.5), m.mean_rss(1.0));
+    }
+
+    #[test]
+    fn ten_x_distance_costs_10_gamma_db() {
+        let m = PathLossModel::new(0.0, 0.0, 2.0, 1.0).unwrap();
+        let delta = m.mean_rss(10.0) - m.mean_rss(100.0);
+        assert!((delta - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(PathLossModel::new(f64::NAN, 45.0, 2.0, 1.0).is_err());
+        assert!(PathLossModel::new(20.0, f64::INFINITY, 2.0, 1.0).is_err());
+        assert!(PathLossModel::new(20.0, 45.0, 0.0, 1.0).is_err());
+        assert!(PathLossModel::new(20.0, 45.0, 2.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn presets_have_reported_parameters() {
+        let uci = PathLossModel::uci_campus();
+        assert_eq!(uci.ref_loss_db(), 45.6);
+        assert_eq!(uci.exponent(), 1.76);
+        let van = PathLossModel::vanlan();
+        assert_eq!(van.tx_power_dbm(), 26.02);
+    }
+
+    proptest! {
+        #[test]
+        fn inverse_roundtrips(d in 1.0..500.0f64) {
+            let m = PathLossModel::uci_campus();
+            let back = m.distance_for_rss(m.mean_rss(d));
+            prop_assert!((back - d).abs() < 1e-6 * d);
+        }
+
+        #[test]
+        fn inverse_clamps_strong_rss(extra in 0.0..30.0f64) {
+            let m = PathLossModel::uci_campus();
+            // RSS stronger than physically possible at d0 maps to d0.
+            let rss = m.mean_rss(1.0) + extra;
+            prop_assert_eq!(m.distance_for_rss(rss + 1.0), 1.0);
+        }
+    }
+}

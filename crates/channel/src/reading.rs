@@ -1,0 +1,85 @@
+//! The RSS sample type exchanged across the CrowdWiFi stack.
+
+use crowdwifi_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an access point (BSSID stand-in).
+///
+/// The CrowdWiFi recovery itself is *blind* — it never uses the source —
+/// but the simulator tags readings so that baselines which realistically
+/// see BSSIDs (Skyhook, MDS) can group by source, and so tests can check
+/// ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ApId(pub u32);
+
+impl std::fmt::Display for ApId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AP{}", self.0)
+    }
+}
+
+/// One drive-by RSS measurement: where the vehicle was, what it heard,
+/// and when.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RssReading {
+    /// Vehicle (RSS-collector) position when the reading was taken.
+    pub position: Point,
+    /// Received signal strength in dBm.
+    pub rss_dbm: f64,
+    /// Seconds since the start of the drive.
+    pub time: f64,
+    /// Transmitting AP, when known to the *simulator* (see [`ApId`]).
+    pub source: Option<ApId>,
+}
+
+impl RssReading {
+    /// Creates a reading without source attribution (what a blind
+    /// collector sees).
+    pub fn new(position: Point, rss_dbm: f64, time: f64) -> Self {
+        RssReading {
+            position,
+            rss_dbm,
+            time,
+            source: None,
+        }
+    }
+
+    /// Creates a reading tagged with its transmitting AP.
+    pub fn with_source(position: Point, rss_dbm: f64, time: f64, source: ApId) -> Self {
+        RssReading {
+            position,
+            rss_dbm,
+            time,
+            source: Some(source),
+        }
+    }
+
+    /// Whether the reading is older than `ttl` seconds at time `now`
+    /// (§4.3.2: expired readings leave the sliding window).
+    pub fn is_expired(&self, now: f64, ttl: f64) -> bool {
+        now - self.time > ttl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expiry_rule() {
+        let r = RssReading::new(Point::new(0.0, 0.0), -60.0, 10.0);
+        assert!(!r.is_expired(15.0, 10.0));
+        assert!(r.is_expired(25.0, 10.0));
+        // Exactly at the boundary: not yet expired.
+        assert!(!r.is_expired(20.0, 10.0));
+    }
+
+    #[test]
+    fn source_attribution() {
+        let blind = RssReading::new(Point::new(1.0, 2.0), -70.0, 0.0);
+        assert_eq!(blind.source, None);
+        let tagged = RssReading::with_source(Point::new(1.0, 2.0), -70.0, 0.0, ApId(3));
+        assert_eq!(tagged.source, Some(ApId(3)));
+        assert_eq!(ApId(3).to_string(), "AP3");
+    }
+}

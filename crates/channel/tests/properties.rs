@@ -1,0 +1,125 @@
+//! Property-based tests for the channel substrate.
+
+use crowdwifi_channel::bic::bic;
+use crowdwifi_channel::noise::{add_awgn, gaussian, ShadowFading};
+use crowdwifi_channel::{GmmModel, PathLossModel};
+use crowdwifi_geo::Point;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn model() -> PathLossModel {
+    PathLossModel::uci_campus()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rss_monotonically_decreases(d1 in 1.0..500.0f64, d2 in 1.0..500.0f64) {
+        let m = model();
+        if d1 < d2 {
+            prop_assert!(m.mean_rss(d1) >= m.mean_rss(d2));
+        }
+    }
+
+    #[test]
+    fn inverse_model_roundtrips(d in 1.0..500.0f64) {
+        let m = model();
+        let back = m.distance_for_rss(m.mean_rss(d));
+        prop_assert!((back - d).abs() < 1e-6 * d.max(1.0));
+    }
+
+    #[test]
+    fn rss_is_finite_everywhere(d in 0.0..10_000.0f64) {
+        prop_assert!(model().mean_rss(d).is_finite());
+    }
+
+    #[test]
+    fn shadow_fading_scales_with_sigma(sigma in 0.1..8.0f64, seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let fading = ShadowFading::new(sigma);
+        let samples: Vec<f64> = (0..500).map(|_| fading.sample(&mut rng)).collect();
+        let var = samples.iter().map(|x| x * x).sum::<f64>() / samples.len() as f64;
+        // Sample deviation within a factor of 2 of sigma (loose but
+        // catches unit errors).
+        prop_assert!((var.sqrt() / sigma) > 0.5 && (var.sqrt() / sigma) < 2.0);
+    }
+
+    #[test]
+    fn gaussian_respects_zero_sigma(mean in -50.0..50.0f64, seed in 0u64..100) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        prop_assert_eq!(gaussian(&mut rng, mean, 0.0), mean);
+    }
+
+    #[test]
+    fn awgn_snr_is_close_to_target(snr_db in 10.0..40.0f64, seed in 0u64..50) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let clean: Vec<f64> = (0..2000).map(|i| -60.0 + (i % 13) as f64).collect();
+        let mut noisy = clean.clone();
+        add_awgn(&mut rng, &mut noisy, snr_db);
+        let sp: f64 = clean.iter().map(|x| x * x).sum();
+        let np: f64 = clean.iter().zip(&noisy).map(|(c, n)| (n - c) * (n - c)).sum();
+        let measured = 10.0 * (sp / np).log10();
+        prop_assert!((measured - snr_db).abs() < 2.0, "target {snr_db} measured {measured}");
+    }
+
+    #[test]
+    fn gmm_weights_form_a_distribution(
+        px in -100.0..100.0f64,
+        py in -100.0..100.0f64,
+        n_aps in 1usize..6,
+    ) {
+        let gmm = GmmModel::new(model(), 0.05).unwrap();
+        let aps: Vec<Point> = (0..n_aps)
+            .map(|i| Point::new(30.0 * i as f64, 40.0))
+            .collect();
+        let w = gmm.weights(Point::new(px, py), &aps);
+        prop_assert_eq!(w.len(), n_aps);
+        prop_assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // The nearest AP never has the smallest weight.
+        let nearest = (0..n_aps)
+            .min_by(|&a, &b| {
+                Point::new(px, py).distance(aps[a])
+                    .partial_cmp(&Point::new(px, py).distance(aps[b])).unwrap()
+            })
+            .unwrap();
+        let wmax = w.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((w[nearest] - wmax).abs() < 1e-9);
+    }
+
+    #[test]
+    fn likelihood_peaks_at_model_prediction(d in 5.0..90.0f64, offset in 3.0..30.0f64) {
+        let gmm = GmmModel::new(model(), 0.05).unwrap();
+        let ap = Point::new(0.0, 0.0);
+        let here = Point::new(d, 0.0);
+        let mu = model().mean_rss(d);
+        let at_peak = gmm.log_likelihood(&[(here, mu)], &[ap]);
+        let off_peak = gmm.log_likelihood(&[(here, mu - offset)], &[ap]);
+        prop_assert!(at_peak >= off_peak);
+    }
+
+    #[test]
+    fn hard_likelihood_never_exceeds_mixture(
+        rss in -90.0..-30.0f64,
+        px in 0.0..100.0f64,
+    ) {
+        let gmm = GmmModel::new(model(), 0.05).unwrap();
+        let aps = [Point::new(20.0, 20.0), Point::new(80.0, 20.0)];
+        let data = [(Point::new(px, 0.0), rss)];
+        // max over components <= log-sum over components.
+        prop_assert!(gmm.hard_log_likelihood(&data, &aps) <= gmm.log_likelihood(&data, &aps) + 1e-9);
+    }
+
+    #[test]
+    fn bic_monotone_in_likelihood_and_penalty(
+        ll in -500.0..0.0f64,
+        delta in 0.1..50.0f64,
+        v in 1usize..20,
+        m in 2usize..500,
+    ) {
+        prop_assert!(bic(ll + delta, v, m) > bic(ll, v, m));
+        prop_assert!(bic(ll, v, m) > bic(ll, v + 1, m));
+    }
+}

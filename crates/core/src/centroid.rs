@@ -1,0 +1,252 @@
+//! Centroid processing of dominant recovery coefficients (§4.3.4).
+//!
+//! The recovered `θ̂` is rarely an exact 1-sparse indicator; mass smears
+//! over the grid points neighboring the true AP. Eq. (3) compensates by
+//! taking the coefficient-weighted centroid of the dominant entries.
+
+use crowdwifi_geo::{point::weighted_centroid, Grid, Point};
+
+/// Result of centroid processing for one AP hypothesis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CentroidEstimate {
+    /// The Eq. (3) location estimate.
+    pub position: Point,
+    /// Total coefficient mass of the dominant set (Σ θ̂_k over S_k) — a
+    /// crude confidence signal.
+    pub mass: f64,
+}
+
+/// Applies Eq. (3): selects coefficients `θ̂(n) ≥ rel_threshold · max θ̂`
+/// and returns their weighted centroid.
+///
+/// Returns `None` when `θ̂` has no positive coefficient (failed or
+/// inconsistent recovery).
+///
+/// # Panics
+///
+/// Panics if `theta.len() != grid.len()` or `rel_threshold ∉ (0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use crowdwifi_core::centroid::centroid_of_dominant;
+/// use crowdwifi_geo::{Grid, Point, Rect};
+///
+/// let grid = Grid::new(
+///     Rect::new(Point::new(0.0, 0.0), Point::new(20.0, 10.0)).unwrap(),
+///     10.0,
+/// ).unwrap();
+/// let mut theta = vec![0.0; grid.len()];
+/// theta[0] = 1.0;
+/// theta[1] = 1.0;
+/// let est = centroid_of_dominant(&theta, &grid, 0.5).unwrap();
+/// // Equal mass on both cells: centroid midway.
+/// assert_eq!(est.position, Point::new(10.0, 5.0));
+/// ```
+pub fn centroid_of_dominant(
+    theta: &[f64],
+    grid: &Grid,
+    rel_threshold: f64,
+) -> Option<CentroidEstimate> {
+    assert_eq!(theta.len(), grid.len(), "theta/grid size mismatch");
+    assert!(
+        rel_threshold > 0.0 && rel_threshold <= 1.0,
+        "rel_threshold must be in (0, 1]"
+    );
+    let max = theta.iter().cloned().fold(0.0_f64, f64::max);
+    if max <= 0.0 {
+        return None;
+    }
+    let zeta = rel_threshold * max;
+    let mut points = Vec::new();
+    let mut weights = Vec::new();
+    for (n, &coef) in theta.iter().enumerate() {
+        if coef >= zeta {
+            points.push(grid.point(n));
+            weights.push(coef);
+        }
+    }
+    let position = weighted_centroid(&points, &weights)?;
+    Some(CentroidEstimate {
+        position,
+        mass: weights.iter().sum(),
+    })
+}
+
+/// Splits the dominant coefficients into spatially connected modes and
+/// returns each mode's weighted centroid, strongest first (by mass).
+///
+/// A recovery from (nearly) colinear readings is bimodal: the true AP
+/// position and its mirror across the trajectory carry similar mass.
+/// Collapsing them into one centroid (as plain [`centroid_of_dominant`]
+/// would) lands uselessly between the modes; returning both lets the
+/// BIC/likelihood stage pick the side that is consistent with the rest
+/// of the window.
+///
+/// Two dominant grid points belong to the same mode when they are within
+/// `link_radius` of each other (transitively). Returns at most
+/// `max_modes` modes.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`centroid_of_dominant`].
+pub fn candidate_modes(
+    theta: &[f64],
+    grid: &Grid,
+    rel_threshold: f64,
+    link_radius: f64,
+    max_modes: usize,
+) -> Vec<CentroidEstimate> {
+    assert_eq!(theta.len(), grid.len(), "theta/grid size mismatch");
+    assert!(
+        rel_threshold > 0.0 && rel_threshold <= 1.0,
+        "rel_threshold must be in (0, 1]"
+    );
+    let max = theta.iter().cloned().fold(0.0_f64, f64::max);
+    if max <= 0.0 || max_modes == 0 {
+        return Vec::new();
+    }
+    let zeta = rel_threshold * max;
+    let dominant: Vec<usize> = (0..theta.len()).filter(|&n| theta[n] >= zeta).collect();
+
+    // Union-find over dominant points linked within `link_radius`.
+    let mut parent: Vec<usize> = (0..dominant.len()).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    for i in 0..dominant.len() {
+        for j in (i + 1)..dominant.len() {
+            if grid
+                .point(dominant[i])
+                .distance(grid.point(dominant[j]))
+                <= link_radius
+            {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+
+    // Weighted centroid per component (BTreeMap: deterministic order so
+    // equal-mass modes never reorder between runs).
+    let mut by_root: std::collections::BTreeMap<usize, (Vec<Point>, Vec<f64>)> =
+        std::collections::BTreeMap::new();
+    for (i, &n) in dominant.iter().enumerate() {
+        let root = find(&mut parent, i);
+        let entry = by_root.entry(root).or_default();
+        entry.0.push(grid.point(n));
+        entry.1.push(theta[n]);
+    }
+    let mut modes: Vec<CentroidEstimate> = by_root
+        .values()
+        .filter_map(|(pts, ws)| {
+            weighted_centroid(pts, ws).map(|position| CentroidEstimate {
+                position,
+                mass: ws.iter().sum(),
+            })
+        })
+        .collect();
+    modes.sort_by(|a, b| {
+        b.mass
+            .partial_cmp(&a.mass)
+            .expect("finite masses")
+            .then(a.position.x.partial_cmp(&b.position.x).expect("finite x"))
+            .then(a.position.y.partial_cmp(&b.position.y).expect("finite y"))
+    });
+    modes.truncate(max_modes);
+    modes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdwifi_geo::Rect;
+
+    fn grid() -> Grid {
+        Grid::new(
+            Rect::new(Point::new(0.0, 0.0), Point::new(40.0, 40.0)).unwrap(),
+            10.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_spike_maps_to_its_grid_point() {
+        let g = grid();
+        let mut theta = vec![0.0; g.len()];
+        theta[5] = 2.0;
+        let est = centroid_of_dominant(&theta, &g, 0.3).unwrap();
+        assert_eq!(est.position, g.point(5));
+        assert_eq!(est.mass, 2.0);
+    }
+
+    #[test]
+    fn threshold_excludes_weak_coefficients() {
+        let g = grid();
+        let mut theta = vec![0.0; g.len()];
+        theta[0] = 1.0;
+        theta[15] = 0.1; // below 0.3 × max
+        let est = centroid_of_dominant(&theta, &g, 0.3).unwrap();
+        assert_eq!(est.position, g.point(0));
+    }
+
+    #[test]
+    fn weighting_pulls_centroid() {
+        let g = grid();
+        let mut theta = vec![0.0; g.len()];
+        theta[0] = 3.0; // (5, 5)
+        theta[1] = 1.0; // (15, 5)
+        let est = centroid_of_dominant(&theta, &g, 0.1).unwrap();
+        assert!((est.position.x - 7.5).abs() < 1e-12);
+        assert!((est.position.y - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_theta_yields_none() {
+        let g = grid();
+        assert!(centroid_of_dominant(&vec![0.0; g.len()], &g, 0.3).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "rel_threshold")]
+    fn bad_threshold_panics() {
+        let g = grid();
+        centroid_of_dominant(&vec![0.0; g.len()], &g, 0.0);
+    }
+
+    #[test]
+    fn modes_separate_bimodal_mass() {
+        let g = grid(); // 4×4 cells, 10 m lattice, centers (5,5)..(35,35)
+        let mut theta = vec![0.0; g.len()];
+        // Mode A: two adjacent cells bottom-left; Mode B: one cell top-right.
+        theta[0] = 1.0; // (5, 5)
+        theta[1] = 0.8; // (15, 5)
+        theta[15] = 0.9; // (35, 35)
+        let modes = candidate_modes(&theta, &g, 0.3, 12.0, 3);
+        assert_eq!(modes.len(), 2);
+        // Strongest mode first (mass 1.8 > 0.9).
+        assert!((modes[0].mass - 1.8).abs() < 1e-12);
+        assert_eq!(modes[1].position, g.point(15));
+        // Plain centroid would land between the modes.
+        let collapsed = centroid_of_dominant(&theta, &g, 0.3).unwrap();
+        assert!(collapsed.position.distance(modes[0].position) > 5.0);
+    }
+
+    #[test]
+    fn modes_respect_max_cap_and_empty_theta() {
+        let g = grid();
+        let mut theta = vec![0.0; g.len()];
+        theta[0] = 1.0;
+        theta[5] = 1.0;
+        theta[15] = 1.0;
+        let modes = candidate_modes(&theta, &g, 0.3, 5.0, 2);
+        assert_eq!(modes.len(), 2);
+        assert!(candidate_modes(&vec![0.0; g.len()], &g, 0.3, 5.0, 3).is_empty());
+    }
+}

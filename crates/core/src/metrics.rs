@@ -1,0 +1,146 @@
+//! The paper's counting- and localization-error metrics (§6).
+//!
+//! With `k` actual and `k̂` estimated APs and `k_min = min(k, k̂)`:
+//!
+//! * counting error = `|k̂ − k| / k`,
+//! * localization error = `(Σ over matched pairs ‖aᵢ − âᵢ‖) / (k_min · ℓ)`
+//!   where `ℓ` is the lattice length — below 1.0 (100 %) means estimates
+//!   land within one grid cell of the truth.
+//!
+//! Estimated APs are matched to actual APs greedily by globally nearest
+//! pair (the paper does not specify its matching; greedy is within a
+//! factor-2 of optimal assignment and is what the error magnitudes in
+//! the paper are consistent with).
+
+use crowdwifi_geo::Point;
+
+/// Counting error `|k̂ − k| / k`.
+///
+/// # Panics
+///
+/// Panics if `actual == 0` (the metric is undefined with no real APs).
+pub fn counting_error(actual: usize, estimated: usize) -> f64 {
+    assert!(actual > 0, "counting error undefined for zero actual APs");
+    (estimated as f64 - actual as f64).abs() / actual as f64
+}
+
+/// Greedy globally-nearest matching between actual and estimated
+/// positions; returns `min(len, len)` index pairs with their distances.
+pub fn greedy_match(actual: &[Point], estimated: &[Point]) -> Vec<(usize, usize, f64)> {
+    let mut pairs = Vec::new();
+    let mut used_a = vec![false; actual.len()];
+    let mut used_e = vec![false; estimated.len()];
+    let target = actual.len().min(estimated.len());
+    while pairs.len() < target {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (i, a) in actual.iter().enumerate() {
+            if used_a[i] {
+                continue;
+            }
+            for (j, e) in estimated.iter().enumerate() {
+                if used_e[j] {
+                    continue;
+                }
+                let d = a.distance(*e);
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let (i, j, d) = best.expect("target bounded by both lengths");
+        used_a[i] = true;
+        used_e[j] = true;
+        pairs.push((i, j, d));
+    }
+    pairs
+}
+
+/// The paper's normalized localization error. Returns `None` when either
+/// set is empty (no pairs to evaluate).
+///
+/// # Panics
+///
+/// Panics if `lattice` is not positive.
+pub fn localization_error(actual: &[Point], estimated: &[Point], lattice: f64) -> Option<f64> {
+    assert!(lattice > 0.0, "lattice must be positive");
+    let pairs = greedy_match(actual, estimated);
+    if pairs.is_empty() {
+        return None;
+    }
+    let total: f64 = pairs.iter().map(|&(_, _, d)| d).sum();
+    Some(total / (pairs.len() as f64 * lattice))
+}
+
+/// Mean matched distance in meters (the "average estimation error" the
+/// paper quotes for Figs. 5 and 9). `None` when either set is empty.
+pub fn mean_distance_error(actual: &[Point], estimated: &[Point]) -> Option<f64> {
+    let pairs = greedy_match(actual, estimated);
+    if pairs.is_empty() {
+        return None;
+    }
+    Some(pairs.iter().map(|&(_, _, d)| d).sum::<f64>() / pairs.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_error_values() {
+        assert_eq!(counting_error(8, 8), 0.0);
+        assert_eq!(counting_error(8, 6), 0.25);
+        assert_eq!(counting_error(8, 10), 0.25);
+        assert_eq!(counting_error(10, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn counting_error_zero_actual_panics() {
+        counting_error(0, 1);
+    }
+
+    #[test]
+    fn greedy_match_pairs_nearest_first() {
+        let actual = [Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        let estimated = [Point::new(9.0, 0.0), Point::new(1.0, 0.0)];
+        let pairs = greedy_match(&actual, &estimated);
+        assert_eq!(pairs.len(), 2);
+        // Each actual matched to its 1-meter neighbor.
+        for &(i, j, d) in &pairs {
+            assert!((d - 1.0).abs() < 1e-12, "pair ({i},{j}) at distance {d}");
+        }
+    }
+
+    #[test]
+    fn greedy_match_handles_count_mismatch() {
+        let actual = [Point::new(0.0, 0.0), Point::new(50.0, 0.0)];
+        let estimated = [Point::new(1.0, 0.0)];
+        let pairs = greedy_match(&actual, &estimated);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, 0);
+    }
+
+    #[test]
+    fn localization_error_normalization() {
+        let actual = [Point::new(0.0, 0.0)];
+        let estimated = [Point::new(4.0, 0.0)];
+        // 4 m error over an 8 m lattice: 0.5 (50 %).
+        assert_eq!(localization_error(&actual, &estimated, 8.0), Some(0.5));
+        assert_eq!(localization_error(&actual, &[], 8.0), None);
+        assert_eq!(localization_error(&[], &estimated, 8.0), None);
+    }
+
+    #[test]
+    fn mean_distance_is_in_meters() {
+        let actual = [Point::new(0.0, 0.0), Point::new(100.0, 0.0)];
+        let estimated = [Point::new(3.0, 0.0), Point::new(100.0, 4.0)];
+        assert_eq!(mean_distance_error(&actual, &estimated), Some(3.5));
+    }
+
+    #[test]
+    fn perfect_estimate_scores_zero() {
+        let pts = [Point::new(5.0, 5.0), Point::new(20.0, 8.0)];
+        assert_eq!(localization_error(&pts, &pts, 8.0), Some(0.0));
+        assert_eq!(mean_distance_error(&pts, &pts), Some(0.0));
+    }
+}

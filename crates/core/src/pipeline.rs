@@ -1,0 +1,504 @@
+//! The assembled online CS estimator (workflow of Fig. 2).
+//!
+//! [`OnlineCs`] wires together the sliding window, per-round grid
+//! formation, hypothesis generation, orthogonalized ℓ1 recovery,
+//! centroid processing, BIC selection and credit-based consolidation.
+//! Use [`OnlineCs::run`] for batch processing of a recorded drive, or
+//! [`OnlineCs::session`] to feed readings one at a time as the vehicle
+//! moves.
+
+use crate::assign::ClusterAssigner;
+use crate::consolidate::{ApEstimate, Consolidator};
+use crate::recovery::CsRecovery;
+use crate::select::{estimate_round, RoundEstimate};
+use crate::window::{windows_over, SlidingWindow, WindowConfig};
+use crate::{CoreError, Result};
+use crowdwifi_channel::{GmmModel, PathLossModel, RssReading};
+use crowdwifi_geo::{Grid, Point};
+
+/// Configuration of the online CS pipeline.
+///
+/// Defaults match the paper's UCI simulation: 60-reading window, step
+/// 10, 8 m lattice, 100 m radio range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineCsConfig {
+    /// Sliding-window parameters (§4.3.2).
+    pub window: WindowConfig,
+    /// Lattice edge length in meters (§4.3.1; paper default 8 m).
+    pub lattice: f64,
+    /// Communication radius `r_m` used for grid expansion and recovery
+    /// column pruning (paper: 100 m).
+    pub radio_range: f64,
+    /// Maximum AP count hypothesized within one window.
+    pub max_ap_per_window: usize,
+    /// GMM deviation factor `b` in `σ = b·|μ|` (§4.2.1).
+    pub sigma_factor: f64,
+    /// Relative centroid threshold `ζ` (§4.3.4).
+    pub rel_threshold: f64,
+    /// Consolidation merge radius in meters (§4.3.6).
+    pub merge_radius: f64,
+    /// Estimates with credit ≤ this are filtered as spurious (paper: 1).
+    pub min_credit: f64,
+    /// Detection floor in dBm (shift origin of the recovery).
+    pub detection_floor_dbm: f64,
+    /// Whether to run the global BIC refinement over all consolidated
+    /// candidates at the end of a batch run (see [`crate::refine`]).
+    /// When disabled, only the credit filter of §4.3.6 applies.
+    pub global_refine: bool,
+}
+
+impl Default for OnlineCsConfig {
+    fn default() -> Self {
+        OnlineCsConfig {
+            window: WindowConfig::default(),
+            lattice: 8.0,
+            radio_range: 100.0,
+            max_ap_per_window: 4,
+            sigma_factor: 0.05,
+            rel_threshold: 0.3,
+            merge_radius: 12.0,
+            min_credit: 1.0,
+            detection_floor_dbm: -95.0,
+            global_refine: true,
+        }
+    }
+}
+
+impl OnlineCsConfig {
+    fn validate(&self) -> Result<()> {
+        self.window.validate()?;
+        if !(self.lattice > 0.0) || !self.lattice.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                field: "lattice",
+                reason: format!("must be positive, got {}", self.lattice),
+            });
+        }
+        if !(self.radio_range > 0.0) || !self.radio_range.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                field: "radio_range",
+                reason: format!("must be positive, got {}", self.radio_range),
+            });
+        }
+        if self.max_ap_per_window == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "max_ap_per_window",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        if !(self.rel_threshold > 0.0 && self.rel_threshold <= 1.0) {
+            return Err(CoreError::InvalidConfig {
+                field: "rel_threshold",
+                reason: format!("must be in (0, 1], got {}", self.rel_threshold),
+            });
+        }
+        if !(self.merge_radius >= 0.0) || !self.merge_radius.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                field: "merge_radius",
+                reason: format!("must be non-negative, got {}", self.merge_radius),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The online compressive-sensing AP estimator.
+///
+/// See the crate-level example for end-to-end usage.
+#[derive(Debug, Clone)]
+pub struct OnlineCs {
+    config: OnlineCsConfig,
+    gmm: GmmModel,
+    assigner: ClusterAssigner,
+    recovery: CsRecovery,
+}
+
+impl OnlineCs {
+    /// Creates an estimator for the given channel model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for invalid configuration and
+    /// propagates channel-model errors.
+    pub fn new(config: OnlineCsConfig, pathloss: PathLossModel) -> Result<Self> {
+        config.validate()?;
+        let gmm = GmmModel::new(pathloss, config.sigma_factor)?;
+        let assigner = ClusterAssigner::new(pathloss);
+        let recovery = CsRecovery::new(pathloss, config.radio_range, config.detection_floor_dbm);
+        Ok(OnlineCs {
+            config,
+            gmm,
+            assigner,
+            recovery,
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &OnlineCsConfig {
+        &self.config
+    }
+
+    /// Replaces the recovery engine (ablation hook: e.g.
+    /// [`CsRecovery::without_orthogonalization`]).
+    pub fn with_recovery(mut self, recovery: CsRecovery) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Processes one window round: grid formation + hypothesis search.
+    ///
+    /// # Errors
+    ///
+    /// Propagates recovery failures; an un-formable grid (empty round)
+    /// yields `Ok(None)`.
+    pub fn process_round(&self, round: &[RssReading]) -> Result<Option<RoundEstimate>> {
+        if round.is_empty() {
+            return Ok(None);
+        }
+        let positions: Vec<Point> = round.iter().map(|r| r.position).collect();
+        let grid = Grid::from_reference_points(&positions, self.config.radio_range, self.config.lattice)?;
+        estimate_round(
+            round,
+            &grid,
+            &self.gmm,
+            &self.assigner,
+            &self.recovery,
+            self.config.max_ap_per_window,
+            self.config.rel_threshold,
+        )
+    }
+
+    /// Batch entry point: runs the full pipeline over a recorded drive
+    /// and returns the consolidated, spurious-filtered AP estimates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates round-processing failures.
+    pub fn run(&self, readings: &[RssReading]) -> Result<Vec<ApEstimate>> {
+        Ok(self.run_detailed(readings)?.final_aps)
+    }
+
+    /// Batch entry point that also returns per-round diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates round-processing failures.
+    pub fn run_detailed(&self, readings: &[RssReading]) -> Result<PipelineReport> {
+        let mut consolidator = Consolidator::new(self.config.merge_radius);
+        let mut rounds = Vec::new();
+        for round in windows_over(readings, self.config.window)? {
+            if let Some(est) = self.process_round(&round)? {
+                consolidator.merge_round(&est.aps);
+                for &alt in &est.alternates {
+                    consolidator.merge_one(alt, 0.25);
+                }
+                rounds.push(est);
+            }
+        }
+        let final_aps = if self.config.global_refine {
+            // Global refinement sees *all* candidates, including
+            // single-credit ones a weak AP may only have earned once.
+            let selected =
+                crate::refine::global_bic_selection(readings, consolidator.estimates(), &self.gmm);
+            crate::refine::polish_positions(
+                readings,
+                &selected,
+                &self.recovery,
+                self.config.lattice,
+                2,
+            )
+        } else {
+            consolidator.filtered(self.config.min_credit)
+        };
+        Ok(PipelineReport {
+            final_aps,
+            all_estimates: consolidator.estimates().to_vec(),
+            rounds,
+        })
+    }
+
+    /// Starts a streaming session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates window-configuration failures.
+    pub fn session(&self) -> Result<OnlineCsSession<'_>> {
+        Ok(OnlineCsSession {
+            pipeline: self,
+            window: SlidingWindow::new(self.config.window)?,
+            consolidator: Consolidator::new(self.config.merge_radius),
+            history: Vec::new(),
+        })
+    }
+}
+
+/// The full-strength batch estimator: candidate generation from both a
+/// whole-batch CS round and sliding-window rounds, global BIC selection
+/// over the pooled candidates, and whole-drive position polish.
+///
+/// This is the recipe the Fig. 8/Fig. 10 benches use. The plain
+/// [`OnlineCs::run`] is the *online* estimator a vehicle runs while
+/// driving; `ensemble_run` is what the crowd-server (or an offline
+/// analysis) can afford once the whole drive is recorded. `k_hint`
+/// bounds how many APs the batch round may hypothesize (use a generous
+/// upper bound; the BIC still selects the count).
+///
+/// # Errors
+///
+/// Propagates pipeline failures from either internal estimator.
+pub fn ensemble_run(
+    readings: &[RssReading],
+    base: OnlineCsConfig,
+    pathloss: PathLossModel,
+    k_hint: usize,
+) -> Result<Vec<ApEstimate>> {
+    if readings.is_empty() {
+        return Ok(Vec::new());
+    }
+    let m = readings.len().max(4);
+    let batch_config = OnlineCsConfig {
+        window: WindowConfig {
+            size: m,
+            step: m,
+            ttl: f64::INFINITY,
+        },
+        max_ap_per_window: k_hint.max(1) + 5,
+        global_refine: false, // selection happens over the pooled set
+        ..base
+    };
+    let windowed_config = OnlineCsConfig {
+        window: WindowConfig {
+            size: 40.min(m),
+            step: 20.min(m),
+            ttl: base.window.ttl,
+        },
+        max_ap_per_window: base.max_ap_per_window.max(6),
+        global_refine: false,
+        ..base
+    };
+    let batch = OnlineCs::new(batch_config, pathloss)?;
+    let windowed = OnlineCs::new(windowed_config, pathloss)?;
+    let mut candidates = batch.run_detailed(readings)?.all_estimates;
+    candidates.extend(windowed.run_detailed(readings)?.all_estimates);
+
+    let gmm = GmmModel::new(pathloss, base.sigma_factor)?;
+    let selected = crate::refine::global_bic_selection(readings, &candidates, &gmm);
+    let recovery = CsRecovery::new(pathloss, base.radio_range, base.detection_floor_dbm);
+    Ok(crate::refine::polish_positions(
+        readings,
+        &selected,
+        &recovery,
+        base.lattice,
+        4,
+    ))
+}
+
+/// Output of [`OnlineCs::run_detailed`].
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Consolidated estimates that survived the spurious filter.
+    pub final_aps: Vec<ApEstimate>,
+    /// All consolidated estimates, including single-credit ones.
+    pub all_estimates: Vec<ApEstimate>,
+    /// The BIC-winning hypothesis of every round, in order.
+    pub rounds: Vec<RoundEstimate>,
+}
+
+/// A streaming pipeline session; see [`OnlineCs::session`].
+#[derive(Debug)]
+pub struct OnlineCsSession<'a> {
+    pipeline: &'a OnlineCs,
+    window: SlidingWindow,
+    consolidator: Consolidator,
+    history: Vec<RssReading>,
+}
+
+impl OnlineCsSession<'_> {
+    /// Feeds one reading. When a round completes, processes it and
+    /// returns the **current** filtered AP estimates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates round-processing failures.
+    pub fn push(&mut self, reading: RssReading) -> Result<Option<Vec<ApEstimate>>> {
+        self.history.push(reading);
+        match self.window.push(reading) {
+            None => Ok(None),
+            Some(round) => {
+                if let Some(est) = self.pipeline.process_round(&round)? {
+                    self.consolidator.merge_round(&est.aps);
+                    for &alt in &est.alternates {
+                        self.consolidator.merge_one(alt, 0.25);
+                    }
+                }
+                Ok(Some(
+                    self.consolidator
+                        .filtered(self.pipeline.config.min_credit),
+                ))
+            }
+        }
+    }
+
+    /// Ends the session: processes any partial round and returns the
+    /// final filtered estimates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates round-processing failures.
+    pub fn finish(mut self) -> Result<Vec<ApEstimate>> {
+        if let Some(round) = self.window.flush() {
+            if let Some(est) = self.pipeline.process_round(&round)? {
+                self.consolidator.merge_round(&est.aps);
+                for &alt in &est.alternates {
+                    self.consolidator.merge_one(alt, 0.25);
+                }
+            }
+        }
+        if self.pipeline.config.global_refine {
+            let selected = crate::refine::global_bic_selection(
+                &self.history,
+                self.consolidator.estimates(),
+                &self.pipeline.gmm,
+            );
+            return Ok(crate::refine::polish_positions(
+                &self.history,
+                &selected,
+                &self.pipeline.recovery,
+                self.pipeline.config.lattice,
+                2,
+            ));
+        }
+        Ok(self
+            .consolidator
+            .filtered(self.pipeline.config.min_credit))
+    }
+
+    /// Current unfiltered estimates.
+    pub fn estimates(&self) -> &[ApEstimate] {
+        self.consolidator.estimates()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PathLossModel {
+        PathLossModel::uci_campus()
+    }
+
+    /// Fading-free readings along a staggered drive past `aps`, each
+    /// instant hearing its nearest AP. The lane changes every few
+    /// samples keep the route non-colinear (a single straight line would
+    /// leave the recovery's mirror ambiguity unresolved).
+    fn drive_past(aps: &[Point], n: usize, spacing: f64) -> Vec<RssReading> {
+        let m = model();
+        (0..n)
+            .map(|i| {
+                let p = Point::new(
+                    spacing * i as f64,
+                    if (i / 5) % 2 == 0 { 0.0 } else { 14.0 },
+                );
+                let nearest = aps
+                    .iter()
+                    .min_by(|a, b| p.distance(**a).partial_cmp(&p.distance(**b)).unwrap())
+                    .unwrap();
+                RssReading::new(p, m.mean_rss(p.distance(*nearest)), i as f64)
+            })
+            .collect()
+    }
+
+    fn small_config() -> OnlineCsConfig {
+        OnlineCsConfig {
+            window: WindowConfig {
+                size: 20,
+                step: 10,
+                ttl: f64::INFINITY,
+            },
+            max_ap_per_window: 3,
+            ..OnlineCsConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_ap_end_to_end() {
+        let ap = Point::new(60.0, 24.0);
+        let readings = drive_past(&[ap], 40, 3.0);
+        let pipeline = OnlineCs::new(small_config(), model()).unwrap();
+        let aps = pipeline.run(&readings).unwrap();
+        assert_eq!(aps.len(), 1, "got {aps:?}");
+        assert!(aps[0].position.distance(ap) < 12.0);
+        assert!(aps[0].credit > 1.0);
+    }
+
+    #[test]
+    fn two_aps_end_to_end() {
+        let ap1 = Point::new(30.0, 20.0);
+        let ap2 = Point::new(150.0, 20.0);
+        let readings = drive_past(&[ap1, ap2], 60, 3.0);
+        let pipeline = OnlineCs::new(small_config(), model()).unwrap();
+        let aps = pipeline.run(&readings).unwrap();
+        assert_eq!(aps.len(), 2, "got {aps:?}");
+        for truth in [ap1, ap2] {
+            let d = aps
+                .iter()
+                .map(|e| e.position.distance(truth))
+                .fold(f64::INFINITY, f64::min);
+            assert!(d < 14.0, "AP at {truth} unmatched ({d:.1} m)");
+        }
+    }
+
+    #[test]
+    fn streaming_session_matches_batch() {
+        let ap = Point::new(45.0, 16.0);
+        let readings = drive_past(&[ap], 40, 3.0);
+        let pipeline = OnlineCs::new(small_config(), model()).unwrap();
+        let batch = pipeline.run(&readings).unwrap();
+
+        let mut session = pipeline.session().unwrap();
+        for r in &readings {
+            session.push(*r).unwrap();
+        }
+        let streamed = session.finish().unwrap();
+        assert_eq!(batch.len(), streamed.len());
+        assert!(batch[0].position.distance(streamed[0].position) < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let pipeline = OnlineCs::new(small_config(), model()).unwrap();
+        assert!(pipeline.run(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad_lattice = OnlineCsConfig {
+            lattice: 0.0,
+            ..OnlineCsConfig::default()
+        };
+        assert!(OnlineCs::new(bad_lattice, model()).is_err());
+        let bad_thresh = OnlineCsConfig {
+            rel_threshold: 1.5,
+            ..OnlineCsConfig::default()
+        };
+        assert!(OnlineCs::new(bad_thresh, model()).is_err());
+        let bad_max = OnlineCsConfig {
+            max_ap_per_window: 0,
+            ..OnlineCsConfig::default()
+        };
+        assert!(OnlineCs::new(bad_max, model()).is_err());
+    }
+
+    #[test]
+    fn report_contains_round_history() {
+        let ap = Point::new(50.0, 20.0);
+        let readings = drive_past(&[ap], 40, 3.0);
+        let pipeline = OnlineCs::new(small_config(), model()).unwrap();
+        let report = pipeline.run_detailed(&readings).unwrap();
+        assert!(!report.rounds.is_empty());
+        assert!(report.all_estimates.len() >= report.final_aps.len());
+        for round in &report.rounds {
+            assert!(round.k >= 1);
+            assert!(round.bic.is_finite());
+        }
+    }
+}

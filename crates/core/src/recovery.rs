@@ -1,0 +1,358 @@
+//! CS problem construction and Proposition-1 orthogonalized recovery
+//! (§4.2.2).
+//!
+//! For one hypothesized AP with readings at positions `p₁…p_M` and
+//! values `r₁…r_M`, the sensing model is `y = Φ_k Ψ θ + ε` where row `i`
+//! of `A = Φ_k Ψ` is the model RSS from every grid point evaluated at
+//! `pᵢ`, and `θ` is the 1-sparse grid indicator of the AP.
+//!
+//! Two engineering details (documented in DESIGN.md):
+//!
+//! * **dBm shift.** `Ψ` entries are dBm values (negative); both `A` and
+//!   `y` are shifted by the detection floor so the problem is
+//!   non-negative and "large coefficient = strong signal". For an
+//!   exactly-1-sparse `θ` the shift is exact, not an approximation.
+//! * **Column pruning.** An AP that was heard at position `pᵢ` must lie
+//!   within radio range of `pᵢ`; grid columns outside the intersection
+//!   of the readings' range disks cannot carry mass and are dropped
+//!   before the solve, which both sharpens and accelerates recovery.
+//!
+//! The orthogonalization follows Proposition 1 exactly: with
+//! `Q = orth(Aᵀ)ᵀ` and `T = Q A†`, the transformed system
+//! `y' = T y = Q θ + ε'` has orthonormal rows, restoring the incoherence
+//! ℓ1 recovery needs (and, as a bonus, giving the proximal solver a unit
+//! Lipschitz constant).
+
+use crate::{CoreError, Result};
+use crowdwifi_channel::PathLossModel;
+use crowdwifi_geo::{Grid, Point};
+use crowdwifi_linalg::qr::orth;
+use crowdwifi_linalg::svd::pseudo_inverse;
+use crowdwifi_linalg::Matrix;
+use crowdwifi_sparsesolve::{AnySolver, Fista, SparseRecovery};
+
+/// Orthogonalized ℓ1 recovery of one AP's grid indicator.
+#[derive(Debug, Clone)]
+pub struct CsRecovery {
+    pathloss: PathLossModel,
+    floor_dbm: f64,
+    radio_range: f64,
+    solver: AnySolver,
+    orthogonalize: bool,
+}
+
+impl CsRecovery {
+    /// Creates a recovery engine.
+    ///
+    /// `radio_range` bounds how far an AP can be from a position that
+    /// heard it (used for column pruning); `floor_dbm` is the detection
+    /// floor used as the dBm shift origin.
+    pub fn new(pathloss: PathLossModel, radio_range: f64, floor_dbm: f64) -> Self {
+        CsRecovery {
+            pathloss,
+            floor_dbm,
+            radio_range,
+            solver: AnySolver::from(
+                Fista::default()
+                    .with_max_iterations(400)
+                    .with_tolerance(1e-7),
+            ),
+            orthogonalize: true,
+        }
+    }
+
+    /// Replaces the ℓ1 solver (default: FISTA). Accepts anything that
+    /// converts into [`AnySolver`], e.g. a configured [`Fista`] or an
+    /// `Omp` for the greedy ablation.
+    pub fn with_solver(mut self, solver: impl Into<AnySolver>) -> Self {
+        self.solver = solver.into();
+        self
+    }
+
+    /// The configured solver's name (for logs and ablation tables).
+    pub fn solver_name(&self) -> &'static str {
+        self.solver.name()
+    }
+
+    /// Disables the Proposition-1 orthogonalization (ablation switch for
+    /// the benches; recovery quality degrades as the paper predicts).
+    pub fn without_orthogonalization(mut self) -> Self {
+        self.orthogonalize = false;
+        self
+    }
+
+    /// Whether orthogonalization is enabled.
+    pub fn orthogonalize(&self) -> bool {
+        self.orthogonalize
+    }
+
+    /// The radio range used for column pruning.
+    pub fn radio_range(&self) -> f64 {
+        self.radio_range
+    }
+
+    /// Model RSS (shifted) from grid point `j` heard at `position`.
+    fn shifted_model_rss(&self, position: Point, grid_point: Point) -> f64 {
+        (self.pathloss.mean_rss(position.distance(grid_point)) - self.floor_dbm).max(0.0)
+    }
+
+    /// Recovers the grid indicator `θ` (length `grid.len()`) of a single
+    /// hypothesized AP from the readings assigned to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `positions` and `rss`
+    /// have different lengths or are empty, and solver/linalg failures
+    /// otherwise.
+    pub fn recover_single_ap(
+        &self,
+        grid: &Grid,
+        positions: &[Point],
+        rss_dbm: &[f64],
+    ) -> Result<Vec<f64>> {
+        if positions.is_empty() || positions.len() != rss_dbm.len() {
+            return Err(CoreError::InvalidConfig {
+                field: "readings",
+                reason: format!(
+                    "need equal, non-zero counts of positions ({}) and rss ({})",
+                    positions.len(),
+                    rss_dbm.len()
+                ),
+            });
+        }
+        let n = grid.len();
+
+        // Column pruning: the AP must be within radio range of every
+        // position that heard it.
+        let candidates: Vec<usize> = (0..n)
+            .filter(|&j| {
+                let gp = grid.point(j);
+                positions
+                    .iter()
+                    .all(|p| p.distance(gp) <= self.radio_range)
+            })
+            .collect();
+        if candidates.is_empty() {
+            // Inconsistent hypothesis (no grid point can explain all
+            // readings): return the zero vector, the caller's BIC will
+            // discard it.
+            return Ok(vec![0.0; n]);
+        }
+
+        // A over the pruned columns; y shifted to the same origin.
+        let m = positions.len();
+        let a_raw = Matrix::from_fn(m, candidates.len(), |i, jc| {
+            self.shifted_model_rss(positions[i], grid.point(candidates[jc]))
+        });
+        let y: Vec<f64> = rss_dbm
+            .iter()
+            .map(|&r| (r - self.floor_dbm).max(0.0))
+            .collect();
+
+        // Column normalization: RSS signatures of near columns have much
+        // larger norms than far ones, which biases ℓ1 toward
+        // trajectory-adjacent grid points. Normalizing restores the
+        // unit-column convention CS theory assumes; the solution is
+        // un-scaled afterwards so θ keeps its indicator interpretation.
+        let norms: Vec<f64> = (0..candidates.len())
+            .map(|j| crowdwifi_linalg::vector::norm2(&a_raw.col(j)).max(1e-12))
+            .collect();
+        let a = Matrix::from_fn(m, candidates.len(), |i, j| a_raw.get(i, j) / norms[j]);
+
+        let recovery = if self.orthogonalize {
+            // Proposition 1: Q = orth(Aᵀ)ᵀ, T = Q A†, y' = T y.
+            let q_cols = orth(&a.transpose()); // pruned-N × r
+            let q = q_cols.transpose(); // r × pruned-N
+            let pinv = pseudo_inverse(&a).map_err(|e| CoreError::Solver(e.to_string()))?;
+            let t = q.matmul(&pinv); // r × m
+            let y_prime = t.matvec(&y);
+            self.solver.recover(&q, &y_prime)?
+        } else {
+            self.solver.recover(&a, &y)?
+        };
+
+        // Un-scale the pruned solution.
+        let mut pruned: Vec<f64> = recovery
+            .solution
+            .iter()
+            .zip(&norms)
+            .map(|(s, nm)| s / nm)
+            .collect();
+
+        // Debias by matched-filter rescoring over *all* candidate
+        // columns. ℓ1 shrinkage both spreads mass over near-collinear
+        // columns and — on nearly flat signatures from short colinear
+        // stretches — can drop the true column from its support
+        // entirely, so restricting the rescoring to the ℓ1 support is
+        // not safe. Since each per-AP indicator is exactly 1-sparse,
+        // every candidate column can be scored by how well it *alone*
+        // explains `y` (`c_j = ⟨a_j, y⟩ / ‖a_j‖²`, relative residual
+        // `ρ_j`); the ℓ1 coefficients survive as a multiplicative soft
+        // prior on the final weights. One caveat the rescoring cannot
+        // fix: readings taken on a single straight line leave a mirror
+        // ambiguity (columns reflected across the trajectory have
+        // *identical* signatures) — the recovered θ is then bimodal and
+        // the hypothesis-selection stage disambiguates using the rest
+        // of the window (see `select`).
+        let max_coef = pruned.iter().cloned().fold(0.0_f64, f64::max);
+        {
+            let ynorm = crowdwifi_linalg::vector::norm2(&y).max(1e-12);
+            let mut scored: Vec<(usize, f64, f64)> = Vec::with_capacity(pruned.len());
+            for j in 0..pruned.len() {
+                let col = a_raw.col(j);
+                let cc = crowdwifi_linalg::vector::dot(&col, &col);
+                if cc <= 0.0 {
+                    continue;
+                }
+                let cj = (crowdwifi_linalg::vector::dot(&col, &y) / cc).max(0.0);
+                let res: Vec<f64> = y.iter().zip(&col).map(|(yy, aa)| yy - cj * aa).collect();
+                let relres = crowdwifi_linalg::vector::norm2(&res) / ynorm;
+                scored.push((j, cj, relres));
+            }
+            if !scored.is_empty() {
+                let res_min = scored.iter().map(|s| s.2).fold(f64::INFINITY, f64::min);
+                let scale = res_min.max(0.01);
+                let l1_rel: Vec<f64> = pruned
+                    .iter()
+                    .map(|&p| if max_coef > 0.0 { p / max_coef } else { 0.0 })
+                    .collect();
+                for p in pruned.iter_mut() {
+                    *p = 0.0;
+                }
+                for &(j, cj, relres) in &scored {
+                    let w = (-((relres * relres - res_min * res_min) / (2.0 * scale * scale)))
+                        .exp();
+                    pruned[j] = cj * w * (0.5 + 0.5 * l1_rel[j]);
+                }
+            }
+        }
+
+        // Scatter back to the full grid.
+        let mut theta = vec![0.0; n];
+        for (jc, &j) in candidates.iter().enumerate() {
+            theta[j] = pruned[jc];
+        }
+        Ok(theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdwifi_geo::Rect;
+
+    fn grid_100() -> Grid {
+        let area = Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0)).unwrap();
+        Grid::new(area, 10.0).unwrap()
+    }
+
+    fn engine() -> CsRecovery {
+        CsRecovery::new(PathLossModel::uci_campus(), 100.0, -95.0)
+    }
+
+    /// Fading-free readings from an AP at `ap` heard at `positions`.
+    fn clean_rss(ap: Point, positions: &[Point]) -> Vec<f64> {
+        let model = PathLossModel::uci_campus();
+        positions
+            .iter()
+            .map(|p| model.mean_rss(p.distance(ap)))
+            .collect()
+    }
+
+    /// An L-shaped drive: east along y = 0, then north along x = 75.
+    /// A turning route is essential — readings on one straight line
+    /// leave a mirror ambiguity about which side of the road the AP is
+    /// on (see the module docs).
+    fn l_route() -> Vec<Point> {
+        let mut route: Vec<Point> = (0..6).map(|i| Point::new(15.0 * i as f64, 0.0)).collect();
+        route.extend((1..5).map(|i| Point::new(75.0, 15.0 * i as f64)));
+        route
+    }
+
+    #[test]
+    fn recovers_ap_on_grid_point() {
+        let grid = grid_100();
+        let ap_idx = grid.nearest_index(Point::new(45.0, 45.0));
+        let ap = grid.point(ap_idx);
+        let positions = l_route();
+        let rss = clean_rss(ap, &positions);
+        let theta = engine().recover_single_ap(&grid, &positions, &rss).unwrap();
+        // Dominant coefficient on the true grid point.
+        let best = (0..theta.len())
+            .max_by(|&a, &b| theta[a].partial_cmp(&theta[b]).unwrap())
+            .unwrap();
+        assert_eq!(best, ap_idx, "peak at {} expected {}", best, ap_idx);
+    }
+
+    #[test]
+    fn off_grid_ap_recovers_to_neighborhood() {
+        let grid = grid_100();
+        let ap = Point::new(43.0, 47.0); // intentionally off-lattice
+        let positions = l_route();
+        let rss = clean_rss(ap, &positions);
+        let theta = engine().recover_single_ap(&grid, &positions, &rss).unwrap();
+        let best = (0..theta.len())
+            .max_by(|&a, &b| theta[a].partial_cmp(&theta[b]).unwrap())
+            .unwrap();
+        assert!(
+            grid.point(best).distance(ap) <= grid.cell_diagonal(),
+            "peak {} is {:.1} m away",
+            best,
+            grid.point(best).distance(ap)
+        );
+    }
+
+    #[test]
+    fn pruning_returns_zero_for_inconsistent_hypothesis() {
+        let grid = grid_100();
+        // Two readings 300 m apart with a 100 m radio range: no grid
+        // point is in range of both.
+        let engine = CsRecovery::new(PathLossModel::uci_campus(), 100.0, -95.0);
+        let positions = [Point::new(-150.0, 50.0), Point::new(250.0, 50.0)];
+        let theta = engine
+            .recover_single_ap(&grid, &positions, &[-60.0, -60.0])
+            .unwrap();
+        assert!(theta.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn orthogonalization_ablation_still_runs() {
+        let grid = grid_100();
+        let ap = grid.point(grid.nearest_index(Point::new(55.0, 55.0)));
+        let positions: Vec<Point> = (0..6)
+            .map(|i| Point::new(20.0 + 12.0 * i as f64, 40.0))
+            .collect();
+        let rss = clean_rss(ap, &positions);
+        let plain = engine()
+            .without_orthogonalization()
+            .recover_single_ap(&grid, &positions, &rss)
+            .unwrap();
+        assert!(plain.iter().any(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn rejects_mismatched_inputs() {
+        let grid = grid_100();
+        assert!(matches!(
+            engine().recover_single_ap(&grid, &[Point::new(0.0, 0.0)], &[]),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            engine().recover_single_ap(&grid, &[], &[]),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn single_reading_recovery_is_well_defined() {
+        let grid = grid_100();
+        let ap = grid.point(grid.nearest_index(Point::new(45.0, 45.0)));
+        let p = [Point::new(40.0, 40.0)];
+        let rss = clean_rss(ap, &p);
+        let theta = engine().recover_single_ap(&grid, &p, &rss).unwrap();
+        // With one measurement the solution is underdetermined but must
+        // be finite and non-negative.
+        assert!(theta.iter().all(|&x| x.is_finite() && x >= 0.0));
+        assert!(theta.iter().any(|&x| x > 0.0));
+    }
+}

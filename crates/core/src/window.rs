@@ -1,0 +1,282 @@
+//! Sliding-window RSS reading with TTL expiry (§4.3.2).
+//!
+//! The collector gathers a growing sequence of readings; CrowdWiFi
+//! estimates over a window of the most recent `s` readings, advancing by
+//! a step of `q` new readings per round:
+//! `R_n = { r_{q(n−1)+1}, …, r_{q(n−1)+s} }`. Readings older than their
+//! TTL are expired and never enter a window.
+
+use crowdwifi_channel::RssReading;
+use crate::{CoreError, Result};
+
+/// Sliding-window parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowConfig {
+    /// Window length `s` in readings (paper: 60 in the UCI simulation).
+    pub size: usize,
+    /// Iteration step `q` in readings (paper: 10).
+    pub step: usize,
+    /// Time-to-live in seconds; older readings are discarded. Use
+    /// `f64::INFINITY` to disable expiry.
+    pub ttl: f64,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            size: 60,
+            step: 10,
+            ttl: f64::INFINITY,
+        }
+    }
+}
+
+impl WindowConfig {
+    /// Validates the invariant `0 < step ≤ size` and a positive TTL.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] on violation.
+    pub fn validate(&self) -> Result<()> {
+        if self.size == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "window.size",
+                reason: "must be positive".to_string(),
+            });
+        }
+        if self.step == 0 || self.step > self.size {
+            return Err(CoreError::InvalidConfig {
+                field: "window.step",
+                reason: format!("must satisfy 0 < step ≤ size, got {}", self.step),
+            });
+        }
+        if !(self.ttl > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                field: "window.ttl",
+                reason: format!("must be positive, got {}", self.ttl),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Streaming sliding window: push readings one at a time and receive a
+/// round's worth of input whenever `step` fresh readings have arrived.
+///
+/// # Example
+///
+/// ```
+/// use crowdwifi_core::window::{SlidingWindow, WindowConfig};
+/// use crowdwifi_channel::RssReading;
+/// use crowdwifi_geo::Point;
+///
+/// let mut w = SlidingWindow::new(WindowConfig { size: 4, step: 2, ttl: f64::INFINITY })?;
+/// let mk = |i: usize| RssReading::new(Point::new(i as f64, 0.0), -60.0, i as f64);
+/// assert!(w.push(mk(0)).is_none());
+/// let round = w.push(mk(1)).expect("first round after `step` readings");
+/// assert_eq!(round.len(), 2);
+/// # Ok::<(), crowdwifi_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    config: WindowConfig,
+    buffer: Vec<RssReading>,
+    fresh: usize,
+}
+
+impl SlidingWindow {
+    /// Creates a window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WindowConfig::validate`] failures.
+    pub fn new(config: WindowConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(SlidingWindow {
+            config,
+            buffer: Vec::new(),
+            fresh: 0,
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> WindowConfig {
+        self.config
+    }
+
+    /// Number of live (unexpired) readings currently buffered.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Pushes a reading; returns the next round's window when `step`
+    /// fresh readings have accumulated. Expired readings (per the pushed
+    /// reading's timestamp) are dropped first.
+    pub fn push(&mut self, reading: RssReading) -> Option<Vec<RssReading>> {
+        let now = reading.time;
+        let ttl = self.config.ttl;
+        self.buffer.retain(|r| !r.is_expired(now, ttl));
+        self.buffer.push(reading);
+        // Cap the buffer at the window size (older readings are no
+        // longer needed by any future round).
+        if self.buffer.len() > self.config.size {
+            let excess = self.buffer.len() - self.config.size;
+            self.buffer.drain(..excess);
+        }
+        self.fresh += 1;
+        if self.fresh >= self.config.step {
+            self.fresh = 0;
+            Some(self.buffer.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Forces a final round from whatever is buffered (used when the
+    /// drive ends mid-step). Returns `None` when the buffer is empty or
+    /// no fresh readings arrived since the last emitted round (so a
+    /// flush never duplicates the final round).
+    pub fn flush(&mut self) -> Option<Vec<RssReading>> {
+        if self.fresh == 0 || self.buffer.is_empty() {
+            self.fresh = 0;
+            return None;
+        }
+        self.fresh = 0;
+        Some(self.buffer.clone())
+    }
+}
+
+/// Batch helper: the sequence of windows a [`SlidingWindow`] would
+/// produce over `readings`, including a final flush if the stream ends
+/// mid-step.
+///
+/// # Errors
+///
+/// Propagates [`WindowConfig::validate`] failures.
+pub fn windows_over(readings: &[RssReading], config: WindowConfig) -> Result<Vec<Vec<RssReading>>> {
+    let mut w = SlidingWindow::new(config)?;
+    let mut out = Vec::new();
+    for r in readings {
+        if let Some(round) = w.push(*r) {
+            out.push(round);
+        }
+    }
+    if let Some(round) = w.flush() {
+        out.push(round);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdwifi_geo::Point;
+
+    fn mk(i: usize) -> RssReading {
+        RssReading::new(Point::new(i as f64, 0.0), -60.0, i as f64)
+    }
+
+    #[test]
+    fn rounds_follow_paper_schedule() {
+        // s = 6, q = 2 over 10 readings.
+        let cfg = WindowConfig {
+            size: 6,
+            step: 2,
+            ttl: f64::INFINITY,
+        };
+        let readings: Vec<RssReading> = (0..10).map(mk).collect();
+        let rounds = windows_over(&readings, cfg).unwrap();
+        assert_eq!(rounds.len(), 5);
+        // Round n holds the last min(s, 2n) readings.
+        assert_eq!(rounds[0].len(), 2);
+        assert_eq!(rounds[2].len(), 6);
+        // Window slides: round 4 covers readings 4..10.
+        assert_eq!(rounds[4][0].time, 4.0);
+        assert_eq!(rounds[4][5].time, 9.0);
+    }
+
+    #[test]
+    fn ttl_expires_old_readings() {
+        let cfg = WindowConfig {
+            size: 10,
+            step: 1,
+            ttl: 3.0,
+        };
+        let mut w = SlidingWindow::new(cfg).unwrap();
+        for i in 0..5 {
+            w.push(mk(i));
+        }
+        // At t = 4, readings with time < 1 are expired (4 − t > 3).
+        assert_eq!(w.len(), 4);
+        let round = w.push(mk(10)).unwrap(); // t = 10 expires everything older
+        assert_eq!(round.len(), 1);
+        assert_eq!(round[0].time, 10.0);
+    }
+
+    #[test]
+    fn flush_emits_partial_round() {
+        let cfg = WindowConfig {
+            size: 8,
+            step: 4,
+            ttl: f64::INFINITY,
+        };
+        let readings: Vec<RssReading> = (0..6).map(mk).collect();
+        let rounds = windows_over(&readings, cfg).unwrap();
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(rounds[0].len(), 4);
+        assert_eq!(rounds[1].len(), 6); // flush of all six
+    }
+
+    #[test]
+    fn no_trailing_flush_when_stream_ends_on_step() {
+        let cfg = WindowConfig {
+            size: 4,
+            step: 2,
+            ttl: f64::INFINITY,
+        };
+        let readings: Vec<RssReading> = (0..4).map(mk).collect();
+        let rounds = windows_over(&readings, cfg).unwrap();
+        assert_eq!(rounds.len(), 2);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(SlidingWindow::new(WindowConfig {
+            size: 0,
+            step: 1,
+            ttl: 1.0
+        })
+        .is_err());
+        assert!(SlidingWindow::new(WindowConfig {
+            size: 4,
+            step: 5,
+            ttl: 1.0
+        })
+        .is_err());
+        assert!(SlidingWindow::new(WindowConfig {
+            size: 4,
+            step: 2,
+            ttl: 0.0
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn buffer_never_exceeds_window_size() {
+        let cfg = WindowConfig {
+            size: 3,
+            step: 1,
+            ttl: f64::INFINITY,
+        };
+        let mut w = SlidingWindow::new(cfg).unwrap();
+        for i in 0..20 {
+            let round = w.push(mk(i)).unwrap();
+            assert!(round.len() <= 3);
+        }
+    }
+}

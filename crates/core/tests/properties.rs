@@ -1,0 +1,150 @@
+//! Property-based tests for the online CS pipeline's building blocks.
+
+use crowdwifi_channel::RssReading;
+use crowdwifi_core::centroid::{candidate_modes, centroid_of_dominant};
+use crowdwifi_core::consolidate::Consolidator;
+use crowdwifi_core::metrics::{counting_error, greedy_match, localization_error};
+use crowdwifi_core::window::{windows_over, SlidingWindow, WindowConfig};
+use crowdwifi_geo::{Grid, Point, Rect};
+use proptest::prelude::*;
+
+fn reading(i: usize) -> RssReading {
+    RssReading::new(Point::new(i as f64, 0.0), -60.0, i as f64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn window_rounds_never_exceed_size(
+        size in 1usize..30,
+        step_raw in 1usize..30,
+        n in 0usize..120,
+    ) {
+        let step = step_raw.min(size);
+        let cfg = WindowConfig { size, step, ttl: f64::INFINITY };
+        let readings: Vec<RssReading> = (0..n).map(reading).collect();
+        let rounds = windows_over(&readings, cfg).unwrap();
+        for round in &rounds {
+            prop_assert!(round.len() <= size);
+            prop_assert!(!round.is_empty());
+            // Rounds are time-contiguous suffixes of the stream.
+            for pair in round.windows(2) {
+                prop_assert!(pair[0].time < pair[1].time);
+            }
+        }
+        // Every reading appears in at least one round when n > 0.
+        if n > 0 {
+            let last = rounds.last().unwrap();
+            prop_assert_eq!(last.last().unwrap().time, (n - 1) as f64);
+        }
+    }
+
+    #[test]
+    fn streaming_window_ttl_never_returns_expired(
+        ttl in 1.0..20.0f64,
+        n in 1usize..60,
+    ) {
+        let cfg = WindowConfig { size: 50, step: 1, ttl };
+        let mut w = SlidingWindow::new(cfg).unwrap();
+        for i in 0..n {
+            if let Some(round) = w.push(reading(i)) {
+                let now = i as f64;
+                prop_assert!(round.iter().all(|r| now - r.time <= ttl));
+            }
+        }
+    }
+
+    #[test]
+    fn consolidator_credit_is_conserved(
+        points in proptest::collection::vec((0.0..200.0f64, 0.0..200.0f64), 1..40),
+        merge_radius in 0.0..30.0f64,
+    ) {
+        let mut c = Consolidator::new(merge_radius);
+        for &(x, y) in &points {
+            c.merge_one(Point::new(x, y), 1.0);
+        }
+        let total: f64 = c.estimates().iter().map(|e| e.credit).sum();
+        prop_assert!((total - points.len() as f64).abs() < 1e-9);
+        // No two surviving estimates are within the merge radius of the
+        // merge target they'd have joined — weaker invariant: count can
+        // never exceed inputs.
+        prop_assert!(c.estimates().len() <= points.len());
+    }
+
+    #[test]
+    fn centroid_of_dominant_is_inside_grid(
+        coeffs in proptest::collection::vec(0.0..1.0f64, 16),
+        threshold in 0.05..1.0f64,
+    ) {
+        let grid = Grid::new(
+            Rect::new(Point::new(0.0, 0.0), Point::new(40.0, 40.0)).unwrap(),
+            10.0,
+        ).unwrap();
+        if let Some(est) = centroid_of_dominant(&coeffs, &grid, threshold) {
+            prop_assert!(grid.bounds().contains(est.position));
+            prop_assert!(est.mass > 0.0);
+        }
+    }
+
+    #[test]
+    fn modes_partition_dominant_mass(
+        coeffs in proptest::collection::vec(0.0..1.0f64, 16),
+    ) {
+        let grid = Grid::new(
+            Rect::new(Point::new(0.0, 0.0), Point::new(40.0, 40.0)).unwrap(),
+            10.0,
+        ).unwrap();
+        let modes = candidate_modes(&coeffs, &grid, 0.3, 12.0, 16);
+        let max = coeffs.iter().cloned().fold(0.0f64, f64::max);
+        if max > 0.0 {
+            let dominant_mass: f64 = coeffs.iter().filter(|&&c| c >= 0.3 * max).sum();
+            let mode_mass: f64 = modes.iter().map(|m| m.mass).sum();
+            prop_assert!((dominant_mass - mode_mass).abs() < 1e-9);
+            // Sorted by descending mass.
+            for w in modes.windows(2) {
+                prop_assert!(w[0].mass >= w[1].mass - 1e-12);
+            }
+        } else {
+            prop_assert!(modes.is_empty());
+        }
+    }
+
+    #[test]
+    fn greedy_match_pairs_are_unique(
+        actual in proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), 0..8),
+        estimated in proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), 0..8),
+    ) {
+        let a: Vec<Point> = actual.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let e: Vec<Point> = estimated.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let pairs = greedy_match(&a, &e);
+        prop_assert_eq!(pairs.len(), a.len().min(e.len()));
+        let mut ai: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let mut ei: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        ai.sort_unstable(); ai.dedup();
+        ei.sort_unstable(); ei.dedup();
+        prop_assert_eq!(ai.len(), pairs.len());
+        prop_assert_eq!(ei.len(), pairs.len());
+    }
+
+    #[test]
+    fn error_metrics_are_scale_consistent(
+        k in 1usize..20,
+        khat in 0usize..40,
+    ) {
+        let err = counting_error(k, khat);
+        prop_assert!(err >= 0.0);
+        // Exact count means zero error and vice versa.
+        prop_assert_eq!(err == 0.0, k == khat);
+    }
+
+    #[test]
+    fn localization_error_scales_inversely_with_lattice(
+        lattice in 1.0..50.0f64,
+    ) {
+        let actual = [Point::new(0.0, 0.0)];
+        let estimated = [Point::new(10.0, 0.0)];
+        let e = localization_error(&actual, &estimated, lattice).unwrap();
+        prop_assert!((e * lattice - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,266 @@
+//! Baseline label aggregators compared in Fig. 7.
+
+use crate::worker::WorkerPool;
+use crate::LabelMatrix;
+
+/// Plain majority voting: `ẑ_i = sign(Σ_j L_ij)`, ties decoded as `+1`.
+///
+/// Error-prone with many spammers, since every crowd-vehicle is weighted
+/// equally (§5.3).
+pub fn majority_vote(labels: &LabelMatrix) -> Vec<i8> {
+    let graph = labels.graph();
+    (0..graph.tasks())
+        .map(|task| {
+            let s: i32 = graph
+                .task_edges(task)
+                .iter()
+                .map(|&e| labels.label(e) as i32)
+                .sum();
+            if s >= 0 {
+                1
+            } else {
+                -1
+            }
+        })
+        .collect()
+}
+
+/// Oracle lower bound: weighted vote with the **true** reliabilities
+/// known, each vote weighted by its log-likelihood ratio
+/// `log(q_j / (1 − q_j))` (the optimal per-task decoder for independent
+/// workers).
+///
+/// # Panics
+///
+/// Panics if the pool is smaller than the graph's worker count.
+pub fn oracle_vote(labels: &LabelMatrix, pool: &WorkerPool) -> Vec<i8> {
+    let graph = labels.graph();
+    assert!(pool.len() >= graph.workers(), "pool smaller than graph");
+    let weight = |q: f64| {
+        // Clamp to keep weights finite for q ∈ {0, 1}.
+        let q = q.clamp(1e-6, 1.0 - 1e-6);
+        (q / (1.0 - q)).ln()
+    };
+    (0..graph.tasks())
+        .map(|task| {
+            let s: f64 = graph
+                .task_edges(task)
+                .iter()
+                .map(|&e| {
+                    let (_, worker) = graph.edges()[e];
+                    labels.label(e) as f64 * weight(pool.reliability(worker))
+                })
+                .sum();
+            if s >= 0.0 {
+                1
+            } else {
+                -1
+            }
+        })
+        .collect()
+}
+
+/// Skyhook-style aggregation: workers are weighted by the Spearman
+/// rank-order correlation of their answer vector against the
+/// majority-vote consensus (the paper describes Skyhook as "comparing
+/// relative rankings using the Spearman rank-order correlation
+/// coefficient" [4, 15]); the final decode is the correlation-weighted
+/// vote. Negative correlations are clamped to zero (an anti-correlated
+/// worker is distrusted, not inverted — Skyhook has no notion of
+/// adversarial inversion).
+pub fn skyhook_rank_vote(labels: &LabelMatrix) -> Vec<i8> {
+    let graph = labels.graph();
+    let consensus = majority_vote(labels);
+
+    // Worker weight: Spearman correlation of its labels vs consensus on
+    // the tasks it answered. For ±1 vectors the rank correlation equals
+    // the Pearson correlation of the signs.
+    let mut weights = vec![0.0; graph.workers()];
+    for (worker, weight) in weights.iter_mut().enumerate() {
+        let edges = graph.worker_edges(worker);
+        if edges.is_empty() {
+            continue;
+        }
+        let xs: Vec<f64> = edges.iter().map(|&e| labels.label(e) as f64).collect();
+        let ys: Vec<f64> = edges
+            .iter()
+            .map(|&e| consensus[graph.edges()[e].0] as f64)
+            .collect();
+        let constant = xs.iter().all(|&x| x == xs[0]) || ys.iter().all(|&y| y == ys[0]);
+        *weight = if constant {
+            // Rank correlation is undefined (0/0) on constant vectors —
+            // e.g. a worker whose few tasks all happen to share one true
+            // label. Fall back to the plain agreement rate mapped to
+            // [0, 1] so such workers don't silently abstain.
+            let agree = xs
+                .iter()
+                .zip(&ys)
+                .filter(|(x, y)| x == y)
+                .count() as f64
+                / xs.len() as f64;
+            (2.0 * agree - 1.0).max(0.0)
+        } else {
+            spearman(&xs, &ys).max(0.0)
+        };
+    }
+
+    (0..graph.tasks())
+        .map(|task| {
+            let s: f64 = graph
+                .task_edges(task)
+                .iter()
+                .map(|&e| {
+                    let (_, worker) = graph.edges()[e];
+                    labels.label(e) as f64 * weights[worker]
+                })
+                .sum();
+            if s >= 0.0 {
+                1
+            } else {
+                -1
+            }
+        })
+        .collect()
+}
+
+/// Spearman rank-order correlation coefficient of two equal-length
+/// samples (average ranks for ties). Returns 0 when either sample is
+/// constant.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    pearson(&rx, &ry)
+}
+
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let n = v.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).expect("finite values"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        // Tie group [i, j).
+        let mut j = i + 1;
+        while j < n && v[order[j]] == v[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j - 1) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j;
+    }
+    ranks
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::BipartiteAssignment;
+    use crate::worker::SpammerHammerPrior;
+    use crate::{bit_error_rate, LabelMatrix};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn truth(n: usize) -> Vec<i8> {
+        (0..n).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect()
+    }
+
+    #[test]
+    fn majority_vote_simple_case() {
+        let g = BipartiteAssignment::from_edge_list(
+            1,
+            3,
+            vec![(0, 0), (0, 1), (0, 2)],
+        )
+        .unwrap();
+        let labels = LabelMatrix::from_labels(g, vec![1, 1, -1]);
+        assert_eq!(majority_vote(&labels), vec![1]);
+    }
+
+    #[test]
+    fn oracle_trusts_the_reliable_minority() {
+        // One hammer (q ≈ 1) outvotes two near-spammers when weighted.
+        let g = BipartiteAssignment::from_edge_list(
+            1,
+            3,
+            vec![(0, 0), (0, 1), (0, 2)],
+        )
+        .unwrap();
+        let labels = LabelMatrix::from_labels(g, vec![1, -1, -1]);
+        let pool = WorkerPool::new(vec![0.99, 0.51, 0.51]).unwrap();
+        assert_eq!(oracle_vote(&labels, &pool), vec![1]);
+        assert_eq!(majority_vote(&labels), vec![-1]);
+    }
+
+    #[test]
+    fn spearman_known_values() {
+        assert!((spearman(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]) - 1.0).abs() < 1e-12);
+        assert!((spearman(&[1.0, 2.0, 3.0], &[30.0, 20.0, 10.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties_with_average_ranks() {
+        // Monotone with ties still correlates positively.
+        let r = spearman(&[1.0, 1.0, 2.0, 3.0], &[5.0, 6.0, 7.0, 8.0]);
+        assert!(r > 0.9, "got {r}");
+    }
+
+    #[test]
+    fn skyhook_beats_plain_majority_under_spam() {
+        let mut wins = 0;
+        let trials = 20;
+        for seed in 0..trials {
+            let mut rng = ChaCha8Rng::seed_from_u64(200 + seed);
+            let graph = BipartiteAssignment::regular(300, 9, 9, &mut rng).unwrap();
+            let z = truth(300);
+            let pool = SpammerHammerPrior::default().draw_pool(graph.workers(), &mut rng);
+            let labels = LabelMatrix::generate(&graph, &z, &pool, &mut rng);
+            let sky = bit_error_rate(&skyhook_rank_vote(&labels), &z);
+            let mv = bit_error_rate(&majority_vote(&labels), &z);
+            if sky <= mv {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 15, "skyhook beat MV in only {wins}/{trials} trials");
+    }
+
+    #[test]
+    fn oracle_is_the_floor() {
+        let mut rng = ChaCha8Rng::seed_from_u64(300);
+        let graph = BipartiteAssignment::regular(400, 7, 7, &mut rng).unwrap();
+        let z = truth(400);
+        let pool = SpammerHammerPrior::default().draw_pool(graph.workers(), &mut rng);
+        let labels = LabelMatrix::generate(&graph, &z, &pool, &mut rng);
+        let oracle = bit_error_rate(&oracle_vote(&labels, &pool), &z);
+        let mv = bit_error_rate(&majority_vote(&labels), &z);
+        assert!(oracle <= mv, "oracle {oracle} worse than MV {mv}");
+    }
+}

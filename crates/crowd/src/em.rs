@@ -1,0 +1,228 @@
+//! Dawid–Skene-style EM aggregation (the "learning from crowds" family
+//! the paper cites as ref. \[14\], Raykar et al.).
+//!
+//! A classical alternative to message passing: alternately estimate the
+//! posterior of each task label given current worker reliabilities
+//! (E-step) and re-estimate each worker's reliability from the posterior
+//! agreement (M-step). For binary one-coin workers this is the one-coin
+//! Dawid–Skene model.
+
+use crate::LabelMatrix;
+
+/// Configuration of the EM aggregator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmAggregator {
+    /// Maximum EM sweeps.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the posterior change.
+    pub tolerance: f64,
+    /// Beta-like smoothing pseudo-counts on reliability estimates (keeps
+    /// a worker with few, all-correct answers from being assigned q = 1
+    /// exactly).
+    pub smoothing: f64,
+}
+
+impl Default for EmAggregator {
+    fn default() -> Self {
+        EmAggregator {
+            max_iterations: 100,
+            tolerance: 1e-6,
+            smoothing: 1.0,
+        }
+    }
+}
+
+/// Output of the EM aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmResult {
+    /// Decoded labels `ẑ ∈ ±1`.
+    pub estimates: Vec<i8>,
+    /// Posterior `P(z_i = +1)` per task.
+    pub posteriors: Vec<f64>,
+    /// Estimated reliability `q̂_j` per worker.
+    pub reliabilities: Vec<f64>,
+    /// EM sweeps performed.
+    pub iterations: usize,
+    /// Whether the tolerance was met before the iteration cap.
+    pub converged: bool,
+}
+
+impl EmAggregator {
+    /// Runs one-coin Dawid–Skene EM on the observed labels.
+    pub fn run(&self, labels: &LabelMatrix) -> EmResult {
+        let graph = labels.graph();
+        let n = graph.tasks();
+        let m = graph.workers();
+
+        // Initialize posteriors from majority voting.
+        let mut posterior: Vec<f64> = (0..n)
+            .map(|task| {
+                let s: i32 = graph
+                    .task_edges(task)
+                    .iter()
+                    .map(|&e| labels.label(e) as i32)
+                    .sum();
+                let deg = graph.task_edges(task).len() as f64;
+                0.5 + 0.5 * s as f64 / deg.max(1.0)
+            })
+            .collect();
+        let mut reliability = vec![0.75; m];
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for _ in 0..self.max_iterations {
+            iterations += 1;
+
+            // M-step: q̂_j = (smoothed) expected fraction of agreements.
+            for (worker, q) in reliability.iter_mut().enumerate() {
+                let mut agree = self.smoothing;
+                let mut total = 2.0 * self.smoothing;
+                for &e in graph.worker_edges(worker) {
+                    let (task, _) = graph.edges()[e];
+                    let p_plus = posterior[task];
+                    let p_agree = if labels.label(e) == 1 {
+                        p_plus
+                    } else {
+                        1.0 - p_plus
+                    };
+                    agree += p_agree;
+                    total += 1.0;
+                }
+                *q = (agree / total).clamp(1e-4, 1.0 - 1e-4);
+            }
+
+            // E-step: posterior of each task from the independent-worker
+            // likelihood with a uniform prior.
+            let mut max_change = 0.0_f64;
+            for task in 0..n {
+                let mut log_plus = 0.0;
+                let mut log_minus = 0.0;
+                for &e in graph.task_edges(task) {
+                    let (_, worker) = graph.edges()[e];
+                    let q = reliability[worker];
+                    if labels.label(e) == 1 {
+                        log_plus += q.ln();
+                        log_minus += (1.0 - q).ln();
+                    } else {
+                        log_plus += (1.0 - q).ln();
+                        log_minus += q.ln();
+                    }
+                }
+                // Stable softmax over the two hypotheses.
+                let mx = log_plus.max(log_minus);
+                let p = (log_plus - mx).exp() / ((log_plus - mx).exp() + (log_minus - mx).exp());
+                max_change = max_change.max((p - posterior[task]).abs());
+                posterior[task] = p;
+            }
+            if max_change <= self.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        let estimates = posterior
+            .iter()
+            .map(|&p| if p >= 0.5 { 1 } else { -1 })
+            .collect();
+        EmResult {
+            estimates,
+            posteriors: posterior,
+            reliabilities: reliability,
+            iterations,
+            converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::majority_vote;
+    use crate::graph::BipartiteAssignment;
+    use crate::worker::{SpammerHammerPrior, WorkerPool};
+    use crate::{bit_error_rate, LabelMatrix};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn truth(n: usize) -> Vec<i8> {
+        (0..n).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect()
+    }
+
+    #[test]
+    fn perfect_workers_decode_perfectly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let graph = BipartiteAssignment::regular(60, 3, 3, &mut rng).unwrap();
+        let z = truth(60);
+        let pool = WorkerPool::new(vec![1.0; graph.workers()]).unwrap();
+        let labels = LabelMatrix::generate(&graph, &z, &pool, &mut rng);
+        let result = EmAggregator::default().run(&labels);
+        assert_eq!(bit_error_rate(&result.estimates, &z), 0.0);
+        assert!(result.converged);
+    }
+
+    #[test]
+    fn em_beats_majority_voting_with_spammers() {
+        let mut em_total = 0.0;
+        let mut mv_total = 0.0;
+        for seed in 0..15u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(300 + seed);
+            let graph = BipartiteAssignment::regular(300, 9, 9, &mut rng).unwrap();
+            let z = truth(300);
+            let pool = SpammerHammerPrior::default().draw_pool(graph.workers(), &mut rng);
+            let labels = LabelMatrix::generate(&graph, &z, &pool, &mut rng);
+            em_total += bit_error_rate(&EmAggregator::default().run(&labels).estimates, &z);
+            mv_total += bit_error_rate(&majority_vote(&labels), &z);
+        }
+        assert!(
+            em_total < mv_total,
+            "EM {em_total:.3} should beat MV {mv_total:.3}"
+        );
+    }
+
+    #[test]
+    fn reliability_estimates_separate_spammers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let graph = BipartiteAssignment::regular(400, 10, 10, &mut rng).unwrap();
+        let z = truth(400);
+        let pool = SpammerHammerPrior::default().draw_pool(graph.workers(), &mut rng);
+        let labels = LabelMatrix::generate(&graph, &z, &pool, &mut rng);
+        let result = EmAggregator::default().run(&labels);
+        let mut hammer_q = 0.0;
+        let mut spam_q = 0.0;
+        let mut hams = 0;
+        let mut spams = 0;
+        for (j, &q) in pool.reliabilities().iter().enumerate() {
+            if q == 1.0 {
+                hammer_q += result.reliabilities[j];
+                hams += 1;
+            } else {
+                spam_q += result.reliabilities[j];
+                spams += 1;
+            }
+        }
+        hammer_q /= hams as f64;
+        spam_q /= spams as f64;
+        assert!(
+            hammer_q > 0.85 && spam_q < 0.7,
+            "estimated q: hammers {hammer_q:.2}, spammers {spam_q:.2}"
+        );
+    }
+
+    #[test]
+    fn posteriors_are_probabilities() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let graph = BipartiteAssignment::regular(50, 5, 5, &mut rng).unwrap();
+        let z = truth(50);
+        let pool = SpammerHammerPrior::default().draw_pool(graph.workers(), &mut rng);
+        let labels = LabelMatrix::generate(&graph, &z, &pool, &mut rng);
+        let result = EmAggregator::default().run(&labels);
+        assert!(result
+            .posteriors
+            .iter()
+            .all(|&p| (0.0..=1.0).contains(&p) && p.is_finite()));
+        assert!(result
+            .reliabilities
+            .iter()
+            .all(|&q| (0.0..=1.0).contains(&q)));
+    }
+}

@@ -1,0 +1,229 @@
+//! Random (ℓ,γ)-regular bipartite task-assignment graphs (§5.2).
+//!
+//! Every task is labeled by `ℓ` distinct crowd-vehicles and every
+//! crowd-vehicle labels `γ` distinct tasks, so with `n` tasks the pool
+//! has `m = n·ℓ/γ` vehicles. Graphs are drawn with the configuration
+//! model (random stub matching) with repair passes to remove duplicate
+//! edges.
+
+use crate::{CrowdError, Result};
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+/// A bipartite assignment of tasks to workers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BipartiteAssignment {
+    tasks: usize,
+    workers: usize,
+    /// Edge list `(task, worker)`, the canonical edge order.
+    edges: Vec<(usize, usize)>,
+    /// Edge indices incident to each task.
+    task_edges: Vec<Vec<usize>>,
+    /// Edge indices incident to each worker.
+    worker_edges: Vec<Vec<usize>>,
+}
+
+impl BipartiteAssignment {
+    /// Draws a random (ℓ,γ)-regular graph with `tasks` tasks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrowdError::InvalidGraph`] when a degree is zero, when
+    /// `tasks·ℓ` is not divisible by `γ`, or when duplicate-edge repair
+    /// fails (pathologically dense parameters).
+    pub fn regular<R: Rng + ?Sized>(
+        tasks: usize,
+        workers_per_task: usize,
+        tasks_per_worker: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if tasks == 0 || workers_per_task == 0 || tasks_per_worker == 0 {
+            return Err(CrowdError::InvalidGraph(
+                "degrees and task count must be positive".to_string(),
+            ));
+        }
+        let stubs = tasks * workers_per_task;
+        if !stubs.is_multiple_of(tasks_per_worker) {
+            return Err(CrowdError::InvalidGraph(format!(
+                "tasks·ℓ = {stubs} not divisible by γ = {tasks_per_worker}"
+            )));
+        }
+        let workers = stubs / tasks_per_worker;
+        if workers_per_task > workers {
+            return Err(CrowdError::InvalidGraph(format!(
+                "ℓ = {workers_per_task} exceeds worker count {workers}"
+            )));
+        }
+
+        // Configuration model: task stubs in order, worker stubs
+        // shuffled, then pair them up.
+        let task_stubs: Vec<usize> = (0..tasks)
+            .flat_map(|t| std::iter::repeat_n(t, workers_per_task))
+            .collect();
+        let mut worker_stubs: Vec<usize> = (0..workers)
+            .flat_map(|w| std::iter::repeat_n(w, tasks_per_worker))
+            .collect();
+        worker_stubs.shuffle(rng);
+
+        let mut edges: Vec<(usize, usize)> = task_stubs
+            .into_iter()
+            .zip(worker_stubs)
+            .collect();
+
+        // Repair duplicate (task, worker) pairs by swapping the worker
+        // endpoint with a random other edge; a bounded number of sweeps
+        // suffices for the sparse graphs we draw.
+        for _ in 0..100 {
+            let mut seen = std::collections::HashSet::with_capacity(edges.len());
+            let mut duplicate_at: Option<usize> = None;
+            for (i, e) in edges.iter().enumerate() {
+                if !seen.insert(*e) {
+                    duplicate_at = Some(i);
+                    break;
+                }
+            }
+            let Some(i) = duplicate_at else {
+                return Ok(Self::from_edges(tasks, workers, edges));
+            };
+            let j = rng.random_range(0..edges.len());
+            let wi = edges[i].1;
+            edges[i].1 = edges[j].1;
+            edges[j].1 = wi;
+        }
+        Err(CrowdError::InvalidGraph(
+            "failed to remove duplicate edges".to_string(),
+        ))
+    }
+
+    fn from_edges(tasks: usize, workers: usize, edges: Vec<(usize, usize)>) -> Self {
+        let mut task_edges = vec![Vec::new(); tasks];
+        let mut worker_edges = vec![Vec::new(); workers];
+        for (e, &(t, w)) in edges.iter().enumerate() {
+            task_edges[t].push(e);
+            worker_edges[w].push(e);
+        }
+        BipartiteAssignment {
+            tasks,
+            workers,
+            edges,
+            task_edges,
+            worker_edges,
+        }
+    }
+
+    /// Builds a graph from an explicit edge list (used by the
+    /// middleware, whose assignments are driven by vehicle routes rather
+    /// than drawn at random).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrowdError::InvalidGraph`] for out-of-range endpoints
+    /// or duplicate edges.
+    pub fn from_edge_list(
+        tasks: usize,
+        workers: usize,
+        edges: Vec<(usize, usize)>,
+    ) -> Result<Self> {
+        let mut seen = std::collections::HashSet::with_capacity(edges.len());
+        for &(t, w) in &edges {
+            if t >= tasks || w >= workers {
+                return Err(CrowdError::InvalidGraph(format!(
+                    "edge ({t}, {w}) out of range"
+                )));
+            }
+            if !seen.insert((t, w)) {
+                return Err(CrowdError::InvalidGraph(format!(
+                    "duplicate edge ({t}, {w})"
+                )));
+            }
+        }
+        Ok(Self::from_edges(tasks, workers, edges))
+    }
+
+    /// Number of tasks `N`.
+    pub fn tasks(&self) -> usize {
+        self.tasks
+    }
+
+    /// Number of workers `M`.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The canonical edge list `(task, worker)`.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Edge indices incident to `task` (the set `M_i`).
+    pub fn task_edges(&self, task: usize) -> &[usize] {
+        &self.task_edges[task]
+    }
+
+    /// Edge indices incident to `worker` (the set `N_j`).
+    pub fn worker_edges(&self, worker: usize) -> &[usize] {
+        &self.worker_edges[worker]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn regular_graph_has_exact_degrees() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = BipartiteAssignment::regular(60, 5, 4, &mut rng).unwrap();
+        assert_eq!(g.tasks(), 60);
+        assert_eq!(g.workers(), 75);
+        assert_eq!(g.edges().len(), 300);
+        for t in 0..g.tasks() {
+            assert_eq!(g.task_edges(t).len(), 5);
+        }
+        for w in 0..g.workers() {
+            assert_eq!(g.worker_edges(w).len(), 4);
+        }
+        // No duplicate edges.
+        let set: std::collections::HashSet<_> = g.edges().iter().collect();
+        assert_eq!(set.len(), g.edges().len());
+    }
+
+    #[test]
+    fn indivisible_degrees_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        assert!(matches!(
+            BipartiteAssignment::regular(10, 3, 4, &mut rng),
+            Err(CrowdError::InvalidGraph(_))
+        ));
+        assert!(BipartiteAssignment::regular(0, 3, 3, &mut rng).is_err());
+        assert!(BipartiteAssignment::regular(10, 0, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn l_larger_than_worker_pool_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        // 4 tasks, ℓ=4, γ=8 → workers = 2 < ℓ.
+        assert!(BipartiteAssignment::regular(4, 4, 8, &mut rng).is_err());
+    }
+
+    #[test]
+    fn explicit_edge_list_roundtrip() {
+        let g = BipartiteAssignment::from_edge_list(2, 2, vec![(0, 0), (0, 1), (1, 1)]).unwrap();
+        assert_eq!(g.task_edges(0), &[0, 1]);
+        assert_eq!(g.worker_edges(1), &[1, 2]);
+        assert!(BipartiteAssignment::from_edge_list(2, 2, vec![(0, 0), (0, 0)]).is_err());
+        assert!(BipartiteAssignment::from_edge_list(2, 2, vec![(2, 0)]).is_err());
+    }
+
+    #[test]
+    fn many_seeds_produce_valid_graphs() {
+        for seed in 0..30 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = BipartiteAssignment::regular(40, 6, 6, &mut rng).unwrap();
+            let set: std::collections::HashSet<_> = g.edges().iter().collect();
+            assert_eq!(set.len(), g.edges().len(), "seed {seed} has duplicates");
+        }
+    }
+}

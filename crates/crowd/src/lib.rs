@@ -1,0 +1,235 @@
+//! Offline crowdsourcing for CrowdWiFi (§5 of the paper).
+//!
+//! The crowd-server assigns AP-mapping tasks to crowd-vehicles on a
+//! random (ℓ,γ)-regular bipartite graph, collects their ±1 labels,
+//! infers each vehicle's reliability by iterative message passing, and
+//! fuses location estimates by reliability-weighted centroids:
+//!
+//! * [`worker`] — the spammer–hammer reliability model (§5.1),
+//! * [`graph`] — bipartite task assignment (§5.2),
+//! * [`inference`] — Karger–Oh–Shah iterative inference (§5.3, Eq. 4),
+//! * [`aggregate`] — the comparison aggregators of Fig. 7: majority
+//!   voting, a Skyhook-style rank-correlation weighting, and the oracle
+//!   lower bound with known reliabilities,
+//! * [`em`] — a Dawid–Skene-style EM aggregator (the "learning from
+//!   crowds" family the paper cites) as an extra comparison point,
+//! * [`fusion`] — reliability-weighted centroid fine estimation (§5.4).
+//!
+//! # Example
+//!
+//! ```
+//! use crowdwifi_crowd::graph::BipartiteAssignment;
+//! use crowdwifi_crowd::inference::IterativeInference;
+//! use crowdwifi_crowd::worker::SpammerHammerPrior;
+//! use crowdwifi_crowd::LabelMatrix;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let graph = BipartiteAssignment::regular(100, 5, 5, &mut rng)?;
+//! let truth: Vec<i8> = (0..100).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+//! let workers = SpammerHammerPrior::default().draw_pool(graph.workers(), &mut rng);
+//! let labels = LabelMatrix::generate(&graph, &truth, &workers, &mut rng);
+//! let result = IterativeInference::default().run(&labels, &mut rng);
+//! let errors = result
+//!     .estimates
+//!     .iter()
+//!     .zip(&truth)
+//!     .filter(|(a, b)| a != b)
+//!     .count();
+//! assert!(errors < 15, "{errors} bit errors out of 100");
+//! # Ok::<(), crowdwifi_crowd::CrowdError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod aggregate;
+pub mod em;
+pub mod fusion;
+pub mod graph;
+pub mod inference;
+pub mod worker;
+
+use graph::BipartiteAssignment;
+use rand::{Rng, RngExt};
+use worker::WorkerPool;
+
+/// Errors produced by the crowdsourcing layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrowdError {
+    /// Infeasible or inconsistent graph parameters.
+    InvalidGraph(String),
+    /// Invalid model parameter.
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for CrowdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrowdError::InvalidGraph(why) => write!(f, "invalid assignment graph: {why}"),
+            CrowdError::InvalidParameter(why) => write!(f, "invalid parameter: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CrowdError {}
+
+/// Convenience alias for crowdsourcing results.
+pub type Result<T> = std::result::Result<T, CrowdError>;
+
+/// The observed label matrix `L ∈ {0, ±1}^{N×M}` in sparse edge form:
+/// `labels[e]` is the answer on edge `e` of the assignment graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelMatrix {
+    graph: BipartiteAssignment,
+    labels: Vec<i8>,
+}
+
+impl LabelMatrix {
+    /// Generates labels: worker `j` answers task `i` correctly with
+    /// probability `q_j`, otherwise flips the sign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `truth.len()` differs from the graph's task count, if
+    /// `workers` is smaller than the graph's worker count, or if any
+    /// truth value is not ±1.
+    pub fn generate<R: Rng + ?Sized>(
+        graph: &BipartiteAssignment,
+        truth: &[i8],
+        workers: &WorkerPool,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(truth.len(), graph.tasks(), "truth/task count mismatch");
+        assert!(
+            workers.len() >= graph.workers(),
+            "worker pool smaller than graph"
+        );
+        assert!(
+            truth.iter().all(|&z| z == 1 || z == -1),
+            "truth labels must be ±1"
+        );
+        let labels = graph
+            .edges()
+            .iter()
+            .map(|&(task, worker)| {
+                let correct = rng.random_range(0.0..1.0) < workers.reliability(worker);
+                if correct {
+                    truth[task]
+                } else {
+                    -truth[task]
+                }
+            })
+            .collect();
+        LabelMatrix {
+            graph: graph.clone(),
+            labels,
+        }
+    }
+
+    /// Wraps precomputed labels (one per graph edge, in edge order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the edge count or any label
+    /// is not ±1.
+    pub fn from_labels(graph: BipartiteAssignment, labels: Vec<i8>) -> Self {
+        assert_eq!(labels.len(), graph.edges().len(), "label/edge mismatch");
+        assert!(
+            labels.iter().all(|&l| l == 1 || l == -1),
+            "labels must be ±1"
+        );
+        LabelMatrix { graph, labels }
+    }
+
+    /// The underlying assignment graph.
+    pub fn graph(&self) -> &BipartiteAssignment {
+        &self.graph
+    }
+
+    /// Label on edge `e` (parallel to `graph().edges()`).
+    pub fn label(&self, edge: usize) -> i8 {
+        self.labels[edge]
+    }
+
+    /// All labels in edge order.
+    pub fn labels(&self) -> &[i8] {
+        &self.labels
+    }
+}
+
+/// Fraction of tasks whose estimate differs from the truth — the
+/// "bit-wise error rate" of §5.2. An empty task set scores 0.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn bit_error_rate(estimates: &[i8], truth: &[i8]) -> f64 {
+    assert_eq!(estimates.len(), truth.len(), "length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let wrong = estimates
+        .iter()
+        .zip(truth)
+        .filter(|(a, b)| a != b)
+        .count();
+    wrong as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use worker::SpammerHammerPrior;
+
+    #[test]
+    fn bit_error_rate_counts_mismatches() {
+        assert_eq!(bit_error_rate(&[1, -1, 1], &[1, 1, 1]), 1.0 / 3.0);
+        assert_eq!(bit_error_rate(&[], &[]), 0.0);
+        assert_eq!(bit_error_rate(&[1], &[1]), 0.0);
+    }
+
+    #[test]
+    fn perfect_workers_label_perfectly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let graph = BipartiteAssignment::regular(20, 3, 3, &mut rng).unwrap();
+        let truth: Vec<i8> = (0..20).map(|i| if i % 3 == 0 { 1 } else { -1 }).collect();
+        let workers = WorkerPool::new(vec![1.0; graph.workers()]).unwrap();
+        let labels = LabelMatrix::generate(&graph, &truth, &workers, &mut rng);
+        for (e, &(task, _)) in graph.edges().iter().enumerate() {
+            assert_eq!(labels.label(e), truth[task]);
+        }
+    }
+
+    #[test]
+    fn spammers_label_randomly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let graph = BipartiteAssignment::regular(200, 5, 5, &mut rng).unwrap();
+        let truth = vec![1i8; 200];
+        let workers = WorkerPool::new(vec![0.5; graph.workers()]).unwrap();
+        let labels = LabelMatrix::generate(&graph, &truth, &workers, &mut rng);
+        let pos = labels.labels().iter().filter(|&&l| l == 1).count();
+        let frac = pos as f64 / labels.labels().len() as f64;
+        assert!((frac - 0.5).abs() < 0.06, "spammer agreement {frac}");
+    }
+
+    #[test]
+    fn prior_pool_integrates_with_generation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let graph = BipartiteAssignment::regular(50, 4, 4, &mut rng).unwrap();
+        let truth = vec![1i8; 50];
+        let workers = SpammerHammerPrior::default().draw_pool(graph.workers(), &mut rng);
+        let labels = LabelMatrix::generate(&graph, &truth, &workers, &mut rng);
+        assert_eq!(labels.labels().len(), graph.edges().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "truth/task count mismatch")]
+    fn generate_validates_truth_length() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let graph = BipartiteAssignment::regular(10, 2, 2, &mut rng).unwrap();
+        let workers = WorkerPool::new(vec![1.0; graph.workers()]).unwrap();
+        LabelMatrix::generate(&graph, &[1, -1], &workers, &mut rng);
+    }
+}

@@ -1,0 +1,149 @@
+//! Planar points in a local east-north frame (meters).
+
+use serde::{Deserialize, Serialize};
+
+/// A position in meters within the local driving area.
+///
+/// # Example
+///
+/// ```
+/// use crowdwifi_geo::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// East coordinate in meters.
+    pub x: f64,
+    /// North coordinate in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from `x`/`y` in meters.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Midpoint between `self` and `other`.
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new(0.5 * (self.x + other.x), 0.5 * (self.y + other.y))
+    }
+
+    /// Whether both coordinates are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Linear interpolation: `self + t · (other − self)`.
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + t * (other.x - self.x),
+            self.y + t * (other.y - self.y),
+        )
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// Unweighted centroid of a non-empty point set; `None` when empty.
+pub fn centroid(points: &[Point]) -> Option<Point> {
+    if points.is_empty() {
+        return None;
+    }
+    let n = points.len() as f64;
+    let (sx, sy) = points
+        .iter()
+        .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+    Some(Point::new(sx / n, sy / n))
+}
+
+/// Weighted centroid `Σ wᵢ pᵢ / Σ wᵢ` — the Eq. (3) estimator of the
+/// paper. Returns `None` when the points are empty, the lengths differ or
+/// the total weight is not positive.
+pub fn weighted_centroid(points: &[Point], weights: &[f64]) -> Option<Point> {
+    if points.is_empty() || points.len() != weights.len() {
+        return None;
+    }
+    let total: f64 = weights.iter().sum();
+    if !(total > 0.0) || !total.is_finite() {
+        return None;
+    }
+    let (sx, sy) = points
+        .iter()
+        .zip(weights)
+        .fold((0.0, 0.0), |(sx, sy), (p, &w)| (sx + w * p.x, sy + w * p.y));
+    Some(Point::new(sx / total, sy / total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_symmetry_and_identity() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 5.0);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), a.midpoint(b));
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        assert_eq!(centroid(&pts), Some(Point::new(1.0, 1.0)));
+        assert_eq!(centroid(&[]), None);
+    }
+
+    #[test]
+    fn weighted_centroid_pulls_toward_heavy_point() {
+        let pts = [Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        let c = weighted_centroid(&pts, &[1.0, 3.0]).unwrap();
+        assert!((c.x - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_centroid_rejects_bad_inputs() {
+        let pts = [Point::new(0.0, 0.0)];
+        assert_eq!(weighted_centroid(&pts, &[]), None);
+        assert_eq!(weighted_centroid(&pts, &[0.0]), None);
+        assert_eq!(weighted_centroid(&pts, &[-1.0]), None);
+        assert_eq!(weighted_centroid(&[], &[]), None);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Point::new(1.0, 2.5).to_string(), "(1.00, 2.50)");
+    }
+}

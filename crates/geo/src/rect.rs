@@ -1,0 +1,221 @@
+//! Axis-aligned rectangles.
+
+use crate::point::Point;
+use crate::{GeoError, Result};
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle `[min.x, max.x] × [min.y, max.y]`.
+///
+/// Used for driving-area bounds (§4.3.1: the sensing rectangle is the
+/// bounding box of the reference points expanded by the radio range).
+///
+/// # Example
+///
+/// ```
+/// use crowdwifi_geo::{Point, Rect};
+///
+/// let pts = [Point::new(2.0, 3.0), Point::new(8.0, 1.0)];
+/// let r = Rect::bounding(&pts).unwrap().expanded(10.0);
+/// assert!(r.contains(Point::new(0.0, 0.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    min: Point,
+    max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from its corner points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidRect`] unless `min ≤ max` component-wise
+    /// and [`GeoError::NonFinite`] for non-finite corners.
+    pub fn new(min: Point, max: Point) -> Result<Self> {
+        if !min.is_finite() || !max.is_finite() {
+            return Err(GeoError::NonFinite);
+        }
+        if min.x > max.x || min.y > max.y {
+            return Err(GeoError::InvalidRect { min, max });
+        }
+        Ok(Rect { min, max })
+    }
+
+    /// The bounding box of a non-empty point set; `None` when empty.
+    pub fn bounding(points: &[Point]) -> Option<Self> {
+        let first = *points.first()?;
+        let mut min = first;
+        let mut max = first;
+        for p in points {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        Some(Rect { min, max })
+    }
+
+    /// Lower-left corner.
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Upper-right corner.
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Width in meters.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height in meters.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Whether `p` lies inside (boundary inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Rectangle grown by `margin` meters on every side — the paper's
+    /// `(x_min − r_m, y_min − r_m)…(x_max + r_m, y_max + r_m)` expansion
+    /// by the communication radius `r_m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the margin is so negative the rectangle would invert.
+    pub fn expanded(&self, margin: f64) -> Rect {
+        Rect::new(
+            Point::new(self.min.x - margin, self.min.y - margin),
+            Point::new(self.max.x + margin, self.max.y + margin),
+        )
+        .expect("margin inverted rectangle")
+    }
+
+    /// Area in square meters.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Intersection with `other`; `None` when disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let min = Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y));
+        let max = Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y));
+        if min.x <= max.x && min.y <= max.y {
+            Some(Rect { min, max })
+        } else {
+            None
+        }
+    }
+
+    /// The smallest rectangle containing both `self` and `other`.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Clamps `p` into the rectangle.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_corner_order() {
+        assert!(Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).is_ok());
+        assert!(matches!(
+            Rect::new(Point::new(2.0, 0.0), Point::new(1.0, 1.0)),
+            Err(GeoError::InvalidRect { .. })
+        ));
+        assert!(matches!(
+            Rect::new(Point::new(f64::NAN, 0.0), Point::new(1.0, 1.0)),
+            Err(GeoError::NonFinite)
+        ));
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        let pts = [
+            Point::new(3.0, -1.0),
+            Point::new(-2.0, 4.0),
+            Point::new(1.0, 1.0),
+        ];
+        let r = Rect::bounding(&pts).unwrap();
+        assert_eq!(r.min(), Point::new(-2.0, -1.0));
+        assert_eq!(r.max(), Point::new(3.0, 4.0));
+        assert!(Rect::bounding(&[]).is_none());
+    }
+
+    #[test]
+    fn degenerate_rect_allowed() {
+        let r = Rect::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0)).unwrap();
+        assert_eq!(r.width(), 0.0);
+        assert!(r.contains(Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn expansion_grows_all_sides() {
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0))
+            .unwrap()
+            .expanded(1.0);
+        assert_eq!(r.min(), Point::new(-1.0, -1.0));
+        assert_eq!(r.max(), Point::new(3.0, 3.0));
+    }
+
+    #[test]
+    fn clamp_moves_outside_point_to_boundary() {
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0)).unwrap();
+        assert_eq!(r.clamp(Point::new(-5.0, 1.0)), Point::new(0.0, 1.0));
+        assert_eq!(r.clamp(Point::new(1.0, 9.0)), Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn area_intersection_union() {
+        let a = Rect::new(Point::new(0.0, 0.0), Point::new(4.0, 4.0)).unwrap();
+        let b = Rect::new(Point::new(2.0, 2.0), Point::new(6.0, 6.0)).unwrap();
+        assert_eq!(a.area(), 16.0);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i.min(), Point::new(2.0, 2.0));
+        assert_eq!(i.max(), Point::new(4.0, 4.0));
+        let u = a.union(&b);
+        assert_eq!(u.min(), Point::new(0.0, 0.0));
+        assert_eq!(u.max(), Point::new(6.0, 6.0));
+        // Disjoint rectangles do not intersect.
+        let far = Rect::new(Point::new(10.0, 10.0), Point::new(11.0, 11.0)).unwrap();
+        assert!(a.intersection(&far).is_none());
+        // Touching edges count as a degenerate intersection.
+        let touch = Rect::new(Point::new(4.0, 0.0), Point::new(8.0, 4.0)).unwrap();
+        assert_eq!(a.intersection(&touch).unwrap().area(), 0.0);
+    }
+
+    #[test]
+    fn center_and_dims() {
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(4.0, 2.0)).unwrap();
+        assert_eq!(r.center(), Point::new(2.0, 1.0));
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 2.0);
+    }
+}

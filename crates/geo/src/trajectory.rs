@@ -1,0 +1,239 @@
+//! Timed vehicle trajectories.
+//!
+//! Crowd-vehicles drive piecewise-linear routes; the simulator samples
+//! positions along a [`Trajectory`] at RSS-collection instants.
+
+use crate::point::Point;
+use crate::{GeoError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A timestamped position on a route.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Waypoint {
+    /// Position in meters.
+    pub position: Point,
+    /// Time in seconds since the start of the drive.
+    pub time: f64,
+}
+
+impl Waypoint {
+    /// Creates a waypoint.
+    pub fn new(position: Point, time: f64) -> Self {
+        Waypoint { position, time }
+    }
+}
+
+/// A piecewise-linear, time-parameterized vehicle path.
+///
+/// # Example
+///
+/// ```
+/// use crowdwifi_geo::{Point, Trajectory, Waypoint};
+///
+/// let t = Trajectory::new(vec![
+///     Waypoint::new(Point::new(0.0, 0.0), 0.0),
+///     Waypoint::new(Point::new(100.0, 0.0), 10.0),
+/// ])?;
+/// assert_eq!(t.position_at(5.0), Point::new(50.0, 0.0));
+/// # Ok::<(), crowdwifi_geo::GeoError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    waypoints: Vec<Waypoint>,
+}
+
+impl Trajectory {
+    /// Creates a trajectory from at least two waypoints with strictly
+    /// increasing times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidTrajectory`] for fewer than two
+    /// waypoints or non-increasing times, and [`GeoError::NonFinite`] for
+    /// non-finite coordinates/times.
+    pub fn new(waypoints: Vec<Waypoint>) -> Result<Self> {
+        if waypoints.len() < 2 {
+            return Err(GeoError::InvalidTrajectory(
+                "need at least two waypoints".to_string(),
+            ));
+        }
+        for w in &waypoints {
+            if !w.position.is_finite() || !w.time.is_finite() {
+                return Err(GeoError::NonFinite);
+            }
+        }
+        for pair in waypoints.windows(2) {
+            if pair[1].time <= pair[0].time {
+                return Err(GeoError::InvalidTrajectory(format!(
+                    "times must strictly increase ({} then {})",
+                    pair[0].time, pair[1].time
+                )));
+            }
+        }
+        Ok(Trajectory { waypoints })
+    }
+
+    /// Builds a constant-speed trajectory through `path` at `speed_mps`
+    /// meters/second starting at time 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidTrajectory`] for fewer than two points,
+    /// non-positive speed, or zero-length legs.
+    pub fn with_constant_speed(path: &[Point], speed_mps: f64) -> Result<Self> {
+        if path.len() < 2 {
+            return Err(GeoError::InvalidTrajectory(
+                "need at least two path points".to_string(),
+            ));
+        }
+        if !(speed_mps > 0.0) || !speed_mps.is_finite() {
+            return Err(GeoError::InvalidTrajectory(format!(
+                "speed must be positive, got {speed_mps}"
+            )));
+        }
+        let mut t = 0.0;
+        let mut waypoints = vec![Waypoint::new(path[0], 0.0)];
+        for pair in path.windows(2) {
+            let d = pair[0].distance(pair[1]);
+            if d == 0.0 {
+                return Err(GeoError::InvalidTrajectory(
+                    "zero-length leg in path".to_string(),
+                ));
+            }
+            t += d / speed_mps;
+            waypoints.push(Waypoint::new(pair[1], t));
+        }
+        Trajectory::new(waypoints)
+    }
+
+    /// The waypoints, in time order.
+    pub fn waypoints(&self) -> &[Waypoint] {
+        &self.waypoints
+    }
+
+    /// Start time of the drive.
+    pub fn start_time(&self) -> f64 {
+        self.waypoints[0].time
+    }
+
+    /// End time of the drive.
+    pub fn end_time(&self) -> f64 {
+        self.waypoints[self.waypoints.len() - 1].time
+    }
+
+    /// Total duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end_time() - self.start_time()
+    }
+
+    /// Total path length in meters.
+    pub fn length(&self) -> f64 {
+        self.waypoints
+            .windows(2)
+            .map(|w| w[0].position.distance(w[1].position))
+            .sum()
+    }
+
+    /// Position at time `t`, clamped to the trajectory's time span.
+    pub fn position_at(&self, t: f64) -> Point {
+        if t <= self.start_time() {
+            return self.waypoints[0].position;
+        }
+        if t >= self.end_time() {
+            return self.waypoints[self.waypoints.len() - 1].position;
+        }
+        // Binary search for the segment containing t.
+        let idx = self
+            .waypoints
+            .partition_point(|w| w.time <= t)
+            .saturating_sub(1);
+        let a = self.waypoints[idx];
+        let b = self.waypoints[idx + 1];
+        let frac = (t - a.time) / (b.time - a.time);
+        a.position.lerp(b.position, frac)
+    }
+
+    /// Samples positions at a fixed `interval` (seconds) over the whole
+    /// drive, including the start instant.
+    pub fn sample(&self, interval: f64) -> Vec<Waypoint> {
+        assert!(interval > 0.0, "sampling interval must be positive");
+        let mut out = Vec::new();
+        let mut t = self.start_time();
+        while t <= self.end_time() + 1e-9 {
+            out.push(Waypoint::new(self.position_at(t), t));
+            t += interval;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight() -> Trajectory {
+        Trajectory::new(vec![
+            Waypoint::new(Point::new(0.0, 0.0), 0.0),
+            Waypoint::new(Point::new(100.0, 0.0), 10.0),
+            Waypoint::new(Point::new(100.0, 50.0), 15.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rules() {
+        assert!(Trajectory::new(vec![]).is_err());
+        assert!(Trajectory::new(vec![Waypoint::new(Point::new(0.0, 0.0), 0.0)]).is_err());
+        assert!(Trajectory::new(vec![
+            Waypoint::new(Point::new(0.0, 0.0), 5.0),
+            Waypoint::new(Point::new(1.0, 0.0), 5.0),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn interpolation_and_clamping() {
+        let t = straight();
+        assert_eq!(t.position_at(-1.0), Point::new(0.0, 0.0));
+        assert_eq!(t.position_at(5.0), Point::new(50.0, 0.0));
+        assert_eq!(t.position_at(12.5), Point::new(100.0, 25.0));
+        assert_eq!(t.position_at(99.0), Point::new(100.0, 50.0));
+    }
+
+    #[test]
+    fn length_and_duration() {
+        let t = straight();
+        assert!((t.length() - 150.0).abs() < 1e-12);
+        assert!((t.duration() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_speed_construction() {
+        // 45 mph ≈ 20.1168 m/s.
+        let mph45 = 45.0 * 0.44704;
+        let t = Trajectory::with_constant_speed(
+            &[Point::new(0.0, 0.0), Point::new(201.168, 0.0)],
+            mph45,
+        )
+        .unwrap();
+        assert!((t.duration() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_speed_rejects_bad_input() {
+        let p = [Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        assert!(Trajectory::with_constant_speed(&p, 0.0).is_err());
+        assert!(Trajectory::with_constant_speed(&p[..1], 1.0).is_err());
+        let dup = [Point::new(0.0, 0.0), Point::new(0.0, 0.0)];
+        assert!(Trajectory::with_constant_speed(&dup, 1.0).is_err());
+    }
+
+    #[test]
+    fn sampling_covers_span() {
+        let t = straight();
+        let samples = t.sample(1.0);
+        assert_eq!(samples.len(), 16); // t = 0..=15
+        assert_eq!(samples[0].position, Point::new(0.0, 0.0));
+        assert_eq!(samples[15].position, Point::new(100.0, 50.0));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the geometry substrate.
+
+use crowdwifi_geo::point::{centroid, weighted_centroid};
+use crowdwifi_geo::{Grid, Point, Rect, Trajectory, Waypoint};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    (-1000.0..1000.0f64).prop_map(|x| (x * 8.0).round() / 8.0)
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (coord(), coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn distance_is_a_metric(a in point(), b in point(), c in point()) {
+        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
+        prop_assert!(a.distance(a) < 1e-12);
+        // Triangle inequality.
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+    }
+
+    #[test]
+    fn lerp_stays_on_segment(a in point(), b in point(), t in 0.0..1.0f64) {
+        let p = a.lerp(b, t);
+        let d = a.distance(p) + p.distance(b);
+        prop_assert!((d - a.distance(b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn centroid_lies_in_bounding_box(pts in proptest::collection::vec(point(), 1..20)) {
+        let c = centroid(&pts).unwrap();
+        let bbox = Rect::bounding(&pts).unwrap();
+        prop_assert!(bbox.contains(c));
+    }
+
+    #[test]
+    fn weighted_centroid_in_convex_hull_bbox(
+        pts in proptest::collection::vec(point(), 1..10),
+        raw_weights in proptest::collection::vec(0.1..10.0f64, 10),
+    ) {
+        let weights = &raw_weights[..pts.len()];
+        let c = weighted_centroid(&pts, weights).unwrap();
+        let bbox = Rect::bounding(&pts).unwrap();
+        prop_assert!(bbox.expanded(1e-9).contains(c));
+    }
+
+    #[test]
+    fn grid_index_roundtrip(
+        w in 10.0..500.0f64,
+        h in 10.0..500.0f64,
+        lattice in 1.0..40.0f64,
+    ) {
+        let area = Rect::new(Point::new(0.0, 0.0), Point::new(w, h)).unwrap();
+        let grid = Grid::new(area, lattice).unwrap();
+        // Every grid point maps back to its own index.
+        for idx in (0..grid.len()).step_by((grid.len() / 16).max(1)) {
+            prop_assert_eq!(grid.nearest_index(grid.point(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn nearest_grid_point_is_within_half_diagonal(
+        w in 20.0..300.0f64,
+        h in 20.0..300.0f64,
+        lattice in 2.0..30.0f64,
+        fx in 0.0..1.0f64,
+        fy in 0.0..1.0f64,
+    ) {
+        let area = Rect::new(Point::new(0.0, 0.0), Point::new(w, h)).unwrap();
+        let grid = Grid::new(area, lattice).unwrap();
+        let p = Point::new(w * fx, h * fy);
+        let snapped = grid.point(grid.nearest_index(p));
+        // Inside the area, the nearest lattice center is within one
+        // half-diagonal of a cell.
+        prop_assert!(snapped.distance(p) <= grid.cell_diagonal() / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn trajectory_positions_interpolate_monotonically(
+        speed in 1.0..40.0f64,
+        n in 2usize..8,
+    ) {
+        let path: Vec<Point> = (0..n).map(|i| Point::new(50.0 * i as f64, 0.0)).collect();
+        let t = Trajectory::with_constant_speed(&path, speed).unwrap();
+        // x must be non-decreasing along this eastbound path.
+        let mut prev = f64::NEG_INFINITY;
+        for w in t.sample(t.duration() / 20.0) {
+            prop_assert!(w.position.x >= prev - 1e-9);
+            prev = w.position.x;
+        }
+        // Length and duration are consistent with the speed.
+        prop_assert!((t.length() / t.duration() - speed).abs() < 1e-6);
+    }
+
+    #[test]
+    fn waypoint_trajectory_respects_endpoints(times in proptest::collection::vec(0.1..10.0f64, 2..6)) {
+        // Build strictly increasing times from positive gaps.
+        let mut t_acc = 0.0;
+        let waypoints: Vec<Waypoint> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &dt)| {
+                t_acc += dt;
+                Waypoint::new(Point::new(i as f64 * 10.0, 0.0), t_acc)
+            })
+            .collect();
+        let traj = Trajectory::new(waypoints.clone()).unwrap();
+        prop_assert_eq!(traj.position_at(traj.start_time()), waypoints[0].position);
+        prop_assert_eq!(
+            traj.position_at(traj.end_time()),
+            waypoints[waypoints.len() - 1].position
+        );
+    }
+}

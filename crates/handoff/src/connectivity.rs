@@ -1,0 +1,334 @@
+//! Per-second connectivity simulation under the two handoff policies.
+//!
+//! Every AP broadcasts ten 500-byte beacons per second (§6.3); for each
+//! one-second interval the simulation draws how many of each AP's
+//! beacons the vehicle received (per-beacon success follows the
+//! fading-perturbed reception probability). A second counts as
+//! *adequately connected* when an AP the policy associated with
+//! achieved more than 50 % reception (the paper's Fig. 10 criterion).
+
+use crate::db::ApDatabase;
+use crate::{HandoffError, Result};
+use crowdwifi_channel::noise::ShadowFading;
+use crowdwifi_geo::{Point, Trajectory};
+use crowdwifi_vanet_sim::vanlan::reception_probability;
+use crowdwifi_vanet_sim::Scenario;
+use rand::{Rng, RngExt};
+
+/// Association policy (§6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Hard handoff to the AP with the highest exponentially averaged
+    /// beacon reception ratio; only that AP carries traffic.
+    Brr,
+    /// Opportunistic use of all APs in the vicinity; a second succeeds
+    /// if at least one associated AP achieves adequate reception.
+    AllAp,
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Policy::Brr => write!(f, "BRR"),
+            Policy::AllAp => write!(f, "AllAP"),
+        }
+    }
+}
+
+/// One simulated second.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecondRecord {
+    /// Vehicle position at the start of the second.
+    pub position: Point,
+    /// Best reception ratio among the APs the policy used this second.
+    pub best_ratio: f64,
+    /// Whether the second was adequately connected (> 50 % reception).
+    pub connected: bool,
+    /// Whether a hard handoff occurred this second (BRR only).
+    pub handoff: bool,
+}
+
+/// The full per-second trace of one drive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectivityTrace {
+    /// One record per simulated second, in time order.
+    pub seconds: Vec<SecondRecord>,
+    /// The policy that produced the trace.
+    pub policy: Policy,
+}
+
+impl ConnectivityTrace {
+    /// Fraction of seconds with adequate connectivity.
+    pub fn connectivity_fraction(&self) -> f64 {
+        if self.seconds.is_empty() {
+            return 0.0;
+        }
+        self.seconds.iter().filter(|s| s.connected).count() as f64 / self.seconds.len() as f64
+    }
+
+    /// Number of interruption events (connected → disconnected edges).
+    pub fn interruptions(&self) -> usize {
+        self.seconds
+            .windows(2)
+            .filter(|w| w[0].connected && !w[1].connected)
+            .count()
+    }
+}
+
+/// Configuration of the connectivity simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConnectivityConfig {
+    /// Beacons each AP sends per second (paper: one per 100 ms).
+    pub beacons_per_second: usize,
+    /// EWMA smoothing factor for the BRR ratio estimate.
+    pub ewma_alpha: f64,
+    /// Believed radio range used to select candidate APs from the
+    /// database.
+    pub believed_range: f64,
+    /// A database entry maps to the nearest real AP within this radius;
+    /// farther entries are ghosts that cannot carry traffic.
+    pub match_radius: f64,
+}
+
+impl Default for ConnectivityConfig {
+    fn default() -> Self {
+        ConnectivityConfig {
+            beacons_per_second: 10,
+            ewma_alpha: 0.3,
+            believed_range: 150.0,
+            match_radius: 25.0,
+        }
+    }
+}
+
+/// Simulates one drive under `policy`, associating only with APs the
+/// downloaded `db` makes the vehicle aware of.
+///
+/// # Errors
+///
+/// Returns [`HandoffError::InvalidParameter`] for non-positive beacon
+/// rates or smoothing factors outside `(0, 1]`.
+pub fn simulate<R: Rng + ?Sized>(
+    policy: Policy,
+    scenario: &Scenario,
+    route: &Trajectory,
+    db: &ApDatabase,
+    config: ConnectivityConfig,
+    rng: &mut R,
+) -> Result<ConnectivityTrace> {
+    if config.beacons_per_second == 0 {
+        return Err(HandoffError::InvalidParameter(
+            "beacons_per_second must be positive".to_string(),
+        ));
+    }
+    if !(config.ewma_alpha > 0.0 && config.ewma_alpha <= 1.0) {
+        return Err(HandoffError::InvalidParameter(format!(
+            "ewma_alpha must lie in (0, 1], got {}",
+            config.ewma_alpha
+        )));
+    }
+
+    let fading = ShadowFading::new(scenario.shadow_sigma_db());
+    let n_aps = scenario.aps().len();
+    let mut ewma = vec![0.0_f64; n_aps];
+    let mut current_brr: Option<usize> = None;
+    let mut seconds = Vec::new();
+
+    let duration = route.duration().floor() as usize;
+    for t in 0..duration.max(1) {
+        let pos = route.position_at(route.start_time() + t as f64);
+
+        // Candidate real APs: DB entries believed nearby, matched to the
+        // nearest real AP within the match radius. Ghost entries match
+        // nothing; missing entries hide real APs the vehicle could have
+        // used.
+        let mut candidates: Vec<usize> = Vec::new();
+        for believed in db.nearby(pos, config.believed_range) {
+            let matched = scenario
+                .aps()
+                .iter()
+                .enumerate()
+                .filter(|(_, ap)| ap.position.distance(believed) <= config.match_radius)
+                .min_by(|(_, a), (_, b)| {
+                    a.position
+                        .distance(believed)
+                        .partial_cmp(&b.position.distance(believed))
+                        .expect("finite distances")
+                })
+                .map(|(i, _)| i);
+            if let Some(i) = matched {
+                if !candidates.contains(&i) {
+                    candidates.push(i);
+                }
+            }
+        }
+
+        // Per-candidate beacon reception this second.
+        let mut ratios = vec![0.0_f64; n_aps];
+        for &i in &candidates {
+            let ap = &scenario.aps()[i];
+            if !ap.covers(pos) {
+                continue;
+            }
+            let mut received = 0usize;
+            for _ in 0..config.beacons_per_second {
+                let rss =
+                    scenario.pathloss().mean_rss(ap.position.distance(pos)) + fading.sample(rng);
+                if rng.random_range(0.0..1.0) < reception_probability(rss) {
+                    received += 1;
+                }
+            }
+            ratios[i] = received as f64 / config.beacons_per_second as f64;
+        }
+        for &i in &candidates {
+            ewma[i] = config.ewma_alpha * ratios[i] + (1.0 - config.ewma_alpha) * ewma[i];
+        }
+
+        let (best_ratio, connected, handoff) = match policy {
+            Policy::Brr => {
+                // Hard handoff with hysteresis: stay on the associated
+                // AP while its smoothed reception holds up; only when it
+                // degrades badly (or leaves the candidate set) does the
+                // vehicle re-associate with the best-EWMA candidate,
+                // paying a one-second re-association outage.
+                let sticky = current_brr.filter(|i| candidates.contains(i) && ewma[*i] > 0.3);
+                match sticky {
+                    Some(i) => (ratios[i], ratios[i] > 0.5, false),
+                    None => {
+                        let best = candidates.iter().copied().max_by(|&a, &b| {
+                            ewma[a].partial_cmp(&ewma[b]).expect("finite EWMA")
+                        });
+                        let handoff = best.is_some() && current_brr.is_some();
+                        current_brr = best.or(current_brr);
+                        match best {
+                            Some(i) if !handoff => (ratios[i], ratios[i] > 0.5, false),
+                            Some(i) => (ratios[i], false, true),
+                            None => (0.0, false, false),
+                        }
+                    }
+                }
+            }
+            Policy::AllAp => {
+                let best = candidates
+                    .iter()
+                    .map(|&i| ratios[i])
+                    .fold(0.0_f64, f64::max);
+                (best, best > 0.5, false)
+            }
+        };
+
+        seconds.push(SecondRecord {
+            position: pos,
+            best_ratio,
+            connected,
+            handoff,
+        });
+    }
+
+    Ok(ConnectivityTrace { seconds, policy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdwifi_vanet_sim::mobility::vanlan_round;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (Scenario, Trajectory, ApDatabase) {
+        let scenario = Scenario::vanlan();
+        let route = vanlan_round(0.0);
+        let db = ApDatabase::new(scenario.ap_positions());
+        (scenario, route, db)
+    }
+
+    #[test]
+    fn allap_connects_at_least_as_often_as_brr() {
+        let (scenario, route, db) = setup();
+        let cfg = ConnectivityConfig::default();
+        let mut frac_all = 0.0;
+        let mut frac_brr = 0.0;
+        for seed in 0..5 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let all = simulate(Policy::AllAp, &scenario, &route, &db, cfg, &mut rng).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let brr = simulate(Policy::Brr, &scenario, &route, &db, cfg, &mut rng).unwrap();
+            frac_all += all.connectivity_fraction();
+            frac_brr += brr.connectivity_fraction();
+        }
+        assert!(
+            frac_all >= frac_brr,
+            "AllAP {frac_all:.2} must be ≥ BRR {frac_brr:.2}"
+        );
+    }
+
+    #[test]
+    fn empty_db_means_no_connectivity() {
+        let (scenario, route, _) = setup();
+        let db = ApDatabase::new(vec![]);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let trace = simulate(
+            Policy::AllAp,
+            &scenario,
+            &route,
+            &db,
+            ConnectivityConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(trace.connectivity_fraction(), 0.0);
+    }
+
+    #[test]
+    fn ghost_entries_carry_no_traffic() {
+        let (scenario, route, _) = setup();
+        // DB full of positions far from any real AP.
+        let db = ApDatabase::new(vec![Point::new(400.0, 50.0); 5]);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let trace = simulate(
+            Policy::AllAp,
+            &scenario,
+            &route,
+            &db,
+            ConnectivityConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(trace.connectivity_fraction(), 0.0);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let (scenario, route, db) = setup();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let bad = ConnectivityConfig {
+            beacons_per_second: 0,
+            ..ConnectivityConfig::default()
+        };
+        assert!(simulate(Policy::Brr, &scenario, &route, &db, bad, &mut rng).is_err());
+        let bad2 = ConnectivityConfig {
+            ewma_alpha: 0.0,
+            ..ConnectivityConfig::default()
+        };
+        assert!(simulate(Policy::Brr, &scenario, &route, &db, bad2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn interruption_counting() {
+        let mk = |flags: &[bool]| ConnectivityTrace {
+            policy: Policy::Brr,
+            seconds: flags
+                .iter()
+                .map(|&connected| SecondRecord {
+                    position: Point::new(0.0, 0.0),
+                    best_ratio: 0.0,
+                    connected,
+                    handoff: false,
+                })
+                .collect(),
+        };
+        assert_eq!(mk(&[true, false, true, false]).interruptions(), 2);
+        assert_eq!(mk(&[true, true, true]).interruptions(), 0);
+        assert_eq!(mk(&[]).interruptions(), 0);
+    }
+}

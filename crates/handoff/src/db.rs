@@ -1,0 +1,156 @@
+//! The downloaded AP database and lookup-error injection.
+//!
+//! Fig. 11 evaluates connectivity under controlled counting and
+//! localization errors; [`ApDatabase::perturbed`] manufactures a
+//! database with exactly those error levels from the ground truth.
+
+use crowdwifi_geo::{Point, Rect};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// The AP lookup results a user-vehicle downloads from the crowd-server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApDatabase {
+    entries: Vec<Point>,
+}
+
+impl ApDatabase {
+    /// Wraps a list of believed AP positions.
+    pub fn new(entries: Vec<Point>) -> Self {
+        ApDatabase { entries }
+    }
+
+    /// The believed AP positions.
+    pub fn entries(&self) -> &[Point] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Database entries the vehicle believes are within `range` of `p`.
+    pub fn nearby(&self, p: Point, range: f64) -> Vec<Point> {
+        self.entries
+            .iter()
+            .copied()
+            .filter(|e| e.distance(p) <= range)
+            .collect()
+    }
+
+    /// Builds a database with target counting and localization error
+    /// against `truth` (the Fig. 11 x-axes):
+    ///
+    /// * every kept entry is displaced by `localization_error · lattice`
+    ///   meters in a random direction;
+    /// * `counting_error > 0` is split between the two miscounting
+    ///   modes: `round(err·k/2)` real entries are dropped (undercount)
+    ///   and `round(err·k/2)` ghost entries are drawn uniformly in
+    ///   `area` (overcount). Negative values drop `round(|err|·k)`
+    ///   random entries only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `truth` is empty or `lattice` is not positive.
+    pub fn perturbed<R: Rng + ?Sized>(
+        truth: &[Point],
+        area: Rect,
+        counting_error: f64,
+        localization_error: f64,
+        lattice: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!truth.is_empty(), "need ground-truth APs");
+        assert!(lattice > 0.0, "lattice must be positive");
+        let k = truth.len();
+        let mut entries: Vec<Point> = truth
+            .iter()
+            .map(|&p| {
+                let angle = rng.random_range(0.0..std::f64::consts::TAU);
+                let r = localization_error.max(0.0) * lattice;
+                area.clamp(Point::new(p.x + r * angle.cos(), p.y + r * angle.sin()))
+            })
+            .collect();
+        if counting_error > 0.0 {
+            let drops = (counting_error * k as f64 / 2.0).round() as usize;
+            for _ in 0..drops.min(entries.len().saturating_sub(1)) {
+                let idx = rng.random_range(0..entries.len());
+                entries.swap_remove(idx);
+            }
+            let ghosts = (counting_error * k as f64 / 2.0).round() as usize;
+            for _ in 0..ghosts {
+                entries.push(Point::new(
+                    rng.random_range(area.min().x..area.max().x),
+                    rng.random_range(area.min().y..area.max().y),
+                ));
+            }
+        } else if counting_error < 0.0 {
+            let drops = ((-counting_error) * k as f64).round() as usize;
+            for _ in 0..drops.min(entries.len().saturating_sub(1)) {
+                let idx = rng.random_range(0..entries.len());
+                entries.swap_remove(idx);
+            }
+        }
+        ApDatabase { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn area() -> Rect {
+        Rect::new(Point::new(0.0, 0.0), Point::new(800.0, 500.0)).unwrap()
+    }
+
+    fn truth() -> Vec<Point> {
+        (0..10)
+            .map(|i| Point::new(50.0 + 70.0 * i as f64, 250.0))
+            .collect()
+    }
+
+    #[test]
+    fn zero_error_preserves_truth() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let db = ApDatabase::perturbed(&truth(), area(), 0.0, 0.0, 8.0, &mut rng);
+        assert_eq!(db.entries(), truth().as_slice());
+    }
+
+    #[test]
+    fn localization_error_displaces_by_expected_radius() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let t = truth();
+        let db = ApDatabase::perturbed(&t, area(), 0.0, 2.0, 8.0, &mut rng);
+        for (orig, moved) in t.iter().zip(db.entries()) {
+            let d = orig.distance(*moved);
+            assert!((d - 16.0).abs() < 1e-9, "displacement {d}");
+        }
+    }
+
+    #[test]
+    fn counting_error_adds_or_removes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let t = truth();
+        // +50 %: ~2-3 dropped and ~2-3 ghosts added (count stays ~k).
+        let over = ApDatabase::perturbed(&t, area(), 0.5, 0.0, 8.0, &mut rng);
+        assert_eq!(over.len(), 10);
+        let under = ApDatabase::perturbed(&t, area(), -0.3, 0.0, 8.0, &mut rng);
+        assert_eq!(under.len(), 7);
+    }
+
+    #[test]
+    fn nearby_filters_by_range() {
+        let db = ApDatabase::new(vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)]);
+        let near = db.nearby(Point::new(10.0, 0.0), 50.0);
+        assert_eq!(near.len(), 1);
+        assert!(db.nearby(Point::new(400.0, 400.0), 50.0).is_empty());
+    }
+}

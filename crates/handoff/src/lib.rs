@@ -1,0 +1,46 @@
+//! WiFi handoff policies and connectivity evaluation (§6.3).
+//!
+//! A user-vehicle downloads crowdsensed AP lookup results and uses them
+//! to associate with roadside APs while driving. This crate simulates
+//! that loop on the VanLan-like substrate:
+//!
+//! * [`db`] — the downloaded AP database, with controllable counting
+//!   and localization error injection (the x-axes of Fig. 11),
+//! * [`connectivity`] — the per-second beacon-reception simulation and
+//!   the two association policies of §6.3: **BRR** (hard handoff to the
+//!   AP with the best exponentially averaged beacon reception ratio)
+//!   and **AllAP** (opportunistic use of every AP in the vicinity),
+//! * [`session`] — uninterrupted-session extraction and the CDF of
+//!   session lengths (Fig. 10(c)),
+//! * [`transfer`] — 10 KB TCP-like transfers with the paper's
+//!   10-second stall-restart rule (Fig. 11).
+
+#![deny(missing_docs)]
+
+pub mod connectivity;
+pub mod db;
+pub mod session;
+pub mod transfer;
+
+pub use connectivity::{ConnectivityTrace, Policy};
+pub use db::ApDatabase;
+
+/// Errors produced by the handoff simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HandoffError {
+    /// Invalid simulation parameter.
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for HandoffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandoffError::InvalidParameter(why) => write!(f, "invalid parameter: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for HandoffError {}
+
+/// Convenience alias for handoff results.
+pub type Result<T> = std::result::Result<T, HandoffError>;

@@ -1,0 +1,117 @@
+//! Uninterrupted-session analysis (Fig. 10(c)).
+
+use crate::connectivity::ConnectivityTrace;
+
+/// Lengths (in seconds) of maximal uninterrupted connected runs.
+pub fn session_lengths(trace: &ConnectivityTrace) -> Vec<usize> {
+    let mut sessions = Vec::new();
+    let mut run = 0usize;
+    for s in &trace.seconds {
+        if s.connected {
+            run += 1;
+        } else if run > 0 {
+            sessions.push(run);
+            run = 0;
+        }
+    }
+    if run > 0 {
+        sessions.push(run);
+    }
+    sessions
+}
+
+/// Empirical CDF of cumulative *time spent* in sessions of at most a
+/// given length — the paper's Fig. 10(c) weighs each session by its
+/// duration, not its count. Returns `(length, fraction_of_time)` pairs
+/// with strictly increasing lengths.
+pub fn time_weighted_cdf(lengths: &[usize]) -> Vec<(usize, f64)> {
+    if lengths.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = lengths.to_vec();
+    sorted.sort_unstable();
+    let total: usize = sorted.iter().sum();
+    let mut out: Vec<(usize, f64)> = Vec::new();
+    let mut acc = 0usize;
+    for &len in &sorted {
+        acc += len;
+        let frac = acc as f64 / total as f64;
+        match out.last_mut() {
+            Some(last) if last.0 == len => last.1 = frac,
+            _ => out.push((len, frac)),
+        }
+    }
+    out
+}
+
+/// The session length at which half the connected time is accumulated
+/// (the "median session length" of §6.3); `None` without sessions.
+pub fn median_session_length(lengths: &[usize]) -> Option<usize> {
+    let cdf = time_weighted_cdf(lengths);
+    cdf.into_iter().find(|&(_, f)| f >= 0.5).map(|(l, _)| l)
+}
+
+/// Probability that an uninterrupted session is longer than `length`,
+/// time-weighted (the complement the paper quotes when comparing AllAP
+/// against BRR at the median).
+pub fn prob_longer_than(lengths: &[usize], length: usize) -> f64 {
+    let cdf = time_weighted_cdf(lengths);
+    if cdf.is_empty() {
+        return 0.0;
+    }
+    let below = cdf
+        .iter()
+        .take_while(|&&(l, _)| l <= length)
+        .last()
+        .map(|&(_, f)| f)
+        .unwrap_or(0.0);
+    1.0 - below
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::{Policy, SecondRecord};
+    use crowdwifi_geo::Point;
+
+    fn trace(flags: &[bool]) -> ConnectivityTrace {
+        ConnectivityTrace {
+            policy: Policy::AllAp,
+            seconds: flags
+                .iter()
+                .map(|&connected| SecondRecord {
+                    position: Point::new(0.0, 0.0),
+                    best_ratio: 0.0,
+                    connected,
+                    handoff: false,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn session_extraction() {
+        let t = trace(&[true, true, false, true, false, true, true, true]);
+        assert_eq!(session_lengths(&t), vec![2, 1, 3]);
+        assert_eq!(session_lengths(&trace(&[false, false])), Vec::<usize>::new());
+        assert_eq!(session_lengths(&trace(&[true])), vec![1]);
+    }
+
+    #[test]
+    fn cdf_is_time_weighted_and_monotone() {
+        let lengths = [1, 1, 2, 6];
+        let cdf = time_weighted_cdf(&lengths);
+        // Total time 10: lengths ≤ 1 hold 2/10, ≤ 2 hold 4/10, ≤ 6 all.
+        assert_eq!(cdf, vec![(1, 0.2), (2, 0.4), (6, 1.0)]);
+    }
+
+    #[test]
+    fn median_and_tail() {
+        let lengths = [1, 1, 2, 6];
+        assert_eq!(median_session_length(&lengths), Some(6));
+        assert!((prob_longer_than(&lengths, 2) - 0.6).abs() < 1e-12);
+        assert_eq!(prob_longer_than(&lengths, 6), 0.0);
+        assert_eq!(prob_longer_than(&[], 3), 0.0);
+        assert_eq!(median_session_length(&[]), None);
+    }
+}

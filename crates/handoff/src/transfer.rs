@@ -1,0 +1,200 @@
+//! TCP-like file-transfer evaluation (Fig. 11).
+//!
+//! §6.3: "we next conduct an experiment transferring a 10 KB file over
+//! TCP among user-vehicles and APs … transfers that make no progress
+//! for 10 s are terminated and re-started afresh." Transfers run
+//! back-to-back inside each connected session; the metrics are the
+//! median time to complete a transfer and the average number of
+//! completed transfers per session.
+
+use crate::connectivity::ConnectivityTrace;
+use crate::session::session_lengths;
+use rand::{Rng, RngExt};
+
+/// Transfer-simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferConfig {
+    /// File size in kilobytes (paper: 10 KB).
+    pub file_kb: f64,
+    /// Effective goodput in kilobytes per second at perfect reception.
+    /// The raw link is 1 Mbps (125 kB/s), but TCP over lossy half-duplex
+    /// 802.11b with beacon contention delivers a fraction of that; 25
+    /// kB/s makes a clean 10 KB transfer take ≈0.4 s of air time.
+    pub rate_kbps: f64,
+    /// Simulation tick in seconds.
+    pub tick: f64,
+    /// Stall timeout: a transfer with no progress for this long is
+    /// restarted afresh (paper: 10 s).
+    pub stall_timeout: f64,
+    /// Fixed per-transfer setup overhead in seconds (TCP handshake).
+    pub setup_overhead: f64,
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        TransferConfig {
+            file_kb: 10.0,
+            rate_kbps: 25.0,
+            tick: 0.1,
+            stall_timeout: 10.0,
+            setup_overhead: 0.2,
+        }
+    }
+}
+
+/// Aggregated transfer results for one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferStats {
+    /// Completion times of every finished transfer, in seconds.
+    pub completion_times: Vec<f64>,
+    /// Average completed transfers per connected session.
+    pub transfers_per_session: f64,
+    /// Number of stall-restarts that occurred.
+    pub restarts: usize,
+}
+
+impl TransferStats {
+    /// Median completion time; `None` when nothing completed.
+    pub fn median_time(&self) -> Option<f64> {
+        if self.completion_times.is_empty() {
+            return None;
+        }
+        let mut sorted = self.completion_times.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        Some(sorted[sorted.len() / 2])
+    }
+}
+
+/// Runs back-to-back transfers over a connectivity trace.
+///
+/// Each second of the trace provides a reception ratio; during a tick a
+/// packet burst succeeds with that probability, delivering
+/// `rate · tick` kilobytes. Disconnected seconds deliver nothing (and
+/// count toward the stall timer).
+pub fn run_transfers<R: Rng + ?Sized>(
+    trace: &ConnectivityTrace,
+    config: TransferConfig,
+    rng: &mut R,
+) -> TransferStats {
+    let mut completion_times = Vec::new();
+    let mut restarts = 0usize;
+
+    let mut in_progress = 0.0_f64; // kB delivered of current transfer
+    let mut elapsed = 0.0_f64; // seconds spent on current transfer
+    let mut stalled_for = 0.0_f64;
+
+    for second in &trace.seconds {
+        let ratio = if second.connected {
+            second.best_ratio
+        } else {
+            0.0
+        };
+        let mut t = 0.0;
+        while t < 1.0 - 1e-9 {
+            t += config.tick;
+            elapsed += config.tick;
+            let delivered = if ratio > 0.0 && rng.random_range(0.0..1.0) < ratio {
+                config.rate_kbps * config.tick
+            } else {
+                0.0
+            };
+            if delivered > 0.0 {
+                in_progress += delivered;
+                stalled_for = 0.0;
+            } else {
+                stalled_for += config.tick;
+            }
+            if elapsed >= config.setup_overhead && in_progress >= config.file_kb {
+                completion_times.push(elapsed);
+                in_progress = 0.0;
+                elapsed = 0.0;
+                stalled_for = 0.0;
+            } else if stalled_for >= config.stall_timeout {
+                // Restart afresh: progress lost, timer keeps running on
+                // the *new* attempt.
+                restarts += 1;
+                in_progress = 0.0;
+                elapsed = 0.0;
+                stalled_for = 0.0;
+            }
+        }
+    }
+
+    let sessions = session_lengths(trace).len();
+    let transfers_per_session = if sessions == 0 {
+        0.0
+    } else {
+        completion_times.len() as f64 / sessions as f64
+    };
+    TransferStats {
+        completion_times,
+        transfers_per_session,
+        restarts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::{Policy, SecondRecord};
+    use crowdwifi_geo::Point;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn trace_with_ratio(seconds: usize, ratio: f64) -> ConnectivityTrace {
+        ConnectivityTrace {
+            policy: Policy::AllAp,
+            seconds: (0..seconds)
+                .map(|_| SecondRecord {
+                    position: Point::new(0.0, 0.0),
+                    best_ratio: ratio,
+                    connected: ratio > 0.5,
+                    handoff: false,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn perfect_link_completes_many_fast_transfers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let stats = run_transfers(&trace_with_ratio(60, 1.0), TransferConfig::default(), &mut rng);
+        assert!(stats.completion_times.len() > 50);
+        let median = stats.median_time().unwrap();
+        assert!((0.3..1.5).contains(&median), "median {median}");
+        assert_eq!(stats.restarts, 0);
+    }
+
+    #[test]
+    fn dead_link_completes_nothing_and_restarts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let stats = run_transfers(&trace_with_ratio(60, 0.0), TransferConfig::default(), &mut rng);
+        assert!(stats.completion_times.is_empty());
+        assert!(stats.restarts >= 5);
+        assert_eq!(stats.median_time(), None);
+    }
+
+    #[test]
+    fn weaker_link_means_slower_transfers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let strong = run_transfers(&trace_with_ratio(120, 0.95), TransferConfig::default(), &mut rng);
+        let weak = run_transfers(&trace_with_ratio(120, 0.55), TransferConfig::default(), &mut rng);
+        assert!(strong.median_time().unwrap() <= weak.median_time().unwrap());
+        assert!(strong.completion_times.len() > weak.completion_times.len());
+    }
+
+    #[test]
+    fn transfers_per_session_accounting() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        // Two 30 s sessions separated by an outage.
+        let mut seconds = trace_with_ratio(30, 1.0).seconds;
+        seconds.extend(trace_with_ratio(5, 0.0).seconds);
+        seconds.extend(trace_with_ratio(30, 1.0).seconds);
+        let trace = ConnectivityTrace {
+            policy: Policy::AllAp,
+            seconds,
+        };
+        let stats = run_transfers(&trace, TransferConfig::default(), &mut rng);
+        assert!(stats.transfers_per_session > 10.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the handoff substrate.
+
+use crowdwifi_geo::Point;
+use crowdwifi_handoff::connectivity::{ConnectivityTrace, Policy, SecondRecord};
+use crowdwifi_handoff::db::ApDatabase;
+use crowdwifi_handoff::session::{
+    median_session_length, prob_longer_than, session_lengths, time_weighted_cdf,
+};
+use crowdwifi_handoff::transfer::{run_transfers, TransferConfig};
+use crowdwifi_geo::Rect;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn trace_from(flags: &[bool], ratio: f64) -> ConnectivityTrace {
+    ConnectivityTrace {
+        policy: Policy::AllAp,
+        seconds: flags
+            .iter()
+            .map(|&connected| SecondRecord {
+                position: Point::new(0.0, 0.0),
+                best_ratio: if connected { ratio } else { 0.0 },
+                connected,
+                handoff: false,
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn session_lengths_partition_connected_time(flags in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let trace = trace_from(&flags, 1.0);
+        let lengths = session_lengths(&trace);
+        let connected = flags.iter().filter(|&&c| c).count();
+        prop_assert_eq!(lengths.iter().sum::<usize>(), connected);
+        prop_assert!(lengths.iter().all(|&l| l > 0));
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one(lengths in proptest::collection::vec(1usize..50, 1..30)) {
+        let cdf = time_weighted_cdf(&lengths);
+        prop_assert!(!cdf.is_empty());
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+            prop_assert!(w[0].1 <= w[1].1 + 1e-12);
+        }
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_probability_complements_cdf(lengths in proptest::collection::vec(1usize..50, 1..30), q in 0usize..60) {
+        let p = prob_longer_than(&lengths, q);
+        prop_assert!((0.0..=1.0).contains(&p));
+        // Longer thresholds can only shrink the tail.
+        prop_assert!(prob_longer_than(&lengths, q + 1) <= p + 1e-12);
+    }
+
+    #[test]
+    fn median_session_is_a_real_length(lengths in proptest::collection::vec(1usize..50, 1..30)) {
+        let m = median_session_length(&lengths).unwrap();
+        prop_assert!(lengths.contains(&m));
+    }
+
+    #[test]
+    fn transfers_complete_only_on_connected_traces(
+        flags in proptest::collection::vec(any::<bool>(), 10..80),
+        seed in 0u64..100,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let trace = trace_from(&flags, 1.0);
+        let stats = run_transfers(&trace, TransferConfig::default(), &mut rng);
+        if flags.iter().all(|&c| !c) {
+            prop_assert!(stats.completion_times.is_empty());
+        }
+        for &t in &stats.completion_times {
+            prop_assert!(t > 0.0 && t.is_finite());
+        }
+    }
+
+    #[test]
+    fn better_links_never_hurt_throughput(flags in proptest::collection::vec(any::<bool>(), 40..120)) {
+        let mut rng1 = ChaCha8Rng::seed_from_u64(5);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(5);
+        let strong = run_transfers(&trace_from(&flags, 1.0), TransferConfig::default(), &mut rng1);
+        let weak = run_transfers(&trace_from(&flags, 0.6), TransferConfig::default(), &mut rng2);
+        prop_assert!(strong.completion_times.len() >= weak.completion_times.len());
+    }
+
+    #[test]
+    fn db_perturbation_error_levels_are_respected(
+        count_err in 0.0..3.0f64,
+        loc_err in 0.0..3.0f64,
+        seed in 0u64..100,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let area = Rect::new(Point::new(0.0, 0.0), Point::new(500.0, 500.0)).unwrap();
+        let truth: Vec<Point> = (0..8).map(|i| Point::new(60.0 * i as f64 + 20.0, 250.0)).collect();
+        let db = ApDatabase::perturbed(&truth, area, count_err, loc_err, 10.0, &mut rng);
+        // The count deviates from k by about count_err·k (split between
+        // drops and ghosts, so the net count stays within the gross
+        // error bound).
+        let k = truth.len() as f64;
+        prop_assert!((db.len() as f64 - k).abs() <= count_err * k + 1.0);
+        prop_assert!(!db.is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Conjugate-gradient solver for symmetric positive-definite systems.
+//!
+//! The direct factorizations ([`crate::solve`]) are right for the small
+//! per-window systems; CG is the matrix-free alternative when `(AᵀA+ρI)`
+//! grows with the grid (city-scale maps) — it only needs matvecs.
+
+use crate::matrix::Matrix;
+use crate::vector;
+use crate::{LinalgError, Result};
+
+/// Outcome of a CG solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgSolution {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final residual norm `‖b − A x‖₂`.
+    pub residual_norm: f64,
+    /// Whether the tolerance was met before the iteration cap.
+    pub converged: bool,
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` by conjugate
+/// gradients.
+///
+/// `tol` is relative to `‖b‖₂`; `max_iterations` defaults to the
+/// dimension when 0 is passed (CG converges in at most `n` exact steps).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] for non-square `A` or a
+/// mismatched `b`, and [`LinalgError::NotPositiveDefinite`] if a
+/// curvature `pᵀAp ≤ 0` is encountered (the matrix is not SPD).
+///
+/// # Example
+///
+/// ```
+/// use crowdwifi_linalg::{cg::conjugate_gradient, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+/// let sol = conjugate_gradient(&a, &[1.0, 2.0], 1e-10, 0)?;
+/// assert!(sol.converged);
+/// assert!((a.matvec(&sol.x)[0] - 1.0).abs() < 1e-8);
+/// # Ok::<(), crowdwifi_linalg::LinalgError>(())
+/// ```
+pub fn conjugate_gradient(
+    a: &Matrix,
+    b: &[f64],
+    tol: f64,
+    max_iterations: usize,
+) -> Result<CgSolution> {
+    let n = a.rows();
+    if n != a.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            expected: "square matrix".to_string(),
+            found: format!("{}x{}", a.rows(), a.cols()),
+        });
+    }
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            expected: format!("rhs of length {n}"),
+            found: format!("length {}", b.len()),
+        });
+    }
+    let cap = if max_iterations == 0 {
+        2 * n
+    } else {
+        max_iterations
+    };
+    let bnorm = vector::norm2(b).max(1e-300);
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut rs = vector::dot(&r, &r);
+    let mut iterations = 0;
+
+    while iterations < cap {
+        if rs.sqrt() <= tol * bnorm {
+            break;
+        }
+        iterations += 1;
+        let ap = a.matvec(&p);
+        let curvature = vector::dot(&p, &ap);
+        if curvature <= 0.0 {
+            return Err(LinalgError::NotPositiveDefinite);
+        }
+        let alpha = rs / curvature;
+        vector::axpy(alpha, &p, &mut x);
+        vector::axpy(-alpha, &ap, &mut r);
+        let rs_new = vector::dot(&r, &r);
+        let beta = rs_new / rs;
+        for (pi, &ri) in p.iter_mut().zip(&r) {
+            *pi = ri + beta * *pi;
+        }
+        rs = rs_new;
+    }
+
+    let residual_norm = vector::norm2(&vector::sub(b, &a.matvec(&x)));
+    Ok(CgSolution {
+        x,
+        iterations,
+        residual_norm,
+        converged: residual_norm <= tol * bnorm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::Cholesky;
+
+    fn spd(n: usize) -> Matrix {
+        // AᵀA + I from a deterministic rectangular seed matrix.
+        let seed = Matrix::from_fn(n + 2, n, |r, c| ((r * 7 + c * 3) % 11) as f64 - 5.0);
+        let mut g = seed.transpose().matmul(&seed);
+        for i in 0..n {
+            g.set(i, i, g.get(i, i) + 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let sol = conjugate_gradient(&a, &[1.0, 2.0], 1e-12, 0).unwrap();
+        assert!(sol.converged);
+        // Exact solution (1/11, 7/11).
+        assert!((sol.x[0] - 1.0 / 11.0).abs() < 1e-9);
+        assert!((sol.x[1] - 7.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agrees_with_cholesky() {
+        let a = spd(12);
+        let b: Vec<f64> = (0..12).map(|i| (i as f64 * 0.37).sin()).collect();
+        let cg = conjugate_gradient(&a, &b, 1e-12, 0).unwrap();
+        let ch = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        for (x, y) in cg.x.iter().zip(&ch) {
+            assert!((x - y).abs() < 1e-7, "CG {x} vs Cholesky {y}");
+        }
+    }
+
+    #[test]
+    fn converges_within_dimension_for_exact_arithmetic() {
+        let a = spd(20);
+        let b = vec![1.0; 20];
+        let sol = conjugate_gradient(&a, &b, 1e-10, 0).unwrap();
+        assert!(sol.converged);
+        assert!(sol.iterations <= 40);
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert_eq!(
+            conjugate_gradient(&a, &[1.0, -1.0], 1e-10, 0).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        assert!(conjugate_gradient(&a, &[1.0, 1.0], 1e-10, 0).is_err());
+        let sq = Matrix::identity(3);
+        assert!(conjugate_gradient(&sq, &[1.0], 1e-10, 0).is_err());
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = spd(5);
+        let sol = conjugate_gradient(&a, &[0.0; 5], 1e-12, 0).unwrap();
+        assert!(sol.x.iter().all(|&v| v == 0.0));
+        assert!(sol.converged);
+    }
+}

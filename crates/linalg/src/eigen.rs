@@ -1,0 +1,212 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// Maximum number of full Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 100;
+
+/// Eigendecomposition `A = V diag(λ) Vᵀ` of a symmetric matrix.
+///
+/// Eigenpairs are sorted by **descending** eigenvalue, the order both the
+/// classical-MDS baseline and the SVD construction want.
+///
+/// # Example
+///
+/// ```
+/// use crowdwifi_linalg::{Matrix, SymmetricEigen};
+///
+/// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]);
+/// let e = SymmetricEigen::new(&a).unwrap();
+/// assert!((e.eigenvalues()[0] - 3.0).abs() < 1e-10);
+/// assert!((e.eigenvalues()[1] - 2.0).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    eigenvalues: Vec<f64>,
+    eigenvectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Computes the eigendecomposition of symmetric `a`.
+    ///
+    /// Only the lower triangle is trusted; minor asymmetry from round-off
+    /// is tolerated by symmetrizing internally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] for non-square input,
+    /// [`LinalgError::Empty`] for a 0×0 matrix and
+    /// [`LinalgError::NoConvergence`] if the sweeps fail to drive the
+    /// off-diagonal mass to zero (pathological inputs only).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let n = a.rows();
+        if n != a.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                expected: "square matrix".to_string(),
+                found: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+
+        // Symmetrize to be robust to tiny asymmetries in the input.
+        let mut m = Matrix::from_fn(n, n, |r, c| 0.5 * (a.get(r, c) + a.get(c, r)));
+        let mut v = Matrix::identity(n);
+
+        let off = |m: &Matrix| -> f64 {
+            let mut s = 0.0;
+            for r in 0..n {
+                for c in (r + 1)..n {
+                    s += m.get(r, c) * m.get(r, c);
+                }
+            }
+            s.sqrt()
+        };
+
+        let scale = m.max_abs().max(1.0);
+        let tol = 1e-14 * scale * (n as f64);
+
+        let mut sweeps = 0;
+        while off(&m) > tol {
+            sweeps += 1;
+            if sweeps > MAX_SWEEPS {
+                return Err(LinalgError::NoConvergence { iterations: sweeps });
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m.get(p, q);
+                    if apq.abs() <= tol / (n as f64) {
+                        continue;
+                    }
+                    let app = m.get(p, p);
+                    let aqq = m.get(q, q);
+                    // Classic Jacobi rotation.
+                    let tau = (aqq - app) / (2.0 * apq);
+                    let t = if tau >= 0.0 {
+                        1.0 / (tau + (1.0 + tau * tau).sqrt())
+                    } else {
+                        -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+
+                    // Update rows/columns p and q of m.
+                    for k in 0..n {
+                        let mkp = m.get(k, p);
+                        let mkq = m.get(k, q);
+                        m.set(k, p, c * mkp - s * mkq);
+                        m.set(k, q, s * mkp + c * mkq);
+                    }
+                    for k in 0..n {
+                        let mpk = m.get(p, k);
+                        let mqk = m.get(q, k);
+                        m.set(p, k, c * mpk - s * mqk);
+                        m.set(q, k, s * mpk + c * mqk);
+                    }
+                    // Accumulate eigenvectors.
+                    for k in 0..n {
+                        let vkp = v.get(k, p);
+                        let vkq = v.get(k, q);
+                        v.set(k, p, c * vkp - s * vkq);
+                        v.set(k, q, s * vkp + c * vkq);
+                    }
+                }
+            }
+        }
+
+        // Extract and sort descending.
+        let mut order: Vec<usize> = (0..n).collect();
+        let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+        order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("NaN eigenvalue"));
+        let eigenvalues: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+        let eigenvectors = v.select_cols(&order);
+
+        Ok(SymmetricEigen {
+            eigenvalues,
+            eigenvectors,
+        })
+    }
+
+    /// Eigenvalues in descending order.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Matrix whose `i`-th column is the eigenvector for `eigenvalues()[i]`.
+    pub fn eigenvectors(&self) -> &Matrix {
+        &self.eigenvectors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_decomposition(a: &Matrix) {
+        let e = SymmetricEigen::new(a).unwrap();
+        let n = a.rows();
+        let v = e.eigenvectors();
+        // V diag(λ) Vᵀ == A
+        let lam = Matrix::diagonal(e.eigenvalues());
+        let back = v.matmul(&lam).matmul(&v.transpose());
+        assert!(back.approx_eq(a, 1e-8), "reconstruction failed for {a}");
+        // V orthogonal.
+        assert!(v
+            .transpose()
+            .matmul(v)
+            .approx_eq(&Matrix::identity(n), 1e-8));
+        // Sorted descending.
+        for w in e.eigenvalues().windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::diagonal(&[1.0, 5.0, 3.0]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((e.eigenvalues()[0] - 5.0).abs() < 1e-12);
+        assert!((e.eigenvalues()[1] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues()[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = SymmetricEigen::new(&a).unwrap();
+        assert!((e.eigenvalues()[0] - 3.0).abs() < 1e-10);
+        assert!((e.eigenvalues()[1] - 1.0).abs() < 1e-10);
+        check_decomposition(&a);
+    }
+
+    #[test]
+    fn reconstruction_various_sizes() {
+        check_decomposition(&Matrix::from_rows(&[
+            &[4.0, 1.0, -2.0],
+            &[1.0, 2.0, 0.0],
+            &[-2.0, 0.0, 3.0],
+        ]));
+        // A Gram matrix (PSD) of a random-ish 4x3.
+        let b = Matrix::from_fn(4, 3, |r, c| ((r * 5 + c * 3) % 7) as f64 - 3.0);
+        check_decomposition(&b.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(matches!(
+            SymmetricEigen::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            SymmetricEigen::new(&Matrix::zeros(0, 0)).unwrap_err(),
+            LinalgError::Empty
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! Direct solvers: LU with partial pivoting and Cholesky.
+//!
+//! The ADMM basis-pursuit solver factors `(AᵀA + ρI)` once per problem and
+//! back-substitutes every iteration — Cholesky makes that cheap.
+
+// Index-based loops below mirror the textbook algorithms; iterator
+// rewrites obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// LU decomposition with partial pivoting (`P A = L U`).
+///
+/// # Example
+///
+/// ```
+/// use crowdwifi_linalg::{Matrix, solve::Lu};
+///
+/// let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]);
+/// let lu = Lu::new(&a).unwrap();
+/// let x = lu.solve(&[2.0, 2.0]).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    lu: Matrix,
+    /// Row permutation applied to the right-hand side.
+    perm: Vec<usize>,
+}
+
+impl Lu {
+    /// Factors square `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] for non-square input and
+    /// [`LinalgError::Singular`] if a pivot vanishes.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let n = a.rows();
+        if n != a.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                expected: "square matrix".to_string(),
+                found: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Partial pivoting: largest |entry| in column k at/below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu.get(k, k).abs();
+            for r in (k + 1)..n {
+                let v = lu.get(r, k).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = lu.get(k, c);
+                    lu.set(k, c, lu.get(pivot_row, c));
+                    lu.set(pivot_row, c, tmp);
+                }
+                perm.swap(k, pivot_row);
+            }
+            let pivot = lu.get(k, k);
+            for r in (k + 1)..n {
+                let factor = lu.get(r, k) / pivot;
+                lu.set(r, k, factor);
+                for c in (k + 1)..n {
+                    let v = lu.get(r, c) - factor * lu.get(k, c);
+                    lu.set(r, c, v);
+                }
+            }
+        }
+        Ok(Lu { lu, perm })
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("rhs of length {n}"),
+                found: format!("length {}", b.len()),
+            });
+        }
+        // Forward substitution with permuted b (L has unit diagonal).
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[self.perm[i]];
+            for j in 0..i {
+                s -= self.lu.get(i, j) * y[j];
+            }
+            y[i] = s;
+        }
+        // Back substitution on U.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = s / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+}
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+/// matrix.
+///
+/// # Example
+///
+/// ```
+/// use crowdwifi_linalg::{Matrix, solve::Cholesky};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let ch = Cholesky::new(&a).unwrap();
+/// let x = ch.solve(&[8.0, 7.0]).unwrap();
+/// assert!((x[0] - 1.25).abs() < 1e-12 && (x[1] - 1.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors symmetric positive-definite `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] for non-square input and
+    /// [`LinalgError::NotPositiveDefinite`] when a diagonal pivot is
+    /// non-positive.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let n = a.rows();
+        if n != a.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                expected: "square matrix".to_string(),
+                found: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a.get(i, j);
+                for k in 0..j {
+                    s -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite);
+                    }
+                    l.set(i, j, s.sqrt());
+                } else {
+                    l.set(i, j, s / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via the two triangular solves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("rhs of length {n}"),
+                found: format!("length {}", b.len()),
+            });
+        }
+        // L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for j in 0..i {
+                s -= self.l.get(i, j) * y[j];
+            }
+            y[i] = s / self.l.get(i, i);
+        }
+        // Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.l.get(j, i) * x[j];
+            }
+            x[i] = s / self.l.get(i, i);
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_solves_with_pivoting_needed() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = Lu::new(&a).unwrap().solve(&[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_random_roundtrip() {
+        let a = Matrix::from_rows(&[
+            &[2.0, -1.0, 3.0],
+            &[4.0, 2.0, 1.0],
+            &[-2.0, 5.0, -1.0],
+        ]);
+        let x_true = [1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let x = Lu::new(&a).unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(Lu::new(&a).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn cholesky_factor_reconstructs() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0, 0.0], &[2.0, 5.0, 1.0], &[0.0, 1.0, 3.0]]);
+        let ch = Cholesky::new(&a).unwrap();
+        assert!(ch.l().matmul(&ch.l().transpose()).approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert_eq!(
+            Cholesky::new(&a).unwrap_err(),
+            LinalgError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn solvers_agree() {
+        let a = Matrix::from_rows(&[&[5.0, 1.0], &[1.0, 4.0]]);
+        let b = [6.0, 5.0];
+        let x1 = Lu::new(&a).unwrap().solve(&b).unwrap();
+        let x2 = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use crowdwifi_linalg::qr::orth;
+use crowdwifi_linalg::solve::{Cholesky, Lu};
+use crowdwifi_linalg::svd::pseudo_inverse;
+use crowdwifi_linalg::{Matrix, QrDecomposition, SymmetricEigen, Svd};
+use proptest::prelude::*;
+
+/// Small well-scaled matrix entries.
+fn entry() -> impl Strategy<Value = f64> {
+    (-10.0..10.0f64).prop_map(|x| (x * 16.0).round() / 16.0)
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(entry(), rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(m in (1usize..6, 1usize..6).prop_flat_map(|(r, c)| matrix(r, c))) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associates_with_transpose(m in matrix(4, 3)) {
+        // (A Aᵀ)ᵀ = A Aᵀ (symmetry of Gram matrices).
+        let g = m.matmul(&m.transpose());
+        prop_assert!(g.transpose().approx_eq(&g, 1e-9));
+    }
+
+    #[test]
+    fn qr_reconstructs(m in (1usize..7, 1usize..7).prop_flat_map(|(r, c)| matrix(r, c))) {
+        let qr = QrDecomposition::new(&m);
+        prop_assert!(qr.q().matmul(qr.r()).approx_eq(&m, 1e-8));
+        let qtq = qr.q().transpose().matmul(qr.q());
+        prop_assert!(qtq.approx_eq(&Matrix::identity(qr.q().cols()), 1e-8));
+    }
+
+    #[test]
+    fn eigen_reconstructs_gram(m in matrix(5, 3)) {
+        let g = m.transpose().matmul(&m);
+        let e = SymmetricEigen::new(&g).unwrap();
+        let lam = Matrix::diagonal(e.eigenvalues());
+        let back = e.eigenvectors().matmul(&lam).matmul(&e.eigenvectors().transpose());
+        prop_assert!(back.approx_eq(&g, 1e-6 * (1.0 + g.max_abs())));
+        // Gram matrices are PSD: eigenvalues non-negative up to round-off.
+        for &l in e.eigenvalues() {
+            prop_assert!(l > -1e-8 * (1.0 + g.max_abs()));
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs(m in (1usize..6, 1usize..6).prop_flat_map(|(r, c)| matrix(r, c))) {
+        let svd = Svd::new(&m).unwrap();
+        let sigma = Matrix::diagonal(svd.singular_values());
+        let back = svd.u().matmul(&sigma).matmul(&svd.v().transpose());
+        prop_assert!(back.approx_eq(&m, 1e-6 * (1.0 + m.max_abs())));
+    }
+
+    #[test]
+    fn pinv_penrose_one(m in (1usize..5, 1usize..5).prop_flat_map(|(r, c)| matrix(r, c))) {
+        let p = pseudo_inverse(&m).unwrap();
+        // A A† A = A always holds, full rank or not.
+        let back = m.matmul(&p).matmul(&m);
+        prop_assert!(back.approx_eq(&m, 1e-5 * (1.0 + m.max_abs())));
+    }
+
+    #[test]
+    fn orth_columns_are_orthonormal(m in (1usize..6, 1usize..6).prop_flat_map(|(r, c)| matrix(r, c))) {
+        let q = orth(&m);
+        let qtq = q.transpose().matmul(&q);
+        prop_assert!(qtq.approx_eq(&Matrix::identity(q.cols()), 1e-8));
+        // Q spans col(A): projecting A onto span(Q) reproduces A.
+        let proj = q.matmul(&q.transpose().matmul(&m));
+        prop_assert!(proj.approx_eq(&m, 1e-6 * (1.0 + m.max_abs())));
+    }
+
+    #[test]
+    fn lu_roundtrips_diagonally_dominant(data in proptest::collection::vec(entry(), 9), x in proptest::collection::vec(entry(), 3)) {
+        // Force diagonal dominance so the system is well conditioned.
+        let mut a = Matrix::from_vec(3, 3, data).unwrap();
+        for i in 0..3 {
+            let rowsum: f64 = (0..3).map(|j| a.get(i, j).abs()).sum();
+            a.set(i, i, rowsum + 1.0);
+        }
+        let b = a.matvec(&x);
+        let got = Lu::new(&a).unwrap().solve(&b).unwrap();
+        for (g, t) in got.iter().zip(&x) {
+            prop_assert!((g - t).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn cholesky_solves_spd(m in matrix(4, 3), x in proptest::collection::vec(entry(), 3)) {
+        // AᵀA + I is always SPD.
+        let mut g = m.transpose().matmul(&m);
+        for i in 0..3 {
+            g.set(i, i, g.get(i, i) + 1.0);
+        }
+        let b = g.matvec(&x);
+        let got = Cholesky::new(&g).unwrap().solve(&b).unwrap();
+        for (gv, t) in got.iter().zip(&x) {
+            prop_assert!((gv - t).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! The CrowdWiFi middleware: crowd-server, crowd-vehicles and
+//! user-vehicles wired together (§3 and §5.5 of the paper).
+//!
+//! Three parties cooperate:
+//!
+//! * **crowd-vehicles** run the online CS estimator over their own RSS
+//!   streams, upload coarse per-segment AP estimates, and answer the
+//!   server's pattern-mapping tasks with ±1 labels ([`vehicle`]);
+//! * the **crowd-server** partitions the map into road segments,
+//!   generates candidate AP distribution patterns, assigns mapping
+//!   tasks on a bipartite graph, infers vehicle reliabilities with
+//!   iterative message passing, and fuses uploads into fine-grained AP
+//!   estimates ([`server`]);
+//! * **user-vehicles** download the fused AP list for their route
+//!   ([`server::CrowdServer::download`]).
+//!
+//! [`platform`] runs the whole loop across threads connected by
+//! channels — the in-process stand-in for the paper's web platform.
+//!
+//! # Example
+//!
+//! See `examples/crowd_platform.rs` at the workspace root for the full
+//! three-party round trip.
+
+#![deny(missing_docs)]
+
+pub mod messages;
+pub mod platform;
+pub mod segment;
+pub mod server;
+pub mod user;
+pub mod vehicle;
+
+pub use server::CrowdServer;
+pub use user::UserVehicle;
+pub use vehicle::CrowdVehicle;
+
+/// Errors produced by the middleware.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MiddlewareError {
+    /// The referenced vehicle is not registered.
+    UnknownVehicle(u32),
+    /// Configuration problem.
+    InvalidConfig(String),
+    /// The underlying estimator failed.
+    Estimator(String),
+    /// Crowdsourcing failure.
+    Crowd(String),
+}
+
+impl std::fmt::Display for MiddlewareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MiddlewareError::UnknownVehicle(id) => write!(f, "unknown vehicle {id}"),
+            MiddlewareError::InvalidConfig(why) => write!(f, "invalid config: {why}"),
+            MiddlewareError::Estimator(e) => write!(f, "estimator failure: {e}"),
+            MiddlewareError::Crowd(e) => write!(f, "crowdsourcing failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MiddlewareError {}
+
+impl From<crowdwifi_core::CoreError> for MiddlewareError {
+    fn from(e: crowdwifi_core::CoreError) -> Self {
+        MiddlewareError::Estimator(e.to_string())
+    }
+}
+
+impl From<crowdwifi_crowd::CrowdError> for MiddlewareError {
+    fn from(e: crowdwifi_crowd::CrowdError) -> Self {
+        MiddlewareError::Crowd(e.to_string())
+    }
+}
+
+/// Convenience alias for middleware results.
+pub type Result<T> = std::result::Result<T, MiddlewareError>;

@@ -1,0 +1,97 @@
+//! Client–server protocol messages.
+
+use crate::segment::SegmentId;
+use crowdwifi_core::ApEstimate;
+use crowdwifi_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a crowd-vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VehicleId(pub u32);
+
+impl std::fmt::Display for VehicleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vehicle{}", self.0)
+    }
+}
+
+/// A candidate AP distribution pattern for one road segment — the unit
+/// of a mapping task (§5.2, Fig. 4(a)): crowd-vehicles answer whether
+/// this pattern exists (+1) or not (−1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pattern {
+    /// The road segment the pattern describes.
+    pub segment: SegmentId,
+    /// Hypothesized AP positions within the segment.
+    pub aps: Vec<Point>,
+}
+
+/// A coarse sensing upload from one crowd-vehicle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensingUpload {
+    /// The reporting vehicle.
+    pub vehicle: VehicleId,
+    /// Consolidated estimates from the vehicle's online CS run.
+    pub estimates: Vec<ApEstimate>,
+}
+
+/// A mapping task handed to a crowd-vehicle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappingTask {
+    /// Server-side task index (stable across the round).
+    pub task_id: usize,
+    /// The pattern to confirm or deny.
+    pub pattern: Pattern,
+}
+
+/// A crowd-vehicle's answer to one mapping task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappingAnswer {
+    /// The answering vehicle.
+    pub vehicle: VehicleId,
+    /// The task being answered.
+    pub task_id: usize,
+    /// +1 = the pattern exists, −1 = it does not.
+    pub label: i8,
+}
+
+/// Messages from vehicles to the server (used by the threaded
+/// [`crate::platform`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToServer {
+    /// Upload of coarse sensing results.
+    Upload(SensingUpload),
+    /// Answers to assigned mapping tasks.
+    Answers(Vec<MappingAnswer>),
+}
+
+/// Messages from the server to a vehicle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToVehicle {
+    /// Mapping tasks to label.
+    Assign(Vec<MappingTask>),
+    /// End of the crowdsourcing round.
+    Done,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(VehicleId(3).to_string(), "vehicle3");
+    }
+
+    #[test]
+    fn answer_labels_are_plain_data() {
+        let a = MappingAnswer {
+            vehicle: VehicleId(1),
+            task_id: 7,
+            label: -1,
+        };
+        assert_eq!(a.label, -1);
+        let b = a;
+        assert_eq!(a, b);
+    }
+}

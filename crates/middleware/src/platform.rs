@@ -1,0 +1,369 @@
+//! The threaded crowdsourcing platform: server and vehicles as
+//! concurrent actors connected by channels (the in-process stand-in for
+//! the web platform of §5.5).
+
+use crate::messages::{ToServer, ToVehicle, VehicleId};
+use crate::segment::SegmentMap;
+use crate::server::{CrowdServer, RoundOutcome};
+use crate::vehicle::CrowdVehicle;
+use crate::{MiddlewareError, Result};
+use crossbeam::channel;
+use crowdwifi_channel::RssReading;
+use crowdwifi_crowd::fusion::FusedAp;
+use parking_lot::Mutex;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// Configuration of one platform round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformConfig {
+    /// Bootstrap (random) patterns per active segment.
+    pub bootstrap_patterns: usize,
+    /// Crowd-vehicles assigned per mapping task.
+    pub workers_per_task: usize,
+    /// Fusion merge radius in meters.
+    pub merge_radius: f64,
+    /// Vehicles at or below this inferred reliability are excluded from
+    /// fusion.
+    pub spammer_cutoff: f64,
+    /// Base RNG seed; vehicle `i` uses `seed + i + 1`.
+    pub seed: u64,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            bootstrap_patterns: 2,
+            workers_per_task: 5,
+            merge_radius: 25.0,
+            spammer_cutoff: 0.3,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a full platform round.
+#[derive(Debug, Clone)]
+pub struct PlatformReport {
+    /// The crowdsourcing outcome (accepted patterns, reliabilities).
+    pub outcome: RoundOutcome,
+    /// The fused fine-grained AP estimates.
+    pub fused: Vec<FusedAp>,
+}
+
+/// Runs one full crowdsensing round with each vehicle on its own
+/// thread: sense → upload → assignment → labeling → inference → fusion.
+///
+/// `drives` pairs each vehicle with the RSS readings of its drive.
+///
+/// # Errors
+///
+/// Propagates estimator, assignment and inference failures; panics in
+/// vehicle threads are converted into [`MiddlewareError::Estimator`].
+pub fn run_round(
+    segments: SegmentMap,
+    mut fleet: Vec<(CrowdVehicle, Vec<RssReading>)>,
+    config: PlatformConfig,
+) -> Result<PlatformReport> {
+    if fleet.is_empty() {
+        return Err(MiddlewareError::InvalidConfig("empty fleet".to_string()));
+    }
+    let server = Arc::new(Mutex::new(CrowdServer::new(segments.clone())));
+    let (to_server_tx, to_server_rx) = channel::unbounded::<(VehicleId, ToServer)>();
+
+    // Per-vehicle channels for assignments.
+    let mut vehicle_txs = std::collections::BTreeMap::new();
+    let mut handles = Vec::new();
+    for (vehicle, _) in fleet.iter() {
+        let (tx, rx) = channel::unbounded::<ToVehicle>();
+        vehicle_txs.insert(vehicle.id(), (tx, rx));
+    }
+    {
+        let mut guard = server.lock();
+        for (vehicle, _) in fleet.iter() {
+            guard.register(vehicle.id());
+        }
+    }
+
+    // Spawn vehicle threads: sense + upload, then answer assignments.
+    for (i, (mut vehicle, readings)) in fleet.drain(..).enumerate() {
+        let to_server = to_server_tx.clone();
+        let rx = vehicle_txs[&vehicle.id()].1.clone();
+        let segments = segments.clone();
+        let seed = config.seed + i as u64 + 1;
+        handles.push(std::thread::spawn(move || -> Result<()> {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            vehicle.sense(&readings)?;
+            to_server
+                .send((vehicle.id(), ToServer::Upload(vehicle.upload())))
+                .expect("server receiver alive");
+            // Wait for the assignment, answer, then exit on Done.
+            loop {
+                match rx.recv().expect("server sender alive") {
+                    ToVehicle::Assign(tasks) => {
+                        let answers = tasks
+                            .iter()
+                            .map(|t| vehicle.answer(t, &segments, &mut rng))
+                            .collect();
+                        to_server
+                            .send((vehicle.id(), ToServer::Answers(answers)))
+                            .expect("server receiver alive");
+                    }
+                    ToVehicle::Done => return Ok(()),
+                }
+            }
+        }));
+    }
+    drop(to_server_tx);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let n_vehicles = vehicle_txs.len();
+
+    // Phase 1: collect all uploads.
+    let mut uploads_received = 0;
+    let mut pending = Vec::new();
+    while uploads_received < n_vehicles {
+        let (id, msg) = to_server_rx
+            .recv()
+            .map_err(|_| MiddlewareError::Estimator("vehicle thread died".to_string()))?;
+        match msg {
+            ToServer::Upload(up) => {
+                server.lock().receive_upload(up)?;
+                uploads_received += 1;
+            }
+            other => pending.push((id, other)),
+        }
+    }
+
+    // Phase 2: generate patterns and assign mapping tasks.
+    let assignments = {
+        let mut guard = server.lock();
+        guard.generate_patterns(config.bootstrap_patterns, &mut rng);
+        guard.assign_tasks(config.workers_per_task.min(n_vehicles), &mut rng)?
+    };
+    let mut expecting_answers = 0;
+    for (&id, (tx, _)) in &vehicle_txs {
+        let tasks = assignments.get(&id).cloned().unwrap_or_default();
+        if !tasks.is_empty() {
+            expecting_answers += 1;
+        }
+        tx.send(ToVehicle::Assign(tasks)).expect("vehicle alive");
+    }
+
+    // Phase 3: collect answers.
+    let mut answered = 0;
+    for (_, msg) in pending {
+        if let ToServer::Answers(ans) = msg {
+            if !ans.is_empty() {
+                answered += 1;
+            }
+            server.lock().receive_answers(ans);
+        }
+    }
+    while answered < expecting_answers {
+        let (_, msg) = to_server_rx
+            .recv()
+            .map_err(|_| MiddlewareError::Estimator("vehicle thread died".to_string()))?;
+        if let ToServer::Answers(ans) = msg {
+            if !ans.is_empty() {
+                answered += 1;
+            } else {
+                // Vehicles with no tasks still report once.
+            }
+            server.lock().receive_answers(ans);
+        }
+    }
+    for (tx, _) in vehicle_txs.values() {
+        tx.send(ToVehicle::Done).expect("vehicle alive");
+    }
+    for h in handles {
+        h.join()
+            .map_err(|_| MiddlewareError::Estimator("vehicle thread panicked".to_string()))??;
+    }
+
+    // Phase 4: inference + fusion.
+    let mut guard = server.lock();
+    let outcome = guard.infer(&mut rng)?;
+    let fused = guard
+        .finalize(config.merge_radius, config.spammer_cutoff)
+        .to_vec();
+    Ok(PlatformReport { outcome, fused })
+}
+
+/// Runs several crowdsourcing rounds back-to-back with reliability
+/// smoothing: each round re-senses (fleet drives are per-round),
+/// re-labels and re-infers; the server's per-vehicle reliability is the
+/// EMA across rounds, so a spammer cannot whitewash itself with one
+/// lucky round.
+///
+/// `rounds` pairs each round with its fleet (vehicle, drive) list; all
+/// rounds share one server.
+///
+/// # Errors
+///
+/// Propagates single-round failures; requires at least one round.
+pub fn run_campaign(
+    segments: SegmentMap,
+    rounds: Vec<Vec<(CrowdVehicle, Vec<RssReading>)>>,
+    config: PlatformConfig,
+    smoothing: f64,
+) -> Result<Vec<PlatformReport>> {
+    if rounds.is_empty() {
+        return Err(MiddlewareError::InvalidConfig("no rounds".to_string()));
+    }
+    // The shared server lives across rounds; each round otherwise runs
+    // the standard protocol. (`run_round` owns its server, so the
+    // campaign re-applies the EMA manually from round to round.)
+    let mut reports: Vec<PlatformReport> = Vec::new();
+    let mut long_run: std::collections::BTreeMap<VehicleId, f64> = std::collections::BTreeMap::new();
+    for (i, fleet) in rounds.into_iter().enumerate() {
+        let round_config = PlatformConfig {
+            seed: config.seed + i as u64 * 1000,
+            ..config
+        };
+        let mut report = run_round(segments.clone(), fleet, round_config)?;
+        for (vehicle, q) in report.outcome.reliabilities.iter_mut() {
+            let prev = long_run.get(vehicle).copied().unwrap_or(0.5);
+            *q = smoothing * *q + (1.0 - smoothing) * prev;
+            long_run.insert(*vehicle, *q);
+        }
+        reports.push(report);
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vehicle::Behavior;
+    use crowdwifi_channel::PathLossModel;
+    use crowdwifi_core::{OnlineCs, OnlineCsConfig};
+    use crowdwifi_geo::{Point, Rect};
+
+    /// Fading-free staggered drive past two APs.
+    fn drive(offset: f64) -> Vec<RssReading> {
+        let model = PathLossModel::uci_campus();
+        let aps = [Point::new(60.0, 30.0), Point::new(220.0, 30.0)];
+        (0..50)
+            .map(|i| {
+                let p = Point::new(
+                    6.0 * i as f64,
+                    offset + if (i / 5) % 2 == 0 { 0.0 } else { 12.0 },
+                );
+                let nearest = aps
+                    .iter()
+                    .min_by(|a, b| p.distance(**a).partial_cmp(&p.distance(**b)).unwrap())
+                    .unwrap();
+                RssReading::new(p, model.mean_rss(p.distance(*nearest)), i as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_round_with_spammers_converges_to_truth() {
+        let segments = SegmentMap::new(
+            Rect::new(Point::new(0.0, -20.0), Point::new(300.0, 80.0)).unwrap(),
+            150.0,
+        );
+        let mk_estimator = || {
+            OnlineCs::new(OnlineCsConfig::default(), PathLossModel::uci_campus()).unwrap()
+        };
+        let mut fleet = Vec::new();
+        for v in 0..5u32 {
+            let behavior = if v < 4 {
+                Behavior::Honest
+            } else {
+                Behavior::Spammer
+            };
+            fleet.push((
+                CrowdVehicle::new(VehicleId(v), mk_estimator(), behavior),
+                drive(v as f64 * 0.5),
+            ));
+        }
+        let report = run_round(
+            segments,
+            fleet,
+            PlatformConfig {
+                workers_per_task: 4,
+                ..PlatformConfig::default()
+            },
+        )
+        .unwrap();
+        // Both APs recovered by the fused database.
+        for truth in [Point::new(60.0, 30.0), Point::new(220.0, 30.0)] {
+            let d = report
+                .fused
+                .iter()
+                .map(|f| f.position.distance(truth))
+                .fold(f64::INFINITY, f64::min);
+            assert!(d < 20.0, "AP {truth} unmatched in fusion ({d:.1} m)");
+        }
+        // The spammer's reliability must not exceed every honest one.
+        let spam = report.outcome.reliabilities[&VehicleId(4)];
+        let best_honest = (0..4)
+            .map(|v| report.outcome.reliabilities[&VehicleId(v)])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            spam <= best_honest,
+            "spammer {spam:.2} outranked honest {best_honest:.2}"
+        );
+    }
+
+    #[test]
+    fn campaign_reliability_is_smoothed_across_rounds() {
+        let segments = SegmentMap::new(
+            Rect::new(Point::new(0.0, -20.0), Point::new(300.0, 80.0)).unwrap(),
+            150.0,
+        );
+        let mk_fleet = || {
+            let mk_estimator = || {
+                OnlineCs::new(OnlineCsConfig::default(), PathLossModel::uci_campus()).unwrap()
+            };
+            (0..5u32)
+                .map(|v| {
+                    let behavior = if v == 4 {
+                        Behavior::Spammer
+                    } else {
+                        Behavior::Honest
+                    };
+                    (
+                        CrowdVehicle::new(VehicleId(v), mk_estimator(), behavior),
+                        drive(v as f64 * 0.5),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let reports = run_campaign(
+            segments,
+            vec![mk_fleet(), mk_fleet()],
+            PlatformConfig {
+                workers_per_task: 4,
+                ..PlatformConfig::default()
+            },
+            0.5,
+        )
+        .unwrap();
+        assert_eq!(reports.len(), 2);
+        // With α = 0.5 from a 0.5 prior, round-1 reliabilities stay
+        // within 0.25 of the prior; round 2 can move further.
+        for (_, &q) in &reports[0].outcome.reliabilities {
+            assert!((q - 0.5).abs() <= 0.25 + 1e-9, "round 1 moved too far: {q}");
+        }
+        // The spammer's long-run reliability never exceeds the honest max.
+        let spam = reports[1].outcome.reliabilities[&VehicleId(4)];
+        let best_honest = (0..4)
+            .map(|v| reports[1].outcome.reliabilities[&VehicleId(v)])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(spam <= best_honest + 1e-9);
+    }
+
+    #[test]
+    fn empty_fleet_rejected() {
+        let segments = SegmentMap::new(
+            Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0)).unwrap(),
+            10.0,
+        );
+        assert!(run_round(segments, vec![], PlatformConfig::default()).is_err());
+    }
+}

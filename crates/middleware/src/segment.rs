@@ -1,0 +1,146 @@
+//! Road segments: the spatial unit of task assignment.
+//!
+//! The crowd-server partitions the service area into square segments;
+//! sensing uploads and mapping tasks are keyed by segment.
+
+use crowdwifi_geo::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one road segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SegmentId(pub u32);
+
+impl std::fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seg{}", self.0)
+    }
+}
+
+/// A square partition of the service area.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentMap {
+    area: Rect,
+    segment_size: f64,
+    nx: u32,
+    ny: u32,
+}
+
+impl SegmentMap {
+    /// Partitions `area` into `segment_size`-meter squares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_size` is not positive and finite.
+    pub fn new(area: Rect, segment_size: f64) -> Self {
+        assert!(
+            segment_size > 0.0 && segment_size.is_finite(),
+            "segment_size must be positive and finite"
+        );
+        let nx = ((area.width() / segment_size).ceil() as u32).max(1);
+        let ny = ((area.height() / segment_size).ceil() as u32).max(1);
+        SegmentMap {
+            area,
+            segment_size,
+            nx,
+            ny,
+        }
+    }
+
+    /// The covered area.
+    pub fn area(&self) -> Rect {
+        self.area
+    }
+
+    /// Total number of segments.
+    pub fn len(&self) -> usize {
+        (self.nx * self.ny) as usize
+    }
+
+    /// Whether the map has no segments (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The segment containing `p` (outside points clamp to the border).
+    pub fn segment_of(&self, p: Point) -> SegmentId {
+        let clamped = self.area.clamp(p);
+        let i = (((clamped.x - self.area.min().x) / self.segment_size) as u32).min(self.nx - 1);
+        let j = (((clamped.y - self.area.min().y) / self.segment_size) as u32).min(self.ny - 1);
+        SegmentId(j * self.nx + i)
+    }
+
+    /// The bounding rectangle of a segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn bounds(&self, id: SegmentId) -> Rect {
+        assert!((id.0 as usize) < self.len(), "segment id out of range");
+        let i = id.0 % self.nx;
+        let j = id.0 / self.nx;
+        let min = Point::new(
+            self.area.min().x + i as f64 * self.segment_size,
+            self.area.min().y + j as f64 * self.segment_size,
+        );
+        let max = Point::new(
+            (min.x + self.segment_size).min(self.area.max().x.max(min.x)),
+            (min.y + self.segment_size).min(self.area.max().y.max(min.y)),
+        );
+        Rect::new(min, max).expect("segment bounds are ordered")
+    }
+
+    /// Segments within `radius` of `p` (coarse: by segment-center
+    /// distance plus half a diagonal).
+    pub fn segments_near(&self, p: Point, radius: f64) -> Vec<SegmentId> {
+        let slack = self.segment_size * std::f64::consts::SQRT_2 / 2.0;
+        (0..self.len() as u32)
+            .map(SegmentId)
+            .filter(|&id| self.bounds(id).center().distance(p) <= radius + slack)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> SegmentMap {
+        SegmentMap::new(
+            Rect::new(Point::new(0.0, 0.0), Point::new(300.0, 180.0)).unwrap(),
+            100.0,
+        )
+    }
+
+    #[test]
+    fn partition_counts() {
+        let m = map();
+        assert_eq!(m.len(), 6); // 3 × 2
+    }
+
+    #[test]
+    fn segment_lookup_and_bounds_roundtrip() {
+        let m = map();
+        let p = Point::new(250.0, 150.0);
+        let id = m.segment_of(p);
+        assert!(m.bounds(id).contains(p));
+    }
+
+    #[test]
+    fn outside_points_clamp() {
+        let m = map();
+        let id = m.segment_of(Point::new(-50.0, -50.0));
+        assert_eq!(id, SegmentId(0));
+        let id2 = m.segment_of(Point::new(900.0, 900.0));
+        assert_eq!(id2, SegmentId(5));
+    }
+
+    #[test]
+    fn segments_near_returns_neighborhood() {
+        let m = map();
+        let near = m.segments_near(Point::new(150.0, 90.0), 120.0);
+        assert!(near.len() >= 2);
+        assert!(near.len() <= m.len());
+        let far = m.segments_near(Point::new(-500.0, -500.0), 10.0);
+        assert!(far.is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! The user-vehicle client (§3): downloads fine-grained AP lookup
+//! results ahead of its route and turns them into the AP database its
+//! WiFi stack (the `crowdwifi-handoff` crate) consumes.
+
+use crate::server::CrowdServer;
+use crowdwifi_geo::{Point, Trajectory};
+
+/// A user-vehicle: consumes crowdsensed lookup results; contributes
+/// nothing.
+#[derive(Debug, Clone)]
+pub struct UserVehicle {
+    /// How far around the planned route the vehicle prefetches APs.
+    prefetch_radius: f64,
+}
+
+impl Default for UserVehicle {
+    fn default() -> Self {
+        UserVehicle {
+            prefetch_radius: 150.0,
+        }
+    }
+}
+
+impl UserVehicle {
+    /// Creates a user-vehicle with the default 150 m prefetch radius.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the prefetch radius in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the radius is not positive and finite.
+    pub fn with_prefetch_radius(mut self, radius: f64) -> Self {
+        assert!(
+            radius > 0.0 && radius.is_finite(),
+            "prefetch radius must be positive and finite"
+        );
+        self.prefetch_radius = radius;
+        self
+    }
+
+    /// The prefetch radius in meters.
+    pub fn prefetch_radius(&self) -> f64 {
+        self.prefetch_radius
+    }
+
+    /// Downloads every fused AP within the prefetch radius of the
+    /// planned route (sampled every ~2 s of driving), deduplicated —
+    /// the §3 "download in advance" step. The result is ready to become
+    /// a `crowdwifi_handoff::ApDatabase`.
+    pub fn download_for_route(&self, server: &CrowdServer, route: &Trajectory) -> Vec<Point> {
+        let mut out: Vec<Point> = Vec::new();
+        for w in route.sample(2.0) {
+            for ap in server.download(w.position, self.prefetch_radius) {
+                if !out
+                    .iter()
+                    .any(|existing| existing.distance(ap.position) < 1.0)
+                {
+                    out.push(ap.position);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{SensingUpload, VehicleId};
+    use crate::segment::SegmentMap;
+    use crowdwifi_core::ApEstimate;
+    use crowdwifi_geo::{Rect, Waypoint};
+
+    fn server_with_fused(aps: &[(f64, f64)]) -> CrowdServer {
+        let mut server = CrowdServer::new(SegmentMap::new(
+            Rect::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0)).unwrap(),
+            250.0,
+        ));
+        server.register(VehicleId(0));
+        server
+            .receive_upload(SensingUpload {
+                vehicle: VehicleId(0),
+                estimates: aps
+                    .iter()
+                    .map(|&(x, y)| ApEstimate {
+                        position: Point::new(x, y),
+                        credit: 3.0,
+                    })
+                    .collect(),
+            })
+            .unwrap();
+        // No labeling round ran: finalize with the default reliability.
+        server.finalize(20.0, 0.0);
+        server
+    }
+
+    fn straight_route() -> Trajectory {
+        Trajectory::new(vec![
+            Waypoint::new(Point::new(0.0, 100.0), 0.0),
+            Waypoint::new(Point::new(900.0, 100.0), 90.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn downloads_aps_near_route_only() {
+        let server = server_with_fused(&[(100.0, 150.0), (500.0, 120.0), (500.0, 900.0)]);
+        let user = UserVehicle::new();
+        let db = user.download_for_route(&server, &straight_route());
+        assert_eq!(db.len(), 2, "got {db:?}");
+        assert!(db.iter().all(|p| p.y < 200.0));
+    }
+
+    #[test]
+    fn dedupes_overlapping_queries() {
+        let server = server_with_fused(&[(450.0, 100.0)]);
+        let user = UserVehicle::new();
+        // Many sample points see the same AP; it must appear once.
+        let db = user.download_for_route(&server, &straight_route());
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn prefetch_radius_controls_reach() {
+        let server = server_with_fused(&[(500.0, 400.0)]); // 300 m off-route
+        let narrow = UserVehicle::new().download_for_route(&server, &straight_route());
+        assert!(narrow.is_empty());
+        let wide = UserVehicle::new()
+            .with_prefetch_radius(400.0)
+            .download_for_route(&server, &straight_route());
+        assert_eq!(wide.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefetch radius")]
+    fn rejects_bad_radius() {
+        UserVehicle::new().with_prefetch_radius(0.0);
+    }
+}

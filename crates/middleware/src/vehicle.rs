@@ -1,0 +1,237 @@
+//! The crowd-vehicle client.
+
+use crate::messages::{MappingAnswer, MappingTask, SensingUpload, VehicleId};
+use crate::segment::SegmentMap;
+use crate::Result;
+use crowdwifi_channel::RssReading;
+use crowdwifi_core::{ApEstimate, OnlineCs};
+use rand::{Rng, RngExt};
+
+/// How the vehicle answers mapping tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Behavior {
+    /// Good-faith answers derived from the vehicle's own sensing.
+    Honest,
+    /// Random ±1 answers (the spammer of §5.1).
+    Spammer,
+}
+
+/// A crowd-vehicle: runs online CS over its own readings, uploads the
+/// result, and labels the server's pattern-mapping tasks.
+#[derive(Debug)]
+pub struct CrowdVehicle {
+    id: VehicleId,
+    estimator: OnlineCs,
+    behavior: Behavior,
+    estimates: Vec<ApEstimate>,
+    /// A pattern AP "matches" one of the vehicle's own estimates within
+    /// this distance (meters).
+    match_tolerance: f64,
+}
+
+impl CrowdVehicle {
+    /// Creates a vehicle with the given estimator and behavior.
+    pub fn new(id: VehicleId, estimator: OnlineCs, behavior: Behavior) -> Self {
+        CrowdVehicle {
+            id,
+            estimator,
+            behavior,
+            estimates: Vec::new(),
+            match_tolerance: 25.0,
+        }
+    }
+
+    /// Sets the pattern-match tolerance in meters (default 25 m).
+    pub fn with_match_tolerance(mut self, tolerance: f64) -> Self {
+        self.match_tolerance = tolerance.max(0.0);
+        self
+    }
+
+    /// The vehicle's identifier.
+    pub fn id(&self) -> VehicleId {
+        self.id
+    }
+
+    /// The declared behavior.
+    pub fn behavior(&self) -> Behavior {
+        self.behavior
+    }
+
+    /// Runs the online CS estimator over a recorded drive, replacing any
+    /// previous sensing result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator failures.
+    pub fn sense(&mut self, readings: &[RssReading]) -> Result<()> {
+        self.estimates = self.estimator.run(readings)?;
+        Ok(())
+    }
+
+    /// The current coarse estimates (empty before [`CrowdVehicle::sense`]).
+    pub fn estimates(&self) -> &[ApEstimate] {
+        &self.estimates
+    }
+
+    /// Builds the sensing upload for the crowd-server.
+    pub fn upload(&self) -> SensingUpload {
+        SensingUpload {
+            vehicle: self.id,
+            estimates: self.estimates.clone(),
+        }
+    }
+
+    /// Answers one mapping task. Honest vehicles check the pattern
+    /// against their own estimates; spammers flip a coin.
+    pub fn answer<R: Rng + ?Sized>(
+        &self,
+        task: &MappingTask,
+        segments: &SegmentMap,
+        rng: &mut R,
+    ) -> MappingAnswer {
+        let label = match self.behavior {
+            Behavior::Spammer => {
+                if rng.random_range(0.0..1.0) < 0.5 {
+                    1
+                } else {
+                    -1
+                }
+            }
+            Behavior::Honest => self.honest_label(task, segments),
+        };
+        MappingAnswer {
+            vehicle: self.id,
+            task_id: task.task_id,
+            label,
+        }
+    }
+
+    /// A pattern "exists" for an honest vehicle when every pattern AP is
+    /// matched by one of its own estimates within the tolerance **and**
+    /// the vehicle saw no extra APs inside the pattern's segment.
+    fn honest_label(&self, task: &MappingTask, segments: &SegmentMap) -> i8 {
+        let seg_bounds = segments.bounds(task.pattern.segment);
+        let own_in_segment: Vec<_> = self
+            .estimates
+            .iter()
+            .filter(|e| seg_bounds.contains(e.position))
+            .collect();
+        if own_in_segment.len() != task.pattern.aps.len() {
+            return -1;
+        }
+        // Greedy matching within tolerance.
+        let mut used = vec![false; own_in_segment.len()];
+        for pattern_ap in &task.pattern.aps {
+            let found = own_in_segment.iter().enumerate().find(|(i, e)| {
+                !used[*i] && e.position.distance(*pattern_ap) <= self.match_tolerance
+            });
+            match found {
+                Some((i, _)) => used[i] = true,
+                None => return -1,
+            }
+        }
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::Pattern;
+    use crate::segment::SegmentMap;
+    use crowdwifi_channel::PathLossModel;
+    use crowdwifi_core::OnlineCsConfig;
+    use crowdwifi_geo::{Point, Rect};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn vehicle(behavior: Behavior) -> CrowdVehicle {
+        let estimator =
+            OnlineCs::new(OnlineCsConfig::default(), PathLossModel::uci_campus()).unwrap();
+        CrowdVehicle::new(VehicleId(1), estimator, behavior)
+    }
+
+    fn segments() -> SegmentMap {
+        SegmentMap::new(
+            Rect::new(Point::new(0.0, 0.0), Point::new(300.0, 180.0)).unwrap(),
+            150.0,
+        )
+    }
+
+    fn seeded_vehicle_with_estimates(points: &[Point]) -> CrowdVehicle {
+        let mut v = vehicle(Behavior::Honest);
+        v.estimates = points
+            .iter()
+            .map(|&position| ApEstimate {
+                position,
+                credit: 3.0,
+            })
+            .collect();
+        v
+    }
+
+    #[test]
+    fn honest_vehicle_confirms_matching_pattern() {
+        let segs = segments();
+        let v = seeded_vehicle_with_estimates(&[Point::new(50.0, 50.0)]);
+        let task = MappingTask {
+            task_id: 0,
+            pattern: Pattern {
+                segment: segs.segment_of(Point::new(50.0, 50.0)),
+                aps: vec![Point::new(55.0, 52.0)],
+            },
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(v.answer(&task, &segs, &mut rng).label, 1);
+    }
+
+    #[test]
+    fn honest_vehicle_denies_wrong_count_or_position() {
+        let segs = segments();
+        let v = seeded_vehicle_with_estimates(&[Point::new(50.0, 50.0)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        // Wrong position.
+        let far = MappingTask {
+            task_id: 0,
+            pattern: Pattern {
+                segment: segs.segment_of(Point::new(50.0, 50.0)),
+                aps: vec![Point::new(140.0, 140.0)],
+            },
+        };
+        assert_eq!(v.answer(&far, &segs, &mut rng).label, -1);
+        // Wrong count (pattern claims two APs).
+        let two = MappingTask {
+            task_id: 1,
+            pattern: Pattern {
+                segment: segs.segment_of(Point::new(50.0, 50.0)),
+                aps: vec![Point::new(55.0, 52.0), Point::new(80.0, 60.0)],
+            },
+        };
+        assert_eq!(v.answer(&two, &segs, &mut rng).label, -1);
+    }
+
+    #[test]
+    fn spammer_answers_are_random() {
+        let segs = segments();
+        let v = vehicle(Behavior::Spammer);
+        let task = MappingTask {
+            task_id: 0,
+            pattern: Pattern {
+                segment: crate::segment::SegmentId(0),
+                aps: vec![],
+            },
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let labels: Vec<i8> = (0..100).map(|_| v.answer(&task, &segs, &mut rng).label).collect();
+        let ones = labels.iter().filter(|&&l| l == 1).count();
+        assert!(ones > 30 && ones < 70, "spammer bias: {ones}/100 ones");
+    }
+
+    #[test]
+    fn upload_carries_estimates() {
+        let v = seeded_vehicle_with_estimates(&[Point::new(10.0, 10.0)]);
+        let up = v.upload();
+        assert_eq!(up.vehicle, VehicleId(1));
+        assert_eq!(up.estimates.len(), 1);
+    }
+}

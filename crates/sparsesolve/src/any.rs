@@ -1,0 +1,172 @@
+//! Enum dispatch over all solver families.
+//!
+//! [`AnySolver`] lets configuration (the CS pipeline, the benches) pick
+//! the ℓ1 solver at runtime while staying `Clone + Debug` (a boxed
+//! trait object would not be).
+
+use crate::admm::{AdmmLasso, BasisPursuit};
+use crate::fista::Fista;
+use crate::irls::Irls;
+use crate::omp::Omp;
+use crate::{Recovery, Result, SparseRecovery};
+use crowdwifi_linalg::Matrix;
+
+/// A runtime-selected sparse-recovery solver.
+///
+/// # Example
+///
+/// ```
+/// use crowdwifi_linalg::Matrix;
+/// use crowdwifi_sparsesolve::any::AnySolver;
+/// use crowdwifi_sparsesolve::SparseRecovery;
+///
+/// let solvers = [AnySolver::default_fista(), AnySolver::default_omp()];
+/// let a = Matrix::identity(3);
+/// for s in &solvers {
+///     let rec = s.recover(&a, &[2.0, 0.0, 0.0])?;
+///     assert_eq!(rec.support(0.5), vec![0], "{} failed", s.name());
+/// }
+/// # Ok::<(), crowdwifi_sparsesolve::SolverError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub enum AnySolver {
+    /// Proximal-gradient LASSO (ISTA/FISTA).
+    Fista(Fista),
+    /// ADMM LASSO.
+    AdmmLasso(AdmmLasso),
+    /// ADMM equality-constrained basis pursuit.
+    BasisPursuit(BasisPursuit),
+    /// Orthogonal matching pursuit.
+    Omp(Omp),
+    /// Iteratively reweighted least squares.
+    Irls(Irls),
+}
+
+impl AnySolver {
+    /// FISTA with its default configuration.
+    pub fn default_fista() -> Self {
+        AnySolver::Fista(Fista::default())
+    }
+
+    /// ADMM LASSO with its default configuration.
+    pub fn default_admm() -> Self {
+        AnySolver::AdmmLasso(AdmmLasso::default())
+    }
+
+    /// OMP selecting at most 4 atoms (a sensible per-AP budget).
+    pub fn default_omp() -> Self {
+        AnySolver::Omp(Omp::new(4))
+    }
+
+    /// IRLS with its default configuration.
+    pub fn default_irls() -> Self {
+        AnySolver::Irls(Irls::default())
+    }
+}
+
+impl SparseRecovery for AnySolver {
+    fn recover(&self, a: &Matrix, y: &[f64]) -> Result<Recovery> {
+        match self {
+            AnySolver::Fista(s) => s.recover(a, y),
+            AnySolver::AdmmLasso(s) => s.recover(a, y),
+            AnySolver::BasisPursuit(s) => s.recover(a, y),
+            AnySolver::Omp(s) => s.recover(a, y),
+            AnySolver::Irls(s) => s.recover(a, y),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnySolver::Fista(s) => s.name(),
+            AnySolver::AdmmLasso(s) => s.name(),
+            AnySolver::BasisPursuit(s) => s.name(),
+            AnySolver::Omp(s) => s.name(),
+            AnySolver::Irls(s) => s.name(),
+        }
+    }
+}
+
+impl From<Fista> for AnySolver {
+    fn from(s: Fista) -> Self {
+        AnySolver::Fista(s)
+    }
+}
+
+impl From<AdmmLasso> for AnySolver {
+    fn from(s: AdmmLasso) -> Self {
+        AnySolver::AdmmLasso(s)
+    }
+}
+
+impl From<BasisPursuit> for AnySolver {
+    fn from(s: BasisPursuit) -> Self {
+        AnySolver::BasisPursuit(s)
+    }
+}
+
+impl From<Omp> for AnySolver {
+    fn from(s: Omp) -> Self {
+        AnySolver::Omp(s)
+    }
+}
+
+impl From<Irls> for AnySolver {
+    fn from(s: Irls) -> Self {
+        AnySolver::Irls(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bernoulli_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let scale = 1.0 / (m as f64).sqrt();
+        Matrix::from_fn(m, n, |_, _| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            if (state.wrapping_mul(0x2545F4914F6CDD1D) >> 63) & 1 == 1 {
+                scale
+            } else {
+                -scale
+            }
+        })
+    }
+
+    #[test]
+    fn every_family_recovers_the_same_support() {
+        let (m, n) = (20, 48);
+        let a = bernoulli_matrix(m, n, 21);
+        let mut theta = vec![0.0; n];
+        theta[5] = 1.0;
+        theta[30] = 1.5;
+        let y = a.matvec(&theta);
+        for solver in [
+            AnySolver::default_fista(),
+            AnySolver::default_admm(),
+            AnySolver::from(BasisPursuit::default()),
+            AnySolver::default_omp(),
+            AnySolver::default_irls(),
+        ] {
+            let rec = solver.recover(&a, &y).unwrap();
+            let mut supp = rec.support(0.3);
+            supp.sort_unstable();
+            assert_eq!(supp, vec![5, 30], "{} missed the support", solver.name());
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            AnySolver::default_fista().name(),
+            AnySolver::default_admm().name(),
+            AnySolver::from(BasisPursuit::default()).name(),
+            AnySolver::default_omp().name(),
+            AnySolver::default_irls().name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

@@ -1,0 +1,334 @@
+//! ISTA / FISTA proximal-gradient solvers for the LASSO program.
+//!
+//! Solves `min_θ ½‖Aθ − y‖₂² + λ‖θ‖₁`, optionally with a `θ ≥ 0`
+//! constraint. FISTA adds Nesterov momentum for an `O(1/k²)` rate, which
+//! matters in the online pipeline where each sliding-window round solves
+//! many small programs.
+
+use crate::prox::{soft_threshold_nonneg_vec, soft_threshold_vec};
+use crate::{spectral_norm_sq, validate_problem, Recovery, Result, SolverError, SparseRecovery};
+use crowdwifi_linalg::vector;
+use crowdwifi_linalg::Matrix;
+
+/// Momentum variant used by [`Fista`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Acceleration {
+    /// Plain ISTA (no momentum).
+    None,
+    /// Nesterov momentum (classic FISTA).
+    #[default]
+    Nesterov,
+}
+
+/// Proximal-gradient LASSO solver.
+///
+/// The default configuration matches what the CrowdWiFi pipeline needs:
+/// accelerated, non-negative (AP indicators cannot be negative) and with a
+/// data-scaled regularization weight.
+///
+/// # Example
+///
+/// ```
+/// use crowdwifi_linalg::Matrix;
+/// use crowdwifi_sparsesolve::{Fista, SparseRecovery};
+///
+/// let a = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, 1.0]]);
+/// let y = [2.0, 0.0];
+/// let rec = Fista::default().recover(&a, &y)?;
+/// // Sparsest consistent explanation puts the mass on column 0.
+/// assert_eq!(rec.support(0.1), vec![0]);
+/// # Ok::<(), crowdwifi_sparsesolve::SolverError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fista {
+    lambda_rel: f64,
+    max_iterations: usize,
+    tolerance: f64,
+    nonnegative: bool,
+    acceleration: Acceleration,
+}
+
+impl Default for Fista {
+    fn default() -> Self {
+        Fista {
+            lambda_rel: 0.01,
+            max_iterations: 2000,
+            tolerance: 1e-8,
+            nonnegative: true,
+            acceleration: Acceleration::Nesterov,
+        }
+    }
+}
+
+impl Fista {
+    /// Creates a solver with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the regularization weight **relative to** `‖Aᵀy‖_∞` (the
+    /// smallest λ for which the solution is identically zero). Must lie
+    /// in `(0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidParameter`] when out of range.
+    pub fn with_lambda_rel(mut self, lambda_rel: f64) -> Result<Self> {
+        if !(lambda_rel > 0.0 && lambda_rel < 1.0) {
+            return Err(SolverError::InvalidParameter {
+                name: "lambda_rel",
+                reason: format!("must be in (0, 1), got {lambda_rel}"),
+            });
+        }
+        self.lambda_rel = lambda_rel;
+        Ok(self)
+    }
+
+    /// Sets the iteration cap (default 2000).
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations.max(1);
+        self
+    }
+
+    /// Sets the relative-change stopping tolerance (default `1e-8`).
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance.max(0.0);
+        self
+    }
+
+    /// Enables or disables the `θ ≥ 0` constraint (default: enabled).
+    pub fn with_nonnegative(mut self, nonnegative: bool) -> Self {
+        self.nonnegative = nonnegative;
+        self
+    }
+
+    /// Selects the momentum variant (default: Nesterov / FISTA).
+    pub fn with_acceleration(mut self, acceleration: Acceleration) -> Self {
+        self.acceleration = acceleration;
+        self
+    }
+}
+
+impl SparseRecovery for Fista {
+    fn recover(&self, a: &Matrix, y: &[f64]) -> Result<Recovery> {
+        validate_problem(a, y)?;
+        let n = a.cols();
+
+        // Step size 1/L with L = ‖A‖₂² (Lipschitz constant of the smooth
+        // part), padded slightly for the power-iteration error.
+        let lipschitz = spectral_norm_sq(a, 30) * 1.02;
+        if lipschitz == 0.0 {
+            // A is the zero matrix: the minimizer is θ = 0.
+            return Ok(Recovery {
+                solution: vec![0.0; n],
+                iterations: 0,
+                residual_norm: vector::norm2(y),
+                converged: true,
+            });
+        }
+        let step = 1.0 / lipschitz;
+
+        // λ scaled to the problem: λ_max = ‖Aᵀy‖_∞ zeroes the solution.
+        let lambda_max = vector::norm_inf(&a.matvec_transposed(y));
+        let lambda = self.lambda_rel * lambda_max;
+
+        let mut x = vec![0.0; n];
+        let mut z = x.clone(); // extrapolation point
+        let mut t: f64 = 1.0;
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for k in 0..self.max_iterations {
+            iterations = k + 1;
+            // Gradient step at z: z − step · Aᵀ(Az − y).
+            let az = a.matvec(&z);
+            let grad = a.matvec_transposed(&vector::sub(&az, y));
+            let mut x_new = z.clone();
+            vector::axpy(-step, &grad, &mut x_new);
+            // Proximal step.
+            if self.nonnegative {
+                soft_threshold_nonneg_vec(&mut x_new, step * lambda);
+            } else {
+                soft_threshold_vec(&mut x_new, step * lambda);
+            }
+
+            // Relative change stopping rule.
+            let delta = vector::distance(&x_new, &x);
+            let scale = vector::norm2(&x_new).max(1e-12);
+
+            match self.acceleration {
+                Acceleration::Nesterov => {
+                    let t_new = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
+                    let beta = (t - 1.0) / t_new;
+                    z = x_new.clone();
+                    for (zi, (&xn, &xo)) in z.iter_mut().zip(x_new.iter().zip(&x)) {
+                        *zi = xn + beta * (xn - xo);
+                    }
+                    t = t_new;
+                }
+                Acceleration::None => {
+                    z = x_new.clone();
+                }
+            }
+            x = x_new;
+
+            if delta <= self.tolerance * scale {
+                converged = true;
+                break;
+            }
+        }
+
+        let residual_norm = vector::norm2(&vector::sub(&a.matvec(&x), y));
+        Ok(Recovery {
+            solution: x,
+            iterations,
+            residual_norm,
+            converged,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        match self.acceleration {
+            Acceleration::Nesterov => "fista",
+            Acceleration::None => "ista",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random ±1/√M Bernoulli sensing matrix; such
+    /// matrices satisfy RIP with high probability.
+    fn bernoulli_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let scale = 1.0 / (m as f64).sqrt();
+        Matrix::from_fn(m, n, |_, _| {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let bit = (state.wrapping_mul(0x2545F4914F6CDD1D) >> 63) & 1;
+            if bit == 1 {
+                scale
+            } else {
+                -scale
+            }
+        })
+    }
+
+    #[test]
+    fn recovers_sparse_nonnegative_signal() {
+        let (m, n) = (24, 64);
+        let a = bernoulli_matrix(m, n, 7);
+        let mut theta = vec![0.0; n];
+        theta[5] = 1.0;
+        theta[40] = 1.0;
+        theta[61] = 1.0;
+        let y = a.matvec(&theta);
+
+        let rec = Fista::default()
+            .with_lambda_rel(0.005)
+            .unwrap()
+            .recover(&a, &y)
+            .unwrap();
+        let supp = rec.support(0.3);
+        let mut sorted = supp.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![5, 40, 61], "support {supp:?}");
+    }
+
+    #[test]
+    fn signed_recovery_needs_unconstrained_mode() {
+        let (m, n) = (24, 48);
+        let a = bernoulli_matrix(m, n, 13);
+        let mut theta = vec![0.0; n];
+        theta[3] = 2.0;
+        theta[30] = -1.5;
+        let y = a.matvec(&theta);
+
+        let rec = Fista::default()
+            .with_nonnegative(false)
+            .with_lambda_rel(0.005)
+            .unwrap()
+            .recover(&a, &y)
+            .unwrap();
+        let mut supp = rec.support(0.3);
+        supp.sort_unstable();
+        assert_eq!(supp, vec![3, 30]);
+        assert!(rec.solution[30] < 0.0);
+    }
+
+    #[test]
+    fn ista_and_fista_agree_on_solution() {
+        let a = bernoulli_matrix(16, 32, 3);
+        let mut theta = vec![0.0; 32];
+        theta[8] = 1.0;
+        let y = a.matvec(&theta);
+        let f = Fista::default().recover(&a, &y).unwrap();
+        let i = Fista::default()
+            .with_acceleration(Acceleration::None)
+            .with_max_iterations(20000)
+            .recover(&a, &y)
+            .unwrap();
+        let d = crowdwifi_linalg::vector::distance(&f.solution, &i.solution);
+        assert!(d < 1e-3, "ISTA/FISTA disagreement: {d}");
+        // FISTA should converge in fewer iterations.
+        assert!(f.iterations <= i.iterations);
+    }
+
+    #[test]
+    fn zero_measurements_give_zero_solution() {
+        let a = bernoulli_matrix(8, 16, 1);
+        let rec = Fista::default().recover(&a, &[0.0; 8]).unwrap();
+        assert!(rec.solution.iter().all(|&x| x.abs() < 1e-9));
+    }
+
+    #[test]
+    fn zero_matrix_handled() {
+        let a = Matrix::zeros(4, 8);
+        let rec = Fista::default().recover(&a, &[1.0; 4]).unwrap();
+        assert!(rec.converged);
+        assert_eq!(rec.solution, vec![0.0; 8]);
+        assert!((rec.residual_norm - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_lambda() {
+        assert!(Fista::default().with_lambda_rel(0.0).is_err());
+        assert!(Fista::default().with_lambda_rel(1.0).is_err());
+        assert!(Fista::default().with_lambda_rel(-0.5).is_err());
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let a = Matrix::zeros(4, 8);
+        assert!(matches!(
+            Fista::default().recover(&a, &[1.0; 3]),
+            Err(SolverError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn noisy_recovery_stays_close() {
+        let (m, n) = (32, 64);
+        let a = bernoulli_matrix(m, n, 21);
+        let mut theta = vec![0.0; n];
+        theta[10] = 1.0;
+        theta[50] = 1.0;
+        let mut y = a.matvec(&theta);
+        // Deterministic "noise" at roughly 30 dB SNR.
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi += 0.01 * ((i * 37) as f64).sin();
+        }
+        let rec = Fista::default()
+            .with_lambda_rel(0.02)
+            .unwrap()
+            .recover(&a, &y)
+            .unwrap();
+        let mut supp = rec.support(0.3);
+        supp.sort_unstable();
+        assert_eq!(supp, vec![10, 50]);
+    }
+}

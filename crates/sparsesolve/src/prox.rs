@@ -1,0 +1,98 @@
+//! Proximal operators shared by the iterative solvers.
+
+/// Scalar soft-thresholding operator
+/// `S_t(x) = sign(x) · max(|x| − t, 0)`, the proximal map of `t‖·‖₁`.
+///
+/// # Example
+///
+/// ```
+/// use crowdwifi_sparsesolve::prox::soft_threshold;
+///
+/// assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+/// assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+/// assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+/// ```
+#[inline]
+pub fn soft_threshold(x: f64, t: f64) -> f64 {
+    if x > t {
+        x - t
+    } else if x < -t {
+        x + t
+    } else {
+        0.0
+    }
+}
+
+/// Non-negative soft threshold `max(x − t, 0)`; the proximal map of
+/// `t‖·‖₁ + ι_{x ≥ 0}`.
+///
+/// The AP indicator coefficients of the CrowdWiFi recovery are
+/// non-negative by construction (a grid point either hosts an AP or not),
+/// so the pipeline solves the non-negativity-constrained program.
+#[inline]
+pub fn soft_threshold_nonneg(x: f64, t: f64) -> f64 {
+    (x - t).max(0.0)
+}
+
+/// Applies [`soft_threshold`] element-wise in place.
+pub fn soft_threshold_vec(v: &mut [f64], t: f64) {
+    for x in v.iter_mut() {
+        *x = soft_threshold(*x, t);
+    }
+}
+
+/// Applies [`soft_threshold_nonneg`] element-wise in place.
+pub fn soft_threshold_nonneg_vec(v: &mut [f64], t: f64) {
+    for x in v.iter_mut() {
+        *x = soft_threshold_nonneg(*x, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_threshold_is_identity() {
+        assert_eq!(soft_threshold(1.5, 0.0), 1.5);
+        assert_eq!(soft_threshold(-1.5, 0.0), -1.5);
+    }
+
+    #[test]
+    fn nonneg_clamps_negative_inputs() {
+        assert_eq!(soft_threshold_nonneg(-5.0, 1.0), 0.0);
+        assert_eq!(soft_threshold_nonneg(5.0, 1.0), 4.0);
+    }
+
+    #[test]
+    fn vector_variants_match_scalar() {
+        let mut v = [3.0, -0.5, -2.0];
+        soft_threshold_vec(&mut v, 1.0);
+        assert_eq!(v, [2.0, 0.0, -1.0]);
+        let mut w = [3.0, -0.5, -2.0];
+        soft_threshold_nonneg_vec(&mut w, 1.0);
+        assert_eq!(w, [2.0, 0.0, 0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn shrinks_toward_zero(x in -100.0..100.0f64, t in 0.0..10.0f64) {
+            let s = soft_threshold(x, t);
+            // Never overshoots zero and never grows magnitude.
+            prop_assert!(s.abs() <= x.abs());
+            prop_assert!(s * x >= 0.0);
+            // Exact shrink amount when outside the dead zone.
+            if x.abs() > t {
+                prop_assert!((s.abs() - (x.abs() - t)).abs() < 1e-12);
+            } else {
+                prop_assert_eq!(s, 0.0);
+            }
+        }
+
+        #[test]
+        fn nonneg_is_nonneg(x in -100.0..100.0f64, t in 0.0..10.0f64) {
+            prop_assert!(soft_threshold_nonneg(x, t) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based cross-solver tests: all solvers must recover random
+//! k-sparse signals from random Bernoulli measurements when the sampling
+//! bound M = O(k log(N/k)) is comfortably satisfied.
+
+use crowdwifi_linalg::{vector, Matrix};
+use crowdwifi_sparsesolve::admm::{AdmmLasso, BasisPursuit};
+use crowdwifi_sparsesolve::fista::Fista;
+use crowdwifi_sparsesolve::irls::Irls;
+use crowdwifi_sparsesolve::omp::Omp;
+use crowdwifi_sparsesolve::SparseRecovery;
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+const N: usize = 48;
+const M: usize = 24;
+
+fn gaussian_matrix(rng: &mut ChaCha8Rng) -> Matrix {
+    let scale = 1.0 / (M as f64).sqrt();
+    Matrix::from_fn(M, N, |_, _| {
+        // Box–Muller from two uniforms.
+        let u1: f64 = rng.random_range(1e-9..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        scale * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    })
+}
+
+fn sparse_signal(rng: &mut ChaCha8Rng, k: usize, nonneg: bool) -> Vec<f64> {
+    let mut theta = vec![0.0; N];
+    let mut idx: Vec<usize> = (0..N).collect();
+    idx.shuffle(rng);
+    for &i in idx.iter().take(k) {
+        let mag = rng.random_range(0.5..2.0);
+        theta[i] = if nonneg || rng.random_bool(0.5) {
+            mag
+        } else {
+            -mag
+        };
+    }
+    theta
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fista_recovers_support(seed in 0u64..1000, k in 1usize..4) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = gaussian_matrix(&mut rng);
+        let theta = sparse_signal(&mut rng, k, true);
+        let y = a.matvec(&theta);
+        let rec = Fista::default().with_lambda_rel(0.005).unwrap()
+            .recover(&a, &y).unwrap();
+        let mut supp = rec.support(0.25);
+        supp.sort_unstable();
+        let truth = vector::support(&theta, 1e-9);
+        prop_assert_eq!(supp, truth);
+    }
+
+    #[test]
+    fn basis_pursuit_exact_in_noiseless_regime(seed in 0u64..1000, k in 1usize..4) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(77));
+        let a = gaussian_matrix(&mut rng);
+        let theta = sparse_signal(&mut rng, k, false);
+        let y = a.matvec(&theta);
+        let rec = BasisPursuit::default().recover(&a, &y).unwrap();
+        prop_assert!(vector::distance(&rec.solution, &theta) < 1e-3);
+    }
+
+    #[test]
+    fn omp_exact_with_known_sparsity(seed in 0u64..1000, k in 1usize..4) {
+        // OMP's exact-recovery guarantee needs comfortable sparsity and
+        // non-vanishing coefficients; k <= 3 against M = 24 Gaussian
+        // rows is squarely inside it (k = 4 with small coefficients is
+        // not — greedy selection can be misled, a real OMP limitation).
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(1234));
+        let a = gaussian_matrix(&mut rng);
+        let theta = sparse_signal(&mut rng, k, false);
+        let y = a.matvec(&theta);
+        let rec = Omp::new(k).recover(&a, &y).unwrap();
+        prop_assert!(vector::distance(&rec.solution, &theta) < 1e-6);
+    }
+
+    #[test]
+    fn convex_solvers_agree(seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(4242));
+        let a = gaussian_matrix(&mut rng);
+        let theta = sparse_signal(&mut rng, 2, true);
+        let y = a.matvec(&theta);
+        let f = Fista::default().with_lambda_rel(0.01).unwrap().recover(&a, &y).unwrap();
+        let m = AdmmLasso::default().with_lambda_rel(0.01).unwrap().recover(&a, &y).unwrap();
+        prop_assert!(vector::distance(&f.solution, &m.solution) < 5e-2);
+    }
+
+    #[test]
+    fn irls_matches_basis_pursuit(seed in 0u64..1000, k in 1usize..4) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(31337));
+        let a = gaussian_matrix(&mut rng);
+        let theta = sparse_signal(&mut rng, k, false);
+        let y = a.matvec(&theta);
+        let irls = Irls::default().recover(&a, &y).unwrap();
+        prop_assert!(vector::distance(&irls.solution, &theta) < 1e-3,
+            "IRLS missed the noiseless recovery");
+    }
+
+    #[test]
+    fn solutions_never_contain_nan(seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(999));
+        let a = gaussian_matrix(&mut rng);
+        // Random, not-necessarily-consistent measurements.
+        let y: Vec<f64> = (0..M).map(|_| rng.random_range(-5.0..5.0)).collect();
+        for solver in [&Fista::default() as &dyn SparseRecovery,
+                       &AdmmLasso::default(), &Omp::new(6), &BasisPursuit::default(),
+                       &Irls::default()] {
+            let rec = solver.recover(&a, &y).unwrap();
+            prop_assert!(rec.solution.iter().all(|x| x.is_finite()), "{} produced non-finite", solver.name());
+        }
+    }
+}

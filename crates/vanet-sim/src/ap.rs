@@ -1,0 +1,59 @@
+//! Roadside access points.
+
+use crowdwifi_channel::ApId;
+use crowdwifi_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// A fixed roadside WiFi access point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessPoint {
+    /// Stable identifier (BSSID stand-in).
+    pub id: ApId,
+    /// Ground-truth position in the scenario frame.
+    pub position: Point,
+    /// Effective transmission radius in meters; a collector farther away
+    /// hears nothing from this AP.
+    pub tx_radius: f64,
+}
+
+impl AccessPoint {
+    /// Creates an AP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx_radius` is not positive and finite.
+    pub fn new(id: ApId, position: Point, tx_radius: f64) -> Self {
+        assert!(
+            tx_radius > 0.0 && tx_radius.is_finite(),
+            "tx_radius must be positive and finite"
+        );
+        AccessPoint {
+            id,
+            position,
+            tx_radius,
+        }
+    }
+
+    /// Whether a collector at `p` is within radio range.
+    pub fn covers(&self, p: Point) -> bool {
+        self.position.distance(p) <= self.tx_radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_boundary_inclusive() {
+        let ap = AccessPoint::new(ApId(0), Point::new(0.0, 0.0), 30.0);
+        assert!(ap.covers(Point::new(30.0, 0.0)));
+        assert!(!ap.covers(Point::new(30.1, 0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "tx_radius")]
+    fn zero_radius_rejected() {
+        AccessPoint::new(ApId(0), Point::new(0.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! The drive-by RSS collector.
+//!
+//! §4.2.2: "the vehicle only can receive one RSS measurement at a time" —
+//! each sampling instant yields at most one reading, from one AP. Which
+//! AP is heard follows the paper's myopic model: the probability of
+//! hearing AP `j` from position `p` is the softmax of `−d_j` over the
+//! in-range APs (nearer APs dominate), matching the `w_ij` weights that
+//! the GMM likelihood assumes.
+
+use crate::scenario::Scenario;
+use crowdwifi_channel::noise::ShadowFading;
+use crowdwifi_channel::RssReading;
+use crowdwifi_geo::{Point, Trajectory};
+use rand::{Rng, RngExt};
+
+/// Samples RSS readings along a drive through a [`Scenario`].
+///
+/// # Example
+///
+/// ```
+/// use crowdwifi_vanet_sim::{mobility, RssCollector, Scenario};
+/// use rand::SeedableRng;
+///
+/// let scenario = Scenario::uci_campus();
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let readings = RssCollector::new(&scenario)
+///     .collect_along(&mobility::uci_loop_route(), 1.0, &mut rng);
+/// // The loop passes near every AP: almost all sources should be heard.
+/// let mut sources: Vec<_> = readings.iter().filter_map(|r| r.source).collect();
+/// sources.sort(); sources.dedup();
+/// assert!(sources.len() >= 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RssCollector<'a> {
+    scenario: &'a Scenario,
+    fading: ShadowFading,
+    detection_floor_dbm: f64,
+}
+
+impl<'a> RssCollector<'a> {
+    /// Creates a collector using the scenario's own fading parameters and
+    /// a −95 dBm detection floor (typical 802.11b/g sensitivity).
+    pub fn new(scenario: &'a Scenario) -> Self {
+        RssCollector {
+            scenario,
+            fading: ShadowFading::new(scenario.shadow_sigma_db()),
+            detection_floor_dbm: -95.0,
+        }
+    }
+
+    /// Overrides the detection floor in dBm.
+    pub fn with_detection_floor(mut self, floor_dbm: f64) -> Self {
+        self.detection_floor_dbm = floor_dbm;
+        self
+    }
+
+    /// Disables shadow fading (deterministic channel), useful in tests.
+    pub fn without_fading(mut self) -> Self {
+        self.fading = ShadowFading::none();
+        self
+    }
+
+    /// Takes at most one reading at position `p`, time `t`.
+    ///
+    /// Returns `None` when no AP is in radio range or the faded signal
+    /// falls below the detection floor.
+    pub fn sample_at<R: Rng + ?Sized>(
+        &self,
+        p: Point,
+        t: f64,
+        rng: &mut R,
+    ) -> Option<RssReading> {
+        // In-range candidates with their distances.
+        let candidates: Vec<(usize, f64)> = self
+            .scenario
+            .aps()
+            .iter()
+            .enumerate()
+            .filter(|(_, ap)| ap.covers(p))
+            .map(|(i, ap)| (i, ap.position.distance(p)))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+
+        // Myopic source selection: softmax over −d (max-shifted).
+        let dmin = candidates
+            .iter()
+            .map(|&(_, d)| d)
+            .fold(f64::INFINITY, f64::min);
+        let weights: Vec<f64> = candidates.iter().map(|&(_, d)| (-(d - dmin)).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        let mut pick = rng.random_range(0.0..total);
+        let mut chosen = candidates.len() - 1;
+        for (i, &w) in weights.iter().enumerate() {
+            if pick < w {
+                chosen = i;
+                break;
+            }
+            pick -= w;
+        }
+        let (ap_idx, dist) = candidates[chosen];
+        let ap = &self.scenario.aps()[ap_idx];
+
+        let rss = self.scenario.pathloss().mean_rss(dist) + self.fading.sample(rng);
+        if rss < self.detection_floor_dbm {
+            return None;
+        }
+        Some(RssReading::with_source(p, rss, t, ap.id))
+    }
+
+    /// Collects readings along a trajectory at a fixed sampling
+    /// `interval` (seconds), skipping instants where nothing is heard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is not positive.
+    pub fn collect_along<R: Rng + ?Sized>(
+        &self,
+        trajectory: &Trajectory,
+        interval: f64,
+        rng: &mut R,
+    ) -> Vec<RssReading> {
+        assert!(interval > 0.0, "sampling interval must be positive");
+        trajectory
+            .sample(interval)
+            .into_iter()
+            .filter_map(|w| self.sample_at(w.position, w.time, rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn out_of_range_position_hears_nothing() {
+        let s = Scenario::testbed(); // 30 m radius nodes
+        let c = RssCollector::new(&s);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        // Far corner, > 30 m from every node.
+        assert!(c.sample_at(Point::new(0.0, 100.0), 0.0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn nearest_ap_dominates_source_selection() {
+        let s = Scenario::uci_campus();
+        let c = RssCollector::new(&s);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        // Standing right next to AP 0 at (45, 45).
+        let mut histogram = std::collections::HashMap::new();
+        for i in 0..200 {
+            if let Some(r) = c.sample_at(Point::new(46.0, 45.0), i as f64, &mut rng) {
+                *histogram.entry(r.source.unwrap()).or_insert(0usize) += 1;
+            }
+        }
+        let ap0 = histogram
+            .get(&crowdwifi_channel::ApId(0))
+            .copied()
+            .unwrap_or(0);
+        assert!(ap0 > 190, "AP0 should dominate, histogram {histogram:?}");
+    }
+
+    #[test]
+    fn fading_free_rss_matches_model() {
+        let s = Scenario::uci_campus();
+        let c = RssCollector::new(&s).without_fading();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let p = Point::new(46.0, 45.0);
+        let r = c.sample_at(p, 0.0, &mut rng).unwrap();
+        let expected = s
+            .pathloss()
+            .mean_rss(s.aps()[0].position.distance(p));
+        assert!((r.rss_dbm - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detection_floor_filters_weak_signals() {
+        let s = Scenario::uci_campus();
+        let strict = RssCollector::new(&s).with_detection_floor(0.0); // impossible floor
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        assert!(strict
+            .sample_at(Point::new(46.0, 45.0), 0.0, &mut rng)
+            .is_none());
+    }
+
+    #[test]
+    fn trajectory_collection_is_time_ordered() {
+        let s = Scenario::uci_campus();
+        let c = RssCollector::new(&s);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let readings = c.collect_along(&mobility::uci_loop_route(), 1.0, &mut rng);
+        assert!(readings.len() > 100, "loop should hear plenty of beacons");
+        for pair in readings.windows(2) {
+            assert!(pair[0].time < pair[1].time);
+        }
+    }
+}

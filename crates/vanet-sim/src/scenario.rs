@@ -1,0 +1,387 @@
+//! The four evaluation maps of the paper.
+
+use crate::ap::AccessPoint;
+use crate::{Result, SimError};
+use crowdwifi_channel::{ApId, PathLossModel};
+use crowdwifi_geo::{Grid, Point, Rect};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// A complete simulation scenario: area, AP ground truth and channel.
+///
+/// # Example
+///
+/// ```
+/// let s = crowdwifi_vanet_sim::Scenario::uci_campus();
+/// assert_eq!(s.aps().len(), 8);
+/// assert!((s.area().width() - 300.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    name: String,
+    area: Rect,
+    aps: Vec<AccessPoint>,
+    pathloss: PathLossModel,
+    shadow_sigma_db: f64,
+}
+
+impl Scenario {
+    /// Assembles a custom scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when `aps` is empty or the
+    /// fading deviation is negative.
+    pub fn new(
+        name: impl Into<String>,
+        area: Rect,
+        aps: Vec<AccessPoint>,
+        pathloss: PathLossModel,
+        shadow_sigma_db: f64,
+    ) -> Result<Self> {
+        if aps.is_empty() {
+            return Err(SimError::InvalidParameter("no APs in scenario".to_string()));
+        }
+        if !(shadow_sigma_db >= 0.0) || !shadow_sigma_db.is_finite() {
+            return Err(SimError::InvalidParameter(format!(
+                "shadow_sigma_db must be non-negative, got {shadow_sigma_db}"
+            )));
+        }
+        Ok(Scenario {
+            name: name.into(),
+            area,
+            aps,
+            pathloss,
+            shadow_sigma_db,
+        })
+    }
+
+    /// §6.1 UCI campus simulation: 300 × 180 m, 8 APs with pairwise
+    /// separation above 50 m, 100 m transmission radius, `l₀ = 45.6` dB,
+    /// `γ = 1.76`, shadow σ = 0.5 dB.
+    pub fn uci_campus() -> Self {
+        let area = Rect::new(Point::new(0.0, 0.0), Point::new(300.0, 180.0))
+            .expect("static rectangle is valid");
+        let positions = [
+            (45.0, 45.0),
+            (45.0, 135.0),
+            (110.0, 90.0),
+            (150.0, 45.0),
+            (150.0, 150.0),
+            (215.0, 90.0),
+            (255.0, 45.0),
+            (255.0, 150.0),
+        ];
+        let aps = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| AccessPoint::new(ApId(i as u32), Point::new(x, y), 100.0))
+            .collect();
+        Scenario {
+            name: "uci-campus".to_string(),
+            area,
+            aps,
+            pathloss: PathLossModel::uci_campus(),
+            shadow_sigma_db: 0.5,
+        }
+    }
+
+    /// §6.2 physical-testbed substitute: 100 × 100 m, six Open-Mesh
+    /// OM1P nodes at the six named campus buildings, 30 m transmission
+    /// radius, heavier fading (nodes sit inside buildings).
+    pub fn testbed() -> Self {
+        let area = Rect::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+            .expect("static rectangle is valid");
+        // Two in the Graduate Division Office, one each in Barclay
+        // Theatre, Hill Bookstore, Starbucks and the Student Center.
+        let positions = [
+            (20.0, 70.0), // Graduate Division #1
+            (30.0, 78.0), // Graduate Division #2
+            (70.0, 80.0), // Irvine Barclay Theatre
+            (50.0, 48.0), // The Hill Bookstore
+            (80.0, 30.0), // Starbucks
+            (28.0, 20.0), // UCI Student Center
+        ];
+        let aps = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| AccessPoint::new(ApId(i as u32), Point::new(x, y), 30.0))
+            .collect();
+        let pathloss =
+            PathLossModel::new(18.0, 45.6, 2.2, 1.0).expect("static parameters are valid");
+        Scenario {
+            name: "uci-testbed".to_string(),
+            area,
+            aps,
+            pathloss,
+            shadow_sigma_db: 3.0,
+        }
+    }
+
+    /// §6.3 VanLan-like map: 828 × 559 m, 11 APs clustered on five
+    /// "buildings" of the Microsoft campus, Atheros radios at 26.02 dBm.
+    pub fn vanlan() -> Self {
+        let area = Rect::new(Point::new(0.0, 0.0), Point::new(828.0, 559.0))
+            .expect("static rectangle is valid");
+        // Five buildings, 11 APs total (3+2+2+2+2).
+        let positions = [
+            (120.0, 120.0),
+            (150.0, 150.0),
+            (90.0, 160.0), // building 1
+            (330.0, 430.0),
+            (370.0, 460.0), // building 2
+            (520.0, 140.0),
+            (560.0, 170.0), // building 3
+            (660.0, 390.0),
+            (700.0, 420.0), // building 4
+            (740.0, 240.0),
+            (780.0, 270.0), // building 5
+        ];
+        let aps = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| AccessPoint::new(ApId(i as u32), Point::new(x, y), 150.0))
+            .collect();
+        Scenario {
+            name: "vanlan".to_string(),
+            area,
+            aps,
+            pathloss: PathLossModel::vanlan(),
+            shadow_sigma_db: 4.0,
+        }
+    }
+
+    /// An urban Manhattan-grid scenario (extension beyond the paper's
+    /// maps): `blocks × blocks` city blocks of `block_size` meters with
+    /// one AP per block placed at a deterministic offset inside the
+    /// block — the dense, regular deployment a downtown core would
+    /// have. Use with [`crate::mobility::manhattan_route`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for zero blocks or a
+    /// non-positive block size.
+    pub fn manhattan(blocks: usize, block_size: f64) -> Result<Self> {
+        if blocks == 0 {
+            return Err(SimError::InvalidParameter(
+                "need at least one block".to_string(),
+            ));
+        }
+        if !(block_size > 0.0) || !block_size.is_finite() {
+            return Err(SimError::InvalidParameter(format!(
+                "block_size must be positive, got {block_size}"
+            )));
+        }
+        let extent = blocks as f64 * block_size;
+        let area = Rect::new(Point::new(0.0, 0.0), Point::new(extent, extent))
+            .map_err(|e| SimError::InvalidParameter(e.to_string()))?;
+        let mut aps = Vec::with_capacity(blocks * blocks);
+        for by in 0..blocks {
+            for bx in 0..blocks {
+                // Offset pattern varies per block so APs are not all on
+                // the same corner (breaks artificial symmetry).
+                let (fx, fy) = match (bx + by) % 4 {
+                    0 => (0.3, 0.3),
+                    1 => (0.7, 0.35),
+                    2 => (0.35, 0.7),
+                    _ => (0.65, 0.65),
+                };
+                aps.push(AccessPoint::new(
+                    ApId((by * blocks + bx) as u32),
+                    Point::new(
+                        (bx as f64 + fx) * block_size,
+                        (by as f64 + fy) * block_size,
+                    ),
+                    100.0,
+                ));
+            }
+        }
+        Scenario::new(
+            format!("manhattan-{blocks}x{blocks}"),
+            area,
+            aps,
+            PathLossModel::uci_campus(),
+            1.0,
+        )
+    }
+
+    /// §6.1 third simulation set: `k` APs placed uniformly at random in a
+    /// 250 × 250 m area with a minimum pairwise separation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PlacementFailed`] if the separation constraint
+    /// cannot be met after many retries (over-dense request).
+    pub fn random_250<R: Rng + ?Sized>(
+        k: usize,
+        min_separation: f64,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let area = Rect::new(Point::new(0.0, 0.0), Point::new(250.0, 250.0))
+            .expect("static rectangle is valid");
+        let mut aps: Vec<AccessPoint> = Vec::with_capacity(k);
+        let mut attempts = 0usize;
+        while aps.len() < k {
+            attempts += 1;
+            if attempts > 10_000 {
+                return Err(SimError::PlacementFailed {
+                    placed: aps.len(),
+                    requested: k,
+                });
+            }
+            let candidate = Point::new(
+                rng.random_range(area.min().x..area.max().x),
+                rng.random_range(area.min().y..area.max().y),
+            );
+            if aps
+                .iter()
+                .all(|ap| ap.position.distance(candidate) >= min_separation)
+            {
+                aps.push(AccessPoint::new(ApId(aps.len() as u32), candidate, 100.0));
+            }
+        }
+        Scenario::new(
+            format!("random-250-k{k}"),
+            area,
+            aps,
+            PathLossModel::uci_campus(),
+            0.5,
+        )
+    }
+
+    /// Scenario name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The simulated area.
+    pub fn area(&self) -> Rect {
+        self.area
+    }
+
+    /// Ground-truth APs.
+    pub fn aps(&self) -> &[AccessPoint] {
+        &self.aps
+    }
+
+    /// Ground-truth AP positions, in id order.
+    pub fn ap_positions(&self) -> Vec<Point> {
+        self.aps.iter().map(|ap| ap.position).collect()
+    }
+
+    /// The channel model.
+    pub fn pathloss(&self) -> &PathLossModel {
+        &self.pathloss
+    }
+
+    /// Shadow-fading standard deviation in dB.
+    pub fn shadow_sigma_db(&self) -> f64 {
+        self.shadow_sigma_db
+    }
+
+    /// Returns a copy with every AP snapped to the nearest point of
+    /// `grid` — the paper's first simulation set places the 8 APs
+    /// *exactly on grid points*.
+    pub fn snapped_to_grid(&self, grid: &Grid) -> Scenario {
+        let mut out = self.clone();
+        for ap in out.aps.iter_mut() {
+            ap.position = grid.point(grid.nearest_index(ap.position));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uci_has_paper_parameters() {
+        let s = Scenario::uci_campus();
+        assert_eq!(s.aps().len(), 8);
+        assert!((s.area().width() - 300.0).abs() < 1e-12);
+        assert!((s.area().height() - 180.0).abs() < 1e-12);
+        assert_eq!(s.shadow_sigma_db(), 0.5);
+        assert_eq!(s.pathloss().ref_loss_db(), 45.6);
+        // Pairwise separation > 50 m and radius 100 m.
+        for (i, a) in s.aps().iter().enumerate() {
+            assert_eq!(a.tx_radius, 100.0);
+            for b in &s.aps()[i + 1..] {
+                assert!(
+                    a.position.distance(b.position) > 50.0,
+                    "APs {a:?} and {b:?} too close"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn testbed_has_six_nodes_with_30m_radius() {
+        let s = Scenario::testbed();
+        assert_eq!(s.aps().len(), 6);
+        assert!(s.aps().iter().all(|ap| ap.tx_radius == 30.0));
+        assert!(s.aps().iter().all(|ap| s.area().contains(ap.position)));
+    }
+
+    #[test]
+    fn vanlan_has_eleven_aps() {
+        let s = Scenario::vanlan();
+        assert_eq!(s.aps().len(), 11);
+        assert_eq!(s.pathloss().tx_power_dbm(), 26.02);
+        assert!((s.area().width() - 828.0).abs() < 1e-12);
+        assert!((s.area().height() - 559.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_scenario_respects_separation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let s = Scenario::random_250(40, 20.0, &mut rng).unwrap();
+        assert_eq!(s.aps().len(), 40);
+        for (i, a) in s.aps().iter().enumerate() {
+            for b in &s.aps()[i + 1..] {
+                assert!(a.position.distance(b.position) >= 20.0);
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_density_fails_cleanly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // 100 APs at 200 m separation cannot fit in 250 × 250.
+        assert!(matches!(
+            Scenario::random_250(100, 200.0, &mut rng),
+            Err(SimError::PlacementFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn manhattan_layout() {
+        let s = Scenario::manhattan(3, 80.0).unwrap();
+        assert_eq!(s.aps().len(), 9);
+        assert!((s.area().width() - 240.0).abs() < 1e-9);
+        for ap in s.aps() {
+            assert!(s.area().contains(ap.position));
+        }
+        assert!(Scenario::manhattan(0, 80.0).is_err());
+        assert!(Scenario::manhattan(2, 0.0).is_err());
+    }
+
+    #[test]
+    fn grid_snapping_moves_aps_onto_lattice() {
+        let s = Scenario::uci_campus();
+        let grid = Grid::new(s.area(), 8.0).unwrap();
+        let snapped = s.snapped_to_grid(&grid);
+        for ap in snapped.aps() {
+            let idx = grid.nearest_index(ap.position);
+            assert_eq!(grid.point(idx), ap.position);
+        }
+    }
+
+    #[test]
+    fn empty_scenario_rejected() {
+        let area = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap();
+        assert!(Scenario::new("x", area, vec![], PathLossModel::uci_campus(), 0.5).is_err());
+    }
+}

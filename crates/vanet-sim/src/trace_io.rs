@@ -1,0 +1,213 @@
+//! Persisting RSS traces to disk.
+//!
+//! A crowd-vehicle's drive (or a whole VanLan-style campaign) can be
+//! saved as CSV and replayed later — the project's stand-in for working
+//! with recorded datasets. The format is a plain header + one row per
+//! reading:
+//!
+//! ```csv
+//! x,y,rss_dbm,time,source
+//! 12.500,20.000,-57.31,4.200,3
+//! 16.500,20.000,-58.02,4.700,
+//! ```
+//!
+//! `source` is empty for blind readings. Hand-rolled (no CSV crate) —
+//! the format is fixed and simple.
+
+use crowdwifi_channel::{ApId, RssReading};
+use crowdwifi_geo::Point;
+use std::io::{BufRead, Write};
+
+/// Errors produced by trace (de)serialization.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A row could not be parsed.
+    Parse {
+        /// 1-based line number (header is line 1).
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The header row is missing or wrong.
+    BadHeader(String),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O failure: {e}"),
+            TraceIoError::Parse { line, reason } => {
+                write!(f, "trace parse error at line {line}: {reason}")
+            }
+            TraceIoError::BadHeader(h) => write!(f, "unexpected trace header: {h:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+const HEADER: &str = "x,y,rss_dbm,time,source";
+
+/// Writes readings as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_csv<W: Write>(readings: &[RssReading], mut w: W) -> Result<(), TraceIoError> {
+    writeln!(w, "{HEADER}")?;
+    for r in readings {
+        let source = r.source.map(|s| s.0.to_string()).unwrap_or_default();
+        writeln!(
+            w,
+            "{:.3},{:.3},{:.3},{:.3},{}",
+            r.position.x, r.position.y, r.rss_dbm, r.time, source
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a CSV trace produced by [`write_csv`].
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::BadHeader`] when the first line is not the
+/// expected header and [`TraceIoError::Parse`] with a line number for
+/// malformed rows.
+pub fn read_csv<R: BufRead>(r: R) -> Result<Vec<RssReading>, TraceIoError> {
+    let mut lines = r.lines();
+    match lines.next() {
+        Some(Ok(h)) if h.trim() == HEADER => {}
+        Some(Ok(h)) => return Err(TraceIoError::BadHeader(h)),
+        Some(Err(e)) => return Err(TraceIoError::Io(e)),
+        None => return Err(TraceIoError::BadHeader(String::new())),
+    }
+    let mut out = Vec::new();
+    for (idx, line) in lines.enumerate() {
+        let line_no = idx + 2;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 5 {
+            return Err(TraceIoError::Parse {
+                line: line_no,
+                reason: format!("expected 5 fields, found {}", fields.len()),
+            });
+        }
+        let parse_f64 = |s: &str, name: &str| -> Result<f64, TraceIoError> {
+            s.trim().parse::<f64>().map_err(|e| TraceIoError::Parse {
+                line: line_no,
+                reason: format!("bad {name} {s:?}: {e}"),
+            })
+        };
+        let x = parse_f64(fields[0], "x")?;
+        let y = parse_f64(fields[1], "y")?;
+        let rss = parse_f64(fields[2], "rss_dbm")?;
+        let time = parse_f64(fields[3], "time")?;
+        if !(x.is_finite() && y.is_finite() && rss.is_finite() && time.is_finite()) {
+            return Err(TraceIoError::Parse {
+                line: line_no,
+                reason: "non-finite value".to_string(),
+            });
+        }
+        let source = match fields[4].trim() {
+            "" => None,
+            s => Some(ApId(s.parse::<u32>().map_err(|e| TraceIoError::Parse {
+                line: line_no,
+                reason: format!("bad source {s:?}: {e}"),
+            })?)),
+        };
+        out.push(RssReading {
+            position: Point::new(x, y),
+            rss_dbm: rss,
+            time,
+            source,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mobility, RssCollector, Scenario};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_readings() -> Vec<RssReading> {
+        let scenario = Scenario::uci_campus();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        RssCollector::new(&scenario).collect_along(
+            &mobility::uci_loop_route_with(1, 25.0),
+            2.0,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_readings() {
+        let readings = sample_readings();
+        let mut buf = Vec::new();
+        write_csv(&readings, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), readings.len());
+        for (a, b) in readings.iter().zip(&back) {
+            assert!((a.position.x - b.position.x).abs() < 1e-3);
+            assert!((a.rss_dbm - b.rss_dbm).abs() < 1e-3);
+            assert!((a.time - b.time).abs() < 1e-3);
+            assert_eq!(a.source, b.source);
+        }
+    }
+
+    #[test]
+    fn blind_readings_roundtrip_without_source() {
+        let readings = vec![RssReading::new(Point::new(1.0, 2.0), -60.5, 3.0)];
+        let mut buf = Vec::new();
+        write_csv(&readings, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back[0].source, None);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            read_csv("lat,lon\n".as_bytes()),
+            Err(TraceIoError::BadHeader(_))
+        ));
+        assert!(matches!(
+            read_csv("".as_bytes()),
+            Err(TraceIoError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_rows_with_line_numbers() {
+        let data = format!("{HEADER}\n1.0,2.0,-60.0,0.0,\nnot,a,valid,row\n");
+        match read_csv(data.as_bytes()) {
+            Err(TraceIoError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let nan = format!("{HEADER}\nNaN,2.0,-60.0,0.0,\n");
+        assert!(matches!(
+            read_csv(nan.as_bytes()),
+            Err(TraceIoError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let data = format!("{HEADER}\n1.0,2.0,-60.0,0.0,7\n\n");
+        let back = read_csv(data.as_bytes()).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].source, Some(ApId(7)));
+    }
+}

@@ -1,0 +1,96 @@
+//! The three-party crowdsensing platform (§3, §5.5): crowd-vehicles on
+//! their own threads sense and label, the crowd-server infers
+//! reliabilities and fuses, a user-vehicle downloads the result.
+//!
+//! One of the five vehicles is a spammer; watch its inferred
+//! reliability sink and its influence disappear from the fused map.
+//!
+//! ```sh
+//! cargo run --release --example crowd_platform
+//! ```
+
+use crowdwifi::channel::{PathLossModel, RssReading};
+use crowdwifi::core::pipeline::{OnlineCs, OnlineCsConfig};
+use crowdwifi::geo::{Point, Rect};
+use crowdwifi::middleware::messages::VehicleId;
+use crowdwifi::middleware::platform::{run_round, PlatformConfig};
+use crowdwifi::middleware::segment::SegmentMap;
+use crowdwifi::middleware::vehicle::{Behavior, CrowdVehicle};
+
+/// Fading-free staggered drive past the two "roadside" APs.
+fn drive(lane_offset: f64, aps: &[Point]) -> Vec<RssReading> {
+    let model = PathLossModel::uci_campus();
+    (0..50)
+        .map(|i| {
+            let p = Point::new(
+                6.0 * i as f64,
+                lane_offset + if (i / 5) % 2 == 0 { 0.0 } else { 12.0 },
+            );
+            let nearest = aps
+                .iter()
+                .min_by(|a, b| p.distance(**a).partial_cmp(&p.distance(**b)).unwrap())
+                .unwrap();
+            RssReading::new(p, model.mean_rss(p.distance(*nearest)), i as f64)
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let truth = [Point::new(60.0, 30.0), Point::new(220.0, 30.0)];
+    let segments = SegmentMap::new(
+        Rect::new(Point::new(0.0, -20.0), Point::new(300.0, 80.0))?,
+        150.0,
+    );
+
+    // Five crowd-vehicles: four honest, one spammer.
+    let mut fleet = Vec::new();
+    for v in 0..5u32 {
+        let estimator = OnlineCs::new(OnlineCsConfig::default(), PathLossModel::uci_campus())?;
+        let behavior = if v == 4 { Behavior::Spammer } else { Behavior::Honest };
+        fleet.push((
+            CrowdVehicle::new(VehicleId(v), estimator, behavior),
+            drive(v as f64 * 0.5, &truth),
+        ));
+    }
+
+    println!("running one crowdsensing round with 4 honest vehicles + 1 spammer...");
+    let report = run_round(
+        segments,
+        fleet,
+        PlatformConfig {
+            workers_per_task: 4,
+            ..PlatformConfig::default()
+        },
+    )?;
+
+    println!("\ninferred reliabilities:");
+    for (vehicle, q) in &report.outcome.reliabilities {
+        let tag = if vehicle.0 == 4 { " (spammer)" } else { "" };
+        println!("  {vehicle}: {q:.2}{tag}");
+    }
+
+    println!("\nfused AP database (what a user-vehicle downloads):");
+    for ap in &report.fused {
+        let nearest = truth
+            .iter()
+            .map(|t| t.distance(ap.position))
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "  {} support {:.1} from {} vehicles ({nearest:.1} m from truth)",
+            ap.position, ap.support, ap.contributors
+        );
+    }
+
+    // A user-vehicle about to enter the road segment asks for APs ahead.
+    let user_position = Point::new(100.0, 0.0);
+    let nearby: Vec<_> = report
+        .fused
+        .iter()
+        .filter(|ap| ap.position.distance(user_position) <= 150.0)
+        .collect();
+    println!(
+        "\nuser-vehicle at {user_position}: {} APs within 150 m available for opportunistic access",
+        nearby.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Record a drive to CSV, replay it later, and run lookup on the replay
+//! — the workflow for working with real recorded datasets.
+//!
+//! ```sh
+//! cargo run --release --example replay_trace
+//! ```
+
+use crowdwifi::core::metrics::mean_distance_error;
+use crowdwifi::core::pipeline::{ensemble_run, OnlineCsConfig};
+use crowdwifi::sim::trace_io::{read_csv, write_csv};
+use crowdwifi::sim::{mobility, RssCollector, Scenario};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::io::BufReader;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::uci_campus();
+    let truth = scenario.ap_positions();
+
+    // 1. Record a drive.
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let route = mobility::uci_loop_route_with(2, 25.0);
+    let readings =
+        RssCollector::new(&scenario).collect_along(&route, route.duration() / 361.0, &mut rng);
+    let path = std::env::temp_dir().join("crowdwifi_trace.csv");
+    write_csv(&readings, std::fs::File::create(&path)?)?;
+    println!("recorded {} readings to {}", readings.len(), path.display());
+
+    // 2. Replay it from disk.
+    let replayed = read_csv(BufReader::new(std::fs::File::open(&path)?))?;
+    assert_eq!(replayed.len(), readings.len());
+    println!("replayed {} readings", replayed.len());
+
+    // 3. Run the full-strength lookup on the replay.
+    let config = OnlineCsConfig {
+        lattice: 8.0,
+        sigma_factor: 0.04,
+        merge_radius: 20.0,
+        ..OnlineCsConfig::default()
+    };
+    let estimates = ensemble_run(&replayed, config, *scenario.pathloss(), 8)?;
+    println!("\nlookup from the replayed trace:");
+    for est in &estimates {
+        println!("  {} (credit {:.1})", est.position, est.credit);
+    }
+    let positions: Vec<_> = estimates.iter().map(|e| e.position).collect();
+    if let Some(err) = mean_distance_error(&truth, &positions) {
+        println!(
+            "\n{} of {} APs, mean matched distance {err:.2} m",
+            positions.len(),
+            truth.len()
+        );
+    }
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! Cross-crate integration: online CS estimates feed the offline
+//! crowdsourcing layer, spanning core, crowd and middleware.
+
+use crowdwifi::channel::{PathLossModel, RssReading};
+use crowdwifi::core::pipeline::{OnlineCs, OnlineCsConfig};
+use crowdwifi::crowd::aggregate::majority_vote;
+use crowdwifi::crowd::graph::BipartiteAssignment;
+use crowdwifi::crowd::inference::IterativeInference;
+use crowdwifi::crowd::worker::SpammerHammerPrior;
+use crowdwifi::crowd::{bit_error_rate, LabelMatrix};
+use crowdwifi::geo::{Point, Rect};
+use crowdwifi::middleware::messages::VehicleId;
+use crowdwifi::middleware::platform::{run_round, PlatformConfig};
+use crowdwifi::middleware::segment::SegmentMap;
+use crowdwifi::middleware::vehicle::{Behavior, CrowdVehicle};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn iterative_inference_beats_majority_voting_at_scale() {
+    // The paper's Fig. 7 claim, averaged over several random graphs.
+    let mut kos_total = 0.0;
+    let mut mv_total = 0.0;
+    for seed in 0..10u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let graph = BipartiteAssignment::regular(500, 9, 9, &mut rng).unwrap();
+        let truth: Vec<i8> = (0..500).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+        let pool = SpammerHammerPrior::default().draw_pool(graph.workers(), &mut rng);
+        let labels = LabelMatrix::generate(&graph, &truth, &pool, &mut rng);
+        kos_total += IterativeInference::default().decode_error(&labels, &truth, &mut rng);
+        mv_total += bit_error_rate(&majority_vote(&labels), &truth);
+    }
+    assert!(
+        kos_total < mv_total * 0.5,
+        "iterative inference ({kos_total:.3}) should roughly halve MV error ({mv_total:.3})"
+    );
+}
+
+/// Fading-free staggered drive past two APs for the platform test.
+fn drive(lane_offset: f64, aps: &[Point]) -> Vec<RssReading> {
+    let model = PathLossModel::uci_campus();
+    (0..50)
+        .map(|i| {
+            let p = Point::new(
+                6.0 * i as f64,
+                lane_offset + if (i / 5) % 2 == 0 { 0.0 } else { 12.0 },
+            );
+            let nearest = aps
+                .iter()
+                .min_by(|a, b| p.distance(**a).partial_cmp(&p.distance(**b)).unwrap())
+                .unwrap();
+            RssReading::new(p, model.mean_rss(p.distance(*nearest)), i as f64)
+        })
+        .collect()
+}
+
+#[test]
+fn threaded_platform_round_flags_spammer_and_finds_aps() {
+    let truth = [Point::new(60.0, 30.0), Point::new(220.0, 30.0)];
+    let segments = SegmentMap::new(
+        Rect::new(Point::new(0.0, -20.0), Point::new(300.0, 80.0)).unwrap(),
+        150.0,
+    );
+    let mut fleet = Vec::new();
+    for v in 0..5u32 {
+        let estimator =
+            OnlineCs::new(OnlineCsConfig::default(), PathLossModel::uci_campus()).unwrap();
+        let behavior = if v == 4 {
+            Behavior::Spammer
+        } else {
+            Behavior::Honest
+        };
+        fleet.push((
+            CrowdVehicle::new(VehicleId(v), estimator, behavior),
+            drive(v as f64 * 0.5, &truth),
+        ));
+    }
+    let report = run_round(
+        segments,
+        fleet,
+        PlatformConfig {
+            workers_per_task: 4,
+            ..PlatformConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Both APs present in the fused database.
+    for t in truth {
+        let d = report
+            .fused
+            .iter()
+            .map(|f| f.position.distance(t))
+            .fold(f64::INFINITY, f64::min);
+        assert!(d < 20.0, "AP {t} missing from fusion ({d:.1} m)");
+    }
+    // The spammer must not outrank every honest vehicle.
+    let spam = report.outcome.reliabilities[&VehicleId(4)];
+    let best_honest = (0..4)
+        .map(|v| report.outcome.reliabilities[&VehicleId(v)])
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(spam <= best_honest);
+}

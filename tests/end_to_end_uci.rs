@@ -1,0 +1,179 @@
+//! End-to-end integration: the UCI campus scenario from simulator to
+//! AP estimates, spanning vanet-sim, channel, geo, sparsesolve and core.
+
+use crowdwifi::core::metrics::{counting_error, mean_distance_error};
+use crowdwifi::core::pipeline::{OnlineCs, OnlineCsConfig};
+use crowdwifi::core::window::WindowConfig;
+use crowdwifi::geo::Grid;
+use crowdwifi::sim::{mobility, RssCollector, Scenario};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn uci_config() -> OnlineCsConfig {
+    OnlineCsConfig {
+        window: WindowConfig {
+            size: 40,
+            step: 10,
+            ttl: f64::INFINITY,
+        },
+        lattice: 8.0,
+        sigma_factor: 0.04,
+        merge_radius: 20.0,
+        ..OnlineCsConfig::default()
+    }
+}
+
+#[test]
+fn uci_two_lap_drive_recovers_the_campus() {
+    let scenario = Scenario::uci_campus();
+    let grid = Grid::new(scenario.area(), 8.0).unwrap();
+    let scenario = scenario.snapped_to_grid(&grid);
+    let truth = scenario.ap_positions();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let route = mobility::uci_loop_route_with(2, 25.0);
+    let readings =
+        RssCollector::new(&scenario).collect_along(&route, route.duration() / 361.0, &mut rng);
+    assert!(readings.len() > 300, "drive too sparse: {}", readings.len());
+
+    let estimator = OnlineCs::new(uci_config(), *scenario.pathloss()).unwrap();
+    let estimates = estimator.run(&readings).unwrap();
+    let positions: Vec<_> = estimates.iter().map(|e| e.position).collect();
+
+    // Counting within one AP of the truth and positions within a couple
+    // of lattice cells on average.
+    assert!(
+        counting_error(truth.len(), positions.len()) <= 0.125,
+        "count {} vs 8",
+        positions.len()
+    );
+    let err = mean_distance_error(&truth, &positions).unwrap();
+    assert!(err < 20.0, "mean matched error {err:.1} m");
+}
+
+#[test]
+fn accuracy_improves_with_more_data() {
+    let scenario = Scenario::uci_campus();
+    let grid = Grid::new(scenario.area(), 8.0).unwrap();
+    let scenario = scenario.snapped_to_grid(&grid);
+    let truth = scenario.ap_positions();
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let route = mobility::uci_loop_route_with(2, 25.0);
+    let readings =
+        RssCollector::new(&scenario).collect_along(&route, route.duration() / 181.0, &mut rng);
+    let estimator = OnlineCs::new(uci_config(), *scenario.pathloss()).unwrap();
+
+    let count_err_at = |n: usize| {
+        let est = estimator.run(&readings[..n.min(readings.len())]).unwrap();
+        counting_error(truth.len(), est.len())
+    };
+    // The paper's Fig. 5 trend: counting improves as readings accumulate.
+    let early = count_err_at(60);
+    let late = count_err_at(180);
+    assert!(
+        late <= early,
+        "counting error should not grow with data: {early} -> {late}"
+    );
+    assert!(late <= 0.25, "late counting error {late}");
+}
+
+#[test]
+fn testbed_scenario_finds_most_nodes() {
+    let scenario = Scenario::testbed();
+    let truth = scenario.ap_positions();
+    let mut rng = ChaCha8Rng::seed_from_u64(101);
+    let route = mobility::testbed_passes(scenario.area(), 4, 20.0);
+    let readings =
+        RssCollector::new(&scenario).collect_along(&route, route.duration() / 60.0, &mut rng);
+    let config = OnlineCsConfig {
+        window: WindowConfig {
+            size: 20,
+            step: 5,
+            ttl: f64::INFINITY,
+        },
+        lattice: 10.0,
+        radio_range: 35.0,
+        max_ap_per_window: 3,
+        merge_radius: 12.0,
+        ..OnlineCsConfig::default()
+    };
+    let estimator = OnlineCs::new(config, *scenario.pathloss()).unwrap();
+    let estimates = estimator.run(&readings).unwrap();
+    // Six nodes, two nearly co-located: finding at least four with
+    // bounded error is the reliable floor for a single 20 mph drive.
+    assert!(estimates.len() >= 4, "found only {}", estimates.len());
+    let positions: Vec<_> = estimates.iter().map(|e| e.position).collect();
+    let err = mean_distance_error(&truth, &positions).unwrap();
+    assert!(err < 15.0, "testbed mean error {err:.1} m");
+}
+
+#[test]
+fn manhattan_urban_grid_is_recoverable() {
+    use crowdwifi::core::pipeline::ensemble_run;
+
+    // 3 × 3 city blocks of 80 m, one AP per block, snake drive through
+    // every east-west street.
+    let scenario = Scenario::manhattan(3, 80.0).unwrap();
+    let truth = scenario.ap_positions();
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let route = mobility::manhattan_route(3, 80.0, 25.0);
+    let readings =
+        RssCollector::new(&scenario).collect_along(&route, route.duration() / 241.0, &mut rng);
+
+    let config = OnlineCsConfig {
+        lattice: 8.0,
+        sigma_factor: 0.04,
+        merge_radius: 20.0,
+        ..OnlineCsConfig::default()
+    };
+    let estimates = ensemble_run(&readings, config, *scenario.pathloss(), 9).unwrap();
+    let positions: Vec<_> = estimates.iter().map(|e| e.position).collect();
+    assert!(
+        counting_error(truth.len(), positions.len()) <= 0.34,
+        "count {} vs 9",
+        positions.len()
+    );
+    let err = mean_distance_error(&truth, &positions).unwrap();
+    assert!(err < 25.0, "urban grid mean error {err:.1} m");
+}
+
+#[test]
+fn finite_ttl_streaming_session_still_converges() {
+    use crowdwifi::core::pipeline::OnlineCs;
+
+    // A TTL shorter than the drive: old readings expire out of the
+    // window, so rounds stay local — the §4.3.2 behavior.
+    let scenario = Scenario::uci_campus();
+    let truth = scenario.ap_positions();
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let route = mobility::uci_loop_route_with(2, 25.0);
+    let readings =
+        RssCollector::new(&scenario).collect_along(&route, route.duration() / 361.0, &mut rng);
+
+    let config = OnlineCsConfig {
+        window: WindowConfig {
+            size: 40,
+            step: 10,
+            ttl: 30.0, // seconds — roughly one sweep leg
+        },
+        lattice: 8.0,
+        sigma_factor: 0.04,
+        merge_radius: 20.0,
+        ..OnlineCsConfig::default()
+    };
+    let estimator = OnlineCs::new(config, *scenario.pathloss()).unwrap();
+    let mut session = estimator.session().unwrap();
+    for r in &readings {
+        session.push(*r).unwrap();
+    }
+    let final_aps = session.finish().unwrap();
+    let positions: Vec<_> = final_aps.iter().map(|e| e.position).collect();
+    // TTL-limited windows are smaller, so allow a slightly looser count.
+    assert!(
+        counting_error(truth.len(), positions.len()) <= 0.25,
+        "count {} vs 8",
+        positions.len()
+    );
+    let err = mean_distance_error(&truth, &positions).unwrap();
+    assert!(err < 25.0, "TTL session mean error {err:.1} m");
+}

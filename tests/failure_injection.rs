@@ -1,0 +1,140 @@
+//! Failure injection: hostile, degenerate and malformed inputs must be
+//! rejected cleanly or absorbed without panics or non-finite outputs.
+
+use crowdwifi::channel::RssReading;
+use crowdwifi::core::pipeline::{ensemble_run, OnlineCs, OnlineCsConfig};
+use crowdwifi::core::window::WindowConfig;
+use crowdwifi::crowd::graph::BipartiteAssignment;
+use crowdwifi::crowd::inference::IterativeInference;
+use crowdwifi::crowd::worker::WorkerPool;
+use crowdwifi::crowd::LabelMatrix;
+use crowdwifi::geo::Point;
+use crowdwifi::sim::Scenario;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn pipeline() -> OnlineCs {
+    OnlineCs::new(
+        OnlineCsConfig::default(),
+        *Scenario::uci_campus().pathloss(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn empty_and_tiny_streams_are_fine() {
+    let p = pipeline();
+    assert!(p.run(&[]).unwrap().is_empty());
+    // A single reading cannot resolve anything but must not panic.
+    let one = [RssReading::new(Point::new(0.0, 0.0), -60.0, 0.0)];
+    let est = p.run(&one).unwrap();
+    for e in est {
+        assert!(e.position.is_finite());
+    }
+}
+
+#[test]
+fn identical_positions_do_not_crash_grid_formation() {
+    let p = pipeline();
+    // 50 readings all from the exact same spot: zero-extent bounding box.
+    let readings: Vec<RssReading> = (0..50)
+        .map(|i| RssReading::new(Point::new(10.0, 10.0), -55.0 - (i % 3) as f64, i as f64))
+        .collect();
+    let est = p.run(&readings).unwrap();
+    for e in est {
+        assert!(e.position.is_finite());
+    }
+}
+
+#[test]
+fn extreme_rss_values_stay_finite() {
+    let p = pipeline();
+    let readings: Vec<RssReading> = (0..40)
+        .map(|i| {
+            let rss = match i % 4 {
+                0 => -200.0, // absurdly weak
+                1 => 50.0,   // absurdly strong
+                2 => -60.0,
+                _ => -95.0,
+            };
+            RssReading::new(Point::new(3.0 * i as f64, (i % 7) as f64), rss, i as f64)
+        })
+        .collect();
+    let est = p.run(&readings).unwrap();
+    for e in est {
+        assert!(e.position.is_finite(), "non-finite estimate {e:?}");
+        assert!(e.credit.is_finite());
+    }
+}
+
+#[test]
+fn ensemble_handles_empty_input() {
+    let est = ensemble_run(
+        &[],
+        OnlineCsConfig::default(),
+        *Scenario::uci_campus().pathloss(),
+        5,
+    )
+    .unwrap();
+    assert!(est.is_empty());
+}
+
+#[test]
+fn out_of_order_timestamps_are_rejected_by_window_or_absorbed() {
+    // The sliding window uses timestamps only for TTL expiry; feeding
+    // out-of-order times must not panic.
+    let cfg = OnlineCsConfig {
+        window: WindowConfig {
+            size: 10,
+            step: 5,
+            ttl: 30.0,
+        },
+        ..OnlineCsConfig::default()
+    };
+    let p = OnlineCs::new(cfg, *Scenario::uci_campus().pathloss()).unwrap();
+    let readings: Vec<RssReading> = (0..30)
+        .map(|i| {
+            let t = if i % 5 == 0 { 0.0 } else { i as f64 };
+            RssReading::new(Point::new(4.0 * i as f64, 0.0), -60.0, t)
+        })
+        .collect();
+    let _ = p.run(&readings).unwrap();
+}
+
+#[test]
+fn all_spammer_crowd_degrades_gracefully() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let graph = BipartiteAssignment::regular(200, 5, 5, &mut rng).unwrap();
+    let truth: Vec<i8> = (0..200).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+    // Every worker is a coin-flipper: no decoder can beat chance, but
+    // nothing may panic and the error must hover near 1/2.
+    let pool = WorkerPool::new(vec![0.5; graph.workers()]).unwrap();
+    let labels = LabelMatrix::generate(&graph, &truth, &pool, &mut rng);
+    let err = IterativeInference::default().decode_error(&labels, &truth, &mut rng);
+    assert!((0.2..=0.8).contains(&err), "all-spammer error {err}");
+}
+
+#[test]
+fn adversarial_workers_do_not_break_inference() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let graph = BipartiteAssignment::regular(300, 7, 7, &mut rng).unwrap();
+    let truth: Vec<i8> = (0..300).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+    // 20 % adversaries (q = 0.1, systematically lying), 80 % hammers.
+    let reliabilities: Vec<f64> = (0..graph.workers())
+        .map(|j| if j % 5 == 0 { 0.1 } else { 0.95 })
+        .collect();
+    let pool = WorkerPool::new(reliabilities).unwrap();
+    let labels = LabelMatrix::generate(&graph, &truth, &pool, &mut rng);
+    let result = IterativeInference::default().run(&labels, &mut rng);
+    let err = crowdwifi::crowd::bit_error_rate(&result.estimates, &truth);
+    // Message passing exploits the anti-correlation: adversaries get
+    // negative scores and the decode stays accurate.
+    assert!(err < 0.05, "error with adversaries {err}");
+    let adv_score: f64 = result
+        .worker_scores
+        .iter()
+        .step_by(5)
+        .sum::<f64>()
+        / (graph.workers() / 5) as f64;
+    assert!(adv_score < 0.0, "adversaries should score negative: {adv_score}");
+}

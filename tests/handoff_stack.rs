@@ -1,0 +1,83 @@
+//! Integration: crowdsensed lookup feeding the handoff substrate,
+//! spanning vanet-sim and handoff.
+
+use crowdwifi::handoff::connectivity::{simulate, ConnectivityConfig, Policy};
+use crowdwifi::handoff::db::ApDatabase;
+use crowdwifi::handoff::session::session_lengths;
+use crowdwifi::handoff::transfer::{run_transfers, TransferConfig};
+use crowdwifi::sim::mobility::vanlan_round;
+use crowdwifi::sim::Scenario;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn connectivity(policy: Policy, db: &ApDatabase, seed: u64) -> f64 {
+    let scenario = Scenario::vanlan();
+    let route = vanlan_round(0.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    simulate(
+        policy,
+        &scenario,
+        &route,
+        db,
+        ConnectivityConfig::default(),
+        &mut rng,
+    )
+    .unwrap()
+    .connectivity_fraction()
+}
+
+#[test]
+fn allap_dominates_brr_on_connectivity() {
+    let db = ApDatabase::new(Scenario::vanlan().ap_positions());
+    let mut all = 0.0;
+    let mut brr = 0.0;
+    for seed in 0..5 {
+        all += connectivity(Policy::AllAp, &db, seed);
+        brr += connectivity(Policy::Brr, &db, seed);
+    }
+    assert!(all >= brr, "AllAP {all:.2} must be >= BRR {brr:.2}");
+    assert!(all / 5.0 > 0.5, "AllAP should be connected most of the drive");
+}
+
+#[test]
+fn lookup_errors_degrade_connectivity() {
+    let scenario = Scenario::vanlan();
+    let truth = scenario.ap_positions();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let perfect = ApDatabase::new(truth.clone());
+    let broken = ApDatabase::perturbed(&truth, scenario.area(), 3.0, 3.0, 10.0, &mut rng);
+    let mut good = 0.0;
+    let mut bad = 0.0;
+    for seed in 0..5 {
+        good += connectivity(Policy::AllAp, &perfect, seed);
+        bad += connectivity(Policy::AllAp, &broken, seed);
+    }
+    assert!(
+        bad < good,
+        "a heavily wrong database ({bad:.2}) must underperform the truth ({good:.2})"
+    );
+}
+
+#[test]
+fn transfers_run_end_to_end_over_the_simulated_link() {
+    let scenario = Scenario::vanlan();
+    let db = ApDatabase::new(scenario.ap_positions());
+    let route = vanlan_round(0.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let trace = simulate(
+        Policy::AllAp,
+        &scenario,
+        &route,
+        &db,
+        ConnectivityConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+    let stats = run_transfers(&trace, TransferConfig::default(), &mut rng);
+    assert!(
+        !stats.completion_times.is_empty(),
+        "no transfer completed on a mostly-connected drive"
+    );
+    assert!(stats.median_time().unwrap() < 5.0);
+    assert!(!session_lengths(&trace).is_empty());
+}

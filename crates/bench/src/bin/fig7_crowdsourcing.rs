@@ -16,7 +16,7 @@ use crowdwifi_crowd::graph::BipartiteAssignment;
 use crowdwifi_crowd::inference::IterativeInference;
 use crowdwifi_crowd::worker::SpammerHammerPrior;
 use crowdwifi_crowd::{bit_error_rate, LabelMatrix};
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 const TASKS: usize = 1000;

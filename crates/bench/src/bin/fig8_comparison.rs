@@ -26,7 +26,7 @@ use crowdwifi_channel::RssReading;
 use crowdwifi_core::pipeline::{ensemble_run, OnlineCsConfig};
 use crowdwifi_geo::Point;
 use crowdwifi_vanet_sim::{RssCollector, Scenario};
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 const LATTICE: f64 = 8.0;

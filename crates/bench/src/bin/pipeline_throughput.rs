@@ -1,0 +1,329 @@
+//! End-to-end online-CS pipeline throughput bench (the perf tentpole).
+//!
+//! Three measurements on one seeded UCI drive:
+//!
+//! 1. **Thread sweep** — readings/sec of [`OnlineCs::run`] at 1/2/4/8
+//!    configured threads, asserting along the way that every thread
+//!    count produces the identical estimate set (the deterministic-
+//!    parallelism contract).
+//! 2. **Shared window factorization** — one round's hypothesis groups
+//!    recovered the seed way (`recover_single_ap`: rebuild the sensing
+//!    matrix per group) vs the shared way (`prepare_window` once +
+//!    memoized `recover_group`), cold and warm (the warm replay is what
+//!    EM refinement passes and recurring hypotheses see).
+//! 3. **Solver workspace** — the seed's FISTA loop (per-iteration
+//!    `clone`s, reproduced verbatim from the seed commit below) vs the
+//!    current allocation-lean `recover_with` on a reused
+//!    [`SolverWorkspace`], verified to produce identical iterates.
+//!
+//! Writes `BENCH_pipeline.json` at the repo root, including the machine
+//! topology so single-core runs read honestly (the thread sweep cannot
+//! beat 1× without real cores; the two algorithmic measurements are the
+//! machine-independent gains over the seed implementation).
+//!
+//! Run with `cargo run -p crowdwifi-bench --release --bin pipeline_throughput`.
+
+use crowdwifi_core::assign::{Assigner, ClusterAssigner};
+use crowdwifi_core::par;
+use crowdwifi_core::pipeline::{OnlineCs, OnlineCsConfig};
+use crowdwifi_core::recovery::CsRecovery;
+use crowdwifi_core::window::WindowConfig;
+use crowdwifi_geo::{Grid, Point};
+use crowdwifi_linalg::Matrix;
+use crowdwifi_linalg::vector;
+use crowdwifi_sparsesolve::prox::soft_threshold_nonneg_vec;
+use crowdwifi_sparsesolve::{Fista, SolverWorkspace, SparseRecovery};
+use crowdwifi_vanet_sim::{mobility, RssCollector, Scenario};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// Mean seconds per call of `f` over `reps` calls (caller warms up).
+fn time<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+/// The seed commit's `spectral_norm_sq` (power iteration), reproduced
+/// so [`seed_fista_solve`] computes the exact same step size as the
+/// current solver and the two run the identical iterate sequence.
+fn seed_spectral_norm_sq(a: &Matrix, iterations: usize) -> f64 {
+    let n = a.cols();
+    if n == 0 || a.rows() == 0 {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.7).sin()).collect();
+    let mut lambda = 0.0;
+    for _ in 0..iterations {
+        let av = a.matvec(&v);
+        let atav = a.matvec_transposed(&av);
+        let norm = vector::norm2(&atav);
+        if norm == 0.0 {
+            return 0.0;
+        }
+        lambda = norm;
+        for (vi, &x) in v.iter_mut().zip(&atav) {
+            *vi = x / norm;
+        }
+    }
+    lambda
+}
+
+/// The seed commit's FISTA loop, verbatim in structure: `matvec`,
+/// `sub`, `matvec_transposed` and two `clone`s allocate fresh vectors
+/// on **every** iteration. This is the measured baseline the
+/// allocation-lean `recover_with` is compared against; same λ, step and
+/// update order, so both produce bit-identical solutions in the same
+/// iteration count — the only difference is where intermediates live.
+fn seed_fista_solve(a: &Matrix, y: &[f64]) -> (Vec<f64>, usize, bool) {
+    const LAMBDA_REL: f64 = 0.01;
+    const MAX_ITERATIONS: usize = 2000;
+    const TOLERANCE: f64 = 1e-8;
+    let lipschitz = seed_spectral_norm_sq(a, 30) * 1.02;
+    let step = 1.0 / lipschitz;
+    let lambda = LAMBDA_REL * vector::norm_inf(&a.matvec_transposed(y));
+    let mut x = vec![0.0; a.cols()];
+    let mut z = x.clone();
+    let mut t: f64 = 1.0;
+    let mut iterations = 0;
+    let mut converged = false;
+    for k in 0..MAX_ITERATIONS {
+        iterations = k + 1;
+        let az = a.matvec(&z);
+        let grad = a.matvec_transposed(&vector::sub(&az, y));
+        let mut x_new = z.clone();
+        vector::axpy(-step, &grad, &mut x_new);
+        soft_threshold_nonneg_vec(&mut x_new, step * lambda);
+        let delta = vector::distance(&x_new, &x);
+        let scale = vector::norm2(&x_new).max(1e-12);
+        let t_new = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
+        let beta = (t - 1.0) / t_new;
+        z = x_new.clone();
+        for (zi, (&xn, &xo)) in z.iter_mut().zip(x_new.iter().zip(&x)) {
+            *zi = xn + beta * (xn - xo);
+        }
+        t = t_new;
+        x = x_new;
+        if delta <= TOLERANCE * scale {
+            converged = true;
+            break;
+        }
+    }
+    (x, iterations, converged)
+}
+
+fn bernoulli_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let scale = 1.0 / (m as f64).sqrt();
+    Matrix::from_fn(m, n, |_, _| {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        if (state.wrapping_mul(0x2545F4914F6CDD1D) >> 63) & 1 == 1 {
+            scale
+        } else {
+            -scale
+        }
+    })
+}
+
+fn main() {
+    // Open the full 8-worker budget regardless of core count so the
+    // sweep exercises the parallel code path even on small machines;
+    // the JSON records the physical topology for honest reading.
+    std::env::set_var(par::THREADS_ENV, "8");
+    let physical = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("physical parallelism: {physical}, worker budget: 8");
+
+    let scenario = Scenario::uci_campus();
+    let grid = Grid::new(scenario.area(), 8.0).expect("static grid");
+    let scenario = scenario.snapped_to_grid(&grid);
+    let route = mobility::uci_loop_route_with(1, 25.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let readings =
+        RssCollector::new(&scenario).collect_along(&route, route.duration() / 361.0, &mut rng);
+    let model = *scenario.pathloss();
+
+    let cfg = OnlineCsConfig {
+        window: WindowConfig {
+            size: 40,
+            step: 10,
+            ttl: f64::INFINITY,
+        },
+        lattice: 8.0,
+        sigma_factor: 0.04,
+        merge_radius: 20.0,
+        ..OnlineCsConfig::default()
+    };
+
+    // --- 1. Thread sweep over the full pipeline. ---
+    println!(
+        "thread sweep: {} readings, window {}x{} ...",
+        readings.len(),
+        cfg.window.size,
+        cfg.window.step
+    );
+    const SWEEP_REPS: usize = 3;
+    let mut sweep: Vec<(usize, f64)> = Vec::new();
+    let mut reference: Option<Vec<(f64, f64)>> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let pipeline = OnlineCs::new(
+            OnlineCsConfig { threads, ..cfg },
+            model,
+        )
+        .expect("valid config");
+        let mut out = Vec::new();
+        pipeline.run(&readings).expect("warmup run");
+        let secs = time(
+            || out = pipeline.run(&readings).expect("pipeline run"),
+            SWEEP_REPS,
+        );
+        // The deterministic-parallelism contract, checked end to end.
+        let fingerprint: Vec<(f64, f64)> = out.iter().map(|e| (e.position.x, e.position.y)).collect();
+        match &reference {
+            None => reference = Some(fingerprint),
+            Some(r) => assert_eq!(r, &fingerprint, "threads={threads} changed the estimates"),
+        }
+        let rps = readings.len() as f64 / secs;
+        println!("  threads={threads}: {rps:.0} readings/s ({secs:.3} s/run)");
+        sweep.push((threads, rps));
+    }
+    let base_rps = sweep[0].1;
+
+    // --- 2. Shared window factorization vs per-group rebuild. ---
+    // The groups are the real hypothesis fan-out of one round: every
+    // (k, assignment, ap-cluster) the pipeline would recover.
+    let window = &readings[..cfg.window.size.min(readings.len())];
+    let recovery = CsRecovery::new(model, cfg.radio_range, cfg.detection_floor_dbm);
+    let positions: Vec<Point> = window.iter().map(|r| r.position).collect();
+    let wgrid =
+        Grid::from_reference_points(&positions, cfg.radio_range, cfg.lattice).expect("grid");
+    let assigner = ClusterAssigner::new(model);
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for k in 1..=cfg.max_ap_per_window {
+        for a in assigner.candidate_assignments(window, k) {
+            for ap in 0..k {
+                let g = a.group(ap);
+                if !g.is_empty() {
+                    groups.push(g);
+                }
+            }
+        }
+    }
+    let distinct = groups
+        .iter()
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+    println!(
+        "shared-window: {} group recoveries per round ({} distinct) ...",
+        groups.len(),
+        distinct
+    );
+    const GROUP_REPS: usize = 5;
+    let direct_secs = time(
+        || {
+            for g in &groups {
+                let pos: Vec<Point> = g.iter().map(|&i| window[i].position).collect();
+                let rss: Vec<f64> = g.iter().map(|&i| window[i].rss_dbm).collect();
+                recovery
+                    .recover_single_ap(&wgrid, &pos, &rss)
+                    .expect("direct recovery");
+            }
+        },
+        GROUP_REPS,
+    );
+    let shared_secs = time(
+        || {
+            let sensing = recovery.prepare_window(&wgrid, window);
+            for g in &groups {
+                recovery.recover_group(&sensing, g).expect("shared recovery");
+            }
+        },
+        GROUP_REPS,
+    );
+    // Warm replay: the same groupings recur across EM refinement passes
+    // and k hypotheses inside a round; the memo serves those from cache.
+    let sensing = recovery.prepare_window(&wgrid, window);
+    for g in &groups {
+        recovery.recover_group(&sensing, g).expect("memo fill");
+    }
+    let warm_secs = time(
+        || {
+            for g in &groups {
+                recovery.recover_group(&sensing, g).expect("memo hit");
+            }
+        },
+        GROUP_REPS,
+    );
+    let shared_speedup = direct_secs / shared_secs;
+    let warm_speedup = direct_secs / warm_secs;
+    println!(
+        "  per-group rebuild {:.1} ms vs shared cold {:.1} ms ({shared_speedup:.2}x) vs memoized replay {:.3} ms ({warm_speedup:.0}x)",
+        direct_secs * 1e3,
+        shared_secs * 1e3,
+        warm_secs * 1e3
+    );
+
+    // --- 3. Allocation-lean solver vs the seed's per-iteration clones. ---
+    let (m, n) = (24, 160);
+    let a = bernoulli_matrix(m, n, 21);
+    let mut theta = vec![0.0; n];
+    theta[9] = 1.0;
+    theta[77] = 1.0;
+    theta[140] = 1.0;
+    let y = a.matvec(&theta);
+    let solver = Fista::default();
+    // The baseline really is the same algorithm: identical solution,
+    // in the identical number of iterations.
+    let (seed_x, seed_iters, seed_converged) = seed_fista_solve(&a, &y);
+    let mut ws = SolverWorkspace::new();
+    let current = solver.recover_with(&a, &y, &mut ws).expect("warmup solve");
+    assert_eq!(seed_x, current.solution, "seed baseline diverged from current solver");
+    assert_eq!(seed_iters, current.iterations);
+    assert_eq!(seed_converged, current.converged);
+    const SOLVE_REPS: usize = 200;
+    let seed_secs = time(|| drop(seed_fista_solve(&a, &y)), SOLVE_REPS);
+    let lean_secs = time(
+        || drop(solver.recover_with(&a, &y, &mut ws).expect("solve")),
+        SOLVE_REPS,
+    );
+    let ws_speedup = seed_secs / lean_secs;
+    println!(
+        "  fista {m}x{n}, {seed_iters} iters: seed (clone-per-iteration) {:.0} us vs workspace {:.0} us per solve: {ws_speedup:.2}x",
+        seed_secs * 1e6,
+        lean_secs * 1e6
+    );
+
+    // --- Emit BENCH_pipeline.json at the repo root. ---
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|&(t, rps)| {
+            format!(
+                "    {{\"threads\": {t}, \"readings_per_sec\": {rps:.1}, \"speedup_vs_1\": {:.3}}}",
+                rps / base_rps
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline_throughput\",\n  \"machine\": {{\"physical_parallelism\": {physical}, \"worker_budget\": 8}},\n  \"drive\": {{\"readings\": {}, \"window_size\": {}, \"window_step\": {}}},\n  \"thread_sweep\": [\n{}\n  ],\n  \"shared_window\": {{\"groups_per_round\": {}, \"distinct_groups\": {distinct}, \"per_group_rebuild_ms\": {:.3}, \"shared_cold_ms\": {:.3}, \"memoized_replay_ms\": {:.4}, \"cold_speedup\": {:.3}, \"memoized_speedup\": {:.1}}},\n  \"solver_workspace\": {{\"matrix\": \"{m}x{n}\", \"iterations\": {seed_iters}, \"seed_clone_per_iter_us\": {:.1}, \"workspace_us\": {:.1}, \"speedup\": {:.3}, \"bit_identical\": true}},\n  \"notes\": \"Thread-sweep speedups are bounded by physical_parallelism (a 1-core machine cannot exceed 1x regardless of the configured thread count); shared_window and solver_workspace are the machine-independent algorithmic gains over the seed implementation, which rebuilt the sensing matrix per hypothesis group, re-solved groupings recurring across EM passes, and cloned solver state every FISTA iteration. The seed FISTA baseline is reproduced verbatim in this bench and asserted to yield bit-identical solutions.\"\n}}\n",
+        readings.len(),
+        cfg.window.size,
+        cfg.window.step,
+        sweep_json.join(",\n"),
+        groups.len(),
+        direct_secs * 1e3,
+        shared_secs * 1e3,
+        warm_secs * 1e3,
+        shared_speedup,
+        warm_speedup,
+        seed_secs * 1e6,
+        lean_secs * 1e6,
+        ws_speedup,
+    );
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(out_path, &json).expect("write BENCH_pipeline.json");
+    println!("wrote {out_path}");
+}

@@ -5,7 +5,7 @@
 //! injects white Gaussian noise on the measurement vector at a target
 //! SNR (30 dB in §6.1).
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Samples a zero-mean Gaussian via the Box–Muller transform.
 ///

@@ -61,6 +61,7 @@ pub mod assign;
 pub mod centroid;
 pub mod consolidate;
 pub mod metrics;
+pub mod par;
 pub mod pipeline;
 pub mod refine;
 pub mod recovery;

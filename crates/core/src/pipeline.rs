@@ -45,6 +45,12 @@ pub struct OnlineCsConfig {
     /// candidates at the end of a batch run (see [`crate::refine`]).
     /// When disabled, only the credit filter of §4.3.6 applies.
     pub global_refine: bool,
+    /// Worker threads for round and hypothesis fan-out (`0` = auto:
+    /// `CROWDWIFI_THREADS` env var, else the machine's parallelism; see
+    /// [`crate::par::resolve_threads`]). Results are merged in
+    /// deterministic order, so any thread count produces byte-identical
+    /// estimates.
+    pub threads: usize,
 }
 
 impl Default for OnlineCsConfig {
@@ -60,6 +66,7 @@ impl Default for OnlineCsConfig {
             min_credit: 1.0,
             detection_floor_dbm: -95.0,
             global_refine: true,
+            threads: 0,
         }
     }
 }
@@ -164,6 +171,7 @@ impl OnlineCs {
             &self.recovery,
             self.config.max_ap_per_window,
             self.config.rel_threshold,
+            self.config.threads,
         )
     }
 
@@ -184,15 +192,23 @@ impl OnlineCs {
     /// Propagates round-processing failures.
     pub fn run_detailed(&self, readings: &[RssReading]) -> Result<PipelineReport> {
         let mut consolidator = Consolidator::new(self.config.merge_radius);
+        // Rounds are independent until consolidation: process them in
+        // parallel, then merge strictly in window order so the
+        // consolidator sees the exact sequence a serial run produces
+        // (credit accumulation is order-sensitive). Nested parallelism
+        // is safe: the per-round hypothesis fan-out draws from the same
+        // global thread budget and runs inline once it is exhausted.
+        let windows: Vec<Vec<RssReading>> = windows_over(readings, self.config.window)?;
+        let processed = crate::par::try_par_map(&windows, self.config.threads, |_, round| {
+            self.process_round(round)
+        })?;
         let mut rounds = Vec::new();
-        for round in windows_over(readings, self.config.window)? {
-            if let Some(est) = self.process_round(&round)? {
-                consolidator.merge_round(&est.aps);
-                for &alt in &est.alternates {
-                    consolidator.merge_one(alt, 0.25);
-                }
-                rounds.push(est);
+        for est in processed.into_iter().flatten() {
+            consolidator.merge_round(&est.aps);
+            for &alt in &est.alternates {
+                consolidator.merge_one(alt, 0.25);
             }
+            rounds.push(est);
         }
         let final_aps = if self.config.global_refine {
             // Global refinement sees *all* candidates, including
@@ -417,6 +433,58 @@ mod tests {
             max_ap_per_window: 3,
             ..OnlineCsConfig::default()
         }
+    }
+
+    /// The tentpole determinism contract: any `threads` setting yields
+    /// byte-identical output, because rounds and hypotheses are merged
+    /// in input order regardless of completion order. On a single-core
+    /// machine the parallel run degrades to inline execution, which
+    /// must (and does) take the same code path through the reduction.
+    #[test]
+    fn parallel_and_serial_runs_are_identical() {
+        use rand::{Rng, SeedableRng};
+        // Seeded UCI-style scenario: two roadside APs, staggered lane,
+        // deterministic noise on every reading.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xC0FFEE);
+        let m = model();
+        let aps = [Point::new(40.0, 22.0), Point::new(160.0, 18.0)];
+        let readings: Vec<RssReading> = (0..80)
+            .map(|i| {
+                let p = Point::new(
+                    3.0 * i as f64,
+                    if (i / 5) % 2 == 0 { 0.0 } else { 14.0 },
+                );
+                let nearest = aps
+                    .iter()
+                    .min_by(|a, b| p.distance(**a).partial_cmp(&p.distance(**b)).unwrap())
+                    .unwrap();
+                let noise: f64 = rng.random_range(-2.0..2.0);
+                RssReading::new(p, m.mean_rss(p.distance(*nearest)) + noise, i as f64)
+            })
+            .collect();
+
+        let serial = OnlineCs::new(
+            OnlineCsConfig {
+                threads: 1,
+                ..small_config()
+            },
+            model(),
+        )
+        .unwrap();
+        let parallel = OnlineCs::new(
+            OnlineCsConfig {
+                threads: 8,
+                ..small_config()
+            },
+            model(),
+        )
+        .unwrap();
+        let a = serial.run_detailed(&readings).unwrap();
+        let b = parallel.run_detailed(&readings).unwrap();
+        assert!(!a.rounds.is_empty(), "scenario produced no rounds");
+        assert_eq!(a.final_aps, b.final_aps);
+        assert_eq!(a.all_estimates, b.all_estimates);
+        assert_eq!(a.rounds, b.rounds);
     }
 
     #[test]

@@ -24,12 +24,62 @@
 //! Lipschitz constant).
 
 use crate::{CoreError, Result};
-use crowdwifi_channel::PathLossModel;
+use crowdwifi_channel::{PathLossModel, RssReading};
 use crowdwifi_geo::{Grid, Point};
 use crowdwifi_linalg::qr::orth;
 use crowdwifi_linalg::svd::pseudo_inverse;
 use crowdwifi_linalg::Matrix;
-use crowdwifi_sparsesolve::{AnySolver, Fista, SparseRecovery};
+use crowdwifi_sparsesolve::{AnySolver, Fista, SolverWorkspace, SparseRecovery};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Precomputed per-window sensing state shared by every hypothesis.
+///
+/// One sliding-window round scores dozens of (k, assignment) hypotheses,
+/// and each hypothesis re-derives the same physics: distances from
+/// every reading to every grid point, and the path-loss signature
+/// matrix built from them. [`CsRecovery::prepare_window`] computes both
+/// once; [`CsRecovery::recover_group`] then assembles a group's pruned
+/// sensing matrix by *indexing* instead of re-evaluating the model, and
+/// memoizes whole group recoveries by their reading-index set (the same
+/// grouping recurs across hypothesized k values and EM refinement
+/// passes).
+///
+/// The memo is behind a [`Mutex`] so concurrent hypothesis evaluation
+/// can share it; recovery is a pure function of the index set, so the
+/// cache stays deterministic regardless of which thread fills an entry
+/// first.
+#[derive(Debug)]
+pub struct WindowSensing {
+    /// `m × n` distances from reading `i` to grid point `j`.
+    dist: Matrix,
+    /// `m × n` floor-shifted model RSS (the full, unpruned `A`).
+    sig: Matrix,
+    /// Floor-shifted observed RSS per reading.
+    shifted_rss: Vec<f64>,
+    /// Completed group recoveries keyed by sorted reading-index set.
+    memo: Mutex<HashMap<Vec<usize>, Arc<Vec<f64>>>>,
+}
+
+impl WindowSensing {
+    /// Number of readings this workspace was prepared for.
+    pub fn readings(&self) -> usize {
+        self.dist.rows()
+    }
+
+    /// Number of grid points this workspace was prepared for.
+    pub fn grid_len(&self) -> usize {
+        self.dist.cols()
+    }
+
+    /// Number of distinct group recoveries cached so far.
+    pub fn cached_groups(&self) -> usize {
+        self.memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+}
 
 /// Orthogonalized ℓ1 recovery of one AP's grid indicator.
 #[derive(Debug, Clone)]
@@ -148,7 +198,100 @@ impl CsRecovery {
             .iter()
             .map(|&r| (r - self.floor_dbm).max(0.0))
             .collect();
+        self.solve_pruned(&a_raw, &y, &candidates, n)
+    }
 
+    /// Precomputes the window-wide distance and signature matrices (and
+    /// the shifted observation vector) shared by every hypothesis of one
+    /// round. See [`WindowSensing`].
+    pub fn prepare_window(&self, grid: &Grid, readings: &[RssReading]) -> WindowSensing {
+        let m = readings.len();
+        let n = grid.len();
+        let dist = Matrix::from_fn(m, n, |i, j| readings[i].position.distance(grid.point(j)));
+        // Evaluate the path-loss model from the *same* distances so a
+        // workspace recovery is bit-identical to the direct path.
+        let sig = Matrix::from_fn(m, n, |i, j| {
+            (self.pathloss.mean_rss(dist.get(i, j)) - self.floor_dbm).max(0.0)
+        });
+        let shifted_rss = readings
+            .iter()
+            .map(|r| (r.rss_dbm - self.floor_dbm).max(0.0))
+            .collect();
+        WindowSensing {
+            dist,
+            sig,
+            shifted_rss,
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Recovers the grid indicator of one hypothesized AP from the
+    /// readings at `idx` (indices into the window `sensing` was prepared
+    /// for), reusing the precomputed signature matrix and memoizing the
+    /// result by index set.
+    ///
+    /// Produces exactly the same `θ` as [`CsRecovery::recover_single_ap`]
+    /// called on the corresponding position/RSS subsets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an empty or out-of-range
+    /// index set, and solver/linalg failures otherwise.
+    pub fn recover_group(
+        &self,
+        sensing: &WindowSensing,
+        idx: &[usize],
+    ) -> Result<Arc<Vec<f64>>> {
+        let m_all = sensing.readings();
+        if idx.is_empty() || idx.iter().any(|&i| i >= m_all) {
+            return Err(CoreError::InvalidConfig {
+                field: "idx",
+                reason: format!("need non-empty indices within 0..{m_all}, got {idx:?}"),
+            });
+        }
+        if let Some(hit) = sensing
+            .memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(idx)
+        {
+            return Ok(hit.clone());
+        }
+
+        let n = sensing.grid_len();
+        let candidates: Vec<usize> = (0..n)
+            .filter(|&j| idx.iter().all(|&i| sensing.dist.get(i, j) <= self.radio_range))
+            .collect();
+        let theta = if candidates.is_empty() {
+            vec![0.0; n]
+        } else {
+            let a_raw = Matrix::from_fn(idx.len(), candidates.len(), |r, jc| {
+                sensing.sig.get(idx[r], candidates[jc])
+            });
+            let y: Vec<f64> = idx.iter().map(|&i| sensing.shifted_rss[i]).collect();
+            self.solve_pruned(&a_raw, &y, &candidates, n)?
+        };
+        let theta = Arc::new(theta);
+        sensing
+            .memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(idx.to_vec())
+            .or_insert_with(|| theta.clone());
+        Ok(theta)
+    }
+
+    /// Normalizes, (optionally) orthogonalizes, solves and debiases the
+    /// pruned system; scatters back to the full `n`-length grid. Shared
+    /// by the direct and workspace recovery paths.
+    fn solve_pruned(
+        &self,
+        a_raw: &Matrix,
+        y: &[f64],
+        candidates: &[usize],
+        n: usize,
+    ) -> Result<Vec<f64>> {
+        let m = a_raw.rows();
         // Column normalization: RSS signatures of near columns have much
         // larger norms than far ones, which biases ℓ1 toward
         // trajectory-adjacent grid points. Normalizing restores the
@@ -159,16 +302,20 @@ impl CsRecovery {
             .collect();
         let a = Matrix::from_fn(m, candidates.len(), |i, j| a_raw.get(i, j) / norms[j]);
 
+        // One workspace per solve keeps the solver's per-iteration
+        // vectors (x/z/gradients) in reused buffers instead of fresh
+        // heap allocations every FISTA step.
+        let mut ws = SolverWorkspace::new();
         let recovery = if self.orthogonalize {
             // Proposition 1: Q = orth(Aᵀ)ᵀ, T = Q A†, y' = T y.
             let q_cols = orth(&a.transpose()); // pruned-N × r
             let q = q_cols.transpose(); // r × pruned-N
             let pinv = pseudo_inverse(&a).map_err(|e| CoreError::Solver(e.to_string()))?;
             let t = q.matmul(&pinv); // r × m
-            let y_prime = t.matvec(&y);
-            self.solver.recover(&q, &y_prime)?
+            let y_prime = t.matvec(y);
+            self.solver.recover_with(&q, &y_prime, &mut ws)?
         } else {
-            self.solver.recover(&a, &y)?
+            self.solver.recover_with(&a, y, &mut ws)?
         };
 
         // Un-scale the pruned solution.
@@ -196,7 +343,7 @@ impl CsRecovery {
         // of the window (see `select`).
         let max_coef = pruned.iter().cloned().fold(0.0_f64, f64::max);
         {
-            let ynorm = crowdwifi_linalg::vector::norm2(&y).max(1e-12);
+            let ynorm = crowdwifi_linalg::vector::norm2(y).max(1e-12);
             let mut scored: Vec<(usize, f64, f64)> = Vec::with_capacity(pruned.len());
             for j in 0..pruned.len() {
                 let col = a_raw.col(j);
@@ -204,7 +351,7 @@ impl CsRecovery {
                 if cc <= 0.0 {
                     continue;
                 }
-                let cj = (crowdwifi_linalg::vector::dot(&col, &y) / cc).max(0.0);
+                let cj = (crowdwifi_linalg::vector::dot(&col, y) / cc).max(0.0);
                 let res: Vec<f64> = y.iter().zip(&col).map(|(yy, aa)| yy - cj * aa).collect();
                 let relres = crowdwifi_linalg::vector::norm2(&res) / ynorm;
                 scored.push((j, cj, relres));
@@ -341,6 +488,60 @@ mod tests {
             engine().recover_single_ap(&grid, &[], &[]),
             Err(CoreError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn workspace_recovery_matches_direct_path() {
+        let grid = grid_100();
+        let ap = grid.point(grid.nearest_index(Point::new(45.0, 45.0)));
+        let route = l_route();
+        let readings: Vec<crowdwifi_channel::RssReading> = route
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                crowdwifi_channel::RssReading::new(
+                    p,
+                    PathLossModel::uci_campus().mean_rss(p.distance(ap)),
+                    i as f64,
+                )
+            })
+            .collect();
+        let engine = engine();
+        let sensing = engine.prepare_window(&grid, &readings);
+        // Whole window, a prefix group and a strided group: each must be
+        // bit-identical to the direct per-subset recovery.
+        let groups: [Vec<usize>; 3] = [
+            (0..readings.len()).collect(),
+            (0..4).collect(),
+            (0..readings.len()).step_by(2).collect(),
+        ];
+        for idx in &groups {
+            let positions: Vec<Point> = idx.iter().map(|&i| readings[i].position).collect();
+            let rss: Vec<f64> = idx.iter().map(|&i| readings[i].rss_dbm).collect();
+            let direct = engine.recover_single_ap(&grid, &positions, &rss).unwrap();
+            let shared = engine.recover_group(&sensing, idx).unwrap();
+            assert_eq!(direct, *shared, "subset {idx:?} diverged");
+        }
+        assert_eq!(sensing.cached_groups(), groups.len());
+        // A repeated query is served from the memo (same Arc).
+        let again = engine.recover_group(&sensing, &groups[1]).unwrap();
+        let first = engine.recover_group(&sensing, &groups[1]).unwrap();
+        assert!(Arc::ptr_eq(&again, &first));
+        assert_eq!(sensing.cached_groups(), groups.len());
+    }
+
+    #[test]
+    fn workspace_rejects_bad_indices() {
+        let grid = grid_100();
+        let readings = vec![crowdwifi_channel::RssReading::new(
+            Point::new(10.0, 10.0),
+            -60.0,
+            0.0,
+        )];
+        let engine = engine();
+        let sensing = engine.prepare_window(&grid, &readings);
+        assert!(engine.recover_group(&sensing, &[]).is_err());
+        assert!(engine.recover_group(&sensing, &[5]).is_err());
     }
 
     #[test]

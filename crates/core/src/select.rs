@@ -6,8 +6,8 @@
 //! Gaussian-mixture log-likelihood of the data penalized by BIC. The
 //! maximizing hypothesis wins the round.
 
-use crate::assign::Assigner;
-use crate::recovery::CsRecovery;
+use crate::assign::{Assigner, Assignment};
+use crate::recovery::{CsRecovery, WindowSensing};
 use crate::Result;
 use crowdwifi_channel::bic::{bic, free_params_for_ap_count};
 use crowdwifi_channel::{GmmModel, RssReading};
@@ -34,12 +34,22 @@ pub struct RoundEstimate {
 
 /// Scores every hypothesis for one round and returns the BIC maximizer.
 ///
+/// The (k, assignment) hypotheses are evaluated in parallel over up to
+/// `threads` OS threads (`0` = auto, see [`crate::par::resolve_threads`])
+/// — each hypothesis's EM refinement chain is independent — and reduced
+/// in the sequential hypothesis order, so the winner (position bytes,
+/// tie-breaks and all) is identical to a single-threaded run. All
+/// hypotheses share one [`WindowSensing`] workspace: the window's
+/// signature matrix is derived once and per-group recoveries are
+/// memoized across hypotheses.
+///
 /// Returns `Ok(None)` when no hypothesis produced a usable constellation
 /// (e.g. every recovery came back empty).
 ///
 /// # Errors
 ///
 /// Propagates recovery failures.
+#[allow(clippy::too_many_arguments)]
 pub fn estimate_round(
     readings: &[RssReading],
     grid: &Grid,
@@ -48,60 +58,101 @@ pub fn estimate_round(
     recovery: &CsRecovery,
     max_k: usize,
     rel_threshold: f64,
+    threads: usize,
 ) -> Result<Option<RoundEstimate>> {
     if readings.is_empty() {
         return Ok(None);
     }
     let m = readings.len();
     let data: Vec<(Point, f64)> = readings.iter().map(|r| (r.position, r.rss_dbm)).collect();
+    let sensing = recovery.prepare_window(grid, readings);
+
+    // Materialize the hypothesis list up front (clustering is cheap
+    // next to recovery); each entry evaluates independently.
+    let hypotheses: Vec<(usize, Assignment)> = (1..=max_k.min(m))
+        .flat_map(|k| {
+            assigner
+                .candidate_assignments(readings, k)
+                .into_iter()
+                .map(move |a| (k, a))
+        })
+        .collect();
+
+    let evaluated = crate::par::try_par_map(&hypotheses, threads, |_, (k, assignment)| {
+        evaluate_hypothesis(
+            readings,
+            &data,
+            grid,
+            gmm,
+            recovery,
+            &sensing,
+            *k,
+            assignment.labels(),
+            rel_threshold,
+        )
+    })?;
+
+    // Order-identical reduction: candidates arrive in the same order the
+    // sequential nested loop would have produced them, so the surviving
+    // `best` is byte-identical to a single-threaded run.
     let mut best: Option<RoundEstimate> = None;
-
-    for k in 1..=max_k.min(m) {
-        for assignment in assigner.candidate_assignments(readings, k) {
-            let mut labels = assignment.labels().to_vec();
-            let mut k_used = k;
-
-            // Up to two EM-style refinement passes: re-assign each
-            // reading to the estimated AP that best predicts its RSS and
-            // re-recover — the initial clustering can mix readings
-            // across APs at group boundaries.
-            for _ in 0..=2 {
-                // Per-group recovery may be multi-modal (a colinear
-                // group cannot tell which side of the road its AP is
-                // on); score every combination of per-group modes and
-                // let the window-wide likelihood decide.
-                let Some(group_modes) =
-                    recover_group_modes(readings, &labels, k_used, grid, recovery, rel_threshold)?
-                else {
-                    break;
-                };
-                let Some(candidate) = best_mode_combination(&group_modes, &data, gmm, grid, m)
-                else {
-                    break;
-                };
-
-                let better = best.as_ref().is_none_or(|b| candidate.bic > b.bic);
-                let constellation = candidate.aps.clone();
-                if better {
-                    let mut candidate = candidate;
-                    candidate.alternates = group_modes
-                        .iter()
-                        .flatten()
-                        .map(|m| m.position)
-                        .collect();
-                    best = Some(candidate);
-                }
-
-                let new_labels = reassign_by_fit(readings, &constellation, gmm);
-                if new_labels == labels {
-                    break;
-                }
-                k_used = new_labels.iter().max().map_or(0, |&l| l + 1);
-                labels = new_labels;
-            }
+    for candidate in evaluated.into_iter().flatten() {
+        if best.as_ref().is_none_or(|b| candidate.bic > b.bic) {
+            best = Some(candidate);
         }
     }
     Ok(best)
+}
+
+/// Evaluates one (k, assignment) hypothesis: up to two EM-style
+/// refinement passes (re-assign each reading to the estimated AP that
+/// best predicts its RSS and re-recover — the initial clustering can mix
+/// readings across APs at group boundaries), returning every pass's
+/// candidate in order. The chain never looks at other hypotheses'
+/// results, which is what makes the hypothesis fan-out parallel-safe.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_hypothesis(
+    readings: &[RssReading],
+    data: &[(Point, f64)],
+    grid: &Grid,
+    gmm: &GmmModel,
+    recovery: &CsRecovery,
+    sensing: &WindowSensing,
+    k: usize,
+    initial_labels: &[usize],
+    rel_threshold: f64,
+) -> Result<Vec<RoundEstimate>> {
+    let m = readings.len();
+    let mut labels = initial_labels.to_vec();
+    let mut k_used = k;
+    let mut candidates = Vec::new();
+
+    for _ in 0..=2 {
+        // Per-group recovery may be multi-modal (a colinear group cannot
+        // tell which side of the road its AP is on); score every
+        // combination of per-group modes and let the window-wide
+        // likelihood decide.
+        let Some(group_modes) =
+            recover_group_modes(&labels, k_used, grid, recovery, sensing, rel_threshold)?
+        else {
+            break;
+        };
+        let Some(mut candidate) = best_mode_combination(&group_modes, data, gmm, grid, m) else {
+            break;
+        };
+
+        let constellation = candidate.aps.clone();
+        candidate.alternates = group_modes.iter().flatten().map(|m| m.position).collect();
+        candidates.push(candidate);
+
+        let new_labels = reassign_by_fit(readings, &constellation, gmm);
+        if new_labels == labels {
+            break;
+        }
+        k_used = new_labels.iter().max().map_or(0, |&l| l + 1);
+        labels = new_labels;
+    }
+    Ok(candidates)
 }
 
 /// Enumerates combinations of per-group candidate modes (capped) and
@@ -175,12 +226,15 @@ fn best_mode_combination(
 
 /// Recovers candidate position modes for every non-empty group; `None`
 /// when any group recovery is degenerate (empty recovered support).
+/// Group recoveries go through the shared [`WindowSensing`] workspace,
+/// so a grouping that recurs in another hypothesis (or EM pass) is
+/// served from the memo instead of re-solved.
 fn recover_group_modes(
-    readings: &[RssReading],
     labels: &[usize],
     k: usize,
     grid: &Grid,
     recovery: &CsRecovery,
+    sensing: &WindowSensing,
     rel_threshold: f64,
 ) -> Result<Option<Vec<Vec<crate::centroid::CentroidEstimate>>>> {
     let mut groups = Vec::with_capacity(k);
@@ -194,9 +248,7 @@ fn recover_group_modes(
         if idx.is_empty() {
             continue; // empty group: hypothesis effectively smaller k
         }
-        let positions: Vec<Point> = idx.iter().map(|&i| readings[i].position).collect();
-        let rss: Vec<f64> = idx.iter().map(|&i| readings[i].rss_dbm).collect();
-        let theta = recovery.recover_single_ap(grid, &positions, &rss)?;
+        let theta = recovery.recover_group(sensing, &idx)?;
         let modes = crate::centroid::candidate_modes(
             &theta,
             grid,
@@ -314,7 +366,7 @@ mod tests {
         let ap = grid.point(grid.nearest_index(Point::new(50.0, 30.0)));
         let positions: Vec<Point> = (0..12).map(|i| staggered(i, 8.0)).collect();
         let readings = clean_readings(&[ap], &positions);
-        let est = estimate_round(&readings, &grid, &gmm, &assigner, &recovery, 3, 0.3)
+        let est = estimate_round(&readings, &grid, &gmm, &assigner, &recovery, 3, 0.3, 2)
             .unwrap()
             .expect("a hypothesis must win");
         assert_eq!(est.k, 1, "BIC should pick one AP, got {est:?}");
@@ -328,7 +380,7 @@ mod tests {
         let ap2 = grid.point(grid.nearest_index(Point::new(180.0, 30.0)));
         let positions: Vec<Point> = (0..20).map(|i| staggered(i, 10.0)).collect();
         let readings = clean_readings(&[ap1, ap2], &positions);
-        let est = estimate_round(&readings, &grid, &gmm, &assigner, &recovery, 4, 0.3)
+        let est = estimate_round(&readings, &grid, &gmm, &assigner, &recovery, 4, 0.3, 2)
             .unwrap()
             .expect("a hypothesis must win");
         assert_eq!(est.k, 2, "BIC should pick two APs, got k={}", est.k);
@@ -346,7 +398,7 @@ mod tests {
     #[test]
     fn empty_round_yields_none() {
         let (grid, gmm, assigner, recovery) = setup();
-        let est = estimate_round(&[], &grid, &gmm, &assigner, &recovery, 3, 0.3).unwrap();
+        let est = estimate_round(&[], &grid, &gmm, &assigner, &recovery, 3, 0.3, 1).unwrap();
         assert!(est.is_none());
     }
 }

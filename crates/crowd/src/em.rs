@@ -94,7 +94,7 @@ impl EmAggregator {
             // E-step: posterior of each task from the independent-worker
             // likelihood with a uniform prior.
             let mut max_change = 0.0_f64;
-            for task in 0..n {
+            for (task, post) in posterior.iter_mut().enumerate().take(n) {
                 let mut log_plus = 0.0;
                 let mut log_minus = 0.0;
                 for &e in graph.task_edges(task) {
@@ -111,8 +111,8 @@ impl EmAggregator {
                 // Stable softmax over the two hypotheses.
                 let mx = log_plus.max(log_minus);
                 let p = (log_plus - mx).exp() / ((log_plus - mx).exp() + (log_minus - mx).exp());
-                max_change = max_change.max((p - posterior[task]).abs());
-                posterior[task] = p;
+                max_change = max_change.max((p - *post).abs());
+                *post = p;
             }
             if max_change <= self.tolerance {
                 converged = true;

@@ -8,7 +8,7 @@
 
 use crate::{CrowdError, Result};
 use rand::seq::SliceRandom;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A bipartite assignment of tasks to workers.
 #[derive(Debug, Clone, PartialEq)]

@@ -50,7 +50,7 @@ pub mod inference;
 pub mod worker;
 
 use graph::BipartiteAssignment;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use worker::WorkerPool;
 
 /// Errors produced by the crowdsourcing layer.

@@ -1,7 +1,7 @@
 //! Crowd-vehicle reliability models (§5.1).
 
 use crate::{CrowdError, Result};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// A pool of crowd-vehicles with per-vehicle reliability `q_j` — the
 /// probability that vehicle `j` answers a mapping task correctly.

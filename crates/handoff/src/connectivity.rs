@@ -13,7 +13,7 @@ use crowdwifi_channel::noise::ShadowFading;
 use crowdwifi_geo::{Point, Trajectory};
 use crowdwifi_vanet_sim::vanlan::reception_probability;
 use crowdwifi_vanet_sim::Scenario;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Association policy (§6.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

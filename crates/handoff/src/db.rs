@@ -5,7 +5,7 @@
 //! database with exactly those error levels from the ground truth.
 
 use crowdwifi_geo::{Point, Rect};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// The AP lookup results a user-vehicle downloads from the crowd-server.

@@ -9,7 +9,7 @@
 
 use crate::connectivity::ConnectivityTrace;
 use crate::session::session_lengths;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Transfer-simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]

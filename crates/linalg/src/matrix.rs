@@ -231,16 +231,28 @@ impl Matrix {
     ///
     /// Panics if `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.rows);
+        self.matvec_into(v, &mut out);
+        out
+    }
+
+    /// [`Matrix::matvec`] into a caller-provided buffer (cleared and
+    /// refilled), so hot loops reuse one allocation. Produces exactly
+    /// the floats [`Matrix::matvec`] would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
         assert_eq!(v.len(), self.cols, "matvec shape mismatch");
-        (0..self.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(v)
-                    .map(|(&a, &x)| a * x)
-                    .sum::<f64>()
-            })
-            .collect()
+        out.clear();
+        out.extend((0..self.rows).map(|r| {
+            self.row(r)
+                .iter()
+                .zip(v)
+                .map(|(&a, &x)| a * x)
+                .sum::<f64>()
+        }));
     }
 
     /// Transposed matrix–vector product `selfᵀ * v`.
@@ -249,8 +261,23 @@ impl Matrix {
     ///
     /// Panics if `v.len() != self.rows()`.
     pub fn matvec_transposed(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.cols);
+        self.matvec_transposed_into(v, &mut out);
+        out
+    }
+
+    /// [`Matrix::matvec_transposed`] into a caller-provided buffer
+    /// (cleared and refilled); accumulation order — including the
+    /// zero-coefficient row skip — matches the allocating form, so the
+    /// two produce identical floats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.rows()`.
+    pub fn matvec_transposed_into(&self, v: &[f64], out: &mut Vec<f64>) {
         assert_eq!(v.len(), self.rows, "matvec_transposed shape mismatch");
-        let mut out = vec![0.0; self.cols];
+        out.clear();
+        out.resize(self.cols, 0.0);
         for r in 0..self.rows {
             let a = v[r];
             if a == 0.0 {
@@ -260,7 +287,6 @@ impl Matrix {
                 *o += a * x;
             }
         }
-        out
     }
 
     /// Element-wise sum `self + other`.

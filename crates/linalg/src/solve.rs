@@ -89,6 +89,22 @@ impl Lu {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `b` has the wrong length.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// [`Lu::solve`] into a caller-provided buffer (cleared and resized),
+    /// avoiding per-call allocation in iterative solvers. Both triangular
+    /// substitutions run in `x` itself: back substitution at row `i`
+    /// reads only `x[j]` for `j > i` (already transformed) and the
+    /// forward-solve value still sitting at `x[i]`, so the floats match
+    /// the two-buffer formulation exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b` has the wrong length.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<()> {
         let n = self.lu.rows();
         if b.len() != n {
             return Err(LinalgError::ShapeMismatch {
@@ -96,25 +112,25 @@ impl Lu {
                 found: format!("length {}", b.len()),
             });
         }
+        x.clear();
+        x.resize(n, 0.0);
         // Forward substitution with permuted b (L has unit diagonal).
-        let mut y = vec![0.0; n];
         for i in 0..n {
             let mut s = b[self.perm[i]];
             for j in 0..i {
-                s -= self.lu.get(i, j) * y[j];
+                s -= self.lu.get(i, j) * x[j];
             }
-            y[i] = s;
+            x[i] = s;
         }
         // Back substitution on U.
-        let mut x = vec![0.0; n];
         for i in (0..n).rev() {
-            let mut s = y[i];
+            let mut s = x[i];
             for j in (i + 1)..n {
                 s -= self.lu.get(i, j) * x[j];
             }
             x[i] = s / self.lu.get(i, i);
         }
-        Ok(x)
+        Ok(())
     }
 }
 
@@ -183,6 +199,21 @@ impl Cholesky {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `b` has the wrong length.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = Vec::new();
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// [`Cholesky::solve`] into a caller-provided buffer (cleared and
+    /// resized), avoiding per-call allocation in iterative solvers. The
+    /// `Lᵀ` substitution runs in place over the `L`-solve values (row
+    /// `i` reads only already-transformed `x[j]`, `j > i`, plus its own
+    /// forward value), so the floats match the two-buffer formulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b` has the wrong length.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<()> {
         let n = self.l.rows();
         if b.len() != n {
             return Err(LinalgError::ShapeMismatch {
@@ -190,25 +221,25 @@ impl Cholesky {
                 found: format!("length {}", b.len()),
             });
         }
+        x.clear();
+        x.resize(n, 0.0);
         // L y = b.
-        let mut y = vec![0.0; n];
         for i in 0..n {
             let mut s = b[i];
             for j in 0..i {
-                s -= self.l.get(i, j) * y[j];
+                s -= self.l.get(i, j) * x[j];
             }
-            y[i] = s / self.l.get(i, i);
+            x[i] = s / self.l.get(i, i);
         }
         // Lᵀ x = y.
-        let mut x = vec![0.0; n];
         for i in (0..n).rev() {
-            let mut s = y[i];
+            let mut s = x[i];
             for j in (i + 1)..n {
                 s -= self.l.get(j, i) * x[j];
             }
             x[i] = s / self.l.get(i, i);
         }
-        Ok(x)
+        Ok(())
     }
 }
 

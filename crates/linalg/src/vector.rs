@@ -47,8 +47,21 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 ///
 /// Panics if lengths differ.
 pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(a.len());
+    sub_into(a, b, &mut out);
+    out
+}
+
+/// [`sub`] into a caller-provided buffer (cleared and refilled), so hot
+/// loops reuse one allocation.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn sub_into(a: &[f64], b: &[f64], out: &mut Vec<f64>) {
     assert_eq!(a.len(), b.len(), "sub length mismatch");
-    a.iter().zip(b).map(|(x, y)| x - y).collect()
+    out.clear();
+    out.extend(a.iter().zip(b).map(|(x, y)| x - y));
 }
 
 /// Scales a vector by `s` into a new vector.

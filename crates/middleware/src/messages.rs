@@ -63,6 +63,10 @@ pub enum ToServer {
     Upload(SensingUpload),
     /// Answers to assigned mapping tasks.
     Answers(Vec<MappingAnswer>),
+    /// The vehicle's thread failed (estimator error or caught panic).
+    /// Lets the server abort the round immediately instead of waiting
+    /// forever for an upload or answer that will never arrive.
+    Failed(String),
 }
 
 /// Messages from the server to a vehicle.

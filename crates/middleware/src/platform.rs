@@ -10,10 +10,8 @@ use crate::{MiddlewareError, Result};
 use crossbeam::channel;
 use crowdwifi_channel::RssReading;
 use crowdwifi_crowd::fusion::FusedAp;
-use parking_lot::Mutex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::sync::Arc;
 
 /// Configuration of one platform round.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,10 +50,69 @@ pub struct PlatformReport {
     pub fused: Vec<FusedAp>,
 }
 
-/// Runs one full crowdsensing round with each vehicle on its own
-/// thread: sense → upload → assignment → labeling → inference → fusion.
+/// One vehicle's side of the round protocol: sense + upload, then
+/// answer assignments until `Done`.
 ///
-/// `drives` pairs each vehicle with the RSS readings of its drive.
+/// A closed channel in either direction means the server abandoned the
+/// round (another vehicle failed); that is a clean exit here, not an
+/// error — the server already knows why the round ended.
+fn vehicle_protocol(
+    vehicle: &mut CrowdVehicle,
+    readings: &[RssReading],
+    segments: &SegmentMap,
+    to_server: &channel::Sender<(VehicleId, ToServer)>,
+    rx: &channel::Receiver<ToVehicle>,
+    seed: u64,
+) -> Result<()> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    vehicle.sense(readings)?;
+    if to_server
+        .send((vehicle.id(), ToServer::Upload(vehicle.upload())))
+        .is_err()
+    {
+        return Ok(());
+    }
+    loop {
+        match rx.recv() {
+            Ok(ToVehicle::Assign(tasks)) => {
+                let answers = tasks
+                    .iter()
+                    .map(|t| vehicle.answer(t, segments, &mut rng))
+                    .collect();
+                if to_server
+                    .send((vehicle.id(), ToServer::Answers(answers)))
+                    .is_err()
+                {
+                    return Ok(());
+                }
+            }
+            Ok(ToVehicle::Done) | Err(_) => return Ok(()),
+        }
+    }
+}
+
+/// Extracts a readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one full crowdsensing round with each vehicle on its own
+/// (scoped) thread: sense → upload → assignment → labeling → inference
+/// → fusion.
+///
+/// `fleet` pairs each vehicle with the RSS readings of its drive.
+/// Vehicle threads are spawned under [`std::thread::scope`], so none
+/// can outlive the round, and each wraps its protocol in
+/// `catch_unwind`: a panic (or estimator error) is reported to the
+/// server as [`ToServer::Failed`], which aborts the round with an error
+/// instead of deadlocking the upload-collection phase waiting on a dead
+/// vehicle.
 ///
 /// # Errors
 ///
@@ -69,56 +126,71 @@ pub fn run_round(
     if fleet.is_empty() {
         return Err(MiddlewareError::InvalidConfig("empty fleet".to_string()));
     }
-    let server = Arc::new(Mutex::new(CrowdServer::new(segments.clone())));
+    // The server itself is only touched by this (the protocol) thread;
+    // vehicles talk to it exclusively through channels.
+    let mut server = CrowdServer::new(segments.clone());
     let (to_server_tx, to_server_rx) = channel::unbounded::<(VehicleId, ToServer)>();
 
     // Per-vehicle channels for assignments.
     let mut vehicle_txs = std::collections::BTreeMap::new();
-    let mut handles = Vec::new();
     for (vehicle, _) in fleet.iter() {
         let (tx, rx) = channel::unbounded::<ToVehicle>();
         vehicle_txs.insert(vehicle.id(), (tx, rx));
     }
-    {
-        let mut guard = server.lock();
-        for (vehicle, _) in fleet.iter() {
-            guard.register(vehicle.id());
+    for (vehicle, _) in fleet.iter() {
+        server.register(vehicle.id());
+    }
+
+    std::thread::scope(|scope| {
+        // Spawn vehicle workers. Panics are caught and surfaced as
+        // `Failed` protocol messages, so the scope join below never
+        // re-raises and the server loop never blocks on a dead peer.
+        for (i, (mut vehicle, readings)) in fleet.drain(..).enumerate() {
+            let to_server = to_server_tx.clone();
+            let rx = vehicle_txs[&vehicle.id()].1.clone();
+            let segments = &segments;
+            let seed = config.seed + i as u64 + 1;
+            scope.spawn(move || {
+                let id = vehicle.id();
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    vehicle_protocol(&mut vehicle, &readings, segments, &to_server, &rx, seed)
+                }));
+                let failure = match outcome {
+                    Ok(Ok(())) => return,
+                    Ok(Err(e)) => e.to_string(),
+                    Err(payload) => format!("panic: {}", panic_message(payload)),
+                };
+                // Best-effort: if the server is already gone the round
+                // has failed for another reason.
+                let _ = to_server.send((id, ToServer::Failed(failure)));
+            });
         }
-    }
+        drop(to_server_tx);
 
-    // Spawn vehicle threads: sense + upload, then answer assignments.
-    for (i, (mut vehicle, readings)) in fleet.drain(..).enumerate() {
-        let to_server = to_server_tx.clone();
-        let rx = vehicle_txs[&vehicle.id()].1.clone();
-        let segments = segments.clone();
-        let seed = config.seed + i as u64 + 1;
-        handles.push(std::thread::spawn(move || -> Result<()> {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            vehicle.sense(&readings)?;
-            to_server
-                .send((vehicle.id(), ToServer::Upload(vehicle.upload())))
-                .expect("server receiver alive");
-            // Wait for the assignment, answer, then exit on Done.
-            loop {
-                match rx.recv().expect("server sender alive") {
-                    ToVehicle::Assign(tasks) => {
-                        let answers = tasks
-                            .iter()
-                            .map(|t| vehicle.answer(t, &segments, &mut rng))
-                            .collect();
-                        to_server
-                            .send((vehicle.id(), ToServer::Answers(answers)))
-                            .expect("server receiver alive");
-                    }
-                    ToVehicle::Done => return Ok(()),
-                }
-            }
-        }));
-    }
-    drop(to_server_tx);
+        let result = run_server_protocol(&mut server, &to_server_rx, &vehicle_txs, config);
+        // Success or failure, release every vehicle before the scope
+        // joins: dropping the assignment senders turns any blocked
+        // `rx.recv()` into a clean disconnect-and-exit.
+        drop(vehicle_txs);
+        result
+    })
+}
 
+/// The server's side of one round: the four protocol phases.
+fn run_server_protocol(
+    server: &mut CrowdServer,
+    to_server_rx: &channel::Receiver<(VehicleId, ToServer)>,
+    vehicle_txs: &std::collections::BTreeMap<
+        VehicleId,
+        (channel::Sender<ToVehicle>, channel::Receiver<ToVehicle>),
+    >,
+    config: PlatformConfig,
+) -> Result<PlatformReport> {
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let n_vehicles = vehicle_txs.len();
+    let vehicle_failed = |id: VehicleId, msg: String| {
+        MiddlewareError::Estimator(format!("{id} failed: {msg}"))
+    };
 
     // Phase 1: collect all uploads.
     let mut uploads_received = 0;
@@ -129,21 +201,19 @@ pub fn run_round(
             .map_err(|_| MiddlewareError::Estimator("vehicle thread died".to_string()))?;
         match msg {
             ToServer::Upload(up) => {
-                server.lock().receive_upload(up)?;
+                server.receive_upload(up)?;
                 uploads_received += 1;
             }
+            ToServer::Failed(m) => return Err(vehicle_failed(id, m)),
             other => pending.push((id, other)),
         }
     }
 
     // Phase 2: generate patterns and assign mapping tasks.
-    let assignments = {
-        let mut guard = server.lock();
-        guard.generate_patterns(config.bootstrap_patterns, &mut rng);
-        guard.assign_tasks(config.workers_per_task.min(n_vehicles), &mut rng)?
-    };
+    server.generate_patterns(config.bootstrap_patterns, &mut rng);
+    let assignments = server.assign_tasks(config.workers_per_task.min(n_vehicles), &mut rng)?;
     let mut expecting_answers = 0;
-    for (&id, (tx, _)) in &vehicle_txs {
+    for (&id, (tx, _)) in vehicle_txs {
         let tasks = assignments.get(&id).cloned().unwrap_or_default();
         if !tasks.is_empty() {
             expecting_answers += 1;
@@ -153,39 +223,41 @@ pub fn run_round(
 
     // Phase 3: collect answers.
     let mut answered = 0;
-    for (_, msg) in pending {
-        if let ToServer::Answers(ans) = msg {
-            if !ans.is_empty() {
-                answered += 1;
+    for (id, msg) in pending {
+        match msg {
+            ToServer::Answers(ans) => {
+                if !ans.is_empty() {
+                    answered += 1;
+                }
+                server.receive_answers(ans);
             }
-            server.lock().receive_answers(ans);
+            ToServer::Failed(m) => return Err(vehicle_failed(id, m)),
+            ToServer::Upload(_) => {}
         }
     }
     while answered < expecting_answers {
-        let (_, msg) = to_server_rx
+        let (id, msg) = to_server_rx
             .recv()
             .map_err(|_| MiddlewareError::Estimator("vehicle thread died".to_string()))?;
-        if let ToServer::Answers(ans) = msg {
-            if !ans.is_empty() {
-                answered += 1;
-            } else {
+        match msg {
+            ToServer::Answers(ans) => {
+                if !ans.is_empty() {
+                    answered += 1;
+                }
                 // Vehicles with no tasks still report once.
+                server.receive_answers(ans);
             }
-            server.lock().receive_answers(ans);
+            ToServer::Failed(m) => return Err(vehicle_failed(id, m)),
+            ToServer::Upload(_) => {}
         }
     }
     for (tx, _) in vehicle_txs.values() {
         tx.send(ToVehicle::Done).expect("vehicle alive");
     }
-    for h in handles {
-        h.join()
-            .map_err(|_| MiddlewareError::Estimator("vehicle thread panicked".to_string()))??;
-    }
 
     // Phase 4: inference + fusion.
-    let mut guard = server.lock();
-    let outcome = guard.infer(&mut rng)?;
-    let fused = guard
+    let outcome = server.infer(&mut rng)?;
+    let fused = server
         .finalize(config.merge_radius, config.spammer_cutoff)
         .to_vec();
     Ok(PlatformReport { outcome, fused })
@@ -347,7 +419,7 @@ mod tests {
         assert_eq!(reports.len(), 2);
         // With α = 0.5 from a 0.5 prior, round-1 reliabilities stay
         // within 0.25 of the prior; round 2 can move further.
-        for (_, &q) in &reports[0].outcome.reliabilities {
+        for &q in reports[0].outcome.reliabilities.values() {
             assert!((q - 0.5).abs() <= 0.25 + 1e-9, "round 1 moved too far: {q}");
         }
         // The spammer's long-run reliability never exceeds the honest max.
@@ -356,6 +428,35 @@ mod tests {
             .map(|v| reports[1].outcome.reliabilities[&VehicleId(v)])
             .fold(f64::NEG_INFINITY, f64::max);
         assert!(spam <= best_honest + 1e-9);
+    }
+
+    #[test]
+    fn failing_vehicle_aborts_round_instead_of_deadlocking() {
+        let segments = SegmentMap::new(
+            Rect::new(Point::new(0.0, -20.0), Point::new(300.0, 80.0)).unwrap(),
+            150.0,
+        );
+        let mk_estimator = || {
+            OnlineCs::new(OnlineCsConfig::default(), PathLossModel::uci_campus()).unwrap()
+        };
+        let mut fleet: Vec<_> = (0..3u32)
+            .map(|v| {
+                (
+                    CrowdVehicle::new(VehicleId(v), mk_estimator(), Behavior::Honest),
+                    drive(v as f64 * 0.5),
+                )
+            })
+            .collect();
+        // Poison one vehicle's drive: NaN coordinates blow up its
+        // estimator mid-sense. Before the scoped-thread rework this
+        // hung phase 1 forever waiting for the missing upload; now the
+        // vehicle's failure must abort the round with an error naming it.
+        for r in fleet[1].1.iter_mut() {
+            *r = RssReading::new(Point::new(f64::NAN, f64::NAN), r.rss_dbm, r.time);
+        }
+        let err = run_round(segments, fleet, PlatformConfig::default()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("vehicle1"), "unexpected error: {msg}");
     }
 
     #[test]

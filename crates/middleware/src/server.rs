@@ -6,11 +6,11 @@ use crate::segment::SegmentMap;
 use crate::{MiddlewareError, Result};
 use crowdwifi_crowd::fusion::{fuse_submissions, FusedAp, Submission};
 use crowdwifi_crowd::graph::BipartiteAssignment;
-use crowdwifi_crowd::inference::IterativeInference;
+use crowdwifi_crowd::em::EmAggregator;
 use crowdwifi_crowd::LabelMatrix;
 use crowdwifi_geo::Point;
 use rand::seq::SliceRandom;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::collections::BTreeMap;
 
 /// Outcome of one crowdsourcing round.
@@ -20,7 +20,8 @@ pub struct RoundOutcome {
     pub accepted_patterns: Vec<Pattern>,
     /// Inferred reliability per vehicle, in `[0, 1]`.
     pub reliabilities: BTreeMap<VehicleId, f64>,
-    /// Whether message passing converged within its iteration budget.
+    /// Whether reliability inference converged within its iteration
+    /// budget.
     pub converged: bool,
 }
 
@@ -221,14 +222,23 @@ impl CrowdServer {
         self.answers.extend(answers);
     }
 
-    /// Runs iterative inference over the collected answers, updating
+    /// Runs reliability inference over the collected answers, updating
     /// vehicle reliabilities and returning the accepted patterns.
+    ///
+    /// Uses one-coin Dawid–Skene EM seeded from majority voting: a
+    /// single round produces a small, class-imbalanced task graph (one
+    /// true pattern among several bootstrap negatives), where the
+    /// message-passing decoder's rank-1 dynamics latch onto the "reject
+    /// everything" direction and rank blanket-negative spammers above
+    /// honest vehicles. EM is robust to that imbalance and makes round
+    /// inference deterministic; the `rng` parameter is kept for
+    /// API stability but no longer consumed.
     ///
     /// # Errors
     ///
     /// Returns [`MiddlewareError::InvalidConfig`] when no answers were
     /// collected, and propagates graph-construction failures.
-    pub fn infer<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Result<RoundOutcome> {
+    pub fn infer<R: Rng + ?Sized>(&mut self, _rng: &mut R) -> Result<RoundOutcome> {
         if self.answers.is_empty() {
             return Err(MiddlewareError::InvalidConfig(
                 "no answers collected".to_string(),
@@ -253,9 +263,9 @@ impl CrowdServer {
         let graph =
             BipartiteAssignment::from_edge_list(self.patterns.len(), self.vehicles.len(), edges)?;
         let matrix = LabelMatrix::from_labels(graph, labels);
-        let result = IterativeInference::default().run(&matrix, rng);
+        let result = EmAggregator::default().run(&matrix);
 
-        let reliability = result.reliability_estimates();
+        let reliability = &result.reliabilities;
         let alpha = self.reliability_smoothing;
         for (i, &v) in self.vehicles.iter().enumerate() {
             let previous = self.reliabilities.get(&v).copied().unwrap_or(0.5);

@@ -5,7 +5,7 @@ use crate::segment::SegmentMap;
 use crate::Result;
 use crowdwifi_channel::RssReading;
 use crowdwifi_core::{ApEstimate, OnlineCs};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// How the vehicle answers mapping tasks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -12,7 +12,7 @@
 //!   written ℓ1 program.
 
 use crate::prox::{soft_threshold_nonneg_vec, soft_threshold_vec};
-use crate::{validate_problem, Recovery, Result, SolverError, SparseRecovery};
+use crate::{validate_problem, Recovery, Result, SolverError, SolverWorkspace, SparseRecovery};
 use crowdwifi_linalg::solve::Cholesky;
 use crowdwifi_linalg::svd::pseudo_inverse;
 use crowdwifi_linalg::vector;
@@ -106,12 +106,18 @@ impl AdmmLasso {
 
 impl SparseRecovery for AdmmLasso {
     fn recover(&self, a: &Matrix, y: &[f64]) -> Result<Recovery> {
+        self.recover_with(a, y, &mut SolverWorkspace::new())
+    }
+
+    fn recover_with(&self, a: &Matrix, y: &[f64], ws: &mut SolverWorkspace) -> Result<Recovery> {
         validate_problem(a, y)?;
         let n = a.cols();
         let rho = self.rho;
 
-        let lambda_max = vector::norm_inf(&a.matvec_transposed(y));
-        let lambda = self.lambda_rel * lambda_max;
+        // Aᵀy lives in `grad` for the whole solve (the x-update rhs
+        // reads it every iteration).
+        a.matvec_transposed_into(y, &mut ws.grad);
+        let lambda = self.lambda_rel * vector::norm_inf(&ws.grad);
 
         // Factor (AᵀA + ρI) once.
         let mut gram = a.transpose().matmul(a);
@@ -119,53 +125,61 @@ impl SparseRecovery for AdmmLasso {
             gram.set(i, i, gram.get(i, i) + rho);
         }
         let chol = Cholesky::new(&gram)?;
-        let aty = a.matvec_transposed(y);
 
-        let mut x = vec![0.0; n];
-        let mut z = vec![0.0; n];
-        let mut u = vec![0.0; n];
+        ws.x.clear();
+        ws.x.resize(n, 0.0);
+        ws.z.clear();
+        ws.z.resize(n, 0.0);
+        ws.u.clear();
+        ws.u.resize(n, 0.0);
         let mut iterations = 0;
         let mut converged = false;
 
         for k in 0..self.max_iterations {
             iterations = k + 1;
             // x-update: (AᵀA + ρI) x = Aᵀy + ρ(z − u).
-            let rhs: Vec<f64> = aty
-                .iter()
-                .zip(z.iter().zip(&u))
-                .map(|(&a_, (&z_, &u_))| a_ + rho * (z_ - u_))
-                .collect();
-            x = chol.solve(&rhs)?;
+            ws.n_scratch.clear();
+            ws.n_scratch.extend(
+                ws.grad
+                    .iter()
+                    .zip(ws.z.iter().zip(&ws.u))
+                    .map(|(&a_, (&z_, &u_))| a_ + rho * (z_ - u_)),
+            );
+            chol.solve_into(&ws.n_scratch, &mut ws.x)?;
 
-            // z-update: prox of (λ/ρ)‖·‖₁ at x + u.
-            let z_old = z.clone();
-            for (zi, (&xi, &ui)) in z.iter_mut().zip(x.iter().zip(&u)) {
+            // z-update: prox of (λ/ρ)‖·‖₁ at x + u; `x_alt` keeps the
+            // previous z for the dual residual.
+            ws.x_alt.clear();
+            ws.x_alt.extend_from_slice(&ws.z);
+            for (zi, (&xi, &ui)) in ws.z.iter_mut().zip(ws.x.iter().zip(&ws.u)) {
                 *zi = xi + ui;
             }
             if self.nonnegative {
-                soft_threshold_nonneg_vec(&mut z, lambda / rho);
+                soft_threshold_nonneg_vec(&mut ws.z, lambda / rho);
             } else {
-                soft_threshold_vec(&mut z, lambda / rho);
+                soft_threshold_vec(&mut ws.z, lambda / rho);
             }
 
             // u-update (scaled dual ascent).
-            for (ui, (&xi, &zi)) in u.iter_mut().zip(x.iter().zip(&z)) {
+            for (ui, (&xi, &zi)) in ws.u.iter_mut().zip(ws.x.iter().zip(&ws.z)) {
                 *ui += xi - zi;
             }
 
             // Primal/dual residual stopping rule.
-            let primal = vector::distance(&x, &z);
-            let dual = rho * vector::distance(&z, &z_old);
-            let scale = vector::norm2(&z).max(1e-12);
+            let primal = vector::distance(&ws.x, &ws.z);
+            let dual = rho * vector::distance(&ws.z, &ws.x_alt);
+            let scale = vector::norm2(&ws.z).max(1e-12);
             if primal <= self.tolerance * scale && dual <= self.tolerance * scale {
                 converged = true;
                 break;
             }
         }
 
-        let residual_norm = vector::norm2(&vector::sub(&a.matvec(&z), y));
+        a.matvec_into(&ws.z, &mut ws.m_scratch);
+        vector::sub_into(&ws.m_scratch, y, &mut ws.m_scratch2);
+        let residual_norm = vector::norm2(&ws.m_scratch2);
         Ok(Recovery {
-            solution: z,
+            solution: ws.z.clone(),
             iterations,
             residual_norm,
             converged,
@@ -234,47 +248,56 @@ impl BasisPursuit {
 
 impl SparseRecovery for BasisPursuit {
     fn recover(&self, a: &Matrix, y: &[f64]) -> Result<Recovery> {
+        self.recover_with(a, y, &mut SolverWorkspace::new())
+    }
+
+    fn recover_with(&self, a: &Matrix, y: &[f64], ws: &mut SolverWorkspace) -> Result<Recovery> {
         validate_problem(a, y)?;
         let n = a.cols();
 
         // Projection onto {x : Ax = y} is x ↦ x − A†(Ax − y).
         let pinv = pseudo_inverse(a)?;
-        let x_feasible = pinv.matvec(y);
+        pinv.matvec_into(y, &mut ws.x); // feasible start
 
-        let mut x = x_feasible.clone();
-        let mut z = vec![0.0; n];
-        let mut u = vec![0.0; n];
+        ws.z.clear();
+        ws.z.resize(n, 0.0);
+        ws.u.clear();
+        ws.u.resize(n, 0.0);
         let rho = 1.0;
         let mut iterations = 0;
         let mut converged = false;
 
         for k in 0..self.max_iterations {
             iterations = k + 1;
-            // x-update: project (z − u) onto the affine constraint.
-            let mut v: Vec<f64> = z.iter().zip(&u).map(|(&z_, &u_)| z_ - u_).collect();
-            let av = a.matvec(&v);
-            let corr = pinv.matvec(&vector::sub(&av, y));
-            vector::axpy(-1.0, &corr, &mut v);
-            x = v;
+            // x-update: project v = z − u onto the affine constraint
+            // (built in `x_alt`, swapped into `x` once corrected).
+            vector::sub_into(&ws.z, &ws.u, &mut ws.x_alt);
+            a.matvec_into(&ws.x_alt, &mut ws.m_scratch);
+            vector::sub_into(&ws.m_scratch, y, &mut ws.m_scratch2);
+            pinv.matvec_into(&ws.m_scratch2, &mut ws.grad);
+            vector::axpy(-1.0, &ws.grad, &mut ws.x_alt);
+            std::mem::swap(&mut ws.x, &mut ws.x_alt);
 
-            // z-update: soft threshold at 1/ρ.
-            let z_old = z.clone();
-            for (zi, (&xi, &ui)) in z.iter_mut().zip(x.iter().zip(&u)) {
+            // z-update: soft threshold at 1/ρ; `n_scratch` keeps the
+            // previous z for the dual residual.
+            ws.n_scratch.clear();
+            ws.n_scratch.extend_from_slice(&ws.z);
+            for (zi, (&xi, &ui)) in ws.z.iter_mut().zip(ws.x.iter().zip(&ws.u)) {
                 *zi = xi + ui;
             }
             if self.nonnegative {
-                soft_threshold_nonneg_vec(&mut z, 1.0 / rho);
+                soft_threshold_nonneg_vec(&mut ws.z, 1.0 / rho);
             } else {
-                soft_threshold_vec(&mut z, 1.0 / rho);
+                soft_threshold_vec(&mut ws.z, 1.0 / rho);
             }
 
-            for (ui, (&xi, &zi)) in u.iter_mut().zip(x.iter().zip(&z)) {
+            for (ui, (&xi, &zi)) in ws.u.iter_mut().zip(ws.x.iter().zip(&ws.z)) {
                 *ui += xi - zi;
             }
 
-            let primal = vector::distance(&x, &z);
-            let dual = rho * vector::distance(&z, &z_old);
-            let scale = vector::norm2(&x).max(1e-12);
+            let primal = vector::distance(&ws.x, &ws.z);
+            let dual = rho * vector::distance(&ws.z, &ws.n_scratch);
+            let scale = vector::norm2(&ws.x).max(1e-12);
             if primal <= self.tolerance * scale && dual <= self.tolerance * scale {
                 converged = true;
                 break;
@@ -283,9 +306,11 @@ impl SparseRecovery for BasisPursuit {
 
         // x is the feasible iterate: report it (z may be slightly
         // infeasible but sparser; x inherits its sparsity at convergence).
-        let residual_norm = vector::norm2(&vector::sub(&a.matvec(&x), y));
+        a.matvec_into(&ws.x, &mut ws.m_scratch);
+        vector::sub_into(&ws.m_scratch, y, &mut ws.m_scratch2);
+        let residual_norm = vector::norm2(&ws.m_scratch2);
         Ok(Recovery {
-            solution: x,
+            solution: ws.x.clone(),
             iterations,
             residual_norm,
             converged,

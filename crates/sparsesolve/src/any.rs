@@ -8,7 +8,7 @@ use crate::admm::{AdmmLasso, BasisPursuit};
 use crate::fista::Fista;
 use crate::irls::Irls;
 use crate::omp::Omp;
-use crate::{Recovery, Result, SparseRecovery};
+use crate::{Recovery, Result, SolverWorkspace, SparseRecovery};
 use crowdwifi_linalg::Matrix;
 
 /// A runtime-selected sparse-recovery solver.
@@ -72,6 +72,16 @@ impl SparseRecovery for AnySolver {
             AnySolver::BasisPursuit(s) => s.recover(a, y),
             AnySolver::Omp(s) => s.recover(a, y),
             AnySolver::Irls(s) => s.recover(a, y),
+        }
+    }
+
+    fn recover_with(&self, a: &Matrix, y: &[f64], ws: &mut SolverWorkspace) -> Result<Recovery> {
+        match self {
+            AnySolver::Fista(s) => s.recover_with(a, y, ws),
+            AnySolver::AdmmLasso(s) => s.recover_with(a, y, ws),
+            AnySolver::BasisPursuit(s) => s.recover_with(a, y, ws),
+            AnySolver::Omp(s) => s.recover_with(a, y, ws),
+            AnySolver::Irls(s) => s.recover_with(a, y, ws),
         }
     }
 

@@ -6,7 +6,10 @@
 //! many small programs.
 
 use crate::prox::{soft_threshold_nonneg_vec, soft_threshold_vec};
-use crate::{spectral_norm_sq, validate_problem, Recovery, Result, SolverError, SparseRecovery};
+use crate::{
+    spectral_norm_sq, validate_problem, Recovery, Result, SolverError, SolverWorkspace,
+    SparseRecovery,
+};
 use crowdwifi_linalg::vector;
 use crowdwifi_linalg::Matrix;
 
@@ -111,6 +114,10 @@ impl Fista {
 
 impl SparseRecovery for Fista {
     fn recover(&self, a: &Matrix, y: &[f64]) -> Result<Recovery> {
+        self.recover_with(a, y, &mut SolverWorkspace::new())
+    }
+
+    fn recover_with(&self, a: &Matrix, y: &[f64], ws: &mut SolverWorkspace) -> Result<Recovery> {
         validate_problem(a, y)?;
         let n = a.cols();
 
@@ -129,48 +136,59 @@ impl SparseRecovery for Fista {
         let step = 1.0 / lipschitz;
 
         // λ scaled to the problem: λ_max = ‖Aᵀy‖_∞ zeroes the solution.
-        let lambda_max = vector::norm_inf(&a.matvec_transposed(y));
-        let lambda = self.lambda_rel * lambda_max;
+        a.matvec_transposed_into(y, &mut ws.grad);
+        let lambda = self.lambda_rel * vector::norm_inf(&ws.grad);
 
-        let mut x = vec![0.0; n];
-        let mut z = x.clone(); // extrapolation point
+        ws.x.clear();
+        ws.x.resize(n, 0.0);
+        ws.z.clear();
+        ws.z.resize(n, 0.0); // extrapolation point
         let mut t: f64 = 1.0;
         let mut iterations = 0;
         let mut converged = false;
 
         for k in 0..self.max_iterations {
             iterations = k + 1;
-            // Gradient step at z: z − step · Aᵀ(Az − y).
-            let az = a.matvec(&z);
-            let grad = a.matvec_transposed(&vector::sub(&az, y));
-            let mut x_new = z.clone();
-            vector::axpy(-step, &grad, &mut x_new);
+            // Gradient step at z: z − step · Aᵀ(Az − y). `x_alt` plays
+            // the role of x_new until the swap below.
+            a.matvec_into(&ws.z, &mut ws.m_scratch);
+            vector::sub_into(&ws.m_scratch, y, &mut ws.m_scratch2);
+            a.matvec_transposed_into(&ws.m_scratch2, &mut ws.grad);
+            ws.x_alt.clear();
+            ws.x_alt.extend_from_slice(&ws.z);
+            vector::axpy(-step, &ws.grad, &mut ws.x_alt);
             // Proximal step.
             if self.nonnegative {
-                soft_threshold_nonneg_vec(&mut x_new, step * lambda);
+                soft_threshold_nonneg_vec(&mut ws.x_alt, step * lambda);
             } else {
-                soft_threshold_vec(&mut x_new, step * lambda);
+                soft_threshold_vec(&mut ws.x_alt, step * lambda);
             }
 
             // Relative change stopping rule.
-            let delta = vector::distance(&x_new, &x);
-            let scale = vector::norm2(&x_new).max(1e-12);
+            let delta = vector::distance(&ws.x_alt, &ws.x);
+            let scale = vector::norm2(&ws.x_alt).max(1e-12);
 
             match self.acceleration {
                 Acceleration::Nesterov => {
                     let t_new = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
                     let beta = (t - 1.0) / t_new;
-                    z = x_new.clone();
-                    for (zi, (&xn, &xo)) in z.iter_mut().zip(x_new.iter().zip(&x)) {
-                        *zi = xn + beta * (xn - xo);
-                    }
+                    ws.z.clear();
+                    ws.z.extend(
+                        ws.x_alt
+                            .iter()
+                            .zip(&ws.x)
+                            .map(|(&xn, &xo)| xn + beta * (xn - xo)),
+                    );
                     t = t_new;
                 }
                 Acceleration::None => {
-                    z = x_new.clone();
+                    ws.z.clear();
+                    ws.z.extend_from_slice(&ws.x_alt);
                 }
             }
-            x = x_new;
+            // x = x_new without a clone; the stale old-x contents of
+            // `x_alt` are fully overwritten next iteration.
+            std::mem::swap(&mut ws.x, &mut ws.x_alt);
 
             if delta <= self.tolerance * scale {
                 converged = true;
@@ -178,9 +196,11 @@ impl SparseRecovery for Fista {
             }
         }
 
-        let residual_norm = vector::norm2(&vector::sub(&a.matvec(&x), y));
+        a.matvec_into(&ws.x, &mut ws.m_scratch);
+        vector::sub_into(&ws.m_scratch, y, &mut ws.m_scratch2);
+        let residual_norm = vector::norm2(&ws.m_scratch2);
         Ok(Recovery {
-            solution: x,
+            solution: ws.x.clone(),
             iterations,
             residual_norm,
             converged,

@@ -7,7 +7,7 @@
 //! support sharpens. A fourth solver family alongside FISTA, ADMM and
 //! OMP — useful as a cross-check because its failure modes differ.
 
-use crate::{validate_problem, Recovery, Result, SolverError, SparseRecovery};
+use crate::{validate_problem, Recovery, Result, SolverError, SolverWorkspace, SparseRecovery};
 use crowdwifi_linalg::solve::Lu;
 use crowdwifi_linalg::vector;
 use crowdwifi_linalg::Matrix;
@@ -75,25 +75,35 @@ impl Irls {
 
 impl SparseRecovery for Irls {
     fn recover(&self, a: &Matrix, y: &[f64]) -> Result<Recovery> {
+        self.recover_with(a, y, &mut SolverWorkspace::new())
+    }
+
+    fn recover_with(&self, a: &Matrix, y: &[f64], ws: &mut SolverWorkspace) -> Result<Recovery> {
         validate_problem(a, y)?;
         let (m, n) = a.shape();
 
         // Start from the minimum-ℓ2 solution (D = I).
-        let mut x: Vec<f64> = vec![0.0; n];
+        ws.x.clear();
+        ws.x.resize(n, 0.0);
         let mut epsilon: f64 = 1.0;
         let mut iterations = 0;
         let mut converged = false;
+        // Every entry of G is rewritten each iteration, so the matrix
+        // allocation hoists out of the loop.
+        let mut g = Matrix::zeros(m, m);
 
         for k in 0..self.max_iterations {
             iterations = k + 1;
-            // D = diag(|x| + ε); G = A D Aᵀ (m × m, SPD for full-row-rank A).
-            let d: Vec<f64> = x.iter().map(|&xi| xi.abs() + epsilon).collect();
-            let mut g = Matrix::zeros(m, m);
+            // D = diag(|x| + ε) in `n_scratch`; G = A D Aᵀ (m × m, SPD
+            // for full-row-rank A).
+            ws.n_scratch.clear();
+            ws.n_scratch.extend(ws.x.iter().map(|&xi| xi.abs() + epsilon));
+            let d = &ws.n_scratch;
             for r in 0..m {
                 for c in r..m {
                     let mut s = 0.0;
-                    for j in 0..n {
-                        s += a.get(r, j) * d[j] * a.get(c, j);
+                    for (j, &dj) in d.iter().enumerate().take(n) {
+                        s += a.get(r, j) * dj * a.get(c, j);
                     }
                     g.set(r, c, s);
                     g.set(c, r, s);
@@ -103,17 +113,23 @@ impl SparseRecovery for Irls {
             for r in 0..m {
                 g.set(r, r, g.get(r, r) + 1e-12);
             }
-            let lam = match Lu::new(&g).and_then(|lu| lu.solve(y)) {
-                Ok(v) => v,
-                Err(e) => return Err(SolverError::Linalg(e.to_string())),
-            };
-            // x = D Aᵀ λ.
-            let at_lam = a.matvec_transposed(&lam);
-            let x_new: Vec<f64> = at_lam.iter().zip(&d).map(|(&v, &di)| di * v).collect();
+            // λ = G⁻¹ y in `m_scratch`.
+            if let Err(e) = Lu::new(&g).and_then(|lu| lu.solve_into(y, &mut ws.m_scratch)) {
+                return Err(SolverError::Linalg(e.to_string()));
+            }
+            // x_new = D Aᵀ λ, built in `x_alt` and swapped into `x`.
+            a.matvec_transposed_into(&ws.m_scratch, &mut ws.grad);
+            ws.x_alt.clear();
+            ws.x_alt.extend(
+                ws.grad
+                    .iter()
+                    .zip(&ws.n_scratch)
+                    .map(|(&v, &di)| di * v),
+            );
 
-            let delta = vector::distance(&x_new, &x);
-            let scale = vector::norm2(&x_new).max(1e-12);
-            x = x_new;
+            let delta = vector::distance(&ws.x_alt, &ws.x);
+            let scale = vector::norm2(&ws.x_alt).max(1e-12);
+            std::mem::swap(&mut ws.x, &mut ws.x_alt);
             // ε decays with the current sparsity estimate (Chartrand-Yin
             // schedule): shrink once the iterate has stabilized.
             if delta <= 0.1 * scale {
@@ -125,9 +141,11 @@ impl SparseRecovery for Irls {
             }
         }
 
-        let residual_norm = vector::norm2(&vector::sub(&a.matvec(&x), y));
+        a.matvec_into(&ws.x, &mut ws.m_scratch);
+        vector::sub_into(&ws.m_scratch, y, &mut ws.m_scratch2);
+        let residual_norm = vector::norm2(&ws.m_scratch2);
         Ok(Recovery {
-            solution: x,
+            solution: ws.x.clone(),
             iterations,
             residual_norm,
             converged,
@@ -201,7 +219,7 @@ mod tests {
     #[test]
     fn zero_rhs_gives_zero_solution() {
         let a = bernoulli_matrix(8, 20, 1);
-        let rec = Irls::default().recover(&a, &vec![0.0; 8]).unwrap();
+        let rec = Irls::default().recover(&a, &[0.0; 8]).unwrap();
         assert!(rec.solution.iter().all(|&x| x.abs() < 1e-9));
     }
 

@@ -45,9 +45,11 @@ pub mod fista;
 pub mod irls;
 pub mod omp;
 pub mod prox;
+pub mod workspace;
 
 pub use any::AnySolver;
 pub use fista::Fista;
+pub use workspace::SolverWorkspace;
 
 use crowdwifi_linalg::Matrix;
 
@@ -145,6 +147,25 @@ pub trait SparseRecovery {
     /// `y.len() != a.rows()` and [`SolverError::EmptyProblem`] for empty
     /// sensing matrices.
     fn recover(&self, a: &Matrix, y: &[f64]) -> Result<Recovery>;
+
+    /// Like [`SparseRecovery::recover`], but reusing the buffers in
+    /// `ws` across calls — the allocation-lean entry point for hot
+    /// loops that solve many programs (the CS pipeline solves one per
+    /// hypothesis group per window).
+    ///
+    /// Implementations must return exactly the [`Recovery`] that
+    /// [`SparseRecovery::recover`] would; the workspace only changes
+    /// where intermediates are stored. The default ignores `ws`, which
+    /// trivially satisfies that contract (direct solvers like OMP have
+    /// no per-iteration vectors worth pooling).
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`SparseRecovery::recover`].
+    fn recover_with(&self, a: &Matrix, y: &[f64], ws: &mut SolverWorkspace) -> Result<Recovery> {
+        let _ = ws;
+        self.recover(a, y)
+    }
 
     /// Short human-readable solver name (used in benches and logs).
     fn name(&self) -> &'static str;

@@ -11,7 +11,7 @@ use crate::scenario::Scenario;
 use crowdwifi_channel::noise::ShadowFading;
 use crowdwifi_channel::RssReading;
 use crowdwifi_geo::{Point, Trajectory};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Samples RSS readings along a drive through a [`Scenario`].
 ///

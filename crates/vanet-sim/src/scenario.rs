@@ -4,7 +4,7 @@ use crate::ap::AccessPoint;
 use crate::{Result, SimError};
 use crowdwifi_channel::{ApId, PathLossModel};
 use crowdwifi_geo::{Grid, Point, Rect};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A complete simulation scenario: area, AP ground truth and channel.

@@ -12,7 +12,7 @@ use crate::mobility::vanlan_round;
 use crate::scenario::Scenario;
 use crowdwifi_channel::noise::ShadowFading;
 use crowdwifi_channel::RssReading;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use rand::seq::SliceRandom;
 
 /// Configuration of the VanLan-like trace generator.

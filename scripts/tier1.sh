@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, clippy with warnings
+# denied. Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "tier1: OK"

@@ -1,0 +1,9 @@
+//! Offline shim for `serde`.
+//!
+//! Re-exports no-op `Serialize`/`Deserialize` derive macros (see the
+//! `serde_derive` shim). The workspace decorates its wire types with the
+//! derives but never serializes through the traits, so no trait
+//! machinery is needed — and when a real serializer lands, this shim is
+//! the single place to grow one.
+
+pub use serde_derive::{Deserialize, Serialize};

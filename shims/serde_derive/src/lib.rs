@@ -1,0 +1,22 @@
+//! Offline shim for `serde_derive`: the derive macros expand to nothing.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` on data types
+//! (wire-format readiness); nothing serializes through the traits yet,
+//! so empty expansions keep every type checking without pulling in a
+//! registry dependency.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive. Accepts (and ignores) `#[serde(...)]`
+/// helper attributes so annotated types still compile.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive. Accepts (and ignores) `#[serde(...)]`
+/// helper attributes so annotated types still compile.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-a1a9982b872f6a76.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-a1a9982b872f6a76: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

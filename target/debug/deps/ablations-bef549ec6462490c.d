@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-bef549ec6462490c.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-bef549ec6462490c: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_ordering-8e48cc8dbae85485.d: tests/baseline_ordering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_ordering-8e48cc8dbae85485.rmeta: tests/baseline_ordering.rs Cargo.toml
+
+tests/baseline_ordering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_ordering-df11f7507580042c.d: tests/baseline_ordering.rs
+
+/root/repo/target/debug/deps/baseline_ordering-df11f7507580042c: tests/baseline_ordering.rs
+
+tests/baseline_ordering.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-819344924e3b0099.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-819344924e3b0099.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-819344924e3b0099.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

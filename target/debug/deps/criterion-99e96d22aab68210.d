@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-99e96d22aab68210.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-99e96d22aab68210.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-99e96d22aab68210.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-a22573b96c1189da.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-a22573b96c1189da: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-1cf24e43298b48be.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-1cf24e43298b48be.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-1cf24e43298b48be.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-29f71f401ab13ec9.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-29f71f401ab13ec9.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-29f71f401ab13ec9.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

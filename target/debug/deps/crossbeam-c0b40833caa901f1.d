@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-c0b40833caa901f1.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-c0b40833caa901f1: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

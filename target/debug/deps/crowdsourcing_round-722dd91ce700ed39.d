@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crowdsourcing_round-722dd91ce700ed39.d: tests/crowdsourcing_round.rs
+
+/root/repo/target/debug/deps/crowdsourcing_round-722dd91ce700ed39: tests/crowdsourcing_round.rs
+
+tests/crowdsourcing_round.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crowdsourcing_round-e27049e5915a0311.d: tests/crowdsourcing_round.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrowdsourcing_round-e27049e5915a0311.rmeta: tests/crowdsourcing_round.rs Cargo.toml
+
+tests/crowdsourcing_round.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

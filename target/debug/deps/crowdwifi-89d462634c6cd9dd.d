@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crowdwifi-89d462634c6cd9dd.d: src/lib.rs
+
+/root/repo/target/debug/deps/crowdwifi-89d462634c6cd9dd: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crowdwifi-ab8d57b5d9caf025.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrowdwifi-ab8d57b5d9caf025.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crowdwifi-bc71bb5ca091b6a5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcrowdwifi-bc71bb5ca091b6a5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcrowdwifi-bc71bb5ca091b6a5.rmeta: src/lib.rs
+
+src/lib.rs:

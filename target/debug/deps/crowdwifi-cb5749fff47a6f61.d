@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crowdwifi-cb5749fff47a6f61.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcrowdwifi-cb5749fff47a6f61.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcrowdwifi-cb5749fff47a6f61.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/crowdwifi_baselines-3be5a21858d3f86a.d: crates/baselines/src/lib.rs crates/baselines/src/lgmm.rs crates/baselines/src/mds.rs crates/baselines/src/skyhook.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrowdwifi_baselines-3be5a21858d3f86a.rmeta: crates/baselines/src/lib.rs crates/baselines/src/lgmm.rs crates/baselines/src/mds.rs crates/baselines/src/skyhook.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lgmm.rs:
+crates/baselines/src/mds.rs:
+crates/baselines/src/skyhook.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

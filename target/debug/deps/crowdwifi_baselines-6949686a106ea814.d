@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/crowdwifi_baselines-6949686a106ea814.d: crates/baselines/src/lib.rs crates/baselines/src/lgmm.rs crates/baselines/src/mds.rs crates/baselines/src/skyhook.rs
+
+/root/repo/target/debug/deps/crowdwifi_baselines-6949686a106ea814: crates/baselines/src/lib.rs crates/baselines/src/lgmm.rs crates/baselines/src/mds.rs crates/baselines/src/skyhook.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lgmm.rs:
+crates/baselines/src/mds.rs:
+crates/baselines/src/skyhook.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/crowdwifi_baselines-c6fe24b70faaeaca.d: crates/baselines/src/lib.rs crates/baselines/src/lgmm.rs crates/baselines/src/mds.rs crates/baselines/src/skyhook.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_baselines-c6fe24b70faaeaca.rlib: crates/baselines/src/lib.rs crates/baselines/src/lgmm.rs crates/baselines/src/mds.rs crates/baselines/src/skyhook.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_baselines-c6fe24b70faaeaca.rmeta: crates/baselines/src/lib.rs crates/baselines/src/lgmm.rs crates/baselines/src/mds.rs crates/baselines/src/skyhook.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lgmm.rs:
+crates/baselines/src/mds.rs:
+crates/baselines/src/skyhook.rs:

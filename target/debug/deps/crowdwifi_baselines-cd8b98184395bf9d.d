@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/crowdwifi_baselines-cd8b98184395bf9d.d: crates/baselines/src/lib.rs crates/baselines/src/lgmm.rs crates/baselines/src/mds.rs crates/baselines/src/skyhook.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_baselines-cd8b98184395bf9d.rlib: crates/baselines/src/lib.rs crates/baselines/src/lgmm.rs crates/baselines/src/mds.rs crates/baselines/src/skyhook.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_baselines-cd8b98184395bf9d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/lgmm.rs crates/baselines/src/mds.rs crates/baselines/src/skyhook.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lgmm.rs:
+crates/baselines/src/mds.rs:
+crates/baselines/src/skyhook.rs:

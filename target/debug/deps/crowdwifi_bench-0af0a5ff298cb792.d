@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crowdwifi_bench-0af0a5ff298cb792.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/crowdwifi_bench-0af0a5ff298cb792: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crowdwifi_bench-4a06f65bdaaddcab.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_bench-4a06f65bdaaddcab.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_bench-4a06f65bdaaddcab.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crowdwifi_bench-982ab19d3b0af839.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrowdwifi_bench-982ab19d3b0af839.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crowdwifi_bench-c9d3fdcadcf673ca.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_bench-c9d3fdcadcf673ca.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_bench-c9d3fdcadcf673ca.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/crowdwifi_channel-07245d7160e47a68.d: crates/channel/src/lib.rs crates/channel/src/bic.rs crates/channel/src/gmm.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/reading.rs
+
+/root/repo/target/debug/deps/crowdwifi_channel-07245d7160e47a68: crates/channel/src/lib.rs crates/channel/src/bic.rs crates/channel/src/gmm.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/reading.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/bic.rs:
+crates/channel/src/gmm.rs:
+crates/channel/src/noise.rs:
+crates/channel/src/pathloss.rs:
+crates/channel/src/reading.rs:

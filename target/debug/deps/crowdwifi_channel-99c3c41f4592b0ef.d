@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/crowdwifi_channel-99c3c41f4592b0ef.d: crates/channel/src/lib.rs crates/channel/src/bic.rs crates/channel/src/gmm.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/reading.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrowdwifi_channel-99c3c41f4592b0ef.rmeta: crates/channel/src/lib.rs crates/channel/src/bic.rs crates/channel/src/gmm.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/reading.rs Cargo.toml
+
+crates/channel/src/lib.rs:
+crates/channel/src/bic.rs:
+crates/channel/src/gmm.rs:
+crates/channel/src/noise.rs:
+crates/channel/src/pathloss.rs:
+crates/channel/src/reading.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

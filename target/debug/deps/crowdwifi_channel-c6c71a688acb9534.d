@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/crowdwifi_channel-c6c71a688acb9534.d: crates/channel/src/lib.rs crates/channel/src/bic.rs crates/channel/src/gmm.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/reading.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_channel-c6c71a688acb9534.rlib: crates/channel/src/lib.rs crates/channel/src/bic.rs crates/channel/src/gmm.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/reading.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_channel-c6c71a688acb9534.rmeta: crates/channel/src/lib.rs crates/channel/src/bic.rs crates/channel/src/gmm.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/reading.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/bic.rs:
+crates/channel/src/gmm.rs:
+crates/channel/src/noise.rs:
+crates/channel/src/pathloss.rs:
+crates/channel/src/reading.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/crowdwifi_core-131e2cf33609c1ae.d: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/centroid.rs crates/core/src/consolidate.rs crates/core/src/metrics.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/refine.rs crates/core/src/recovery.rs crates/core/src/select.rs crates/core/src/window.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_core-131e2cf33609c1ae.rlib: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/centroid.rs crates/core/src/consolidate.rs crates/core/src/metrics.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/refine.rs crates/core/src/recovery.rs crates/core/src/select.rs crates/core/src/window.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_core-131e2cf33609c1ae.rmeta: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/centroid.rs crates/core/src/consolidate.rs crates/core/src/metrics.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/refine.rs crates/core/src/recovery.rs crates/core/src/select.rs crates/core/src/window.rs
+
+crates/core/src/lib.rs:
+crates/core/src/assign.rs:
+crates/core/src/centroid.rs:
+crates/core/src/consolidate.rs:
+crates/core/src/metrics.rs:
+crates/core/src/par.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/refine.rs:
+crates/core/src/recovery.rs:
+crates/core/src/select.rs:
+crates/core/src/window.rs:

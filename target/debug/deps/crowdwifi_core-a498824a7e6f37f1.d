@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/crowdwifi_core-a498824a7e6f37f1.d: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/centroid.rs crates/core/src/consolidate.rs crates/core/src/metrics.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/refine.rs crates/core/src/recovery.rs crates/core/src/select.rs crates/core/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrowdwifi_core-a498824a7e6f37f1.rmeta: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/centroid.rs crates/core/src/consolidate.rs crates/core/src/metrics.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/refine.rs crates/core/src/recovery.rs crates/core/src/select.rs crates/core/src/window.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/assign.rs:
+crates/core/src/centroid.rs:
+crates/core/src/consolidate.rs:
+crates/core/src/metrics.rs:
+crates/core/src/par.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/refine.rs:
+crates/core/src/recovery.rs:
+crates/core/src/select.rs:
+crates/core/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

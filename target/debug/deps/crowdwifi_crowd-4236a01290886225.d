@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/crowdwifi_crowd-4236a01290886225.d: crates/crowd/src/lib.rs crates/crowd/src/aggregate.rs crates/crowd/src/em.rs crates/crowd/src/fusion.rs crates/crowd/src/graph.rs crates/crowd/src/inference.rs crates/crowd/src/worker.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_crowd-4236a01290886225.rlib: crates/crowd/src/lib.rs crates/crowd/src/aggregate.rs crates/crowd/src/em.rs crates/crowd/src/fusion.rs crates/crowd/src/graph.rs crates/crowd/src/inference.rs crates/crowd/src/worker.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_crowd-4236a01290886225.rmeta: crates/crowd/src/lib.rs crates/crowd/src/aggregate.rs crates/crowd/src/em.rs crates/crowd/src/fusion.rs crates/crowd/src/graph.rs crates/crowd/src/inference.rs crates/crowd/src/worker.rs
+
+crates/crowd/src/lib.rs:
+crates/crowd/src/aggregate.rs:
+crates/crowd/src/em.rs:
+crates/crowd/src/fusion.rs:
+crates/crowd/src/graph.rs:
+crates/crowd/src/inference.rs:
+crates/crowd/src/worker.rs:

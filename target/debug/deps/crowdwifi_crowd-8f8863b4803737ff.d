@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/crowdwifi_crowd-8f8863b4803737ff.d: crates/crowd/src/lib.rs crates/crowd/src/aggregate.rs crates/crowd/src/em.rs crates/crowd/src/fusion.rs crates/crowd/src/graph.rs crates/crowd/src/inference.rs crates/crowd/src/worker.rs
+
+/root/repo/target/debug/deps/crowdwifi_crowd-8f8863b4803737ff: crates/crowd/src/lib.rs crates/crowd/src/aggregate.rs crates/crowd/src/em.rs crates/crowd/src/fusion.rs crates/crowd/src/graph.rs crates/crowd/src/inference.rs crates/crowd/src/worker.rs
+
+crates/crowd/src/lib.rs:
+crates/crowd/src/aggregate.rs:
+crates/crowd/src/em.rs:
+crates/crowd/src/fusion.rs:
+crates/crowd/src/graph.rs:
+crates/crowd/src/inference.rs:
+crates/crowd/src/worker.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/crowdwifi_crowd-b55a2cf7f54dc64d.d: crates/crowd/src/lib.rs crates/crowd/src/aggregate.rs crates/crowd/src/em.rs crates/crowd/src/fusion.rs crates/crowd/src/graph.rs crates/crowd/src/inference.rs crates/crowd/src/worker.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_crowd-b55a2cf7f54dc64d.rlib: crates/crowd/src/lib.rs crates/crowd/src/aggregate.rs crates/crowd/src/em.rs crates/crowd/src/fusion.rs crates/crowd/src/graph.rs crates/crowd/src/inference.rs crates/crowd/src/worker.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_crowd-b55a2cf7f54dc64d.rmeta: crates/crowd/src/lib.rs crates/crowd/src/aggregate.rs crates/crowd/src/em.rs crates/crowd/src/fusion.rs crates/crowd/src/graph.rs crates/crowd/src/inference.rs crates/crowd/src/worker.rs
+
+crates/crowd/src/lib.rs:
+crates/crowd/src/aggregate.rs:
+crates/crowd/src/em.rs:
+crates/crowd/src/fusion.rs:
+crates/crowd/src/graph.rs:
+crates/crowd/src/inference.rs:
+crates/crowd/src/worker.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crowdwifi_geo-7d11be494723781d.d: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs crates/geo/src/rect.rs crates/geo/src/trajectory.rs
+
+/root/repo/target/debug/deps/crowdwifi_geo-7d11be494723781d: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs crates/geo/src/rect.rs crates/geo/src/trajectory.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/grid.rs:
+crates/geo/src/point.rs:
+crates/geo/src/rect.rs:
+crates/geo/src/trajectory.rs:

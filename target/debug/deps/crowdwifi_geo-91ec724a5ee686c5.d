@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/crowdwifi_geo-91ec724a5ee686c5.d: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs crates/geo/src/rect.rs crates/geo/src/trajectory.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_geo-91ec724a5ee686c5.rlib: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs crates/geo/src/rect.rs crates/geo/src/trajectory.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_geo-91ec724a5ee686c5.rmeta: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs crates/geo/src/rect.rs crates/geo/src/trajectory.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/grid.rs:
+crates/geo/src/point.rs:
+crates/geo/src/rect.rs:
+crates/geo/src/trajectory.rs:

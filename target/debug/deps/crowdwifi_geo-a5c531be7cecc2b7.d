@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/crowdwifi_geo-a5c531be7cecc2b7.d: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs crates/geo/src/rect.rs crates/geo/src/trajectory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrowdwifi_geo-a5c531be7cecc2b7.rmeta: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs crates/geo/src/rect.rs crates/geo/src/trajectory.rs Cargo.toml
+
+crates/geo/src/lib.rs:
+crates/geo/src/grid.rs:
+crates/geo/src/point.rs:
+crates/geo/src/rect.rs:
+crates/geo/src/trajectory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/crowdwifi_geo-d3fd8d3efe180e64.d: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs crates/geo/src/rect.rs crates/geo/src/trajectory.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_geo-d3fd8d3efe180e64.rlib: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs crates/geo/src/rect.rs crates/geo/src/trajectory.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_geo-d3fd8d3efe180e64.rmeta: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs crates/geo/src/rect.rs crates/geo/src/trajectory.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/grid.rs:
+crates/geo/src/point.rs:
+crates/geo/src/rect.rs:
+crates/geo/src/trajectory.rs:

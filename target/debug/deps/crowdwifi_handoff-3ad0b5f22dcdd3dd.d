@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/crowdwifi_handoff-3ad0b5f22dcdd3dd.d: crates/handoff/src/lib.rs crates/handoff/src/connectivity.rs crates/handoff/src/db.rs crates/handoff/src/session.rs crates/handoff/src/transfer.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_handoff-3ad0b5f22dcdd3dd.rlib: crates/handoff/src/lib.rs crates/handoff/src/connectivity.rs crates/handoff/src/db.rs crates/handoff/src/session.rs crates/handoff/src/transfer.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_handoff-3ad0b5f22dcdd3dd.rmeta: crates/handoff/src/lib.rs crates/handoff/src/connectivity.rs crates/handoff/src/db.rs crates/handoff/src/session.rs crates/handoff/src/transfer.rs
+
+crates/handoff/src/lib.rs:
+crates/handoff/src/connectivity.rs:
+crates/handoff/src/db.rs:
+crates/handoff/src/session.rs:
+crates/handoff/src/transfer.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/crowdwifi_handoff-3cf5b1b814d07469.d: crates/handoff/src/lib.rs crates/handoff/src/connectivity.rs crates/handoff/src/db.rs crates/handoff/src/session.rs crates/handoff/src/transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrowdwifi_handoff-3cf5b1b814d07469.rmeta: crates/handoff/src/lib.rs crates/handoff/src/connectivity.rs crates/handoff/src/db.rs crates/handoff/src/session.rs crates/handoff/src/transfer.rs Cargo.toml
+
+crates/handoff/src/lib.rs:
+crates/handoff/src/connectivity.rs:
+crates/handoff/src/db.rs:
+crates/handoff/src/session.rs:
+crates/handoff/src/transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

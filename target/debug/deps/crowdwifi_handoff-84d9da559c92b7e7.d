@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crowdwifi_handoff-84d9da559c92b7e7.d: crates/handoff/src/lib.rs crates/handoff/src/connectivity.rs crates/handoff/src/db.rs crates/handoff/src/session.rs crates/handoff/src/transfer.rs
+
+/root/repo/target/debug/deps/crowdwifi_handoff-84d9da559c92b7e7: crates/handoff/src/lib.rs crates/handoff/src/connectivity.rs crates/handoff/src/db.rs crates/handoff/src/session.rs crates/handoff/src/transfer.rs
+
+crates/handoff/src/lib.rs:
+crates/handoff/src/connectivity.rs:
+crates/handoff/src/db.rs:
+crates/handoff/src/session.rs:
+crates/handoff/src/transfer.rs:

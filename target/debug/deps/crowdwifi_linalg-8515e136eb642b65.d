@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/crowdwifi_linalg-8515e136eb642b65.d: crates/linalg/src/lib.rs crates/linalg/src/cg.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/svd.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/crowdwifi_linalg-8515e136eb642b65: crates/linalg/src/lib.rs crates/linalg/src/cg.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/svd.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/cg.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/svd.rs:
+crates/linalg/src/vector.rs:

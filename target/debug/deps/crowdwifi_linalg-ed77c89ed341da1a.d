@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/crowdwifi_linalg-ed77c89ed341da1a.d: crates/linalg/src/lib.rs crates/linalg/src/cg.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/svd.rs crates/linalg/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrowdwifi_linalg-ed77c89ed341da1a.rmeta: crates/linalg/src/lib.rs crates/linalg/src/cg.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/svd.rs crates/linalg/src/vector.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/cg.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/svd.rs:
+crates/linalg/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

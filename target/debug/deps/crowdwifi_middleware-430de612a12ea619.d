@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/crowdwifi_middleware-430de612a12ea619.d: crates/middleware/src/lib.rs crates/middleware/src/messages.rs crates/middleware/src/platform.rs crates/middleware/src/segment.rs crates/middleware/src/server.rs crates/middleware/src/user.rs crates/middleware/src/vehicle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrowdwifi_middleware-430de612a12ea619.rmeta: crates/middleware/src/lib.rs crates/middleware/src/messages.rs crates/middleware/src/platform.rs crates/middleware/src/segment.rs crates/middleware/src/server.rs crates/middleware/src/user.rs crates/middleware/src/vehicle.rs Cargo.toml
+
+crates/middleware/src/lib.rs:
+crates/middleware/src/messages.rs:
+crates/middleware/src/platform.rs:
+crates/middleware/src/segment.rs:
+crates/middleware/src/server.rs:
+crates/middleware/src/user.rs:
+crates/middleware/src/vehicle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/crowdwifi_middleware-5a68671b1afdb535.d: crates/middleware/src/lib.rs crates/middleware/src/messages.rs crates/middleware/src/platform.rs crates/middleware/src/segment.rs crates/middleware/src/server.rs crates/middleware/src/user.rs crates/middleware/src/vehicle.rs
+
+/root/repo/target/debug/deps/crowdwifi_middleware-5a68671b1afdb535: crates/middleware/src/lib.rs crates/middleware/src/messages.rs crates/middleware/src/platform.rs crates/middleware/src/segment.rs crates/middleware/src/server.rs crates/middleware/src/user.rs crates/middleware/src/vehicle.rs
+
+crates/middleware/src/lib.rs:
+crates/middleware/src/messages.rs:
+crates/middleware/src/platform.rs:
+crates/middleware/src/segment.rs:
+crates/middleware/src/server.rs:
+crates/middleware/src/user.rs:
+crates/middleware/src/vehicle.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/crowdwifi_middleware-70e9b5d91ee1af04.d: crates/middleware/src/lib.rs crates/middleware/src/messages.rs crates/middleware/src/platform.rs crates/middleware/src/segment.rs crates/middleware/src/server.rs crates/middleware/src/user.rs crates/middleware/src/vehicle.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_middleware-70e9b5d91ee1af04.rlib: crates/middleware/src/lib.rs crates/middleware/src/messages.rs crates/middleware/src/platform.rs crates/middleware/src/segment.rs crates/middleware/src/server.rs crates/middleware/src/user.rs crates/middleware/src/vehicle.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_middleware-70e9b5d91ee1af04.rmeta: crates/middleware/src/lib.rs crates/middleware/src/messages.rs crates/middleware/src/platform.rs crates/middleware/src/segment.rs crates/middleware/src/server.rs crates/middleware/src/user.rs crates/middleware/src/vehicle.rs
+
+crates/middleware/src/lib.rs:
+crates/middleware/src/messages.rs:
+crates/middleware/src/platform.rs:
+crates/middleware/src/segment.rs:
+crates/middleware/src/server.rs:
+crates/middleware/src/user.rs:
+crates/middleware/src/vehicle.rs:

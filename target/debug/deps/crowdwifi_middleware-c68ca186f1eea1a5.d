@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/crowdwifi_middleware-c68ca186f1eea1a5.d: crates/middleware/src/lib.rs crates/middleware/src/messages.rs crates/middleware/src/platform.rs crates/middleware/src/segment.rs crates/middleware/src/server.rs crates/middleware/src/user.rs crates/middleware/src/vehicle.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_middleware-c68ca186f1eea1a5.rlib: crates/middleware/src/lib.rs crates/middleware/src/messages.rs crates/middleware/src/platform.rs crates/middleware/src/segment.rs crates/middleware/src/server.rs crates/middleware/src/user.rs crates/middleware/src/vehicle.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_middleware-c68ca186f1eea1a5.rmeta: crates/middleware/src/lib.rs crates/middleware/src/messages.rs crates/middleware/src/platform.rs crates/middleware/src/segment.rs crates/middleware/src/server.rs crates/middleware/src/user.rs crates/middleware/src/vehicle.rs
+
+crates/middleware/src/lib.rs:
+crates/middleware/src/messages.rs:
+crates/middleware/src/platform.rs:
+crates/middleware/src/segment.rs:
+crates/middleware/src/server.rs:
+crates/middleware/src/user.rs:
+crates/middleware/src/vehicle.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/crowdwifi_sparsesolve-0c62323ff7718cd3.d: crates/sparsesolve/src/lib.rs crates/sparsesolve/src/admm.rs crates/sparsesolve/src/any.rs crates/sparsesolve/src/fista.rs crates/sparsesolve/src/irls.rs crates/sparsesolve/src/omp.rs crates/sparsesolve/src/prox.rs crates/sparsesolve/src/workspace.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_sparsesolve-0c62323ff7718cd3.rlib: crates/sparsesolve/src/lib.rs crates/sparsesolve/src/admm.rs crates/sparsesolve/src/any.rs crates/sparsesolve/src/fista.rs crates/sparsesolve/src/irls.rs crates/sparsesolve/src/omp.rs crates/sparsesolve/src/prox.rs crates/sparsesolve/src/workspace.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_sparsesolve-0c62323ff7718cd3.rmeta: crates/sparsesolve/src/lib.rs crates/sparsesolve/src/admm.rs crates/sparsesolve/src/any.rs crates/sparsesolve/src/fista.rs crates/sparsesolve/src/irls.rs crates/sparsesolve/src/omp.rs crates/sparsesolve/src/prox.rs crates/sparsesolve/src/workspace.rs
+
+crates/sparsesolve/src/lib.rs:
+crates/sparsesolve/src/admm.rs:
+crates/sparsesolve/src/any.rs:
+crates/sparsesolve/src/fista.rs:
+crates/sparsesolve/src/irls.rs:
+crates/sparsesolve/src/omp.rs:
+crates/sparsesolve/src/prox.rs:
+crates/sparsesolve/src/workspace.rs:

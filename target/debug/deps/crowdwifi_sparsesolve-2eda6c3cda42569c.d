@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/crowdwifi_sparsesolve-2eda6c3cda42569c.d: crates/sparsesolve/src/lib.rs crates/sparsesolve/src/admm.rs crates/sparsesolve/src/any.rs crates/sparsesolve/src/fista.rs crates/sparsesolve/src/irls.rs crates/sparsesolve/src/omp.rs crates/sparsesolve/src/prox.rs crates/sparsesolve/src/workspace.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_sparsesolve-2eda6c3cda42569c.rlib: crates/sparsesolve/src/lib.rs crates/sparsesolve/src/admm.rs crates/sparsesolve/src/any.rs crates/sparsesolve/src/fista.rs crates/sparsesolve/src/irls.rs crates/sparsesolve/src/omp.rs crates/sparsesolve/src/prox.rs crates/sparsesolve/src/workspace.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_sparsesolve-2eda6c3cda42569c.rmeta: crates/sparsesolve/src/lib.rs crates/sparsesolve/src/admm.rs crates/sparsesolve/src/any.rs crates/sparsesolve/src/fista.rs crates/sparsesolve/src/irls.rs crates/sparsesolve/src/omp.rs crates/sparsesolve/src/prox.rs crates/sparsesolve/src/workspace.rs
+
+crates/sparsesolve/src/lib.rs:
+crates/sparsesolve/src/admm.rs:
+crates/sparsesolve/src/any.rs:
+crates/sparsesolve/src/fista.rs:
+crates/sparsesolve/src/irls.rs:
+crates/sparsesolve/src/omp.rs:
+crates/sparsesolve/src/prox.rs:
+crates/sparsesolve/src/workspace.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/crowdwifi_sparsesolve-4ba216a33a0de81c.d: crates/sparsesolve/src/lib.rs crates/sparsesolve/src/admm.rs crates/sparsesolve/src/any.rs crates/sparsesolve/src/fista.rs crates/sparsesolve/src/irls.rs crates/sparsesolve/src/omp.rs crates/sparsesolve/src/prox.rs crates/sparsesolve/src/workspace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrowdwifi_sparsesolve-4ba216a33a0de81c.rmeta: crates/sparsesolve/src/lib.rs crates/sparsesolve/src/admm.rs crates/sparsesolve/src/any.rs crates/sparsesolve/src/fista.rs crates/sparsesolve/src/irls.rs crates/sparsesolve/src/omp.rs crates/sparsesolve/src/prox.rs crates/sparsesolve/src/workspace.rs Cargo.toml
+
+crates/sparsesolve/src/lib.rs:
+crates/sparsesolve/src/admm.rs:
+crates/sparsesolve/src/any.rs:
+crates/sparsesolve/src/fista.rs:
+crates/sparsesolve/src/irls.rs:
+crates/sparsesolve/src/omp.rs:
+crates/sparsesolve/src/prox.rs:
+crates/sparsesolve/src/workspace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

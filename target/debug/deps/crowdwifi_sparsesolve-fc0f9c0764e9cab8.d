@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/crowdwifi_sparsesolve-fc0f9c0764e9cab8.d: crates/sparsesolve/src/lib.rs crates/sparsesolve/src/admm.rs crates/sparsesolve/src/any.rs crates/sparsesolve/src/fista.rs crates/sparsesolve/src/irls.rs crates/sparsesolve/src/omp.rs crates/sparsesolve/src/prox.rs crates/sparsesolve/src/workspace.rs
+
+/root/repo/target/debug/deps/crowdwifi_sparsesolve-fc0f9c0764e9cab8: crates/sparsesolve/src/lib.rs crates/sparsesolve/src/admm.rs crates/sparsesolve/src/any.rs crates/sparsesolve/src/fista.rs crates/sparsesolve/src/irls.rs crates/sparsesolve/src/omp.rs crates/sparsesolve/src/prox.rs crates/sparsesolve/src/workspace.rs
+
+crates/sparsesolve/src/lib.rs:
+crates/sparsesolve/src/admm.rs:
+crates/sparsesolve/src/any.rs:
+crates/sparsesolve/src/fista.rs:
+crates/sparsesolve/src/irls.rs:
+crates/sparsesolve/src/omp.rs:
+crates/sparsesolve/src/prox.rs:
+crates/sparsesolve/src/workspace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/crowdwifi_vanet_sim-963fc89f4afc0d5f.d: crates/vanet-sim/src/lib.rs crates/vanet-sim/src/ap.rs crates/vanet-sim/src/collector.rs crates/vanet-sim/src/mobility.rs crates/vanet-sim/src/scenario.rs crates/vanet-sim/src/trace_io.rs crates/vanet-sim/src/vanlan.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_vanet_sim-963fc89f4afc0d5f.rlib: crates/vanet-sim/src/lib.rs crates/vanet-sim/src/ap.rs crates/vanet-sim/src/collector.rs crates/vanet-sim/src/mobility.rs crates/vanet-sim/src/scenario.rs crates/vanet-sim/src/trace_io.rs crates/vanet-sim/src/vanlan.rs
+
+/root/repo/target/debug/deps/libcrowdwifi_vanet_sim-963fc89f4afc0d5f.rmeta: crates/vanet-sim/src/lib.rs crates/vanet-sim/src/ap.rs crates/vanet-sim/src/collector.rs crates/vanet-sim/src/mobility.rs crates/vanet-sim/src/scenario.rs crates/vanet-sim/src/trace_io.rs crates/vanet-sim/src/vanlan.rs
+
+crates/vanet-sim/src/lib.rs:
+crates/vanet-sim/src/ap.rs:
+crates/vanet-sim/src/collector.rs:
+crates/vanet-sim/src/mobility.rs:
+crates/vanet-sim/src/scenario.rs:
+crates/vanet-sim/src/trace_io.rs:
+crates/vanet-sim/src/vanlan.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/crowdwifi_vanet_sim-f189b71c3e147f3c.d: crates/vanet-sim/src/lib.rs crates/vanet-sim/src/ap.rs crates/vanet-sim/src/collector.rs crates/vanet-sim/src/mobility.rs crates/vanet-sim/src/scenario.rs crates/vanet-sim/src/trace_io.rs crates/vanet-sim/src/vanlan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrowdwifi_vanet_sim-f189b71c3e147f3c.rmeta: crates/vanet-sim/src/lib.rs crates/vanet-sim/src/ap.rs crates/vanet-sim/src/collector.rs crates/vanet-sim/src/mobility.rs crates/vanet-sim/src/scenario.rs crates/vanet-sim/src/trace_io.rs crates/vanet-sim/src/vanlan.rs Cargo.toml
+
+crates/vanet-sim/src/lib.rs:
+crates/vanet-sim/src/ap.rs:
+crates/vanet-sim/src/collector.rs:
+crates/vanet-sim/src/mobility.rs:
+crates/vanet-sim/src/scenario.rs:
+crates/vanet-sim/src/trace_io.rs:
+crates/vanet-sim/src/vanlan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_uci-7c921e8145627364.d: tests/end_to_end_uci.rs
+
+/root/repo/target/debug/deps/end_to_end_uci-7c921e8145627364: tests/end_to_end_uci.rs
+
+tests/end_to_end_uci.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-44e65eb28fbff715.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-44e65eb28fbff715: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_vanlan-06336eaaebc5e46f.d: crates/bench/src/bin/fig10_vanlan.rs
+
+/root/repo/target/debug/deps/fig10_vanlan-06336eaaebc5e46f: crates/bench/src/bin/fig10_vanlan.rs
+
+crates/bench/src/bin/fig10_vanlan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_vanlan-2f2cfdbd5177f868.d: crates/bench/src/bin/fig10_vanlan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_vanlan-2f2cfdbd5177f868.rmeta: crates/bench/src/bin/fig10_vanlan.rs Cargo.toml
+
+crates/bench/src/bin/fig10_vanlan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_vanlan-a6bf96d89d189f8d.d: crates/bench/src/bin/fig10_vanlan.rs
+
+/root/repo/target/debug/deps/fig10_vanlan-a6bf96d89d189f8d: crates/bench/src/bin/fig10_vanlan.rs
+
+crates/bench/src/bin/fig10_vanlan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_transfers-0567988ba4fa5e8b.d: crates/bench/src/bin/fig11_transfers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_transfers-0567988ba4fa5e8b.rmeta: crates/bench/src/bin/fig11_transfers.rs Cargo.toml
+
+crates/bench/src/bin/fig11_transfers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

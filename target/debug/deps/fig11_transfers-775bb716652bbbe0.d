@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_transfers-775bb716652bbbe0.d: crates/bench/src/bin/fig11_transfers.rs
+
+/root/repo/target/debug/deps/fig11_transfers-775bb716652bbbe0: crates/bench/src/bin/fig11_transfers.rs
+
+crates/bench/src/bin/fig11_transfers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_transfers-78ef8e7e4a08454f.d: crates/bench/src/bin/fig11_transfers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_transfers-78ef8e7e4a08454f.rmeta: crates/bench/src/bin/fig11_transfers.rs Cargo.toml
+
+crates/bench/src/bin/fig11_transfers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

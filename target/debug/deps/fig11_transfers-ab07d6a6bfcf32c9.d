@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_transfers-ab07d6a6bfcf32c9.d: crates/bench/src/bin/fig11_transfers.rs
+
+/root/repo/target/debug/deps/fig11_transfers-ab07d6a6bfcf32c9: crates/bench/src/bin/fig11_transfers.rs
+
+crates/bench/src/bin/fig11_transfers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_trajectory-1ecce9affd57eeee.d: crates/bench/src/bin/fig5_trajectory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_trajectory-1ecce9affd57eeee.rmeta: crates/bench/src/bin/fig5_trajectory.rs Cargo.toml
+
+crates/bench/src/bin/fig5_trajectory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

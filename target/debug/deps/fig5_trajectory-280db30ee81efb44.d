@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_trajectory-280db30ee81efb44.d: crates/bench/src/bin/fig5_trajectory.rs
+
+/root/repo/target/debug/deps/fig5_trajectory-280db30ee81efb44: crates/bench/src/bin/fig5_trajectory.rs
+
+crates/bench/src/bin/fig5_trajectory.rs:

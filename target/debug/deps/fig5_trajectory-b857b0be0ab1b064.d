@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_trajectory-b857b0be0ab1b064.d: crates/bench/src/bin/fig5_trajectory.rs
+
+/root/repo/target/debug/deps/fig5_trajectory-b857b0be0ab1b064: crates/bench/src/bin/fig5_trajectory.rs
+
+crates/bench/src/bin/fig5_trajectory.rs:

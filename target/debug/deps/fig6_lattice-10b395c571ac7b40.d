@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_lattice-10b395c571ac7b40.d: crates/bench/src/bin/fig6_lattice.rs
+
+/root/repo/target/debug/deps/fig6_lattice-10b395c571ac7b40: crates/bench/src/bin/fig6_lattice.rs
+
+crates/bench/src/bin/fig6_lattice.rs:

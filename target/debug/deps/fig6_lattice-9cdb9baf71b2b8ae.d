@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_lattice-9cdb9baf71b2b8ae.d: crates/bench/src/bin/fig6_lattice.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_lattice-9cdb9baf71b2b8ae.rmeta: crates/bench/src/bin/fig6_lattice.rs Cargo.toml
+
+crates/bench/src/bin/fig6_lattice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_lattice-b286391f250db8fa.d: crates/bench/src/bin/fig6_lattice.rs
+
+/root/repo/target/debug/deps/fig6_lattice-b286391f250db8fa: crates/bench/src/bin/fig6_lattice.rs
+
+crates/bench/src/bin/fig6_lattice.rs:

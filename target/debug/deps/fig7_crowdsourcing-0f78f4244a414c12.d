@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_crowdsourcing-0f78f4244a414c12.d: crates/bench/src/bin/fig7_crowdsourcing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_crowdsourcing-0f78f4244a414c12.rmeta: crates/bench/src/bin/fig7_crowdsourcing.rs Cargo.toml
+
+crates/bench/src/bin/fig7_crowdsourcing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_crowdsourcing-112f5461952c894b.d: crates/bench/src/bin/fig7_crowdsourcing.rs
+
+/root/repo/target/debug/deps/fig7_crowdsourcing-112f5461952c894b: crates/bench/src/bin/fig7_crowdsourcing.rs
+
+crates/bench/src/bin/fig7_crowdsourcing.rs:

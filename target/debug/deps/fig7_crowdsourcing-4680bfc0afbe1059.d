@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_crowdsourcing-4680bfc0afbe1059.d: crates/bench/src/bin/fig7_crowdsourcing.rs
+
+/root/repo/target/debug/deps/fig7_crowdsourcing-4680bfc0afbe1059: crates/bench/src/bin/fig7_crowdsourcing.rs
+
+crates/bench/src/bin/fig7_crowdsourcing.rs:

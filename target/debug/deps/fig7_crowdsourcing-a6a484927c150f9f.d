@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_crowdsourcing-a6a484927c150f9f.d: crates/bench/src/bin/fig7_crowdsourcing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_crowdsourcing-a6a484927c150f9f.rmeta: crates/bench/src/bin/fig7_crowdsourcing.rs Cargo.toml
+
+crates/bench/src/bin/fig7_crowdsourcing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

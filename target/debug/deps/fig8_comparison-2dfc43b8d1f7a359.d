@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_comparison-2dfc43b8d1f7a359.d: crates/bench/src/bin/fig8_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_comparison-2dfc43b8d1f7a359.rmeta: crates/bench/src/bin/fig8_comparison.rs Cargo.toml
+
+crates/bench/src/bin/fig8_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

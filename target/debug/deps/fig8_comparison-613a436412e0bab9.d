@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_comparison-613a436412e0bab9.d: crates/bench/src/bin/fig8_comparison.rs
+
+/root/repo/target/debug/deps/fig8_comparison-613a436412e0bab9: crates/bench/src/bin/fig8_comparison.rs
+
+crates/bench/src/bin/fig8_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_comparison-8f02e83efa702567.d: crates/bench/src/bin/fig8_comparison.rs
+
+/root/repo/target/debug/deps/fig8_comparison-8f02e83efa702567: crates/bench/src/bin/fig8_comparison.rs
+
+crates/bench/src/bin/fig8_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_testbed-07357ca0af90b410.d: crates/bench/src/bin/fig9_testbed.rs
+
+/root/repo/target/debug/deps/fig9_testbed-07357ca0af90b410: crates/bench/src/bin/fig9_testbed.rs
+
+crates/bench/src/bin/fig9_testbed.rs:

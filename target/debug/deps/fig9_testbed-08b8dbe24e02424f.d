@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_testbed-08b8dbe24e02424f.d: crates/bench/src/bin/fig9_testbed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_testbed-08b8dbe24e02424f.rmeta: crates/bench/src/bin/fig9_testbed.rs Cargo.toml
+
+crates/bench/src/bin/fig9_testbed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

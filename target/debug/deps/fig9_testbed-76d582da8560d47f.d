@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_testbed-76d582da8560d47f.d: crates/bench/src/bin/fig9_testbed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_testbed-76d582da8560d47f.rmeta: crates/bench/src/bin/fig9_testbed.rs Cargo.toml
+
+crates/bench/src/bin/fig9_testbed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_testbed-bda61fcc6813eca2.d: crates/bench/src/bin/fig9_testbed.rs
+
+/root/repo/target/debug/deps/fig9_testbed-bda61fcc6813eca2: crates/bench/src/bin/fig9_testbed.rs
+
+crates/bench/src/bin/fig9_testbed.rs:

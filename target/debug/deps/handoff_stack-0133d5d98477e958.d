@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/handoff_stack-0133d5d98477e958.d: tests/handoff_stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhandoff_stack-0133d5d98477e958.rmeta: tests/handoff_stack.rs Cargo.toml
+
+tests/handoff_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/handoff_stack-b071bcfb77018acf.d: tests/handoff_stack.rs
+
+/root/repo/target/debug/deps/handoff_stack-b071bcfb77018acf: tests/handoff_stack.rs
+
+tests/handoff_stack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/inference_scaling-a160f07f10225f56.d: crates/bench/benches/inference_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinference_scaling-a160f07f10225f56.rmeta: crates/bench/benches/inference_scaling.rs Cargo.toml
+
+crates/bench/benches/inference_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

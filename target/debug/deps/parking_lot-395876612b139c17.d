@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-395876612b139c17.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-395876612b139c17: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-5b843e509bc22aa2.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-5b843e509bc22aa2.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-5b843e509bc22aa2.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-d43159d351ba9c2f.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-d43159d351ba9c2f.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-d43159d351ba9c2f.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

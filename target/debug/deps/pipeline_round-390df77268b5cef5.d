@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_round-390df77268b5cef5.d: crates/bench/benches/pipeline_round.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_round-390df77268b5cef5.rmeta: crates/bench/benches/pipeline_round.rs Cargo.toml
+
+crates/bench/benches/pipeline_round.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pipeline_throughput-00fe3e18fbb7cbb0.d: crates/bench/src/bin/pipeline_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_throughput-00fe3e18fbb7cbb0.rmeta: crates/bench/src/bin/pipeline_throughput.rs Cargo.toml
+
+crates/bench/src/bin/pipeline_throughput.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pipeline_throughput-6906772cf03217c5.d: crates/bench/src/bin/pipeline_throughput.rs
+
+/root/repo/target/debug/deps/pipeline_throughput-6906772cf03217c5: crates/bench/src/bin/pipeline_throughput.rs
+
+crates/bench/src/bin/pipeline_throughput.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

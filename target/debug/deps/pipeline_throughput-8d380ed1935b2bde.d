@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pipeline_throughput-8d380ed1935b2bde.d: crates/bench/src/bin/pipeline_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_throughput-8d380ed1935b2bde.rmeta: crates/bench/src/bin/pipeline_throughput.rs Cargo.toml
+
+crates/bench/src/bin/pipeline_throughput.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-0d21d837ef2b4ffd.d: crates/channel/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-0d21d837ef2b4ffd.rmeta: crates/channel/tests/properties.rs Cargo.toml
+
+crates/channel/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

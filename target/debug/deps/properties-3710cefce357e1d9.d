@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3710cefce357e1d9.d: crates/handoff/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3710cefce357e1d9: crates/handoff/tests/properties.rs
+
+crates/handoff/tests/properties.rs:

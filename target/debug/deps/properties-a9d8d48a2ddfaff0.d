@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a9d8d48a2ddfaff0.d: crates/baselines/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a9d8d48a2ddfaff0: crates/baselines/tests/properties.rs
+
+crates/baselines/tests/properties.rs:

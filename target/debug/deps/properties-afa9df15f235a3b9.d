@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-afa9df15f235a3b9.d: crates/crowd/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-afa9df15f235a3b9.rmeta: crates/crowd/tests/properties.rs Cargo.toml
+
+crates/crowd/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d5c8b96844c15c8b.d: crates/crowd/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d5c8b96844c15c8b: crates/crowd/tests/properties.rs
+
+crates/crowd/tests/properties.rs:

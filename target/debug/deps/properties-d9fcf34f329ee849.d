@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d9fcf34f329ee849.d: crates/linalg/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d9fcf34f329ee849: crates/linalg/tests/properties.rs
+
+crates/linalg/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-dd44ffa523d26997.d: crates/handoff/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-dd44ffa523d26997.rmeta: crates/handoff/tests/properties.rs Cargo.toml
+
+crates/handoff/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ea0d782f8d469da0.d: crates/channel/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ea0d782f8d469da0: crates/channel/tests/properties.rs
+
+crates/channel/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f18319827e6c1311.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f18319827e6c1311: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

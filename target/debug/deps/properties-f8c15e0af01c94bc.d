@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-f8c15e0af01c94bc.d: crates/geo/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-f8c15e0af01c94bc.rmeta: crates/geo/tests/properties.rs Cargo.toml
+
+crates/geo/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-faeeed97c1557d73.d: crates/geo/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-faeeed97c1557d73: crates/geo/tests/properties.rs
+
+crates/geo/tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-306a7f9a1288c9d3.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-306a7f9a1288c9d3.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-306a7f9a1288c9d3.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

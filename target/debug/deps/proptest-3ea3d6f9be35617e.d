@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-3ea3d6f9be35617e.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3ea3d6f9be35617e.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3ea3d6f9be35617e.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

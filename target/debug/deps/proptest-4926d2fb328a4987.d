@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-4926d2fb328a4987.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-4926d2fb328a4987: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-348da1fb3ad01c0e.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-348da1fb3ad01c0e.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-348da1fb3ad01c0e.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

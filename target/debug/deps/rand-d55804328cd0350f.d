@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-d55804328cd0350f.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-d55804328cd0350f: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

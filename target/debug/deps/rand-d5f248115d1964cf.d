@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-d5f248115d1964cf.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d5f248115d1964cf.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-d5f248115d1964cf.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-80d04deb8bd0c71c.d: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-80d04deb8bd0c71c.rlib: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-80d04deb8bd0c71c.rmeta: shims/rand_chacha/src/lib.rs
+
+shims/rand_chacha/src/lib.rs:

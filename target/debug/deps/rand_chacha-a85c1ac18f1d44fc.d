@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-a85c1ac18f1d44fc.d: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-a85c1ac18f1d44fc.rlib: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-a85c1ac18f1d44fc.rmeta: shims/rand_chacha/src/lib.rs
+
+shims/rand_chacha/src/lib.rs:

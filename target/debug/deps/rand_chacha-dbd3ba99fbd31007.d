@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-dbd3ba99fbd31007.d: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-dbd3ba99fbd31007: shims/rand_chacha/src/lib.rs
+
+shims/rand_chacha/src/lib.rs:

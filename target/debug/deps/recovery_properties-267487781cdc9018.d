@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery_properties-267487781cdc9018.d: crates/sparsesolve/tests/recovery_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery_properties-267487781cdc9018.rmeta: crates/sparsesolve/tests/recovery_properties.rs Cargo.toml
+
+crates/sparsesolve/tests/recovery_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

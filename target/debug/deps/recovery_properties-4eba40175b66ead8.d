@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery_properties-4eba40175b66ead8.d: crates/sparsesolve/tests/recovery_properties.rs
+
+/root/repo/target/debug/deps/recovery_properties-4eba40175b66ead8: crates/sparsesolve/tests/recovery_properties.rs
+
+crates/sparsesolve/tests/recovery_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scratch_sweep-33207dd6ae3fe32c.d: crates/middleware/tests/scratch_sweep.rs
+
+/root/repo/target/debug/deps/scratch_sweep-33207dd6ae3fe32c: crates/middleware/tests/scratch_sweep.rs
+
+crates/middleware/tests/scratch_sweep.rs:

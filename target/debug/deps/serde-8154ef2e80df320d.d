@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-8154ef2e80df320d.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-8154ef2e80df320d: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

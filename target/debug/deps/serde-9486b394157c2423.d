@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-9486b394157c2423.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-9486b394157c2423.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-9486b394157c2423.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

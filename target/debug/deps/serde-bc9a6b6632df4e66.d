@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-bc9a6b6632df4e66.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-bc9a6b6632df4e66.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-bc9a6b6632df4e66.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-5c11ed0703812083.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-5c11ed0703812083.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-7ebc97a085c7246c.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-7ebc97a085c7246c: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

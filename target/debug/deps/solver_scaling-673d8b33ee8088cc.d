@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_scaling-673d8b33ee8088cc.d: crates/bench/benches/solver_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_scaling-673d8b33ee8088cc.rmeta: crates/bench/benches/solver_scaling.rs Cargo.toml
+
+crates/bench/benches/solver_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/campus_drive-f3e6f49e6034572f.d: examples/campus_drive.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcampus_drive-f3e6f49e6034572f.rmeta: examples/campus_drive.rs Cargo.toml
+
+examples/campus_drive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/campus_drive-ffdd3bf2822e697b.d: examples/campus_drive.rs
+
+/root/repo/target/debug/examples/campus_drive-ffdd3bf2822e697b: examples/campus_drive.rs
+
+examples/campus_drive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crowd_platform-9f1975e35d4ecb32.d: examples/crowd_platform.rs
+
+/root/repo/target/debug/examples/crowd_platform-9f1975e35d4ecb32: examples/crowd_platform.rs
+
+examples/crowd_platform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/crowd_platform-be965c7432de8cd3.d: examples/crowd_platform.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcrowd_platform-be965c7432de8cd3.rmeta: examples/crowd_platform.rs Cargo.toml
+
+examples/crowd_platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/handoff_policies-8f258efa17c27ce2.d: examples/handoff_policies.rs
+
+/root/repo/target/debug/examples/handoff_policies-8f258efa17c27ce2: examples/handoff_policies.rs
+
+examples/handoff_policies.rs:

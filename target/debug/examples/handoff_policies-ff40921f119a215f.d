@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/handoff_policies-ff40921f119a215f.d: examples/handoff_policies.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhandoff_policies-ff40921f119a215f.rmeta: examples/handoff_policies.rs Cargo.toml
+
+examples/handoff_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

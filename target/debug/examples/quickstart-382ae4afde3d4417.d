@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-382ae4afde3d4417.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-382ae4afde3d4417: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/replay_trace-0cee3d4ea5361e6d.d: examples/replay_trace.rs
+
+/root/repo/target/debug/examples/replay_trace-0cee3d4ea5361e6d: examples/replay_trace.rs
+
+examples/replay_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/replay_trace-ec68a2ca1bc364b3.d: examples/replay_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreplay_trace-ec68a2ca1bc364b3.rmeta: examples/replay_trace.rs Cargo.toml
+
+examples/replay_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

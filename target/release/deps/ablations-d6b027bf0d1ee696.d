@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-d6b027bf0d1ee696.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-d6b027bf0d1ee696: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crowdwifi-8593c26d640f2ef5.d: src/lib.rs
+
+/root/repo/target/release/deps/libcrowdwifi-8593c26d640f2ef5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcrowdwifi-8593c26d640f2ef5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/crowdwifi_baselines-dcce0973dd97b3f5.d: crates/baselines/src/lib.rs crates/baselines/src/lgmm.rs crates/baselines/src/mds.rs crates/baselines/src/skyhook.rs
+
+/root/repo/target/release/deps/libcrowdwifi_baselines-dcce0973dd97b3f5.rlib: crates/baselines/src/lib.rs crates/baselines/src/lgmm.rs crates/baselines/src/mds.rs crates/baselines/src/skyhook.rs
+
+/root/repo/target/release/deps/libcrowdwifi_baselines-dcce0973dd97b3f5.rmeta: crates/baselines/src/lib.rs crates/baselines/src/lgmm.rs crates/baselines/src/mds.rs crates/baselines/src/skyhook.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lgmm.rs:
+crates/baselines/src/mds.rs:
+crates/baselines/src/skyhook.rs:

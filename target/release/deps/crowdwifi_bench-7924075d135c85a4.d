@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crowdwifi_bench-7924075d135c85a4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcrowdwifi_bench-7924075d135c85a4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcrowdwifi_bench-7924075d135c85a4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/crowdwifi_channel-350aff62c3eb0ca8.d: crates/channel/src/lib.rs crates/channel/src/bic.rs crates/channel/src/gmm.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/reading.rs
+
+/root/repo/target/release/deps/libcrowdwifi_channel-350aff62c3eb0ca8.rlib: crates/channel/src/lib.rs crates/channel/src/bic.rs crates/channel/src/gmm.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/reading.rs
+
+/root/repo/target/release/deps/libcrowdwifi_channel-350aff62c3eb0ca8.rmeta: crates/channel/src/lib.rs crates/channel/src/bic.rs crates/channel/src/gmm.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/reading.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/bic.rs:
+crates/channel/src/gmm.rs:
+crates/channel/src/noise.rs:
+crates/channel/src/pathloss.rs:
+crates/channel/src/reading.rs:

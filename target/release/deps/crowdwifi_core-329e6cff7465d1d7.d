@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/crowdwifi_core-329e6cff7465d1d7.d: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/centroid.rs crates/core/src/consolidate.rs crates/core/src/metrics.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/refine.rs crates/core/src/recovery.rs crates/core/src/select.rs crates/core/src/window.rs
+
+/root/repo/target/release/deps/libcrowdwifi_core-329e6cff7465d1d7.rlib: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/centroid.rs crates/core/src/consolidate.rs crates/core/src/metrics.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/refine.rs crates/core/src/recovery.rs crates/core/src/select.rs crates/core/src/window.rs
+
+/root/repo/target/release/deps/libcrowdwifi_core-329e6cff7465d1d7.rmeta: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/centroid.rs crates/core/src/consolidate.rs crates/core/src/metrics.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/refine.rs crates/core/src/recovery.rs crates/core/src/select.rs crates/core/src/window.rs
+
+crates/core/src/lib.rs:
+crates/core/src/assign.rs:
+crates/core/src/centroid.rs:
+crates/core/src/consolidate.rs:
+crates/core/src/metrics.rs:
+crates/core/src/par.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/refine.rs:
+crates/core/src/recovery.rs:
+crates/core/src/select.rs:
+crates/core/src/window.rs:

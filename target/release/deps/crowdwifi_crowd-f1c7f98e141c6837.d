@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/crowdwifi_crowd-f1c7f98e141c6837.d: crates/crowd/src/lib.rs crates/crowd/src/aggregate.rs crates/crowd/src/em.rs crates/crowd/src/fusion.rs crates/crowd/src/graph.rs crates/crowd/src/inference.rs crates/crowd/src/worker.rs
+
+/root/repo/target/release/deps/libcrowdwifi_crowd-f1c7f98e141c6837.rlib: crates/crowd/src/lib.rs crates/crowd/src/aggregate.rs crates/crowd/src/em.rs crates/crowd/src/fusion.rs crates/crowd/src/graph.rs crates/crowd/src/inference.rs crates/crowd/src/worker.rs
+
+/root/repo/target/release/deps/libcrowdwifi_crowd-f1c7f98e141c6837.rmeta: crates/crowd/src/lib.rs crates/crowd/src/aggregate.rs crates/crowd/src/em.rs crates/crowd/src/fusion.rs crates/crowd/src/graph.rs crates/crowd/src/inference.rs crates/crowd/src/worker.rs
+
+crates/crowd/src/lib.rs:
+crates/crowd/src/aggregate.rs:
+crates/crowd/src/em.rs:
+crates/crowd/src/fusion.rs:
+crates/crowd/src/graph.rs:
+crates/crowd/src/inference.rs:
+crates/crowd/src/worker.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/crowdwifi_geo-fe1f30936448b87a.d: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs crates/geo/src/rect.rs crates/geo/src/trajectory.rs
+
+/root/repo/target/release/deps/libcrowdwifi_geo-fe1f30936448b87a.rlib: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs crates/geo/src/rect.rs crates/geo/src/trajectory.rs
+
+/root/repo/target/release/deps/libcrowdwifi_geo-fe1f30936448b87a.rmeta: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs crates/geo/src/rect.rs crates/geo/src/trajectory.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/grid.rs:
+crates/geo/src/point.rs:
+crates/geo/src/rect.rs:
+crates/geo/src/trajectory.rs:

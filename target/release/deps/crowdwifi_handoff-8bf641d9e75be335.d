@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/crowdwifi_handoff-8bf641d9e75be335.d: crates/handoff/src/lib.rs crates/handoff/src/connectivity.rs crates/handoff/src/db.rs crates/handoff/src/session.rs crates/handoff/src/transfer.rs
+
+/root/repo/target/release/deps/libcrowdwifi_handoff-8bf641d9e75be335.rlib: crates/handoff/src/lib.rs crates/handoff/src/connectivity.rs crates/handoff/src/db.rs crates/handoff/src/session.rs crates/handoff/src/transfer.rs
+
+/root/repo/target/release/deps/libcrowdwifi_handoff-8bf641d9e75be335.rmeta: crates/handoff/src/lib.rs crates/handoff/src/connectivity.rs crates/handoff/src/db.rs crates/handoff/src/session.rs crates/handoff/src/transfer.rs
+
+crates/handoff/src/lib.rs:
+crates/handoff/src/connectivity.rs:
+crates/handoff/src/db.rs:
+crates/handoff/src/session.rs:
+crates/handoff/src/transfer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/crowdwifi_linalg-780e386824918401.d: crates/linalg/src/lib.rs crates/linalg/src/cg.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/svd.rs crates/linalg/src/vector.rs
+
+/root/repo/target/release/deps/libcrowdwifi_linalg-780e386824918401.rlib: crates/linalg/src/lib.rs crates/linalg/src/cg.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/svd.rs crates/linalg/src/vector.rs
+
+/root/repo/target/release/deps/libcrowdwifi_linalg-780e386824918401.rmeta: crates/linalg/src/lib.rs crates/linalg/src/cg.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/svd.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/cg.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/svd.rs:
+crates/linalg/src/vector.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/crowdwifi_vanet_sim-c7089708d9fff468.d: crates/vanet-sim/src/lib.rs crates/vanet-sim/src/ap.rs crates/vanet-sim/src/collector.rs crates/vanet-sim/src/mobility.rs crates/vanet-sim/src/scenario.rs crates/vanet-sim/src/trace_io.rs crates/vanet-sim/src/vanlan.rs
+
+/root/repo/target/release/deps/libcrowdwifi_vanet_sim-c7089708d9fff468.rlib: crates/vanet-sim/src/lib.rs crates/vanet-sim/src/ap.rs crates/vanet-sim/src/collector.rs crates/vanet-sim/src/mobility.rs crates/vanet-sim/src/scenario.rs crates/vanet-sim/src/trace_io.rs crates/vanet-sim/src/vanlan.rs
+
+/root/repo/target/release/deps/libcrowdwifi_vanet_sim-c7089708d9fff468.rmeta: crates/vanet-sim/src/lib.rs crates/vanet-sim/src/ap.rs crates/vanet-sim/src/collector.rs crates/vanet-sim/src/mobility.rs crates/vanet-sim/src/scenario.rs crates/vanet-sim/src/trace_io.rs crates/vanet-sim/src/vanlan.rs
+
+crates/vanet-sim/src/lib.rs:
+crates/vanet-sim/src/ap.rs:
+crates/vanet-sim/src/collector.rs:
+crates/vanet-sim/src/mobility.rs:
+crates/vanet-sim/src/scenario.rs:
+crates/vanet-sim/src/trace_io.rs:
+crates/vanet-sim/src/vanlan.rs:

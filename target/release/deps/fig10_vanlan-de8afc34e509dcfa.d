@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_vanlan-de8afc34e509dcfa.d: crates/bench/src/bin/fig10_vanlan.rs
+
+/root/repo/target/release/deps/fig10_vanlan-de8afc34e509dcfa: crates/bench/src/bin/fig10_vanlan.rs
+
+crates/bench/src/bin/fig10_vanlan.rs:

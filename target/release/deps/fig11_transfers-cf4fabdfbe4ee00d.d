@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_transfers-cf4fabdfbe4ee00d.d: crates/bench/src/bin/fig11_transfers.rs
+
+/root/repo/target/release/deps/fig11_transfers-cf4fabdfbe4ee00d: crates/bench/src/bin/fig11_transfers.rs
+
+crates/bench/src/bin/fig11_transfers.rs:

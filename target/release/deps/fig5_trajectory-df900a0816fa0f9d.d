@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_trajectory-df900a0816fa0f9d.d: crates/bench/src/bin/fig5_trajectory.rs
+
+/root/repo/target/release/deps/fig5_trajectory-df900a0816fa0f9d: crates/bench/src/bin/fig5_trajectory.rs
+
+crates/bench/src/bin/fig5_trajectory.rs:

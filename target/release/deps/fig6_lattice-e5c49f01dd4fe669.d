@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_lattice-e5c49f01dd4fe669.d: crates/bench/src/bin/fig6_lattice.rs
+
+/root/repo/target/release/deps/fig6_lattice-e5c49f01dd4fe669: crates/bench/src/bin/fig6_lattice.rs
+
+crates/bench/src/bin/fig6_lattice.rs:

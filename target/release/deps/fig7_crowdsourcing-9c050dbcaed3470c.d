@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_crowdsourcing-9c050dbcaed3470c.d: crates/bench/src/bin/fig7_crowdsourcing.rs
+
+/root/repo/target/release/deps/fig7_crowdsourcing-9c050dbcaed3470c: crates/bench/src/bin/fig7_crowdsourcing.rs
+
+crates/bench/src/bin/fig7_crowdsourcing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_comparison-e8f05444ec81232c.d: crates/bench/src/bin/fig8_comparison.rs
+
+/root/repo/target/release/deps/fig8_comparison-e8f05444ec81232c: crates/bench/src/bin/fig8_comparison.rs
+
+crates/bench/src/bin/fig8_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_testbed-7662abcfc6d1c464.d: crates/bench/src/bin/fig9_testbed.rs
+
+/root/repo/target/release/deps/fig9_testbed-7662abcfc6d1c464: crates/bench/src/bin/fig9_testbed.rs
+
+crates/bench/src/bin/fig9_testbed.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pipeline_throughput-0edd083c71394a1a.d: crates/bench/src/bin/pipeline_throughput.rs
+
+/root/repo/target/release/deps/pipeline_throughput-0edd083c71394a1a: crates/bench/src/bin/pipeline_throughput.rs
+
+crates/bench/src/bin/pipeline_throughput.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-a4c74d2b3848207a.d: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-a4c74d2b3848207a.rlib: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-a4c74d2b3848207a.rmeta: shims/rand_chacha/src/lib.rs
+
+shims/rand_chacha/src/lib.rs:

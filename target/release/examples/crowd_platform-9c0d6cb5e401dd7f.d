@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/crowd_platform-9c0d6cb5e401dd7f.d: examples/crowd_platform.rs
+
+/root/repo/target/release/examples/crowd_platform-9c0d6cb5e401dd7f: examples/crowd_platform.rs
+
+examples/crowd_platform.rs:

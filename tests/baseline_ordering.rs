@@ -9,7 +9,7 @@ use crowdwifi::core::metrics::mean_distance_error;
 use crowdwifi::core::pipeline::{ensemble_run, OnlineCsConfig};
 use crowdwifi::geo::Point;
 use crowdwifi::sim::{RssCollector, Scenario};
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 fn scattered_readings(

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-6d8cbd46506e43f3.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-6d8cbd46506e43f3: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

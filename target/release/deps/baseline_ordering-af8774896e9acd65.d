@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_ordering-af8774896e9acd65.d: tests/baseline_ordering.rs
+
+/root/repo/target/release/deps/baseline_ordering-af8774896e9acd65: tests/baseline_ordering.rs
+
+tests/baseline_ordering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-05584dbd1df0b074.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-05584dbd1df0b074: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

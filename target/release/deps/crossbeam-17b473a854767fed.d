@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-17b473a854767fed.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-17b473a854767fed: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crowdsourcing_round-48d0f174d1cca2f3.d: tests/crowdsourcing_round.rs
+
+/root/repo/target/release/deps/crowdsourcing_round-48d0f174d1cca2f3: tests/crowdsourcing_round.rs
+
+tests/crowdsourcing_round.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crowdwifi-f7a3f0998859079f.d: src/lib.rs
+
+/root/repo/target/release/deps/crowdwifi-f7a3f0998859079f: src/lib.rs
+
+src/lib.rs:

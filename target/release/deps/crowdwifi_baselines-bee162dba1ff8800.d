@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/crowdwifi_baselines-bee162dba1ff8800.d: crates/baselines/src/lib.rs crates/baselines/src/lgmm.rs crates/baselines/src/mds.rs crates/baselines/src/skyhook.rs
+
+/root/repo/target/release/deps/crowdwifi_baselines-bee162dba1ff8800: crates/baselines/src/lib.rs crates/baselines/src/lgmm.rs crates/baselines/src/mds.rs crates/baselines/src/skyhook.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/lgmm.rs:
+crates/baselines/src/mds.rs:
+crates/baselines/src/skyhook.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crowdwifi_bench-0d8fbe3612093a53.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/crowdwifi_bench-0d8fbe3612093a53: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/crowdwifi_channel-8a0401f596a30f0b.d: crates/channel/src/lib.rs crates/channel/src/bic.rs crates/channel/src/gmm.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/reading.rs
+
+/root/repo/target/release/deps/crowdwifi_channel-8a0401f596a30f0b: crates/channel/src/lib.rs crates/channel/src/bic.rs crates/channel/src/gmm.rs crates/channel/src/noise.rs crates/channel/src/pathloss.rs crates/channel/src/reading.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/bic.rs:
+crates/channel/src/gmm.rs:
+crates/channel/src/noise.rs:
+crates/channel/src/pathloss.rs:
+crates/channel/src/reading.rs:

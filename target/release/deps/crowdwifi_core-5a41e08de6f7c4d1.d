@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/crowdwifi_core-5a41e08de6f7c4d1.d: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/centroid.rs crates/core/src/consolidate.rs crates/core/src/metrics.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/refine.rs crates/core/src/recovery.rs crates/core/src/select.rs crates/core/src/window.rs
+
+/root/repo/target/release/deps/crowdwifi_core-5a41e08de6f7c4d1: crates/core/src/lib.rs crates/core/src/assign.rs crates/core/src/centroid.rs crates/core/src/consolidate.rs crates/core/src/metrics.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/refine.rs crates/core/src/recovery.rs crates/core/src/select.rs crates/core/src/window.rs
+
+crates/core/src/lib.rs:
+crates/core/src/assign.rs:
+crates/core/src/centroid.rs:
+crates/core/src/consolidate.rs:
+crates/core/src/metrics.rs:
+crates/core/src/par.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/refine.rs:
+crates/core/src/recovery.rs:
+crates/core/src/select.rs:
+crates/core/src/window.rs:

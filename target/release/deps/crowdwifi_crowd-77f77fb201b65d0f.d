@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/crowdwifi_crowd-77f77fb201b65d0f.d: crates/crowd/src/lib.rs crates/crowd/src/aggregate.rs crates/crowd/src/em.rs crates/crowd/src/fusion.rs crates/crowd/src/graph.rs crates/crowd/src/inference.rs crates/crowd/src/worker.rs
+
+/root/repo/target/release/deps/crowdwifi_crowd-77f77fb201b65d0f: crates/crowd/src/lib.rs crates/crowd/src/aggregate.rs crates/crowd/src/em.rs crates/crowd/src/fusion.rs crates/crowd/src/graph.rs crates/crowd/src/inference.rs crates/crowd/src/worker.rs
+
+crates/crowd/src/lib.rs:
+crates/crowd/src/aggregate.rs:
+crates/crowd/src/em.rs:
+crates/crowd/src/fusion.rs:
+crates/crowd/src/graph.rs:
+crates/crowd/src/inference.rs:
+crates/crowd/src/worker.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/crowdwifi_geo-d9d451324136156d.d: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs crates/geo/src/rect.rs crates/geo/src/trajectory.rs
+
+/root/repo/target/release/deps/crowdwifi_geo-d9d451324136156d: crates/geo/src/lib.rs crates/geo/src/grid.rs crates/geo/src/point.rs crates/geo/src/rect.rs crates/geo/src/trajectory.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/grid.rs:
+crates/geo/src/point.rs:
+crates/geo/src/rect.rs:
+crates/geo/src/trajectory.rs:

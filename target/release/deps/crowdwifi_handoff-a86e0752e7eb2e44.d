@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/crowdwifi_handoff-a86e0752e7eb2e44.d: crates/handoff/src/lib.rs crates/handoff/src/connectivity.rs crates/handoff/src/db.rs crates/handoff/src/session.rs crates/handoff/src/transfer.rs
+
+/root/repo/target/release/deps/crowdwifi_handoff-a86e0752e7eb2e44: crates/handoff/src/lib.rs crates/handoff/src/connectivity.rs crates/handoff/src/db.rs crates/handoff/src/session.rs crates/handoff/src/transfer.rs
+
+crates/handoff/src/lib.rs:
+crates/handoff/src/connectivity.rs:
+crates/handoff/src/db.rs:
+crates/handoff/src/session.rs:
+crates/handoff/src/transfer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/crowdwifi_linalg-611ffb224200dfe8.d: crates/linalg/src/lib.rs crates/linalg/src/cg.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/svd.rs crates/linalg/src/vector.rs
+
+/root/repo/target/release/deps/crowdwifi_linalg-611ffb224200dfe8: crates/linalg/src/lib.rs crates/linalg/src/cg.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/solve.rs crates/linalg/src/svd.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/cg.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/svd.rs:
+crates/linalg/src/vector.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/crowdwifi_middleware-f2a179e1acca33a7.d: crates/middleware/src/lib.rs crates/middleware/src/messages.rs crates/middleware/src/platform.rs crates/middleware/src/segment.rs crates/middleware/src/server.rs crates/middleware/src/user.rs crates/middleware/src/vehicle.rs
+
+/root/repo/target/release/deps/crowdwifi_middleware-f2a179e1acca33a7: crates/middleware/src/lib.rs crates/middleware/src/messages.rs crates/middleware/src/platform.rs crates/middleware/src/segment.rs crates/middleware/src/server.rs crates/middleware/src/user.rs crates/middleware/src/vehicle.rs
+
+crates/middleware/src/lib.rs:
+crates/middleware/src/messages.rs:
+crates/middleware/src/platform.rs:
+crates/middleware/src/segment.rs:
+crates/middleware/src/server.rs:
+crates/middleware/src/user.rs:
+crates/middleware/src/vehicle.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/crowdwifi_sparsesolve-3dfe5e1237cccf0a.d: crates/sparsesolve/src/lib.rs crates/sparsesolve/src/admm.rs crates/sparsesolve/src/any.rs crates/sparsesolve/src/fista.rs crates/sparsesolve/src/irls.rs crates/sparsesolve/src/omp.rs crates/sparsesolve/src/prox.rs crates/sparsesolve/src/workspace.rs
+
+/root/repo/target/release/deps/crowdwifi_sparsesolve-3dfe5e1237cccf0a: crates/sparsesolve/src/lib.rs crates/sparsesolve/src/admm.rs crates/sparsesolve/src/any.rs crates/sparsesolve/src/fista.rs crates/sparsesolve/src/irls.rs crates/sparsesolve/src/omp.rs crates/sparsesolve/src/prox.rs crates/sparsesolve/src/workspace.rs
+
+crates/sparsesolve/src/lib.rs:
+crates/sparsesolve/src/admm.rs:
+crates/sparsesolve/src/any.rs:
+crates/sparsesolve/src/fista.rs:
+crates/sparsesolve/src/irls.rs:
+crates/sparsesolve/src/omp.rs:
+crates/sparsesolve/src/prox.rs:
+crates/sparsesolve/src/workspace.rs:

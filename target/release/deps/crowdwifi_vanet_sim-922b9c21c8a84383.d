@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/crowdwifi_vanet_sim-922b9c21c8a84383.d: crates/vanet-sim/src/lib.rs crates/vanet-sim/src/ap.rs crates/vanet-sim/src/collector.rs crates/vanet-sim/src/mobility.rs crates/vanet-sim/src/scenario.rs crates/vanet-sim/src/trace_io.rs crates/vanet-sim/src/vanlan.rs
+
+/root/repo/target/release/deps/crowdwifi_vanet_sim-922b9c21c8a84383: crates/vanet-sim/src/lib.rs crates/vanet-sim/src/ap.rs crates/vanet-sim/src/collector.rs crates/vanet-sim/src/mobility.rs crates/vanet-sim/src/scenario.rs crates/vanet-sim/src/trace_io.rs crates/vanet-sim/src/vanlan.rs
+
+crates/vanet-sim/src/lib.rs:
+crates/vanet-sim/src/ap.rs:
+crates/vanet-sim/src/collector.rs:
+crates/vanet-sim/src/mobility.rs:
+crates/vanet-sim/src/scenario.rs:
+crates/vanet-sim/src/trace_io.rs:
+crates/vanet-sim/src/vanlan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_uci-accb27f57ecd2ff4.d: tests/end_to_end_uci.rs
+
+/root/repo/target/release/deps/end_to_end_uci-accb27f57ecd2ff4: tests/end_to_end_uci.rs
+
+tests/end_to_end_uci.rs:

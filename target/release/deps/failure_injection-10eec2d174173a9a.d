@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-10eec2d174173a9a.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-10eec2d174173a9a: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_vanlan-90a16793e5928df3.d: crates/bench/src/bin/fig10_vanlan.rs
+
+/root/repo/target/release/deps/fig10_vanlan-90a16793e5928df3: crates/bench/src/bin/fig10_vanlan.rs
+
+crates/bench/src/bin/fig10_vanlan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_transfers-120899e89a06be46.d: crates/bench/src/bin/fig11_transfers.rs
+
+/root/repo/target/release/deps/fig11_transfers-120899e89a06be46: crates/bench/src/bin/fig11_transfers.rs
+
+crates/bench/src/bin/fig11_transfers.rs:

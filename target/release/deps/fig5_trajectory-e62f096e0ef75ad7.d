@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_trajectory-e62f096e0ef75ad7.d: crates/bench/src/bin/fig5_trajectory.rs
+
+/root/repo/target/release/deps/fig5_trajectory-e62f096e0ef75ad7: crates/bench/src/bin/fig5_trajectory.rs
+
+crates/bench/src/bin/fig5_trajectory.rs:

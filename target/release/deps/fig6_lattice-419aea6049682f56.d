@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_lattice-419aea6049682f56.d: crates/bench/src/bin/fig6_lattice.rs
+
+/root/repo/target/release/deps/fig6_lattice-419aea6049682f56: crates/bench/src/bin/fig6_lattice.rs
+
+crates/bench/src/bin/fig6_lattice.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_crowdsourcing-0fab613493825c2f.d: crates/bench/src/bin/fig7_crowdsourcing.rs
+
+/root/repo/target/release/deps/fig7_crowdsourcing-0fab613493825c2f: crates/bench/src/bin/fig7_crowdsourcing.rs
+
+crates/bench/src/bin/fig7_crowdsourcing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_comparison-9e5f867e529e2e97.d: crates/bench/src/bin/fig8_comparison.rs
+
+/root/repo/target/release/deps/fig8_comparison-9e5f867e529e2e97: crates/bench/src/bin/fig8_comparison.rs
+
+crates/bench/src/bin/fig8_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_testbed-9952e9e6844bbd1e.d: crates/bench/src/bin/fig9_testbed.rs
+
+/root/repo/target/release/deps/fig9_testbed-9952e9e6844bbd1e: crates/bench/src/bin/fig9_testbed.rs
+
+crates/bench/src/bin/fig9_testbed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/handoff_stack-055f1ab0c6a9ccc3.d: tests/handoff_stack.rs
+
+/root/repo/target/release/deps/handoff_stack-055f1ab0c6a9ccc3: tests/handoff_stack.rs
+
+tests/handoff_stack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-1b577e18c8b339d5.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-1b577e18c8b339d5: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pipeline_throughput-6d4dc47adfe1dd75.d: crates/bench/src/bin/pipeline_throughput.rs
+
+/root/repo/target/release/deps/pipeline_throughput-6d4dc47adfe1dd75: crates/bench/src/bin/pipeline_throughput.rs
+
+crates/bench/src/bin/pipeline_throughput.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-28e935b67793536c.d: crates/geo/tests/properties.rs
+
+/root/repo/target/release/deps/properties-28e935b67793536c: crates/geo/tests/properties.rs
+
+crates/geo/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-2c39dfdc4acff97e.d: crates/handoff/tests/properties.rs
+
+/root/repo/target/release/deps/properties-2c39dfdc4acff97e: crates/handoff/tests/properties.rs
+
+crates/handoff/tests/properties.rs:

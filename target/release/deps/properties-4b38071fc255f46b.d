@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-4b38071fc255f46b.d: crates/linalg/tests/properties.rs
+
+/root/repo/target/release/deps/properties-4b38071fc255f46b: crates/linalg/tests/properties.rs
+
+crates/linalg/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-5c4407ba6994c123.d: crates/channel/tests/properties.rs
+
+/root/repo/target/release/deps/properties-5c4407ba6994c123: crates/channel/tests/properties.rs
+
+crates/channel/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-6d63f6e71fc91b1f.d: crates/crowd/tests/properties.rs
+
+/root/repo/target/release/deps/properties-6d63f6e71fc91b1f: crates/crowd/tests/properties.rs
+
+crates/crowd/tests/properties.rs:

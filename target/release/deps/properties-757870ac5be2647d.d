@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-757870ac5be2647d.d: crates/baselines/tests/properties.rs
+
+/root/repo/target/release/deps/properties-757870ac5be2647d: crates/baselines/tests/properties.rs
+
+crates/baselines/tests/properties.rs:

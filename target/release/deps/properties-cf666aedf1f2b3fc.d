@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-cf666aedf1f2b3fc.d: crates/core/tests/properties.rs
+
+/root/repo/target/release/deps/properties-cf666aedf1f2b3fc: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

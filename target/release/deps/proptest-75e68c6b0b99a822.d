@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-75e68c6b0b99a822.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-75e68c6b0b99a822: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-564e47c571070cfb.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-564e47c571070cfb: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

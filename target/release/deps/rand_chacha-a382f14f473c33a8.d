@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_chacha-a382f14f473c33a8.d: shims/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/rand_chacha-a382f14f473c33a8: shims/rand_chacha/src/lib.rs
+
+shims/rand_chacha/src/lib.rs:

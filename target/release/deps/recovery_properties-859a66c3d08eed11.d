@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/recovery_properties-859a66c3d08eed11.d: crates/sparsesolve/tests/recovery_properties.rs
+
+/root/repo/target/release/deps/recovery_properties-859a66c3d08eed11: crates/sparsesolve/tests/recovery_properties.rs
+
+crates/sparsesolve/tests/recovery_properties.rs:

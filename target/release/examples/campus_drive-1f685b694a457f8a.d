@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/campus_drive-1f685b694a457f8a.d: examples/campus_drive.rs
+
+/root/repo/target/release/examples/campus_drive-1f685b694a457f8a: examples/campus_drive.rs
+
+examples/campus_drive.rs:

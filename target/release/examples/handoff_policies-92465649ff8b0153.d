@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/handoff_policies-92465649ff8b0153.d: examples/handoff_policies.rs
+
+/root/repo/target/release/examples/handoff_policies-92465649ff8b0153: examples/handoff_policies.rs
+
+examples/handoff_policies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-86a2508b18c92b88.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-86a2508b18c92b88: examples/quickstart.rs
+
+examples/quickstart.rs:

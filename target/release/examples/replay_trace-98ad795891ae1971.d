@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/replay_trace-98ad795891ae1971.d: examples/replay_trace.rs
+
+/root/repo/target/release/examples/replay_trace-98ad795891ae1971: examples/replay_trace.rs
+
+examples/replay_trace.rs:

@@ -1,0 +1,404 @@
+//! Deterministic fault injection for the threaded platform.
+//!
+//! Crowdsensing lives or dies on its tolerance of unreliable
+//! participants (§5.3–§5.5): vehicles crash mid-drive, cellular links
+//! drop and reorder packets, and stragglers hold a round hostage. This
+//! module wraps the platform's channels in a seeded fault layer so all
+//! of those failures can be *injected on schedule and replayed
+//! byte-for-byte*:
+//!
+//! * [`FaultPlan`] describes link-level noise (drop / duplicate / delay
+//!   probabilities) and per-vehicle misbehavior (silent crash or
+//!   permanent stall at a chosen protocol point);
+//! * [`FaultySender`] wraps a channel sender and applies the plan's
+//!   noise with a per-link [`ChaCha8Rng`], keyed by the plan seed, the
+//!   vehicle id and the link direction — so two runs with the same plan
+//!   produce the same message-level fault sequence regardless of thread
+//!   scheduling.
+//!
+//! A default ([`FaultPlan::none`]) plan is perfectly transparent: no
+//! extra RNG draws, no reordering, zero overhead on the healthy path.
+
+use crate::messages::VehicleId;
+use crate::{MiddlewareError, Result};
+use crossbeam::channel::{SendError, Sender};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+
+/// Protocol points at which a scheduled vehicle fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultPoint {
+    /// Before the vehicle runs its estimator.
+    Sense,
+    /// After sensing, before the coarse upload is sent.
+    Upload,
+    /// Upon receiving the first task assignment, before answering.
+    Answer,
+}
+
+/// Scheduled misbehavior of one vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Misbehavior {
+    /// The vehicle thread exits silently — no `Failed` report, no
+    /// upload, nothing. The server only notices via its deadline.
+    Crash(FaultPoint),
+    /// The vehicle stops responding but keeps draining its inbox until
+    /// the server hangs up (a straggler past every deadline).
+    Stall(FaultPoint),
+}
+
+impl Misbehavior {
+    /// The protocol point at which this misbehavior fires.
+    pub fn point(&self) -> FaultPoint {
+        match self {
+            Misbehavior::Crash(p) | Misbehavior::Stall(p) => *p,
+        }
+    }
+}
+
+/// Direction of a platform link, used to key per-link RNG streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDirection {
+    /// Vehicle → server uplink.
+    ToServer,
+    /// Server → vehicle downlink.
+    ToVehicle,
+}
+
+/// A replayable fault schedule for one platform round.
+///
+/// All probabilities are per-message; `drop + duplicate + delay` must
+/// not exceed 1. Vehicle misbehaviors fire once, at their scheduled
+/// [`FaultPoint`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault layer's own RNG streams (independent of the
+    /// platform seed, so the same drive can be replayed under different
+    /// weather).
+    pub seed: u64,
+    /// Probability that a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability that a message is delivered twice.
+    pub duplicate_prob: f64,
+    /// Probability that a message is held back and delivered after up
+    /// to [`FaultPlan::max_delay`] later messages on the same link
+    /// (reordering).
+    pub delay_prob: f64,
+    /// Maximum number of later messages a delayed message lets pass.
+    pub max_delay: usize,
+    vehicle_faults: BTreeMap<VehicleId, Misbehavior>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: fully transparent links, no misbehavior.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay: 2,
+            vehicle_faults: BTreeMap::new(),
+        }
+    }
+
+    /// A plan with message-level noise only, seeded for replay.
+    pub fn noisy(seed: u64, drop_prob: f64, duplicate_prob: f64, delay_prob: f64) -> Self {
+        FaultPlan {
+            seed,
+            drop_prob,
+            duplicate_prob,
+            delay_prob,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Schedules a silent crash for `vehicle` at `point`.
+    pub fn crash(mut self, vehicle: VehicleId, point: FaultPoint) -> Self {
+        self.vehicle_faults.insert(vehicle, Misbehavior::Crash(point));
+        self
+    }
+
+    /// Schedules a permanent stall for `vehicle` at `point`.
+    pub fn stall(mut self, vehicle: VehicleId, point: FaultPoint) -> Self {
+        self.vehicle_faults.insert(vehicle, Misbehavior::Stall(point));
+        self
+    }
+
+    /// The misbehavior scheduled for `vehicle`, if any.
+    pub fn misbehavior(&self, vehicle: VehicleId) -> Option<Misbehavior> {
+        self.vehicle_faults.get(&vehicle).copied()
+    }
+
+    /// Whether the plan perturbs messages at all.
+    pub fn is_noisy(&self) -> bool {
+        self.drop_prob > 0.0 || self.duplicate_prob > 0.0 || self.delay_prob > 0.0
+    }
+
+    /// Checks the plan's probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::InvalidConfig`] when any probability
+    /// is outside `[0, 1]`, non-finite, or their sum exceeds 1.
+    pub fn validate(&self) -> Result<()> {
+        let probs = [
+            ("drop_prob", self.drop_prob),
+            ("duplicate_prob", self.duplicate_prob),
+            ("delay_prob", self.delay_prob),
+        ];
+        for (name, p) in probs {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(MiddlewareError::InvalidConfig(format!(
+                    "fault plan {name} must lie in [0, 1], got {p}"
+                )));
+            }
+        }
+        let total = self.drop_prob + self.duplicate_prob + self.delay_prob;
+        if total > 1.0 {
+            return Err(MiddlewareError::InvalidConfig(format!(
+                "fault plan probabilities sum to {total} > 1"
+            )));
+        }
+        if self.delay_prob > 0.0 && self.max_delay == 0 {
+            return Err(MiddlewareError::InvalidConfig(
+                "delay_prob > 0 requires max_delay >= 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Wraps a sender in this plan's noise for one link. Noiseless
+    /// plans produce a zero-overhead pass-through.
+    pub fn sender<T: Clone>(
+        &self,
+        tx: Sender<T>,
+        vehicle: VehicleId,
+        direction: LinkDirection,
+    ) -> FaultySender<T> {
+        let noise = if self.is_noisy() {
+            Some(LinkNoise {
+                rng: ChaCha8Rng::seed_from_u64(link_seed(self.seed, vehicle, direction)),
+                drop_prob: self.drop_prob,
+                duplicate_prob: self.duplicate_prob,
+                delay_prob: self.delay_prob,
+                max_delay: self.max_delay.max(1),
+                held: Vec::new(),
+            })
+        } else {
+            None
+        };
+        FaultySender { tx, noise }
+    }
+}
+
+/// Derives a per-link seed from the plan seed, vehicle and direction
+/// (splitmix64 finalizer — avalanches even adjacent vehicle ids).
+fn link_seed(seed: u64, vehicle: VehicleId, direction: LinkDirection) -> u64 {
+    let dir = match direction {
+        LinkDirection::ToServer => 0u64,
+        LinkDirection::ToVehicle => 1u64,
+    };
+    let mut z = seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(vehicle.0) * 2 + dir + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+struct LinkNoise<T> {
+    rng: ChaCha8Rng,
+    drop_prob: f64,
+    duplicate_prob: f64,
+    delay_prob: f64,
+    max_delay: usize,
+    /// Delayed messages: `(sends still to let pass, message)`.
+    held: Vec<(usize, T)>,
+}
+
+/// A channel sender that applies a seeded fault schedule: messages may
+/// be dropped, duplicated, or held back past later sends. With no noise
+/// configured it is a plain pass-through. Held messages are flushed in
+/// order when their countdown expires and, last-resort, when the sender
+/// is dropped (in-flight packets still land after the sender hangs up).
+pub struct FaultySender<T> {
+    tx: Sender<T>,
+    noise: Option<LinkNoise<T>>,
+}
+
+impl<T: Clone> FaultySender<T> {
+    /// Sends `msg` through the fault layer. Returns `Err` only when the
+    /// underlying channel is disconnected; injected drops report `Ok`
+    /// (the sender cannot tell its packet was lost — that is the
+    /// point).
+    pub fn send(&mut self, msg: T) -> std::result::Result<(), SendError<T>> {
+        let Some(noise) = self.noise.as_mut() else {
+            return self.tx.send(msg);
+        };
+        // Age held messages; flush, in hold order, those whose countdown
+        // of later sends has expired.
+        let mut still_held = Vec::with_capacity(noise.held.len());
+        for (left, held_msg) in noise.held.drain(..) {
+            if left <= 1 {
+                self.tx.send(held_msg)?;
+            } else {
+                still_held.push((left - 1, held_msg));
+            }
+        }
+        noise.held = still_held;
+
+        let u: f64 = noise.rng.random_range(0.0..1.0);
+        if u < noise.drop_prob {
+            return Ok(());
+        }
+        if u < noise.drop_prob + noise.duplicate_prob {
+            self.tx.send(msg.clone())?;
+            return self.tx.send(msg);
+        }
+        if u < noise.drop_prob + noise.duplicate_prob + noise.delay_prob {
+            let k = noise.rng.random_range(1..=noise.max_delay);
+            noise.held.push((k, msg));
+            return Ok(());
+        }
+        self.tx.send(msg)
+    }
+}
+
+impl<T> Drop for FaultySender<T> {
+    fn drop(&mut self) {
+        if let Some(noise) = self.noise.as_mut() {
+            for (_, msg) in noise.held.drain(..) {
+                let _ = self.tx.send(msg);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel;
+
+    fn drain(rx: &channel::Receiver<u32>) -> Vec<u32> {
+        let mut out = Vec::new();
+        while let Some(v) = rx.try_recv() {
+            out.push(v);
+        }
+        out
+    }
+
+    #[test]
+    fn transparent_plan_passes_everything_through_in_order() {
+        let (tx, rx) = channel::unbounded();
+        let mut s = FaultPlan::none().sender(tx, VehicleId(0), LinkDirection::ToServer);
+        for i in 0..10 {
+            s.send(i).unwrap();
+        }
+        assert_eq!(drain(&rx), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_probability_one_loses_everything() {
+        let (tx, rx) = channel::unbounded();
+        let mut s =
+            FaultPlan::noisy(1, 1.0, 0.0, 0.0).sender(tx, VehicleId(0), LinkDirection::ToServer);
+        for i in 0..10 {
+            s.send(i).unwrap();
+        }
+        drop(s);
+        assert!(drain(&rx).is_empty());
+    }
+
+    #[test]
+    fn duplicate_probability_one_doubles_everything() {
+        let (tx, rx) = channel::unbounded();
+        let mut s =
+            FaultPlan::noisy(1, 0.0, 1.0, 0.0).sender(tx, VehicleId(0), LinkDirection::ToServer);
+        for i in 0..5 {
+            s.send(i).unwrap();
+        }
+        assert_eq!(drain(&rx), vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn delayed_messages_reorder_but_are_never_lost() {
+        let (tx, rx) = channel::unbounded();
+        let mut plan = FaultPlan::noisy(7, 0.0, 0.0, 0.5);
+        plan.max_delay = 2;
+        let mut s = plan.sender(tx, VehicleId(3), LinkDirection::ToVehicle);
+        for i in 0..50 {
+            s.send(i).unwrap();
+        }
+        drop(s); // flush any still-held tail
+        let mut got = drain(&rx);
+        assert_eq!(got.len(), 50, "no message may vanish under delay-only noise");
+        got.sort_unstable();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn same_plan_same_link_is_replayable() {
+        let run = || {
+            let (tx, rx) = channel::unbounded();
+            let mut s = FaultPlan::noisy(42, 0.2, 0.1, 0.2)
+                .sender(tx, VehicleId(1), LinkDirection::ToServer);
+            for i in 0..100 {
+                s.send(i).unwrap();
+            }
+            drop(s);
+            drain(&rx)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn links_get_independent_streams() {
+        assert_ne!(
+            link_seed(0, VehicleId(0), LinkDirection::ToServer),
+            link_seed(0, VehicleId(0), LinkDirection::ToVehicle)
+        );
+        assert_ne!(
+            link_seed(0, VehicleId(0), LinkDirection::ToServer),
+            link_seed(0, VehicleId(1), LinkDirection::ToServer)
+        );
+    }
+
+    #[test]
+    fn plan_validation_rejects_nonsense() {
+        assert!(FaultPlan::noisy(0, 1.1, 0.0, 0.0).validate().is_err());
+        assert!(FaultPlan::noisy(0, 0.6, 0.6, 0.0).validate().is_err());
+        assert!(FaultPlan::noisy(0, -0.1, 0.0, 0.0).validate().is_err());
+        let mut bad_delay = FaultPlan::noisy(0, 0.0, 0.0, 0.5);
+        bad_delay.max_delay = 0;
+        assert!(bad_delay.validate().is_err());
+        assert!(FaultPlan::none().validate().is_ok());
+        assert!(FaultPlan::noisy(0, 0.3, 0.3, 0.3).validate().is_ok());
+    }
+
+    #[test]
+    fn misbehavior_schedule_round_trips() {
+        let plan = FaultPlan::none()
+            .crash(VehicleId(1), FaultPoint::Upload)
+            .stall(VehicleId(2), FaultPoint::Answer);
+        assert_eq!(
+            plan.misbehavior(VehicleId(1)),
+            Some(Misbehavior::Crash(FaultPoint::Upload))
+        );
+        assert_eq!(
+            plan.misbehavior(VehicleId(2)),
+            Some(Misbehavior::Stall(FaultPoint::Answer))
+        );
+        assert_eq!(plan.misbehavior(VehicleId(0)), None);
+        assert_eq!(
+            Misbehavior::Stall(FaultPoint::Answer).point(),
+            FaultPoint::Answer
+        );
+    }
+}

@@ -16,6 +16,10 @@
 //!
 //! [`platform`] runs the whole loop across threads connected by
 //! channels — the in-process stand-in for the paper's web platform.
+//! Rounds are fault-tolerant: per-vehicle deadlines with bounded
+//! retries, reassignment of tasks orphaned by dead vehicles, and
+//! quorum-based degraded completion. [`fault`] injects deterministic,
+//! seeded message and vehicle faults for replayable chaos testing.
 //!
 //! # Example
 //!
@@ -24,6 +28,7 @@
 
 #![deny(missing_docs)]
 
+pub mod fault;
 pub mod messages;
 pub mod platform;
 pub mod segment;
@@ -46,6 +51,16 @@ pub enum MiddlewareError {
     Estimator(String),
     /// Crowdsourcing failure.
     Crowd(String),
+    /// Too few vehicles survived the round to meet the completion
+    /// quorum: `alive` out of `total` finished, `required` were needed.
+    QuorumLost {
+        /// Vehicles that completed the round.
+        alive: usize,
+        /// Minimum completions the quorum demanded.
+        required: usize,
+        /// Fleet size at round start.
+        total: usize,
+    },
 }
 
 impl std::fmt::Display for MiddlewareError {
@@ -55,6 +70,14 @@ impl std::fmt::Display for MiddlewareError {
             MiddlewareError::InvalidConfig(why) => write!(f, "invalid config: {why}"),
             MiddlewareError::Estimator(e) => write!(f, "estimator failure: {e}"),
             MiddlewareError::Crowd(e) => write!(f, "crowdsourcing failure: {e}"),
+            MiddlewareError::QuorumLost {
+                alive,
+                required,
+                total,
+            } => write!(
+                f,
+                "round quorum lost: {alive}/{total} vehicles completed, {required} required"
+            ),
         }
     }
 }

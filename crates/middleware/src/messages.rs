@@ -72,10 +72,20 @@ pub enum ToServer {
 /// Messages from the server to a vehicle.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ToVehicle {
-    /// Mapping tasks to label.
+    /// Mapping tasks to label. Sent once per assignment wave: the
+    /// initial assignment, deadline-expiry retries (same tasks again),
+    /// and reassignment of tasks orphaned by a dead vehicle all arrive
+    /// as further `Assign` batches.
     Assign(Vec<MappingTask>),
+    /// The server never saw the vehicle's upload (lost or late): please
+    /// resend it.
+    RequestUpload,
     /// End of the crowdsourcing round.
     Done,
+    /// The server abandoned the round for the given reason (quorum
+    /// lost, inference failure). Distinguishes a deliberate abort from
+    /// the server just vanishing.
+    Abort(String),
 }
 
 #[cfg(test)]

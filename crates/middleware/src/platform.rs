@@ -1,17 +1,69 @@
 //! The threaded crowdsourcing platform: server and vehicles as
 //! concurrent actors connected by channels (the in-process stand-in for
-//! the web platform of §5.5).
+//! the web platform of §5.5), hardened against unreliable participants.
+//!
+//! The paper's whole premise is that crowd-vehicles cannot be trusted
+//! (§5.3): they spam, they crash, their links drop packets. A round
+//! therefore never hinges on any single vehicle. The server enforces a
+//! per-vehicle **deadline** with bounded retry/backoff in every
+//! collection phase; a vehicle that stays silent past its retries is
+//! marked dead, its orphaned mapping tasks are **reassigned** to the
+//! least-loaded healthy vehicles (preserving (ℓ,γ)-regularity as
+//! closely as the survivors allow), and the round completes in a
+//! [`RoundHealth::Degraded`] state as long as a configurable **quorum**
+//! of the fleet finished. Dead vehicles are penalized in the
+//! reliability prior, so repeat offenders are down-weighted across
+//! rounds exactly like vehicles that label badly.
+//!
+//! Faults are injected — deterministically, from a seeded
+//! [`FaultPlan`] — rather than awaited, so every degraded-round path in
+//! this module is replayable byte-for-byte in tests.
 
-use crate::messages::{ToServer, ToVehicle, VehicleId};
+use crate::fault::{FaultPlan, LinkDirection};
+use crate::messages::{MappingTask, ToServer, ToVehicle, VehicleId};
 use crate::segment::SegmentMap;
 use crate::server::{CrowdServer, RoundOutcome};
-use crate::vehicle::CrowdVehicle;
+use crate::vehicle::{run_protocol, CrowdVehicle, VehicleExit};
 use crate::{MiddlewareError, Result};
-use crossbeam::channel;
+use crossbeam::channel::{self, RecvTimeoutError};
 use crowdwifi_channel::RssReading;
 use crowdwifi_crowd::fusion::FusedAp;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Reliability multiplier applied to vehicles that died mid-round.
+const DEAD_RELIABILITY_FACTOR: f64 = 0.5;
+
+/// Fault-tolerance knobs of the round protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultTolerance {
+    /// How long the server waits for a vehicle's upload or answers
+    /// before retrying.
+    pub deadline: Duration,
+    /// Extra wait added per retry (linear backoff: retry `k` waits
+    /// `deadline + k * retry_backoff`).
+    pub retry_backoff: Duration,
+    /// Retries per vehicle per phase before it is declared dead.
+    pub max_retries: u32,
+    /// Fraction of the fleet (in `(0, 1]`) that must complete the round
+    /// for it to finish — degraded — instead of erroring out with
+    /// [`MiddlewareError::QuorumLost`].
+    pub quorum: f64,
+}
+
+impl Default for FaultTolerance {
+    fn default() -> Self {
+        FaultTolerance {
+            deadline: Duration::from_secs(2),
+            retry_backoff: Duration::from_millis(250),
+            max_retries: 2,
+            quorum: 0.5,
+        }
+    }
+}
 
 /// Configuration of one platform round.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,6 +79,8 @@ pub struct PlatformConfig {
     pub spammer_cutoff: f64,
     /// Base RNG seed; vehicle `i` uses `seed + i + 1`.
     pub seed: u64,
+    /// Deadlines, retries and the completion quorum.
+    pub tolerance: FaultTolerance,
 }
 
 impl Default for PlatformConfig {
@@ -37,8 +91,84 @@ impl Default for PlatformConfig {
             merge_radius: 25.0,
             spammer_cutoff: 0.3,
             seed: 0,
+            tolerance: FaultTolerance::default(),
         }
     }
+}
+
+/// Checks a [`PlatformConfig`] before any thread is spawned, so bad
+/// knobs surface as a typed error instead of a downstream panic or
+/// silently nonsensical round.
+fn validate_config(config: &PlatformConfig) -> Result<()> {
+    let reject = |why: String| Err(MiddlewareError::InvalidConfig(why));
+    if config.workers_per_task == 0 {
+        return reject("workers_per_task must be at least 1".to_string());
+    }
+    if !config.spammer_cutoff.is_finite() || !(0.0..=1.0).contains(&config.spammer_cutoff) {
+        return reject(format!(
+            "spammer_cutoff must lie in [0, 1], got {}",
+            config.spammer_cutoff
+        ));
+    }
+    if !config.merge_radius.is_finite() || config.merge_radius <= 0.0 {
+        return reject(format!(
+            "merge_radius must be positive and finite, got {}",
+            config.merge_radius
+        ));
+    }
+    let t = &config.tolerance;
+    if t.deadline.is_zero() {
+        return reject("tolerance.deadline must be non-zero".to_string());
+    }
+    if !t.quorum.is_finite() || t.quorum <= 0.0 || t.quorum > 1.0 {
+        return reject(format!(
+            "tolerance.quorum must lie in (0, 1], got {}",
+            t.quorum
+        ));
+    }
+    Ok(())
+}
+
+/// Overall health of a finished round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundHealth {
+    /// Every vehicle completed on the first try; full coverage.
+    Complete,
+    /// The round finished, but only after recovery actions: retries,
+    /// vehicle deaths, task reassignment, or lost label slots.
+    Degraded,
+}
+
+/// Protocol phase in which a vehicle was lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundPhase {
+    /// Collecting coarse sensing uploads.
+    Upload,
+    /// Collecting mapping-task answers.
+    Labeling,
+}
+
+/// The server-side verdict on one vehicle's round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VehicleFate {
+    /// Answered everything it was asked.
+    Completed,
+    /// Reported its own failure ([`ToServer::Failed`]) with this reason.
+    Reported(String),
+    /// Went silent and missed its deadline after all retries.
+    TimedOut(RoundPhase),
+    /// Its thread disconnected (with every other outstanding vehicle)
+    /// before responding.
+    Vanished(RoundPhase),
+}
+
+/// Per-vehicle fate plus how many retries it cost the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FateRecord {
+    /// How the server classified the vehicle.
+    pub fate: VehicleFate,
+    /// Deadline-expiry retries spent on this vehicle (both phases).
+    pub retries: u32,
 }
 
 /// Result of a full platform round.
@@ -48,46 +178,27 @@ pub struct PlatformReport {
     pub outcome: RoundOutcome,
     /// The fused fine-grained AP estimates.
     pub fused: Vec<FusedAp>,
+    /// Whether the round needed any recovery action.
+    pub health: RoundHealth,
+    /// Server-side fate of every vehicle in the fleet.
+    pub fates: BTreeMap<VehicleId, FateRecord>,
+    /// Vehicle-side exit classification (how each thread ended).
+    pub exits: BTreeMap<VehicleId, VehicleExit>,
+    /// Mapping tasks moved from dead vehicles to healthy ones.
+    pub reassigned_tasks: usize,
+    /// Label slots that could not be reassigned (coverage lost against
+    /// the intended (ℓ,γ)-regular assignment).
+    pub lost_label_slots: usize,
 }
 
-/// One vehicle's side of the round protocol: sense + upload, then
-/// answer assignments until `Done`.
-///
-/// A closed channel in either direction means the server abandoned the
-/// round (another vehicle failed); that is a clean exit here, not an
-/// error — the server already knows why the round ended.
-fn vehicle_protocol(
-    vehicle: &mut CrowdVehicle,
-    readings: &[RssReading],
-    segments: &SegmentMap,
-    to_server: &channel::Sender<(VehicleId, ToServer)>,
-    rx: &channel::Receiver<ToVehicle>,
-    seed: u64,
-) -> Result<()> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    vehicle.sense(readings)?;
-    if to_server
-        .send((vehicle.id(), ToServer::Upload(vehicle.upload())))
-        .is_err()
-    {
-        return Ok(());
-    }
-    loop {
-        match rx.recv() {
-            Ok(ToVehicle::Assign(tasks)) => {
-                let answers = tasks
-                    .iter()
-                    .map(|t| vehicle.answer(t, segments, &mut rng))
-                    .collect();
-                if to_server
-                    .send((vehicle.id(), ToServer::Answers(answers)))
-                    .is_err()
-                {
-                    return Ok(());
-                }
-            }
-            Ok(ToVehicle::Done) | Err(_) => return Ok(()),
-        }
+impl PlatformReport {
+    /// Vehicles the server declared dead this round.
+    pub fn dead_vehicles(&self) -> Vec<VehicleId> {
+        self.fates
+            .iter()
+            .filter(|(_, r)| r.fate != VehicleFate::Completed)
+            .map(|(&v, _)| v)
+            .collect()
     }
 }
 
@@ -102,172 +213,570 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Server-side handle to one vehicle: the (possibly noisy) downlink
+/// sender plus a receiver clone that keeps the channel open, so sends
+/// to an already-dead vehicle are quietly absorbed instead of erroring.
+struct VehicleLink {
+    tx: crate::fault::FaultySender<ToVehicle>,
+    _keepalive: channel::Receiver<ToVehicle>,
+}
+
+/// Minimum vehicles that must finish for a fleet of `n` under `quorum`.
+fn quorum_required(n: usize, quorum: f64) -> usize {
+    ((quorum * n as f64).ceil() as usize).clamp(1, n)
+}
+
 /// Runs one full crowdsensing round with each vehicle on its own
 /// (scoped) thread: sense → upload → assignment → labeling → inference
-/// → fusion.
-///
-/// `fleet` pairs each vehicle with the RSS readings of its drive.
-/// Vehicle threads are spawned under [`std::thread::scope`], so none
-/// can outlive the round, and each wraps its protocol in
-/// `catch_unwind`: a panic (or estimator error) is reported to the
-/// server as [`ToServer::Failed`], which aborts the round with an error
-/// instead of deadlocking the upload-collection phase waiting on a dead
-/// vehicle.
+/// → fusion. Equivalent to [`run_round_with_faults`] with no injected
+/// faults; real (non-injected) failures are still tolerated the same
+/// way.
 ///
 /// # Errors
 ///
-/// Propagates estimator, assignment and inference failures; panics in
-/// vehicle threads are converted into [`MiddlewareError::Estimator`].
+/// Rejects invalid configurations; fails with
+/// [`MiddlewareError::QuorumLost`] when too few vehicles survive;
+/// propagates assignment and inference failures.
 pub fn run_round(
+    segments: SegmentMap,
+    fleet: Vec<(CrowdVehicle, Vec<RssReading>)>,
+    config: PlatformConfig,
+) -> Result<PlatformReport> {
+    run_round_with_faults(segments, fleet, config, &FaultPlan::none())
+}
+
+/// [`run_round`] under a deterministic, seeded [`FaultPlan`]: message
+/// drops/duplicates/delays on every link and scheduled per-vehicle
+/// crashes or stalls. Two runs with the same fleet, config and plan
+/// produce identical reports.
+///
+/// Vehicle threads are spawned under [`std::thread::scope`], so none
+/// can outlive the round; each wraps its protocol in `catch_unwind`,
+/// reporting panics and estimator errors to the server as
+/// [`ToServer::Failed`]. Silent deaths (injected crashes, dropped
+/// packets) are caught by the server's per-vehicle deadlines instead —
+/// nothing blocks forever.
+///
+/// # Errors
+///
+/// As [`run_round`], plus plan validation failures.
+pub fn run_round_with_faults(
     segments: SegmentMap,
     mut fleet: Vec<(CrowdVehicle, Vec<RssReading>)>,
     config: PlatformConfig,
+    plan: &FaultPlan,
 ) -> Result<PlatformReport> {
+    validate_config(&config)?;
+    plan.validate()?;
     if fleet.is_empty() {
         return Err(MiddlewareError::InvalidConfig("empty fleet".to_string()));
     }
+    {
+        let mut ids = BTreeSet::new();
+        for (vehicle, _) in &fleet {
+            if !ids.insert(vehicle.id()) {
+                return Err(MiddlewareError::InvalidConfig(format!(
+                    "duplicate vehicle id {}",
+                    vehicle.id()
+                )));
+            }
+        }
+    }
+
     // The server itself is only touched by this (the protocol) thread;
     // vehicles talk to it exclusively through channels.
     let mut server = CrowdServer::new(segments.clone());
     let (to_server_tx, to_server_rx) = channel::unbounded::<(VehicleId, ToServer)>();
 
-    // Per-vehicle channels for assignments.
-    let mut vehicle_txs = std::collections::BTreeMap::new();
+    // Per-vehicle downlinks. The server sends through the fault layer;
+    // a keepalive receiver clone stays in the link so sends to vehicles
+    // that already exited are absorbed rather than failing.
+    let mut links: BTreeMap<VehicleId, VehicleLink> = BTreeMap::new();
+    let mut vehicle_rxs: BTreeMap<VehicleId, channel::Receiver<ToVehicle>> = BTreeMap::new();
     for (vehicle, _) in fleet.iter() {
         let (tx, rx) = channel::unbounded::<ToVehicle>();
-        vehicle_txs.insert(vehicle.id(), (tx, rx));
-    }
-    for (vehicle, _) in fleet.iter() {
+        vehicle_rxs.insert(vehicle.id(), rx.clone());
+        links.insert(
+            vehicle.id(),
+            VehicleLink {
+                tx: plan.sender(tx, vehicle.id(), LinkDirection::ToVehicle),
+                _keepalive: rx,
+            },
+        );
         server.register(vehicle.id());
     }
 
-    std::thread::scope(|scope| {
-        // Spawn vehicle workers. Panics are caught and surfaced as
-        // `Failed` protocol messages, so the scope join below never
-        // re-raises and the server loop never blocks on a dead peer.
+    let exits: Mutex<BTreeMap<VehicleId, VehicleExit>> = Mutex::new(BTreeMap::new());
+
+    let server_result = std::thread::scope(|scope| {
         for (i, (mut vehicle, readings)) in fleet.drain(..).enumerate() {
-            let to_server = to_server_tx.clone();
-            let rx = vehicle_txs[&vehicle.id()].1.clone();
-            let segments = &segments;
+            let id = vehicle.id();
+            let mut to_server = plan.sender(to_server_tx.clone(), id, LinkDirection::ToServer);
+            let rx = vehicle_rxs[&id].clone();
+            let script = plan.misbehavior(id);
             let seed = config.seed + i as u64 + 1;
+            let segments = &segments;
+            let exits = &exits;
             scope.spawn(move || {
-                let id = vehicle.id();
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    vehicle_protocol(&mut vehicle, &readings, segments, &to_server, &rx, seed)
+                    run_protocol(
+                        &mut vehicle,
+                        &readings,
+                        segments,
+                        &mut to_server,
+                        &rx,
+                        seed,
+                        script,
+                    )
                 }));
-                let failure = match outcome {
-                    Ok(Ok(())) => return,
-                    Ok(Err(e)) => e.to_string(),
-                    Err(payload) => format!("panic: {}", panic_message(payload)),
+                let exit = match outcome {
+                    Ok(Ok(exit)) => exit,
+                    Ok(Err(e)) => {
+                        let reason = e.to_string();
+                        // Best-effort: the server may already be gone.
+                        let _ = to_server.send((id, ToServer::Failed(reason.clone())));
+                        VehicleExit::Failed(reason)
+                    }
+                    Err(payload) => {
+                        let reason = format!("panic: {}", panic_message(payload));
+                        let _ = to_server.send((id, ToServer::Failed(reason.clone())));
+                        VehicleExit::Failed(reason)
+                    }
                 };
-                // Best-effort: if the server is already gone the round
-                // has failed for another reason.
-                let _ = to_server.send((id, ToServer::Failed(failure)));
+                exits.lock().expect("exit log lock").insert(id, exit);
             });
         }
         drop(to_server_tx);
 
-        let result = run_server_protocol(&mut server, &to_server_rx, &vehicle_txs, config);
+        let result = run_server_protocol(&mut server, &to_server_rx, &mut links, config);
+        if let Err(e) = &result {
+            // Deliberate abandonment: tell every vehicle why, so their
+            // exit logs distinguish "server aborted" from "server
+            // vanished".
+            let reason = e.to_string();
+            for link in links.values_mut() {
+                let _ = link.tx.send(ToVehicle::Abort(reason.clone()));
+            }
+        }
         // Success or failure, release every vehicle before the scope
-        // joins: dropping the assignment senders turns any blocked
-        // `rx.recv()` into a clean disconnect-and-exit.
-        drop(vehicle_txs);
+        // joins: dropping the downlinks turns any blocked `rx.recv()`
+        // into a clean disconnect-and-exit.
+        drop(links);
         result
-    })
+    });
+
+    let mut report = server_result?;
+    report.exits = exits.into_inner().expect("exit log lock");
+    Ok(report)
 }
 
-/// The server's side of one round: the four protocol phases.
+/// Mutable bookkeeping of one round's casualties.
+struct RoundLedger {
+    fates: BTreeMap<VehicleId, FateRecord>,
+    retries: BTreeMap<VehicleId, u32>,
+    dead: BTreeSet<VehicleId>,
+}
+
+impl RoundLedger {
+    fn new() -> Self {
+        RoundLedger {
+            fates: BTreeMap::new(),
+            retries: BTreeMap::new(),
+            dead: BTreeSet::new(),
+        }
+    }
+
+    fn retries_of(&self, v: VehicleId) -> u32 {
+        self.retries.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Declares `v` dead: records its fate and stops assigning it work.
+    fn mark_dead(&mut self, server: &mut CrowdServer, v: VehicleId, fate: VehicleFate) {
+        self.dead.insert(v);
+        server.set_participation(v, false);
+        self.fates.insert(
+            v,
+            FateRecord {
+                fate,
+                retries: self.retries_of(v),
+            },
+        );
+    }
+
+    fn alive(&self, server: &CrowdServer) -> Vec<VehicleId> {
+        server
+            .vehicles()
+            .iter()
+            .copied()
+            .filter(|v| !self.dead.contains(v))
+            .collect()
+    }
+
+    fn check_quorum(&self, server: &CrowdServer, quorum: f64) -> Result<()> {
+        let total = server.vehicles().len();
+        let alive = total - self.dead.len();
+        let required = quorum_required(total, quorum);
+        if alive < required {
+            return Err(MiddlewareError::QuorumLost {
+                alive,
+                required,
+                total,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The server's side of one round: the four protocol phases, each
+/// collection phase guarded by per-vehicle deadlines.
 fn run_server_protocol(
     server: &mut CrowdServer,
     to_server_rx: &channel::Receiver<(VehicleId, ToServer)>,
-    vehicle_txs: &std::collections::BTreeMap<
-        VehicleId,
-        (channel::Sender<ToVehicle>, channel::Receiver<ToVehicle>),
-    >,
+    links: &mut BTreeMap<VehicleId, VehicleLink>,
     config: PlatformConfig,
 ) -> Result<PlatformReport> {
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let n_vehicles = vehicle_txs.len();
-    let vehicle_failed = |id: VehicleId, msg: String| {
-        MiddlewareError::Estimator(format!("{id} failed: {msg}"))
-    };
+    let tolerance = config.tolerance;
+    let mut ledger = RoundLedger::new();
 
-    // Phase 1: collect all uploads.
-    let mut uploads_received = 0;
-    let mut pending = Vec::new();
-    while uploads_received < n_vehicles {
-        let (id, msg) = to_server_rx
-            .recv()
-            .map_err(|_| MiddlewareError::Estimator("vehicle thread died".to_string()))?;
-        match msg {
-            ToServer::Upload(up) => {
-                server.receive_upload(up)?;
-                uploads_received += 1;
-            }
-            ToServer::Failed(m) => return Err(vehicle_failed(id, m)),
-            other => pending.push((id, other)),
-        }
-    }
+    // Phase 1: collect uploads under deadline; silent vehicles are
+    // nudged with `RequestUpload` retries, then declared dead.
+    collect_uploads(server, to_server_rx, links, &mut ledger, &tolerance)?;
+    ledger.check_quorum(server, tolerance.quorum)?;
 
-    // Phase 2: generate patterns and assign mapping tasks.
+    // Phase 2: generate patterns and assign mapping tasks to survivors.
     server.generate_patterns(config.bootstrap_patterns, &mut rng);
-    let assignments = server.assign_tasks(config.workers_per_task.min(n_vehicles), &mut rng)?;
-    let mut expecting_answers = 0;
-    for (&id, (tx, _)) in vehicle_txs {
-        let tasks = assignments.get(&id).cloned().unwrap_or_default();
+    let alive = ledger.alive(server);
+    let assignments = server.assign_tasks(config.workers_per_task.min(alive.len()), &mut rng)?;
+    let mut outstanding: BTreeMap<VehicleId, BTreeSet<usize>> = BTreeMap::new();
+    for &v in &alive {
+        let tasks = assignments.get(&v).cloned().unwrap_or_default();
         if !tasks.is_empty() {
-            expecting_answers += 1;
+            outstanding.insert(v, tasks.iter().map(|t| t.task_id).collect());
         }
-        tx.send(ToVehicle::Assign(tasks)).expect("vehicle alive");
+        let link = links.get_mut(&v).expect("registered vehicle");
+        let _ = link.tx.send(ToVehicle::Assign(tasks));
     }
 
-    // Phase 3: collect answers.
-    let mut answered = 0;
-    for (id, msg) in pending {
-        match msg {
-            ToServer::Answers(ans) => {
-                if !ans.is_empty() {
-                    answered += 1;
-                }
-                server.receive_answers(ans);
-            }
-            ToServer::Failed(m) => return Err(vehicle_failed(id, m)),
-            ToServer::Upload(_) => {}
-        }
-    }
-    while answered < expecting_answers {
-        let (id, msg) = to_server_rx
-            .recv()
-            .map_err(|_| MiddlewareError::Estimator("vehicle thread died".to_string()))?;
-        match msg {
-            ToServer::Answers(ans) => {
-                if !ans.is_empty() {
-                    answered += 1;
-                }
-                // Vehicles with no tasks still report once.
-                server.receive_answers(ans);
-            }
-            ToServer::Failed(m) => return Err(vehicle_failed(id, m)),
-            ToServer::Upload(_) => {}
-        }
-    }
-    for (tx, _) in vehicle_txs.values() {
-        tx.send(ToVehicle::Done).expect("vehicle alive");
+    // Phase 3: collect answers under deadline; tasks orphaned by a dead
+    // vehicle are reassigned to the least-loaded healthy candidates.
+    let (reassigned_tasks, lost_label_slots) =
+        collect_answers(server, to_server_rx, links, &mut ledger, &tolerance, outstanding)?;
+    ledger.check_quorum(server, tolerance.quorum)?;
+    for v in ledger.alive(server) {
+        let link = links.get_mut(&v).expect("registered vehicle");
+        let _ = link.tx.send(ToVehicle::Done);
     }
 
-    // Phase 4: inference + fusion.
-    let outcome = server.infer(&mut rng)?;
+    // Phase 4: inference + fusion. Dead vehicles are penalized in the
+    // reliability prior before fusion weighs their uploads.
+    let mut outcome = server.infer(&mut rng)?;
+    for &v in &ledger.dead {
+        let q = server.penalize(v, DEAD_RELIABILITY_FACTOR);
+        outcome.reliabilities.insert(v, q);
+    }
     let fused = server
         .finalize(config.merge_radius, config.spammer_cutoff)
         .to_vec();
-    Ok(PlatformReport { outcome, fused })
+
+    let total_retries: u32 = ledger.retries.values().sum();
+    let health = if ledger.dead.is_empty()
+        && reassigned_tasks == 0
+        && lost_label_slots == 0
+        && total_retries == 0
+    {
+        RoundHealth::Complete
+    } else {
+        RoundHealth::Degraded
+    };
+    let mut fates = ledger.fates;
+    for v in server.vehicles() {
+        fates.entry(*v).or_insert_with(|| FateRecord {
+            fate: VehicleFate::Completed,
+            retries: ledger.retries.get(v).copied().unwrap_or(0),
+        });
+    }
+    Ok(PlatformReport {
+        outcome,
+        fused,
+        health,
+        fates,
+        exits: BTreeMap::new(), // filled by the caller after the scope joins
+        reassigned_tasks,
+        lost_label_slots,
+    })
+}
+
+/// Phase 1: every vehicle owes one upload. Deadline-expired vehicles
+/// get `RequestUpload` retries with linear backoff, then die.
+fn collect_uploads(
+    server: &mut CrowdServer,
+    rx: &channel::Receiver<(VehicleId, ToServer)>,
+    links: &mut BTreeMap<VehicleId, VehicleLink>,
+    ledger: &mut RoundLedger,
+    tolerance: &FaultTolerance,
+) -> Result<()> {
+    let start = Instant::now();
+    let mut waiting: BTreeMap<VehicleId, Instant> = server
+        .vehicles()
+        .iter()
+        .map(|&v| (v, start + tolerance.deadline))
+        .collect();
+    while !waiting.is_empty() {
+        let now = Instant::now();
+        let expired: Vec<VehicleId> = waiting
+            .iter()
+            .filter(|&(_, &d)| d <= now)
+            .map(|(&v, _)| v)
+            .collect();
+        for v in expired {
+            let spent = ledger.retries.entry(v).or_insert(0);
+            if *spent < tolerance.max_retries {
+                *spent += 1;
+                let extra = tolerance.retry_backoff * *spent;
+                let link = links.get_mut(&v).expect("registered vehicle");
+                let _ = link.tx.send(ToVehicle::RequestUpload);
+                waiting.insert(v, now + tolerance.deadline + extra);
+            } else {
+                ledger.mark_dead(server, v, VehicleFate::TimedOut(RoundPhase::Upload));
+                waiting.remove(&v);
+            }
+        }
+        if waiting.is_empty() {
+            break;
+        }
+        let next = *waiting.values().min().expect("non-empty waiting set");
+        let timeout = next
+            .saturating_duration_since(Instant::now())
+            .max(Duration::from_millis(1));
+        match rx.recv_timeout(timeout) {
+            Ok((id, msg)) => {
+                if ledger.dead.contains(&id) {
+                    continue; // late message from a declared-dead vehicle
+                }
+                match msg {
+                    ToServer::Upload(up) => {
+                        server.receive_upload(up)?;
+                        waiting.remove(&id);
+                    }
+                    ToServer::Failed(m) => {
+                        ledger.mark_dead(server, id, VehicleFate::Reported(m));
+                        waiting.remove(&id);
+                    }
+                    // Answers cannot precede an assignment; a duplicate
+                    // or delayed stray is simply ignored.
+                    ToServer::Answers(_) => {}
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // Every vehicle thread is gone; nobody left to wait for.
+                for v in waiting.keys().copied().collect::<Vec<_>>() {
+                    ledger.mark_dead(server, v, VehicleFate::Vanished(RoundPhase::Upload));
+                }
+                waiting.clear();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Mutable state of the answer-collection phase, grouped so the
+/// reassignment path can be one method instead of a ten-argument
+/// function.
+struct LabelingState {
+    /// Tasks each vehicle still owes, by task id.
+    outstanding: BTreeMap<VehicleId, BTreeSet<usize>>,
+    /// Per-vehicle response deadline.
+    waiting: BTreeMap<VehicleId, Instant>,
+    /// (vehicle, task) pairs already answered, so reassignment never
+    /// hands a task back to a vehicle whose label is already counted.
+    answered: BTreeSet<(VehicleId, usize)>,
+    reassigned: usize,
+    lost: usize,
+}
+
+impl LabelingState {
+    /// Moves the orphaned tasks of dead `v` to healthy candidates: for
+    /// each orphan, the least-loaded survivor that has neither answered
+    /// nor currently holds the task. Unplaceable orphans count as lost
+    /// label slots.
+    fn reassign_orphans(
+        &mut self,
+        server: &CrowdServer,
+        links: &mut BTreeMap<VehicleId, VehicleLink>,
+        ledger: &RoundLedger,
+        tolerance: &FaultTolerance,
+        v: VehicleId,
+    ) {
+        let orphans: Vec<usize> = self
+            .outstanding
+            .remove(&v)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default();
+        self.waiting.remove(&v);
+        if orphans.is_empty() {
+            return;
+        }
+        let alive = ledger.alive(server);
+        let mut batches: BTreeMap<VehicleId, Vec<MappingTask>> = BTreeMap::new();
+        // Per-vehicle load = labels already given + labels still owed;
+        // picking the min keeps the degraded assignment as close to
+        // γ-balanced as the survivors allow.
+        let mut load: BTreeMap<VehicleId, usize> = alive
+            .iter()
+            .map(|&w| {
+                let done = self.answered.iter().filter(|&&(aw, _)| aw == w).count();
+                let owed = self.outstanding.get(&w).map_or(0, |s| s.len());
+                (w, done + owed)
+            })
+            .collect();
+        for task_id in orphans {
+            let candidate = alive
+                .iter()
+                .copied()
+                .filter(|&w| {
+                    !self.answered.contains(&(w, task_id))
+                        && !self
+                            .outstanding
+                            .get(&w)
+                            .is_some_and(|s| s.contains(&task_id))
+                })
+                .min_by_key(|&w| (load[&w], w.0));
+            match candidate {
+                Some(w) => {
+                    self.outstanding.entry(w).or_default().insert(task_id);
+                    *load.get_mut(&w).expect("alive vehicle") += 1;
+                    batches.entry(w).or_default().push(MappingTask {
+                        task_id,
+                        pattern: server.patterns()[task_id].clone(),
+                    });
+                    self.reassigned += 1;
+                }
+                // Every survivor already labeled (or holds) this task:
+                // the label slot is unrecoverable.
+                None => self.lost += 1,
+            }
+        }
+        let now = Instant::now();
+        for (w, tasks) in batches {
+            let link = links.get_mut(&w).expect("registered vehicle");
+            let _ = link.tx.send(ToVehicle::Assign(tasks));
+            self.waiting.insert(w, now + tolerance.deadline);
+        }
+    }
+}
+
+/// Phase 3: collect answers for all outstanding tasks. Deadline-expired
+/// vehicles are re-sent their outstanding tasks, then die; a dead
+/// vehicle's orphans are reassigned to the least-loaded healthy
+/// vehicles that have not already labeled them.
+fn collect_answers(
+    server: &mut CrowdServer,
+    rx: &channel::Receiver<(VehicleId, ToServer)>,
+    links: &mut BTreeMap<VehicleId, VehicleLink>,
+    ledger: &mut RoundLedger,
+    tolerance: &FaultTolerance,
+    outstanding: BTreeMap<VehicleId, BTreeSet<usize>>,
+) -> Result<(usize, usize)> {
+    let start = Instant::now();
+    let waiting: BTreeMap<VehicleId, Instant> = outstanding
+        .keys()
+        .map(|&v| (v, start + tolerance.deadline))
+        .collect();
+    let mut st = LabelingState {
+        outstanding,
+        waiting,
+        answered: BTreeSet::new(),
+        reassigned: 0,
+        lost: 0,
+    };
+
+    while !st.waiting.is_empty() {
+        let now = Instant::now();
+        let expired: Vec<VehicleId> = st
+            .waiting
+            .iter()
+            .filter(|&(_, &d)| d <= now)
+            .map(|(&v, _)| v)
+            .collect();
+        for v in expired {
+            let spent = ledger.retries.entry(v).or_insert(0);
+            if *spent < tolerance.max_retries {
+                *spent += 1;
+                let extra = tolerance.retry_backoff * *spent;
+                let tasks: Vec<MappingTask> = st.outstanding[&v]
+                    .iter()
+                    .map(|&task_id| MappingTask {
+                        task_id,
+                        pattern: server.patterns()[task_id].clone(),
+                    })
+                    .collect();
+                let link = links.get_mut(&v).expect("registered vehicle");
+                let _ = link.tx.send(ToVehicle::Assign(tasks));
+                st.waiting.insert(v, now + tolerance.deadline + extra);
+            } else {
+                ledger.mark_dead(server, v, VehicleFate::TimedOut(RoundPhase::Labeling));
+                st.reassign_orphans(server, links, ledger, tolerance, v);
+            }
+        }
+        if st.waiting.is_empty() {
+            break;
+        }
+        let next = *st.waiting.values().min().expect("non-empty waiting set");
+        let timeout = next
+            .saturating_duration_since(Instant::now())
+            .max(Duration::from_millis(1));
+        match rx.recv_timeout(timeout) {
+            Ok((id, msg)) => {
+                if ledger.dead.contains(&id) {
+                    continue;
+                }
+                match msg {
+                    ToServer::Answers(batch) => {
+                        let Some(owed) = st.outstanding.get_mut(&id) else {
+                            continue; // task-less vehicle or duplicate batch
+                        };
+                        let mut fresh = Vec::with_capacity(batch.len());
+                        for a in batch {
+                            if a.vehicle == id && owed.remove(&a.task_id) {
+                                st.answered.insert((id, a.task_id));
+                                fresh.push(a);
+                            }
+                        }
+                        server.receive_answers(fresh);
+                        if owed.is_empty() {
+                            st.outstanding.remove(&id);
+                            st.waiting.remove(&id);
+                        }
+                    }
+                    ToServer::Failed(m) => {
+                        ledger.mark_dead(server, id, VehicleFate::Reported(m));
+                        st.reassign_orphans(server, links, ledger, tolerance, id);
+                    }
+                    // A delayed or re-requested upload arriving late;
+                    // the first copy already counted.
+                    ToServer::Upload(_) => {}
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                for v in st.waiting.keys().copied().collect::<Vec<_>>() {
+                    ledger.mark_dead(server, v, VehicleFate::Vanished(RoundPhase::Labeling));
+                    st.reassign_orphans(server, links, ledger, tolerance, v);
+                }
+            }
+        }
+    }
+    Ok((st.reassigned, st.lost))
 }
 
 /// Runs several crowdsourcing rounds back-to-back with reliability
 /// smoothing: each round re-senses (fleet drives are per-round),
 /// re-labels and re-infers; the server's per-vehicle reliability is the
 /// EMA across rounds, so a spammer cannot whitewash itself with one
-/// lucky round.
+/// lucky round — and a vehicle that keeps dying mid-round is
+/// down-weighted the same way.
 ///
 /// `rounds` pairs each round with its fleet (vehicle, drive) list; all
 /// rounds share one server.
@@ -281,20 +790,38 @@ pub fn run_campaign(
     config: PlatformConfig,
     smoothing: f64,
 ) -> Result<Vec<PlatformReport>> {
+    run_campaign_with_faults(segments, rounds, config, smoothing, &[])
+}
+
+/// [`run_campaign`] with a per-round [`FaultPlan`] schedule: round `i`
+/// runs under `plans[i]` (or no faults when `plans` is shorter).
+///
+/// # Errors
+///
+/// As [`run_campaign`].
+pub fn run_campaign_with_faults(
+    segments: SegmentMap,
+    rounds: Vec<Vec<(CrowdVehicle, Vec<RssReading>)>>,
+    config: PlatformConfig,
+    smoothing: f64,
+    plans: &[FaultPlan],
+) -> Result<Vec<PlatformReport>> {
     if rounds.is_empty() {
         return Err(MiddlewareError::InvalidConfig("no rounds".to_string()));
     }
+    let none = FaultPlan::none();
     // The shared server lives across rounds; each round otherwise runs
     // the standard protocol. (`run_round` owns its server, so the
     // campaign re-applies the EMA manually from round to round.)
     let mut reports: Vec<PlatformReport> = Vec::new();
-    let mut long_run: std::collections::BTreeMap<VehicleId, f64> = std::collections::BTreeMap::new();
+    let mut long_run: BTreeMap<VehicleId, f64> = BTreeMap::new();
     for (i, fleet) in rounds.into_iter().enumerate() {
         let round_config = PlatformConfig {
             seed: config.seed + i as u64 * 1000,
             ..config
         };
-        let mut report = run_round(segments.clone(), fleet, round_config)?;
+        let plan = plans.get(i).unwrap_or(&none);
+        let mut report = run_round_with_faults(segments.clone(), fleet, round_config, plan)?;
         for (vehicle, q) in report.outcome.reliabilities.iter_mut() {
             let prev = long_run.get(vehicle).copied().unwrap_or(0.5);
             *q = smoothing * *q + (1.0 - smoothing) * prev;
@@ -308,6 +835,7 @@ pub fn run_campaign(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPoint;
     use crate::vehicle::Behavior;
     use crowdwifi_channel::PathLossModel;
     use crowdwifi_core::{OnlineCs, OnlineCsConfig};
@@ -332,36 +860,64 @@ mod tests {
             .collect()
     }
 
-    #[test]
-    fn full_round_with_spammers_converges_to_truth() {
-        let segments = SegmentMap::new(
+    fn segments() -> SegmentMap {
+        SegmentMap::new(
             Rect::new(Point::new(0.0, -20.0), Point::new(300.0, 80.0)).unwrap(),
             150.0,
-        );
-        let mk_estimator = || {
-            OnlineCs::new(OnlineCsConfig::default(), PathLossModel::uci_campus()).unwrap()
-        };
-        let mut fleet = Vec::new();
-        for v in 0..5u32 {
-            let behavior = if v < 4 {
-                Behavior::Honest
-            } else {
-                Behavior::Spammer
-            };
-            fleet.push((
-                CrowdVehicle::new(VehicleId(v), mk_estimator(), behavior),
-                drive(v as f64 * 0.5),
-            ));
+        )
+    }
+
+    fn mk_estimator() -> OnlineCs {
+        OnlineCs::new(OnlineCsConfig::default(), PathLossModel::uci_campus()).unwrap()
+    }
+
+    fn fleet_with_spammer(n: u32, spammer: u32) -> Vec<(CrowdVehicle, Vec<RssReading>)> {
+        (0..n)
+            .map(|v| {
+                let behavior = if v == spammer {
+                    Behavior::Spammer
+                } else {
+                    Behavior::Honest
+                };
+                (
+                    CrowdVehicle::new(VehicleId(v), mk_estimator(), behavior),
+                    drive(v as f64 * 0.5),
+                )
+            })
+            .collect()
+    }
+
+    /// One retry with a short backoff, so fault-path tests pay at most
+    /// two deadlines per dead vehicle. The deadline itself stays at the
+    /// 2 s default: five concurrent estimator runs take about a second
+    /// on a single-core box, and healthy vehicles must never miss it.
+    fn snappy_tolerance() -> FaultTolerance {
+        FaultTolerance {
+            retry_backoff: Duration::from_millis(100),
+            max_retries: 1,
+            ..FaultTolerance::default()
         }
+    }
+
+    #[test]
+    fn full_round_with_spammers_converges_to_truth() {
         let report = run_round(
-            segments,
-            fleet,
+            segments(),
+            fleet_with_spammer(5, 4),
             PlatformConfig {
                 workers_per_task: 4,
                 ..PlatformConfig::default()
             },
         )
         .unwrap();
+        assert_eq!(report.health, RoundHealth::Complete);
+        assert!(report.dead_vehicles().is_empty());
+        for fate in report.fates.values() {
+            assert_eq!(*fate, FateRecord { fate: VehicleFate::Completed, retries: 0 });
+        }
+        for exit in report.exits.values() {
+            assert_eq!(*exit, VehicleExit::Completed);
+        }
         // Both APs recovered by the fused database.
         for truth in [Point::new(60.0, 30.0), Point::new(220.0, 30.0)] {
             let d = report
@@ -384,31 +940,9 @@ mod tests {
 
     #[test]
     fn campaign_reliability_is_smoothed_across_rounds() {
-        let segments = SegmentMap::new(
-            Rect::new(Point::new(0.0, -20.0), Point::new(300.0, 80.0)).unwrap(),
-            150.0,
-        );
-        let mk_fleet = || {
-            let mk_estimator = || {
-                OnlineCs::new(OnlineCsConfig::default(), PathLossModel::uci_campus()).unwrap()
-            };
-            (0..5u32)
-                .map(|v| {
-                    let behavior = if v == 4 {
-                        Behavior::Spammer
-                    } else {
-                        Behavior::Honest
-                    };
-                    (
-                        CrowdVehicle::new(VehicleId(v), mk_estimator(), behavior),
-                        drive(v as f64 * 0.5),
-                    )
-                })
-                .collect::<Vec<_>>()
-        };
         let reports = run_campaign(
-            segments,
-            vec![mk_fleet(), mk_fleet()],
+            segments(),
+            vec![fleet_with_spammer(5, 4), fleet_with_spammer(5, 4)],
             PlatformConfig {
                 workers_per_task: 4,
                 ..PlatformConfig::default()
@@ -431,32 +965,176 @@ mod tests {
     }
 
     #[test]
-    fn failing_vehicle_aborts_round_instead_of_deadlocking() {
-        let segments = SegmentMap::new(
-            Rect::new(Point::new(0.0, -20.0), Point::new(300.0, 80.0)).unwrap(),
-            150.0,
-        );
-        let mk_estimator = || {
-            OnlineCs::new(OnlineCsConfig::default(), PathLossModel::uci_campus()).unwrap()
-        };
-        let mut fleet: Vec<_> = (0..3u32)
-            .map(|v| {
-                (
-                    CrowdVehicle::new(VehicleId(v), mk_estimator(), Behavior::Honest),
-                    drive(v as f64 * 0.5),
-                )
-            })
-            .collect();
+    fn failing_vehicle_degrades_round_instead_of_aborting() {
+        let mut fleet = fleet_with_spammer(3, u32::MAX);
         // Poison one vehicle's drive: NaN coordinates blow up its
-        // estimator mid-sense. Before the scoped-thread rework this
-        // hung phase 1 forever waiting for the missing upload; now the
-        // vehicle's failure must abort the round with an error naming it.
+        // estimator mid-sense. The vehicle reports `Failed`; the round
+        // must finish degraded on the two survivors instead of erroring
+        // out (pre-fault-tolerance) or deadlocking (pre-scoped-threads).
         for r in fleet[1].1.iter_mut() {
             *r = RssReading::new(Point::new(f64::NAN, f64::NAN), r.rss_dbm, r.time);
         }
-        let err = run_round(segments, fleet, PlatformConfig::default()).unwrap_err();
-        let msg = err.to_string();
-        assert!(msg.contains("vehicle1"), "unexpected error: {msg}");
+        let report = run_round(segments(), fleet, PlatformConfig::default()).unwrap();
+        assert_eq!(report.health, RoundHealth::Degraded);
+        assert_eq!(report.dead_vehicles(), vec![VehicleId(1)]);
+        let fate = &report.fates[&VehicleId(1)].fate;
+        assert!(
+            matches!(fate, VehicleFate::Reported(m) if !m.is_empty()),
+            "unexpected fate {fate:?}"
+        );
+        assert!(
+            matches!(&report.exits[&VehicleId(1)], VehicleExit::Failed(_)),
+            "unexpected exit {:?}",
+            report.exits[&VehicleId(1)]
+        );
+        // The dead vehicle is penalized below the neutral prior.
+        assert!(report.outcome.reliabilities[&VehicleId(1)] < 0.5);
+        for f in &report.fused {
+            assert!(f.position.is_finite());
+        }
+    }
+
+    #[test]
+    fn quorum_loss_aborts_the_round() {
+        let mut fleet = fleet_with_spammer(3, u32::MAX);
+        for idx in [0, 1] {
+            for r in fleet[idx].1.iter_mut() {
+                *r = RssReading::new(Point::new(f64::NAN, f64::NAN), r.rss_dbm, r.time);
+            }
+        }
+        // 1 of 3 survivors < ceil(0.5 * 3) = 2 required.
+        let err = run_round(segments(), fleet, PlatformConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            MiddlewareError::QuorumLost {
+                alive: 1,
+                required: 2,
+                total: 3
+            }
+        );
+    }
+
+    #[test]
+    fn crashed_vehicle_times_out_and_round_degrades() {
+        let plan = FaultPlan::none().crash(VehicleId(2), FaultPoint::Upload);
+        let report = run_round_with_faults(
+            segments(),
+            fleet_with_spammer(4, u32::MAX),
+            PlatformConfig {
+                workers_per_task: 3,
+                tolerance: snappy_tolerance(),
+                ..PlatformConfig::default()
+            },
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(report.health, RoundHealth::Degraded);
+        assert_eq!(report.dead_vehicles(), vec![VehicleId(2)]);
+        let record = &report.fates[&VehicleId(2)];
+        assert_eq!(record.fate, VehicleFate::TimedOut(RoundPhase::Upload));
+        assert_eq!(record.retries, 1, "one RequestUpload retry before death");
+        assert_eq!(report.exits[&VehicleId(2)], VehicleExit::Crashed);
+        assert!(report.outcome.reliabilities[&VehicleId(2)] < 0.5);
+    }
+
+    #[test]
+    fn straggler_tasks_are_reassigned() {
+        let plan = FaultPlan::none().stall(VehicleId(1), FaultPoint::Answer);
+        let report = run_round_with_faults(
+            segments(),
+            fleet_with_spammer(5, u32::MAX),
+            PlatformConfig {
+                workers_per_task: 3,
+                tolerance: snappy_tolerance(),
+                ..PlatformConfig::default()
+            },
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(report.health, RoundHealth::Degraded);
+        assert_eq!(report.dead_vehicles(), vec![VehicleId(1)]);
+        assert_eq!(
+            report.fates[&VehicleId(1)].fate,
+            VehicleFate::TimedOut(RoundPhase::Labeling)
+        );
+        assert_eq!(report.exits[&VehicleId(1)], VehicleExit::Stalled);
+        // The straggler uploaded and was assigned tasks; with two spare
+        // vehicles per task every orphan finds a new home.
+        assert!(report.reassigned_tasks > 0, "no tasks were reassigned");
+        assert_eq!(report.lost_label_slots, 0);
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let base = PlatformConfig::default();
+        let cases = [
+            PlatformConfig {
+                workers_per_task: 0,
+                ..base
+            },
+            PlatformConfig {
+                spammer_cutoff: 1.5,
+                ..base
+            },
+            PlatformConfig {
+                spammer_cutoff: f64::NAN,
+                ..base
+            },
+            PlatformConfig {
+                merge_radius: 0.0,
+                ..base
+            },
+            PlatformConfig {
+                merge_radius: f64::INFINITY,
+                ..base
+            },
+            PlatformConfig {
+                tolerance: FaultTolerance {
+                    quorum: 0.0,
+                    ..base.tolerance
+                },
+                ..base
+            },
+            PlatformConfig {
+                tolerance: FaultTolerance {
+                    quorum: 1.1,
+                    ..base.tolerance
+                },
+                ..base
+            },
+            PlatformConfig {
+                tolerance: FaultTolerance {
+                    deadline: Duration::ZERO,
+                    ..base.tolerance
+                },
+                ..base
+            },
+        ];
+        for bad in cases {
+            let err = run_round(segments(), fleet_with_spammer(3, u32::MAX), bad).unwrap_err();
+            assert!(
+                matches!(err, MiddlewareError::InvalidConfig(_)),
+                "expected InvalidConfig for {bad:?}, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_vehicle_ids_rejected() {
+        let fleet = vec![
+            (
+                CrowdVehicle::new(VehicleId(1), mk_estimator(), Behavior::Honest),
+                drive(0.0),
+            ),
+            (
+                CrowdVehicle::new(VehicleId(1), mk_estimator(), Behavior::Honest),
+                drive(0.5),
+            ),
+        ];
+        assert!(matches!(
+            run_round(segments(), fleet, PlatformConfig::default()),
+            Err(MiddlewareError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -466,5 +1144,14 @@ mod tests {
             10.0,
         );
         assert!(run_round(segments, vec![], PlatformConfig::default()).is_err());
+    }
+
+    #[test]
+    fn quorum_required_covers_edges() {
+        assert_eq!(quorum_required(3, 0.5), 2);
+        assert_eq!(quorum_required(4, 0.5), 2);
+        assert_eq!(quorum_required(5, 1.0), 5);
+        assert_eq!(quorum_required(5, 0.01), 1);
+        assert_eq!(quorum_required(1, 0.5), 1);
     }
 }

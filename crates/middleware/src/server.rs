@@ -251,12 +251,29 @@ impl CrowdServer {
             .enumerate()
             .map(|(i, &v)| (v, i))
             .collect();
-        let mut edges = Vec::with_capacity(self.answers.len());
-        let mut labels = Vec::with_capacity(self.answers.len());
+        // Canonicalize: answers arrive in thread-scheduling order (and,
+        // under fault injection, duplicated or reordered). Keep the
+        // first answer per (task, vehicle) and sort, so inference — and
+        // the floating-point sums inside EM — see a deterministic edge
+        // list regardless of arrival interleaving.
+        let mut canonical: Vec<&MappingAnswer> = Vec::with_capacity(self.answers.len());
+        let mut seen = std::collections::BTreeSet::new();
         for a in &self.answers {
+            if seen.insert((a.task_id, a.vehicle)) {
+                canonical.push(a);
+            }
+        }
+        canonical.sort_by_key(|a| (a.task_id, a.vehicle));
+        let mut edges = Vec::with_capacity(canonical.len());
+        let mut labels = Vec::with_capacity(canonical.len());
+        let mut covered = vec![false; self.patterns.len()];
+        for a in canonical {
             let Some(&w) = vehicle_index.get(&a.vehicle) else {
                 return Err(MiddlewareError::UnknownVehicle(a.vehicle.0));
             };
+            if a.task_id < covered.len() {
+                covered[a.task_id] = true;
+            }
             edges.push((a.task_id, w));
             labels.push(a.label);
         }
@@ -273,11 +290,14 @@ impl CrowdServer {
                 .insert(v, alpha * reliability[i] + (1.0 - alpha) * previous);
         }
 
+        // A task that lost all of its labels (every assigned vehicle
+        // died) sits at the EM prior of 0.5 and would be waved through;
+        // unlabeled patterns are never accepted.
         let accepted_patterns: Vec<Pattern> = result
             .estimates
             .iter()
             .enumerate()
-            .filter(|&(_, &z)| z == 1)
+            .filter(|&(i, &z)| z == 1 && covered[i])
             .map(|(i, _)| self.patterns[i].clone())
             .collect();
         Ok(RoundOutcome {
@@ -285,6 +305,20 @@ impl CrowdServer {
             reliabilities: self.reliabilities.clone(),
             converged: result.converged,
         })
+    }
+
+    /// Multiplies a vehicle's stored reliability by `factor` (clamped
+    /// to `[0, 1]`), returning the new value. The platform applies this
+    /// to vehicles that died mid-round: a crash or missed deadline is
+    /// evidence against the vehicle just like a wrong label, and the
+    /// penalty feeds the cross-round prior so repeat offenders are
+    /// down-weighted even if their answers looked fine while they
+    /// lasted. Vehicles never seen before start from the 0.5 prior.
+    pub fn penalize(&mut self, vehicle: VehicleId, factor: f64) -> f64 {
+        let prev = self.reliabilities.get(&vehicle).copied().unwrap_or(0.5);
+        let q = (prev * factor.clamp(0.0, 1.0)).clamp(0.0, 1.0);
+        self.reliabilities.insert(vehicle, q);
+        q
     }
 
     /// Fuses all uploads into fine-grained AP estimates, weighting each

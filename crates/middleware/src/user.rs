@@ -2,6 +2,7 @@
 //! results ahead of its route and turns them into the AP database its
 //! WiFi stack (the `crowdwifi-handoff` crate) consumes.
 
+use crate::platform::{PlatformReport, RoundHealth};
 use crate::server::CrowdServer;
 use crowdwifi_geo::{Point, Trajectory};
 
@@ -11,12 +12,16 @@ use crowdwifi_geo::{Point, Trajectory};
 pub struct UserVehicle {
     /// How far around the planned route the vehicle prefetches APs.
     prefetch_radius: f64,
+    /// Whether results from a [`RoundHealth::Degraded`] round are good
+    /// enough to drive on.
+    accept_degraded: bool,
 }
 
 impl Default for UserVehicle {
     fn default() -> Self {
         UserVehicle {
             prefetch_radius: 150.0,
+            accept_degraded: true,
         }
     }
 }
@@ -44,6 +49,50 @@ impl UserVehicle {
     /// The prefetch radius in meters.
     pub fn prefetch_radius(&self) -> f64 {
         self.prefetch_radius
+    }
+
+    /// Sets whether the vehicle accepts results from degraded rounds
+    /// (vehicle deaths, reassigned tasks, lost coverage). Default: yes —
+    /// a degraded map still beats blind scanning; a cautious navigator
+    /// can insist on complete rounds instead.
+    pub fn with_degraded_policy(mut self, accept: bool) -> Self {
+        self.accept_degraded = accept;
+        self
+    }
+
+    /// Whether degraded-round results are accepted.
+    pub fn accepts_degraded(&self) -> bool {
+        self.accept_degraded
+    }
+
+    /// Extracts the APs near the planned route from a round report,
+    /// honoring the vehicle's degraded-round policy: `None` means the
+    /// round's health was below this vehicle's bar, not that the route
+    /// has no coverage.
+    pub fn download_from_report(
+        &self,
+        report: &PlatformReport,
+        route: &Trajectory,
+    ) -> Option<Vec<Point>> {
+        if report.health == RoundHealth::Degraded && !self.accept_degraded {
+            return None;
+        }
+        let mut out: Vec<Point> = Vec::new();
+        for w in route.sample(2.0) {
+            for ap in report
+                .fused
+                .iter()
+                .filter(|ap| ap.position.distance(w.position) <= self.prefetch_radius)
+            {
+                if !out
+                    .iter()
+                    .any(|existing| existing.distance(ap.position) < 1.0)
+                {
+                    out.push(ap.position);
+                }
+            }
+        }
+        Some(out)
     }
 
     /// Downloads every fused AP within the prefetch radius of the
@@ -138,5 +187,50 @@ mod tests {
     #[should_panic(expected = "prefetch radius")]
     fn rejects_bad_radius() {
         UserVehicle::new().with_prefetch_radius(0.0);
+    }
+
+    fn report_with_health(health: RoundHealth) -> PlatformReport {
+        use crate::server::RoundOutcome;
+        use crowdwifi_crowd::fusion::FusedAp;
+        use std::collections::BTreeMap;
+        PlatformReport {
+            outcome: RoundOutcome {
+                accepted_patterns: Vec::new(),
+                reliabilities: BTreeMap::new(),
+                converged: true,
+            },
+            fused: vec![FusedAp {
+                position: Point::new(450.0, 100.0),
+                support: 2.0,
+                contributors: 2,
+            }],
+            health,
+            fates: BTreeMap::new(),
+            exits: BTreeMap::new(),
+            reassigned_tasks: 0,
+            lost_label_slots: 0,
+        }
+    }
+
+    #[test]
+    fn degraded_policy_gates_report_downloads() {
+        let complete = report_with_health(RoundHealth::Complete);
+        let degraded = report_with_health(RoundHealth::Degraded);
+        let route = straight_route();
+
+        let lenient = UserVehicle::new();
+        assert!(lenient.accepts_degraded());
+        assert_eq!(
+            lenient.download_from_report(&complete, &route).unwrap().len(),
+            1
+        );
+        assert_eq!(
+            lenient.download_from_report(&degraded, &route).unwrap().len(),
+            1
+        );
+
+        let strict = UserVehicle::new().with_degraded_policy(false);
+        assert!(strict.download_from_report(&complete, &route).is_some());
+        assert!(strict.download_from_report(&degraded, &route).is_none());
     }
 }

@@ -1,11 +1,14 @@
 //! The crowd-vehicle client.
 
-use crate::messages::{MappingAnswer, MappingTask, SensingUpload, VehicleId};
+use crate::fault::{FaultPoint, FaultySender, Misbehavior};
+use crate::messages::{MappingAnswer, MappingTask, SensingUpload, ToServer, ToVehicle, VehicleId};
 use crate::segment::SegmentMap;
 use crate::Result;
+use crossbeam::channel;
 use crowdwifi_channel::RssReading;
 use crowdwifi_core::{ApEstimate, OnlineCs};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 /// How the vehicle answers mapping tasks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +134,115 @@ impl CrowdVehicle {
             }
         }
         1
+    }
+}
+
+/// How one vehicle's round ended, from the vehicle's own perspective.
+/// Complements the server-side fate in degraded-round postmortems: the
+/// server knows *that* a vehicle went quiet, the exit records *why* the
+/// thread stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VehicleExit {
+    /// Received `Done`: a full, clean round.
+    Completed,
+    /// The server sent `Abort(reason)`: it deliberately abandoned the
+    /// round and said why.
+    Aborted(String),
+    /// The channel closed with no `Done` and no `Abort`: the server
+    /// hung up unexpectedly (crashed, or dropped this vehicle after its
+    /// deadline while messages were still in flight).
+    Disconnected,
+    /// An injected silent crash ([`Misbehavior::Crash`]).
+    Crashed,
+    /// An injected stall ([`Misbehavior::Stall`]); the vehicle drained
+    /// its inbox without responding until the server hung up.
+    Stalled,
+    /// The vehicle's own protocol failed: estimator error or panic.
+    Failed(String),
+}
+
+/// Fires a scheduled misbehavior if `point` matches the script.
+/// Stalls drain the inbox (so the thread still exits once the server
+/// hangs up) instead of blocking the round's scope join forever.
+fn misbehave(
+    script: Option<Misbehavior>,
+    point: FaultPoint,
+    rx: &channel::Receiver<ToVehicle>,
+) -> Option<VehicleExit> {
+    match script {
+        Some(Misbehavior::Crash(p)) if p == point => Some(VehicleExit::Crashed),
+        Some(Misbehavior::Stall(p)) if p == point => {
+            while rx.recv().is_ok() {}
+            Some(VehicleExit::Stalled)
+        }
+        _ => None,
+    }
+}
+
+/// One vehicle's side of the round protocol: sense + upload, then serve
+/// assignment and upload-retry requests until `Done` or `Abort`.
+///
+/// Every exit path is classified (see [`VehicleExit`]); a closed
+/// channel is [`VehicleExit::Disconnected`], *not* an error — the
+/// server already knows why it hung up, and the platform reports the
+/// vehicle-side view alongside the server-side fate.
+///
+/// # Errors
+///
+/// Propagates estimator failures from sensing; the caller reports them
+/// to the server as [`ToServer::Failed`].
+pub(crate) fn run_protocol(
+    vehicle: &mut CrowdVehicle,
+    readings: &[RssReading],
+    segments: &SegmentMap,
+    to_server: &mut FaultySender<(VehicleId, ToServer)>,
+    rx: &channel::Receiver<ToVehicle>,
+    seed: u64,
+    script: Option<Misbehavior>,
+) -> Result<VehicleExit> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    if let Some(exit) = misbehave(script, FaultPoint::Sense, rx) {
+        return Ok(exit);
+    }
+    vehicle.sense(readings)?;
+    if let Some(exit) = misbehave(script, FaultPoint::Upload, rx) {
+        return Ok(exit);
+    }
+    let upload = |to_server: &mut FaultySender<(VehicleId, ToServer)>,
+                  vehicle: &CrowdVehicle| {
+        to_server
+            .send((vehicle.id(), ToServer::Upload(vehicle.upload())))
+            .is_ok()
+    };
+    if !upload(to_server, vehicle) {
+        return Ok(VehicleExit::Disconnected);
+    }
+    loop {
+        match rx.recv() {
+            Ok(ToVehicle::Assign(tasks)) => {
+                if let Some(exit) = misbehave(script, FaultPoint::Answer, rx) {
+                    return Ok(exit);
+                }
+                let answers = tasks
+                    .iter()
+                    .map(|t| vehicle.answer(t, segments, &mut rng))
+                    .collect();
+                if to_server
+                    .send((vehicle.id(), ToServer::Answers(answers)))
+                    .is_err()
+                {
+                    return Ok(VehicleExit::Disconnected);
+                }
+            }
+            Ok(ToVehicle::RequestUpload) => {
+                if !upload(to_server, vehicle) {
+                    return Ok(VehicleExit::Disconnected);
+                }
+            }
+            Ok(ToVehicle::Done) => return Ok(VehicleExit::Completed),
+            Ok(ToVehicle::Abort(reason)) => return Ok(VehicleExit::Aborted(reason)),
+            Err(_) => return Ok(VehicleExit::Disconnected),
+        }
     }
 }
 

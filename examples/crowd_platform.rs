@@ -2,8 +2,13 @@
 //! their own threads sense and label, the crowd-server infers
 //! reliabilities and fuses, a user-vehicle downloads the result.
 //!
-//! One of the five vehicles is a spammer; watch its inferred
+//! Round 1: one of the five vehicles is a spammer; watch its inferred
 //! reliability sink and its influence disappear from the fused map.
+//!
+//! Round 2 replays the same fleet under an injected fault schedule —
+//! one vehicle crashes silently, one stalls past every deadline, and
+//! every link drops 10% of its messages — and still completes, degraded,
+//! on the survivors.
 //!
 //! ```sh
 //! cargo run --release --example crowd_platform
@@ -12,8 +17,9 @@
 use crowdwifi::channel::{PathLossModel, RssReading};
 use crowdwifi::core::pipeline::{OnlineCs, OnlineCsConfig};
 use crowdwifi::geo::{Point, Rect};
+use crowdwifi::middleware::fault::{FaultPlan, FaultPoint};
 use crowdwifi::middleware::messages::VehicleId;
-use crowdwifi::middleware::platform::{run_round, PlatformConfig};
+use crowdwifi::middleware::platform::{run_round, run_round_with_faults, PlatformConfig};
 use crowdwifi::middleware::segment::SegmentMap;
 use crowdwifi::middleware::vehicle::{Behavior, CrowdVehicle};
 
@@ -43,20 +49,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Five crowd-vehicles: four honest, one spammer.
-    let mut fleet = Vec::new();
-    for v in 0..5u32 {
-        let estimator = OnlineCs::new(OnlineCsConfig::default(), PathLossModel::uci_campus())?;
-        let behavior = if v == 4 { Behavior::Spammer } else { Behavior::Honest };
-        fleet.push((
-            CrowdVehicle::new(VehicleId(v), estimator, behavior),
-            drive(v as f64 * 0.5, &truth),
-        ));
-    }
+    let mk_fleet = |truth: &[Point]| -> Result<Vec<_>, Box<dyn std::error::Error>> {
+        let mut fleet = Vec::new();
+        for v in 0..5u32 {
+            let estimator = OnlineCs::new(OnlineCsConfig::default(), PathLossModel::uci_campus())?;
+            let behavior = if v == 4 { Behavior::Spammer } else { Behavior::Honest };
+            fleet.push((
+                CrowdVehicle::new(VehicleId(v), estimator, behavior),
+                drive(v as f64 * 0.5, truth),
+            ));
+        }
+        Ok(fleet)
+    };
 
     println!("running one crowdsensing round with 4 honest vehicles + 1 spammer...");
     let report = run_round(
-        segments,
-        fleet,
+        segments.clone(),
+        mk_fleet(&truth)?,
         PlatformConfig {
             workers_per_task: 4,
             ..PlatformConfig::default()
@@ -92,5 +101,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nuser-vehicle at {user_position}: {} APs within 150 m available for opportunistic access",
         nearby.len()
     );
+
+    // Round 2: same road, hostile weather. vehicle1 crashes before it
+    // can upload, vehicle2 stalls instead of answering its mapping
+    // tasks, and every link drops 10% of its messages. The round must
+    // still finish on the survivors — degraded, with every casualty
+    // accounted for.
+    let plan = FaultPlan::noisy(7, 0.10, 0.0, 0.0)
+        .crash(VehicleId(1), FaultPoint::Upload)
+        .stall(VehicleId(2), FaultPoint::Answer);
+    println!("\nrunning a second round under an injected fault schedule");
+    println!("(vehicle1 crashes, vehicle2 stalls, 10% message drop)...");
+    let degraded = run_round_with_faults(
+        segments,
+        mk_fleet(&truth)?,
+        PlatformConfig {
+            workers_per_task: 3,
+            ..PlatformConfig::default()
+        },
+        &plan,
+    )?;
+
+    println!("\nround health: {:?}", degraded.health);
+    println!(
+        "reassigned tasks: {}, lost label slots: {}",
+        degraded.reassigned_tasks, degraded.lost_label_slots
+    );
+    println!("per-vehicle fates (server view / vehicle view):");
+    for (vehicle, record) in &degraded.fates {
+        println!(
+            "  {vehicle}: {:?} after {} retries / {:?}",
+            record.fate,
+            record.retries,
+            degraded.exits.get(vehicle)
+        );
+    }
+    println!("fused APs from the survivors:");
+    for ap in &degraded.fused {
+        let nearest = truth
+            .iter()
+            .map(|t| t.distance(ap.position))
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "  {} support {:.1} from {} vehicles ({nearest:.1} m from truth)",
+            ap.position, ap.support, ap.contributors
+        );
+    }
     Ok(())
 }

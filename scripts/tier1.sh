@@ -6,6 +6,10 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
 cargo test -q --workspace
+# The fault-injection suite exercises the platform's degraded-round
+# paths (crashes, stragglers, lossy links); run it by name so a
+# workspace filter can never silently skip it.
+cargo test -q --test failure_injection
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "tier1: OK"

@@ -21,7 +21,7 @@
 //! | [`crowd`] | `crowdwifi-crowd` | bipartite crowdsourcing + iterative inference (§5) |
 //! | [`baselines`] | `crowdwifi-baselines` | LGMM, MDS and Skyhook comparators |
 //! | [`handoff`] | `crowdwifi-handoff` | BRR/AllAP policies, sessions, transfers (§6.3) |
-//! | [`middleware`] | `crowdwifi-middleware` | crowd-server / vehicle / user roles (§3, §5.5) |
+//! | [`middleware`] | `crowdwifi-middleware` | crowd-server / vehicle / user roles, fault-tolerant rounds (§3, §5.5) |
 //!
 //! # Quickstart
 //!

@@ -1,5 +1,7 @@
 //! Failure injection: hostile, degenerate and malformed inputs must be
-//! rejected cleanly or absorbed without panics or non-finite outputs.
+//! rejected cleanly or absorbed without panics or non-finite outputs —
+//! and the threaded platform must survive crashing, stalling and lossy
+//! vehicles, completing rounds degraded instead of hanging or erroring.
 
 use crowdwifi::channel::RssReading;
 use crowdwifi::core::pipeline::{ensemble_run, OnlineCs, OnlineCsConfig};
@@ -137,4 +139,221 @@ fn adversarial_workers_do_not_break_inference() {
         .sum::<f64>()
         / (graph.workers() / 5) as f64;
     assert!(adv_score < 0.0, "adversaries should score negative: {adv_score}");
+}
+
+// ---------------------------------------------------------------------
+// Platform-level fault injection: whole rounds under scheduled vehicle
+// deaths and lossy links.
+// ---------------------------------------------------------------------
+
+mod platform_faults {
+    use crowdwifi::channel::{PathLossModel, RssReading};
+    use crowdwifi::core::pipeline::{OnlineCs, OnlineCsConfig};
+    use crowdwifi::geo::{Point, Rect};
+    use crowdwifi::middleware::fault::{FaultPlan, FaultPoint};
+    use crowdwifi::middleware::messages::VehicleId;
+    use crowdwifi::middleware::platform::{
+        run_round_with_faults, FaultTolerance, PlatformConfig, PlatformReport, RoundHealth,
+        VehicleFate,
+    };
+    use crowdwifi::middleware::segment::SegmentMap;
+    use crowdwifi::middleware::vehicle::{Behavior, CrowdVehicle};
+    use std::time::Duration;
+
+    /// Fading-free staggered drive past two roadside APs.
+    fn drive(lane_offset: f64) -> Vec<RssReading> {
+        let model = PathLossModel::uci_campus();
+        let aps = [Point::new(60.0, 30.0), Point::new(220.0, 30.0)];
+        (0..50)
+            .map(|i| {
+                let p = Point::new(
+                    6.0 * i as f64,
+                    lane_offset + if (i / 5) % 2 == 0 { 0.0 } else { 12.0 },
+                );
+                let nearest = aps
+                    .iter()
+                    .min_by(|a, b| p.distance(**a).partial_cmp(&p.distance(**b)).unwrap())
+                    .unwrap();
+                RssReading::new(p, model.mean_rss(p.distance(*nearest)), i as f64)
+            })
+            .collect()
+    }
+
+    fn segments() -> SegmentMap {
+        SegmentMap::new(
+            Rect::new(Point::new(0.0, -20.0), Point::new(300.0, 80.0)).unwrap(),
+            150.0,
+        )
+    }
+
+    fn fleet(n: u32) -> Vec<(CrowdVehicle, Vec<RssReading>)> {
+        (0..n)
+            .map(|v| {
+                let estimator =
+                    OnlineCs::new(OnlineCsConfig::default(), PathLossModel::uci_campus()).unwrap();
+                (
+                    CrowdVehicle::new(VehicleId(v), estimator, Behavior::Honest),
+                    drive(v as f64 * 0.5),
+                )
+            })
+            .collect()
+    }
+
+    /// One retry, short backoff: a dead vehicle costs about two
+    /// deadlines instead of three. The 2 s deadline itself is kept —
+    /// concurrent estimator runs need about a second on one core, and a
+    /// healthy vehicle must never miss it.
+    fn config() -> PlatformConfig {
+        PlatformConfig {
+            workers_per_task: 3,
+            tolerance: FaultTolerance {
+                retry_backoff: Duration::from_millis(100),
+                max_retries: 1,
+                ..FaultTolerance::default()
+            },
+            ..PlatformConfig::default()
+        }
+    }
+
+    fn assert_finite(report: &PlatformReport) {
+        assert!(!report.fused.is_empty(), "no fused output");
+        for ap in &report.fused {
+            assert!(ap.position.is_finite(), "non-finite fused AP {ap:?}");
+            assert!(ap.support.is_finite());
+        }
+        for q in report.outcome.reliabilities.values() {
+            assert!(q.is_finite() && (0.0..=1.0).contains(q));
+        }
+    }
+
+    #[test]
+    fn crashed_vehicle_degrades_round() {
+        let plan = FaultPlan::none().crash(VehicleId(1), FaultPoint::Sense);
+        let report = run_round_with_faults(segments(), fleet(4), config(), &plan).unwrap();
+        assert_eq!(report.health, RoundHealth::Degraded);
+        assert_eq!(report.dead_vehicles(), vec![VehicleId(1)]);
+        assert_finite(&report);
+    }
+
+    #[test]
+    fn straggler_past_deadline_gets_tasks_reassigned() {
+        let plan = FaultPlan::none().stall(VehicleId(2), FaultPoint::Answer);
+        let report = run_round_with_faults(segments(), fleet(5), config(), &plan).unwrap();
+        assert_eq!(report.health, RoundHealth::Degraded);
+        assert_eq!(report.dead_vehicles(), vec![VehicleId(2)]);
+        assert!(
+            report.reassigned_tasks > 0,
+            "straggler tasks were not reassigned"
+        );
+        assert_eq!(report.lost_label_slots, 0);
+        assert_finite(&report);
+    }
+
+    #[test]
+    fn ten_percent_message_drop_still_completes() {
+        let plan = FaultPlan::noisy(11, 0.10, 0.0, 0.0);
+        let report = run_round_with_faults(segments(), fleet(5), config(), &plan).unwrap();
+        // Whether a retry was needed depends on which messages the
+        // schedule hit; the round must complete with sane output either
+        // way, and no vehicle may die — retries recover every drop.
+        assert!(report.dead_vehicles().is_empty(), "drop noise killed a vehicle");
+        assert_finite(&report);
+    }
+
+    #[test]
+    fn combined_faults_are_deterministic_across_runs() {
+        let run = || {
+            let plan = FaultPlan::noisy(7, 0.10, 0.0, 0.0)
+                .crash(VehicleId(1), FaultPoint::Upload)
+                .stall(VehicleId(2), FaultPoint::Answer);
+            run_round_with_faults(segments(), fleet(5), config(), &plan).unwrap()
+        };
+        let first = run();
+        assert_eq!(first.health, RoundHealth::Degraded);
+        let dead = first.dead_vehicles();
+        assert!(dead.contains(&VehicleId(1)) && dead.contains(&VehicleId(2)), "{dead:?}");
+        assert!(matches!(
+            first.fates[&VehicleId(1)].fate,
+            VehicleFate::TimedOut(_)
+        ));
+        assert!(first.reassigned_tasks > 0, "no reassignment recorded");
+        assert_finite(&first);
+
+        // Same seed, same plan: the full report — fates, retry counts,
+        // reassignments, reliabilities, fused floats — must replay
+        // byte-for-byte.
+        let second = run();
+        assert_eq!(format!("{first:?}"), format!("{second:?}"));
+    }
+
+    #[test]
+    fn zero_fault_round_is_complete_and_clean() {
+        let report =
+            run_round_with_faults(segments(), fleet(4), config(), &FaultPlan::none()).unwrap();
+        assert_eq!(report.health, RoundHealth::Complete);
+        assert!(report.dead_vehicles().is_empty());
+        assert_eq!(report.reassigned_tasks, 0);
+        assert_eq!(report.lost_label_slots, 0);
+        for record in report.fates.values() {
+            assert_eq!(record.fate, VehicleFate::Completed);
+            assert_eq!(record.retries, 0);
+        }
+        assert_finite(&report);
+    }
+
+    #[test]
+    fn losing_the_quorum_aborts() {
+        use crowdwifi::middleware::MiddlewareError;
+        let plan = FaultPlan::none()
+            .crash(VehicleId(0), FaultPoint::Sense)
+            .crash(VehicleId(2), FaultPoint::Sense);
+        let err = run_round_with_faults(segments(), fleet(3), config(), &plan).unwrap_err();
+        assert_eq!(
+            err,
+            MiddlewareError::QuorumLost {
+                alive: 1,
+                required: 2,
+                total: 3
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_before_spawning() {
+        use crowdwifi::middleware::MiddlewareError;
+        for bad in [
+            PlatformConfig {
+                workers_per_task: 0,
+                ..config()
+            },
+            PlatformConfig {
+                merge_radius: -1.0,
+                ..config()
+            },
+            PlatformConfig {
+                spammer_cutoff: 2.0,
+                ..config()
+            },
+            PlatformConfig {
+                tolerance: FaultTolerance {
+                    quorum: 0.0,
+                    ..config().tolerance
+                },
+                ..config()
+            },
+        ] {
+            let err =
+                run_round_with_faults(segments(), fleet(3), bad, &FaultPlan::none()).unwrap_err();
+            assert!(matches!(err, MiddlewareError::InvalidConfig(_)), "{err:?}");
+        }
+        // Bad fault plans are rejected too.
+        let err = run_round_with_faults(
+            segments(),
+            fleet(3),
+            config(),
+            &FaultPlan::noisy(0, 0.7, 0.7, 0.0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MiddlewareError::InvalidConfig(_)));
+    }
 }

@@ -21,7 +21,7 @@
 use crate::{group_by_source, ApLocalizer, LocalizationEstimate};
 use crowdwifi_channel::{PathLossModel, RssReading};
 use crowdwifi_geo::Point;
-use crowdwifi_linalg::{Matrix, SymmetricEigen, Svd};
+use crowdwifi_linalg::{Matrix, Svd, SymmetricEigen};
 
 /// The classical-MDS localizer.
 #[derive(Debug, Clone)]
@@ -92,8 +92,7 @@ impl ApLocalizer for MdsLocalizer {
                 let est = scans
                     .iter()
                     .map(|s| {
-                        self.pathloss.distance_for_rss(s.rss_dbm)
-                            + s.position.distance(*anchor)
+                        self.pathloss.distance_for_rss(s.rss_dbm) + s.position.distance(*anchor)
                     })
                     .sum::<f64>()
                     / scans.len() as f64;
@@ -246,9 +245,7 @@ mod tests {
                 );
                 let (id, ap) = aps
                     .iter()
-                    .min_by(|a, b| {
-                        p.distance(a.1).partial_cmp(&p.distance(b.1)).unwrap()
-                    })
+                    .min_by(|a, b| p.distance(a.1).partial_cmp(&p.distance(b.1)).unwrap())
                     .unwrap();
                 RssReading::with_source(p, model.mean_rss(p.distance(*ap)), i as f64, *id)
             })

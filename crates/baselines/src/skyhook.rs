@@ -125,7 +125,12 @@ mod tests {
     #[test]
     fn counts_only_heard_bssids() {
         let mut readings = drive(Point::new(20.0, 5.0), ApId(0), &[0.0, 10.0, 20.0], 0.0);
-        readings.extend(drive(Point::new(80.0, 5.0), ApId(3), &[70.0, 80.0, 90.0], 0.0));
+        readings.extend(drive(
+            Point::new(80.0, 5.0),
+            ApId(3),
+            &[70.0, 80.0, 90.0],
+            0.0,
+        ));
         let est = Skyhook::default().localize(&readings);
         assert_eq!(est.count(), 2);
     }

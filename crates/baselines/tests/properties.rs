@@ -18,10 +18,7 @@ fn drive(ap_xs: &[f64], n: usize) -> Vec<RssReading> {
         .collect();
     (0..n)
         .map(|i| {
-            let p = Point::new(
-                4.0 * i as f64,
-                if (i / 4) % 2 == 0 { 0.0 } else { 10.0 },
-            );
+            let p = Point::new(4.0 * i as f64, if (i / 4) % 2 == 0 { 0.0 } else { 10.0 });
             let (id, ap) = aps
                 .iter()
                 .min_by(|a, b| p.distance(a.1).partial_cmp(&p.distance(b.1)).unwrap())

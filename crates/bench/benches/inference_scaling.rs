@@ -13,7 +13,9 @@ use std::hint::black_box;
 fn setup(tasks: usize, l: usize, gamma: usize, seed: u64) -> LabelMatrix {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let graph = BipartiteAssignment::regular(tasks, l, gamma, &mut rng).expect("feasible graph");
-    let truth: Vec<i8> = (0..tasks).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+    let truth: Vec<i8> = (0..tasks)
+        .map(|i| if i % 2 == 0 { 1 } else { -1 })
+        .collect();
     let pool = SpammerHammerPrior::default().draw_pool(graph.workers(), &mut rng);
     LabelMatrix::generate(&graph, &truth, &pool, &mut rng)
 }

@@ -12,7 +12,9 @@ use crowdwifi_core::pipeline::OnlineCsConfig;
 use crowdwifi_geo::Point;
 use crowdwifi_handoff::connectivity::{simulate, ConnectivityConfig, Policy};
 use crowdwifi_handoff::db::ApDatabase;
-use crowdwifi_handoff::session::{median_session_length, prob_longer_than, session_lengths, time_weighted_cdf};
+use crowdwifi_handoff::session::{
+    median_session_length, prob_longer_than, session_lengths, time_weighted_cdf,
+};
 use crowdwifi_vanet_sim::mobility::vanlan_round;
 use crowdwifi_vanet_sim::vanlan::{VanLanConfig, VanLanTrace};
 use crowdwifi_vanet_sim::Scenario;
@@ -46,16 +48,12 @@ fn main() {
         sigma_factor: 0.05,
         ..OnlineCsConfig::default()
     };
-    let est: Vec<Point> = crowdwifi_core::pipeline::ensemble_run(
-        &readings,
-        config,
-        *scenario.pathloss(),
-        11,
-    )
-    .expect("ensemble run")
-    .iter()
-    .map(|e| e.position)
-    .collect();
+    let est: Vec<Point> =
+        crowdwifi_core::pipeline::ensemble_run(&readings, config, *scenario.pathloss(), 11)
+            .expect("ensemble run")
+            .iter()
+            .map(|e| e.position)
+            .collect();
     let e = lookup_errors(&truth, &est, 10.0);
     println!(
         "lookup on 300 rows: k_est = {} (k = 11), avg error = {} m (paper: 2.0658 m)",
@@ -87,8 +85,7 @@ fn main() {
                 policy.to_string(),
                 format!("{:.1}%", connected / 5.0 * 100.0),
                 format!("{:.1}", interruptions as f64 / 5.0),
-                median_session_length(&lengths)
-                    .map_or("-".to_string(), |l| l.to_string()),
+                median_session_length(&lengths).map_or("-".to_string(), |l| l.to_string()),
             ],
         });
         match policy {
@@ -98,7 +95,12 @@ fn main() {
     }
     print_table(
         "Fig. 10(a,b): connectivity per policy (5 van rounds)",
-        &["policy", "connected", "interruptions/round", "median_session_s"],
+        &[
+            "policy",
+            "connected",
+            "interruptions/round",
+            "median_session_s",
+        ],
         &rows,
     );
 

@@ -21,11 +21,7 @@ const TRIALS: u64 = 5;
 
 /// Median transfer time and transfers/session for one policy and error
 /// setting, averaged over trials.
-fn run_case(
-    policy: Policy,
-    counting_error: f64,
-    localization_error: f64,
-) -> (f64, f64) {
+fn run_case(policy: Policy, counting_error: f64, localization_error: f64) -> (f64, f64) {
     let scenario = Scenario::vanlan();
     let truth = scenario.ap_positions();
     let route = vanlan_round(0.0);
@@ -59,7 +55,11 @@ fn run_case(
         tput_sum += stats.transfers_per_session;
     }
     (
-        if med_n > 0 { med_sum / med_n as f64 } else { f64::NAN },
+        if med_n > 0 {
+            med_sum / med_n as f64
+        } else {
+            f64::NAN
+        },
         tput_sum / TRIALS as f64,
     )
 }
@@ -86,7 +86,11 @@ fn sweep(errors: &[f64], is_counting: bool) {
             ],
         });
     }
-    let which = if is_counting { "counting" } else { "localization" };
+    let which = if is_counting {
+        "counting"
+    } else {
+        "localization"
+    };
     print_table(
         &format!("Fig. 11: median transfer time (s) vs {which} error"),
         &["error_%", "BRR", "AllAP"],

@@ -26,8 +26,7 @@ fn main() {
         let scenario = base.snapped_to_grid(&grid);
         let truth = scenario.ap_positions();
         let mut rng = ChaCha8Rng::seed_from_u64(42);
-        let readings =
-            RssCollector::new(&scenario).collect_along(&route, interval, &mut rng);
+        let readings = RssCollector::new(&scenario).collect_along(&route, interval, &mut rng);
 
         let config = OnlineCsConfig {
             window: WindowConfig {
@@ -37,7 +36,7 @@ fn main() {
             },
             lattice,
             max_ap_per_window: 4,
-        sigma_factor: 0.04,
+            sigma_factor: 0.04,
             merge_radius: (2.5 * lattice).max(15.0),
             ..OnlineCsConfig::default()
         };

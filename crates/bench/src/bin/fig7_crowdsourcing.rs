@@ -35,7 +35,13 @@ fn run_point(l: usize, gamma: usize) -> [f64; 5] {
         let graph = BipartiteAssignment::regular(tasks, l, gamma, &mut rng)
             .expect("feasible graph parameters");
         let truth: Vec<i8> = (0..tasks)
-            .map(|_| if rng.random_range(0.0..1.0) < 0.5 { 1 } else { -1 })
+            .map(|_| {
+                if rng.random_range(0.0..1.0) < 0.5 {
+                    1
+                } else {
+                    -1
+                }
+            })
             .collect();
         let pool = prior.draw_pool(graph.workers(), &mut rng);
         let labels = LabelMatrix::generate(&graph, &truth, &pool, &mut rng);
@@ -67,15 +73,20 @@ fn table(title: &str, points: &[(usize, usize)], x_name: &str, xs: &[usize]) {
     }
     print_table(
         title,
-        &[x_name, "log10(CrowdWiFi)", "log10(Skyhook)", "log10(MV)", "log10(EM)", "log10(Oracle)"],
+        &[
+            x_name,
+            "log10(CrowdWiFi)",
+            "log10(Skyhook)",
+            "log10(MV)",
+            "log10(EM)",
+            "log10(Oracle)",
+        ],
         &rows,
     );
 }
 
 fn main() {
-    println!(
-        "spammer-hammer prior q in {{0.5, 1.0}}, {TASKS} tasks, {TRIALS} trials per point"
-    );
+    println!("spammer-hammer prior q in {{0.5, 1.0}}, {TASKS} tasks, {TRIALS} trials per point");
 
     // (a): ℓ = 5..25 with γ = 5.
     let xs_a: Vec<usize> = (1..=5).map(|i| 5 * i).collect();

@@ -53,8 +53,7 @@ fn main() {
         let route = mobility::testbed_passes(scenario.area(), 4, *speed);
         let collector = RssCollector::new(&scenario);
         // Sample so that a full pass yields ~60 readings.
-        let readings =
-            collector.collect_along(&route, route.duration() / 60.0, &mut rng);
+        let readings = collector.collect_along(&route, route.duration() / 60.0, &mut rng);
         let pipeline = pipeline_for(&scenario);
 
         for n in [20usize, 40] {
@@ -118,11 +117,8 @@ fn main() {
     // Skyhook comparison on the 20 mph drive (most favorable to it).
     let mut rng = ChaCha8Rng::seed_from_u64(100);
     let route = mobility::testbed_passes(scenario.area(), 4, 20.0);
-    let readings = RssCollector::new(&scenario).collect_along(
-        &route,
-        route.duration() / 60.0,
-        &mut rng,
-    );
+    let readings =
+        RssCollector::new(&scenario).collect_along(&route, route.duration() / 60.0, &mut rng);
     let sky = Skyhook::default().localize(&readings).positions;
     let es = lookup_errors(&truth, &sky, LATTICE);
     println!(

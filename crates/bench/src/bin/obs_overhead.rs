@@ -1,0 +1,151 @@
+//! Observability overhead bench: what instrumentation costs the hot
+//! path, measured against the contract in `crowdwifi-obs`'s docs.
+//!
+//! Three measurements:
+//!
+//! 1. **Pipeline overhead** — [`OnlineCs::run`] over a seeded UCI drive
+//!    with the default no-op recorder (global registry disabled) vs an
+//!    enabled local registry wired through
+//!    [`OnlineCs::with_registry`]. Budget: enabled recording stays
+//!    under 2% of round time; the disabled path is a relaxed atomic
+//!    load per record call.
+//! 2. **Recorder micro-costs** — nanoseconds per `Counter::inc` against
+//!    a disabled and an enabled registry (pre-registered handle, i.e.
+//!    the pipeline's hot-path shape).
+//! 3. **Snapshot sanity** — the enabled run's counters, embedded in the
+//!    JSON so a regression in instrumentation coverage (metrics
+//!    silently vanishing) is visible in the artifact diff.
+//!
+//! Compile-out mode (`--no-default-features` on `crowdwifi-obs`) is by
+//! construction 0%: recording bodies are empty and the disabled-path
+//! load disappears too. That configuration is covered by the tier-1
+//! no-default-features check rather than measured here.
+//!
+//! Writes `BENCH_obs.json` at the repo root (or `$BENCH_OUT_DIR`).
+//! `BENCH_SMOKE=1` cuts repetitions for CI.
+//! Run with `cargo run -p crowdwifi-bench --release --bin obs_overhead`.
+
+use crowdwifi_bench::{bench_out_path, smoke_mode};
+use crowdwifi_core::pipeline::{OnlineCs, OnlineCsConfig};
+use crowdwifi_core::window::WindowConfig;
+use crowdwifi_geo::Grid;
+use crowdwifi_obs::Registry;
+use crowdwifi_vanet_sim::{mobility, RssCollector, Scenario};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Mean seconds per call of `f` over `reps` calls (caller warms up).
+fn time<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Nanoseconds per `Counter::inc` against `reg`.
+fn counter_ns(reg: &Registry, iters: u64) -> f64 {
+    let c = reg.counter("bench.spin");
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(&c).inc();
+    }
+    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+fn main() {
+    if !crowdwifi_obs::RECORDING {
+        eprintln!("recording compiled out; nothing to measure");
+        return;
+    }
+    let smoke = smoke_mode();
+    // The global registry backs the uninstrumented baseline: explicitly
+    // disabled, whatever CROWDWIFI_OBS says, so the no-op path is what
+    // gets measured.
+    crowdwifi_obs::global().set_enabled(false);
+
+    let scenario = Scenario::uci_campus();
+    let grid = Grid::new(scenario.area(), 8.0).expect("static grid");
+    let scenario = scenario.snapped_to_grid(&grid);
+    let route = mobility::uci_loop_route_with(1, 25.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let readings =
+        RssCollector::new(&scenario).collect_along(&route, route.duration() / 361.0, &mut rng);
+    let model = *scenario.pathloss();
+    let cfg = OnlineCsConfig {
+        window: WindowConfig {
+            size: 40,
+            step: 10,
+            ttl: f64::INFINITY,
+        },
+        lattice: 8.0,
+        sigma_factor: 0.04,
+        merge_radius: 20.0,
+        threads: 1,
+        ..OnlineCsConfig::default()
+    };
+
+    let reps = if smoke { 2 } else { 6 };
+    println!(
+        "pipeline overhead: {} readings, {} reps{} ...",
+        readings.len(),
+        reps,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let plain = OnlineCs::new(cfg, model).expect("valid config");
+    let reg = Registry::new();
+    let instrumented = OnlineCs::new(cfg, model)
+        .expect("valid config")
+        .with_registry(&reg);
+
+    let baseline = plain.run(&readings).expect("warmup plain");
+    let check = instrumented.run(&readings).expect("warmup instrumented");
+    assert_eq!(
+        baseline.len(),
+        check.len(),
+        "instrumentation changed the estimates"
+    );
+
+    let plain_secs = time(|| drop(plain.run(&readings).expect("plain run")), reps);
+    let obs_secs = time(
+        || drop(instrumented.run(&readings).expect("instrumented run")),
+        reps,
+    );
+    let overhead_pct = (obs_secs / plain_secs - 1.0) * 100.0;
+    println!(
+        "  no-op recorder {:.1} ms vs enabled registry {:.1} ms per run: {overhead_pct:+.2}% overhead",
+        plain_secs * 1e3,
+        obs_secs * 1e3
+    );
+
+    let micro_iters = if smoke { 1_000_000 } else { 5_000_000 };
+    let disabled_ns = counter_ns(&Registry::disabled(), micro_iters);
+    let enabled_ns = counter_ns(&Registry::new(), micro_iters);
+    println!(
+        "  counter inc: disabled {disabled_ns:.2} ns, enabled {enabled_ns:.2} ns ({micro_iters} iters)"
+    );
+
+    // The warmup + timed runs all recorded into `reg`; embed the
+    // deterministic counters so coverage regressions show in the diff.
+    let snap = reg.snapshot();
+    let counters_json: Vec<String> = snap
+        .counters
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v}"))
+        .collect();
+
+    let json = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"machine\": {{\"physical_parallelism\": {}, \"smoke\": {smoke}}},\n  \"pipeline\": {{\"readings\": {}, \"reps\": {reps}, \"noop_ms\": {:.3}, \"enabled_ms\": {:.3}, \"overhead_pct\": {overhead_pct:.3}, \"budget_pct\": 2.0}},\n  \"counter_inc\": {{\"iters\": {micro_iters}, \"disabled_ns\": {disabled_ns:.3}, \"enabled_ns\": {enabled_ns:.3}}},\n  \"pipeline_counters\": {{\n{}\n  }},\n  \"notes\": \"overhead_pct compares OnlineCs::run with the default disabled global registry against an enabled local registry on one core; single-digit-millisecond runs make the percentage noisy, so CI gates it loosely while the budget stays 2%. The compile-out configuration (--no-default-features) removes recording entirely and is covered by the tier-1 gate, not measured here.\"\n}}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        readings.len(),
+        plain_secs * 1e3,
+        obs_secs * 1e3,
+        counters_json.join(",\n"),
+    );
+    let out_path = bench_out_path("BENCH_obs.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_obs.json");
+    println!("wrote {}", out_path.display());
+}

@@ -22,15 +22,18 @@
 //! machine-independent gains over the seed implementation).
 //!
 //! Run with `cargo run -p crowdwifi-bench --release --bin pipeline_throughput`.
+//! `BENCH_SMOKE=1` cuts repetitions for CI's regression gate;
+//! `BENCH_OUT_DIR` redirects the JSON away from the repo root.
 
+use crowdwifi_bench::{bench_out_path, smoke_mode};
 use crowdwifi_core::assign::{Assigner, ClusterAssigner};
 use crowdwifi_core::par;
 use crowdwifi_core::pipeline::{OnlineCs, OnlineCsConfig};
 use crowdwifi_core::recovery::CsRecovery;
 use crowdwifi_core::window::WindowConfig;
 use crowdwifi_geo::{Grid, Point};
-use crowdwifi_linalg::Matrix;
 use crowdwifi_linalg::vector;
+use crowdwifi_linalg::Matrix;
 use crowdwifi_sparsesolve::prox::soft_threshold_nonneg_vec;
 use crowdwifi_sparsesolve::{Fista, SolverWorkspace, SparseRecovery};
 use crowdwifi_vanet_sim::{mobility, RssCollector, Scenario};
@@ -136,7 +139,11 @@ fn main() {
     // the JSON records the physical topology for honest reading.
     std::env::set_var(par::THREADS_ENV, "8");
     let physical = std::thread::available_parallelism().map_or(1, |n| n.get());
-    println!("physical parallelism: {physical}, worker budget: 8");
+    let smoke = smoke_mode();
+    println!(
+        "physical parallelism: {physical}, worker budget: 8{}",
+        if smoke { ", smoke mode" } else { "" }
+    );
 
     let scenario = Scenario::uci_campus();
     let grid = Grid::new(scenario.area(), 8.0).expect("static grid");
@@ -166,23 +173,22 @@ fn main() {
         cfg.window.size,
         cfg.window.step
     );
-    const SWEEP_REPS: usize = 3;
+    let sweep_reps: usize = if smoke { 1 } else { 3 };
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
     let mut sweep: Vec<(usize, f64)> = Vec::new();
     let mut reference: Option<Vec<(f64, f64)>> = None;
-    for threads in [1usize, 2, 4, 8] {
-        let pipeline = OnlineCs::new(
-            OnlineCsConfig { threads, ..cfg },
-            model,
-        )
-        .expect("valid config");
+    for &threads in thread_counts {
+        let pipeline =
+            OnlineCs::new(OnlineCsConfig { threads, ..cfg }, model).expect("valid config");
         let mut out = Vec::new();
         pipeline.run(&readings).expect("warmup run");
         let secs = time(
             || out = pipeline.run(&readings).expect("pipeline run"),
-            SWEEP_REPS,
+            sweep_reps,
         );
         // The deterministic-parallelism contract, checked end to end.
-        let fingerprint: Vec<(f64, f64)> = out.iter().map(|e| (e.position.x, e.position.y)).collect();
+        let fingerprint: Vec<(f64, f64)> =
+            out.iter().map(|e| (e.position.x, e.position.y)).collect();
         match &reference {
             None => reference = Some(fingerprint),
             Some(r) => assert_eq!(r, &fingerprint, "threads={threads} changed the estimates"),
@@ -222,7 +228,7 @@ fn main() {
         groups.len(),
         distinct
     );
-    const GROUP_REPS: usize = 5;
+    let group_reps: usize = if smoke { 2 } else { 5 };
     let direct_secs = time(
         || {
             for g in &groups {
@@ -233,16 +239,18 @@ fn main() {
                     .expect("direct recovery");
             }
         },
-        GROUP_REPS,
+        group_reps,
     );
     let shared_secs = time(
         || {
             let sensing = recovery.prepare_window(&wgrid, window);
             for g in &groups {
-                recovery.recover_group(&sensing, g).expect("shared recovery");
+                recovery
+                    .recover_group(&sensing, g)
+                    .expect("shared recovery");
             }
         },
-        GROUP_REPS,
+        group_reps,
     );
     // Warm replay: the same groupings recur across EM refinement passes
     // and k hypotheses inside a round; the memo serves those from cache.
@@ -256,7 +264,7 @@ fn main() {
                 recovery.recover_group(&sensing, g).expect("memo hit");
             }
         },
-        GROUP_REPS,
+        group_reps,
     );
     let shared_speedup = direct_secs / shared_secs;
     let warm_speedup = direct_secs / warm_secs;
@@ -281,14 +289,17 @@ fn main() {
     let (seed_x, seed_iters, seed_converged) = seed_fista_solve(&a, &y);
     let mut ws = SolverWorkspace::new();
     let current = solver.recover_with(&a, &y, &mut ws).expect("warmup solve");
-    assert_eq!(seed_x, current.solution, "seed baseline diverged from current solver");
+    assert_eq!(
+        seed_x, current.solution,
+        "seed baseline diverged from current solver"
+    );
     assert_eq!(seed_iters, current.iterations);
     assert_eq!(seed_converged, current.converged);
-    const SOLVE_REPS: usize = 200;
-    let seed_secs = time(|| drop(seed_fista_solve(&a, &y)), SOLVE_REPS);
+    let solve_reps: usize = if smoke { 50 } else { 200 };
+    let seed_secs = time(|| drop(seed_fista_solve(&a, &y)), solve_reps);
     let lean_secs = time(
         || drop(solver.recover_with(&a, &y, &mut ws).expect("solve")),
-        SOLVE_REPS,
+        solve_reps,
     );
     let ws_speedup = seed_secs / lean_secs;
     println!(
@@ -308,7 +319,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"pipeline_throughput\",\n  \"machine\": {{\"physical_parallelism\": {physical}, \"worker_budget\": 8}},\n  \"drive\": {{\"readings\": {}, \"window_size\": {}, \"window_step\": {}}},\n  \"thread_sweep\": [\n{}\n  ],\n  \"shared_window\": {{\"groups_per_round\": {}, \"distinct_groups\": {distinct}, \"per_group_rebuild_ms\": {:.3}, \"shared_cold_ms\": {:.3}, \"memoized_replay_ms\": {:.4}, \"cold_speedup\": {:.3}, \"memoized_speedup\": {:.1}}},\n  \"solver_workspace\": {{\"matrix\": \"{m}x{n}\", \"iterations\": {seed_iters}, \"seed_clone_per_iter_us\": {:.1}, \"workspace_us\": {:.1}, \"speedup\": {:.3}, \"bit_identical\": true}},\n  \"notes\": \"Thread-sweep speedups are bounded by physical_parallelism (a 1-core machine cannot exceed 1x regardless of the configured thread count); shared_window and solver_workspace are the machine-independent algorithmic gains over the seed implementation, which rebuilt the sensing matrix per hypothesis group, re-solved groupings recurring across EM passes, and cloned solver state every FISTA iteration. The seed FISTA baseline is reproduced verbatim in this bench and asserted to yield bit-identical solutions.\"\n}}\n",
+        "{{\n  \"bench\": \"pipeline_throughput\",\n  \"machine\": {{\"physical_parallelism\": {physical}, \"worker_budget\": 8, \"smoke\": {smoke}}},\n  \"drive\": {{\"readings\": {}, \"window_size\": {}, \"window_step\": {}}},\n  \"thread_sweep\": [\n{}\n  ],\n  \"shared_window\": {{\"groups_per_round\": {}, \"distinct_groups\": {distinct}, \"per_group_rebuild_ms\": {:.3}, \"shared_cold_ms\": {:.3}, \"memoized_replay_ms\": {:.4}, \"cold_speedup\": {:.3}, \"memoized_speedup\": {:.1}}},\n  \"solver_workspace\": {{\"matrix\": \"{m}x{n}\", \"iterations\": {seed_iters}, \"seed_clone_per_iter_us\": {:.1}, \"workspace_us\": {:.1}, \"speedup\": {:.3}, \"bit_identical\": true}},\n  \"notes\": \"Thread-sweep speedups are bounded by physical_parallelism (a 1-core machine cannot exceed 1x regardless of the configured thread count); shared_window and solver_workspace are the machine-independent algorithmic gains over the seed implementation, which rebuilt the sensing matrix per hypothesis group, re-solved groupings recurring across EM passes, and cloned solver state every FISTA iteration. The seed FISTA baseline is reproduced verbatim in this bench and asserted to yield bit-identical solutions.\"\n}}\n",
         readings.len(),
         cfg.window.size,
         cfg.window.step,
@@ -323,7 +334,7 @@ fn main() {
         lean_secs * 1e6,
         ws_speedup,
     );
-    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
-    std::fs::write(out_path, &json).expect("write BENCH_pipeline.json");
-    println!("wrote {out_path}");
+    let out_path = bench_out_path("BENCH_pipeline.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_pipeline.json");
+    println!("wrote {}", out_path.display());
 }

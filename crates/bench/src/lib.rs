@@ -94,6 +94,26 @@ pub fn log10_error(rate: f64, floor: f64) -> f64 {
     rate.max(floor).log10()
 }
 
+/// Whether benches run in reduced smoke mode (`BENCH_SMOKE=1`): the
+/// same measurements with far fewer repetitions, cheap enough for CI's
+/// regression gate. Absolute numbers are noisier; ratios still read.
+pub fn smoke_mode() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Where a bench writes its JSON artifact: `$BENCH_OUT_DIR/<file>` when
+/// the override is set (CI points it at an artifact directory),
+/// otherwise `<repo root>/<file>` (committed reference numbers).
+pub fn bench_out_path(file: &str) -> std::path::PathBuf {
+    match std::env::var_os("BENCH_OUT_DIR") {
+        Some(dir) => {
+            let _ = std::fs::create_dir_all(&dir);
+            std::path::Path::new(&dir).join(file)
+        }
+        None => std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join(file),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -96,17 +96,12 @@ impl GmmModel {
                 let mu = self.pathloss.mean_rss(d);
                 let sigma = (self.sigma_factor * mu.abs()).max(1e-6);
                 let z = (rss - mu) / sigma;
-                let log_pdf = -0.5 * z * z
-                    - sigma.ln()
-                    - 0.5 * (2.0 * std::f64::consts::PI).ln();
+                let log_pdf = -0.5 * z * z - sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln();
                 if weights[j] > 0.0 {
                     log_terms.push(weights[j].ln() + log_pdf);
                 }
             }
-            let m = log_terms
-                .iter()
-                .cloned()
-                .fold(f64::NEG_INFINITY, f64::max);
+            let m = log_terms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let lse = m + log_terms.iter().map(|t| (t - m).exp()).sum::<f64>().ln();
             total += lse;
         }
@@ -146,8 +141,7 @@ impl GmmModel {
                 let mu = self.pathloss.mean_rss(d);
                 let sigma = (self.sigma_factor * mu.abs()).max(1e-6);
                 let z = (rss - mu) / sigma;
-                let log_pdf =
-                    -0.5 * z * z - sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln();
+                let log_pdf = -0.5 * z * z - sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln();
                 best = best.max(w.ln() + log_pdf);
             }
             total += best;

@@ -33,7 +33,6 @@
 // validation wants.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
-
 pub mod bic;
 pub mod gmm;
 pub mod noise;

@@ -40,7 +40,12 @@ impl PathLossModel {
     ///
     /// Returns [`ChannelError::InvalidParameter`] for non-finite inputs,
     /// non-positive `γ` or non-positive `d₀`.
-    pub fn new(tx_power_dbm: f64, ref_loss_db: f64, exponent: f64, ref_distance_m: f64) -> Result<Self> {
+    pub fn new(
+        tx_power_dbm: f64,
+        ref_loss_db: f64,
+        exponent: f64,
+        ref_distance_m: f64,
+    ) -> Result<Self> {
         if !tx_power_dbm.is_finite() {
             return Err(ChannelError::InvalidParameter {
                 name: "tx_power_dbm",
@@ -110,7 +115,9 @@ impl PathLossModel {
     /// clamped to the reference distance.
     pub fn mean_rss(&self, d: f64) -> f64 {
         let d = d.max(self.ref_distance_m);
-        self.tx_power_dbm - self.ref_loss_db - 10.0 * self.exponent * (d / self.ref_distance_m).log10()
+        self.tx_power_dbm
+            - self.ref_loss_db
+            - 10.0 * self.exponent * (d / self.ref_distance_m).log10()
     }
 
     /// Inverse model: the distance at which the mean RSS equals

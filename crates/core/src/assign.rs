@@ -341,7 +341,9 @@ pub fn combination_count(k: usize, m: usize) -> u64 {
     for j in 0..=k {
         let sign: i128 = if j % 2 == 0 { 1 } else { -1 };
         let choose = binomial(k as u64, j as u64) as i128;
-        let power = ((k - j) as u128).saturating_pow(m as u32).min(u64::MAX as u128) as i128;
+        let power = ((k - j) as u128)
+            .saturating_pow(m as u32)
+            .min(u64::MAX as u128) as i128;
         total += sign * choose * power;
     }
     total.clamp(0, u64::MAX as i128) as u64
@@ -391,8 +393,9 @@ mod tests {
 
     #[test]
     fn exhaustive_counts_are_stirling_like() {
-        let readings: Vec<RssReading> =
-            (0..4).map(|i| reading_at(i as f64, -60.0, i as f64)).collect();
+        let readings: Vec<RssReading> = (0..4)
+            .map(|i| reading_at(i as f64, -60.0, i as f64))
+            .collect();
         let a = ExhaustiveAssigner::default();
         // Surjections 4→1: 1, 4→2: 14, 4→3: 36, 4→4: 24.
         assert_eq!(a.candidate_assignments(&readings, 1).len(), 1);
@@ -408,8 +411,9 @@ mod tests {
         // enumerates, for every feasible (k, m) pair small enough to try.
         let a = ExhaustiveAssigner::default();
         for m in 1..=6usize {
-            let readings: Vec<RssReading> =
-                (0..m).map(|i| reading_at(i as f64, -60.0, i as f64)).collect();
+            let readings: Vec<RssReading> = (0..m)
+                .map(|i| reading_at(i as f64, -60.0, i as f64))
+                .collect();
             for k in 1..=m {
                 assert_eq!(
                     combination_count(k, m),
@@ -439,8 +443,9 @@ mod tests {
 
     #[test]
     fn exhaustive_refuses_large_windows() {
-        let readings: Vec<RssReading> =
-            (0..9).map(|i| reading_at(i as f64, -60.0, i as f64)).collect();
+        let readings: Vec<RssReading> = (0..9)
+            .map(|i| reading_at(i as f64, -60.0, i as f64))
+            .collect();
         assert!(ExhaustiveAssigner::new(8)
             .candidate_assignments(&readings, 2)
             .is_empty());
@@ -468,8 +473,9 @@ mod tests {
 
     #[test]
     fn cluster_assigner_k1_is_trivial() {
-        let readings: Vec<RssReading> =
-            (0..3).map(|i| reading_at(i as f64, -60.0, i as f64)).collect();
+        let readings: Vec<RssReading> = (0..3)
+            .map(|i| reading_at(i as f64, -60.0, i as f64))
+            .collect();
         let assigner = ClusterAssigner::new(PathLossModel::uci_campus());
         let cands = assigner.candidate_assignments(&readings, 1);
         assert_eq!(cands.len(), 1);
@@ -478,20 +484,22 @@ mod tests {
 
     #[test]
     fn segmentation_candidate_is_contiguous() {
-        let readings: Vec<RssReading> =
-            (0..6).map(|i| reading_at(i as f64, -60.0, i as f64)).collect();
+        let readings: Vec<RssReading> = (0..6)
+            .map(|i| reading_at(i as f64, -60.0, i as f64))
+            .collect();
         let assigner = ClusterAssigner::new(PathLossModel::uci_campus());
         let cands = assigner.candidate_assignments(&readings, 3);
         // The segmentation candidate must exist and be non-decreasing.
-        assert!(cands.iter().any(|a| {
-            a.labels().windows(2).all(|w| w[0] <= w[1])
-        }));
+        assert!(cands
+            .iter()
+            .any(|a| { a.labels().windows(2).all(|w| w[0] <= w[1]) }));
     }
 
     #[test]
     fn infeasible_k_yields_nothing() {
-        let readings: Vec<RssReading> =
-            (0..3).map(|i| reading_at(i as f64, -60.0, i as f64)).collect();
+        let readings: Vec<RssReading> = (0..3)
+            .map(|i| reading_at(i as f64, -60.0, i as f64))
+            .collect();
         let assigner = ClusterAssigner::new(PathLossModel::uci_campus());
         assert!(assigner.candidate_assignments(&readings, 0).is_empty());
         assert!(assigner.candidate_assignments(&readings, 4).is_empty());
@@ -500,8 +508,9 @@ mod tests {
 
     #[test]
     fn group_positions_extracts_by_label() {
-        let readings: Vec<RssReading> =
-            (0..4).map(|i| reading_at(i as f64, -60.0, i as f64)).collect();
+        let readings: Vec<RssReading> = (0..4)
+            .map(|i| reading_at(i as f64, -60.0, i as f64))
+            .collect();
         let a = Assignment::new(vec![0, 1, 0, 1], 2).unwrap();
         let g0 = group_positions(&readings, &a, 0);
         assert_eq!(g0, vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)]);

@@ -120,11 +120,7 @@ pub fn candidate_modes(
     }
     for i in 0..dominant.len() {
         for j in (i + 1)..dominant.len() {
-            if grid
-                .point(dominant[i])
-                .distance(grid.point(dominant[j]))
-                <= link_radius
-            {
+            if grid.point(dominant[i]).distance(grid.point(dominant[j])) <= link_radius {
                 let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
                 if ri != rj {
                     parent[ri] = rj;

@@ -65,19 +65,24 @@ impl Consolidator {
     }
 
     /// Ingests one round's estimated locations, granting one credit each
-    /// and merging with aligned prior estimates.
-    pub fn merge_round(&mut self, locations: &[Point]) {
-        for &loc in locations {
-            self.merge_one(loc, 1.0);
-        }
+    /// and merging with aligned prior estimates. Returns how many of the
+    /// locations merged into an existing estimate (the rest opened new
+    /// ones or were rejected).
+    pub fn merge_round(&mut self, locations: &[Point]) -> usize {
+        locations
+            .iter()
+            .filter(|&&loc| self.merge_one(loc, 1.0))
+            .count()
     }
 
     /// Ingests a single location with an explicit credit grant (used by
     /// the offline crowdsourcing fusion, where a crowd-vehicle's vote is
-    /// weighted by its reliability).
-    pub fn merge_one(&mut self, location: Point, credit: f64) {
+    /// weighted by its reliability). Returns `true` when the location
+    /// merged into an existing estimate, `false` when it opened a new
+    /// one or was rejected (non-positive credit / non-finite position).
+    pub fn merge_one(&mut self, location: Point, credit: f64) -> bool {
         if credit <= 0.0 || !location.is_finite() {
-            return;
+            return false;
         }
         // Nearest existing estimate within the merge radius.
         let nearest = self
@@ -98,11 +103,15 @@ impl Consolidator {
                     (existing.position.y * existing.credit + location.y * credit) / total,
                 );
                 existing.credit = total;
+                true
             }
-            None => self.estimates.push(ApEstimate {
-                position: location,
-                credit,
-            }),
+            None => {
+                self.estimates.push(ApEstimate {
+                    position: location,
+                    credit,
+                });
+                false
+            }
         }
     }
 
@@ -176,9 +185,21 @@ mod tests {
     #[test]
     fn non_positive_credit_and_nan_ignored() {
         let mut c = Consolidator::new(5.0);
-        c.merge_one(Point::new(0.0, 0.0), 0.0);
-        c.merge_one(Point::new(f64::NAN, 0.0), 1.0);
+        assert!(!c.merge_one(Point::new(0.0, 0.0), 0.0));
+        assert!(!c.merge_one(Point::new(f64::NAN, 0.0), 1.0));
         assert!(c.estimates().is_empty());
+    }
+
+    #[test]
+    fn merge_results_distinguish_new_from_merged() {
+        let mut c = Consolidator::new(10.0);
+        assert!(!c.merge_one(Point::new(0.0, 0.0), 1.0));
+        assert!(c.merge_one(Point::new(3.0, 0.0), 1.0));
+        // One aligned vote, one new location.
+        assert_eq!(
+            c.merge_round(&[Point::new(1.0, 0.0), Point::new(80.0, 0.0)]),
+            1
+        );
     }
 
     #[test]

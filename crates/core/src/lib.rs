@@ -56,15 +56,15 @@
 // validation wants.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
-
 pub mod assign;
 pub mod centroid;
 pub mod consolidate;
 pub mod metrics;
+pub mod obs;
 pub mod par;
 pub mod pipeline;
-pub mod refine;
 pub mod recovery;
+pub mod refine;
 pub mod select;
 pub mod window;
 

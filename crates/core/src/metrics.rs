@@ -143,4 +143,64 @@ mod tests {
         assert_eq!(localization_error(&pts, &pts, 8.0), Some(0.0));
         assert_eq!(mean_distance_error(&pts, &pts), Some(0.0));
     }
+
+    #[test]
+    fn zero_estimated_aps_yield_full_counting_error_and_no_matches() {
+        // A run that finds nothing: counting error saturates at 100%,
+        // the match set is empty, and both distance metrics are
+        // undefined rather than zero (nothing was localized).
+        assert_eq!(counting_error(5, 0), 1.0);
+        let actual = [Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        assert!(greedy_match(&actual, &[]).is_empty());
+        assert!(greedy_match(&[], &actual).is_empty());
+        assert_eq!(localization_error(&actual, &[], 8.0), None);
+        assert_eq!(mean_distance_error(&actual, &[]), None);
+    }
+
+    #[test]
+    fn duplicate_positions_match_one_to_one() {
+        // Two estimates on the exact same spot (a consolidation near-
+        // miss): each must consume a distinct actual AP, never the same
+        // one twice, so the second duplicate pays its real distance.
+        let actual = [Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        let estimated = [Point::new(0.0, 0.0), Point::new(0.0, 0.0)];
+        let pairs = greedy_match(&actual, &estimated);
+        assert_eq!(pairs.len(), 2);
+        let actuals: std::collections::BTreeSet<usize> = pairs.iter().map(|&(i, _, _)| i).collect();
+        let estimates: std::collections::BTreeSet<usize> =
+            pairs.iter().map(|&(_, j, _)| j).collect();
+        assert_eq!(actuals.len(), 2, "an actual AP was matched twice");
+        assert_eq!(estimates.len(), 2, "an estimate was matched twice");
+        let mut dists: Vec<f64> = pairs.iter().map(|&(_, _, d)| d).collect();
+        dists.sort_by(f64::total_cmp);
+        assert_eq!(dists, vec![0.0, 10.0]);
+        assert_eq!(mean_distance_error(&actual, &estimated), Some(5.0));
+        // Duplicate *actual* APs (co-located radios) behave the same.
+        let co_located = [Point::new(3.0, 0.0), Point::new(3.0, 0.0)];
+        let est = [Point::new(3.0, 0.0)];
+        let pairs = greedy_match(&co_located, &est);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].2, 0.0);
+    }
+
+    #[test]
+    fn overestimated_k_matches_min_and_scores_symmetric_counting() {
+        // k̂ > k: every actual AP gets exactly one match, surplus
+        // estimates are unmatched, and |k̂−k|/k mirrors the
+        // underestimate of the same magnitude.
+        let actual = [Point::new(0.0, 0.0)];
+        let estimated = [
+            Point::new(2.0, 0.0),
+            Point::new(40.0, 0.0),
+            Point::new(80.0, 0.0),
+        ];
+        assert_eq!(counting_error(1, 3), 2.0);
+        let pairs = greedy_match(&actual, &estimated);
+        assert_eq!(pairs.len(), 1);
+        // The single truth is claimed by its nearest estimate; the far
+        // spurious ones do not inflate the distance metrics.
+        assert_eq!(pairs[0], (0, 0, 2.0));
+        assert_eq!(mean_distance_error(&actual, &estimated), Some(2.0));
+        assert_eq!(localization_error(&actual, &estimated, 8.0), Some(0.25));
+    }
 }

@@ -1,0 +1,165 @@
+//! Pipeline instrumentation: pre-registered metric handles for the
+//! online-CS hot path.
+//!
+//! [`PipelineInstruments`] binds every metric the pipeline records once,
+//! at estimator construction, so the per-round recording path is pure
+//! relaxed-atomic arithmetic — no name lookups, no locks. By default the
+//! handles point at the process-wide [`crowdwifi_obs::global`] registry
+//! (disabled unless `CROWDWIFI_OBS=1`); [`crate::OnlineCs::with_registry`]
+//! redirects them to a local registry for scoped, deterministic
+//! measurement.
+//!
+//! # Metric reference
+//!
+//! | name | kind | meaning |
+//! |---|---|---|
+//! | `pipeline.windows_processed` | counter | sliding-window rounds run |
+//! | `pipeline.windows_empty` | counter | rounds with no usable hypothesis |
+//! | `pipeline.hypotheses_evaluated` | counter | (k, assignment) hypotheses materialized |
+//! | `pipeline.candidates_scored` | counter | candidate constellations scored before the BIC reduction |
+//! | `pipeline.round_winner_k` | histogram | BIC-selected AP count per round |
+//! | `pipeline.memo_lookups` / `pipeline.memo_hits` | counter | group-recovery memo traffic |
+//! | `pipeline.group_solves` | counter | ℓ1 solves actually run |
+//! | `pipeline.solver_iterations` | counter | total solver iterations |
+//! | `pipeline.solver_unconverged` | counter | solves stopped at the iteration cap |
+//! | `pipeline.consolidation_merges` | counter | estimates merged into an existing location |
+//! | `pipeline.consolidation_new` | counter | estimates that opened a new location |
+//! | `pipeline.round_seconds` | timer | wall-clock per processed round |
+//!
+//! Memo hits/solves are exact totals but scheduling-dependent with more
+//! than one worker thread (see [`crate::recovery::SensingStats`]); pin
+//! `threads: 1` when a byte-identical snapshot matters.
+
+use crate::recovery::SensingStats;
+use crate::select::RoundEstimate;
+use crowdwifi_obs::{Counter, Histogram, Registry};
+
+/// Bucket bounds for the per-round BIC-winning AP count.
+const WINNER_K_BOUNDS: &[f64] = &[1.0, 2.0, 3.0, 4.0, 6.0, 8.0];
+
+/// Pre-registered handles for every pipeline metric (see the module
+/// docs for the metric reference).
+#[derive(Debug, Clone)]
+pub struct PipelineInstruments {
+    windows: Counter,
+    windows_empty: Counter,
+    hypotheses: Counter,
+    candidates: Counter,
+    winner_k: Histogram,
+    memo_lookups: Counter,
+    memo_hits: Counter,
+    group_solves: Counter,
+    solver_iterations: Counter,
+    solver_unconverged: Counter,
+    merges: Counter,
+    new_estimates: Counter,
+    round_time: Histogram,
+}
+
+impl PipelineInstruments {
+    /// Binds all pipeline metrics in `registry`.
+    pub fn from_registry(registry: &Registry) -> Self {
+        PipelineInstruments {
+            windows: registry.counter("pipeline.windows_processed"),
+            windows_empty: registry.counter("pipeline.windows_empty"),
+            hypotheses: registry.counter("pipeline.hypotheses_evaluated"),
+            candidates: registry.counter("pipeline.candidates_scored"),
+            winner_k: registry.histogram("pipeline.round_winner_k", WINNER_K_BOUNDS),
+            memo_lookups: registry.counter("pipeline.memo_lookups"),
+            memo_hits: registry.counter("pipeline.memo_hits"),
+            group_solves: registry.counter("pipeline.group_solves"),
+            solver_iterations: registry.counter("pipeline.solver_iterations"),
+            solver_unconverged: registry.counter("pipeline.solver_unconverged"),
+            merges: registry.counter("pipeline.consolidation_merges"),
+            new_estimates: registry.counter("pipeline.consolidation_new"),
+            round_time: registry.timer("pipeline.round_seconds"),
+        }
+    }
+
+    /// Binds all pipeline metrics in the process-wide
+    /// [`crowdwifi_obs::global`] registry (the default for
+    /// [`crate::OnlineCs`]).
+    pub fn global() -> Self {
+        Self::from_registry(crowdwifi_obs::global())
+    }
+
+    /// Starts the per-round span timer.
+    pub(crate) fn round_span(&self) -> crowdwifi_obs::Span {
+        self.round_time.start_span()
+    }
+
+    /// Records the outcome of one processed round: the winning estimate
+    /// (or its absence) plus the window workspace's memo/solver stats.
+    pub(crate) fn record_round(&self, winner: Option<&RoundEstimate>, stats: &SensingStats) {
+        self.windows.inc();
+        match winner {
+            Some(est) => {
+                self.hypotheses.add(est.hypotheses as u64);
+                self.candidates.add(est.candidates as u64);
+                self.winner_k.observe(est.k as f64);
+            }
+            None => self.windows_empty.inc(),
+        }
+        self.memo_lookups.add(stats.lookups);
+        self.memo_hits.add(stats.hits);
+        self.group_solves.add(stats.solves);
+        self.solver_iterations.add(stats.solver_iterations);
+        self.solver_unconverged.add(stats.unconverged);
+    }
+
+    /// Records one consolidation step: `merged` locations folded into
+    /// existing estimates out of `total` offered.
+    pub(crate) fn record_consolidation(&self, merged: usize, total: usize) {
+        self.merges.add(merged as u64);
+        self.new_estimates.add(total.saturating_sub(merged) as u64);
+    }
+}
+
+impl Default for PipelineInstruments {
+    fn default() -> Self {
+        Self::global()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_a_local_registry() {
+        if !crowdwifi_obs::RECORDING {
+            return;
+        }
+        let reg = Registry::new();
+        let inst = PipelineInstruments::from_registry(&reg);
+        let est = RoundEstimate {
+            aps: Vec::new(),
+            k: 2,
+            log_likelihood: -10.0,
+            bic: -25.0,
+            alternates: Vec::new(),
+            hypotheses: 7,
+            candidates: 12,
+        };
+        let stats = SensingStats {
+            lookups: 10,
+            hits: 4,
+            solves: 6,
+            solver_iterations: 600,
+            unconverged: 1,
+        };
+        inst.record_round(Some(&est), &stats);
+        inst.record_round(None, &SensingStats::default());
+        inst.record_consolidation(1, 3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["pipeline.windows_processed"], 2);
+        assert_eq!(snap.counters["pipeline.windows_empty"], 1);
+        assert_eq!(snap.counters["pipeline.hypotheses_evaluated"], 7);
+        assert_eq!(snap.counters["pipeline.candidates_scored"], 12);
+        assert_eq!(snap.counters["pipeline.memo_hits"], 4);
+        assert_eq!(snap.counters["pipeline.solver_iterations"], 600);
+        assert_eq!(snap.counters["pipeline.consolidation_merges"], 1);
+        assert_eq!(snap.counters["pipeline.consolidation_new"], 2);
+        assert_eq!(snap.histograms["pipeline.round_winner_k"].count, 1);
+    }
+}

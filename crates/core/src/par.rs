@@ -210,7 +210,9 @@ mod tests {
         let outer: Vec<usize> = (0..8).collect();
         let out = par_map(&outer, 4, |_, &o| {
             let inner: Vec<usize> = (0..16).collect();
-            par_map(&inner, 4, |_, &i| o * 100 + i).iter().sum::<usize>()
+            par_map(&inner, 4, |_, &i| o * 100 + i)
+                .iter()
+                .sum::<usize>()
         });
         let expect: Vec<usize> = (0..8)
             .map(|o| (0..16).map(|i| o * 100 + i).sum::<usize>())
@@ -221,13 +223,17 @@ mod tests {
     #[test]
     fn try_par_map_returns_first_error() {
         let items: Vec<usize> = (0..100).collect();
-        let r = try_par_map(&items, 4, |_, &x| {
-            if x == 17 || x == 63 {
-                Err(x)
-            } else {
-                Ok(x)
-            }
-        });
+        let r = try_par_map(
+            &items,
+            4,
+            |_, &x| {
+                if x == 17 || x == 63 {
+                    Err(x)
+                } else {
+                    Ok(x)
+                }
+            },
+        );
         assert_eq!(r, Err(17));
     }
 

@@ -9,6 +9,7 @@
 
 use crate::assign::ClusterAssigner;
 use crate::consolidate::{ApEstimate, Consolidator};
+use crate::obs::PipelineInstruments;
 use crate::recovery::CsRecovery;
 use crate::select::{estimate_round, RoundEstimate};
 use crate::window::{windows_over, SlidingWindow, WindowConfig};
@@ -117,6 +118,7 @@ pub struct OnlineCs {
     gmm: GmmModel,
     assigner: ClusterAssigner,
     recovery: CsRecovery,
+    instruments: PipelineInstruments,
 }
 
 impl OnlineCs {
@@ -136,6 +138,7 @@ impl OnlineCs {
             gmm,
             assigner,
             recovery,
+            instruments: PipelineInstruments::global(),
         })
     }
 
@@ -151,6 +154,14 @@ impl OnlineCs {
         self
     }
 
+    /// Redirects this estimator's metrics into `registry` instead of the
+    /// process-wide [`crowdwifi_obs::global`] registry — e.g. a local
+    /// [`crowdwifi_obs::Registry`] whose snapshot covers exactly one run.
+    pub fn with_registry(mut self, registry: &crowdwifi_obs::Registry) -> Self {
+        self.instruments = PipelineInstruments::from_registry(registry);
+        self
+    }
+
     /// Processes one window round: grid formation + hypothesis search.
     ///
     /// # Errors
@@ -162,17 +173,25 @@ impl OnlineCs {
             return Ok(None);
         }
         let positions: Vec<Point> = round.iter().map(|r| r.position).collect();
-        let grid = Grid::from_reference_points(&positions, self.config.radio_range, self.config.lattice)?;
-        estimate_round(
+        let grid =
+            Grid::from_reference_points(&positions, self.config.radio_range, self.config.lattice)?;
+        let sensing = self.recovery.prepare_window(&grid, round);
+        let span = self.instruments.round_span();
+        let est = estimate_round(
             round,
             &grid,
             &self.gmm,
             &self.assigner,
             &self.recovery,
+            &sensing,
             self.config.max_ap_per_window,
             self.config.rel_threshold,
             self.config.threads,
-        )
+        )?;
+        span.finish();
+        self.instruments
+            .record_round(est.as_ref(), &sensing.stats());
+        Ok(est)
     }
 
     /// Batch entry point: runs the full pipeline over a recorded drive
@@ -204,10 +223,7 @@ impl OnlineCs {
         })?;
         let mut rounds = Vec::new();
         for est in processed.into_iter().flatten() {
-            consolidator.merge_round(&est.aps);
-            for &alt in &est.alternates {
-                consolidator.merge_one(alt, 0.25);
-            }
+            self.consolidate_estimate(&mut consolidator, &est);
             rounds.push(est);
         }
         let final_aps = if self.config.global_refine {
@@ -230,6 +246,19 @@ impl OnlineCs {
             all_estimates: consolidator.estimates().to_vec(),
             rounds,
         })
+    }
+
+    /// Folds one round's winner (plus reduced-credit alternates) into
+    /// the consolidator, recording the merge/new split.
+    fn consolidate_estimate(&self, consolidator: &mut Consolidator, est: &RoundEstimate) {
+        let mut merged = consolidator.merge_round(&est.aps);
+        for &alt in &est.alternates {
+            if consolidator.merge_one(alt, 0.25) {
+                merged += 1;
+            }
+        }
+        self.instruments
+            .record_consolidation(merged, est.aps.len() + est.alternates.len());
     }
 
     /// Starts a streaming session.
@@ -341,14 +370,11 @@ impl OnlineCsSession<'_> {
             None => Ok(None),
             Some(round) => {
                 if let Some(est) = self.pipeline.process_round(&round)? {
-                    self.consolidator.merge_round(&est.aps);
-                    for &alt in &est.alternates {
-                        self.consolidator.merge_one(alt, 0.25);
-                    }
+                    self.pipeline
+                        .consolidate_estimate(&mut self.consolidator, &est);
                 }
                 Ok(Some(
-                    self.consolidator
-                        .filtered(self.pipeline.config.min_credit),
+                    self.consolidator.filtered(self.pipeline.config.min_credit),
                 ))
             }
         }
@@ -363,10 +389,8 @@ impl OnlineCsSession<'_> {
     pub fn finish(mut self) -> Result<Vec<ApEstimate>> {
         if let Some(round) = self.window.flush() {
             if let Some(est) = self.pipeline.process_round(&round)? {
-                self.consolidator.merge_round(&est.aps);
-                for &alt in &est.alternates {
-                    self.consolidator.merge_one(alt, 0.25);
-                }
+                self.pipeline
+                    .consolidate_estimate(&mut self.consolidator, &est);
             }
         }
         if self.pipeline.config.global_refine {
@@ -383,9 +407,7 @@ impl OnlineCsSession<'_> {
                 2,
             ));
         }
-        Ok(self
-            .consolidator
-            .filtered(self.pipeline.config.min_credit))
+        Ok(self.consolidator.filtered(self.pipeline.config.min_credit))
     }
 
     /// Current unfiltered estimates.
@@ -450,10 +472,7 @@ mod tests {
         let aps = [Point::new(40.0, 22.0), Point::new(160.0, 18.0)];
         let readings: Vec<RssReading> = (0..80)
             .map(|i| {
-                let p = Point::new(
-                    3.0 * i as f64,
-                    if (i / 5) % 2 == 0 { 0.0 } else { 14.0 },
-                );
+                let p = Point::new(3.0 * i as f64, if (i / 5) % 2 == 0 { 0.0 } else { 14.0 });
                 let nearest = aps
                     .iter()
                     .min_by(|a, b| p.distance(**a).partial_cmp(&p.distance(**b)).unwrap())

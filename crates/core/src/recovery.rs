@@ -31,7 +31,30 @@ use crowdwifi_linalg::svd::pseudo_inverse;
 use crowdwifi_linalg::Matrix;
 use crowdwifi_sparsesolve::{AnySolver, Fista, SolverWorkspace, SparseRecovery};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Cumulative memo and solver statistics of one [`WindowSensing`]
+/// workspace, read with [`WindowSensing::stats`].
+///
+/// Counts accumulate through relaxed atomics, so totals are exact under
+/// concurrent hypothesis evaluation — but *which* lookups hit the memo
+/// depends on thread scheduling (two threads can race to first-solve
+/// the same group), so `hits`/`solves` are only run-reproducible with
+/// one worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SensingStats {
+    /// Group-recovery requests served (memo hits + solves).
+    pub lookups: u64,
+    /// Requests answered from the memo.
+    pub hits: u64,
+    /// Requests that ran the ℓ1 solver.
+    pub solves: u64,
+    /// Total solver iterations across all solves.
+    pub solver_iterations: u64,
+    /// Solves that hit the iteration cap without converging.
+    pub unconverged: u64,
+}
 
 /// Precomputed per-window sensing state shared by every hypothesis.
 ///
@@ -59,6 +82,16 @@ pub struct WindowSensing {
     shifted_rss: Vec<f64>,
     /// Completed group recoveries keyed by sorted reading-index set.
     memo: Mutex<HashMap<Vec<usize>, Arc<Vec<f64>>>>,
+    /// Group-recovery requests served.
+    lookups: AtomicU64,
+    /// Requests answered from the memo.
+    hits: AtomicU64,
+    /// Requests that ran the solver.
+    solves: AtomicU64,
+    /// Total solver iterations across all solves.
+    solver_iterations: AtomicU64,
+    /// Solves that hit the iteration cap.
+    unconverged: AtomicU64,
 }
 
 impl WindowSensing {
@@ -78,6 +111,17 @@ impl WindowSensing {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .len()
+    }
+
+    /// Cumulative memo and solver statistics (see [`SensingStats`]).
+    pub fn stats(&self) -> SensingStats {
+        SensingStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            solves: self.solves.load(Ordering::Relaxed),
+            solver_iterations: self.solver_iterations.load(Ordering::Relaxed),
+            unconverged: self.unconverged.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -177,9 +221,7 @@ impl CsRecovery {
         let candidates: Vec<usize> = (0..n)
             .filter(|&j| {
                 let gp = grid.point(j);
-                positions
-                    .iter()
-                    .all(|p| p.distance(gp) <= self.radio_range)
+                positions.iter().all(|p| p.distance(gp) <= self.radio_range)
             })
             .collect();
         if candidates.is_empty() {
@@ -198,7 +240,7 @@ impl CsRecovery {
             .iter()
             .map(|&r| (r - self.floor_dbm).max(0.0))
             .collect();
-        self.solve_pruned(&a_raw, &y, &candidates, n)
+        Ok(self.solve_pruned(&a_raw, &y, &candidates, n)?.theta)
     }
 
     /// Precomputes the window-wide distance and signature matrices (and
@@ -222,6 +264,11 @@ impl CsRecovery {
             sig,
             shifted_rss,
             memo: Mutex::new(HashMap::new()),
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            solves: AtomicU64::new(0),
+            solver_iterations: AtomicU64::new(0),
+            unconverged: AtomicU64::new(0),
         }
     }
 
@@ -237,11 +284,7 @@ impl CsRecovery {
     ///
     /// Returns [`CoreError::InvalidConfig`] for an empty or out-of-range
     /// index set, and solver/linalg failures otherwise.
-    pub fn recover_group(
-        &self,
-        sensing: &WindowSensing,
-        idx: &[usize],
-    ) -> Result<Arc<Vec<f64>>> {
+    pub fn recover_group(&self, sensing: &WindowSensing, idx: &[usize]) -> Result<Arc<Vec<f64>>> {
         let m_all = sensing.readings();
         if idx.is_empty() || idx.iter().any(|&i| i >= m_all) {
             return Err(CoreError::InvalidConfig {
@@ -249,18 +292,23 @@ impl CsRecovery {
                 reason: format!("need non-empty indices within 0..{m_all}, got {idx:?}"),
             });
         }
+        sensing.lookups.fetch_add(1, Ordering::Relaxed);
         if let Some(hit) = sensing
             .memo
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(idx)
         {
+            sensing.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit.clone());
         }
 
         let n = sensing.grid_len();
         let candidates: Vec<usize> = (0..n)
-            .filter(|&j| idx.iter().all(|&i| sensing.dist.get(i, j) <= self.radio_range))
+            .filter(|&j| {
+                idx.iter()
+                    .all(|&i| sensing.dist.get(i, j) <= self.radio_range)
+            })
             .collect();
         let theta = if candidates.is_empty() {
             vec![0.0; n]
@@ -269,7 +317,15 @@ impl CsRecovery {
                 sensing.sig.get(idx[r], candidates[jc])
             });
             let y: Vec<f64> = idx.iter().map(|&i| sensing.shifted_rss[i]).collect();
-            self.solve_pruned(&a_raw, &y, &candidates, n)?
+            let solve = self.solve_pruned(&a_raw, &y, &candidates, n)?;
+            sensing.solves.fetch_add(1, Ordering::Relaxed);
+            sensing
+                .solver_iterations
+                .fetch_add(solve.iterations as u64, Ordering::Relaxed);
+            if !solve.converged {
+                sensing.unconverged.fetch_add(1, Ordering::Relaxed);
+            }
+            solve.theta
         };
         let theta = Arc::new(theta);
         sensing
@@ -290,7 +346,7 @@ impl CsRecovery {
         y: &[f64],
         candidates: &[usize],
         n: usize,
-    ) -> Result<Vec<f64>> {
+    ) -> Result<GroupSolve> {
         let m = a_raw.rows();
         // Column normalization: RSS signatures of near columns have much
         // larger norms than far ones, which biases ℓ1 toward
@@ -367,8 +423,8 @@ impl CsRecovery {
                     *p = 0.0;
                 }
                 for &(j, cj, relres) in &scored {
-                    let w = (-((relres * relres - res_min * res_min) / (2.0 * scale * scale)))
-                        .exp();
+                    let w =
+                        (-((relres * relres - res_min * res_min) / (2.0 * scale * scale))).exp();
                     pruned[j] = cj * w * (0.5 + 0.5 * l1_rel[j]);
                 }
             }
@@ -379,8 +435,20 @@ impl CsRecovery {
         for (jc, &j) in candidates.iter().enumerate() {
             theta[j] = pruned[jc];
         }
-        Ok(theta)
+        Ok(GroupSolve {
+            theta,
+            iterations: recovery.iterations,
+            converged: recovery.converged,
+        })
     }
+}
+
+/// Result of one pruned group solve: the scattered indicator plus the
+/// solver's convergence diagnostics (fed into [`SensingStats`]).
+struct GroupSolve {
+    theta: Vec<f64>,
+    iterations: usize,
+    converged: bool,
 }
 
 #[cfg(test)]

@@ -30,6 +30,13 @@ pub struct RoundEstimate {
     /// true side stays available even when every window picked the
     /// ghost side (see `crate::refine`).
     pub alternates: Vec<Point>,
+    /// How many (k, assignment) hypotheses the round materialized.
+    pub hypotheses: usize,
+    /// How many candidate constellations were scored across all
+    /// hypotheses and EM passes before the BIC reduction picked this
+    /// winner. Deterministic for a given round regardless of the thread
+    /// count.
+    pub candidates: usize,
 }
 
 /// Scores every hypothesis for one round and returns the BIC maximizer.
@@ -39,9 +46,12 @@ pub struct RoundEstimate {
 /// — each hypothesis's EM refinement chain is independent — and reduced
 /// in the sequential hypothesis order, so the winner (position bytes,
 /// tie-breaks and all) is identical to a single-threaded run. All
-/// hypotheses share one [`WindowSensing`] workspace: the window's
-/// signature matrix is derived once and per-group recoveries are
-/// memoized across hypotheses.
+/// hypotheses share the caller-provided [`WindowSensing`] workspace
+/// (from [`CsRecovery::prepare_window`] over the same grid and
+/// readings): the window's signature matrix is derived once and
+/// per-group recoveries are memoized across hypotheses. The caller
+/// keeps the workspace, so it can read the accumulated
+/// [`WindowSensing::stats`] afterwards.
 ///
 /// Returns `Ok(None)` when no hypothesis produced a usable constellation
 /// (e.g. every recovery came back empty).
@@ -56,6 +66,7 @@ pub fn estimate_round(
     gmm: &GmmModel,
     assigner: &dyn Assigner,
     recovery: &CsRecovery,
+    sensing: &WindowSensing,
     max_k: usize,
     rel_threshold: f64,
     threads: usize,
@@ -65,7 +76,6 @@ pub fn estimate_round(
     }
     let m = readings.len();
     let data: Vec<(Point, f64)> = readings.iter().map(|r| (r.position, r.rss_dbm)).collect();
-    let sensing = recovery.prepare_window(grid, readings);
 
     // Materialize the hypothesis list up front (clustering is cheap
     // next to recovery); each entry evaluates independently.
@@ -85,7 +95,7 @@ pub fn estimate_round(
             grid,
             gmm,
             recovery,
-            &sensing,
+            sensing,
             *k,
             assignment.labels(),
             rel_threshold,
@@ -96,10 +106,16 @@ pub fn estimate_round(
     // sequential nested loop would have produced them, so the surviving
     // `best` is byte-identical to a single-threaded run.
     let mut best: Option<RoundEstimate> = None;
+    let mut scored = 0usize;
     for candidate in evaluated.into_iter().flatten() {
+        scored += 1;
         if best.as_ref().is_none_or(|b| candidate.bic > b.bic) {
             best = Some(candidate);
         }
+    }
+    if let Some(b) = best.as_mut() {
+        b.hypotheses = hypotheses.len();
+        b.candidates = scored;
     }
     Ok(best)
 }
@@ -205,6 +221,8 @@ fn best_mode_combination(
                     log_likelihood: ll,
                     bic: score,
                     alternates: Vec::new(),
+                    hypotheses: 0,
+                    candidates: 0,
                 });
             }
         }
@@ -249,13 +267,8 @@ fn recover_group_modes(
             continue; // empty group: hypothesis effectively smaller k
         }
         let theta = recovery.recover_group(sensing, &idx)?;
-        let modes = crate::centroid::candidate_modes(
-            &theta,
-            grid,
-            rel_threshold,
-            2.0 * grid.lattice(),
-            3,
-        );
+        let modes =
+            crate::centroid::candidate_modes(&theta, grid, rel_threshold, 2.0 * grid.lattice(), 3);
         if modes.is_empty() {
             return Ok(None);
         }
@@ -276,12 +289,10 @@ fn reassign_by_fit(readings: &[RssReading], aps: &[Point], gmm: &GmmModel) -> Ve
         .map(|r| {
             (0..aps.len())
                 .min_by(|&a, &b| {
-                    let ea = (r.rss_dbm
-                        - gmm.pathloss().mean_rss(r.position.distance(aps[a])))
-                    .abs();
-                    let eb = (r.rss_dbm
-                        - gmm.pathloss().mean_rss(r.position.distance(aps[b])))
-                    .abs();
+                    let ea =
+                        (r.rss_dbm - gmm.pathloss().mean_rss(r.position.distance(aps[a]))).abs();
+                    let eb =
+                        (r.rss_dbm - gmm.pathloss().mean_rss(r.position.distance(aps[b]))).abs();
                     ea.partial_cmp(&eb).expect("finite RSS errors")
                 })
                 .expect("non-empty constellation")
@@ -357,7 +368,10 @@ mod tests {
     /// Staggered lane positions: keeps the route non-colinear so the
     /// recovery's mirror ambiguity (see `recovery` docs) cannot bite.
     fn staggered(i: usize, spacing: f64) -> Point {
-        Point::new(spacing * i as f64, if (i / 4).is_multiple_of(2) { 0.0 } else { 12.0 })
+        Point::new(
+            spacing * i as f64,
+            if (i / 4).is_multiple_of(2) { 0.0 } else { 12.0 },
+        )
     }
 
     #[test]
@@ -366,11 +380,21 @@ mod tests {
         let ap = grid.point(grid.nearest_index(Point::new(50.0, 30.0)));
         let positions: Vec<Point> = (0..12).map(|i| staggered(i, 8.0)).collect();
         let readings = clean_readings(&[ap], &positions);
-        let est = estimate_round(&readings, &grid, &gmm, &assigner, &recovery, 3, 0.3, 2)
-            .unwrap()
-            .expect("a hypothesis must win");
+        let sensing = recovery.prepare_window(&grid, &readings);
+        let est = estimate_round(
+            &readings, &grid, &gmm, &assigner, &recovery, &sensing, 3, 0.3, 2,
+        )
+        .unwrap()
+        .expect("a hypothesis must win");
         assert_eq!(est.k, 1, "BIC should pick one AP, got {est:?}");
         assert!(est.aps[0].distance(ap) < 15.0);
+        assert!(est.hypotheses >= 3, "expected all k hypothesized");
+        assert!(est.candidates >= est.hypotheses);
+        let stats = sensing.stats();
+        // `>=`, not `==`: a group with no reachable grid cell counts a
+        // lookup but neither a hit nor a solve (trivial zero solution).
+        assert!(stats.lookups >= stats.hits + stats.solves);
+        assert!(stats.solves > 0);
     }
 
     #[test]
@@ -380,9 +404,12 @@ mod tests {
         let ap2 = grid.point(grid.nearest_index(Point::new(180.0, 30.0)));
         let positions: Vec<Point> = (0..20).map(|i| staggered(i, 10.0)).collect();
         let readings = clean_readings(&[ap1, ap2], &positions);
-        let est = estimate_round(&readings, &grid, &gmm, &assigner, &recovery, 4, 0.3, 2)
-            .unwrap()
-            .expect("a hypothesis must win");
+        let sensing = recovery.prepare_window(&grid, &readings);
+        let est = estimate_round(
+            &readings, &grid, &gmm, &assigner, &recovery, &sensing, 4, 0.3, 2,
+        )
+        .unwrap()
+        .expect("a hypothesis must win");
         assert_eq!(est.k, 2, "BIC should pick two APs, got k={}", est.k);
         // Each true AP matched by some estimate within ~1.5 cells.
         for true_ap in [ap1, ap2] {
@@ -398,7 +425,9 @@ mod tests {
     #[test]
     fn empty_round_yields_none() {
         let (grid, gmm, assigner, recovery) = setup();
-        let est = estimate_round(&[], &grid, &gmm, &assigner, &recovery, 3, 0.3, 1).unwrap();
+        let sensing = recovery.prepare_window(&grid, &[]);
+        let est =
+            estimate_round(&[], &grid, &gmm, &assigner, &recovery, &sensing, 3, 0.3, 1).unwrap();
         assert!(est.is_none());
     }
 }

@@ -6,8 +6,8 @@
 //! `R_n = { r_{q(n−1)+1}, …, r_{q(n−1)+s} }`. Readings older than their
 //! TTL are expired and never enter a window.
 
-use crowdwifi_channel::RssReading;
 use crate::{CoreError, Result};
+use crowdwifi_channel::RssReading;
 
 /// Sliding-window parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]

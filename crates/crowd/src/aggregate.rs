@@ -92,12 +92,7 @@ pub fn skyhook_rank_vote(labels: &LabelMatrix) -> Vec<i8> {
             // e.g. a worker whose few tasks all happen to share one true
             // label. Fall back to the plain agreement rate mapped to
             // [0, 1] so such workers don't silently abstain.
-            let agree = xs
-                .iter()
-                .zip(&ys)
-                .filter(|(x, y)| x == y)
-                .count() as f64
-                / xs.len() as f64;
+            let agree = xs.iter().zip(&ys).filter(|(x, y)| x == y).count() as f64 / xs.len() as f64;
             (2.0 * agree - 1.0).max(0.0)
         } else {
             spearman(&xs, &ys).max(0.0)
@@ -194,12 +189,7 @@ mod tests {
 
     #[test]
     fn majority_vote_simple_case() {
-        let g = BipartiteAssignment::from_edge_list(
-            1,
-            3,
-            vec![(0, 0), (0, 1), (0, 2)],
-        )
-        .unwrap();
+        let g = BipartiteAssignment::from_edge_list(1, 3, vec![(0, 0), (0, 1), (0, 2)]).unwrap();
         let labels = LabelMatrix::from_labels(g, vec![1, 1, -1]);
         assert_eq!(majority_vote(&labels), vec![1]);
     }
@@ -207,12 +197,7 @@ mod tests {
     #[test]
     fn oracle_trusts_the_reliable_minority() {
         // One hammer (q ≈ 1) outvotes two near-spammers when weighted.
-        let g = BipartiteAssignment::from_edge_list(
-            1,
-            3,
-            vec![(0, 0), (0, 1), (0, 2)],
-        )
-        .unwrap();
+        let g = BipartiteAssignment::from_edge_list(1, 3, vec![(0, 0), (0, 1), (0, 2)]).unwrap();
         let labels = LabelMatrix::from_labels(g, vec![1, -1, -1]);
         let pool = WorkerPool::new(vec![0.99, 0.51, 0.51]).unwrap();
         assert_eq!(oracle_vote(&labels, &pool), vec![1]);

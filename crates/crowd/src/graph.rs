@@ -65,10 +65,7 @@ impl BipartiteAssignment {
             .collect();
         worker_stubs.shuffle(rng);
 
-        let mut edges: Vec<(usize, usize)> = task_stubs
-            .into_iter()
-            .zip(worker_stubs)
-            .collect();
+        let mut edges: Vec<(usize, usize)> = task_stubs.into_iter().zip(worker_stubs).collect();
 
         // Repair duplicate (task, worker) pairs by swapping the worker
         // endpoint with a random other edge; a bounded number of sweeps

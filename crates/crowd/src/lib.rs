@@ -168,11 +168,7 @@ pub fn bit_error_rate(estimates: &[i8], truth: &[i8]) -> f64 {
     if truth.is_empty() {
         return 0.0;
     }
-    let wrong = estimates
-        .iter()
-        .zip(truth)
-        .filter(|(a, b)| a != b)
-        .count();
+    let wrong = estimates.iter().zip(truth).filter(|(a, b)| a != b).count();
     wrong as f64 / truth.len() as f64
 }
 

@@ -177,11 +177,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let prior = SpammerHammerPrior::default();
         let pool = prior.draw_pool(4000, &mut rng);
-        let hammers = pool
-            .reliabilities()
-            .iter()
-            .filter(|&&q| q == 1.0)
-            .count();
+        let hammers = pool.reliabilities().iter().filter(|&&q| q == 1.0).count();
         let frac = hammers as f64 / pool.len() as f64;
         assert!((frac - 0.5).abs() < 0.05, "hammer fraction {frac}");
         assert!((pool.mean_reliability() - 0.75).abs() < 0.03);

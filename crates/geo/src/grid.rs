@@ -124,10 +124,10 @@ impl Grid {
     /// grid for outside points).
     pub fn nearest_index(&self, p: Point) -> usize {
         let clamped = self.bounds.clamp(p);
-        let i = (((clamped.x - self.bounds.min().x) / self.lattice).floor() as usize)
-            .min(self.nx - 1);
-        let j = (((clamped.y - self.bounds.min().y) / self.lattice).floor() as usize)
-            .min(self.ny - 1);
+        let i =
+            (((clamped.x - self.bounds.min().x) / self.lattice).floor() as usize).min(self.nx - 1);
+        let j =
+            (((clamped.y - self.bounds.min().y) / self.lattice).floor() as usize).min(self.ny - 1);
         j * self.nx + i
     }
 

@@ -28,7 +28,6 @@
 // validation wants.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
-
 pub mod grid;
 pub mod point;
 pub mod rect;

@@ -195,9 +195,10 @@ pub fn simulate<R: Rng + ?Sized>(
                 match sticky {
                     Some(i) => (ratios[i], ratios[i] > 0.5, false),
                     None => {
-                        let best = candidates.iter().copied().max_by(|&a, &b| {
-                            ewma[a].partial_cmp(&ewma[b]).expect("finite EWMA")
-                        });
+                        let best = candidates
+                            .iter()
+                            .copied()
+                            .max_by(|&a, &b| ewma[a].partial_cmp(&ewma[b]).expect("finite EWMA"));
                         let handoff = best.is_some() && current_brr.is_some();
                         current_brr = best.or(current_brr);
                         match best {

@@ -93,7 +93,10 @@ mod tests {
     fn session_extraction() {
         let t = trace(&[true, true, false, true, false, true, true, true]);
         assert_eq!(session_lengths(&t), vec![2, 1, 3]);
-        assert_eq!(session_lengths(&trace(&[false, false])), Vec::<usize>::new());
+        assert_eq!(
+            session_lengths(&trace(&[false, false])),
+            Vec::<usize>::new()
+        );
         assert_eq!(session_lengths(&trace(&[true])), vec![1]);
     }
 

@@ -158,7 +158,11 @@ mod tests {
     #[test]
     fn perfect_link_completes_many_fast_transfers() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let stats = run_transfers(&trace_with_ratio(60, 1.0), TransferConfig::default(), &mut rng);
+        let stats = run_transfers(
+            &trace_with_ratio(60, 1.0),
+            TransferConfig::default(),
+            &mut rng,
+        );
         assert!(stats.completion_times.len() > 50);
         let median = stats.median_time().unwrap();
         assert!((0.3..1.5).contains(&median), "median {median}");
@@ -168,7 +172,11 @@ mod tests {
     #[test]
     fn dead_link_completes_nothing_and_restarts() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let stats = run_transfers(&trace_with_ratio(60, 0.0), TransferConfig::default(), &mut rng);
+        let stats = run_transfers(
+            &trace_with_ratio(60, 0.0),
+            TransferConfig::default(),
+            &mut rng,
+        );
         assert!(stats.completion_times.is_empty());
         assert!(stats.restarts >= 5);
         assert_eq!(stats.median_time(), None);
@@ -177,8 +185,16 @@ mod tests {
     #[test]
     fn weaker_link_means_slower_transfers() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let strong = run_transfers(&trace_with_ratio(120, 0.95), TransferConfig::default(), &mut rng);
-        let weak = run_transfers(&trace_with_ratio(120, 0.55), TransferConfig::default(), &mut rng);
+        let strong = run_transfers(
+            &trace_with_ratio(120, 0.95),
+            TransferConfig::default(),
+            &mut rng,
+        );
+        let weak = run_transfers(
+            &trace_with_ratio(120, 0.55),
+            TransferConfig::default(),
+            &mut rng,
+        );
         assert!(strong.median_time().unwrap() <= weak.median_time().unwrap());
         assert!(strong.completion_times.len() > weak.completion_times.len());
     }

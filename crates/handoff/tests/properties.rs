@@ -1,13 +1,13 @@
 //! Property-based tests for the handoff substrate.
 
 use crowdwifi_geo::Point;
+use crowdwifi_geo::Rect;
 use crowdwifi_handoff::connectivity::{ConnectivityTrace, Policy, SecondRecord};
 use crowdwifi_handoff::db::ApDatabase;
 use crowdwifi_handoff::session::{
     median_session_length, prob_longer_than, session_lengths, time_weighted_cdf,
 };
 use crowdwifi_handoff::transfer::{run_transfers, TransferConfig};
-use crowdwifi_geo::Rect;
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -246,13 +246,9 @@ impl Matrix {
     pub fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
         assert_eq!(v.len(), self.cols, "matvec shape mismatch");
         out.clear();
-        out.extend((0..self.rows).map(|r| {
-            self.row(r)
-                .iter()
-                .zip(v)
-                .map(|(&a, &x)| a * x)
-                .sum::<f64>()
-        }));
+        out.extend(
+            (0..self.rows).map(|r| self.row(r).iter().zip(v).map(|(&a, &x)| a * x).sum::<f64>()),
+        );
     }
 
     /// Transposed matrix–vector product `selfᵀ * v`.

@@ -250,11 +250,7 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_tall_square_wide() {
-        reconstructs(&Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-        ]));
+        reconstructs(&Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]));
         reconstructs(&Matrix::from_rows(&[&[2.0, -1.0], &[1.0, 3.0]]));
         reconstructs(&Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]));
     }
@@ -280,12 +276,7 @@ mod tests {
     #[test]
     fn least_squares_overdetermined_matches_normal_equations() {
         // Fit y = a + b t over 4 samples.
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-            &[1.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
         let b = [1.0, 2.9, 5.1, 7.0];
         let x = QrDecomposition::new(&a).solve_least_squares(&b).unwrap();
         // Residual must be orthogonal to the columns of A.

@@ -258,11 +258,7 @@ mod tests {
 
     #[test]
     fn lu_random_roundtrip() {
-        let a = Matrix::from_rows(&[
-            &[2.0, -1.0, 3.0],
-            &[4.0, 2.0, 1.0],
-            &[-2.0, 5.0, -1.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, -1.0, 3.0], &[4.0, 2.0, 1.0], &[-2.0, 5.0, -1.0]]);
         let x_true = [1.0, -2.0, 0.5];
         let b = a.matvec(&x_true);
         let x = Lu::new(&a).unwrap().solve(&b).unwrap();

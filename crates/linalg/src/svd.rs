@@ -189,11 +189,7 @@ mod tests {
     #[test]
     fn svd_reconstructs_various_shapes() {
         check_svd(&Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]));
-        check_svd(&Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-        ]));
+        check_svd(&Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]));
         check_svd(&Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]));
     }
 

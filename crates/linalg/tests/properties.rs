@@ -3,7 +3,7 @@
 use crowdwifi_linalg::qr::orth;
 use crowdwifi_linalg::solve::{Cholesky, Lu};
 use crowdwifi_linalg::svd::pseudo_inverse;
-use crowdwifi_linalg::{Matrix, QrDecomposition, SymmetricEigen, Svd};
+use crowdwifi_linalg::{Matrix, QrDecomposition, Svd, SymmetricEigen};
 use proptest::prelude::*;
 
 /// Small well-scaled matrix entries.

@@ -25,6 +25,50 @@ use crossbeam::channel::{SendError, Sender};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared count of faults a set of [`FaultySender`]s actually injected.
+///
+/// The plan's probabilities say what *may* happen; the tally says what
+/// *did*. One tally is typically shared (via [`Arc`]) by every link of a
+/// platform round, so the server can report observed fault totals next
+/// to its other round metrics. Counts are exact: each is bumped with a
+/// relaxed atomic add at the injection site, and the per-link RNG
+/// streams make the totals replayable along with the message sequence.
+#[derive(Debug, Default)]
+pub struct FaultTally {
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+}
+
+impl FaultTally {
+    /// A fresh all-zero tally.
+    pub fn new() -> Self {
+        FaultTally::default()
+    }
+
+    /// Messages silently dropped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Messages delivered twice.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated.load(Ordering::Relaxed)
+    }
+
+    /// Messages held back past later sends (reordered).
+    pub fn delayed(&self) -> u64 {
+        self.delayed.load(Ordering::Relaxed)
+    }
+
+    /// Total injected faults of any kind.
+    pub fn total(&self) -> u64 {
+        self.dropped() + self.duplicated() + self.delayed()
+    }
+}
 
 /// Protocol points at which a scheduled vehicle fault fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -122,13 +166,15 @@ impl FaultPlan {
 
     /// Schedules a silent crash for `vehicle` at `point`.
     pub fn crash(mut self, vehicle: VehicleId, point: FaultPoint) -> Self {
-        self.vehicle_faults.insert(vehicle, Misbehavior::Crash(point));
+        self.vehicle_faults
+            .insert(vehicle, Misbehavior::Crash(point));
         self
     }
 
     /// Schedules a permanent stall for `vehicle` at `point`.
     pub fn stall(mut self, vehicle: VehicleId, point: FaultPoint) -> Self {
-        self.vehicle_faults.insert(vehicle, Misbehavior::Stall(point));
+        self.vehicle_faults
+            .insert(vehicle, Misbehavior::Stall(point));
         self
     }
 
@@ -183,6 +229,18 @@ impl FaultPlan {
         vehicle: VehicleId,
         direction: LinkDirection,
     ) -> FaultySender<T> {
+        self.sender_tallied(tx, vehicle, direction, None)
+    }
+
+    /// [`FaultPlan::sender`] with injected faults counted into `tally`
+    /// (shared across links, so one tally can cover a whole round).
+    pub fn sender_tallied<T: Clone>(
+        &self,
+        tx: Sender<T>,
+        vehicle: VehicleId,
+        direction: LinkDirection,
+        tally: Option<Arc<FaultTally>>,
+    ) -> FaultySender<T> {
         let noise = if self.is_noisy() {
             Some(LinkNoise {
                 rng: ChaCha8Rng::seed_from_u64(link_seed(self.seed, vehicle, direction)),
@@ -195,7 +253,7 @@ impl FaultPlan {
         } else {
             None
         };
-        FaultySender { tx, noise }
+        FaultySender { tx, noise, tally }
     }
 }
 
@@ -231,6 +289,7 @@ struct LinkNoise<T> {
 pub struct FaultySender<T> {
     tx: Sender<T>,
     noise: Option<LinkNoise<T>>,
+    tally: Option<Arc<FaultTally>>,
 }
 
 impl<T: Clone> FaultySender<T> {
@@ -256,13 +315,22 @@ impl<T: Clone> FaultySender<T> {
 
         let u: f64 = noise.rng.random_range(0.0..1.0);
         if u < noise.drop_prob {
+            if let Some(t) = &self.tally {
+                t.dropped.fetch_add(1, Ordering::Relaxed);
+            }
             return Ok(());
         }
         if u < noise.drop_prob + noise.duplicate_prob {
+            if let Some(t) = &self.tally {
+                t.duplicated.fetch_add(1, Ordering::Relaxed);
+            }
             self.tx.send(msg.clone())?;
             return self.tx.send(msg);
         }
         if u < noise.drop_prob + noise.duplicate_prob + noise.delay_prob {
+            if let Some(t) = &self.tally {
+                t.delayed.fetch_add(1, Ordering::Relaxed);
+            }
             let k = noise.rng.random_range(1..=noise.max_delay);
             noise.held.push((k, msg));
             return Ok(());
@@ -338,7 +406,11 @@ mod tests {
         }
         drop(s); // flush any still-held tail
         let mut got = drain(&rx);
-        assert_eq!(got.len(), 50, "no message may vanish under delay-only noise");
+        assert_eq!(
+            got.len(),
+            50,
+            "no message may vanish under delay-only noise"
+        );
         got.sort_unstable();
         assert_eq!(got, (0..50).collect::<Vec<_>>());
     }
@@ -347,8 +419,11 @@ mod tests {
     fn same_plan_same_link_is_replayable() {
         let run = || {
             let (tx, rx) = channel::unbounded();
-            let mut s = FaultPlan::noisy(42, 0.2, 0.1, 0.2)
-                .sender(tx, VehicleId(1), LinkDirection::ToServer);
+            let mut s = FaultPlan::noisy(42, 0.2, 0.1, 0.2).sender(
+                tx,
+                VehicleId(1),
+                LinkDirection::ToServer,
+            );
             for i in 0..100 {
                 s.send(i).unwrap();
             }
@@ -380,6 +455,31 @@ mod tests {
         assert!(bad_delay.validate().is_err());
         assert!(FaultPlan::none().validate().is_ok());
         assert!(FaultPlan::noisy(0, 0.3, 0.3, 0.3).validate().is_ok());
+    }
+
+    #[test]
+    fn tally_counts_injected_faults_exactly() {
+        let tally = Arc::new(FaultTally::new());
+        let (tx, rx) = channel::unbounded();
+        let mut s = FaultPlan::noisy(9, 0.3, 0.3, 0.3).sender_tallied(
+            tx,
+            VehicleId(0),
+            LinkDirection::ToServer,
+            Some(Arc::clone(&tally)),
+        );
+        for i in 0..200u32 {
+            s.send(i).unwrap();
+        }
+        drop(s);
+        let delivered = drain(&rx).len() as u64;
+        // Conservation: every message is delivered once, plus one extra
+        // per duplicate, minus one per drop (delays only reorder).
+        assert_eq!(delivered, 200 - tally.dropped() + tally.duplicated());
+        assert!(tally.dropped() > 0 && tally.duplicated() > 0 && tally.delayed() > 0);
+        assert_eq!(
+            tally.total(),
+            tally.dropped() + tally.duplicated() + tally.delayed()
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! [`FaultPlan`] — rather than awaited, so every degraded-round path in
 //! this module is replayable byte-for-byte in tests.
 
-use crate::fault::{FaultPlan, LinkDirection};
+use crate::fault::{FaultPlan, FaultTally, LinkDirection};
 use crate::messages::{MappingTask, ToServer, ToVehicle, VehicleId};
 use crate::segment::SegmentMap;
 use crate::server::{CrowdServer, RoundOutcome};
@@ -28,10 +28,11 @@ use crate::{MiddlewareError, Result};
 use crossbeam::channel::{self, RecvTimeoutError};
 use crowdwifi_channel::RssReading;
 use crowdwifi_crowd::fusion::FusedAp;
+use crowdwifi_obs::{EventValue, Registry, Snapshot};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Reliability multiplier applied to vehicles that died mid-round.
@@ -189,6 +190,13 @@ pub struct PlatformReport {
     /// Label slots that could not be reassigned (coverage lost against
     /// the intended (ℓ,γ)-regular assignment).
     pub lost_label_slots: usize,
+    /// Round metrics: per-phase wall-clock timers, retry / fate /
+    /// reassignment counters, observed fault-injection totals, fleet and
+    /// quorum gauges, plus a `vehicle.dead` event per casualty. The
+    /// [`Snapshot::deterministic`] projection (which drops the
+    /// wall-clock timers) is byte-identical across same-seed runs of
+    /// the same fleet, config and fault plan.
+    pub metrics: Snapshot,
 }
 
 impl PlatformReport {
@@ -288,6 +296,12 @@ pub fn run_round_with_faults(
     let mut server = CrowdServer::new(segments.clone());
     let (to_server_tx, to_server_rx) = channel::unbounded::<(VehicleId, ToServer)>();
 
+    // Round-local metric registry (embedded into the report at the end)
+    // and one shared tally counting the faults the plan actually
+    // injected across every link.
+    let registry = Registry::new();
+    let tally = Arc::new(FaultTally::new());
+
     // Per-vehicle downlinks. The server sends through the fault layer;
     // a keepalive receiver clone stays in the link so sends to vehicles
     // that already exited are absorbed rather than failing.
@@ -299,7 +313,12 @@ pub fn run_round_with_faults(
         links.insert(
             vehicle.id(),
             VehicleLink {
-                tx: plan.sender(tx, vehicle.id(), LinkDirection::ToVehicle),
+                tx: plan.sender_tallied(
+                    tx,
+                    vehicle.id(),
+                    LinkDirection::ToVehicle,
+                    Some(Arc::clone(&tally)),
+                ),
                 _keepalive: rx,
             },
         );
@@ -311,7 +330,12 @@ pub fn run_round_with_faults(
     let server_result = std::thread::scope(|scope| {
         for (i, (mut vehicle, readings)) in fleet.drain(..).enumerate() {
             let id = vehicle.id();
-            let mut to_server = plan.sender(to_server_tx.clone(), id, LinkDirection::ToServer);
+            let mut to_server = plan.sender_tallied(
+                to_server_tx.clone(),
+                id,
+                LinkDirection::ToServer,
+                Some(Arc::clone(&tally)),
+            );
             let rx = vehicle_rxs[&id].clone();
             let script = plan.misbehavior(id);
             let seed = config.seed + i as u64 + 1;
@@ -348,7 +372,7 @@ pub fn run_round_with_faults(
         }
         drop(to_server_tx);
 
-        let result = run_server_protocol(&mut server, &to_server_rx, &mut links, config);
+        let result = run_server_protocol(&mut server, &to_server_rx, &mut links, config, &registry);
         if let Err(e) = &result {
             // Deliberate abandonment: tell every vehicle why, so their
             // exit logs distinguish "server aborted" from "server
@@ -367,6 +391,18 @@ pub fn run_round_with_faults(
 
     let mut report = server_result?;
     report.exits = exits.into_inner().expect("exit log lock");
+    // Fault totals are read only after the scope joins, when every
+    // sender (including the uplinks owned by vehicle threads) is done.
+    registry
+        .counter("platform.faults.dropped")
+        .add(tally.dropped());
+    registry
+        .counter("platform.faults.duplicated")
+        .add(tally.duplicated());
+    registry
+        .counter("platform.faults.delayed")
+        .add(tally.delayed());
+    report.metrics = registry.snapshot();
     Ok(report)
 }
 
@@ -427,13 +463,25 @@ impl RoundLedger {
     }
 }
 
+/// Short, stable label of a fate for metric names and event fields.
+fn fate_label(fate: &VehicleFate) -> &'static str {
+    match fate {
+        VehicleFate::Completed => "completed",
+        VehicleFate::Reported(_) => "reported",
+        VehicleFate::TimedOut(_) => "timed_out",
+        VehicleFate::Vanished(_) => "vanished",
+    }
+}
+
 /// The server's side of one round: the four protocol phases, each
-/// collection phase guarded by per-vehicle deadlines.
+/// collection phase guarded by per-vehicle deadlines and timed into
+/// `reg` as a `platform.phase.*_seconds` histogram.
 fn run_server_protocol(
     server: &mut CrowdServer,
     to_server_rx: &channel::Receiver<(VehicleId, ToServer)>,
     links: &mut BTreeMap<VehicleId, VehicleLink>,
     config: PlatformConfig,
+    reg: &Registry,
 ) -> Result<PlatformReport> {
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let tolerance = config.tolerance;
@@ -441,10 +489,13 @@ fn run_server_protocol(
 
     // Phase 1: collect uploads under deadline; silent vehicles are
     // nudged with `RequestUpload` retries, then declared dead.
+    let span = reg.timer("platform.phase.upload_seconds").start_span();
     collect_uploads(server, to_server_rx, links, &mut ledger, &tolerance)?;
+    span.finish();
     ledger.check_quorum(server, tolerance.quorum)?;
 
     // Phase 2: generate patterns and assign mapping tasks to survivors.
+    let span = reg.timer("platform.phase.assign_seconds").start_span();
     server.generate_patterns(config.bootstrap_patterns, &mut rng);
     let alive = ledger.alive(server);
     let assignments = server.assign_tasks(config.workers_per_task.min(alive.len()), &mut rng)?;
@@ -457,11 +508,20 @@ fn run_server_protocol(
         let link = links.get_mut(&v).expect("registered vehicle");
         let _ = link.tx.send(ToVehicle::Assign(tasks));
     }
+    span.finish();
 
     // Phase 3: collect answers under deadline; tasks orphaned by a dead
     // vehicle are reassigned to the least-loaded healthy candidates.
-    let (reassigned_tasks, lost_label_slots) =
-        collect_answers(server, to_server_rx, links, &mut ledger, &tolerance, outstanding)?;
+    let span = reg.timer("platform.phase.labeling_seconds").start_span();
+    let (reassigned_tasks, lost_label_slots) = collect_answers(
+        server,
+        to_server_rx,
+        links,
+        &mut ledger,
+        &tolerance,
+        outstanding,
+    )?;
+    span.finish();
     ledger.check_quorum(server, tolerance.quorum)?;
     for v in ledger.alive(server) {
         let link = links.get_mut(&v).expect("registered vehicle");
@@ -470,6 +530,7 @@ fn run_server_protocol(
 
     // Phase 4: inference + fusion. Dead vehicles are penalized in the
     // reliability prior before fusion weighs their uploads.
+    let span = reg.timer("platform.phase.inference_seconds").start_span();
     let mut outcome = server.infer(&mut rng)?;
     for &v in &ledger.dead {
         let q = server.penalize(v, DEAD_RELIABILITY_FACTOR);
@@ -478,6 +539,7 @@ fn run_server_protocol(
     let fused = server
         .finalize(config.merge_radius, config.spammer_cutoff)
         .to_vec();
+    span.finish();
 
     let total_retries: u32 = ledger.retries.values().sum();
     let health = if ledger.dead.is_empty()
@@ -496,6 +558,40 @@ fn run_server_protocol(
             retries: ledger.retries.get(v).copied().unwrap_or(0),
         });
     }
+
+    // Round bookkeeping metrics. Fates iterate in `VehicleId` order, so
+    // the `vehicle.dead` event sequence is deterministic too.
+    reg.counter("platform.retries")
+        .add(u64::from(total_retries));
+    reg.counter("platform.reassigned_tasks")
+        .add(reassigned_tasks as u64);
+    reg.counter("platform.lost_label_slots")
+        .add(lost_label_slots as u64);
+    for (v, record) in &fates {
+        reg.counter(&format!("platform.fates.{}", fate_label(&record.fate)))
+            .inc();
+        if record.fate != VehicleFate::Completed {
+            reg.event(
+                "vehicle.dead",
+                &[
+                    ("vehicle", EventValue::Uint(u64::from(v.0))),
+                    (
+                        "fate",
+                        EventValue::Str(fate_label(&record.fate).to_string()),
+                    ),
+                    ("retries", EventValue::Uint(u64::from(record.retries))),
+                ],
+            );
+        }
+    }
+    let total = server.vehicles().len();
+    let alive = total - ledger.dead.len();
+    reg.gauge("platform.fleet_size").set(total as i64);
+    reg.gauge("platform.dead_vehicles")
+        .set(ledger.dead.len() as i64);
+    reg.gauge("platform.quorum_margin")
+        .set(alive as i64 - quorum_required(total, tolerance.quorum) as i64);
+
     Ok(PlatformReport {
         outcome,
         fused,
@@ -504,6 +600,7 @@ fn run_server_protocol(
         exits: BTreeMap::new(), // filled by the caller after the scope joins
         reassigned_tasks,
         lost_label_slots,
+        metrics: Snapshot::default(), // likewise: faults are tallied after the scope joins
     })
 }
 
@@ -913,7 +1010,13 @@ mod tests {
         assert_eq!(report.health, RoundHealth::Complete);
         assert!(report.dead_vehicles().is_empty());
         for fate in report.fates.values() {
-            assert_eq!(*fate, FateRecord { fate: VehicleFate::Completed, retries: 0 });
+            assert_eq!(
+                *fate,
+                FateRecord {
+                    fate: VehicleFate::Completed,
+                    retries: 0
+                }
+            );
         }
         for exit in report.exits.values() {
             assert_eq!(*exit, VehicleExit::Completed);
@@ -1062,6 +1165,105 @@ mod tests {
         // vehicles per task every orphan finds a new home.
         assert!(report.reassigned_tasks > 0, "no tasks were reassigned");
         assert_eq!(report.lost_label_slots, 0);
+    }
+
+    #[test]
+    fn metrics_snapshot_is_byte_identical_across_same_seed_runs() {
+        let run = || {
+            run_round(
+                segments(),
+                fleet_with_spammer(3, u32::MAX),
+                PlatformConfig {
+                    workers_per_task: 3,
+                    ..PlatformConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let (a, b) = (run(), run());
+        // Wall-clock phase timers differ run to run; everything else —
+        // counters, gauges, events — must not.
+        let (ja, jb) = (
+            a.metrics.deterministic().to_json(),
+            b.metrics.deterministic().to_json(),
+        );
+        assert_eq!(
+            ja, jb,
+            "deterministic metrics diverged across same-seed runs"
+        );
+
+        let m = &a.metrics;
+        assert_eq!(m.counters["platform.fates.completed"], 3);
+        assert_eq!(m.counters["platform.retries"], 0);
+        assert_eq!(m.counters["platform.faults.dropped"], 0);
+        assert_eq!(m.counters["platform.faults.duplicated"], 0);
+        assert_eq!(m.counters["platform.faults.delayed"], 0);
+        assert_eq!(m.gauges["platform.fleet_size"], 3);
+        assert_eq!(m.gauges["platform.dead_vehicles"], 0);
+        assert_eq!(m.gauges["platform.quorum_margin"], 1); // 3 alive - ceil(0.5*3)
+        assert!(
+            m.events.is_empty(),
+            "healthy round must emit no death events"
+        );
+        // All four phases were timed (present in the full snapshot,
+        // stripped from the deterministic projection).
+        for phase in ["upload", "assign", "labeling", "inference"] {
+            let name = format!("platform.phase.{phase}_seconds");
+            assert_eq!(m.histograms[&name].count, 1, "{name} not timed");
+            assert!(!a.metrics.deterministic().histograms.contains_key(&name));
+        }
+    }
+
+    #[test]
+    fn dead_vehicle_shows_up_in_round_metrics() {
+        let plan = FaultPlan::none().crash(VehicleId(2), FaultPoint::Upload);
+        let report = run_round_with_faults(
+            segments(),
+            fleet_with_spammer(4, u32::MAX),
+            PlatformConfig {
+                workers_per_task: 3,
+                tolerance: snappy_tolerance(),
+                ..PlatformConfig::default()
+            },
+            &plan,
+        )
+        .unwrap();
+        let m = &report.metrics;
+        assert_eq!(m.counters["platform.fates.timed_out"], 1);
+        assert_eq!(m.counters["platform.fates.completed"], 3);
+        assert_eq!(m.counters["platform.retries"], 1);
+        assert_eq!(m.gauges["platform.dead_vehicles"], 1);
+        let ev = m
+            .events
+            .iter()
+            .find(|e| e.name == "vehicle.dead")
+            .expect("death event");
+        assert!(ev
+            .fields
+            .iter()
+            .any(|(k, v)| k == "vehicle" && *v == crowdwifi_obs::EventValue::Uint(2)));
+    }
+
+    #[test]
+    fn injected_link_faults_are_tallied_in_metrics() {
+        // Duplicate-only noise: the protocol ignores duplicates, so the
+        // round still completes cleanly while the tally observes them.
+        let plan = FaultPlan::noisy(5, 0.0, 0.5, 0.0);
+        let report = run_round_with_faults(
+            segments(),
+            fleet_with_spammer(3, u32::MAX),
+            PlatformConfig {
+                workers_per_task: 3,
+                ..PlatformConfig::default()
+            },
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(report.health, RoundHealth::Complete);
+        let m = &report.metrics;
+        assert!(m.counters["platform.faults.duplicated"] > 0);
+        assert_eq!(m.counters["platform.faults.dropped"], 0);
+        assert_eq!(m.counters["platform.faults.delayed"], 0);
     }
 
     #[test]

@@ -4,9 +4,9 @@
 use crate::messages::{MappingAnswer, MappingTask, Pattern, SensingUpload, VehicleId};
 use crate::segment::SegmentMap;
 use crate::{MiddlewareError, Result};
+use crowdwifi_crowd::em::EmAggregator;
 use crowdwifi_crowd::fusion::{fuse_submissions, FusedAp, Submission};
 use crowdwifi_crowd::graph::BipartiteAssignment;
-use crowdwifi_crowd::em::EmAggregator;
 use crowdwifi_crowd::LabelMatrix;
 use crowdwifi_geo::Point;
 use rand::seq::SliceRandom;
@@ -159,8 +159,12 @@ impl CrowdServer {
                 let aps = (0..count)
                     .map(|_| {
                         Point::new(
-                            rng.random_range(bounds.min().x..bounds.max().x.max(bounds.min().x + 1.0)),
-                            rng.random_range(bounds.min().y..bounds.max().y.max(bounds.min().y + 1.0)),
+                            rng.random_range(
+                                bounds.min().x..bounds.max().x.max(bounds.min().x + 1.0),
+                            ),
+                            rng.random_range(
+                                bounds.min().y..bounds.max().y.max(bounds.min().y + 1.0),
+                            ),
                         )
                     })
                     .collect();
@@ -428,7 +432,8 @@ mod tests {
         for v in 0..3 {
             s.register(VehicleId(v));
             // All three vehicles agree on roughly the same AP.
-            s.receive_upload(upload(v, &[(50.0 + v as f64, 50.0)])).unwrap();
+            s.receive_upload(upload(v, &[(50.0 + v as f64, 50.0)]))
+                .unwrap();
         }
         s.generate_patterns(2, &mut rng);
         // 1 deduped candidate + 2 bootstrap for the one active segment.
@@ -467,11 +472,8 @@ mod tests {
             s.register(VehicleId(v));
         }
         for v in 0..6 {
-            s.receive_upload(upload(
-                v,
-                &[(truth.x + v as f64 - 3.0, truth.y)],
-            ))
-            .unwrap();
+            s.receive_upload(upload(v, &[(truth.x + v as f64 - 3.0, truth.y)]))
+                .unwrap();
         }
         s.generate_patterns(3, &mut rng);
         let tasks = s.assign_tasks(5, &mut rng).unwrap();
@@ -479,8 +481,8 @@ mod tests {
         let mut answers = Vec::new();
         for (&vehicle, list) in &tasks {
             for task in list {
-                let honest = task.pattern.aps.len() == 1
-                    && task.pattern.aps[0].distance(truth) <= 20.0;
+                let honest =
+                    task.pattern.aps.len() == 1 && task.pattern.aps[0].distance(truth) <= 20.0;
                 let label = if vehicle.0 < 6 {
                     if honest {
                         1
@@ -507,10 +509,14 @@ mod tests {
             .iter()
             .any(|p| p.aps.len() == 1 && p.aps[0].distance(truth) <= 20.0));
         // Honest vehicles should out-rank spammers on average.
-        let honest_avg: f64 =
-            (0..6).map(|v| outcome.reliabilities[&VehicleId(v)]).sum::<f64>() / 6.0;
-        let spam_avg: f64 =
-            (6..8).map(|v| outcome.reliabilities[&VehicleId(v)]).sum::<f64>() / 2.0;
+        let honest_avg: f64 = (0..6)
+            .map(|v| outcome.reliabilities[&VehicleId(v)])
+            .sum::<f64>()
+            / 6.0;
+        let spam_avg: f64 = (6..8)
+            .map(|v| outcome.reliabilities[&VehicleId(v)])
+            .sum::<f64>()
+            / 2.0;
         assert!(
             honest_avg > spam_avg,
             "honest {honest_avg:.2} vs spammers {spam_avg:.2}"

@@ -209,6 +209,7 @@ mod tests {
             exits: BTreeMap::new(),
             reassigned_tasks: 0,
             lost_label_slots: 0,
+            metrics: crowdwifi_obs::Snapshot::default(),
         }
     }
 
@@ -221,11 +222,17 @@ mod tests {
         let lenient = UserVehicle::new();
         assert!(lenient.accepts_degraded());
         assert_eq!(
-            lenient.download_from_report(&complete, &route).unwrap().len(),
+            lenient
+                .download_from_report(&complete, &route)
+                .unwrap()
+                .len(),
             1
         );
         assert_eq!(
-            lenient.download_from_report(&degraded, &route).unwrap().len(),
+            lenient
+                .download_from_report(&degraded, &route)
+                .unwrap()
+                .len(),
             1
         );
 

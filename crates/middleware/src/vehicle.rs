@@ -208,8 +208,7 @@ pub(crate) fn run_protocol(
     if let Some(exit) = misbehave(script, FaultPoint::Upload, rx) {
         return Ok(exit);
     }
-    let upload = |to_server: &mut FaultySender<(VehicleId, ToServer)>,
-                  vehicle: &CrowdVehicle| {
+    let upload = |to_server: &mut FaultySender<(VehicleId, ToServer)>, vehicle: &CrowdVehicle| {
         to_server
             .send((vehicle.id(), ToServer::Upload(vehicle.upload())))
             .is_ok()
@@ -334,7 +333,9 @@ mod tests {
             },
         };
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let labels: Vec<i8> = (0..100).map(|_| v.answer(&task, &segs, &mut rng).label).collect();
+        let labels: Vec<i8> = (0..100)
+            .map(|_| v.answer(&task, &segs, &mut rng).label)
+            .collect();
         let ones = labels.iter().filter(|&&l| l == 1).count();
         assert!(ones > 30 && ones < 70, "spammer bias: {ones}/100 ones");
     }

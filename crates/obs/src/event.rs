@@ -1,0 +1,158 @@
+//! Bounded structured-event buffer.
+//!
+//! Events complement counters for low-rate occurrences that deserve
+//! context — a vehicle death carries the vehicle id and the phase it
+//! died in, not just a bumped counter. Events carry **no wall-clock
+//! timestamp**; ordering is the monotone `seq` assigned under the
+//! buffer lock, so same-seed runs of a deterministic system produce
+//! byte-identical event logs.
+
+/// A typed field value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventValue {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    Uint(u64),
+    /// Floating-point value.
+    Float(f64),
+    /// Borrowed-at-record-time string, stored owned.
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl From<i64> for EventValue {
+    fn from(v: i64) -> Self {
+        EventValue::Int(v)
+    }
+}
+
+impl From<u64> for EventValue {
+    fn from(v: u64) -> Self {
+        EventValue::Uint(v)
+    }
+}
+
+impl From<usize> for EventValue {
+    fn from(v: usize) -> Self {
+        EventValue::Uint(v as u64)
+    }
+}
+
+impl From<f64> for EventValue {
+    fn from(v: f64) -> Self {
+        EventValue::Float(v)
+    }
+}
+
+impl From<&str> for EventValue {
+    fn from(v: &str) -> Self {
+        EventValue::Str(v.to_string())
+    }
+}
+
+impl From<bool> for EventValue {
+    fn from(v: bool) -> Self {
+        EventValue::Bool(v)
+    }
+}
+
+/// One recorded structured event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotone sequence number within the registry (0-based).
+    pub seq: u64,
+    /// Event name, dot-namespaced like metric names.
+    pub name: String,
+    /// Typed fields in the order the recorder supplied them.
+    pub fields: Vec<(String, EventValue)>,
+}
+
+/// Fixed-capacity event store. When full, new events are counted in
+/// `dropped` rather than evicting old ones: the earliest events in a
+/// round are usually the diagnostic ones.
+#[derive(Debug)]
+#[cfg_attr(not(feature = "record"), allow(dead_code))]
+pub(crate) struct EventBuffer {
+    events: Vec<Event>,
+    cap: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl EventBuffer {
+    pub(crate) fn new(cap: usize) -> Self {
+        EventBuffer {
+            events: Vec::new(),
+            cap,
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    #[cfg_attr(not(feature = "record"), allow(dead_code))]
+    pub(crate) fn push(&mut self, name: &str, fields: &[(&str, EventValue)]) {
+        if self.events.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Event {
+            seq,
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    pub(crate) fn events(&self) -> Vec<Event> {
+        self.events.clone()
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_assigns_monotone_seq() {
+        let mut buf = EventBuffer::new(8);
+        buf.push("a", &[]);
+        buf.push("b", &[("k", EventValue::Int(1))]);
+        let events = buf.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[1].fields[0].0, "k");
+    }
+
+    #[test]
+    fn full_buffer_counts_drops_and_keeps_oldest() {
+        let mut buf = EventBuffer::new(2);
+        buf.push("a", &[]);
+        buf.push("b", &[]);
+        buf.push("c", &[]);
+        buf.push("d", &[]);
+        let events = buf.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[1].name, "b");
+        assert_eq!(buf.dropped(), 2);
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(EventValue::from(3usize), EventValue::Uint(3));
+        assert_eq!(EventValue::from(-3i64), EventValue::Int(-3));
+        assert_eq!(EventValue::from(true), EventValue::Bool(true));
+        assert_eq!(EventValue::from("x"), EventValue::Str("x".into()));
+    }
+}

@@ -64,25 +64,57 @@ impl AnySolver {
     }
 }
 
+/// Records one solve outcome into the process-wide [`crowdwifi_obs`]
+/// registry (a no-op unless that registry is enabled, e.g. via
+/// `CROWDWIFI_OBS=1`). Keyed by solver family so a pipeline run shows
+/// per-family convergence behaviour.
+fn record_solve(name: &'static str, result: &Result<Recovery>) {
+    let reg = crowdwifi_obs::global();
+    if !reg.is_enabled() {
+        return;
+    }
+    reg.counter(&format!("sparsesolve.{name}.solves")).inc();
+    match result {
+        Ok(rec) => {
+            reg.histogram(
+                &format!("sparsesolve.{name}.iterations"),
+                crowdwifi_obs::ITERATION_BOUNDS,
+            )
+            .observe(rec.iterations as f64);
+            if !rec.converged {
+                reg.counter(&format!("sparsesolve.{name}.unconverged"))
+                    .inc();
+            }
+        }
+        Err(_) => {
+            reg.counter(&format!("sparsesolve.{name}.errors")).inc();
+        }
+    }
+}
+
 impl SparseRecovery for AnySolver {
     fn recover(&self, a: &Matrix, y: &[f64]) -> Result<Recovery> {
-        match self {
+        let result = match self {
             AnySolver::Fista(s) => s.recover(a, y),
             AnySolver::AdmmLasso(s) => s.recover(a, y),
             AnySolver::BasisPursuit(s) => s.recover(a, y),
             AnySolver::Omp(s) => s.recover(a, y),
             AnySolver::Irls(s) => s.recover(a, y),
-        }
+        };
+        record_solve(self.name(), &result);
+        result
     }
 
     fn recover_with(&self, a: &Matrix, y: &[f64], ws: &mut SolverWorkspace) -> Result<Recovery> {
-        match self {
+        let result = match self {
             AnySolver::Fista(s) => s.recover_with(a, y, ws),
             AnySolver::AdmmLasso(s) => s.recover_with(a, y, ws),
             AnySolver::BasisPursuit(s) => s.recover_with(a, y, ws),
             AnySolver::Omp(s) => s.recover_with(a, y, ws),
             AnySolver::Irls(s) => s.recover_with(a, y, ws),
-        }
+        };
+        record_solve(self.name(), &result);
+        result
     }
 
     fn name(&self) -> &'static str {
@@ -165,6 +197,31 @@ mod tests {
             supp.sort_unstable();
             assert_eq!(supp, vec![5, 30], "{} missed the support", solver.name());
         }
+    }
+
+    #[test]
+    fn solves_record_into_enabled_global_registry() {
+        if !crowdwifi_obs::RECORDING {
+            return;
+        }
+        let reg = crowdwifi_obs::global();
+        let was_enabled = reg.is_enabled();
+        reg.set_enabled(true);
+        let key = "sparsesolve.fista.solves";
+        let before = reg.snapshot().counters.get(key).copied().unwrap_or(0);
+        let a = Matrix::identity(3);
+        AnySolver::default_fista()
+            .recover(&a, &[2.0, 0.0, 0.0])
+            .unwrap();
+        let after = reg.snapshot().counters[key];
+        reg.set_enabled(was_enabled);
+        // Delta, not an absolute: other tests in this binary may solve
+        // concurrently while the registry is enabled.
+        assert!(after > before, "solve counter did not advance");
+        assert!(reg
+            .snapshot()
+            .histograms
+            .contains_key("sparsesolve.fista.iterations"));
     }
 
     #[test]

@@ -97,7 +97,8 @@ impl SparseRecovery for Irls {
             // D = diag(|x| + ε) in `n_scratch`; G = A D Aᵀ (m × m, SPD
             // for full-row-rank A).
             ws.n_scratch.clear();
-            ws.n_scratch.extend(ws.x.iter().map(|&xi| xi.abs() + epsilon));
+            ws.n_scratch
+                .extend(ws.x.iter().map(|&xi| xi.abs() + epsilon));
             let d = &ws.n_scratch;
             for r in 0..m {
                 for c in r..m {
@@ -120,12 +121,8 @@ impl SparseRecovery for Irls {
             // x_new = D Aᵀ λ, built in `x_alt` and swapped into `x`.
             a.matvec_transposed_into(&ws.m_scratch, &mut ws.grad);
             ws.x_alt.clear();
-            ws.x_alt.extend(
-                ws.grad
-                    .iter()
-                    .zip(&ws.n_scratch)
-                    .map(|(&v, &di)| di * v),
-            );
+            ws.x_alt
+                .extend(ws.grad.iter().zip(&ws.n_scratch).map(|(&v, &di)| di * v));
 
             let delta = vector::distance(&ws.x_alt, &ws.x);
             let scale = vector::norm2(&ws.x_alt).max(1e-12);
@@ -211,7 +208,10 @@ mod tests {
         let mut theta = vec![0.0; 30];
         theta[2] = 1.0;
         let y = a.matvec(&theta);
-        let rec = Irls::default().with_max_iterations(3).recover(&a, &y).unwrap();
+        let rec = Irls::default()
+            .with_max_iterations(3)
+            .recover(&a, &y)
+            .unwrap();
         // Each IRLS iterate satisfies Ax = y by construction.
         assert!(rec.residual_norm < 1e-8, "residual {}", rec.residual_norm);
     }

@@ -64,12 +64,7 @@ impl<'a> RssCollector<'a> {
     ///
     /// Returns `None` when no AP is in radio range or the faded signal
     /// falls below the detection floor.
-    pub fn sample_at<R: Rng + ?Sized>(
-        &self,
-        p: Point,
-        t: f64,
-        rng: &mut R,
-    ) -> Option<RssReading> {
+    pub fn sample_at<R: Rng + ?Sized>(&self, p: Point, t: f64, rng: &mut R) -> Option<RssReading> {
         // In-range candidates with their distances.
         let candidates: Vec<(usize, f64)> = self
             .scenario
@@ -88,7 +83,10 @@ impl<'a> RssCollector<'a> {
             .iter()
             .map(|&(_, d)| d)
             .fold(f64::INFINITY, f64::min);
-        let weights: Vec<f64> = candidates.iter().map(|&(_, d)| (-(d - dmin)).exp()).collect();
+        let weights: Vec<f64> = candidates
+            .iter()
+            .map(|&(_, d)| (-(d - dmin)).exp())
+            .collect();
         let total: f64 = weights.iter().sum();
         let mut pick = rng.random_range(0.0..total);
         let mut chosen = candidates.len() - 1;
@@ -172,9 +170,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let p = Point::new(46.0, 45.0);
         let r = c.sample_at(p, 0.0, &mut rng).unwrap();
-        let expected = s
-            .pathloss()
-            .mean_rss(s.aps()[0].position.distance(p));
+        let expected = s.pathloss().mean_rss(s.aps()[0].position.distance(p));
         assert!((r.rss_dbm - expected).abs() < 1e-9);
     }
 

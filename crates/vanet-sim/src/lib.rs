@@ -37,7 +37,6 @@
 // validation wants.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
-
 pub mod ap;
 pub mod collector;
 pub mod mobility;

@@ -43,8 +43,7 @@ pub fn uci_loop_route_with(laps: usize, speed_mph: f64) -> Trajectory {
             path.extend_from_slice(&circuit[1..]);
         }
     }
-    Trajectory::with_constant_speed(&path, mph_to_mps(speed_mph))
-        .expect("static route is valid")
+    Trajectory::with_constant_speed(&path, mph_to_mps(speed_mph)).expect("static route is valid")
 }
 
 /// A lawnmower (boustrophedon) sweep over `area` with the given row

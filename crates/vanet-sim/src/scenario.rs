@@ -188,10 +188,7 @@ impl Scenario {
                 };
                 aps.push(AccessPoint::new(
                     ApId((by * blocks + bx) as u32),
-                    Point::new(
-                        (bx as f64 + fx) * block_size,
-                        (by as f64 + fy) * block_size,
-                    ),
+                    Point::new((bx as f64 + fx) * block_size, (by as f64 + fy) * block_size),
                     100.0,
                 ));
             }
@@ -212,11 +209,7 @@ impl Scenario {
     ///
     /// Returns [`SimError::PlacementFailed`] if the separation constraint
     /// cannot be met after many retries (over-dense request).
-    pub fn random_250<R: Rng + ?Sized>(
-        k: usize,
-        min_separation: f64,
-        rng: &mut R,
-    ) -> Result<Self> {
+    pub fn random_250<R: Rng + ?Sized>(k: usize, min_separation: f64, rng: &mut R) -> Result<Self> {
         let area = Rect::new(Point::new(0.0, 0.0), Point::new(250.0, 250.0))
             .expect("static rectangle is valid");
         let mut aps: Vec<AccessPoint> = Vec::with_capacity(k);

@@ -12,8 +12,8 @@ use crate::mobility::vanlan_round;
 use crate::scenario::Scenario;
 use crowdwifi_channel::noise::ShadowFading;
 use crowdwifi_channel::RssReading;
-use rand::Rng;
 use rand::seq::SliceRandom;
+use rand::Rng;
 
 /// Configuration of the VanLan-like trace generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,8 +64,7 @@ impl VanLanTrace {
             for round in 0..config.rounds {
                 let t_offset = round as f64 * (route.duration() + 60.0);
                 for w in route.sample(config.beacon_interval) {
-                    if let Some(mut r) = collector.sample_at(w.position, w.time + t_offset, rng)
-                    {
+                    if let Some(mut r) = collector.sample_at(w.position, w.time + t_offset, rng) {
                         // Beacon loss: reception degrades with weaker
                         // signal (bursty fading is handled by the
                         // per-sample shadowing).

@@ -42,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let estimator = OnlineCs::new(config, *scenario.pathloss())?;
     let mut session = estimator.session()?;
 
-    println!("streaming {} readings (true APs: {})", readings.len(), truth.len());
+    println!(
+        "streaming {} readings (true APs: {})",
+        readings.len(),
+        truth.len()
+    );
     println!("{:>8}  {:>6}  {:>10}", "reading", "k_est", "avg_err_m");
     for (i, reading) in readings.iter().enumerate() {
         if let Some(current) = session.push(*reading)? {

@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut fleet = Vec::new();
         for v in 0..5u32 {
             let estimator = OnlineCs::new(OnlineCsConfig::default(), PathLossModel::uci_campus())?;
-            let behavior = if v == 4 { Behavior::Spammer } else { Behavior::Honest };
+            let behavior = if v == 4 {
+                Behavior::Spammer
+            } else {
+                Behavior::Honest
+            };
             fleet.push((
                 CrowdVehicle::new(VehicleId(v), estimator, behavior),
                 drive(v as f64 * 0.5, truth),

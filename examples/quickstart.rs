@@ -14,7 +14,11 @@ use rand_chacha::ChaCha8Rng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's UCI campus scenario: 300 x 180 m, eight roadside APs.
     let scenario = Scenario::uci_campus();
-    println!("scenario: {} with {} APs", scenario.name(), scenario.aps().len());
+    println!(
+        "scenario: {} with {} APs",
+        scenario.name(),
+        scenario.aps().len()
+    );
 
     // One crowd-vehicle drives the campus loop at 25 mph, collecting one
     // RSS reading roughly every half second.

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Bench smoke gate (CI's second job): runs the pipeline-throughput and
+# observability benches in reduced smoke mode, writes their JSON into
+# $BENCH_OUT_DIR (default: bench-artifacts/), and fails on regression
+# past the thresholds committed below. The determinism contracts
+# (thread sweep produces identical estimates, seed solver baseline is
+# bit-identical) are asserted inside the benches themselves.
+#
+# Thresholds are deliberately looser than the committed full-run
+# numbers in BENCH_pipeline.json / BENCH_obs.json: smoke repetitions on
+# a shared CI core are noisy, and the gate is for *regressions* (an
+# algorithmic win disappearing), not for benchmarking the runner.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export BENCH_OUT_DIR="${BENCH_OUT_DIR:-bench-artifacts}"
+export BENCH_SMOKE=1
+mkdir -p "$BENCH_OUT_DIR"
+
+cargo build -q --release -p crowdwifi-bench
+./target/release/pipeline_throughput
+./target/release/obs_overhead
+
+# Pulls a numeric field out of one of the bench JSONs (no python in the
+# gate; the emitters write one "key": value pair per occurrence).
+num() {
+    sed -n 's/.*"'"$2"'": \(-\{0,1\}[0-9][0-9.]*\).*/\1/p' "$1" | head -n 1
+}
+
+fail=0
+gate() { # label value op threshold
+    local label="$1" value="$2" op="$3" threshold="$4"
+    if [ -z "$value" ]; then
+        echo "FAIL: $label missing from bench output" >&2
+        fail=1
+    elif ! awk -v v="$value" -v t="$threshold" "BEGIN{exit !(v $op t)}"; then
+        echo "FAIL: $label = $value (want $op $threshold)" >&2
+        fail=1
+    else
+        echo "  ok: $label = $value ($op $threshold)"
+    fi
+}
+
+P="$BENCH_OUT_DIR/BENCH_pipeline.json"
+O="$BENCH_OUT_DIR/BENCH_obs.json"
+
+echo "bench smoke thresholds:"
+# The machine-independent algorithmic gains over the seed
+# implementation must not regress away.
+gate "shared-window cold speedup" "$(num "$P" cold_speedup)" ">=" 1.05
+gate "memoized replay speedup" "$(num "$P" memoized_speedup)" ">=" 5
+gate "solver workspace speedup" "$(num "$P" speedup)" ">=" 1.02
+# Enabled recording budget is 2% of pipeline time; the smoke gate
+# allows noise on top of it. The disabled path must stay a few atomic
+# loads (nanoseconds), since it is compiled into every hot loop.
+gate "obs enabled overhead pct" "$(num "$O" overhead_pct)" "<=" 10
+gate "obs disabled counter ns" "$(num "$O" disabled_ns)" "<=" 50
+gate "obs enabled counter ns" "$(num "$O" enabled_ns)" "<=" 500
+
+if [ "$fail" -ne 0 ]; then
+    echo "bench smoke: FAILED" >&2
+    exit 1
+fi
+echo "bench smoke: OK (artifacts in $BENCH_OUT_DIR)"

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Observability report: builds and runs the obs overhead bench, which
+# writes BENCH_obs.json (repo root, or $BENCH_OUT_DIR when set) with
+# the pipeline overhead of enabled recording, the per-record
+# micro-costs, and the pipeline's metric counters for that run.
+# BENCH_SMOKE=1 switches to the reduced CI repetitions.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run -q --release -p crowdwifi-bench --bin obs_overhead
+
+out="${BENCH_OUT_DIR:-.}/BENCH_obs.json"
+echo "--- ${out} ---"
+cat "${out}"

@@ -1,15 +1,26 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, full test suite, clippy with warnings
-# denied. Run from anywhere; operates on the workspace root.
+# Tier-1 gate: the single source of truth for what "green" means.
+# CI (.github/workflows/ci.yml) runs exactly this script, so a change
+# that passes here passes there — format, build, tests (unit, doc,
+# integration), both observability feature configurations, lints and
+# rustdoc. Run from anywhere; operates on the workspace root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all --check
 cargo build --release --workspace
 cargo test -q --workspace
+# Doc tests explicitly, so a future test filter can never drop them.
+cargo test -q --workspace --doc
 # The fault-injection suite exercises the platform's degraded-round
 # paths (crashes, stragglers, lossy links); run it by name so a
 # workspace filter can never silently skip it.
 cargo test -q --test failure_injection
+# The observability layer ships a compile-out mode; it must stay green
+# with recording compiled to nothing.
+cargo test -q -p crowdwifi-obs --no-default-features
 cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy -p crowdwifi-obs --no-default-features --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "tier1: OK"

@@ -295,7 +295,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S, L> {
         element: S,
         size: L,
@@ -393,12 +393,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($lhs:expr, $rhs:expr $(,)?) => {{
         let (lhs, rhs) = (&$lhs, &$rhs);
-        $crate::prop_assert!(
-            lhs != rhs,
-            "assertion failed: `{:?}` == `{:?}`",
-            lhs,
-            rhs
-        );
+        $crate::prop_assert!(lhs != rhs, "assertion failed: `{:?}` == `{:?}`", lhs, rhs);
     }};
 }
 
@@ -406,8 +401,8 @@ macro_rules! prop_assert_ne {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
-        Strategy, TestCaseError, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestRng,
     };
 }
 

@@ -77,7 +77,8 @@ impl SampleRange<f64> for Range<f64> {
         let v = self.start + u * (self.end - self.start);
         // Floating rounding can land exactly on `end`; fold it back.
         if v >= self.end {
-            self.start.max(self.end - (self.end - self.start) * f64::EPSILON)
+            self.start
+                .max(self.end - (self.end - self.start) * f64::EPSILON)
         } else {
             v
         }
@@ -178,7 +179,10 @@ mod tests {
     impl RngCore for Counter {
         fn next_u64(&mut self) -> u64 {
             // A weak mixer is plenty for the range-contract tests.
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             self.0
         }
     }

@@ -51,5 +51,6 @@ pub use crowdwifi_geo as geo;
 pub use crowdwifi_handoff as handoff;
 pub use crowdwifi_linalg as linalg;
 pub use crowdwifi_middleware as middleware;
+pub use crowdwifi_obs as obs;
 pub use crowdwifi_sparsesolve as sparsesolve;
 pub use crowdwifi_vanet_sim as sim;

@@ -12,11 +12,7 @@ use crowdwifi::sim::{RssCollector, Scenario};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-fn scattered_readings(
-    scenario: &Scenario,
-    m: usize,
-    rng: &mut ChaCha8Rng,
-) -> Vec<RssReading> {
+fn scattered_readings(scenario: &Scenario, m: usize, rng: &mut ChaCha8Rng) -> Vec<RssReading> {
     let collector = RssCollector::new(scenario);
     let area = scenario.area();
     let mut out = Vec::new();
@@ -54,12 +50,11 @@ fn crowdwifi_beats_lgmm_on_sparse_measurements() {
             sigma_factor: 0.015,
             ..OnlineCsConfig::default()
         };
-        let cw: Vec<Point> =
-            ensemble_run(&readings, config, *scenario.pathloss(), 6)
-                .unwrap()
-                .iter()
-                .map(|e| e.position)
-                .collect();
+        let cw: Vec<Point> = ensemble_run(&readings, config, *scenario.pathloss(), 6)
+            .unwrap()
+            .iter()
+            .map(|e| e.position)
+            .collect();
         let lg = Lgmm::new(*scenario.pathloss(), 8.0, 100.0, 10)
             .localize(&readings)
             .positions;

@@ -36,7 +36,10 @@ fn allap_dominates_brr_on_connectivity() {
         brr += connectivity(Policy::Brr, &db, seed);
     }
     assert!(all >= brr, "AllAP {all:.2} must be >= BRR {brr:.2}");
-    assert!(all / 5.0 > 0.5, "AllAP should be connected most of the drive");
+    assert!(
+        all / 5.0 > 0.5,
+        "AllAP should be connected most of the drive"
+    );
 }
 
 #[test]

@@ -1,0 +1,173 @@
+//! Platform round throughput on the virtual-clock simulator backend.
+//!
+//! The sans-I/O split pays off twice: the protocol outcome becomes a
+//! pure function of (fleet, config, fault plan), and a round that takes
+//! wall-clock seconds on the threaded backend (stall timeouts, retry
+//! backoffs are real sleeps there) replays on [`SimTransport`] as fast
+//! as the estimator maths allows. This bench quantifies both:
+//!
+//! 1. **Sim throughput** — rounds/sec for a clean five-vehicle round
+//!    and for a degraded round (crash + stall + 10% message drop) on
+//!    the simulator.
+//! 2. **Sim speedup** — wall time of the same degraded round on the
+//!    threaded backend vs the simulator. Deadlines that sleep vs
+//!    deadlines that jump a virtual clock.
+//! 3. **Determinism contract** — two same-seed sim rounds must produce
+//!    byte-identical deterministic projections (asserted, not
+//!    reported).
+//!
+//! Writes `BENCH_platform.json` at the repo root (or `$BENCH_OUT_DIR`).
+//! `BENCH_SMOKE=1` cuts repetitions for CI.
+//! Run with `cargo run -p crowdwifi-bench --release --bin platform_rounds`.
+
+use crowdwifi_bench::{bench_out_path, smoke_mode};
+use crowdwifi_channel::{PathLossModel, RssReading};
+use crowdwifi_core::pipeline::{OnlineCs, OnlineCsConfig};
+use crowdwifi_geo::{Point, Rect};
+use crowdwifi_middleware::fault::{FaultPlan, FaultPoint};
+use crowdwifi_middleware::messages::VehicleId;
+use crowdwifi_middleware::platform::{FaultTolerance, PlatformConfig};
+use crowdwifi_middleware::segment::SegmentMap;
+use crowdwifi_middleware::transport::{SimTransport, ThreadTransport, Transport};
+use crowdwifi_middleware::vehicle::{Behavior, CrowdVehicle};
+use std::time::{Duration, Instant};
+
+/// Fading-free staggered drive past two roadside APs.
+fn drive(lane_offset: f64) -> Vec<RssReading> {
+    let model = PathLossModel::uci_campus();
+    let aps = [Point::new(60.0, 30.0), Point::new(220.0, 30.0)];
+    (0..50)
+        .map(|i| {
+            let p = Point::new(
+                6.0 * i as f64,
+                lane_offset + if (i / 5) % 2 == 0 { 0.0 } else { 12.0 },
+            );
+            let nearest = aps
+                .iter()
+                .min_by(|a, b| p.distance(**a).partial_cmp(&p.distance(**b)).unwrap())
+                .unwrap();
+            RssReading::new(p, model.mean_rss(p.distance(*nearest)), i as f64)
+        })
+        .collect()
+}
+
+fn segments() -> SegmentMap {
+    SegmentMap::new(
+        Rect::new(Point::new(0.0, -20.0), Point::new(300.0, 80.0)).expect("ordered rect"),
+        150.0,
+    )
+}
+
+fn fleet(n: u32) -> Vec<(CrowdVehicle, Vec<RssReading>)> {
+    (0..n)
+        .map(|v| {
+            let estimator = OnlineCs::new(OnlineCsConfig::default(), PathLossModel::uci_campus())
+                .expect("valid estimator config");
+            (
+                CrowdVehicle::new(VehicleId(v), estimator, Behavior::Honest),
+                drive(v as f64 * 0.5),
+            )
+        })
+        .collect()
+}
+
+fn config() -> PlatformConfig {
+    PlatformConfig {
+        workers_per_task: 3,
+        seed: 7,
+        tolerance: FaultTolerance {
+            // Snappy deadlines keep the threaded comparison round short;
+            // the simulator never sleeps either way.
+            deadline: Duration::from_millis(800),
+            retry_backoff: Duration::from_millis(100),
+            ..FaultTolerance::default()
+        },
+        ..PlatformConfig::default()
+    }
+}
+
+/// A degraded round: one crash, one straggler, 10% message drop.
+fn degraded_plan() -> FaultPlan {
+    FaultPlan::noisy(7, 0.10, 0.0, 0.0)
+        .crash(VehicleId(1), FaultPoint::Upload)
+        .stall(VehicleId(2), FaultPoint::Answer)
+}
+
+/// Mean seconds per round of `run` over `reps` calls.
+fn time_rounds<F: FnMut()>(mut run: F, reps: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        run();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let reps = if smoke { 2 } else { 8 };
+    println!(
+        "platform rounds: 5 vehicles, {} reps{} ...",
+        reps,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Determinism contract: same seed + plan → byte-identical
+    // deterministic projection. Cheap, and the bench is meaningless
+    // without it.
+    let once = SimTransport
+        .run_round_with_faults(segments(), fleet(5), config(), &degraded_plan())
+        .expect("sim degraded round");
+    let twice = SimTransport
+        .run_round_with_faults(segments(), fleet(5), config(), &degraded_plan())
+        .expect("sim degraded round repeat");
+    assert_eq!(
+        format!("{:?}", once.deterministic()),
+        format!("{:?}", twice.deterministic()),
+        "simulator rounds are not deterministic"
+    );
+
+    // Warm up once per shape, then measure.
+    let clean = |transport: &dyn Transport| {
+        transport
+            .run_round(segments(), fleet(5), config())
+            .expect("clean round");
+    };
+    let degraded = |transport: &dyn Transport| {
+        transport
+            .run_round_with_faults(segments(), fleet(5), config(), &degraded_plan())
+            .expect("degraded round");
+    };
+
+    clean(&SimTransport);
+    let sim_clean_secs = time_rounds(|| clean(&SimTransport), reps);
+    let sim_degraded_secs = time_rounds(|| degraded(&SimTransport), reps);
+    let sim_rounds_per_sec = 1.0 / sim_clean_secs;
+    println!(
+        "  sim: clean {:.1} ms/round ({sim_rounds_per_sec:.1} rounds/sec), degraded {:.1} ms/round",
+        sim_clean_secs * 1e3,
+        sim_degraded_secs * 1e3
+    );
+
+    // One threaded degraded round for the speedup ratio: its stall
+    // timeout and retry backoffs are real sleeps, so one rep reads
+    // fine — the sleeps dominate scheduling noise.
+    degraded(&ThreadTransport);
+    let thread_reps = if smoke { 1 } else { 2 };
+    let thread_degraded_secs = time_rounds(|| degraded(&ThreadTransport), thread_reps);
+    let sim_speedup = thread_degraded_secs / sim_degraded_secs;
+    println!(
+        "  threaded: degraded {:.1} ms/round → sim speedup {sim_speedup:.1}x",
+        thread_degraded_secs * 1e3
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"platform_rounds\",\n  \"machine\": {{\"physical_parallelism\": {}, \"smoke\": {smoke}}},\n  \"sim\": {{\"reps\": {reps}, \"clean_ms\": {:.3}, \"degraded_ms\": {:.3}, \"sim_rounds_per_sec\": {sim_rounds_per_sec:.3}}},\n  \"threaded\": {{\"reps\": {thread_reps}, \"degraded_ms\": {:.3}}},\n  \"sim_speedup\": {sim_speedup:.3},\n  \"notes\": \"clean round = 5 honest vehicles over a 2-AP drive; degraded adds one crash, one stall and 10% message drop. sim_speedup compares the degraded round's wall time on the threaded backend (timeouts and backoffs are real sleeps) against the virtual-clock simulator, at an 800 ms phase deadline — longer production deadlines widen the ratio. Determinism (same seed, byte-identical deterministic projection) is asserted before measuring.\"\n}}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        sim_clean_secs * 1e3,
+        sim_degraded_secs * 1e3,
+        thread_degraded_secs * 1e3,
+    );
+    let out_path = bench_out_path("BENCH_platform.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_platform.json");
+    println!("wrote {}", out_path.display());
+}

@@ -1,20 +1,22 @@
-//! Deterministic fault injection for the threaded platform.
+//! Deterministic fault injection for any platform transport.
 //!
 //! Crowdsensing lives or dies on its tolerance of unreliable
 //! participants (§5.3–§5.5): vehicles crash mid-drive, cellular links
 //! drop and reorder packets, and stragglers hold a round hostage. This
-//! module wraps the platform's channels in a seeded fault layer so all
-//! of those failures can be *injected on schedule and replayed
+//! module wraps a transport's links in a seeded fault layer so all of
+//! those failures can be *injected on schedule and replayed
 //! byte-for-byte*:
 //!
 //! * [`FaultPlan`] describes link-level noise (drop / duplicate / delay
 //!   probabilities) and per-vehicle misbehavior (silent crash or
 //!   permanent stall at a chosen protocol point);
-//! * [`FaultySender`] wraps a channel sender and applies the plan's
-//!   noise with a per-link [`ChaCha8Rng`], keyed by the plan seed, the
-//!   vehicle id and the link direction — so two runs with the same plan
-//!   produce the same message-level fault sequence regardless of thread
-//!   scheduling.
+//! * [`FaultySender`] wraps any [`MessageSink`] — a crossbeam channel
+//!   sender on the threaded backend, an in-memory queue on the
+//!   simulation backend — and applies the plan's noise with a per-link
+//!   [`ChaCha8Rng`], keyed by the plan seed, the vehicle id and the
+//!   link direction. Two runs with the same plan therefore produce the
+//!   same message-level fault sequence regardless of scheduling *and*
+//!   regardless of which transport carries the messages.
 //!
 //! A default ([`FaultPlan::none`]) plan is perfectly transparent: no
 //! extra RNG draws, no reordering, zero overhead on the healthy path.
@@ -27,6 +29,22 @@ use rand_chacha::ChaCha8Rng;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Where a [`FaultySender`] puts the messages that survive the fault
+/// layer. Implemented by crossbeam senders (threaded transport) and by
+/// the simulation driver's in-memory queues, so one fault layer serves
+/// every backend.
+pub trait MessageSink<T> {
+    /// Delivers `msg`, handing it back as `Err(msg)` when the other end
+    /// is gone.
+    fn deliver(&mut self, msg: T) -> std::result::Result<(), T>;
+}
+
+impl<T> MessageSink<T> for Sender<T> {
+    fn deliver(&mut self, msg: T) -> std::result::Result<(), T> {
+        self.send(msg).map_err(|SendError(m)| m)
+    }
+}
 
 /// Shared count of faults a set of [`FaultySender`]s actually injected.
 ///
@@ -234,13 +252,13 @@ impl FaultPlan {
 
     /// [`FaultPlan::sender`] with injected faults counted into `tally`
     /// (shared across links, so one tally can cover a whole round).
-    pub fn sender_tallied<T: Clone>(
+    pub fn sender_tallied<T: Clone, S: MessageSink<T>>(
         &self,
-        tx: Sender<T>,
+        tx: S,
         vehicle: VehicleId,
         direction: LinkDirection,
         tally: Option<Arc<FaultTally>>,
-    ) -> FaultySender<T> {
+    ) -> FaultySender<T, S> {
         let noise = if self.is_noisy() {
             Some(LinkNoise {
                 rng: ChaCha8Rng::seed_from_u64(link_seed(self.seed, vehicle, direction)),
@@ -281,32 +299,39 @@ struct LinkNoise<T> {
     held: Vec<(usize, T)>,
 }
 
-/// A channel sender that applies a seeded fault schedule: messages may
-/// be dropped, duplicated, or held back past later sends. With no noise
+/// A link sender that applies a seeded fault schedule: messages may be
+/// dropped, duplicated, or held back past later sends. With no noise
 /// configured it is a plain pass-through. Held messages are flushed in
 /// order when their countdown expires and, last-resort, when the sender
 /// is dropped (in-flight packets still land after the sender hangs up).
-pub struct FaultySender<T> {
-    tx: Sender<T>,
+///
+/// Generic over the underlying [`MessageSink`]; the default is a
+/// crossbeam channel sender, which keeps the threaded transport's
+/// `FaultySender<T>` spelling unchanged.
+pub struct FaultySender<T, S = Sender<T>>
+where
+    S: MessageSink<T>,
+{
+    tx: S,
     noise: Option<LinkNoise<T>>,
     tally: Option<Arc<FaultTally>>,
 }
 
-impl<T: Clone> FaultySender<T> {
+impl<T: Clone, S: MessageSink<T>> FaultySender<T, S> {
     /// Sends `msg` through the fault layer. Returns `Err` only when the
-    /// underlying channel is disconnected; injected drops report `Ok`
+    /// underlying link is disconnected; injected drops report `Ok`
     /// (the sender cannot tell its packet was lost — that is the
     /// point).
     pub fn send(&mut self, msg: T) -> std::result::Result<(), SendError<T>> {
         let Some(noise) = self.noise.as_mut() else {
-            return self.tx.send(msg);
+            return self.tx.deliver(msg).map_err(SendError);
         };
         // Age held messages; flush, in hold order, those whose countdown
         // of later sends has expired.
         let mut still_held = Vec::with_capacity(noise.held.len());
         for (left, held_msg) in noise.held.drain(..) {
             if left <= 1 {
-                self.tx.send(held_msg)?;
+                self.tx.deliver(held_msg).map_err(SendError)?;
             } else {
                 still_held.push((left - 1, held_msg));
             }
@@ -324,8 +349,8 @@ impl<T: Clone> FaultySender<T> {
             if let Some(t) = &self.tally {
                 t.duplicated.fetch_add(1, Ordering::Relaxed);
             }
-            self.tx.send(msg.clone())?;
-            return self.tx.send(msg);
+            self.tx.deliver(msg.clone()).map_err(SendError)?;
+            return self.tx.deliver(msg).map_err(SendError);
         }
         if u < noise.drop_prob + noise.duplicate_prob + noise.delay_prob {
             if let Some(t) = &self.tally {
@@ -335,15 +360,15 @@ impl<T: Clone> FaultySender<T> {
             noise.held.push((k, msg));
             return Ok(());
         }
-        self.tx.send(msg)
+        self.tx.deliver(msg).map_err(SendError)
     }
 }
 
-impl<T> Drop for FaultySender<T> {
+impl<T, S: MessageSink<T>> Drop for FaultySender<T, S> {
     fn drop(&mut self) {
         if let Some(noise) = self.noise.as_mut() {
             for (_, msg) in noise.held.drain(..) {
-                let _ = self.tx.send(msg);
+                let _ = self.tx.deliver(msg);
             }
         }
     }

@@ -14,8 +14,20 @@
 //! * **user-vehicles** download the fused AP list for their route
 //!   ([`server::CrowdServer::download`]).
 //!
-//! [`platform`] runs the whole loop across threads connected by
-//! channels — the in-process stand-in for the paper's web platform.
+//! The round/campaign machinery is layered sans-I/O style:
+//!
+//! * [`protocol`] holds the pure server-side state machine
+//!   ([`protocol::ServerCore`]): timestamped events in, actions out, no
+//!   threads, no channels, no wall clock. Campaign AP state is sharded
+//!   by road segment ([`protocol::ShardedDatabase`]).
+//! * [`transport`] supplies the I/O: the original threaded runtime
+//!   ([`transport::ThreadTransport`]) and a single-threaded
+//!   deterministic simulator with a virtual clock
+//!   ([`transport::SimTransport`]). Same seed + fault plan → the same
+//!   deterministic round report on either backend.
+//! * [`platform`] keeps the original façade API, delegating to the
+//!   threaded transport.
+//!
 //! Rounds are fault-tolerant: per-vehicle deadlines with bounded
 //! retries, reassignment of tasks orphaned by dead vehicles, and
 //! quorum-based degraded completion. [`fault`] injects deterministic,
@@ -31,8 +43,10 @@
 pub mod fault;
 pub mod messages;
 pub mod platform;
+pub mod protocol;
 pub mod segment;
 pub mod server;
+pub mod transport;
 pub mod user;
 pub mod vehicle;
 
@@ -51,6 +65,8 @@ pub enum MiddlewareError {
     Estimator(String),
     /// Crowdsourcing failure.
     Crowd(String),
+    /// A wire-encoded message or segment map failed to decode.
+    Codec(String),
     /// Too few vehicles survived the round to meet the completion
     /// quorum: `alive` out of `total` finished, `required` were needed.
     QuorumLost {
@@ -70,6 +86,7 @@ impl std::fmt::Display for MiddlewareError {
             MiddlewareError::InvalidConfig(why) => write!(f, "invalid config: {why}"),
             MiddlewareError::Estimator(e) => write!(f, "estimator failure: {e}"),
             MiddlewareError::Crowd(e) => write!(f, "crowdsourcing failure: {e}"),
+            MiddlewareError::Codec(e) => write!(f, "codec failure: {e}"),
             MiddlewareError::QuorumLost {
                 alive,
                 required,

@@ -1,6 +1,5 @@
-//! The threaded crowdsourcing platform: server and vehicles as
-//! concurrent actors connected by channels (the in-process stand-in for
-//! the web platform of §5.5), hardened against unreliable participants.
+//! The crowdsourcing platform façade: the original one-call API over
+//! the layered [`crate::protocol`] / [`crate::transport`] stack.
 //!
 //! The paper's whole premise is that crowd-vehicles cannot be trusted
 //! (§5.3): they spam, they crash, their links drop packets. A round
@@ -16,867 +15,67 @@
 //! rounds exactly like vehicles that label badly.
 //!
 //! Faults are injected — deterministically, from a seeded
-//! [`FaultPlan`] — rather than awaited, so every degraded-round path in
-//! this module is replayable byte-for-byte in tests.
+//! [`FaultPlan`] — rather than awaited, so every degraded-round path is
+//! replayable byte-for-byte in tests.
+//!
+//! All of that logic now lives in the pure [`crate::protocol::ServerCore`]
+//! state machine; this module re-exports the round/report types from
+//! [`crate::protocol`] and runs rounds on the concurrent
+//! [`ThreadTransport`] — the in-process stand-in for the web platform of
+//! §5.5. To pick a backend explicitly (e.g. the deterministic
+//! [`crate::transport::SimTransport`]), use the [`crate::transport`] API
+//! directly.
 
-use crate::fault::{FaultPlan, FaultTally, LinkDirection};
-use crate::messages::{MappingTask, ToServer, ToVehicle, VehicleId};
+pub use crate::protocol::{
+    quorum_required, validate_config, FateRecord, FaultTolerance, PlatformConfig, PlatformReport,
+    RoundHealth, RoundPhase, VehicleFate,
+};
+
+use crate::fault::FaultPlan;
 use crate::segment::SegmentMap;
-use crate::server::{CrowdServer, RoundOutcome};
-use crate::vehicle::{run_protocol, CrowdVehicle, VehicleExit};
-use crate::{MiddlewareError, Result};
-use crossbeam::channel::{self, RecvTimeoutError};
+use crate::transport::{run_campaign_with_faults_on, ThreadTransport, Transport};
+use crate::vehicle::CrowdVehicle;
+use crate::Result;
 use crowdwifi_channel::RssReading;
-use crowdwifi_crowd::fusion::FusedAp;
-use crowdwifi_obs::{EventValue, Registry, Snapshot};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
 
-/// Reliability multiplier applied to vehicles that died mid-round.
-const DEAD_RELIABILITY_FACTOR: f64 = 0.5;
-
-/// Fault-tolerance knobs of the round protocol.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct FaultTolerance {
-    /// How long the server waits for a vehicle's upload or answers
-    /// before retrying.
-    pub deadline: Duration,
-    /// Extra wait added per retry (linear backoff: retry `k` waits
-    /// `deadline + k * retry_backoff`).
-    pub retry_backoff: Duration,
-    /// Retries per vehicle per phase before it is declared dead.
-    pub max_retries: u32,
-    /// Fraction of the fleet (in `(0, 1]`) that must complete the round
-    /// for it to finish — degraded — instead of erroring out with
-    /// [`MiddlewareError::QuorumLost`].
-    pub quorum: f64,
-}
-
-impl Default for FaultTolerance {
-    fn default() -> Self {
-        FaultTolerance {
-            deadline: Duration::from_secs(2),
-            retry_backoff: Duration::from_millis(250),
-            max_retries: 2,
-            quorum: 0.5,
-        }
-    }
-}
-
-/// Configuration of one platform round.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct PlatformConfig {
-    /// Bootstrap (random) patterns per active segment.
-    pub bootstrap_patterns: usize,
-    /// Crowd-vehicles assigned per mapping task.
-    pub workers_per_task: usize,
-    /// Fusion merge radius in meters.
-    pub merge_radius: f64,
-    /// Vehicles at or below this inferred reliability are excluded from
-    /// fusion.
-    pub spammer_cutoff: f64,
-    /// Base RNG seed; vehicle `i` uses `seed + i + 1`.
-    pub seed: u64,
-    /// Deadlines, retries and the completion quorum.
-    pub tolerance: FaultTolerance,
-}
-
-impl Default for PlatformConfig {
-    fn default() -> Self {
-        PlatformConfig {
-            bootstrap_patterns: 2,
-            workers_per_task: 5,
-            merge_radius: 25.0,
-            spammer_cutoff: 0.3,
-            seed: 0,
-            tolerance: FaultTolerance::default(),
-        }
-    }
-}
-
-/// Checks a [`PlatformConfig`] before any thread is spawned, so bad
-/// knobs surface as a typed error instead of a downstream panic or
-/// silently nonsensical round.
-fn validate_config(config: &PlatformConfig) -> Result<()> {
-    let reject = |why: String| Err(MiddlewareError::InvalidConfig(why));
-    if config.workers_per_task == 0 {
-        return reject("workers_per_task must be at least 1".to_string());
-    }
-    if !config.spammer_cutoff.is_finite() || !(0.0..=1.0).contains(&config.spammer_cutoff) {
-        return reject(format!(
-            "spammer_cutoff must lie in [0, 1], got {}",
-            config.spammer_cutoff
-        ));
-    }
-    if !config.merge_radius.is_finite() || config.merge_radius <= 0.0 {
-        return reject(format!(
-            "merge_radius must be positive and finite, got {}",
-            config.merge_radius
-        ));
-    }
-    let t = &config.tolerance;
-    if t.deadline.is_zero() {
-        return reject("tolerance.deadline must be non-zero".to_string());
-    }
-    if !t.quorum.is_finite() || t.quorum <= 0.0 || t.quorum > 1.0 {
-        return reject(format!(
-            "tolerance.quorum must lie in (0, 1], got {}",
-            t.quorum
-        ));
-    }
-    Ok(())
-}
-
-/// Overall health of a finished round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RoundHealth {
-    /// Every vehicle completed on the first try; full coverage.
-    Complete,
-    /// The round finished, but only after recovery actions: retries,
-    /// vehicle deaths, task reassignment, or lost label slots.
-    Degraded,
-}
-
-/// Protocol phase in which a vehicle was lost.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RoundPhase {
-    /// Collecting coarse sensing uploads.
-    Upload,
-    /// Collecting mapping-task answers.
-    Labeling,
-}
-
-/// The server-side verdict on one vehicle's round.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum VehicleFate {
-    /// Answered everything it was asked.
-    Completed,
-    /// Reported its own failure ([`ToServer::Failed`]) with this reason.
-    Reported(String),
-    /// Went silent and missed its deadline after all retries.
-    TimedOut(RoundPhase),
-    /// Its thread disconnected (with every other outstanding vehicle)
-    /// before responding.
-    Vanished(RoundPhase),
-}
-
-/// Per-vehicle fate plus how many retries it cost the server.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FateRecord {
-    /// How the server classified the vehicle.
-    pub fate: VehicleFate,
-    /// Deadline-expiry retries spent on this vehicle (both phases).
-    pub retries: u32,
-}
-
-/// Result of a full platform round.
-#[derive(Debug, Clone)]
-pub struct PlatformReport {
-    /// The crowdsourcing outcome (accepted patterns, reliabilities).
-    pub outcome: RoundOutcome,
-    /// The fused fine-grained AP estimates.
-    pub fused: Vec<FusedAp>,
-    /// Whether the round needed any recovery action.
-    pub health: RoundHealth,
-    /// Server-side fate of every vehicle in the fleet.
-    pub fates: BTreeMap<VehicleId, FateRecord>,
-    /// Vehicle-side exit classification (how each thread ended).
-    pub exits: BTreeMap<VehicleId, VehicleExit>,
-    /// Mapping tasks moved from dead vehicles to healthy ones.
-    pub reassigned_tasks: usize,
-    /// Label slots that could not be reassigned (coverage lost against
-    /// the intended (ℓ,γ)-regular assignment).
-    pub lost_label_slots: usize,
-    /// Round metrics: per-phase wall-clock timers, retry / fate /
-    /// reassignment counters, observed fault-injection totals, fleet and
-    /// quorum gauges, plus a `vehicle.dead` event per casualty. The
-    /// [`Snapshot::deterministic`] projection (which drops the
-    /// wall-clock timers) is byte-identical across same-seed runs of
-    /// the same fleet, config and fault plan.
-    pub metrics: Snapshot,
-}
-
-impl PlatformReport {
-    /// Vehicles the server declared dead this round.
-    pub fn dead_vehicles(&self) -> Vec<VehicleId> {
-        self.fates
-            .iter()
-            .filter(|(_, r)| r.fate != VehicleFate::Completed)
-            .map(|(&v, _)| v)
-            .collect()
-    }
-}
-
-/// Extracts a readable message from a caught panic payload.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-/// Server-side handle to one vehicle: the (possibly noisy) downlink
-/// sender plus a receiver clone that keeps the channel open, so sends
-/// to an already-dead vehicle are quietly absorbed instead of erroring.
-struct VehicleLink {
-    tx: crate::fault::FaultySender<ToVehicle>,
-    _keepalive: channel::Receiver<ToVehicle>,
-}
-
-/// Minimum vehicles that must finish for a fleet of `n` under `quorum`.
-fn quorum_required(n: usize, quorum: f64) -> usize {
-    ((quorum * n as f64).ceil() as usize).clamp(1, n)
-}
-
-/// Runs one full crowdsensing round with each vehicle on its own
-/// (scoped) thread: sense → upload → assignment → labeling → inference
-/// → fusion. Equivalent to [`run_round_with_faults`] with no injected
-/// faults; real (non-injected) failures are still tolerated the same
-/// way.
+/// Runs one crowdsensing round on the threaded backend: sense/upload,
+/// pattern generation, task assignment, labeling, truth inference and
+/// fusion, with the fault-tolerance machinery described in the module
+/// docs.
 ///
 /// # Errors
 ///
 /// Rejects invalid configurations; fails with
-/// [`MiddlewareError::QuorumLost`] when too few vehicles survive;
+/// [`crate::MiddlewareError::QuorumLost`] when too few vehicles survive;
 /// propagates assignment and inference failures.
 pub fn run_round(
     segments: SegmentMap,
     fleet: Vec<(CrowdVehicle, Vec<RssReading>)>,
     config: PlatformConfig,
 ) -> Result<PlatformReport> {
-    run_round_with_faults(segments, fleet, config, &FaultPlan::none())
+    ThreadTransport.run_round(segments, fleet, config)
 }
 
-/// [`run_round`] under a deterministic, seeded [`FaultPlan`]: message
-/// drops/duplicates/delays on every link and scheduled per-vehicle
-/// crashes or stalls. Two runs with the same fleet, config and plan
-/// produce identical reports.
-///
-/// Vehicle threads are spawned under [`std::thread::scope`], so none
-/// can outlive the round; each wraps its protocol in `catch_unwind`,
-/// reporting panics and estimator errors to the server as
-/// [`ToServer::Failed`]. Silent deaths (injected crashes, dropped
-/// packets) are caught by the server's per-vehicle deadlines instead —
-/// nothing blocks forever.
+/// [`run_round`] under a deterministic [`FaultPlan`]: scheduled vehicle
+/// crashes/stalls plus seeded link noise.
 ///
 /// # Errors
 ///
-/// As [`run_round`], plus plan validation failures.
+/// As [`run_round`]; additionally rejects invalid fault plans.
 pub fn run_round_with_faults(
     segments: SegmentMap,
-    mut fleet: Vec<(CrowdVehicle, Vec<RssReading>)>,
+    fleet: Vec<(CrowdVehicle, Vec<RssReading>)>,
     config: PlatformConfig,
     plan: &FaultPlan,
 ) -> Result<PlatformReport> {
-    validate_config(&config)?;
-    plan.validate()?;
-    if fleet.is_empty() {
-        return Err(MiddlewareError::InvalidConfig("empty fleet".to_string()));
-    }
-    {
-        let mut ids = BTreeSet::new();
-        for (vehicle, _) in &fleet {
-            if !ids.insert(vehicle.id()) {
-                return Err(MiddlewareError::InvalidConfig(format!(
-                    "duplicate vehicle id {}",
-                    vehicle.id()
-                )));
-            }
-        }
-    }
-
-    // The server itself is only touched by this (the protocol) thread;
-    // vehicles talk to it exclusively through channels.
-    let mut server = CrowdServer::new(segments.clone());
-    let (to_server_tx, to_server_rx) = channel::unbounded::<(VehicleId, ToServer)>();
-
-    // Round-local metric registry (embedded into the report at the end)
-    // and one shared tally counting the faults the plan actually
-    // injected across every link.
-    let registry = Registry::new();
-    let tally = Arc::new(FaultTally::new());
-
-    // Per-vehicle downlinks. The server sends through the fault layer;
-    // a keepalive receiver clone stays in the link so sends to vehicles
-    // that already exited are absorbed rather than failing.
-    let mut links: BTreeMap<VehicleId, VehicleLink> = BTreeMap::new();
-    let mut vehicle_rxs: BTreeMap<VehicleId, channel::Receiver<ToVehicle>> = BTreeMap::new();
-    for (vehicle, _) in fleet.iter() {
-        let (tx, rx) = channel::unbounded::<ToVehicle>();
-        vehicle_rxs.insert(vehicle.id(), rx.clone());
-        links.insert(
-            vehicle.id(),
-            VehicleLink {
-                tx: plan.sender_tallied(
-                    tx,
-                    vehicle.id(),
-                    LinkDirection::ToVehicle,
-                    Some(Arc::clone(&tally)),
-                ),
-                _keepalive: rx,
-            },
-        );
-        server.register(vehicle.id());
-    }
-
-    let exits: Mutex<BTreeMap<VehicleId, VehicleExit>> = Mutex::new(BTreeMap::new());
-
-    let server_result = std::thread::scope(|scope| {
-        for (i, (mut vehicle, readings)) in fleet.drain(..).enumerate() {
-            let id = vehicle.id();
-            let mut to_server = plan.sender_tallied(
-                to_server_tx.clone(),
-                id,
-                LinkDirection::ToServer,
-                Some(Arc::clone(&tally)),
-            );
-            let rx = vehicle_rxs[&id].clone();
-            let script = plan.misbehavior(id);
-            let seed = config.seed + i as u64 + 1;
-            let segments = &segments;
-            let exits = &exits;
-            scope.spawn(move || {
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    run_protocol(
-                        &mut vehicle,
-                        &readings,
-                        segments,
-                        &mut to_server,
-                        &rx,
-                        seed,
-                        script,
-                    )
-                }));
-                let exit = match outcome {
-                    Ok(Ok(exit)) => exit,
-                    Ok(Err(e)) => {
-                        let reason = e.to_string();
-                        // Best-effort: the server may already be gone.
-                        let _ = to_server.send((id, ToServer::Failed(reason.clone())));
-                        VehicleExit::Failed(reason)
-                    }
-                    Err(payload) => {
-                        let reason = format!("panic: {}", panic_message(payload));
-                        let _ = to_server.send((id, ToServer::Failed(reason.clone())));
-                        VehicleExit::Failed(reason)
-                    }
-                };
-                exits.lock().expect("exit log lock").insert(id, exit);
-            });
-        }
-        drop(to_server_tx);
-
-        let result = run_server_protocol(&mut server, &to_server_rx, &mut links, config, &registry);
-        if let Err(e) = &result {
-            // Deliberate abandonment: tell every vehicle why, so their
-            // exit logs distinguish "server aborted" from "server
-            // vanished".
-            let reason = e.to_string();
-            for link in links.values_mut() {
-                let _ = link.tx.send(ToVehicle::Abort(reason.clone()));
-            }
-        }
-        // Success or failure, release every vehicle before the scope
-        // joins: dropping the downlinks turns any blocked `rx.recv()`
-        // into a clean disconnect-and-exit.
-        drop(links);
-        result
-    });
-
-    let mut report = server_result?;
-    report.exits = exits.into_inner().expect("exit log lock");
-    // Fault totals are read only after the scope joins, when every
-    // sender (including the uplinks owned by vehicle threads) is done.
-    registry
-        .counter("platform.faults.dropped")
-        .add(tally.dropped());
-    registry
-        .counter("platform.faults.duplicated")
-        .add(tally.duplicated());
-    registry
-        .counter("platform.faults.delayed")
-        .add(tally.delayed());
-    report.metrics = registry.snapshot();
-    Ok(report)
-}
-
-/// Mutable bookkeeping of one round's casualties.
-struct RoundLedger {
-    fates: BTreeMap<VehicleId, FateRecord>,
-    retries: BTreeMap<VehicleId, u32>,
-    dead: BTreeSet<VehicleId>,
-}
-
-impl RoundLedger {
-    fn new() -> Self {
-        RoundLedger {
-            fates: BTreeMap::new(),
-            retries: BTreeMap::new(),
-            dead: BTreeSet::new(),
-        }
-    }
-
-    fn retries_of(&self, v: VehicleId) -> u32 {
-        self.retries.get(&v).copied().unwrap_or(0)
-    }
-
-    /// Declares `v` dead: records its fate and stops assigning it work.
-    fn mark_dead(&mut self, server: &mut CrowdServer, v: VehicleId, fate: VehicleFate) {
-        self.dead.insert(v);
-        server.set_participation(v, false);
-        self.fates.insert(
-            v,
-            FateRecord {
-                fate,
-                retries: self.retries_of(v),
-            },
-        );
-    }
-
-    fn alive(&self, server: &CrowdServer) -> Vec<VehicleId> {
-        server
-            .vehicles()
-            .iter()
-            .copied()
-            .filter(|v| !self.dead.contains(v))
-            .collect()
-    }
-
-    fn check_quorum(&self, server: &CrowdServer, quorum: f64) -> Result<()> {
-        let total = server.vehicles().len();
-        let alive = total - self.dead.len();
-        let required = quorum_required(total, quorum);
-        if alive < required {
-            return Err(MiddlewareError::QuorumLost {
-                alive,
-                required,
-                total,
-            });
-        }
-        Ok(())
-    }
-}
-
-/// Short, stable label of a fate for metric names and event fields.
-fn fate_label(fate: &VehicleFate) -> &'static str {
-    match fate {
-        VehicleFate::Completed => "completed",
-        VehicleFate::Reported(_) => "reported",
-        VehicleFate::TimedOut(_) => "timed_out",
-        VehicleFate::Vanished(_) => "vanished",
-    }
-}
-
-/// The server's side of one round: the four protocol phases, each
-/// collection phase guarded by per-vehicle deadlines and timed into
-/// `reg` as a `platform.phase.*_seconds` histogram.
-fn run_server_protocol(
-    server: &mut CrowdServer,
-    to_server_rx: &channel::Receiver<(VehicleId, ToServer)>,
-    links: &mut BTreeMap<VehicleId, VehicleLink>,
-    config: PlatformConfig,
-    reg: &Registry,
-) -> Result<PlatformReport> {
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let tolerance = config.tolerance;
-    let mut ledger = RoundLedger::new();
-
-    // Phase 1: collect uploads under deadline; silent vehicles are
-    // nudged with `RequestUpload` retries, then declared dead.
-    let span = reg.timer("platform.phase.upload_seconds").start_span();
-    collect_uploads(server, to_server_rx, links, &mut ledger, &tolerance)?;
-    span.finish();
-    ledger.check_quorum(server, tolerance.quorum)?;
-
-    // Phase 2: generate patterns and assign mapping tasks to survivors.
-    let span = reg.timer("platform.phase.assign_seconds").start_span();
-    server.generate_patterns(config.bootstrap_patterns, &mut rng);
-    let alive = ledger.alive(server);
-    let assignments = server.assign_tasks(config.workers_per_task.min(alive.len()), &mut rng)?;
-    let mut outstanding: BTreeMap<VehicleId, BTreeSet<usize>> = BTreeMap::new();
-    for &v in &alive {
-        let tasks = assignments.get(&v).cloned().unwrap_or_default();
-        if !tasks.is_empty() {
-            outstanding.insert(v, tasks.iter().map(|t| t.task_id).collect());
-        }
-        let link = links.get_mut(&v).expect("registered vehicle");
-        let _ = link.tx.send(ToVehicle::Assign(tasks));
-    }
-    span.finish();
-
-    // Phase 3: collect answers under deadline; tasks orphaned by a dead
-    // vehicle are reassigned to the least-loaded healthy candidates.
-    let span = reg.timer("platform.phase.labeling_seconds").start_span();
-    let (reassigned_tasks, lost_label_slots) = collect_answers(
-        server,
-        to_server_rx,
-        links,
-        &mut ledger,
-        &tolerance,
-        outstanding,
-    )?;
-    span.finish();
-    ledger.check_quorum(server, tolerance.quorum)?;
-    for v in ledger.alive(server) {
-        let link = links.get_mut(&v).expect("registered vehicle");
-        let _ = link.tx.send(ToVehicle::Done);
-    }
-
-    // Phase 4: inference + fusion. Dead vehicles are penalized in the
-    // reliability prior before fusion weighs their uploads.
-    let span = reg.timer("platform.phase.inference_seconds").start_span();
-    let mut outcome = server.infer(&mut rng)?;
-    for &v in &ledger.dead {
-        let q = server.penalize(v, DEAD_RELIABILITY_FACTOR);
-        outcome.reliabilities.insert(v, q);
-    }
-    let fused = server
-        .finalize(config.merge_radius, config.spammer_cutoff)
-        .to_vec();
-    span.finish();
-
-    let total_retries: u32 = ledger.retries.values().sum();
-    let health = if ledger.dead.is_empty()
-        && reassigned_tasks == 0
-        && lost_label_slots == 0
-        && total_retries == 0
-    {
-        RoundHealth::Complete
-    } else {
-        RoundHealth::Degraded
-    };
-    let mut fates = ledger.fates;
-    for v in server.vehicles() {
-        fates.entry(*v).or_insert_with(|| FateRecord {
-            fate: VehicleFate::Completed,
-            retries: ledger.retries.get(v).copied().unwrap_or(0),
-        });
-    }
-
-    // Round bookkeeping metrics. Fates iterate in `VehicleId` order, so
-    // the `vehicle.dead` event sequence is deterministic too.
-    reg.counter("platform.retries")
-        .add(u64::from(total_retries));
-    reg.counter("platform.reassigned_tasks")
-        .add(reassigned_tasks as u64);
-    reg.counter("platform.lost_label_slots")
-        .add(lost_label_slots as u64);
-    for (v, record) in &fates {
-        reg.counter(&format!("platform.fates.{}", fate_label(&record.fate)))
-            .inc();
-        if record.fate != VehicleFate::Completed {
-            reg.event(
-                "vehicle.dead",
-                &[
-                    ("vehicle", EventValue::Uint(u64::from(v.0))),
-                    (
-                        "fate",
-                        EventValue::Str(fate_label(&record.fate).to_string()),
-                    ),
-                    ("retries", EventValue::Uint(u64::from(record.retries))),
-                ],
-            );
-        }
-    }
-    let total = server.vehicles().len();
-    let alive = total - ledger.dead.len();
-    reg.gauge("platform.fleet_size").set(total as i64);
-    reg.gauge("platform.dead_vehicles")
-        .set(ledger.dead.len() as i64);
-    reg.gauge("platform.quorum_margin")
-        .set(alive as i64 - quorum_required(total, tolerance.quorum) as i64);
-
-    Ok(PlatformReport {
-        outcome,
-        fused,
-        health,
-        fates,
-        exits: BTreeMap::new(), // filled by the caller after the scope joins
-        reassigned_tasks,
-        lost_label_slots,
-        metrics: Snapshot::default(), // likewise: faults are tallied after the scope joins
-    })
-}
-
-/// Phase 1: every vehicle owes one upload. Deadline-expired vehicles
-/// get `RequestUpload` retries with linear backoff, then die.
-fn collect_uploads(
-    server: &mut CrowdServer,
-    rx: &channel::Receiver<(VehicleId, ToServer)>,
-    links: &mut BTreeMap<VehicleId, VehicleLink>,
-    ledger: &mut RoundLedger,
-    tolerance: &FaultTolerance,
-) -> Result<()> {
-    let start = Instant::now();
-    let mut waiting: BTreeMap<VehicleId, Instant> = server
-        .vehicles()
-        .iter()
-        .map(|&v| (v, start + tolerance.deadline))
-        .collect();
-    while !waiting.is_empty() {
-        let now = Instant::now();
-        let expired: Vec<VehicleId> = waiting
-            .iter()
-            .filter(|&(_, &d)| d <= now)
-            .map(|(&v, _)| v)
-            .collect();
-        for v in expired {
-            let spent = ledger.retries.entry(v).or_insert(0);
-            if *spent < tolerance.max_retries {
-                *spent += 1;
-                let extra = tolerance.retry_backoff * *spent;
-                let link = links.get_mut(&v).expect("registered vehicle");
-                let _ = link.tx.send(ToVehicle::RequestUpload);
-                waiting.insert(v, now + tolerance.deadline + extra);
-            } else {
-                ledger.mark_dead(server, v, VehicleFate::TimedOut(RoundPhase::Upload));
-                waiting.remove(&v);
-            }
-        }
-        if waiting.is_empty() {
-            break;
-        }
-        let next = *waiting.values().min().expect("non-empty waiting set");
-        let timeout = next
-            .saturating_duration_since(Instant::now())
-            .max(Duration::from_millis(1));
-        match rx.recv_timeout(timeout) {
-            Ok((id, msg)) => {
-                if ledger.dead.contains(&id) {
-                    continue; // late message from a declared-dead vehicle
-                }
-                match msg {
-                    ToServer::Upload(up) => {
-                        server.receive_upload(up)?;
-                        waiting.remove(&id);
-                    }
-                    ToServer::Failed(m) => {
-                        ledger.mark_dead(server, id, VehicleFate::Reported(m));
-                        waiting.remove(&id);
-                    }
-                    // Answers cannot precede an assignment; a duplicate
-                    // or delayed stray is simply ignored.
-                    ToServer::Answers(_) => {}
-                }
-            }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => {
-                // Every vehicle thread is gone; nobody left to wait for.
-                for v in waiting.keys().copied().collect::<Vec<_>>() {
-                    ledger.mark_dead(server, v, VehicleFate::Vanished(RoundPhase::Upload));
-                }
-                waiting.clear();
-            }
-        }
-    }
-    Ok(())
-}
-
-/// Mutable state of the answer-collection phase, grouped so the
-/// reassignment path can be one method instead of a ten-argument
-/// function.
-struct LabelingState {
-    /// Tasks each vehicle still owes, by task id.
-    outstanding: BTreeMap<VehicleId, BTreeSet<usize>>,
-    /// Per-vehicle response deadline.
-    waiting: BTreeMap<VehicleId, Instant>,
-    /// (vehicle, task) pairs already answered, so reassignment never
-    /// hands a task back to a vehicle whose label is already counted.
-    answered: BTreeSet<(VehicleId, usize)>,
-    reassigned: usize,
-    lost: usize,
-}
-
-impl LabelingState {
-    /// Moves the orphaned tasks of dead `v` to healthy candidates: for
-    /// each orphan, the least-loaded survivor that has neither answered
-    /// nor currently holds the task. Unplaceable orphans count as lost
-    /// label slots.
-    fn reassign_orphans(
-        &mut self,
-        server: &CrowdServer,
-        links: &mut BTreeMap<VehicleId, VehicleLink>,
-        ledger: &RoundLedger,
-        tolerance: &FaultTolerance,
-        v: VehicleId,
-    ) {
-        let orphans: Vec<usize> = self
-            .outstanding
-            .remove(&v)
-            .map(|s| s.into_iter().collect())
-            .unwrap_or_default();
-        self.waiting.remove(&v);
-        if orphans.is_empty() {
-            return;
-        }
-        let alive = ledger.alive(server);
-        let mut batches: BTreeMap<VehicleId, Vec<MappingTask>> = BTreeMap::new();
-        // Per-vehicle load = labels already given + labels still owed;
-        // picking the min keeps the degraded assignment as close to
-        // γ-balanced as the survivors allow.
-        let mut load: BTreeMap<VehicleId, usize> = alive
-            .iter()
-            .map(|&w| {
-                let done = self.answered.iter().filter(|&&(aw, _)| aw == w).count();
-                let owed = self.outstanding.get(&w).map_or(0, |s| s.len());
-                (w, done + owed)
-            })
-            .collect();
-        for task_id in orphans {
-            let candidate = alive
-                .iter()
-                .copied()
-                .filter(|&w| {
-                    !self.answered.contains(&(w, task_id))
-                        && !self
-                            .outstanding
-                            .get(&w)
-                            .is_some_and(|s| s.contains(&task_id))
-                })
-                .min_by_key(|&w| (load[&w], w.0));
-            match candidate {
-                Some(w) => {
-                    self.outstanding.entry(w).or_default().insert(task_id);
-                    *load.get_mut(&w).expect("alive vehicle") += 1;
-                    batches.entry(w).or_default().push(MappingTask {
-                        task_id,
-                        pattern: server.patterns()[task_id].clone(),
-                    });
-                    self.reassigned += 1;
-                }
-                // Every survivor already labeled (or holds) this task:
-                // the label slot is unrecoverable.
-                None => self.lost += 1,
-            }
-        }
-        let now = Instant::now();
-        for (w, tasks) in batches {
-            let link = links.get_mut(&w).expect("registered vehicle");
-            let _ = link.tx.send(ToVehicle::Assign(tasks));
-            self.waiting.insert(w, now + tolerance.deadline);
-        }
-    }
-}
-
-/// Phase 3: collect answers for all outstanding tasks. Deadline-expired
-/// vehicles are re-sent their outstanding tasks, then die; a dead
-/// vehicle's orphans are reassigned to the least-loaded healthy
-/// vehicles that have not already labeled them.
-fn collect_answers(
-    server: &mut CrowdServer,
-    rx: &channel::Receiver<(VehicleId, ToServer)>,
-    links: &mut BTreeMap<VehicleId, VehicleLink>,
-    ledger: &mut RoundLedger,
-    tolerance: &FaultTolerance,
-    outstanding: BTreeMap<VehicleId, BTreeSet<usize>>,
-) -> Result<(usize, usize)> {
-    let start = Instant::now();
-    let waiting: BTreeMap<VehicleId, Instant> = outstanding
-        .keys()
-        .map(|&v| (v, start + tolerance.deadline))
-        .collect();
-    let mut st = LabelingState {
-        outstanding,
-        waiting,
-        answered: BTreeSet::new(),
-        reassigned: 0,
-        lost: 0,
-    };
-
-    while !st.waiting.is_empty() {
-        let now = Instant::now();
-        let expired: Vec<VehicleId> = st
-            .waiting
-            .iter()
-            .filter(|&(_, &d)| d <= now)
-            .map(|(&v, _)| v)
-            .collect();
-        for v in expired {
-            let spent = ledger.retries.entry(v).or_insert(0);
-            if *spent < tolerance.max_retries {
-                *spent += 1;
-                let extra = tolerance.retry_backoff * *spent;
-                let tasks: Vec<MappingTask> = st.outstanding[&v]
-                    .iter()
-                    .map(|&task_id| MappingTask {
-                        task_id,
-                        pattern: server.patterns()[task_id].clone(),
-                    })
-                    .collect();
-                let link = links.get_mut(&v).expect("registered vehicle");
-                let _ = link.tx.send(ToVehicle::Assign(tasks));
-                st.waiting.insert(v, now + tolerance.deadline + extra);
-            } else {
-                ledger.mark_dead(server, v, VehicleFate::TimedOut(RoundPhase::Labeling));
-                st.reassign_orphans(server, links, ledger, tolerance, v);
-            }
-        }
-        if st.waiting.is_empty() {
-            break;
-        }
-        let next = *st.waiting.values().min().expect("non-empty waiting set");
-        let timeout = next
-            .saturating_duration_since(Instant::now())
-            .max(Duration::from_millis(1));
-        match rx.recv_timeout(timeout) {
-            Ok((id, msg)) => {
-                if ledger.dead.contains(&id) {
-                    continue;
-                }
-                match msg {
-                    ToServer::Answers(batch) => {
-                        let Some(owed) = st.outstanding.get_mut(&id) else {
-                            continue; // task-less vehicle or duplicate batch
-                        };
-                        let mut fresh = Vec::with_capacity(batch.len());
-                        for a in batch {
-                            if a.vehicle == id && owed.remove(&a.task_id) {
-                                st.answered.insert((id, a.task_id));
-                                fresh.push(a);
-                            }
-                        }
-                        server.receive_answers(fresh);
-                        if owed.is_empty() {
-                            st.outstanding.remove(&id);
-                            st.waiting.remove(&id);
-                        }
-                    }
-                    ToServer::Failed(m) => {
-                        ledger.mark_dead(server, id, VehicleFate::Reported(m));
-                        st.reassign_orphans(server, links, ledger, tolerance, id);
-                    }
-                    // A delayed or re-requested upload arriving late;
-                    // the first copy already counted.
-                    ToServer::Upload(_) => {}
-                }
-            }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => {
-                for v in st.waiting.keys().copied().collect::<Vec<_>>() {
-                    ledger.mark_dead(server, v, VehicleFate::Vanished(RoundPhase::Labeling));
-                    st.reassign_orphans(server, links, ledger, tolerance, v);
-                }
-            }
-        }
-    }
-    Ok((st.reassigned, st.lost))
+    ThreadTransport.run_round_with_faults(segments, fleet, config, plan)
 }
 
 /// Runs several crowdsourcing rounds back-to-back with reliability
-/// smoothing: each round re-senses (fleet drives are per-round),
-/// re-labels and re-infers; the server's per-vehicle reliability is the
-/// EMA across rounds, so a spammer cannot whitewash itself with one
-/// lucky round — and a vehicle that keeps dying mid-round is
-/// down-weighted the same way.
-///
-/// `rounds` pairs each round with its fleet (vehicle, drive) list; all
-/// rounds share one server.
+/// smoothing: each round re-senses, re-labels and re-infers; the
+/// reported per-vehicle reliability is an exponential moving average
+/// across rounds (`smoothing` weighs the newest round), so a spammer
+/// cannot whitewash itself with one lucky round.
 ///
 /// # Errors
 ///
@@ -903,40 +102,21 @@ pub fn run_campaign_with_faults(
     smoothing: f64,
     plans: &[FaultPlan],
 ) -> Result<Vec<PlatformReport>> {
-    if rounds.is_empty() {
-        return Err(MiddlewareError::InvalidConfig("no rounds".to_string()));
-    }
-    let none = FaultPlan::none();
-    // The shared server lives across rounds; each round otherwise runs
-    // the standard protocol. (`run_round` owns its server, so the
-    // campaign re-applies the EMA manually from round to round.)
-    let mut reports: Vec<PlatformReport> = Vec::new();
-    let mut long_run: BTreeMap<VehicleId, f64> = BTreeMap::new();
-    for (i, fleet) in rounds.into_iter().enumerate() {
-        let round_config = PlatformConfig {
-            seed: config.seed + i as u64 * 1000,
-            ..config
-        };
-        let plan = plans.get(i).unwrap_or(&none);
-        let mut report = run_round_with_faults(segments.clone(), fleet, round_config, plan)?;
-        for (vehicle, q) in report.outcome.reliabilities.iter_mut() {
-            let prev = long_run.get(vehicle).copied().unwrap_or(0.5);
-            *q = smoothing * *q + (1.0 - smoothing) * prev;
-            long_run.insert(*vehicle, *q);
-        }
-        reports.push(report);
-    }
-    Ok(reports)
+    run_campaign_with_faults_on(&ThreadTransport, segments, rounds, config, smoothing, plans)
+        .map(|outcome| outcome.reports)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fault::FaultPoint;
-    use crate::vehicle::Behavior;
+    use crate::messages::VehicleId;
+    use crate::vehicle::{Behavior, VehicleExit};
+    use crate::MiddlewareError;
     use crowdwifi_channel::PathLossModel;
     use crowdwifi_core::{OnlineCs, OnlineCsConfig};
     use crowdwifi_geo::{Point, Rect};
+    use std::time::Duration;
 
     /// Fading-free staggered drive past two APs.
     fn drive(offset: f64) -> Vec<RssReading> {
@@ -1346,14 +526,5 @@ mod tests {
             10.0,
         );
         assert!(run_round(segments, vec![], PlatformConfig::default()).is_err());
-    }
-
-    #[test]
-    fn quorum_required_covers_edges() {
-        assert_eq!(quorum_required(3, 0.5), 2);
-        assert_eq!(quorum_required(4, 0.5), 2);
-        assert_eq!(quorum_required(5, 1.0), 5);
-        assert_eq!(quorum_required(5, 0.01), 1);
-        assert_eq!(quorum_required(1, 0.5), 1);
     }
 }

@@ -1,0 +1,80 @@
+//! Quorum math and the round casualty ledger.
+
+use super::fates::{FateRecord, VehicleFate};
+use crate::messages::VehicleId;
+use crate::server::CrowdServer;
+use crate::{MiddlewareError, Result};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Minimum vehicles that must finish for a fleet of `n` under `quorum`.
+pub fn quorum_required(n: usize, quorum: f64) -> usize {
+    ((quorum * n as f64).ceil() as usize).clamp(1, n)
+}
+
+/// Mutable bookkeeping of one round's casualties.
+#[derive(Debug, Default)]
+pub(crate) struct RoundLedger {
+    pub(crate) fates: BTreeMap<VehicleId, FateRecord>,
+    pub(crate) retries: BTreeMap<VehicleId, u32>,
+    pub(crate) dead: BTreeSet<VehicleId>,
+}
+
+impl RoundLedger {
+    pub(crate) fn new() -> Self {
+        RoundLedger::default()
+    }
+
+    pub(crate) fn retries_of(&self, v: VehicleId) -> u32 {
+        self.retries.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Declares `v` dead: records its fate and stops assigning it work.
+    pub(crate) fn mark_dead(&mut self, server: &mut CrowdServer, v: VehicleId, fate: VehicleFate) {
+        self.dead.insert(v);
+        server.set_participation(v, false);
+        self.fates.insert(
+            v,
+            FateRecord {
+                fate,
+                retries: self.retries_of(v),
+            },
+        );
+    }
+
+    pub(crate) fn alive(&self, server: &CrowdServer) -> Vec<VehicleId> {
+        server
+            .vehicles()
+            .iter()
+            .copied()
+            .filter(|v| !self.dead.contains(v))
+            .collect()
+    }
+
+    pub(crate) fn check_quorum(&self, server: &CrowdServer, quorum: f64) -> Result<()> {
+        let total = server.vehicles().len();
+        let alive = total - self.dead.len();
+        let required = quorum_required(total, quorum);
+        if alive < required {
+            return Err(MiddlewareError::QuorumLost {
+                alive,
+                required,
+                total,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_required_covers_edges() {
+        assert_eq!(quorum_required(3, 0.5), 2);
+        assert_eq!(quorum_required(4, 0.5), 2);
+        assert_eq!(quorum_required(5, 1.0), 5);
+        assert_eq!(quorum_required(5, 0.01), 1);
+        assert_eq!(quorum_required(1, 0.5), 1);
+    }
+}

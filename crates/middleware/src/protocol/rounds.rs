@@ -1,0 +1,255 @@
+//! Round configuration, the round report, and the labeling-phase
+//! bookkeeping shared by every transport backend.
+
+use super::fates::{FateRecord, RoundHealth, VehicleFate};
+use super::quorum::RoundLedger;
+use crate::messages::{MappingTask, VehicleId};
+use crate::server::{CrowdServer, RoundOutcome};
+use crate::vehicle::VehicleExit;
+use crate::{MiddlewareError, Result};
+use crowdwifi_crowd::fusion::FusedAp;
+use crowdwifi_obs::Snapshot;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+/// Reliability multiplier applied to vehicles that died mid-round.
+pub(crate) const DEAD_RELIABILITY_FACTOR: f64 = 0.5;
+
+/// Fault-tolerance knobs of the round protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultTolerance {
+    /// How long the server waits for a vehicle's upload or answers
+    /// before retrying.
+    pub deadline: Duration,
+    /// Extra wait added per retry (linear backoff: retry `k` waits
+    /// `deadline + k * retry_backoff`).
+    pub retry_backoff: Duration,
+    /// Retries per vehicle per phase before it is declared dead.
+    pub max_retries: u32,
+    /// Fraction of the fleet (in `(0, 1]`) that must complete the round
+    /// for it to finish — degraded — instead of erroring out with
+    /// [`MiddlewareError::QuorumLost`].
+    pub quorum: f64,
+}
+
+impl Default for FaultTolerance {
+    fn default() -> Self {
+        FaultTolerance {
+            deadline: Duration::from_secs(2),
+            retry_backoff: Duration::from_millis(250),
+            max_retries: 2,
+            quorum: 0.5,
+        }
+    }
+}
+
+/// Configuration of one platform round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformConfig {
+    /// Bootstrap (random) patterns per active segment.
+    pub bootstrap_patterns: usize,
+    /// Crowd-vehicles assigned per mapping task.
+    pub workers_per_task: usize,
+    /// Fusion merge radius in meters.
+    pub merge_radius: f64,
+    /// Vehicles at or below this inferred reliability are excluded from
+    /// fusion.
+    pub spammer_cutoff: f64,
+    /// Base RNG seed; vehicle `i` uses `seed + i + 1`.
+    pub seed: u64,
+    /// Deadlines, retries and the completion quorum.
+    pub tolerance: FaultTolerance,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            bootstrap_patterns: 2,
+            workers_per_task: 5,
+            merge_radius: 25.0,
+            spammer_cutoff: 0.3,
+            seed: 0,
+            tolerance: FaultTolerance::default(),
+        }
+    }
+}
+
+/// Checks a [`PlatformConfig`] before any driver starts, so bad knobs
+/// surface as a typed error instead of a downstream panic or silently
+/// nonsensical round.
+pub fn validate_config(config: &PlatformConfig) -> Result<()> {
+    let reject = |why: String| Err(MiddlewareError::InvalidConfig(why));
+    if config.workers_per_task == 0 {
+        return reject("workers_per_task must be at least 1".to_string());
+    }
+    if !config.spammer_cutoff.is_finite() || !(0.0..=1.0).contains(&config.spammer_cutoff) {
+        return reject(format!(
+            "spammer_cutoff must lie in [0, 1], got {}",
+            config.spammer_cutoff
+        ));
+    }
+    if !config.merge_radius.is_finite() || config.merge_radius <= 0.0 {
+        return reject(format!(
+            "merge_radius must be positive and finite, got {}",
+            config.merge_radius
+        ));
+    }
+    let t = &config.tolerance;
+    if t.deadline.is_zero() {
+        return reject("tolerance.deadline must be non-zero".to_string());
+    }
+    if !t.quorum.is_finite() || t.quorum <= 0.0 || t.quorum > 1.0 {
+        return reject(format!(
+            "tolerance.quorum must lie in (0, 1], got {}",
+            t.quorum
+        ));
+    }
+    Ok(())
+}
+
+/// Result of a full platform round.
+#[derive(Debug, Clone)]
+pub struct PlatformReport {
+    /// The crowdsourcing outcome (accepted patterns, reliabilities).
+    pub outcome: RoundOutcome,
+    /// The fused fine-grained AP estimates, fused shard by shard
+    /// (road segment by road segment) and concatenated in segment-id
+    /// order.
+    pub fused: Vec<FusedAp>,
+    /// Whether the round needed any recovery action.
+    pub health: RoundHealth,
+    /// Server-side fate of every vehicle in the fleet.
+    pub fates: BTreeMap<VehicleId, FateRecord>,
+    /// Vehicle-side exit classification (how each driver-side vehicle
+    /// ended).
+    pub exits: BTreeMap<VehicleId, VehicleExit>,
+    /// Mapping tasks moved from dead vehicles to healthy ones.
+    pub reassigned_tasks: usize,
+    /// Label slots that could not be reassigned (coverage lost against
+    /// the intended (ℓ,γ)-regular assignment).
+    pub lost_label_slots: usize,
+    /// Round metrics: per-phase timers, retry / fate / reassignment
+    /// counters, observed fault-injection totals, fleet / quorum /
+    /// shard gauges, plus a `vehicle.dead` event per casualty. The
+    /// [`Snapshot::deterministic`] projection (which drops the timing
+    /// histograms) is byte-identical across same-seed runs of the same
+    /// fleet, config and fault plan — on *any* transport backend.
+    pub metrics: Snapshot,
+}
+
+impl PlatformReport {
+    /// Vehicles the server declared dead this round.
+    pub fn dead_vehicles(&self) -> Vec<VehicleId> {
+        self.fates
+            .iter()
+            .filter(|(_, r)| r.fate != VehicleFate::Completed)
+            .map(|(&v, _)| v)
+            .collect()
+    }
+
+    /// The transport-independent projection of this report: everything
+    /// except timing histograms, which measure driver-dependent clock
+    /// spans (wall time on the thread backend, virtual time on the sim
+    /// backend). Two same-seed rounds of the same fleet, config and
+    /// fault plan produce identical projections on every backend.
+    pub fn deterministic(&self) -> PlatformReport {
+        PlatformReport {
+            metrics: self.metrics.deterministic(),
+            ..self.clone()
+        }
+    }
+}
+
+/// Mutable state of the answer-collection phase, grouped so the
+/// reassignment path can be one method shared by every backend.
+#[derive(Debug, Default)]
+pub(crate) struct LabelingState {
+    /// Tasks each vehicle still owes, by task id.
+    pub(crate) outstanding: BTreeMap<VehicleId, BTreeSet<usize>>,
+    /// (vehicle, task) pairs already answered, so reassignment never
+    /// hands a task back to a vehicle whose label is already counted.
+    pub(crate) answered: BTreeSet<(VehicleId, usize)>,
+    pub(crate) reassigned: usize,
+    pub(crate) lost: usize,
+}
+
+impl LabelingState {
+    /// Moves the orphaned tasks of dead `v` to healthy candidates: for
+    /// each orphan, the least-loaded survivor that has neither answered
+    /// nor currently holds the task. Unplaceable orphans count as lost
+    /// label slots. Returns the per-survivor task batches the caller
+    /// must deliver (and arm fresh deadlines for).
+    pub(crate) fn reassign_orphans(
+        &mut self,
+        server: &CrowdServer,
+        ledger: &RoundLedger,
+        v: VehicleId,
+    ) -> BTreeMap<VehicleId, Vec<MappingTask>> {
+        let orphans: Vec<usize> = self
+            .outstanding
+            .remove(&v)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default();
+        let mut batches: BTreeMap<VehicleId, Vec<MappingTask>> = BTreeMap::new();
+        if orphans.is_empty() {
+            return batches;
+        }
+        let alive = ledger.alive(server);
+        // Per-vehicle load = labels already given + labels still owed;
+        // picking the min keeps the degraded assignment as close to
+        // γ-balanced as the survivors allow.
+        let mut load: BTreeMap<VehicleId, usize> = alive
+            .iter()
+            .map(|&w| {
+                let done = self.answered.iter().filter(|&&(aw, _)| aw == w).count();
+                let owed = self.outstanding.get(&w).map_or(0, |s| s.len());
+                (w, done + owed)
+            })
+            .collect();
+        for task_id in orphans {
+            let candidate = alive
+                .iter()
+                .copied()
+                .filter(|&w| {
+                    !self.answered.contains(&(w, task_id))
+                        && !self
+                            .outstanding
+                            .get(&w)
+                            .is_some_and(|s| s.contains(&task_id))
+                })
+                .min_by_key(|&w| (load[&w], w.0));
+            match candidate {
+                Some(w) => {
+                    self.outstanding.entry(w).or_default().insert(task_id);
+                    *load.get_mut(&w).expect("alive vehicle") += 1;
+                    batches.entry(w).or_default().push(MappingTask {
+                        task_id,
+                        pattern: server.patterns()[task_id].clone(),
+                    });
+                    self.reassigned += 1;
+                }
+                // Every survivor already labeled (or holds) this task:
+                // the label slot is unrecoverable.
+                None => self.lost += 1,
+            }
+        }
+        batches
+    }
+}
+
+/// Folds one round's inferred reliabilities into the campaign's
+/// long-run EMA (`q ← α·round + (1−α)·previous`, 0.5 prior), updating
+/// both the report and the cross-round state. Shared by every
+/// transport's campaign driver so a spammer cannot whitewash itself by
+/// switching backends.
+pub(crate) fn smooth_reliabilities(
+    report: &mut PlatformReport,
+    long_run: &mut BTreeMap<VehicleId, f64>,
+    smoothing: f64,
+) {
+    for (vehicle, q) in report.outcome.reliabilities.iter_mut() {
+        let prev = long_run.get(vehicle).copied().unwrap_or(0.5);
+        *q = smoothing * *q + (1.0 - smoothing) * prev;
+        long_run.insert(*vehicle, *q);
+    }
+}

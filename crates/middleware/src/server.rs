@@ -349,6 +349,23 @@ impl CrowdServer {
         &self.fused
     }
 
+    /// Shard-aware variant of [`CrowdServer::finalize`]: fusion runs
+    /// independently per road segment (see
+    /// [`crate::protocol::shards::fuse_sharded`]) and the results are
+    /// concatenated in segment-id order. Clusters never straddle a
+    /// segment boundary, which is what lets shards advance — and
+    /// eventually be hosted — independently.
+    pub fn finalize_sharded(&mut self, merge_radius: f64, spammer_cutoff: f64) -> &[FusedAp] {
+        self.fused = crate::protocol::shards::fuse_sharded(
+            &self.segments,
+            self.uploads.values(),
+            &self.reliabilities,
+            merge_radius,
+            spammer_cutoff,
+        );
+        &self.fused
+    }
+
     /// The fused AP database (empty before [`CrowdServer::finalize`]).
     pub fn fused(&self) -> &[FusedAp] {
         &self.fused

@@ -1,0 +1,174 @@
+//! Pluggable transports driving the sans-I/O [`crate::protocol`] core.
+//!
+//! A transport owns everything the core refuses to: channels, clocks,
+//! scheduling, and the vehicle side of each link. Two backends ship:
+//!
+//! * [`ThreadTransport`] — the original runtime: one scoped OS thread
+//!   per vehicle, crossbeam channels, wall-clock deadlines. Faithful to
+//!   the paper's "many independent devices" shape and exercises real
+//!   concurrency.
+//! * [`SimTransport`] — a single-threaded deterministic simulator with
+//!   a virtual clock: deadlines fire by advancing virtual time, never
+//!   by sleeping. A multi-second degraded round replays in
+//!   milliseconds, which is what makes fault-matrix testing and
+//!   rounds/sec benchmarking practical.
+//!
+//! Both backends wrap every link in the same [`crate::fault`] layer and
+//! drive the same core, so a given seed + fault plan yields the same
+//! [`PlatformReport::deterministic`] projection on either.
+
+mod sim;
+mod thread;
+
+pub use sim::SimTransport;
+pub use thread::ThreadTransport;
+
+use crate::fault::{FaultPlan, FaultTally};
+use crate::protocol::rounds::smooth_reliabilities;
+use crate::protocol::{PlatformConfig, PlatformReport, ShardedDatabase};
+use crate::segment::SegmentMap;
+use crate::vehicle::{CrowdVehicle, VehicleExit};
+use crate::{messages::VehicleId, MiddlewareError, Result};
+use crowdwifi_channel::RssReading;
+use crowdwifi_obs::Registry;
+use std::collections::BTreeMap;
+
+/// One round-running backend. Implementations drive the whole fleet
+/// plus the [`crate::protocol::ServerCore`] to completion and seal the
+/// report with vehicle exits and fault tallies.
+pub trait Transport {
+    /// Runs one full crowdsensing round under a deterministic
+    /// [`FaultPlan`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid configurations and plans; fails with
+    /// [`MiddlewareError::QuorumLost`] when too few vehicles survive;
+    /// propagates assignment and inference failures.
+    fn run_round_with_faults(
+        &self,
+        segments: SegmentMap,
+        fleet: Vec<(CrowdVehicle, Vec<RssReading>)>,
+        config: PlatformConfig,
+        plan: &FaultPlan,
+    ) -> Result<PlatformReport>;
+
+    /// [`Transport::run_round_with_faults`] with no injected faults.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::run_round_with_faults`].
+    fn run_round(
+        &self,
+        segments: SegmentMap,
+        fleet: Vec<(CrowdVehicle, Vec<RssReading>)>,
+        config: PlatformConfig,
+    ) -> Result<PlatformReport> {
+        self.run_round_with_faults(segments, fleet, config, &FaultPlan::none())
+    }
+}
+
+/// Result of a campaign: the per-round reports plus the sharded AP
+/// database accumulated across them.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// One report per round, in order.
+    pub reports: Vec<PlatformReport>,
+    /// Campaign AP state, each road-segment shard carrying the output
+    /// of the last round that covered it.
+    pub database: ShardedDatabase,
+}
+
+/// Runs several crowdsourcing rounds back-to-back on `transport` with
+/// reliability smoothing: each round re-senses, re-labels and
+/// re-infers; per-vehicle reliability is the EMA across rounds, so a
+/// spammer cannot whitewash itself with one lucky round. Each round's
+/// fused output is folded into the sharded campaign database.
+///
+/// # Errors
+///
+/// Propagates single-round failures; requires at least one round.
+pub fn run_campaign_on<T: Transport + ?Sized>(
+    transport: &T,
+    segments: SegmentMap,
+    rounds: Vec<Vec<(CrowdVehicle, Vec<RssReading>)>>,
+    config: PlatformConfig,
+    smoothing: f64,
+) -> Result<CampaignOutcome> {
+    run_campaign_with_faults_on(transport, segments, rounds, config, smoothing, &[])
+}
+
+/// [`run_campaign_on`] with a per-round [`FaultPlan`] schedule: round
+/// `i` runs under `plans[i]` (or no faults when `plans` is shorter).
+///
+/// # Errors
+///
+/// As [`run_campaign_on`].
+pub fn run_campaign_with_faults_on<T: Transport + ?Sized>(
+    transport: &T,
+    segments: SegmentMap,
+    rounds: Vec<Vec<(CrowdVehicle, Vec<RssReading>)>>,
+    config: PlatformConfig,
+    smoothing: f64,
+    plans: &[FaultPlan],
+) -> Result<CampaignOutcome> {
+    if rounds.is_empty() {
+        return Err(MiddlewareError::InvalidConfig(
+            "campaign needs at least one round".to_string(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&smoothing) || !smoothing.is_finite() {
+        return Err(MiddlewareError::InvalidConfig(format!(
+            "smoothing must lie in [0, 1], got {smoothing}"
+        )));
+    }
+    let none = FaultPlan::none();
+    let mut long_run: BTreeMap<VehicleId, f64> = BTreeMap::new();
+    let mut reports = Vec::with_capacity(rounds.len());
+    let mut database = ShardedDatabase::new();
+    for (i, fleet) in rounds.into_iter().enumerate() {
+        let mut round_config = config;
+        round_config.seed = config.seed.wrapping_add(i as u64 * 1000);
+        let plan = plans.get(i).unwrap_or(&none);
+        let mut report =
+            transport.run_round_with_faults(segments.clone(), fleet, round_config, plan)?;
+        smooth_reliabilities(&mut report, &mut long_run, smoothing);
+        database.absorb(i, &segments, &report.fused);
+        reports.push(report);
+    }
+    Ok(CampaignOutcome { reports, database })
+}
+
+/// Extracts a readable message from a caught panic payload.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Common end-of-round sealing shared by the backends: record the
+/// vehicle-side exits, fold the observed fault totals into the round's
+/// counters, and embed the final metric snapshot.
+pub(crate) fn seal_report(
+    mut report: PlatformReport,
+    exits: BTreeMap<VehicleId, VehicleExit>,
+    registry: &Registry,
+    tally: &FaultTally,
+) -> PlatformReport {
+    report.exits = exits;
+    registry
+        .counter("platform.faults.dropped")
+        .add(tally.dropped());
+    registry
+        .counter("platform.faults.duplicated")
+        .add(tally.duplicated());
+    registry
+        .counter("platform.faults.delayed")
+        .add(tally.delayed());
+    report.metrics = registry.snapshot();
+    report
+}

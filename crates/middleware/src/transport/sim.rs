@@ -1,0 +1,307 @@
+//! The deterministic single-threaded simulation transport.
+//!
+//! Everything the threaded backend does with OS threads and wall-clock
+//! waits happens here on one thread with a virtual clock: messages move
+//! through in-memory queues, and when the round quiesces the clock
+//! jumps straight to the earliest armed deadline. A degraded round that
+//! takes multiple real seconds on [`super::ThreadTransport`] (timeouts,
+//! retry backoff) replays here in microseconds, with a bit-identical
+//! [`PlatformReport::deterministic`] projection.
+
+use crate::fault::FaultPlan;
+use crate::fault::{FaultTally, FaultySender, LinkDirection, MessageSink};
+use crate::messages::{ToServer, ToVehicle, VehicleId};
+use crate::protocol::{
+    Action, Event, PlatformConfig, PlatformReport, ServerCore, TimerId, VirtualInstant,
+};
+use crate::segment::SegmentMap;
+use crate::transport::{panic_message, seal_report, Transport};
+use crate::vehicle::{CrowdVehicle, VehicleCore, VehicleExit, VehicleStep};
+use crate::{MiddlewareError, Result};
+use crowdwifi_channel::RssReading;
+use crowdwifi_obs::Registry;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// The virtual-clock backend: vehicles are stepped inline, links are
+/// in-memory queues behind the same [`crate::fault`] layer as the
+/// threaded runtime, and time advances only when every queue is empty —
+/// directly to the earliest armed deadline, never by sleeping. One run
+/// is one deterministic replay: fleet order, queue order and per-link
+/// fault RNG streams are all fixed by the seeds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimTransport;
+
+impl Transport for SimTransport {
+    fn run_round_with_faults(
+        &self,
+        segments: SegmentMap,
+        fleet: Vec<(CrowdVehicle, Vec<RssReading>)>,
+        config: PlatformConfig,
+        plan: &FaultPlan,
+    ) -> Result<PlatformReport> {
+        sim_round(segments, fleet, config, plan)
+    }
+}
+
+/// A [`MessageSink`] backed by a shared in-memory queue; the sim's
+/// stand-in for a channel sender. Never disconnects.
+struct QueueSink<T>(Rc<RefCell<VecDeque<T>>>);
+
+impl<T> MessageSink<T> for QueueSink<T> {
+    fn deliver(&mut self, msg: T) -> std::result::Result<(), T> {
+        self.0.borrow_mut().push_back(msg);
+        Ok(())
+    }
+}
+
+type Uplink = FaultySender<(VehicleId, ToServer), QueueSink<(VehicleId, ToServer)>>;
+type Downlink = FaultySender<ToVehicle, QueueSink<ToVehicle>>;
+
+/// One simulated vehicle: its pure state machine, its inbox queue, and
+/// its (noisy) uplink. The uplink is dropped the moment the vehicle
+/// exits, flushing any delayed messages — exactly when the threaded
+/// vehicle's sender would go out of scope.
+struct SimVehicle {
+    core: VehicleCore,
+    readings: Vec<RssReading>,
+    inbox: Rc<RefCell<VecDeque<ToVehicle>>>,
+    uplink: Option<Uplink>,
+    exit: Option<VehicleExit>,
+}
+
+impl SimVehicle {
+    /// Folds one state-machine step (or its failure) into the vehicle's
+    /// lifecycle: dispatch uplink messages, or record the exit and
+    /// close the uplink.
+    fn absorb(
+        &mut self,
+        outcome: std::result::Result<Result<VehicleStep>, Box<dyn std::any::Any + Send>>,
+    ) {
+        let step = match outcome {
+            Ok(Ok(step)) => step,
+            Ok(Err(e)) => return self.fail(e.to_string()),
+            Err(payload) => return self.fail(format!("panic: {}", panic_message(payload))),
+        };
+        match step {
+            VehicleStep::Continue(msgs) => {
+                if let Some(uplink) = self.uplink.as_mut() {
+                    let id = self.core.id();
+                    for m in msgs {
+                        let _ = uplink.send((id, m));
+                    }
+                }
+            }
+            VehicleStep::Exit(exit) => {
+                self.exit = Some(exit);
+                self.uplink = None;
+            }
+        }
+    }
+
+    /// Mirrors the threaded backend's error path: report the failure to
+    /// the server, then exit.
+    fn fail(&mut self, reason: String) {
+        if let Some(uplink) = self.uplink.as_mut() {
+            let _ = uplink.send((self.core.id(), ToServer::Failed(reason.clone())));
+        }
+        self.exit = Some(VehicleExit::Failed(reason));
+        self.uplink = None;
+    }
+
+    /// Delivers every queued inbox message; exited vehicles absorb
+    /// theirs silently (the threaded keepalive receiver does the same).
+    /// Returns whether anything was delivered.
+    fn drain_inbox(&mut self, segments: &SegmentMap) -> bool {
+        let mut progressed = false;
+        loop {
+            let msg = self.inbox.borrow_mut().pop_front();
+            let Some(msg) = msg else { break };
+            progressed = true;
+            if self.exit.is_some() {
+                continue;
+            }
+            let core = &mut self.core;
+            let step = catch_unwind(AssertUnwindSafe(|| Ok(core.on_message(msg, segments))));
+            self.absorb(step);
+        }
+        progressed
+    }
+}
+
+fn sim_round(
+    segments: SegmentMap,
+    fleet: Vec<(CrowdVehicle, Vec<RssReading>)>,
+    config: PlatformConfig,
+    plan: &FaultPlan,
+) -> Result<PlatformReport> {
+    let ids: Vec<VehicleId> = fleet.iter().map(|(v, _)| v.id()).collect();
+    let registry = Registry::new();
+    let mut core = ServerCore::new(segments.clone(), &ids, config, registry.clone())?;
+    plan.validate()?;
+    let tally = Arc::new(FaultTally::new());
+
+    let server_queue: Rc<RefCell<VecDeque<(VehicleId, ToServer)>>> =
+        Rc::new(RefCell::new(VecDeque::new()));
+    let mut vehicles: BTreeMap<VehicleId, SimVehicle> = BTreeMap::new();
+    let mut downlinks: BTreeMap<VehicleId, Downlink> = BTreeMap::new();
+    // Seeds follow fleet order, matching the threaded spawn loop.
+    for (i, (vehicle, readings)) in fleet.into_iter().enumerate() {
+        let id = vehicle.id();
+        let inbox = Rc::new(RefCell::new(VecDeque::new()));
+        downlinks.insert(
+            id,
+            plan.sender_tallied(
+                QueueSink(Rc::clone(&inbox)),
+                id,
+                LinkDirection::ToVehicle,
+                Some(Arc::clone(&tally)),
+            ),
+        );
+        let uplink = plan.sender_tallied(
+            QueueSink(Rc::clone(&server_queue)),
+            id,
+            LinkDirection::ToServer,
+            Some(Arc::clone(&tally)),
+        );
+        vehicles.insert(
+            id,
+            SimVehicle {
+                core: VehicleCore::new(vehicle, config.seed + i as u64 + 1, plan.misbehavior(id)),
+                readings,
+                inbox,
+                uplink: Some(uplink),
+                exit: None,
+            },
+        );
+    }
+
+    let mut now = VirtualInstant::ZERO;
+    let mut timers: BTreeMap<TimerId, VirtualInstant> = BTreeMap::new();
+    let mut outcome: Option<Result<PlatformReport>> = None;
+
+    apply(core.start(now), &mut downlinks, &mut timers, &mut outcome);
+
+    // Every vehicle runs its drive "at once" (virtual time zero).
+    for v in vehicles.values_mut() {
+        let core = &mut v.core;
+        let readings = std::mem::take(&mut v.readings);
+        let step = catch_unwind(AssertUnwindSafe(|| core.start(&readings)));
+        v.absorb(step);
+    }
+
+    loop {
+        // Pump messages until every queue is empty. Uplink traffic
+        // reaches the core in queue order; inboxes drain in id order.
+        loop {
+            let mut progressed = false;
+            loop {
+                let next = server_queue.borrow_mut().pop_front();
+                let Some((from, msg)) = next else { break };
+                progressed = true;
+                apply(
+                    core.handle(Event::Message { now, from, msg }),
+                    &mut downlinks,
+                    &mut timers,
+                    &mut outcome,
+                );
+            }
+            for v in vehicles.values_mut() {
+                progressed |= v.drain_inbox(&segments);
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        if outcome.is_some() {
+            break;
+        }
+
+        // Quiescent. If every uplink is closed the server would see a
+        // disconnect; otherwise jump the clock to the next deadline.
+        if vehicles.values().all(|v| v.uplink.is_none()) {
+            apply(
+                core.handle(Event::LinksClosed { now }),
+                &mut downlinks,
+                &mut timers,
+                &mut outcome,
+            );
+            if outcome.is_none() {
+                return Err(MiddlewareError::Crowd(
+                    "simulation stalled: links closed but round undecided".to_string(),
+                ));
+            }
+            continue;
+        }
+        let Some(&next) = timers.values().min() else {
+            return Err(MiddlewareError::Crowd(
+                "simulation stalled: no traffic and no armed deadlines".to_string(),
+            ));
+        };
+        if next > now {
+            now = next;
+        }
+        let mut due: Vec<(VirtualInstant, TimerId)> = timers
+            .iter()
+            .filter(|&(_, &at)| at <= now)
+            .map(|(&t, &at)| (at, t))
+            .collect();
+        due.sort_unstable();
+        for (_, timer) in due {
+            timers.remove(&timer);
+            if outcome.is_some() {
+                continue;
+            }
+            apply(
+                core.handle(Event::TimerFired { now, timer }),
+                &mut downlinks,
+                &mut timers,
+                &mut outcome,
+            );
+        }
+    }
+
+    let report = outcome.expect("round outcome decided")?;
+
+    // Round complete: flush delayed downlink traffic and deliver it, so
+    // every vehicle sees its `Done` (the threaded backend's link drop
+    // does the same), then let survivors classify the hang-up.
+    drop(downlinks);
+    for v in vehicles.values_mut() {
+        v.drain_inbox(&segments);
+    }
+    let exits: BTreeMap<VehicleId, VehicleExit> = vehicles
+        .into_iter()
+        .map(|(id, mut v)| {
+            let exit = v.exit.take().unwrap_or_else(|| v.core.on_disconnect());
+            (id, exit)
+        })
+        .collect();
+    Ok(seal_report(report, exits, &registry, &tally))
+}
+
+fn apply(
+    actions: Vec<Action>,
+    downlinks: &mut BTreeMap<VehicleId, Downlink>,
+    timers: &mut BTreeMap<TimerId, VirtualInstant>,
+    outcome: &mut Option<Result<PlatformReport>>,
+) {
+    for action in actions {
+        match action {
+            Action::Send { to, msg } => {
+                if let Some(link) = downlinks.get_mut(&to) {
+                    let _ = link.send(msg);
+                }
+            }
+            Action::SetTimer { timer, deadline } => {
+                timers.insert(timer, deadline);
+            }
+            Action::Completed(report) => *outcome = Some(Ok(*report)),
+            Action::Failed(e) => *outcome = Some(Err(e)),
+        }
+    }
+}

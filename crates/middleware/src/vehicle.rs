@@ -161,26 +161,117 @@ pub enum VehicleExit {
     Failed(String),
 }
 
-/// Fires a scheduled misbehavior if `point` matches the script.
-/// Stalls drain the inbox (so the thread still exits once the server
-/// hangs up) instead of blocking the round's scope join forever.
-fn misbehave(
+/// One step of the sans-I/O vehicle state machine: either messages to
+/// put on the uplink (possibly none) or a terminal exit.
+#[derive(Debug)]
+pub(crate) enum VehicleStep {
+    /// Keep going; deliver these uplink messages (may be empty).
+    Continue(Vec<ToServer>),
+    /// The vehicle is done; stop delivering messages to it.
+    Exit(VehicleExit),
+}
+
+/// The vehicle's side of the round protocol as a pure state machine:
+/// no channels, no blocking, no clock. Transports feed it the drive
+/// (via [`VehicleCore::start`]) and each downlink message (via
+/// [`VehicleCore::on_message`]), and put whatever it returns on the
+/// uplink. Scheduled misbehavior ([`Misbehavior`]) is folded in here so
+/// every transport injects crashes and stalls identically.
+#[derive(Debug)]
+pub(crate) struct VehicleCore {
+    vehicle: CrowdVehicle,
+    rng: ChaCha8Rng,
     script: Option<Misbehavior>,
-    point: FaultPoint,
-    rx: &channel::Receiver<ToVehicle>,
-) -> Option<VehicleExit> {
-    match script {
-        Some(Misbehavior::Crash(p)) if p == point => Some(VehicleExit::Crashed),
-        Some(Misbehavior::Stall(p)) if p == point => {
-            while rx.recv().is_ok() {}
-            Some(VehicleExit::Stalled)
+    stalled: bool,
+}
+
+impl VehicleCore {
+    pub(crate) fn new(vehicle: CrowdVehicle, seed: u64, script: Option<Misbehavior>) -> Self {
+        VehicleCore {
+            vehicle,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            script,
+            stalled: false,
         }
-        _ => None,
+    }
+
+    pub(crate) fn id(&self) -> VehicleId {
+        self.vehicle.id()
+    }
+
+    /// Fires a scheduled misbehavior if `point` matches the script. A
+    /// stall leaves the vehicle "running" — it keeps absorbing downlink
+    /// messages without ever responding — so the server only learns of
+    /// it through deadlines.
+    fn misbehave(&mut self, point: FaultPoint) -> Option<VehicleStep> {
+        match self.script {
+            Some(Misbehavior::Crash(p)) if p == point => {
+                Some(VehicleStep::Exit(VehicleExit::Crashed))
+            }
+            Some(Misbehavior::Stall(p)) if p == point => {
+                self.stalled = true;
+                Some(VehicleStep::Continue(Vec::new()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Runs the drive: sense, then produce the coarse upload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimator failures; the transport reports them to the
+    /// server as [`ToServer::Failed`].
+    pub(crate) fn start(&mut self, readings: &[RssReading]) -> Result<VehicleStep> {
+        if let Some(step) = self.misbehave(FaultPoint::Sense) {
+            return Ok(step);
+        }
+        self.vehicle.sense(readings)?;
+        if let Some(step) = self.misbehave(FaultPoint::Upload) {
+            return Ok(step);
+        }
+        Ok(VehicleStep::Continue(vec![ToServer::Upload(
+            self.vehicle.upload(),
+        )]))
+    }
+
+    /// Reacts to one downlink message.
+    pub(crate) fn on_message(&mut self, msg: ToVehicle, segments: &SegmentMap) -> VehicleStep {
+        if self.stalled {
+            return VehicleStep::Continue(Vec::new());
+        }
+        match msg {
+            ToVehicle::Assign(tasks) => {
+                if let Some(step) = self.misbehave(FaultPoint::Answer) {
+                    return step;
+                }
+                let answers = tasks
+                    .iter()
+                    .map(|t| self.vehicle.answer(t, segments, &mut self.rng))
+                    .collect();
+                VehicleStep::Continue(vec![ToServer::Answers(answers)])
+            }
+            ToVehicle::RequestUpload => {
+                VehicleStep::Continue(vec![ToServer::Upload(self.vehicle.upload())])
+            }
+            ToVehicle::Done => VehicleStep::Exit(VehicleExit::Completed),
+            ToVehicle::Abort(reason) => VehicleStep::Exit(VehicleExit::Aborted(reason)),
+        }
+    }
+
+    /// How a still-running vehicle classifies the link closing under it.
+    pub(crate) fn on_disconnect(&self) -> VehicleExit {
+        if self.stalled {
+            VehicleExit::Stalled
+        } else {
+            VehicleExit::Disconnected
+        }
     }
 }
 
-/// One vehicle's side of the round protocol: sense + upload, then serve
-/// assignment and upload-retry requests until `Done` or `Abort`.
+/// Drives a [`VehicleCore`] over real channels: one vehicle's side of
+/// the threaded round. Sense + upload, then serve assignment and
+/// upload-retry requests until `Done` or `Abort`.
 ///
 /// Every exit path is classified (see [`VehicleExit`]); a closed
 /// channel is [`VehicleExit::Disconnected`], *not* an error — the
@@ -192,55 +283,35 @@ fn misbehave(
 /// Propagates estimator failures from sensing; the caller reports them
 /// to the server as [`ToServer::Failed`].
 pub(crate) fn run_protocol(
-    vehicle: &mut CrowdVehicle,
+    core: &mut VehicleCore,
     readings: &[RssReading],
     segments: &SegmentMap,
     to_server: &mut FaultySender<(VehicleId, ToServer)>,
     rx: &channel::Receiver<ToVehicle>,
-    seed: u64,
-    script: Option<Misbehavior>,
 ) -> Result<VehicleExit> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    if let Some(exit) = misbehave(script, FaultPoint::Sense, rx) {
-        return Ok(exit);
-    }
-    vehicle.sense(readings)?;
-    if let Some(exit) = misbehave(script, FaultPoint::Upload, rx) {
-        return Ok(exit);
-    }
-    let upload = |to_server: &mut FaultySender<(VehicleId, ToServer)>, vehicle: &CrowdVehicle| {
-        to_server
-            .send((vehicle.id(), ToServer::Upload(vehicle.upload())))
-            .is_ok()
-    };
-    if !upload(to_server, vehicle) {
-        return Ok(VehicleExit::Disconnected);
+    let id = core.id();
+    let dispatch = |msgs: Vec<ToServer>,
+                    to_server: &mut FaultySender<(VehicleId, ToServer)>|
+     -> bool { msgs.into_iter().all(|m| to_server.send((id, m)).is_ok()) };
+    match core.start(readings)? {
+        VehicleStep::Exit(exit) => return Ok(exit),
+        VehicleStep::Continue(msgs) => {
+            if !dispatch(msgs, to_server) {
+                return Ok(VehicleExit::Disconnected);
+            }
+        }
     }
     loop {
         match rx.recv() {
-            Ok(ToVehicle::Assign(tasks)) => {
-                if let Some(exit) = misbehave(script, FaultPoint::Answer, rx) {
-                    return Ok(exit);
+            Ok(msg) => match core.on_message(msg, segments) {
+                VehicleStep::Exit(exit) => return Ok(exit),
+                VehicleStep::Continue(msgs) => {
+                    if !dispatch(msgs, to_server) {
+                        return Ok(VehicleExit::Disconnected);
+                    }
                 }
-                let answers = tasks
-                    .iter()
-                    .map(|t| vehicle.answer(t, segments, &mut rng))
-                    .collect();
-                if to_server
-                    .send((vehicle.id(), ToServer::Answers(answers)))
-                    .is_err()
-                {
-                    return Ok(VehicleExit::Disconnected);
-                }
-            }
-            Ok(ToVehicle::RequestUpload) => {
-                if !upload(to_server, vehicle) {
-                    return Ok(VehicleExit::Disconnected);
-                }
-            }
-            Ok(ToVehicle::Done) => return Ok(VehicleExit::Completed),
-            Ok(ToVehicle::Abort(reason)) => return Ok(VehicleExit::Aborted(reason)),
-            Err(_) => return Ok(VehicleExit::Disconnected),
+            },
+            Err(_) => return Ok(core.on_disconnect()),
         }
     }
 }

@@ -1,0 +1,231 @@
+//! Round-trip property tests for the middleware wire codec: any message
+//! the protocol can produce must decode back bit-exactly, including the
+//! awkward corners — empty task batches, `f64::MAX` credits, negative
+//! zero, infinities, NaN bit patterns, and strings full of unsafe
+//! characters.
+
+use crowdwifi_core::ApEstimate;
+use crowdwifi_geo::{Point, Rect};
+use crowdwifi_middleware::messages::{
+    MappingAnswer, MappingTask, Pattern, SensingUpload, ToServer, ToVehicle, VehicleId,
+};
+use crowdwifi_middleware::segment::{SegmentId, SegmentMap};
+use crowdwifi_middleware::MiddlewareError;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Bit-pattern-exact equality via the canonical encoding: two messages
+/// are "the same on the wire" iff they re-encode identically. This is
+/// the right comparison for floats, where `==` lies about NaN and
+/// `-0.0`.
+fn assert_to_server_roundtrips(msg: &ToServer) {
+    let wire = msg.to_wire();
+    let decoded = ToServer::from_wire(&wire).expect("decode");
+    assert_eq!(wire, decoded.to_wire(), "re-encode diverged for {msg:?}");
+}
+
+fn assert_to_vehicle_roundtrips(msg: &ToVehicle) {
+    let wire = msg.to_wire();
+    let decoded = ToVehicle::from_wire(&wire).expect("decode");
+    assert_eq!(wire, decoded.to_wire(), "re-encode diverged for {msg:?}");
+}
+
+/// An arbitrary f64 bit pattern (covers NaNs, infinities, subnormals).
+fn f64_from_bits(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+/// Maps a code point to a char, folding surrogates onto '�'.
+fn char_from(cp: u32) -> char {
+    char::from_u32(cp % 0x11_0000).unwrap_or('\u{fffd}')
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn uploads_roundtrip(
+        vehicle in 0u32..u32::MAX,
+        estimates in vec((0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX), 0..8),
+    ) {
+        let msg = ToServer::Upload(SensingUpload {
+            vehicle: VehicleId(vehicle),
+            estimates: estimates
+                .into_iter()
+                .map(|(x, y, credit)| ApEstimate {
+                    position: Point::new(f64_from_bits(x), f64_from_bits(y)),
+                    credit: f64_from_bits(credit),
+                })
+                .collect(),
+        });
+        assert_to_server_roundtrips(&msg);
+    }
+
+    #[test]
+    fn answers_roundtrip(
+        answers in vec((0u32..u32::MAX, 0usize..1_000_000, 0u8..2), 0..16),
+    ) {
+        let msg = ToServer::Answers(
+            answers
+                .into_iter()
+                .map(|(vehicle, task_id, flip)| MappingAnswer {
+                    vehicle: VehicleId(vehicle),
+                    task_id,
+                    label: if flip == 0 { -1 } else { 1 },
+                })
+                .collect(),
+        );
+        assert_to_server_roundtrips(&msg);
+    }
+
+    #[test]
+    fn assignments_roundtrip(
+        tasks in vec(
+            (0usize..1_000_000, 0u32..4096, vec((0u64..u64::MAX, 0u64..u64::MAX), 0..4)),
+            0..6,
+        ),
+    ) {
+        let msg = ToVehicle::Assign(
+            tasks
+                .into_iter()
+                .map(|(task_id, segment, aps)| MappingTask {
+                    task_id,
+                    pattern: Pattern {
+                        segment: SegmentId(segment),
+                        aps: aps
+                            .into_iter()
+                            .map(|(x, y)| Point::new(f64_from_bits(x), f64_from_bits(y)))
+                            .collect(),
+                    },
+                })
+                .collect(),
+        );
+        assert_to_vehicle_roundtrips(&msg);
+    }
+
+    #[test]
+    fn reason_strings_roundtrip(codepoints in vec(0u32..0x11_0000, 0..32)) {
+        let reason: String = codepoints.into_iter().map(char_from).collect();
+        let failed = ToServer::Failed(reason.clone());
+        let wire = failed.to_wire();
+        match ToServer::from_wire(&wire).expect("decode") {
+            ToServer::Failed(decoded) => prop_assert_eq!(decoded, reason.clone()),
+            other => prop_assert!(false, "decoded to {:?}", other),
+        }
+        let abort = ToVehicle::Abort(reason.clone());
+        match ToVehicle::from_wire(&abort.to_wire()).expect("decode") {
+            ToVehicle::Abort(decoded) => prop_assert_eq!(decoded, reason),
+            other => prop_assert!(false, "decoded to {:?}", other),
+        }
+    }
+
+    #[test]
+    fn segment_maps_roundtrip(
+        x0 in -1e4f64..1e4,
+        y0 in -1e4f64..1e4,
+        w in 1.0f64..2e4,
+        h in 1.0f64..2e4,
+        size in 0.5f64..5e3,
+    ) {
+        let area = Rect::new(Point::new(x0, y0), Point::new(x0 + w, y0 + h)).unwrap();
+        let map = SegmentMap::new(area, size);
+        let decoded = SegmentMap::from_wire(&map.to_wire()).expect("decode");
+        prop_assert_eq!(map.to_wire(), decoded.to_wire());
+        prop_assert_eq!(map.len(), decoded.len());
+        // Same partition: probe a few points.
+        for (fx, fy) in [(0.1, 0.2), (0.5, 0.5), (0.9, 0.7)] {
+            let p = Point::new(x0 + fx * w, y0 + fy * h);
+            prop_assert_eq!(map.segment_of(p), decoded.segment_of(p));
+        }
+    }
+}
+
+#[test]
+fn empty_task_assignment_roundtrips() {
+    // The protocol really sends these: a vehicle alive during labeling
+    // with nothing assigned still gets an (empty) Assign.
+    assert_to_vehicle_roundtrips(&ToVehicle::Assign(Vec::new()));
+    assert_to_server_roundtrips(&ToServer::Answers(Vec::new()));
+    assert_to_server_roundtrips(&ToServer::Upload(SensingUpload {
+        vehicle: VehicleId(0),
+        estimates: Vec::new(),
+    }));
+}
+
+#[test]
+fn extreme_floats_roundtrip_bit_exactly() {
+    for credit in [
+        f64::MAX,
+        f64::MIN,
+        f64::MIN_POSITIVE,
+        -0.0,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NAN,
+        f64::EPSILON,
+    ] {
+        let msg = ToServer::Upload(SensingUpload {
+            vehicle: VehicleId(7),
+            estimates: vec![ApEstimate {
+                position: Point::new(credit, -credit),
+                credit,
+            }],
+        });
+        let wire = msg.to_wire();
+        let decoded = ToServer::from_wire(&wire).expect("decode");
+        let ToServer::Upload(upload) = &decoded else {
+            panic!("decoded to {decoded:?}");
+        };
+        assert_eq!(upload.estimates[0].credit.to_bits(), credit.to_bits());
+        assert_eq!(wire, decoded.to_wire());
+    }
+}
+
+#[test]
+fn simple_tags_roundtrip() {
+    assert_to_vehicle_roundtrips(&ToVehicle::RequestUpload);
+    assert_to_vehicle_roundtrips(&ToVehicle::Done);
+    assert_to_vehicle_roundtrips(&ToVehicle::Abort(String::new()));
+    assert_to_server_roundtrips(&ToServer::Failed("panic: index out of bounds".to_string()));
+}
+
+#[test]
+fn malformed_wire_input_is_rejected() {
+    let cases = [
+        "",                       // no tag
+        "Z",                      // unknown tag
+        "U 1",                    // truncated upload
+        "U 1 2 0000000000000000", // truncated estimate list
+        "A 1 3 0 2",              // label out of i8 grammar is fine, but...
+        "T 1 5",                  // truncated task
+        "F plain",                // string without the s: prefix
+        "F s:ab%2",               // truncated escape
+        "F s:ab%zz",              // non-hex escape
+        "D extra",                // trailing garbage
+        "U 0 0 ffff",             // trailing garbage after valid prefix
+    ];
+    for case in cases {
+        let to_server = ToServer::from_wire(case);
+        let to_vehicle = ToVehicle::from_wire(case);
+        assert!(
+            matches!(to_server, Err(MiddlewareError::Codec(_)))
+                || matches!(to_vehicle, Err(MiddlewareError::Codec(_))),
+            "{case:?} decoded as {to_server:?} / {to_vehicle:?}"
+        );
+    }
+    assert!(matches!(
+        SegmentMap::from_wire("S 0000000000000000"),
+        Err(MiddlewareError::Codec(_))
+    ));
+    // A well-formed map with inverted corners must fail cleanly, not
+    // panic inside the constructor.
+    let mut bad = String::from("S");
+    for v in [10.0f64, 10.0, 0.0, 0.0, 5.0] {
+        bad.push(' ');
+        bad.push_str(&format!("{:016x}", v.to_bits()));
+    }
+    assert!(matches!(
+        SegmentMap::from_wire(&bad),
+        Err(MiddlewareError::Codec(_))
+    ));
+}

@@ -1,6 +1,14 @@
-//! The three-party crowdsensing platform (§3, §5.5): crowd-vehicles on
-//! their own threads sense and label, the crowd-server infers
-//! reliabilities and fuses, a user-vehicle downloads the result.
+//! The three-party crowdsensing platform (§3, §5.5): crowd-vehicles
+//! sense and label, the crowd-server infers reliabilities and fuses, a
+//! user-vehicle downloads the result.
+//!
+//! The server is a sans-I/O state machine, so the same rounds run on
+//! either pluggable transport backend:
+//!
+//! * threaded (default) — one OS thread per vehicle, wall-clock
+//!   deadlines; the paper's "many independent devices" shape.
+//! * `--sim` — single-threaded virtual-clock simulator; a multi-second
+//!   degraded round replays in milliseconds.
 //!
 //! Round 1: one of the five vehicles is a spammer; watch its inferred
 //! reliability sink and its influence disappear from the fused map.
@@ -11,17 +19,24 @@
 //! on the survivors.
 //!
 //! ```sh
-//! cargo run --release --example crowd_platform
+//! cargo run --release --example crowd_platform            # threaded
+//! cargo run --release --example crowd_platform -- --sim   # simulator
+//! cargo run --release --example crowd_platform -- --smoke # CI budget
 //! ```
+//!
+//! `--smoke` runs both rounds on the simulator with tight deadlines and
+//! prints a one-line verdict — the mode `scripts/tier1.sh` exercises.
 
 use crowdwifi::channel::{PathLossModel, RssReading};
 use crowdwifi::core::pipeline::{OnlineCs, OnlineCsConfig};
 use crowdwifi::geo::{Point, Rect};
 use crowdwifi::middleware::fault::{FaultPlan, FaultPoint};
 use crowdwifi::middleware::messages::VehicleId;
-use crowdwifi::middleware::platform::{run_round, run_round_with_faults, PlatformConfig};
+use crowdwifi::middleware::platform::{FaultTolerance, PlatformConfig, RoundHealth};
 use crowdwifi::middleware::segment::SegmentMap;
+use crowdwifi::middleware::transport::{SimTransport, ThreadTransport, Transport};
 use crowdwifi::middleware::vehicle::{Behavior, CrowdVehicle};
+use std::time::Duration;
 
 /// Fading-free staggered drive past the two "roadside" APs.
 fn drive(lane_offset: f64, aps: &[Point]) -> Vec<RssReading> {
@@ -42,11 +57,28 @@ fn drive(lane_offset: f64, aps: &[Point]) -> Vec<RssReading> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let sim = smoke || args.iter().any(|a| a == "--sim");
+    let backend: &dyn Transport = if sim { &SimTransport } else { &ThreadTransport };
+    let backend_name = if sim { "sim" } else { "threaded" };
+
     let truth = [Point::new(60.0, 30.0), Point::new(220.0, 30.0)];
     let segments = SegmentMap::new(
         Rect::new(Point::new(0.0, -20.0), Point::new(300.0, 80.0))?,
         150.0,
     );
+
+    // The simulator never sleeps, so smoke runs can afford the same
+    // protocol under much tighter wall-clock-free deadlines.
+    let tolerance = if smoke {
+        FaultTolerance {
+            retry_backoff: Duration::from_millis(50),
+            ..FaultTolerance::default()
+        }
+    } else {
+        FaultTolerance::default()
+    };
 
     // Five crowd-vehicles: four honest, one spammer.
     let mk_fleet = |truth: &[Point]| -> Result<Vec<_>, Box<dyn std::error::Error>> {
@@ -66,45 +98,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Ok(fleet)
     };
 
-    println!("running one crowdsensing round with 4 honest vehicles + 1 spammer...");
-    let report = run_round(
+    if !smoke {
+        println!(
+            "running one crowdsensing round with 4 honest vehicles + 1 spammer \
+             on the {backend_name} backend..."
+        );
+    }
+    let report = backend.run_round(
         segments.clone(),
         mk_fleet(&truth)?,
         PlatformConfig {
             workers_per_task: 4,
+            tolerance,
             ..PlatformConfig::default()
         },
     )?;
 
-    println!("\ninferred reliabilities:");
-    for (vehicle, q) in &report.outcome.reliabilities {
-        let tag = if vehicle.0 == 4 { " (spammer)" } else { "" };
-        println!("  {vehicle}: {q:.2}{tag}");
-    }
+    if !smoke {
+        println!("\ninferred reliabilities:");
+        for (vehicle, q) in &report.outcome.reliabilities {
+            let tag = if vehicle.0 == 4 { " (spammer)" } else { "" };
+            println!("  {vehicle}: {q:.2}{tag}");
+        }
 
-    println!("\nfused AP database (what a user-vehicle downloads):");
-    for ap in &report.fused {
-        let nearest = truth
+        println!("\nfused AP database (what a user-vehicle downloads):");
+        for ap in &report.fused {
+            let nearest = truth
+                .iter()
+                .map(|t| t.distance(ap.position))
+                .fold(f64::INFINITY, f64::min);
+            println!(
+                "  {} support {:.1} from {} vehicles ({nearest:.1} m from truth)",
+                ap.position, ap.support, ap.contributors
+            );
+        }
+
+        // A user-vehicle about to enter the road segment asks for APs
+        // ahead.
+        let user_position = Point::new(100.0, 0.0);
+        let nearby: Vec<_> = report
+            .fused
             .iter()
-            .map(|t| t.distance(ap.position))
-            .fold(f64::INFINITY, f64::min);
+            .filter(|ap| ap.position.distance(user_position) <= 150.0)
+            .collect();
         println!(
-            "  {} support {:.1} from {} vehicles ({nearest:.1} m from truth)",
-            ap.position, ap.support, ap.contributors
+            "\nuser-vehicle at {user_position}: {} APs within 150 m available \
+             for opportunistic access",
+            nearby.len()
         );
     }
-
-    // A user-vehicle about to enter the road segment asks for APs ahead.
-    let user_position = Point::new(100.0, 0.0);
-    let nearby: Vec<_> = report
-        .fused
-        .iter()
-        .filter(|ap| ap.position.distance(user_position) <= 150.0)
-        .collect();
-    println!(
-        "\nuser-vehicle at {user_position}: {} APs within 150 m available for opportunistic access",
-        nearby.len()
-    );
 
     // Round 2: same road, hostile weather. vehicle1 crashes before it
     // can upload, vehicle2 stalls instead of answering its mapping
@@ -114,17 +156,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = FaultPlan::noisy(7, 0.10, 0.0, 0.0)
         .crash(VehicleId(1), FaultPoint::Upload)
         .stall(VehicleId(2), FaultPoint::Answer);
-    println!("\nrunning a second round under an injected fault schedule");
-    println!("(vehicle1 crashes, vehicle2 stalls, 10% message drop)...");
-    let degraded = run_round_with_faults(
+    if !smoke {
+        println!("\nrunning a second round under an injected fault schedule");
+        println!("(vehicle1 crashes, vehicle2 stalls, 10% message drop)...");
+    }
+    let degraded = backend.run_round_with_faults(
         segments,
         mk_fleet(&truth)?,
         PlatformConfig {
             workers_per_task: 3,
+            tolerance,
             ..PlatformConfig::default()
         },
         &plan,
     )?;
+
+    if smoke {
+        // CI budget mode: assert the essentials and report one line.
+        assert_eq!(report.health, RoundHealth::Complete, "clean round degraded");
+        assert!(!report.fused.is_empty(), "clean round fused nothing");
+        assert_eq!(
+            degraded.health,
+            RoundHealth::Degraded,
+            "faulty round should degrade, got {:?}",
+            degraded.health
+        );
+        println!(
+            "smoke ok: {backend_name} backend, clean round fused {} APs, \
+             degraded round survived with {} fates recorded",
+            report.fused.len(),
+            degraded.fates.len()
+        );
+        return Ok(());
+    }
 
     println!("\nround health: {:?}", degraded.health);
     println!(

@@ -20,6 +20,7 @@ mkdir -p "$BENCH_OUT_DIR"
 cargo build -q --release -p crowdwifi-bench
 ./target/release/pipeline_throughput
 ./target/release/obs_overhead
+./target/release/platform_rounds
 
 # Pulls a numeric field out of one of the bench JSONs (no python in the
 # gate; the emitters write one "key": value pair per occurrence).
@@ -43,6 +44,7 @@ gate() { # label value op threshold
 
 P="$BENCH_OUT_DIR/BENCH_pipeline.json"
 O="$BENCH_OUT_DIR/BENCH_obs.json"
+R="$BENCH_OUT_DIR/BENCH_platform.json"
 
 echo "bench smoke thresholds:"
 # The machine-independent algorithmic gains over the seed
@@ -56,6 +58,11 @@ gate "solver workspace speedup" "$(num "$P" speedup)" ">=" 1.02
 gate "obs enabled overhead pct" "$(num "$O" overhead_pct)" "<=" 10
 gate "obs disabled counter ns" "$(num "$O" disabled_ns)" "<=" 50
 gate "obs enabled counter ns" "$(num "$O" enabled_ns)" "<=" 500
+# The virtual-clock simulator must stay usable for fault-matrix testing:
+# clean rounds at interactive rates, and meaningfully faster than the
+# threaded backend on a degraded round whose timeouts really sleep.
+gate "sim platform rounds/sec" "$(num "$R" sim_rounds_per_sec)" ">=" 0.2
+gate "sim vs threaded speedup" "$(num "$R" sim_speedup)" ">=" 1.5
 
 if [ "$fail" -ne 0 ]; then
     echo "bench smoke: FAILED" >&2

@@ -9,6 +9,21 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --all --check
 cargo build --release --workspace
+cargo build --release --examples
+
+# The sans-I/O protocol core must stay pure: no threads, channels or
+# wall clocks — those belong to the transport drivers. Grep keeps this
+# honest because the compiler can't.
+if grep -RnE 'std::thread|crossbeam|Instant::now|std::time::Instant|thread::sleep|SystemTime' \
+    crates/middleware/src/protocol/; then
+    echo "tier1: FAILED — I/O or wall-clock primitive in the sans-I/O protocol core" >&2
+    exit 1
+fi
+
+# Small-budget end-to-end platform run on the simulator backend: a
+# clean round plus a degraded (crash + stall + lossy links) round.
+./target/release/examples/crowd_platform --smoke
+
 cargo test -q --workspace
 # Doc tests explicitly, so a future test filter can never drop them.
 cargo test -q --workspace --doc
@@ -16,6 +31,10 @@ cargo test -q --workspace --doc
 # paths (crashes, stragglers, lossy links); run it by name so a
 # workspace filter can never silently skip it.
 cargo test -q --test failure_injection
+# Cross-backend determinism: same seed + fault plan must produce
+# byte-identical deterministic projections on the threaded runtime and
+# the virtual-clock simulator.
+cargo test -q --test transport_equivalence
 # The observability layer ships a compile-out mode; it must stay green
 # with recording compiled to nothing.
 cargo test -q -p crowdwifi-obs --no-default-features

@@ -1,0 +1,174 @@
+//! Cross-backend determinism: the same seed and fault plan must yield
+//! byte-identical deterministic round projections whether the round runs
+//! on the concurrent threaded transport or on the virtual-clock
+//! simulator. This is the payoff of the sans-I/O split — the protocol
+//! outcome is a pure function of (fleet, config, plan), with the
+//! transport contributing scheduling and wall time only.
+
+use crowdwifi::channel::{PathLossModel, RssReading};
+use crowdwifi::core::pipeline::{OnlineCs, OnlineCsConfig};
+use crowdwifi::geo::{Point, Rect};
+use crowdwifi::middleware::fault::{FaultPlan, FaultPoint};
+use crowdwifi::middleware::messages::VehicleId;
+use crowdwifi::middleware::platform::{FaultTolerance, PlatformConfig};
+use crowdwifi::middleware::segment::SegmentMap;
+use crowdwifi::middleware::transport::{
+    run_campaign_with_faults_on, SimTransport, ThreadTransport, Transport,
+};
+use crowdwifi::middleware::vehicle::{Behavior, CrowdVehicle};
+use std::time::Duration;
+
+/// Fading-free staggered drive past two roadside APs.
+fn drive(lane_offset: f64) -> Vec<RssReading> {
+    let model = PathLossModel::uci_campus();
+    let aps = [Point::new(60.0, 30.0), Point::new(220.0, 30.0)];
+    (0..50)
+        .map(|i| {
+            let p = Point::new(
+                6.0 * i as f64,
+                lane_offset + if (i / 5) % 2 == 0 { 0.0 } else { 12.0 },
+            );
+            let nearest = aps
+                .iter()
+                .min_by(|a, b| p.distance(**a).partial_cmp(&p.distance(**b)).unwrap())
+                .unwrap();
+            RssReading::new(p, model.mean_rss(p.distance(*nearest)), i as f64)
+        })
+        .collect()
+}
+
+fn segments() -> SegmentMap {
+    SegmentMap::new(
+        Rect::new(Point::new(0.0, -20.0), Point::new(300.0, 80.0)).unwrap(),
+        150.0,
+    )
+}
+
+fn fleet(n: u32) -> Vec<(CrowdVehicle, Vec<RssReading>)> {
+    (0..n)
+        .map(|v| {
+            let estimator =
+                OnlineCs::new(OnlineCsConfig::default(), PathLossModel::uci_campus()).unwrap();
+            (
+                CrowdVehicle::new(VehicleId(v), estimator, Behavior::Honest),
+                drive(v as f64 * 0.5),
+            )
+        })
+        .collect()
+}
+
+fn config() -> PlatformConfig {
+    PlatformConfig {
+        workers_per_task: 3,
+        seed: 7,
+        tolerance: FaultTolerance {
+            retry_backoff: Duration::from_millis(100),
+            max_retries: 1,
+            ..FaultTolerance::default()
+        },
+        ..PlatformConfig::default()
+    }
+}
+
+/// Runs one round on both backends and asserts the outcomes are
+/// byte-identical: same error, or same deterministic projection
+/// (everything except wall-clock timings).
+fn assert_round_equivalent(n: u32, plan: &FaultPlan) {
+    let threaded = ThreadTransport.run_round_with_faults(segments(), fleet(n), config(), plan);
+    let simulated = SimTransport.run_round_with_faults(segments(), fleet(n), config(), plan);
+    match (threaded, simulated) {
+        (Ok(threaded), Ok(simulated)) => {
+            assert_eq!(
+                format!("{:?}", threaded.deterministic()),
+                format!("{:?}", simulated.deterministic()),
+                "deterministic projections diverged for plan {plan:?}"
+            );
+            assert_eq!(
+                threaded.metrics.deterministic().to_json(),
+                simulated.metrics.deterministic().to_json(),
+                "deterministic metrics diverged for plan {plan:?}"
+            );
+            assert_eq!(threaded.exits, simulated.exits, "vehicle exits diverged");
+        }
+        (Err(threaded), Err(simulated)) => assert_eq!(threaded, simulated),
+        (t, s) => panic!("backends disagree on round outcome: threaded {t:?} vs sim {s:?}"),
+    }
+}
+
+#[test]
+fn healthy_round_is_backend_equivalent() {
+    assert_round_equivalent(3, &FaultPlan::none());
+}
+
+#[test]
+fn crashed_vehicle_round_is_backend_equivalent() {
+    assert_round_equivalent(
+        4,
+        &FaultPlan::none().crash(VehicleId(2), FaultPoint::Upload),
+    );
+}
+
+#[test]
+fn straggler_round_is_backend_equivalent() {
+    assert_round_equivalent(
+        5,
+        &FaultPlan::none().stall(VehicleId(1), FaultPoint::Answer),
+    );
+}
+
+#[test]
+fn noisy_links_round_is_backend_equivalent() {
+    // Mixed message noise: drops force retries, duplicates are ignored,
+    // delays reorder. The per-link RNG streams are keyed by (plan seed,
+    // vehicle, direction), so both backends inject the same faults at
+    // the same points in each link's send sequence.
+    assert_round_equivalent(4, &FaultPlan::noisy(11, 0.08, 0.15, 0.05));
+}
+
+#[test]
+fn quorum_loss_fails_identically_on_both_backends() {
+    let plan = FaultPlan::none()
+        .crash(VehicleId(0), FaultPoint::Sense)
+        .crash(VehicleId(1), FaultPoint::Upload);
+    let threaded = ThreadTransport
+        .run_round_with_faults(segments(), fleet(3), config(), &plan)
+        .expect_err("quorum must fail");
+    let simulated = SimTransport
+        .run_round_with_faults(segments(), fleet(3), config(), &plan)
+        .expect_err("quorum must fail");
+    assert_eq!(threaded, simulated);
+}
+
+#[test]
+fn campaign_database_is_backend_equivalent() {
+    let rounds = || vec![fleet(3), fleet(4)];
+    let plans = [
+        FaultPlan::none(),
+        FaultPlan::none().crash(VehicleId(3), FaultPoint::Upload),
+    ];
+    let threaded = run_campaign_with_faults_on(
+        &ThreadTransport,
+        segments(),
+        rounds(),
+        config(),
+        0.5,
+        &plans,
+    )
+    .expect("threaded campaign");
+    let simulated =
+        run_campaign_with_faults_on(&SimTransport, segments(), rounds(), config(), 0.5, &plans)
+            .expect("simulated campaign");
+    assert_eq!(threaded.reports.len(), simulated.reports.len());
+    for (t, s) in threaded.reports.iter().zip(&simulated.reports) {
+        assert_eq!(
+            format!("{:?}", t.deterministic()),
+            format!("{:?}", s.deterministic())
+        );
+    }
+    assert_eq!(
+        format!("{:?}", threaded.database),
+        format!("{:?}", simulated.database),
+        "sharded campaign databases diverged"
+    );
+    assert!(!threaded.database.is_empty());
+}

@@ -70,6 +70,7 @@ pub mod window;
 
 pub use consolidate::ApEstimate;
 pub use pipeline::{OnlineCs, OnlineCsConfig};
+pub use recovery::{SensingStats, SolverAccel, WarmStartCache};
 
 /// Errors produced by the online CS pipeline.
 #[derive(Debug, Clone, PartialEq)]

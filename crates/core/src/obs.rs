@@ -22,6 +22,9 @@
 //! | `pipeline.group_solves` | counter | ℓ1 solves actually run |
 //! | `pipeline.solver_iterations` | counter | total solver iterations |
 //! | `pipeline.solver_unconverged` | counter | solves stopped at the iteration cap |
+//! | `pipeline.screened_cols` | counter | columns removed by gap-safe screening |
+//! | `pipeline.iterations_saved` | counter | iteration-budget headroom from early stops |
+//! | `pipeline.warm_seeded` | counter | solves seeded from a previous window |
 //! | `pipeline.consolidation_merges` | counter | estimates merged into an existing location |
 //! | `pipeline.consolidation_new` | counter | estimates that opened a new location |
 //! | `pipeline.round_seconds` | timer | wall-clock per processed round |
@@ -51,6 +54,9 @@ pub struct PipelineInstruments {
     group_solves: Counter,
     solver_iterations: Counter,
     solver_unconverged: Counter,
+    screened_cols: Counter,
+    iterations_saved: Counter,
+    warm_seeded: Counter,
     merges: Counter,
     new_estimates: Counter,
     round_time: Histogram,
@@ -70,6 +76,9 @@ impl PipelineInstruments {
             group_solves: registry.counter("pipeline.group_solves"),
             solver_iterations: registry.counter("pipeline.solver_iterations"),
             solver_unconverged: registry.counter("pipeline.solver_unconverged"),
+            screened_cols: registry.counter("pipeline.screened_cols"),
+            iterations_saved: registry.counter("pipeline.iterations_saved"),
+            warm_seeded: registry.counter("pipeline.warm_seeded"),
             merges: registry.counter("pipeline.consolidation_merges"),
             new_estimates: registry.counter("pipeline.consolidation_new"),
             round_time: registry.timer("pipeline.round_seconds"),
@@ -105,6 +114,9 @@ impl PipelineInstruments {
         self.group_solves.add(stats.solves);
         self.solver_iterations.add(stats.solver_iterations);
         self.solver_unconverged.add(stats.unconverged);
+        self.screened_cols.add(stats.screened_cols);
+        self.iterations_saved.add(stats.iterations_saved);
+        self.warm_seeded.add(stats.warm_seeded);
     }
 
     /// Records one consolidation step: `merged` locations folded into
@@ -147,6 +159,9 @@ mod tests {
             solves: 6,
             solver_iterations: 600,
             unconverged: 1,
+            screened_cols: 42,
+            iterations_saved: 120,
+            warm_seeded: 3,
         };
         inst.record_round(Some(&est), &stats);
         inst.record_round(None, &SensingStats::default());
@@ -158,6 +173,9 @@ mod tests {
         assert_eq!(snap.counters["pipeline.candidates_scored"], 12);
         assert_eq!(snap.counters["pipeline.memo_hits"], 4);
         assert_eq!(snap.counters["pipeline.solver_iterations"], 600);
+        assert_eq!(snap.counters["pipeline.screened_cols"], 42);
+        assert_eq!(snap.counters["pipeline.iterations_saved"], 120);
+        assert_eq!(snap.counters["pipeline.warm_seeded"], 3);
         assert_eq!(snap.counters["pipeline.consolidation_merges"], 1);
         assert_eq!(snap.counters["pipeline.consolidation_new"], 2);
         assert_eq!(snap.histograms["pipeline.round_winner_k"].count, 1);

@@ -10,7 +10,7 @@
 use crate::assign::ClusterAssigner;
 use crate::consolidate::{ApEstimate, Consolidator};
 use crate::obs::PipelineInstruments;
-use crate::recovery::CsRecovery;
+use crate::recovery::{CsRecovery, SensingStats, SolverAccel, WarmStartCache};
 use crate::select::{estimate_round, RoundEstimate};
 use crate::window::{windows_over, SlidingWindow, WindowConfig};
 use crate::{CoreError, Result};
@@ -52,6 +52,12 @@ pub struct OnlineCsConfig {
     /// deterministic order, so any thread count produces byte-identical
     /// estimates.
     pub threads: usize,
+    /// Solver-acceleration switches for the per-group ℓ1 solves
+    /// (default: all on; see [`SolverAccel`] and DESIGN.md). With
+    /// `warm_start` enabled the *window* loop runs serially so windows
+    /// chain in drive order — hypothesis fan-out inside each window
+    /// still uses `threads`.
+    pub accel: SolverAccel,
 }
 
 impl Default for OnlineCsConfig {
@@ -68,6 +74,7 @@ impl Default for OnlineCsConfig {
             detection_floor_dbm: -95.0,
             global_refine: true,
             threads: 0,
+            accel: SolverAccel::enabled(),
         }
     }
 }
@@ -105,6 +112,15 @@ impl OnlineCsConfig {
                 reason: format!("must be non-negative, got {}", self.merge_radius),
             });
         }
+        if !(self.accel.gap_rel >= 0.0) || !self.accel.gap_rel.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                field: "accel.gap_rel",
+                reason: format!(
+                    "must be non-negative and finite, got {}",
+                    self.accel.gap_rel
+                ),
+            });
+        }
         Ok(())
     }
 }
@@ -132,7 +148,8 @@ impl OnlineCs {
         config.validate()?;
         let gmm = GmmModel::new(pathloss, config.sigma_factor)?;
         let assigner = ClusterAssigner::new(pathloss);
-        let recovery = CsRecovery::new(pathloss, config.radio_range, config.detection_floor_dbm);
+        let recovery = CsRecovery::new(pathloss, config.radio_range, config.detection_floor_dbm)
+            .with_accel(config.accel);
         Ok(OnlineCs {
             config,
             gmm,
@@ -169,13 +186,28 @@ impl OnlineCs {
     /// Propagates recovery failures; an un-formable grid (empty round)
     /// yields `Ok(None)`.
     pub fn process_round(&self, round: &[RssReading]) -> Result<Option<RoundEstimate>> {
+        Ok(self.process_round_stats(round, None)?.0)
+    }
+
+    /// [`OnlineCs::process_round`] plus the window's [`SensingStats`].
+    /// When `warm` is given, the solves are seeded from it and it is
+    /// refilled with this window's solutions afterwards (the cross-window
+    /// warm-start chain).
+    fn process_round_stats(
+        &self,
+        round: &[RssReading],
+        warm: Option<&mut WarmStartCache>,
+    ) -> Result<(Option<RoundEstimate>, SensingStats)> {
         if round.is_empty() {
-            return Ok(None);
+            return Ok((None, SensingStats::default()));
         }
         let positions: Vec<Point> = round.iter().map(|r| r.position).collect();
         let grid =
             Grid::from_reference_points(&positions, self.config.radio_range, self.config.lattice)?;
-        let sensing = self.recovery.prepare_window(&grid, round);
+        let sensing = match warm.as_deref() {
+            Some(w) => self.recovery.prepare_window_seeded(&grid, round, w),
+            None => self.recovery.prepare_window(&grid, round),
+        };
         let span = self.instruments.round_span();
         let est = estimate_round(
             round,
@@ -189,9 +221,12 @@ impl OnlineCs {
             self.config.threads,
         )?;
         span.finish();
-        self.instruments
-            .record_round(est.as_ref(), &sensing.stats());
-        Ok(est)
+        let stats = sensing.stats();
+        self.instruments.record_round(est.as_ref(), &stats);
+        if let Some(w) = warm {
+            w.absorb(&grid, &sensing);
+        }
+        Ok((est, stats))
     }
 
     /// Batch entry point: runs the full pipeline over a recorded drive
@@ -218,13 +253,30 @@ impl OnlineCs {
         // is safe: the per-round hypothesis fan-out draws from the same
         // global thread budget and runs inline once it is exhausted.
         let windows: Vec<Vec<RssReading>> = windows_over(readings, self.config.window)?;
-        let processed = crate::par::try_par_map(&windows, self.config.threads, |_, round| {
-            self.process_round(round)
-        })?;
+        let processed = if self.config.accel.warm_start {
+            // Warm starts chain window w's solutions into window w+1's
+            // initial iterates, which only makes sense in drive order:
+            // run the window loop serially (the per-window hypothesis
+            // fan-out inside `estimate_round` still parallelizes).
+            let mut warm = WarmStartCache::new();
+            let mut out = Vec::with_capacity(windows.len());
+            for round in &windows {
+                out.push(self.process_round_stats(round, Some(&mut warm))?);
+            }
+            out
+        } else {
+            crate::par::try_par_map(&windows, self.config.threads, |_, round| {
+                self.process_round_stats(round, None)
+            })?
+        };
         let mut rounds = Vec::new();
-        for est in processed.into_iter().flatten() {
-            self.consolidate_estimate(&mut consolidator, &est);
-            rounds.push(est);
+        let mut sensing = SensingStats::default();
+        for (est, stats) in processed {
+            sensing.merge(&stats);
+            if let Some(est) = est {
+                self.consolidate_estimate(&mut consolidator, &est);
+                rounds.push(est);
+            }
         }
         let final_aps = if self.config.global_refine {
             // Global refinement sees *all* candidates, including
@@ -245,6 +297,7 @@ impl OnlineCs {
             final_aps,
             all_estimates: consolidator.estimates().to_vec(),
             rounds,
+            sensing,
         })
     }
 
@@ -272,6 +325,7 @@ impl OnlineCs {
             window: SlidingWindow::new(self.config.window)?,
             consolidator: Consolidator::new(self.config.merge_radius),
             history: Vec::new(),
+            warm: WarmStartCache::new(),
         })
     }
 }
@@ -346,6 +400,10 @@ pub struct PipelineReport {
     pub all_estimates: Vec<ApEstimate>,
     /// The BIC-winning hypothesis of every round, in order.
     pub rounds: Vec<RoundEstimate>,
+    /// Drive-total memo/solver statistics summed over every window —
+    /// the accounting behind the `solver_accel` bench section
+    /// (iterations, screened columns, warm-seeded solves).
+    pub sensing: SensingStats,
 }
 
 /// A streaming pipeline session; see [`OnlineCs::session`].
@@ -355,9 +413,28 @@ pub struct OnlineCsSession<'a> {
     window: SlidingWindow,
     consolidator: Consolidator,
     history: Vec<RssReading>,
+    /// Cross-window warm-start chain (mirrors the batch path exactly:
+    /// the session's round sequence is the same as `windows_over`'s).
+    warm: WarmStartCache,
 }
 
 impl OnlineCsSession<'_> {
+    /// Runs one completed round through the pipeline, threading the
+    /// warm-start chain when enabled.
+    fn process(&mut self, round: &[RssReading]) -> Result<()> {
+        let warm = self
+            .pipeline
+            .config
+            .accel
+            .warm_start
+            .then_some(&mut self.warm);
+        if let Some(est) = self.pipeline.process_round_stats(round, warm)?.0 {
+            self.pipeline
+                .consolidate_estimate(&mut self.consolidator, &est);
+        }
+        Ok(())
+    }
+
     /// Feeds one reading. When a round completes, processes it and
     /// returns the **current** filtered AP estimates.
     ///
@@ -369,10 +446,7 @@ impl OnlineCsSession<'_> {
         match self.window.push(reading) {
             None => Ok(None),
             Some(round) => {
-                if let Some(est) = self.pipeline.process_round(&round)? {
-                    self.pipeline
-                        .consolidate_estimate(&mut self.consolidator, &est);
-                }
+                self.process(&round)?;
                 Ok(Some(
                     self.consolidator.filtered(self.pipeline.config.min_credit),
                 ))
@@ -388,10 +462,7 @@ impl OnlineCsSession<'_> {
     /// Propagates round-processing failures.
     pub fn finish(mut self) -> Result<Vec<ApEstimate>> {
         if let Some(round) = self.window.flush() {
-            if let Some(est) = self.pipeline.process_round(&round)? {
-                self.pipeline
-                    .consolidate_estimate(&mut self.consolidator, &est);
-            }
+            self.process(&round)?;
         }
         if self.pipeline.config.global_refine {
             let selected = crate::refine::global_bic_selection(
@@ -548,6 +619,47 @@ mod tests {
         let streamed = session.finish().unwrap();
         assert_eq!(batch.len(), streamed.len());
         assert!(batch[0].position.distance(streamed[0].position) < 1e-9);
+    }
+
+    #[test]
+    fn accelerated_run_matches_baseline_and_saves_iterations() {
+        let ap = Point::new(60.0, 24.0);
+        let readings = drive_past(&[ap], 40, 3.0);
+        let baseline_cfg = OnlineCsConfig {
+            accel: SolverAccel::disabled(),
+            ..small_config()
+        };
+        let accel_cfg = OnlineCsConfig {
+            accel: SolverAccel::enabled(),
+            ..small_config()
+        };
+        let base = OnlineCs::new(baseline_cfg, model())
+            .unwrap()
+            .run_detailed(&readings)
+            .unwrap();
+        let fast = OnlineCs::new(accel_cfg, model())
+            .unwrap()
+            .run_detailed(&readings)
+            .unwrap();
+        // Same estimate, found with a smaller iteration bill.
+        assert_eq!(base.final_aps.len(), fast.final_aps.len());
+        for (b, f) in base.final_aps.iter().zip(&fast.final_aps) {
+            assert!(
+                b.position.distance(f.position) < 1.0,
+                "accelerated AP drifted {:.3} m",
+                b.position.distance(f.position)
+            );
+        }
+        assert!(base.sensing.solver_iterations > 0);
+        assert!(
+            fast.sensing.solver_iterations < base.sensing.solver_iterations,
+            "accel {} >= baseline {}",
+            fast.sensing.solver_iterations,
+            base.sensing.solver_iterations
+        );
+        assert!(fast.sensing.warm_seeded > 0, "no solve was warm-seeded");
+        assert_eq!(base.sensing.warm_seeded, 0);
+        assert_eq!(base.sensing.screened_cols, 0);
     }
 
     #[test]

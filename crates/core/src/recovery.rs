@@ -54,6 +54,178 @@ pub struct SensingStats {
     pub solver_iterations: u64,
     /// Solves that hit the iteration cap without converging.
     pub unconverged: u64,
+    /// Columns eliminated by gap-safe screening across all solves.
+    pub screened_cols: u64,
+    /// Iteration-budget headroom left by early-converged solves.
+    pub iterations_saved: u64,
+    /// Solves seeded from a previous window's warm-start field.
+    pub warm_seeded: u64,
+}
+
+impl SensingStats {
+    /// Adds another window's totals into `self` (used by the pipeline to
+    /// aggregate per-drive statistics into the report).
+    pub fn merge(&mut self, other: &SensingStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.solves += other.solves;
+        self.solver_iterations += other.solver_iterations;
+        self.unconverged += other.unconverged;
+        self.screened_cols += other.screened_cols;
+        self.iterations_saved += other.iterations_saved;
+        self.warm_seeded += other.warm_seeded;
+    }
+}
+
+/// Solver-acceleration switches threaded from [`crate::OnlineCsConfig`]
+/// down to the per-group ℓ1 solves (see DESIGN.md, "Solver
+/// acceleration").
+///
+/// All features preserve the recovered support: gap-safe screening only
+/// discards columns that are provably zero in every optimum, the
+/// duality-gap stop bounds suboptimality explicitly, warm starts change
+/// the initial iterate but not the fixed point, and the Gram/fixed-
+/// Lipschitz paths are exact algebraic rewrites.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverAccel {
+    /// Re-check gap-safe screening as the duality gap tightens.
+    pub screening: bool,
+    /// Relative duality-gap stopping tolerance (`0` disables the gap
+    /// stop and keeps the solver's own stopping rule).
+    pub gap_rel: f64,
+    /// Precompute Gram products (`ΦᵀΦ`, `Φᵀy`) and use the fused
+    /// Gram-residual gradient update.
+    pub gram: bool,
+    /// Seed each window's solves from the previous window's solution
+    /// field. Forces the window loop serial (windows must be solved in
+    /// drive order to chain); per-window hypothesis fan-out is
+    /// unaffected.
+    pub warm_start: bool,
+}
+
+impl SolverAccel {
+    /// Every acceleration feature on — the pipeline default.
+    ///
+    /// `gap_rel = 1e-3` certifies each solve to 0.1 % relative
+    /// suboptimality, far inside what the matched-filter debias
+    /// tolerates (the recovered support is unchanged; see the
+    /// pipeline-level equivalence tests and `tests/solver_accel.rs`).
+    pub fn enabled() -> Self {
+        SolverAccel {
+            screening: true,
+            gap_rel: 1e-3,
+            gram: true,
+            warm_start: true,
+        }
+    }
+
+    /// Every acceleration feature off (the pre-acceleration hot path,
+    /// kept as the benchmark baseline and the conservative fallback).
+    pub fn disabled() -> Self {
+        SolverAccel {
+            screening: false,
+            gap_rel: 0.0,
+            gram: false,
+            warm_start: false,
+        }
+    }
+
+    /// Whether any feature is on.
+    pub fn is_active(&self) -> bool {
+        self.screening || self.gap_rel > 0.0 || self.gram || self.warm_start
+    }
+}
+
+impl Default for SolverAccel {
+    fn default() -> Self {
+        Self::enabled()
+    }
+}
+
+/// Cross-window warm-start state: a sparse snapshot of the previous
+/// window's solved ℓ1 fields, re-projected onto the next window's grid.
+///
+/// Consecutive 75 %-overlapping windows solve nearly the same recovery
+/// problems, but each window builds its own lattice from its own
+/// reference points, so solutions cannot be copied index-for-index.
+/// [`WarmStartCache::absorb`] folds every memoized *raw* solver field of
+/// a finished window (elementwise max — order-independent, hence
+/// deterministic despite hash-map iteration) and keeps the dominant
+/// entries as `(position, value)` pairs; [`WarmStartCache::project`]
+/// snaps them onto the next grid via nearest-lattice lookup.
+#[derive(Debug, Clone, Default)]
+pub struct WarmStartCache {
+    entries: Vec<(Point, f64)>,
+}
+
+/// Keep at most this many warm-start entries per window (by value).
+const WARM_MAX_ENTRIES: usize = 512;
+/// Drop warm entries below this fraction of the window's peak value.
+const WARM_REL_CUTOFF: f64 = 1e-3;
+
+impl WarmStartCache {
+    /// An empty cache (the first window always cold-starts).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of retained `(position, value)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Replaces the cache with the dominant solved coefficients of a
+    /// finished window (elementwise max over every memoized raw field).
+    /// A window that solved nothing clears the cache: stale seeds from
+    /// two windows back would describe APs the vehicle already passed.
+    pub fn absorb(&mut self, grid: &Grid, sensing: &WindowSensing) {
+        self.entries.clear();
+        let Some(field) = sensing.raw_field_max() else {
+            return;
+        };
+        let peak = field.iter().cloned().fold(0.0_f64, f64::max);
+        if peak <= 0.0 {
+            return;
+        }
+        let cutoff = peak * WARM_REL_CUTOFF;
+        for (j, &v) in field.iter().enumerate() {
+            if v >= cutoff {
+                self.entries.push((grid.point(j), v));
+            }
+        }
+        if self.entries.len() > WARM_MAX_ENTRIES {
+            // Deterministic order: by value descending, grid order on ties.
+            self.entries
+                .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            self.entries.truncate(WARM_MAX_ENTRIES);
+        }
+    }
+
+    /// Projects the cached field onto `grid` (length `grid.len()`),
+    /// taking the max when two entries snap to the same lattice point
+    /// and dropping entries that fall outside the grid. Returns `None`
+    /// when nothing lands on the grid.
+    pub fn project(&self, grid: &Grid) -> Option<Vec<f64>> {
+        if self.entries.is_empty() || grid.is_empty() {
+            return None;
+        }
+        let reach = grid.cell_diagonal();
+        let mut field = vec![0.0_f64; grid.len()];
+        let mut any = false;
+        for &(p, v) in &self.entries {
+            let j = grid.nearest_index(p);
+            if grid.point(j).distance(p) <= reach {
+                field[j] = field[j].max(v);
+                any = true;
+            }
+        }
+        any.then_some(field)
+    }
 }
 
 /// Precomputed per-window sensing state shared by every hypothesis.
@@ -80,8 +252,11 @@ pub struct WindowSensing {
     sig: Matrix,
     /// Floor-shifted observed RSS per reading.
     shifted_rss: Vec<f64>,
+    /// Warm-start field projected onto this window's grid (set by
+    /// [`CsRecovery::prepare_window_seeded`]; `None` cold-starts).
+    warm_field: Option<Vec<f64>>,
     /// Completed group recoveries keyed by sorted reading-index set.
-    memo: Mutex<HashMap<Vec<usize>, Arc<Vec<f64>>>>,
+    memo: Mutex<HashMap<Vec<usize>, MemoEntry>>,
     /// Group-recovery requests served.
     lookups: AtomicU64,
     /// Requests answered from the memo.
@@ -92,6 +267,21 @@ pub struct WindowSensing {
     solver_iterations: AtomicU64,
     /// Solves that hit the iteration cap.
     unconverged: AtomicU64,
+    /// Columns eliminated by gap-safe screening.
+    screened_cols: AtomicU64,
+    /// Iteration-budget headroom left by early stops.
+    iterations_saved: AtomicU64,
+    /// Solves seeded from the warm-start field.
+    warm_seeded: AtomicU64,
+}
+
+/// One memoized group recovery: the debiased grid indicator handed to
+/// hypothesis scoring, plus the raw (pre-debias, normalized-column) ℓ1
+/// solution the next window's warm starts are built from.
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    theta: Arc<Vec<f64>>,
+    raw: Arc<Vec<f64>>,
 }
 
 impl WindowSensing {
@@ -121,7 +311,37 @@ impl WindowSensing {
             solves: self.solves.load(Ordering::Relaxed),
             solver_iterations: self.solver_iterations.load(Ordering::Relaxed),
             unconverged: self.unconverged.load(Ordering::Relaxed),
+            screened_cols: self.screened_cols.load(Ordering::Relaxed),
+            iterations_saved: self.iterations_saved.load(Ordering::Relaxed),
+            warm_seeded: self.warm_seeded.load(Ordering::Relaxed),
         }
+    }
+
+    /// Whether this window was prepared with a warm-start field.
+    pub fn is_seeded(&self) -> bool {
+        self.warm_field.is_some()
+    }
+
+    /// Elementwise max of every memoized raw solver field, or `None`
+    /// when no group has been solved. Max-folding is order-independent,
+    /// so the result is deterministic despite hash-map iteration.
+    fn raw_field_max(&self) -> Option<Vec<f64>> {
+        let memo = self
+            .memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out: Option<Vec<f64>> = None;
+        for entry in memo.values() {
+            match &mut out {
+                None => out = Some(entry.raw.as_ref().clone()),
+                Some(acc) => {
+                    for (a, &r) in acc.iter_mut().zip(entry.raw.iter()) {
+                        *a = a.max(r);
+                    }
+                }
+            }
+        }
+        out
     }
 }
 
@@ -133,6 +353,7 @@ pub struct CsRecovery {
     radio_range: f64,
     solver: AnySolver,
     orthogonalize: bool,
+    accel: SolverAccel,
 }
 
 impl CsRecovery {
@@ -149,10 +370,24 @@ impl CsRecovery {
             solver: AnySolver::from(
                 Fista::default()
                     .with_max_iterations(400)
-                    .with_tolerance(1e-7),
+                    .with_tolerance(1e-7)
+                    .expect("default tolerance is valid"),
             ),
             orthogonalize: true,
+            accel: SolverAccel::disabled(),
         }
+    }
+
+    /// Sets the solver-acceleration configuration (default: all off —
+    /// the pipeline opts in via [`crate::OnlineCsConfig::accel`]).
+    pub fn with_accel(mut self, accel: SolverAccel) -> Self {
+        self.accel = accel;
+        self
+    }
+
+    /// The active acceleration configuration.
+    pub fn accel(&self) -> SolverAccel {
+        self.accel
     }
 
     /// Replaces the ℓ1 solver (default: FISTA). Accepts anything that
@@ -240,7 +475,7 @@ impl CsRecovery {
             .iter()
             .map(|&r| (r - self.floor_dbm).max(0.0))
             .collect();
-        Ok(self.solve_pruned(&a_raw, &y, &candidates, n)?.theta)
+        Ok(self.solve_pruned(&a_raw, &y, &candidates, n, None)?.theta)
     }
 
     /// Precomputes the window-wide distance and signature matrices (and
@@ -263,13 +498,34 @@ impl CsRecovery {
             dist,
             sig,
             shifted_rss,
+            warm_field: None,
             memo: Mutex::new(HashMap::new()),
             lookups: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             solves: AtomicU64::new(0),
             solver_iterations: AtomicU64::new(0),
             unconverged: AtomicU64::new(0),
+            screened_cols: AtomicU64::new(0),
+            iterations_saved: AtomicU64::new(0),
+            warm_seeded: AtomicU64::new(0),
         }
+    }
+
+    /// [`CsRecovery::prepare_window`] plus a warm-start seed: the
+    /// previous window's [`WarmStartCache`] is projected onto this
+    /// window's grid and every group solve starts from the projected
+    /// field restricted to its candidate columns. Warm starts change
+    /// only the iteration count, not the fixed point the solver
+    /// converges to.
+    pub fn prepare_window_seeded(
+        &self,
+        grid: &Grid,
+        readings: &[RssReading],
+        warm: &WarmStartCache,
+    ) -> WindowSensing {
+        let mut sensing = self.prepare_window(grid, readings);
+        sensing.warm_field = warm.project(grid);
+        sensing
     }
 
     /// Recovers the grid indicator of one hypothesized AP from the
@@ -300,7 +556,7 @@ impl CsRecovery {
             .get(idx)
         {
             sensing.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit.clone());
+            return Ok(hit.theta.clone());
         }
 
         let n = sensing.grid_len();
@@ -310,42 +566,121 @@ impl CsRecovery {
                     .all(|&i| sensing.dist.get(i, j) <= self.radio_range)
             })
             .collect();
-        let theta = if candidates.is_empty() {
-            vec![0.0; n]
+        let (theta, raw, solve_stats) = if candidates.is_empty() {
+            (vec![0.0; n], vec![0.0; n], None)
         } else {
             let a_raw = Matrix::from_fn(idx.len(), candidates.len(), |r, jc| {
                 sensing.sig.get(idx[r], candidates[jc])
             });
             let y: Vec<f64> = idx.iter().map(|&i| sensing.shifted_rss[i]).collect();
-            let solve = self.solve_pruned(&a_raw, &y, &candidates, n)?;
-            sensing.solves.fetch_add(1, Ordering::Relaxed);
-            sensing
-                .solver_iterations
-                .fetch_add(solve.iterations as u64, Ordering::Relaxed);
-            if !solve.converged {
-                sensing.unconverged.fetch_add(1, Ordering::Relaxed);
-            }
-            solve.theta
+            let warm = if self.accel.warm_start {
+                sensing.warm_field.as_deref()
+            } else {
+                None
+            };
+            let solve = self.solve_pruned(&a_raw, &y, &candidates, n, warm)?;
+            let stats = (
+                solve.iterations,
+                solve.converged,
+                solve.screened_cols,
+                solve.iterations_saved,
+                solve.warm_used,
+            );
+            (solve.theta, solve.raw, Some(stats))
         };
-        let theta = Arc::new(theta);
-        sensing
+        let entry = MemoEntry {
+            theta: Arc::new(theta),
+            raw: Arc::new(raw),
+        };
+        // Two workers can race past the memo check and solve the same
+        // group; the solves are identical (recovery is a pure function
+        // of the index set, and the warm field is fixed per window), so
+        // only the insertion winner records its stats — that keeps the
+        // drive-level iteration totals schedule-independent. The loser
+        // counts as a hit: its caller is served from the memo.
+        let mut memo = sensing
             .memo
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .entry(idx.to_vec())
-            .or_insert_with(|| theta.clone());
-        Ok(theta)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match memo.entry(idx.to_vec()) {
+            std::collections::hash_map::Entry::Occupied(hit) => {
+                sensing.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(hit.get().theta.clone())
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                if let Some((iterations, converged, screened, saved, warm_used)) = solve_stats {
+                    sensing.solves.fetch_add(1, Ordering::Relaxed);
+                    sensing
+                        .solver_iterations
+                        .fetch_add(iterations as u64, Ordering::Relaxed);
+                    if !converged {
+                        sensing.unconverged.fetch_add(1, Ordering::Relaxed);
+                    }
+                    sensing
+                        .screened_cols
+                        .fetch_add(screened as u64, Ordering::Relaxed);
+                    sensing
+                        .iterations_saved
+                        .fetch_add(saved as u64, Ordering::Relaxed);
+                    if warm_used {
+                        sensing.warm_seeded.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                let theta = entry.theta.clone();
+                slot.insert(entry);
+                Ok(theta)
+            }
+        }
+    }
+
+    /// Applies the active [`SolverAccel`] switches to the configured
+    /// solver, returning `None` when the stock solver should run
+    /// unchanged (acceleration off, or a solver family with no
+    /// accelerated path). `orthonormal` marks the Proposition-1 branch,
+    /// where `Q` has orthonormal rows and the proximal Lipschitz
+    /// constant is exactly 1 — pinning it skips the power iteration
+    /// every solve would otherwise spend estimating it.
+    fn accel_solver(&self, orthonormal: bool) -> Option<AnySolver> {
+        if !self.accel.is_active() {
+            return None;
+        }
+        match &self.solver {
+            AnySolver::Fista(f) => {
+                let mut f = f
+                    .clone()
+                    .with_screening(self.accel.screening)
+                    .with_gram(self.accel.gram);
+                if self.accel.gap_rel > 0.0 {
+                    f = f.with_gap_tolerance(self.accel.gap_rel).ok()?;
+                }
+                if orthonormal {
+                    f = f.with_fixed_lipschitz(1.0).ok()?;
+                }
+                Some(AnySolver::Fista(f))
+            }
+            AnySolver::AdmmLasso(s) if self.accel.gap_rel > 0.0 => s
+                .clone()
+                .with_gap_tolerance(self.accel.gap_rel)
+                .ok()
+                .map(AnySolver::AdmmLasso),
+            // OMP / IRLS / basis pursuit have no screened or gap-stopped
+            // path; warm starts still flow through the shared workspace.
+            _ => None,
+        }
     }
 
     /// Normalizes, (optionally) orthogonalizes, solves and debiases the
     /// pruned system; scatters back to the full `n`-length grid. Shared
-    /// by the direct and workspace recovery paths.
+    /// by the direct and workspace recovery paths. `warm` is a full-grid
+    /// raw solver field from the previous window; its restriction to the
+    /// candidate columns seeds the solve when it carries any mass.
     fn solve_pruned(
         &self,
         a_raw: &Matrix,
         y: &[f64],
         candidates: &[usize],
         n: usize,
+        warm: Option<&[f64]>,
     ) -> Result<GroupSolve> {
         let m = a_raw.rows();
         // Column normalization: RSS signatures of near columns have much
@@ -362,6 +697,18 @@ impl CsRecovery {
         // vectors (x/z/gradients) in reused buffers instead of fresh
         // heap allocations every FISTA step.
         let mut ws = SolverWorkspace::new();
+        // Warm-start seed: the previous window's raw solution restricted
+        // to this group's candidates. Both solver branches work in the
+        // same coordinate space (one unknown per candidate column), so
+        // the restriction is a plain gather.
+        let mut warm_used = false;
+        if let Some(field) = warm {
+            let x0: Vec<f64> = candidates.iter().map(|&j| field[j]).collect();
+            if x0.iter().any(|&v| v > 0.0) {
+                ws.set_warm_start(&x0);
+                warm_used = true;
+            }
+        }
         let recovery = if self.orthogonalize {
             // Proposition 1: Q = orth(Aᵀ)ᵀ, T = Q A†, y' = T y.
             let q_cols = orth(&a.transpose()); // pruned-N × r
@@ -369,10 +716,24 @@ impl CsRecovery {
             let pinv = pseudo_inverse(&a).map_err(|e| CoreError::Solver(e.to_string()))?;
             let t = q.matmul(&pinv); // r × m
             let y_prime = t.matvec(y);
-            self.solver.recover_with(&q, &y_prime, &mut ws)?
+            match self.accel_solver(true) {
+                Some(s) => s.recover_with(&q, &y_prime, &mut ws)?,
+                None => self.solver.recover_with(&q, &y_prime, &mut ws)?,
+            }
         } else {
-            self.solver.recover_with(&a, y, &mut ws)?
+            match self.accel_solver(false) {
+                Some(s) => s.recover_with(&a, y, &mut ws)?,
+                None => self.solver.recover_with(&a, y, &mut ws)?,
+            }
         };
+
+        // Raw solver field on the full grid — the warm-start seed for
+        // the next window's solves (pre-debias so reseeding stays in
+        // solver coordinates).
+        let mut raw = vec![0.0; n];
+        for (jc, &j) in candidates.iter().enumerate() {
+            raw[j] = recovery.solution[jc];
+        }
 
         // Un-scale the pruned solution.
         let mut pruned: Vec<f64> = recovery
@@ -437,18 +798,28 @@ impl CsRecovery {
         }
         Ok(GroupSolve {
             theta,
+            raw,
             iterations: recovery.iterations,
             converged: recovery.converged,
+            screened_cols: recovery.screened_cols,
+            iterations_saved: recovery.iterations_saved,
+            warm_used,
         })
     }
 }
 
 /// Result of one pruned group solve: the scattered indicator plus the
-/// solver's convergence diagnostics (fed into [`SensingStats`]).
+/// solver's convergence and acceleration diagnostics (fed into
+/// [`SensingStats`]).
 struct GroupSolve {
     theta: Vec<f64>,
+    /// Raw (pre-debias) solver solution scattered to the full grid.
+    raw: Vec<f64>,
     iterations: usize,
     converged: bool,
+    screened_cols: usize,
+    iterations_saved: usize,
+    warm_used: bool,
 }
 
 #[cfg(test)]
@@ -610,6 +981,115 @@ mod tests {
         let sensing = engine.prepare_window(&grid, &readings);
         assert!(engine.recover_group(&sensing, &[]).is_err());
         assert!(engine.recover_group(&sensing, &[5]).is_err());
+    }
+
+    #[test]
+    fn accelerated_solves_preserve_the_recovered_peak() {
+        let grid = grid_100();
+        let ap_idx = grid.nearest_index(Point::new(45.0, 45.0));
+        let ap = grid.point(ap_idx);
+        let positions = l_route();
+        let rss = clean_rss(ap, &positions);
+        let baseline = engine().recover_single_ap(&grid, &positions, &rss).unwrap();
+        let accel = engine()
+            .with_accel(SolverAccel::enabled())
+            .recover_single_ap(&grid, &positions, &rss)
+            .unwrap();
+        let peak = |t: &[f64]| {
+            (0..t.len())
+                .max_by(|&a, &b| t[a].partial_cmp(&t[b]).unwrap())
+                .unwrap()
+        };
+        assert_eq!(peak(&baseline), ap_idx);
+        assert_eq!(peak(&accel), ap_idx);
+        // Same support above a loose threshold — screening and the gap
+        // stop must not move mass between grid cells.
+        let support = |t: &[f64]| {
+            let m = t.iter().cloned().fold(0.0_f64, f64::max);
+            (0..t.len()).filter(|&j| t[j] > 0.3 * m).collect::<Vec<_>>()
+        };
+        assert_eq!(support(&baseline), support(&accel));
+    }
+
+    #[test]
+    fn warm_cache_absorbs_and_projects() {
+        let grid = grid_100();
+        let ap = grid.point(grid.nearest_index(Point::new(45.0, 45.0)));
+        let route = l_route();
+        let readings: Vec<crowdwifi_channel::RssReading> = route
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                crowdwifi_channel::RssReading::new(
+                    p,
+                    PathLossModel::uci_campus().mean_rss(p.distance(ap)),
+                    i as f64,
+                )
+            })
+            .collect();
+        let engine = engine().with_accel(SolverAccel::enabled());
+        let mut warm = WarmStartCache::new();
+        assert!(warm.is_empty());
+        assert!(warm.project(&grid).is_none());
+
+        // Window 1: cold solves fill the memo; absorb snapshots it.
+        let sensing = engine.prepare_window_seeded(&grid, &readings, &warm);
+        assert!(!sensing.is_seeded());
+        let idx: Vec<usize> = (0..readings.len()).collect();
+        engine.recover_group(&sensing, &idx).unwrap();
+        warm.absorb(&grid, &sensing);
+        assert!(!warm.is_empty());
+        let field = warm.project(&grid).expect("projection lands on grid");
+        assert_eq!(field.len(), grid.len());
+        assert!(field.iter().any(|&v| v > 0.0));
+
+        // Window 2 (same grid here): the seeded solve reports warm use
+        // and reaches the same answer as window 1's cold solve.
+        let seeded = engine.prepare_window_seeded(&grid, &readings, &warm);
+        assert!(seeded.is_seeded());
+        let warm_theta = engine.recover_group(&seeded, &idx).unwrap();
+        let cold_theta = engine.recover_group(&sensing, &idx).unwrap();
+        let stats = seeded.stats();
+        assert_eq!(stats.warm_seeded, 1);
+        let peak = |t: &[f64]| {
+            (0..t.len())
+                .max_by(|&a, &b| t[a].partial_cmp(&t[b]).unwrap())
+                .unwrap()
+        };
+        assert_eq!(peak(&warm_theta), peak(&cold_theta));
+        // A window that solved nothing clears the chain.
+        let empty = engine.prepare_window(&grid, &readings);
+        warm.absorb(&grid, &empty);
+        assert!(warm.is_empty());
+    }
+
+    #[test]
+    fn stats_merge_sums_every_field() {
+        let a = SensingStats {
+            lookups: 1,
+            hits: 2,
+            solves: 3,
+            solver_iterations: 4,
+            unconverged: 5,
+            screened_cols: 6,
+            iterations_saved: 7,
+            warm_seeded: 8,
+        };
+        let mut total = a;
+        total.merge(&a);
+        assert_eq!(
+            total,
+            SensingStats {
+                lookups: 2,
+                hits: 4,
+                solves: 6,
+                solver_iterations: 8,
+                unconverged: 10,
+                screened_cols: 12,
+                iterations_saved: 14,
+                warm_seeded: 16,
+            }
+        );
     }
 
     #[test]

@@ -85,6 +85,12 @@ fn record_solve(name: &'static str, result: &Result<Recovery>) {
                 reg.counter(&format!("sparsesolve.{name}.unconverged"))
                     .inc();
             }
+            // Acceleration accounting: columns removed by gap-safe
+            // screening and iteration-budget headroom from early stops.
+            reg.counter(&format!("sparsesolve.{name}.screened_cols"))
+                .add(rec.screened_cols as u64);
+            reg.counter(&format!("sparsesolve.{name}.iterations_saved"))
+                .add(rec.iterations_saved as u64);
         }
         Err(_) => {
             reg.counter(&format!("sparsesolve.{name}.errors")).inc();

@@ -6,12 +6,18 @@
 //! many small programs.
 
 use crate::prox::{soft_threshold_nonneg_vec, soft_threshold_vec};
+use crate::screen::{duality_gap, screen_columns};
 use crate::{
     spectral_norm_sq, validate_problem, Recovery, Result, SolverError, SolverWorkspace,
     SparseRecovery,
 };
 use crowdwifi_linalg::vector;
 use crowdwifi_linalg::Matrix;
+
+/// How often (in iterations) the accelerated path evaluates the duality
+/// gap and re-runs the screening test. The check costs two matrix–vector
+/// products, so it is amortized over several cheap proximal steps.
+const GAP_CHECK_EVERY: usize = 10;
 
 /// Momentum variant used by [`Fista`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -49,6 +55,13 @@ pub struct Fista {
     tolerance: f64,
     nonnegative: bool,
     acceleration: Acceleration,
+    // Acceleration features, all off by default: the default solver
+    // follows the classic iterate path bit-for-bit (the throughput
+    // bench asserts this against a frozen seed implementation).
+    screening: bool,
+    gap_tolerance: f64,
+    gram: bool,
+    lipschitz: Option<f64>,
 }
 
 impl Default for Fista {
@@ -59,6 +72,10 @@ impl Default for Fista {
             tolerance: 1e-8,
             nonnegative: true,
             acceleration: Acceleration::Nesterov,
+            screening: false,
+            gap_tolerance: 0.0,
+            gram: false,
+            lipschitz: None,
         }
     }
 }
@@ -94,9 +111,20 @@ impl Fista {
     }
 
     /// Sets the relative-change stopping tolerance (default `1e-8`).
-    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
-        self.tolerance = tolerance.max(0.0);
-        self
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidParameter`] for negative or
+    /// non-finite values (matching the other solver builders).
+    pub fn with_tolerance(mut self, tolerance: f64) -> Result<Self> {
+        if !(tolerance >= 0.0 && tolerance.is_finite()) {
+            return Err(SolverError::InvalidParameter {
+                name: "tolerance",
+                reason: format!("must be non-negative and finite, got {tolerance}"),
+            });
+        }
+        self.tolerance = tolerance;
+        Ok(self)
     }
 
     /// Enables or disables the `θ ≥ 0` constraint (default: enabled).
@@ -110,6 +138,90 @@ impl Fista {
         self.acceleration = acceleration;
         self
     }
+
+    /// Enables gap-safe screening (default: off): columns provably
+    /// outside every optimal support are removed before and during the
+    /// iteration, shrinking the per-step work without changing the
+    /// optimum (see the crate's `screen` module for the rule).
+    pub fn with_screening(mut self, screening: bool) -> Self {
+        self.screening = screening;
+        self
+    }
+
+    /// Enables duality-gap early stopping (default: off / `0.0`): the
+    /// solve stops once `gap ≤ tol · primal`, a rigorous suboptimality
+    /// certificate, typically long before the relative-change rule
+    /// fires. `0.0` disables the check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidParameter`] for negative or
+    /// non-finite values.
+    pub fn with_gap_tolerance(mut self, tol: f64) -> Result<Self> {
+        if !(tol >= 0.0 && tol.is_finite()) {
+            return Err(SolverError::InvalidParameter {
+                name: "gap_tolerance",
+                reason: format!("must be non-negative and finite, got {tol}"),
+            });
+        }
+        self.gap_tolerance = tol;
+        Ok(self)
+    }
+
+    /// Enables the Gram-matrix gradient path (default: off): `AᵀA` and
+    /// `Aᵀy` are built once per solve and each gradient becomes the
+    /// fused update `Gz − Aᵀy`, which skips the rows of `G` whose
+    /// coefficient is zero — after thresholding the iterate is sparse,
+    /// so most rows are skipped. Wins when iterations ≫ columns and
+    /// compounds with screening (the Gram shrinks with the active set).
+    /// The solver only routes gradients through the Gram while the
+    /// active set is at most twice as wide as the measurement count —
+    /// wider systems stay on the cheaper two-pass gradient until
+    /// screening narrows them into the profitable regime.
+    pub fn with_gram(mut self, gram: bool) -> Self {
+        self.gram = gram;
+        self
+    }
+
+    /// Overrides the Lipschitz constant `L = ‖A‖₂²` of the smooth part
+    /// (default: estimated by 30 power iterations per solve). The
+    /// pipeline's orthogonalized operators (Proposition 1) have
+    /// orthonormal rows, hence exactly `L = 1` — passing it skips the
+    /// estimation entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidParameter`] unless `0 < l < ∞`.
+    pub fn with_fixed_lipschitz(mut self, l: f64) -> Result<Self> {
+        if !(l > 0.0 && l.is_finite()) {
+            return Err(SolverError::InvalidParameter {
+                name: "lipschitz",
+                reason: format!("must be positive and finite, got {l}"),
+            });
+        }
+        self.lipschitz = Some(l);
+        Ok(self)
+    }
+
+    /// Whether the cached-Gram gradient pays for the current compacted
+    /// shape. A Gram step costs `n²` flops against `2·m·n` for the
+    /// two-pass gradient, so on the pipeline's wide systems (m ≪ n) it
+    /// is a pessimization until screening has shrunk the active set;
+    /// re-evaluated after every compaction so a solve can start on the
+    /// two-pass path and switch to the Gram once it becomes narrow.
+    fn gram_pays(&self, a_act: &Matrix) -> bool {
+        self.gram && a_act.cols() <= 2 * a_act.rows()
+    }
+
+    /// Whether any acceleration feature (or a pending warm start in
+    /// `ws`) routes this solve through the accelerated path.
+    fn accelerated(&self, ws: &SolverWorkspace) -> bool {
+        self.screening
+            || self.gap_tolerance > 0.0
+            || self.gram
+            || self.lipschitz.is_some()
+            || ws.has_warm_start()
+    }
 }
 
 impl SparseRecovery for Fista {
@@ -119,6 +231,26 @@ impl SparseRecovery for Fista {
 
     fn recover_with(&self, a: &Matrix, y: &[f64], ws: &mut SolverWorkspace) -> Result<Recovery> {
         validate_problem(a, y)?;
+        if self.accelerated(ws) {
+            self.recover_accel(a, y, ws)
+        } else {
+            self.recover_classic(a, y, ws)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.acceleration {
+            Acceleration::Nesterov => "fista",
+            Acceleration::None => "ista",
+        }
+    }
+}
+
+impl Fista {
+    /// The classic iterate path: bit-for-bit the historical solver, so
+    /// the default configuration stays byte-identical to the frozen
+    /// seed baseline asserted by the throughput bench.
+    fn recover_classic(&self, a: &Matrix, y: &[f64], ws: &mut SolverWorkspace) -> Result<Recovery> {
         let n = a.cols();
 
         // Step size 1/L with L = ‖A‖₂² (Lipschitz constant of the smooth
@@ -131,6 +263,8 @@ impl SparseRecovery for Fista {
                 iterations: 0,
                 residual_norm: vector::norm2(y),
                 converged: true,
+                screened_cols: 0,
+                iterations_saved: 0,
             });
         }
         let step = 1.0 / lipschitz;
@@ -204,14 +338,233 @@ impl SparseRecovery for Fista {
             iterations,
             residual_norm,
             converged,
+            screened_cols: 0,
+            iterations_saved: if converged {
+                self.max_iterations - iterations
+            } else {
+                0
+            },
         })
     }
 
-    fn name(&self) -> &'static str {
-        match self.acceleration {
-            Acceleration::Nesterov => "fista",
-            Acceleration::None => "ista",
+    /// The accelerated path: warm starts, gap-safe screening with a
+    /// compacted active set, optional Gram gradient, optional fixed
+    /// Lipschitz constant and duality-gap early stopping. Minimizes the
+    /// same objective as the classic path — a different iterate route
+    /// to the same optimum — so recovered supports are unchanged.
+    fn recover_accel(&self, a: &Matrix, y: &[f64], ws: &mut SolverWorkspace) -> Result<Recovery> {
+        let n = a.cols();
+        let warm = ws.take_warm_start(n);
+
+        let lipschitz = match self.lipschitz {
+            Some(l) => l,
+            None => spectral_norm_sq(a, 30) * 1.02,
+        };
+        if lipschitz == 0.0 {
+            return Ok(Recovery {
+                solution: vec![0.0; n],
+                iterations: 0,
+                residual_norm: vector::norm2(y),
+                converged: true,
+                screened_cols: 0,
+                iterations_saved: 0,
+            });
         }
+        let step = 1.0 / lipschitz;
+
+        // λ relative to ‖Aᵀy‖_∞, exactly as the classic path.
+        let b_full = a.matvec_transposed(y);
+        let lambda = self.lambda_rel * vector::norm_inf(&b_full);
+
+        // Warm seed (projected onto the feasible set, non-finite → 0);
+        // cold start is the zero vector.
+        let mut x_full = warm.unwrap_or_else(|| vec![0.0; n]);
+        for v in &mut x_full {
+            if !v.is_finite() || (self.nonnegative && *v < 0.0) {
+                *v = 0.0;
+            }
+        }
+
+        // Initial gap + screening at x⁰. For a cold start the residual
+        // is y and the correlations are Aᵀy (already computed); a warm
+        // start pays two matvecs but its small gap screens far harder.
+        let mut active: Vec<usize> = (0..n).collect();
+        let col_norms: Vec<f64> = if self.screening {
+            (0..n).map(|c| vector::norm2(&a.col(c))).collect()
+        } else {
+            Vec::new()
+        };
+        if self.screening && lambda > 0.0 {
+            let cold = x_full.iter().all(|&v| v == 0.0);
+            let (r, atr) = if cold {
+                (y.to_vec(), b_full.clone())
+            } else {
+                let ax = a.matvec(&x_full);
+                let r: Vec<f64> = y.iter().zip(&ax).map(|(yi, vi)| yi - vi).collect();
+                let atr = a.matvec_transposed(&r);
+                (r, atr)
+            };
+            let gap = duality_gap(
+                y,
+                &r,
+                &atr,
+                vector::norm1(&x_full),
+                lambda,
+                self.nonnegative,
+            );
+            screen_columns(
+                &mut active,
+                &atr,
+                &gap,
+                &col_norms,
+                lambda,
+                self.nonnegative,
+            );
+        }
+
+        // Compacted problem over the active columns. Rebuilt whenever
+        // screening shrinks the active set further.
+        let mut a_act = a.select_cols(&active);
+        let mut b_act: Vec<f64> = active.iter().map(|&j| b_full[j]).collect();
+        let mut g_act = self.gram_pays(&a_act).then(|| a_act.gram());
+        ws.x.clear();
+        ws.x.extend(active.iter().map(|&j| x_full[j]));
+        ws.z.clear();
+        ws.z.extend_from_slice(&ws.x);
+
+        let mut t: f64 = 1.0;
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for k in 0..self.max_iterations {
+            iterations = k + 1;
+            // Gradient at z: Aᵀ(Az − y), or the fused Gram form Gz − b.
+            match &g_act {
+                Some(g) => g.matvec_transposed_sub_into(&ws.z, &b_act, &mut ws.grad),
+                None => {
+                    a_act.matvec_into(&ws.z, &mut ws.m_scratch);
+                    vector::sub_into(&ws.m_scratch, y, &mut ws.m_scratch2);
+                    a_act.matvec_transposed_into(&ws.m_scratch2, &mut ws.grad);
+                }
+            }
+            ws.x_alt.clear();
+            ws.x_alt.extend_from_slice(&ws.z);
+            vector::axpy(-step, &ws.grad, &mut ws.x_alt);
+            if self.nonnegative {
+                soft_threshold_nonneg_vec(&mut ws.x_alt, step * lambda);
+            } else {
+                soft_threshold_vec(&mut ws.x_alt, step * lambda);
+            }
+
+            let delta = vector::distance(&ws.x_alt, &ws.x);
+            let scale = vector::norm2(&ws.x_alt).max(1e-12);
+
+            match self.acceleration {
+                Acceleration::Nesterov => {
+                    let t_new = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
+                    let beta = (t - 1.0) / t_new;
+                    ws.z.clear();
+                    ws.z.extend(
+                        ws.x_alt
+                            .iter()
+                            .zip(&ws.x)
+                            .map(|(&xn, &xo)| xn + beta * (xn - xo)),
+                    );
+                    t = t_new;
+                }
+                Acceleration::None => {
+                    ws.z.clear();
+                    ws.z.extend_from_slice(&ws.x_alt);
+                }
+            }
+            std::mem::swap(&mut ws.x, &mut ws.x_alt);
+
+            if delta <= self.tolerance * scale {
+                converged = true;
+                break;
+            }
+
+            // Periodic duality-gap check: rigorous early stopping and a
+            // re-run of the screening test with the tightened gap.
+            let check = self.gap_tolerance > 0.0 || self.screening;
+            if check && iterations % GAP_CHECK_EVERY == 0 && lambda > 0.0 {
+                a_act.matvec_into(&ws.x, &mut ws.m_scratch);
+                // r = y − Ax lives in m_scratch2.
+                vector::sub_into(y, &ws.m_scratch, &mut ws.m_scratch2);
+                a_act.matvec_transposed_into(&ws.m_scratch2, &mut ws.n_scratch);
+                let gap = duality_gap(
+                    y,
+                    &ws.m_scratch2,
+                    &ws.n_scratch,
+                    vector::norm1(&ws.x),
+                    lambda,
+                    self.nonnegative,
+                );
+                if self.gap_tolerance > 0.0
+                    && gap.gap <= self.gap_tolerance * gap.primal.max(1e-300)
+                {
+                    converged = true;
+                    break;
+                }
+                if self.screening {
+                    let old_active = active.clone();
+                    let dropped = screen_columns(
+                        &mut active,
+                        &ws.n_scratch,
+                        &gap,
+                        &col_norms,
+                        lambda,
+                        self.nonnegative,
+                    );
+                    if dropped > 0 {
+                        // Compact the iterate and the momentum point to
+                        // the surviving columns (the new active set is an
+                        // ordered subsequence of the old one). Momentum
+                        // is kept: the dropped coordinates are provably
+                        // zero in every optimum, so zeroing them in `z`
+                        // is a bounded perturbation, and the stopping
+                        // rules (duality gap / relative change) certify
+                        // the final iterate regardless of the momentum
+                        // trajectory. Restarting here (z = x, t = 1) was
+                        // measurably slower end to end.
+                        let mut dst = 0;
+                        for (i, &j) in old_active.iter().enumerate() {
+                            if dst < active.len() && active[dst] == j {
+                                ws.x[dst] = ws.x[i];
+                                ws.z[dst] = ws.z[i];
+                                dst += 1;
+                            }
+                        }
+                        ws.x.truncate(active.len());
+                        ws.z.truncate(active.len());
+                        a_act = a.select_cols(&active);
+                        b_act = active.iter().map(|&j| b_full[j]).collect();
+                        g_act = self.gram_pays(&a_act).then(|| a_act.gram());
+                    }
+                }
+            }
+        }
+
+        // Scatter back to the full column space.
+        x_full.iter_mut().for_each(|v| *v = 0.0);
+        for (i, &j) in active.iter().enumerate() {
+            x_full[j] = ws.x[i];
+        }
+        a.matvec_into(&x_full, &mut ws.m_scratch);
+        vector::sub_into(&ws.m_scratch, y, &mut ws.m_scratch2);
+        let residual_norm = vector::norm2(&ws.m_scratch2);
+        Ok(Recovery {
+            solution: x_full,
+            iterations,
+            residual_norm,
+            converged,
+            screened_cols: n - active.len(),
+            iterations_saved: if converged {
+                self.max_iterations - iterations
+            } else {
+                0
+            },
+        })
     }
 }
 
@@ -319,6 +672,146 @@ mod tests {
         assert!(Fista::default().with_lambda_rel(0.0).is_err());
         assert!(Fista::default().with_lambda_rel(1.0).is_err());
         assert!(Fista::default().with_lambda_rel(-0.5).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_tolerances() {
+        assert!(Fista::default().with_tolerance(-1e-9).is_err());
+        assert!(Fista::default().with_tolerance(f64::NAN).is_err());
+        assert!(Fista::default().with_tolerance(0.0).is_ok());
+        assert!(Fista::default().with_gap_tolerance(-1.0).is_err());
+        assert!(Fista::default().with_gap_tolerance(1e-6).is_ok());
+        assert!(Fista::default().with_fixed_lipschitz(0.0).is_err());
+        assert!(Fista::default()
+            .with_fixed_lipschitz(f64::INFINITY)
+            .is_err());
+        assert!(Fista::default().with_fixed_lipschitz(1.0).is_ok());
+    }
+
+    /// The accelerated path (screening + Gram + gap stop) must land on
+    /// the same optimum as the classic path: identical support, tiny
+    /// coefficient distance, and a strictly reduced iteration count.
+    #[test]
+    fn accelerated_path_matches_classic_support() {
+        let (m, n) = (24, 96);
+        let a = bernoulli_matrix(m, n, 17);
+        let mut theta = vec![0.0; n];
+        theta[3] = 1.0;
+        theta[47] = 0.8;
+        theta[90] = 1.2;
+        let y = a.matvec(&theta);
+
+        let classic = Fista::default().recover(&a, &y).unwrap();
+        let accel = Fista::default()
+            .with_screening(true)
+            .with_gram(true)
+            .with_gap_tolerance(1e-10)
+            .unwrap()
+            .recover(&a, &y)
+            .unwrap();
+        assert_eq!(accel.support(0.3), classic.support(0.3));
+        let d = crowdwifi_linalg::vector::distance(&accel.solution, &classic.solution);
+        assert!(d < 1e-4, "accel drifted from classic by {d}");
+        assert!(accel.screened_cols > 0, "screening removed nothing");
+        assert!(
+            accel.iterations <= classic.iterations,
+            "accel took {} iterations vs classic {}",
+            accel.iterations,
+            classic.iterations
+        );
+    }
+
+    /// A warm start at (near) the solution converges almost instantly
+    /// and is consumed exactly once.
+    #[test]
+    fn warm_start_cuts_iterations_and_is_consumed() {
+        let (m, n) = (20, 64);
+        let a = bernoulli_matrix(m, n, 29);
+        let mut theta = vec![0.0; n];
+        theta[10] = 1.0;
+        theta[55] = 1.0;
+        let y = a.matvec(&theta);
+        let solver = Fista::default().with_gap_tolerance(1e-8).unwrap();
+
+        let mut ws = SolverWorkspace::new();
+        let cold = solver.recover_with(&a, &y, &mut ws).unwrap();
+        ws.set_warm_start(&cold.solution);
+        let warm = solver.recover_with(&a, &y, &mut ws).unwrap();
+        assert!(!ws.has_warm_start(), "seed must be consumed");
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        let mut sw = warm.support(0.3);
+        let mut sc = cold.support(0.3);
+        sw.sort_unstable();
+        sc.sort_unstable();
+        assert_eq!(sw, sc);
+    }
+
+    /// A mis-sized warm seed is discarded and the solve starts cold.
+    #[test]
+    fn mismatched_warm_start_is_discarded() {
+        let a = bernoulli_matrix(16, 32, 5);
+        let mut theta = vec![0.0; 32];
+        theta[8] = 1.0;
+        let y = a.matvec(&theta);
+        let solver = Fista::default().with_gap_tolerance(1e-8).unwrap();
+        let mut ws = SolverWorkspace::new();
+        let baseline = solver.recover_with(&a, &y, &mut ws).unwrap();
+        ws.set_warm_start(&[1.0; 7]); // wrong length
+        let rec = solver.recover_with(&a, &y, &mut ws).unwrap();
+        assert!(!ws.has_warm_start());
+        assert_eq!(rec.solution, baseline.solution);
+        assert_eq!(rec.iterations, baseline.iterations);
+    }
+
+    /// The fixed-Lipschitz override must reproduce the estimated-L
+    /// solution on an operator whose norm is known exactly (orthonormal
+    /// rows → L = 1).
+    #[test]
+    fn fixed_lipschitz_matches_estimated_on_orthonormal_rows() {
+        let a = Matrix::identity(12);
+        let mut y = vec![0.0; 12];
+        y[2] = 3.0;
+        y[9] = 1.5;
+        let est = Fista::default().recover(&a, &y).unwrap();
+        let fixed = Fista::default()
+            .with_fixed_lipschitz(1.0)
+            .unwrap()
+            .recover(&a, &y)
+            .unwrap();
+        assert_eq!(fixed.support(0.3), est.support(0.3));
+        let d = crowdwifi_linalg::vector::distance(&fixed.solution, &est.solution);
+        assert!(d < 1e-6, "fixed-L drifted by {d}");
+    }
+
+    /// Signed (unconstrained) screening must also preserve the support,
+    /// including negative coefficients.
+    #[test]
+    fn signed_screening_preserves_negative_support() {
+        let (m, n) = (24, 72);
+        let a = bernoulli_matrix(m, n, 41);
+        let mut theta = vec![0.0; n];
+        theta[6] = 2.0;
+        theta[60] = -1.5;
+        let y = a.matvec(&theta);
+        let base = Fista::default()
+            .with_nonnegative(false)
+            .recover(&a, &y)
+            .unwrap();
+        let accel = Fista::default()
+            .with_nonnegative(false)
+            .with_screening(true)
+            .with_gap_tolerance(1e-10)
+            .unwrap()
+            .recover(&a, &y)
+            .unwrap();
+        assert_eq!(accel.support(0.3), base.support(0.3));
+        assert!(accel.solution[60] < 0.0);
+        assert!(accel.screened_cols > 0);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod fista;
 pub mod irls;
 pub mod omp;
 pub mod prox;
+mod screen;
 pub mod workspace;
 
 pub use any::AnySolver;
@@ -117,6 +118,12 @@ pub struct Recovery {
     pub residual_norm: f64,
     /// Whether the stopping tolerance was reached before the iteration cap.
     pub converged: bool,
+    /// Columns provably excluded from every optimal support by gap-safe
+    /// screening. Zero for solvers (or configurations) without screening.
+    pub screened_cols: usize,
+    /// Iteration-budget headroom left by early stopping: `cap − iterations`
+    /// for converged solves of the iterative families, zero otherwise.
+    pub iterations_saved: usize,
 }
 
 impl Recovery {
@@ -242,6 +249,8 @@ mod tests {
             iterations: 1,
             residual_norm: 0.0,
             converged: true,
+            screened_cols: 0,
+            iterations_saved: 0,
         };
         assert_eq!(r.support(0.5), vec![1, 3]);
     }

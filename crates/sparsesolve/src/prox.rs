@@ -1,7 +1,25 @@
 //! Proximal operators shared by the iterative solvers.
+//!
+//! # Non-finite inputs
+//!
+//! The operators propagate non-finite *arguments* instead of silently
+//! clamping them: a `NaN` coefficient stays `NaN` and `±∞` shrinks to
+//! `±∞` (`+∞` for the non-negative variant; `−∞` projects to `0`,
+//! which is the correct projection onto the non-negative orthant).
+//! Silent clamping — the old behaviour of the comparison chain, where
+//! `NaN` fell through every branch to `0.0` — would hide a divergent
+//! solver iterate as a plausible sparse zero. The *threshold* `t`, by
+//! contrast, is solver-computed (`step · λ`); a non-finite or negative
+//! `t` is always a solver bug and is rejected with a `debug_assert`.
 
 /// Scalar soft-thresholding operator
 /// `S_t(x) = sign(x) · max(|x| − t, 0)`, the proximal map of `t‖·‖₁`.
+///
+/// `NaN` and `±∞` values of `x` propagate (see the module docs).
+///
+/// # Panics
+///
+/// Debug builds panic when the threshold `t` is negative or non-finite.
 ///
 /// # Example
 ///
@@ -11,13 +29,22 @@
 /// assert_eq!(soft_threshold(3.0, 1.0), 2.0);
 /// assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
 /// assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+/// assert!(soft_threshold(f64::NAN, 1.0).is_nan());
 /// ```
 #[inline]
 pub fn soft_threshold(x: f64, t: f64) -> f64 {
+    debug_assert!(
+        t >= 0.0 && t.is_finite(),
+        "soft_threshold: invalid threshold {t}"
+    );
     if x > t {
         x - t
     } else if x < -t {
         x + t
+    } else if x.is_nan() {
+        // Explicit propagation: NaN compares false against every
+        // threshold and would otherwise silently clamp to 0.
+        x
     } else {
         0.0
     }
@@ -29,8 +56,24 @@ pub fn soft_threshold(x: f64, t: f64) -> f64 {
 /// The AP indicator coefficients of the CrowdWiFi recovery are
 /// non-negative by construction (a grid point either hosts an AP or not),
 /// so the pipeline solves the non-negativity-constrained program.
+///
+/// `NaN` inputs propagate; `+∞` maps to `+∞` and `−∞` to `0` (the
+/// projection onto the orthant — see the module docs).
+///
+/// # Panics
+///
+/// Debug builds panic when the threshold `t` is negative or non-finite.
 #[inline]
 pub fn soft_threshold_nonneg(x: f64, t: f64) -> f64 {
+    debug_assert!(
+        t >= 0.0 && t.is_finite(),
+        "soft_threshold_nonneg: invalid threshold {t}"
+    );
+    if x.is_nan() {
+        // `f64::max` would resolve NaN against 0.0 to 0.0 — silent loss
+        // of a divergence signal.
+        return x;
+    }
     (x - t).max(0.0)
 }
 
@@ -73,6 +116,43 @@ mod tests {
         let mut w = [3.0, -0.5, -2.0];
         soft_threshold_nonneg_vec(&mut w, 1.0);
         assert_eq!(w, [2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn nan_inputs_propagate() {
+        assert!(soft_threshold(f64::NAN, 1.0).is_nan());
+        assert!(soft_threshold_nonneg(f64::NAN, 1.0).is_nan());
+        let mut v = [1.0, f64::NAN, -3.0];
+        soft_threshold_vec(&mut v, 0.5);
+        assert_eq!(v[0], 0.5);
+        assert!(v[1].is_nan());
+        assert_eq!(v[2], -2.5);
+        let mut w = [1.0, f64::NAN];
+        soft_threshold_nonneg_vec(&mut w, 0.5);
+        assert!(w[1].is_nan());
+    }
+
+    #[test]
+    fn infinities_shrink_to_infinities() {
+        assert_eq!(soft_threshold(f64::INFINITY, 1.0), f64::INFINITY);
+        assert_eq!(soft_threshold(f64::NEG_INFINITY, 1.0), f64::NEG_INFINITY);
+        assert_eq!(soft_threshold_nonneg(f64::INFINITY, 1.0), f64::INFINITY);
+        // −∞ projects onto the non-negative orthant.
+        assert_eq!(soft_threshold_nonneg(f64::NEG_INFINITY, 1.0), 0.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "invalid threshold")]
+    fn negative_threshold_is_rejected_in_debug() {
+        soft_threshold(1.0, -0.5);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "invalid threshold")]
+    fn nan_threshold_is_rejected_in_debug() {
+        soft_threshold_nonneg(1.0, f64::NAN);
     }
 
     proptest! {

@@ -1,0 +1,181 @@
+//! Gap-safe screening and duality-gap machinery for the LASSO solvers.
+//!
+//! For `min_x P(x) = ½‖Ax − y‖² + λ‖x‖₁` (optionally `x ≥ 0`), any
+//! residual `r = y − Ax` yields a dual-feasible point `θ = r / α` with
+//! `α = max(λ, c)`, where `c` is the largest column correlation with
+//! the residual (`max_j |aⱼᵀr|`, one-sided for the non-negative
+//! program). The duality gap `G = P(x) − D(θ)` then bounds the distance
+//! of `θ` to the dual optimum `θ*` by `‖θ − θ*‖ ≤ ρ = √(2G)/λ`, so any
+//! column with
+//!
+//! ```text
+//! |aⱼᵀθ| + ρ‖aⱼ‖₂ < 1
+//! ```
+//!
+//! satisfies `|aⱼᵀθ*| < 1` and is provably zero in *every* primal
+//! optimum — it can be removed from the problem without changing the
+//! solution (Fercoq, Gramfort & Salmon, "Mind the duality gap: safer
+//! rules for the lasso", ICML 2015). The test is re-run as the solver
+//! tightens the gap, so the active set keeps shrinking.
+
+use crowdwifi_linalg::vector;
+
+/// Safety margin on the unit sphere-test threshold: screening must be
+/// conservative under floating-point error, so a column is discarded
+/// only when its bound is below `1 − MARGIN`.
+const MARGIN: f64 = 1e-9;
+
+/// Duality-gap evaluation at one iterate.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GapState {
+    /// Primal objective `½‖r‖² + λ‖x‖₁`.
+    pub primal: f64,
+    /// Duality gap `P(x) − D(r/α)`, clamped to be non-negative.
+    pub gap: f64,
+    /// Dual feasibility scaling `α = max(λ, c)`.
+    pub alpha: f64,
+}
+
+/// Evaluates the duality gap at an iterate with residual `r = y − Ax`
+/// and column correlations `atr = Aᵀr` (over the columns still in
+/// play — screening w.r.t. the reduced problem stays safe because
+/// already-screened columns are provably zero in every optimum).
+///
+/// `x_l1` is `‖x‖₁` of the iterate. With `β = λ/α ≤ 1` the gap expands
+/// to `½‖r‖²(1 + β²) − β⟨y, r⟩ + λ‖x‖₁`, needing only dot products.
+pub(crate) fn duality_gap(
+    y: &[f64],
+    r: &[f64],
+    atr: &[f64],
+    x_l1: f64,
+    lambda: f64,
+    nonnegative: bool,
+) -> GapState {
+    let r_sq = vector::dot(r, r);
+    let primal = 0.5 * r_sq + lambda * x_l1;
+    // Largest correlation: one-sided for the non-negative program (its
+    // dual only constrains aⱼᵀθ ≤ 1, never from below).
+    let c = if nonnegative {
+        atr.iter().fold(0.0_f64, |m, &v| m.max(v))
+    } else {
+        vector::norm_inf(atr)
+    };
+    let alpha = c.max(lambda);
+    if alpha <= 0.0 {
+        // λ = 0 and no positive correlation: no informative dual point.
+        return GapState {
+            primal,
+            gap: primal.max(0.0),
+            alpha: 0.0,
+        };
+    }
+    let beta = lambda / alpha;
+    let y_dot_r = vector::dot(y, r);
+    let gap = (0.5 * r_sq * (1.0 + beta * beta) - beta * y_dot_r + lambda * x_l1).max(0.0);
+    GapState { primal, gap, alpha }
+}
+
+/// Applies the gap-safe sphere test, retaining in `active` only the
+/// columns that may still enter the support. `atr` is indexed like
+/// `active` (the compacted problem); `col_norms` is indexed by the
+/// *original* column id stored in `active`. Returns how many columns
+/// were discarded.
+pub(crate) fn screen_columns(
+    active: &mut Vec<usize>,
+    atr: &[f64],
+    gap: &GapState,
+    col_norms: &[f64],
+    lambda: f64,
+    nonnegative: bool,
+) -> usize {
+    debug_assert_eq!(active.len(), atr.len(), "atr must match the active set");
+    if lambda <= 0.0 || gap.alpha <= 0.0 || !gap.gap.is_finite() {
+        return 0;
+    }
+    let radius = (2.0 * gap.gap).sqrt() / lambda;
+    let before = active.len();
+    let mut kept = 0;
+    for i in 0..before {
+        let corr = atr[i] / gap.alpha;
+        let bound = if nonnegative { corr } else { corr.abs() } + radius * col_norms[active[i]];
+        if bound >= 1.0 - MARGIN {
+            active[kept] = active[i];
+            kept += 1;
+        }
+    }
+    active.truncate(kept);
+    before - kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdwifi_linalg::Matrix;
+
+    /// Identity sensing: the LASSO solution is soft thresholding, so
+    /// the support and the gap at the optimum are known in closed form.
+    #[test]
+    fn gap_vanishes_at_the_optimum() {
+        let a = Matrix::identity(3);
+        let y = [5.0, 0.0, 1.0];
+        let lambda = 0.5;
+        // Optimum of ½‖x − y‖² + λ‖x‖₁: soft threshold of y.
+        let x = [4.5, 0.0, 0.5];
+        let r: Vec<f64> = y.iter().zip(&x).map(|(yi, xi)| yi - xi).collect();
+        let atr = a.matvec_transposed(&r);
+        let x_l1: f64 = x.iter().map(|v: &f64| v.abs()).sum();
+        let g = duality_gap(&y, &r, &atr, x_l1, lambda, false);
+        assert!(g.gap < 1e-12, "gap at optimum: {}", g.gap);
+        assert!(g.primal > 0.0);
+    }
+
+    #[test]
+    fn screening_discards_only_non_support_columns() {
+        let a = Matrix::identity(4);
+        let y = [5.0, 0.1, 3.0, 0.0];
+        let lambda = 1.0;
+        let x = [4.0, 0.0, 2.0, 0.0]; // the optimum (soft threshold)
+        let r: Vec<f64> = y.iter().zip(&x).map(|(yi, xi)| yi - xi).collect();
+        let atr = a.matvec_transposed(&r);
+        let x_l1: f64 = x.iter().sum();
+        let g = duality_gap(&y, &r, &atr, x_l1, lambda, true);
+        let col_norms = vec![1.0; 4];
+        let mut active: Vec<usize> = (0..4).collect();
+        let dropped = screen_columns(&mut active, &atr, &g, &col_norms, lambda, true);
+        // Columns 1 and 3 (|y_j| < λ) are provably outside the support;
+        // the true support {0, 2} must survive.
+        assert_eq!(dropped, 2);
+        assert_eq!(active, vec![0, 2]);
+    }
+
+    #[test]
+    fn loose_gap_screens_nothing() {
+        let a = Matrix::identity(3);
+        let y = [5.0, 4.0, 3.0];
+        let lambda = 1.0;
+        // Cold start x = 0: the gap is large, the sphere covers the
+        // whole constraint set and nothing may be discarded.
+        let r = y;
+        let atr = a.matvec_transposed(&r);
+        let g = duality_gap(&y, &r, &atr, 0.0, lambda, true);
+        let mut active: Vec<usize> = (0..3).collect();
+        let dropped = screen_columns(&mut active, &atr, &g, &[1.0; 3], lambda, true);
+        assert_eq!(dropped, 0);
+        assert_eq!(active.len(), 3);
+    }
+
+    #[test]
+    fn zero_lambda_is_a_no_op() {
+        let g = GapState {
+            primal: 1.0,
+            gap: 1.0,
+            alpha: 1.0,
+        };
+        let mut active = vec![0, 1];
+        assert_eq!(
+            screen_columns(&mut active, &[0.0, 0.0], &g, &[1.0; 2], 0.0, true),
+            0
+        );
+        assert_eq!(active.len(), 2);
+    }
+}

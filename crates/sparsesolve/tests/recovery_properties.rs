@@ -104,6 +104,39 @@ proptest! {
     }
 
     #[test]
+    fn screening_preserves_support_and_solution(seed in 0u64..1000, k in 1usize..4, nonneg in any::<bool>()) {
+        // Gap-safe screening only discards columns that are provably
+        // zero in every LASSO optimum, so on the same (Φ, y, λ) the
+        // screened and unscreened solves must land on the *same*
+        // minimizer — identical support, coefficients agreeing to
+        // numerical precision. Both runs use a tolerance tight enough
+        // that iterate-path differences (compaction, fused Gram
+        // gradients) wash out. Covers both solver modes screening
+        // supports: signed and non-negative FISTA.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(555));
+        let a = gaussian_matrix(&mut rng);
+        let theta = sparse_signal(&mut rng, k, nonneg);
+        let y = a.matvec(&theta);
+        let base = Fista::default()
+            .with_nonnegative(nonneg)
+            .with_lambda_rel(0.01).unwrap()
+            .with_max_iterations(200_000)
+            .with_tolerance(1e-14).unwrap();
+        let plain = base.clone().recover(&a, &y).unwrap();
+        let screened = base
+            .with_screening(true)
+            .with_gram(true)
+            .recover(&a, &y).unwrap();
+        let mut s_plain = plain.support(0.25);
+        s_plain.sort_unstable();
+        let mut s_screened = screened.support(0.25);
+        s_screened.sort_unstable();
+        prop_assert_eq!(s_plain, s_screened, "screening changed the recovered support");
+        let d = vector::distance(&plain.solution, &screened.solution);
+        prop_assert!(d < 1e-9, "screened vs unscreened coefficients diverged: {}", d);
+    }
+
+    #[test]
     fn solutions_never_contain_nan(seed in 0u64..1000) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(999));
         let a = gaussian_matrix(&mut rng);

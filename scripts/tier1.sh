@@ -35,6 +35,14 @@ cargo test -q --test failure_injection
 # byte-identical deterministic projections on the threaded runtime and
 # the virtual-clock simulator.
 cargo test -q --test transport_equivalence
+# The solver-acceleration layer must never change what is recovered:
+# gap-safe screening has to land on the same minimizer as the plain
+# solve (property test), and the accelerated campus drive must keep the
+# unaccelerated support while cutting >=30% of total l1 iterations.
+# Run both by name so a workspace filter can never silently skip them.
+cargo test -q -p crowdwifi-sparsesolve --test recovery_properties \
+    screening_preserves_support_and_solution
+cargo test -q --test solver_accel
 # The observability layer ships a compile-out mode; it must stay green
 # with recording compiled to nothing.
 cargo test -q -p crowdwifi-obs --no-default-features

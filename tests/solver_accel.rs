@@ -1,0 +1,92 @@
+//! Acceptance test for the cross-window solver-acceleration layer: on
+//! the seed UCI campus drive, the accelerated pipeline (gap-safe
+//! screening + duality-gap stops + warm starts + Gram caching) must
+//! recover the same AP support as the unaccelerated path while spending
+//! at least 30 % fewer total ℓ1 iterations — the machine-independent
+//! reduction the `solver_accel` section of BENCH_pipeline.json reports.
+
+use crowdwifi::core::pipeline::{OnlineCs, OnlineCsConfig};
+use crowdwifi::core::window::WindowConfig;
+use crowdwifi::core::SolverAccel;
+use crowdwifi::geo::Grid;
+use crowdwifi::sim::{mobility, RssCollector, Scenario};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn uci_config(accel: SolverAccel) -> OnlineCsConfig {
+    OnlineCsConfig {
+        window: WindowConfig {
+            size: 40,
+            step: 10,
+            ttl: f64::INFINITY,
+        },
+        lattice: 8.0,
+        sigma_factor: 0.04,
+        merge_radius: 20.0,
+        accel,
+        ..OnlineCsConfig::default()
+    }
+}
+
+#[test]
+fn accelerated_drive_keeps_the_support_and_cuts_iterations() {
+    // The same seeded campus drive the throughput bench replays.
+    let scenario = Scenario::uci_campus();
+    let grid = Grid::new(scenario.area(), 8.0).unwrap();
+    let scenario = scenario.snapped_to_grid(&grid);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let route = mobility::uci_loop_route_with(1, 25.0);
+    let readings =
+        RssCollector::new(&scenario).collect_along(&route, route.duration() / 361.0, &mut rng);
+    assert!(readings.len() > 150, "drive too sparse: {}", readings.len());
+
+    let baseline = OnlineCs::new(uci_config(SolverAccel::disabled()), *scenario.pathloss())
+        .unwrap()
+        .run_detailed(&readings)
+        .unwrap();
+    let accel = OnlineCs::new(uci_config(SolverAccel::enabled()), *scenario.pathloss())
+        .unwrap()
+        .run_detailed(&readings)
+        .unwrap();
+
+    // Identical recovered support: the same AP count, each accelerated
+    // estimate landing on the same lattice neighborhood as its baseline
+    // counterpart.
+    assert_eq!(
+        baseline.final_aps.len(),
+        accel.final_aps.len(),
+        "acceleration changed the number of recovered APs"
+    );
+    for b in &baseline.final_aps {
+        let d = accel
+            .final_aps
+            .iter()
+            .map(|a| a.position.distance(b.position))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            d < 8.0,
+            "baseline AP at {} has no accelerated counterpart ({d:.1} m away)",
+            b.position
+        );
+    }
+
+    // The headline number: ≥ 30 % fewer total ℓ1 iterations per drive.
+    let base_iters = baseline.sensing.solver_iterations as f64;
+    let accel_iters = accel.sensing.solver_iterations as f64;
+    assert!(base_iters > 0.0);
+    let reduction = 1.0 - accel_iters / base_iters;
+    assert!(
+        reduction >= 0.30,
+        "iteration reduction {:.1}% below the 30% floor ({} -> {})",
+        100.0 * reduction,
+        base_iters,
+        accel_iters
+    );
+
+    // Acceleration accounting is live: screening removed columns and
+    // warm starts seeded later windows.
+    assert!(accel.sensing.screened_cols > 0, "screening never fired");
+    assert!(accel.sensing.warm_seeded > 0, "warm starts never fired");
+    assert_eq!(baseline.sensing.screened_cols, 0);
+    assert_eq!(baseline.sensing.warm_seeded, 0);
+}

@@ -1,6 +1,6 @@
 //! End-to-end online-CS pipeline throughput bench (the perf tentpole).
 //!
-//! Three measurements on one seeded UCI drive:
+//! Five measurements on one seeded UCI drive:
 //!
 //! 1. **Thread sweep** — readings/sec of [`OnlineCs::run`] at 1/2/4/8
 //!    configured threads, asserting along the way that every thread
@@ -15,6 +15,13 @@
 //!    `clone`s, reproduced verbatim from the seed commit below) vs the
 //!    current allocation-lean `recover_with` on a reused
 //!    [`SolverWorkspace`], verified to produce identical iterates.
+//! 4. **Solver acceleration** — the full drive with the acceleration
+//!    layer (screening, gap stops, warm starts, Gram caching) off vs
+//!    on, with support preservation asserted.
+//! 5. **Kernel acceleration** — the accelerated drive on the scalar
+//!    kernels + unfused factorization (the PR 5 compute path) vs the
+//!    vectorized kernels + single-SVD fused factorization, again with
+//!    support preservation asserted.
 //!
 //! Writes `BENCH_pipeline.json` at the repo root, including the machine
 //! topology so single-core runs read honestly (the thread sweep cannot
@@ -32,6 +39,7 @@ use crowdwifi_core::pipeline::{OnlineCs, OnlineCsConfig};
 use crowdwifi_core::recovery::{CsRecovery, SolverAccel};
 use crowdwifi_core::window::WindowConfig;
 use crowdwifi_geo::{Grid, Point};
+use crowdwifi_linalg::kernels::{self, Mode};
 use crowdwifi_linalg::vector;
 use crowdwifi_linalg::Matrix;
 use crowdwifi_sparsesolve::prox::soft_threshold_nonneg_vec;
@@ -134,14 +142,17 @@ fn bernoulli_matrix(m: usize, n: usize, seed: u64) -> Matrix {
 }
 
 fn main() {
-    // Open the full 8-worker budget regardless of core count so the
-    // sweep exercises the parallel code path even on small machines;
-    // the JSON records the physical topology for honest reading.
+    // Ask for an 8-worker budget so the sweep exercises the parallel
+    // code path on big machines; the env request is clamped to the
+    // detected parallelism (an oversubscribed 1-core box regresses the
+    // pipeline instead of parallelizing it), and the JSON records both
+    // the physical topology and the budget actually granted.
     std::env::set_var(par::THREADS_ENV, "8");
     let physical = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let budget = par::resolve_threads(0);
     let smoke = smoke_mode();
     println!(
-        "physical parallelism: {physical}, worker budget: 8{}",
+        "physical parallelism: {physical}, worker budget: {budget}{}",
         if smoke { ", smoke mode" } else { "" }
     );
 
@@ -368,6 +379,76 @@ fn main() {
         accel_wall * 1e3,
     );
 
+    // --- 5. Vectorized kernels + fused factorization vs the PR 5 path. ---
+    // Same accelerated drive, two compute layers: the baseline leg pins
+    // the scalar (seed-exact) kernels and the unfused MGS-orth +
+    // pseudo-inverse factorization; the new leg runs the unrolled
+    // kernels with the single-SVD fused factorization. The kernels are
+    // bit-identical by construction and the fused factorization spans
+    // the same row space, so both legs must recover the same AP set —
+    // asserted, then recorded as kernel_support_identical.
+    let kernel_base_pipe = OnlineCs::new(
+        OnlineCsConfig {
+            accel: SolverAccel::enabled(),
+            ..cfg
+        },
+        model,
+    )
+    .expect("valid config")
+    .with_fused_factorization(false);
+    kernels::set_mode(Some(Mode::Scalar));
+    let kernel_base_report = kernel_base_pipe
+        .run_detailed(&readings)
+        .expect("scalar/unfused run");
+    let kernel_base_wall = time(
+        || {
+            drop(
+                kernel_base_pipe
+                    .run_detailed(&readings)
+                    .expect("scalar/unfused run"),
+            )
+        },
+        accel_reps,
+    );
+    kernels::set_mode(Some(Mode::Vectorized));
+    let kernel_accel_report = accel_pipe
+        .run_detailed(&readings)
+        .expect("vectorized/fused run");
+    let kernel_accel_wall = time(
+        || {
+            drop(
+                accel_pipe
+                    .run_detailed(&readings)
+                    .expect("vectorized/fused run"),
+            )
+        },
+        accel_reps,
+    );
+    kernels::set_mode(None);
+    assert_eq!(
+        kernel_base_report.final_aps.len(),
+        kernel_accel_report.final_aps.len(),
+        "kernel path changed the number of recovered APs"
+    );
+    for b in &kernel_base_report.final_aps {
+        let d = kernel_accel_report
+            .final_aps
+            .iter()
+            .map(|a| a.position.distance(b.position))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            d < 8.0,
+            "scalar/unfused AP at {} has no vectorized/fused counterpart ({d:.1} m)",
+            b.position
+        );
+    }
+    let kernel_speedup = kernel_base_wall / kernel_accel_wall;
+    println!(
+        "kernel accel: scalar/unfused {:.1} ms vs vectorized/fused {:.1} ms ({kernel_speedup:.2}x), support identical",
+        kernel_base_wall * 1e3,
+        kernel_accel_wall * 1e3,
+    );
+
     // --- Emit BENCH_pipeline.json at the repo root. ---
     let sweep_json: Vec<String> = sweep
         .iter()
@@ -379,7 +460,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"pipeline_throughput\",\n  \"schema_version\": 2,\n  \"machine\": {{\"physical_parallelism\": {physical}, \"worker_budget\": 8, \"smoke\": {smoke}}},\n  \"drive\": {{\"readings\": {}, \"window_size\": {}, \"window_step\": {}}},\n  \"thread_sweep\": [\n{}\n  ],\n  \"shared_window\": {{\"groups_per_round\": {}, \"distinct_groups\": {distinct}, \"per_group_rebuild_ms\": {:.3}, \"shared_cold_ms\": {:.3}, \"memoized_replay_ms\": {:.4}, \"cold_speedup\": {:.3}, \"memoized_speedup\": {:.1}}},\n  \"solver_workspace\": {{\"matrix\": \"{m}x{n}\", \"iterations\": {seed_iters}, \"seed_clone_per_iter_us\": {:.1}, \"workspace_us\": {:.1}, \"speedup\": {:.3}, \"bit_identical\": true}},\n  \"solver_accel\": {{\"baseline_iterations\": {base_iters}, \"accel_iterations\": {accel_iters}, \"iteration_reduction\": {iter_reduction:.3}, \"baseline_solves\": {}, \"accel_solves\": {}, \"screened_cols\": {}, \"iterations_saved\": {}, \"warm_seeded\": {}, \"baseline_unconverged\": {}, \"accel_unconverged\": {}, \"baseline_ms\": {:.1}, \"accel_ms\": {:.1}, \"wall_speedup\": {:.3}, \"support_identical\": true}},\n  \"notes\": \"Thread-sweep speedups are bounded by physical_parallelism (a 1-core machine cannot exceed 1x regardless of the configured thread count); shared_window, solver_workspace and solver_accel are the machine-independent algorithmic gains over the seed implementation. The seed FISTA baseline is reproduced verbatim in this bench and asserted to yield bit-identical solutions. solver_accel compares one full drive with the acceleration layer (gap-safe screening, duality-gap stops, cross-window warm starts, Gram caching) off vs on: iteration_reduction is the cut in total l1 iterations, and support_identical records the in-bench assertion that both runs recover the same AP set.\"\n}}\n",
+        "{{\n  \"bench\": \"pipeline_throughput\",\n  \"schema_version\": 3,\n  \"machine\": {{\"physical_parallelism\": {physical}, \"worker_budget\": {budget}, \"smoke\": {smoke}}},\n  \"drive\": {{\"readings\": {}, \"window_size\": {}, \"window_step\": {}}},\n  \"thread_sweep\": [\n{}\n  ],\n  \"shared_window\": {{\"groups_per_round\": {}, \"distinct_groups\": {distinct}, \"per_group_rebuild_ms\": {:.3}, \"shared_cold_ms\": {:.3}, \"memoized_replay_ms\": {:.4}, \"cold_speedup\": {:.3}, \"memoized_speedup\": {:.1}}},\n  \"solver_workspace\": {{\"matrix\": \"{m}x{n}\", \"iterations\": {seed_iters}, \"seed_clone_per_iter_us\": {:.1}, \"workspace_us\": {:.1}, \"speedup\": {:.3}, \"bit_identical\": true}},\n  \"solver_accel\": {{\"baseline_iterations\": {base_iters}, \"accel_iterations\": {accel_iters}, \"iteration_reduction\": {iter_reduction:.3}, \"baseline_solves\": {}, \"accel_solves\": {}, \"screened_cols\": {}, \"iterations_saved\": {}, \"warm_seeded\": {}, \"baseline_unconverged\": {}, \"accel_unconverged\": {}, \"baseline_ms\": {:.1}, \"accel_ms\": {:.1}, \"wall_speedup\": {:.3}, \"support_identical\": true}},\n  \"kernel_accel\": {{\"kernel_baseline_ms\": {:.1}, \"kernel_accel_ms\": {:.1}, \"kernel_wall_speedup\": {kernel_speedup:.3}, \"kernel_support_identical\": true}},\n  \"notes\": \"Thread-sweep speedups are bounded by physical_parallelism (a 1-core machine cannot exceed 1x regardless of the configured thread count; the CROWDWIFI_THREADS request is clamped to the detected parallelism and worker_budget records the granted value); shared_window, solver_workspace, solver_accel and kernel_accel are the machine-independent algorithmic gains over the seed implementation. The seed FISTA baseline is reproduced verbatim in this bench and asserted to yield bit-identical solutions. solver_accel compares one full drive with the acceleration layer (gap-safe screening, duality-gap stops, cross-window warm starts, Gram caching) off vs on: iteration_reduction is the cut in total l1 iterations, and support_identical records the in-bench assertion that both runs recover the same AP set. kernel_accel compares the same accelerated drive on the PR 5 compute path (scalar kernels, MGS orthogonalization + pseudo-inverse) vs the current one (row-blocked vectorized kernels, single-SVD fused factorization): the kernels are bit-identical to the scalar reference, the fused factorization spans the same row space, and kernel_support_identical records the in-bench assertion that both legs recover the same AP set.\"\n}}\n",
         readings.len(),
         cfg.window.size,
         cfg.window.step,
@@ -403,6 +484,8 @@ fn main() {
         base_wall * 1e3,
         accel_wall * 1e3,
         base_wall / accel_wall,
+        kernel_base_wall * 1e3,
+        kernel_accel_wall * 1e3,
     );
     let out_path = bench_out_path("BENCH_pipeline.json");
     std::fs::write(&out_path, &json).expect("write BENCH_pipeline.json");

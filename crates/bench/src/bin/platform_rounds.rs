@@ -161,7 +161,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"platform_rounds\",\n  \"schema_version\": 2,\n  \"machine\": {{\"physical_parallelism\": {}, \"smoke\": {smoke}}},\n  \"sim\": {{\"reps\": {reps}, \"clean_ms\": {:.3}, \"degraded_ms\": {:.3}, \"sim_rounds_per_sec\": {sim_rounds_per_sec:.3}}},\n  \"threaded\": {{\"reps\": {thread_reps}, \"degraded_ms\": {:.3}}},\n  \"sim_speedup\": {sim_speedup:.3},\n  \"notes\": \"clean round = 5 honest vehicles over a 2-AP drive; degraded adds one crash, one stall and 10% message drop. sim_speedup compares the degraded round's wall time on the threaded backend (timeouts and backoffs are real sleeps) against the virtual-clock simulator, at an 800 ms phase deadline — longer production deadlines widen the ratio. Determinism (same seed, byte-identical deterministic projection) is asserted before measuring.\"\n}}\n",
+        "{{\n  \"bench\": \"platform_rounds\",\n  \"schema_version\": 3,\n  \"machine\": {{\"physical_parallelism\": {}, \"smoke\": {smoke}}},\n  \"sim\": {{\"reps\": {reps}, \"clean_ms\": {:.3}, \"degraded_ms\": {:.3}, \"sim_rounds_per_sec\": {sim_rounds_per_sec:.3}}},\n  \"threaded\": {{\"reps\": {thread_reps}, \"degraded_ms\": {:.3}}},\n  \"sim_speedup\": {sim_speedup:.3},\n  \"notes\": \"clean round = 5 honest vehicles over a 2-AP drive; degraded adds one crash, one stall and 10% message drop. sim_speedup compares the degraded round's wall time on the threaded backend (timeouts and backoffs are real sleeps) against the virtual-clock simulator, at an 800 ms phase deadline — longer production deadlines widen the ratio. Determinism (same seed, byte-identical deterministic projection) is asserted before measuring.\"\n}}\n",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
         sim_clean_secs * 1e3,
         sim_degraded_secs * 1e3,

@@ -149,6 +149,38 @@ impl GmmModel {
         total
     }
 
+    /// Precomputes the per-(reading, candidate) factors of
+    /// [`GmmModel::hard_log_likelihood`] against a fixed candidate pool,
+    /// so a search that scores many *subsets* of the pool (the global
+    /// BIC refinement evaluates hundreds of constellations over the same
+    /// drive) pays the distance / path-loss / log-density transcendentals
+    /// once per pair instead of once per evaluation. Scoring through the
+    /// cache is bit-identical to calling `hard_log_likelihood` with the
+    /// selected positions in the same order: only set-independent values
+    /// are cached, and the set-dependent softmax weights are computed
+    /// with exactly the original operations.
+    pub fn hard_fit_cache(&self, readings: &[(Point, f64)], pool: &[Point]) -> HardFitCache {
+        let k = pool.len();
+        let mut dist = Vec::with_capacity(readings.len() * k);
+        let mut log_pdf = Vec::with_capacity(readings.len() * k);
+        for &(pos, rss) in readings {
+            for ap in pool {
+                let d = pos.distance(*ap);
+                let mu = self.pathloss.mean_rss(d);
+                let sigma = (self.sigma_factor * mu.abs()).max(1e-6);
+                let z = (rss - mu) / sigma;
+                dist.push(d);
+                log_pdf.push(-0.5 * z * z - sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln());
+            }
+        }
+        HardFitCache {
+            readings: readings.len(),
+            k,
+            dist,
+            log_pdf,
+        }
+    }
+
     /// Myopic mixture weights `w_ij` of one reading position against the
     /// candidate APs (exposed for tests and diagnostics).
     pub fn weights(&self, position: Point, aps: &[Point]) -> Vec<f64> {
@@ -160,6 +192,72 @@ impl GmmModel {
         let raw: Vec<f64> = dists.iter().map(|d| (-(d - dmin)).exp()).collect();
         let sum: f64 = raw.iter().sum();
         raw.into_iter().map(|w| w / sum).collect()
+    }
+}
+
+/// Per-(reading, candidate) factors cached by
+/// [`GmmModel::hard_fit_cache`]: the reading–candidate distance and the
+/// per-pair log-density `ln N(rss; μ(d), σ(d)²)`. Both depend only on
+/// the pair, never on which other candidates are selected, which is what
+/// makes subset scoring through the cache bit-identical to the direct
+/// evaluation.
+#[derive(Debug, Clone)]
+pub struct HardFitCache {
+    readings: usize,
+    k: usize,
+    /// Row-major `[reading][candidate]` distances.
+    dist: Vec<f64>,
+    /// Row-major `[reading][candidate]` log-densities.
+    log_pdf: Vec<f64>,
+}
+
+impl HardFitCache {
+    /// [`GmmModel::hard_log_likelihood`] of the subset `sel` (indices
+    /// into the cached pool, in constellation order). Bit-identical to
+    /// the direct call with the corresponding positions: the gathered
+    /// distance vector, softmax weights and hard-assignment reduction
+    /// run the original operations in the original order, only the
+    /// per-pair transcendentals come from the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `sel` is out of the pool's range.
+    pub fn hard_log_likelihood(&self, sel: &[usize]) -> f64 {
+        if self.readings == 0 {
+            return 0.0;
+        }
+        if sel.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        assert!(
+            sel.iter().all(|&j| j < self.k),
+            "selection index out of pool range"
+        );
+        let mut dists = vec![0.0_f64; sel.len()];
+        let mut raw = vec![0.0_f64; sel.len()];
+        let mut total = 0.0;
+        for i in 0..self.readings {
+            let drow = &self.dist[i * self.k..(i + 1) * self.k];
+            let prow = &self.log_pdf[i * self.k..(i + 1) * self.k];
+            for (t, &j) in dists.iter_mut().zip(sel) {
+                *t = drow[j];
+            }
+            let dmin = dists.iter().cloned().fold(f64::INFINITY, f64::min);
+            for (r, &d) in raw.iter_mut().zip(&dists) {
+                *r = (-(d - dmin)).exp();
+            }
+            let wsum: f64 = raw.iter().sum();
+            let mut best = f64::NEG_INFINITY;
+            for (jj, &j) in sel.iter().enumerate() {
+                let w = raw[jj] / wsum;
+                if w <= 0.0 {
+                    continue;
+                }
+                best = best.max(w.ln() + prow[j]);
+            }
+            total += best;
+        }
+        total
     }
 }
 

@@ -108,6 +108,9 @@ pub fn candidate_modes(
     }
     let zeta = rel_threshold * max;
     let dominant: Vec<usize> = (0..theta.len()).filter(|&n| theta[n] >= zeta).collect();
+    // Hoist the dominant positions out of the O(d²) linking loop below
+    // (grid.point recomputes coordinates from the index on every call).
+    let dom_pts: Vec<Point> = dominant.iter().map(|&n| grid.point(n)).collect();
 
     // Union-find over dominant points linked within `link_radius`.
     let mut parent: Vec<usize> = (0..dominant.len()).collect();
@@ -120,7 +123,7 @@ pub fn candidate_modes(
     }
     for i in 0..dominant.len() {
         for j in (i + 1)..dominant.len() {
-            if grid.point(dominant[i]).distance(grid.point(dominant[j])) <= link_radius {
+            if dom_pts[i].distance(dom_pts[j]) <= link_radius {
                 let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
                 if ri != rj {
                     parent[ri] = rj;
@@ -136,7 +139,7 @@ pub fn candidate_modes(
     for (i, &n) in dominant.iter().enumerate() {
         let root = find(&mut parent, i);
         let entry = by_root.entry(root).or_default();
-        entry.0.push(grid.point(n));
+        entry.0.push(dom_pts[i]);
         entry.1.push(theta[n]);
     }
     let mut modes: Vec<CentroidEstimate> = by_root

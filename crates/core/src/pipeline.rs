@@ -159,6 +159,17 @@ impl OnlineCs {
         })
     }
 
+    /// Overrides the window-factorization strategy of the inner
+    /// recovery engine (see
+    /// [`CsRecovery::with_fused_factorization`]); `true` (the default)
+    /// folds orthogonalization and pseudo-inversion into one SVD. An
+    /// A/B hook for the throughput bench's `kernel_accel` section —
+    /// both settings recover the same support.
+    pub fn with_fused_factorization(mut self, fused: bool) -> Self {
+        self.recovery = self.recovery.with_fused_factorization(fused);
+        self
+    }
+
     /// The configuration in force.
     pub fn config(&self) -> &OnlineCsConfig {
         &self.config

@@ -28,7 +28,7 @@ use crowdwifi_channel::{PathLossModel, RssReading};
 use crowdwifi_geo::{Grid, Point};
 use crowdwifi_linalg::qr::orth;
 use crowdwifi_linalg::svd::pseudo_inverse;
-use crowdwifi_linalg::Matrix;
+use crowdwifi_linalg::{Matrix, Svd};
 use crowdwifi_sparsesolve::{AnySolver, Fista, SolverWorkspace, SparseRecovery};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -228,6 +228,10 @@ impl WarmStartCache {
     }
 }
 
+/// Memoized candidate-mode extractions, keyed by reading-index set and
+/// the relative-threshold bits.
+type ModesMemo = HashMap<(Vec<usize>, u64), Vec<crate::centroid::CentroidEstimate>>;
+
 /// Precomputed per-window sensing state shared by every hypothesis.
 ///
 /// One sliding-window round scores dozens of (k, assignment) hypotheses,
@@ -257,6 +261,10 @@ pub struct WindowSensing {
     warm_field: Option<Vec<f64>>,
     /// Completed group recoveries keyed by sorted reading-index set.
     memo: Mutex<HashMap<Vec<usize>, MemoEntry>>,
+    /// Memoized candidate-mode extractions keyed by reading-index set
+    /// and threshold bits (modes are fully determined by both, since
+    /// the recovered indicator itself is memoized by index set).
+    modes_memo: Mutex<ModesMemo>,
     /// Group-recovery requests served.
     lookups: AtomicU64,
     /// Requests answered from the memo.
@@ -301,6 +309,35 @@ impl WindowSensing {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .len()
+    }
+
+    /// Returns the memoized candidate modes for a group, running
+    /// `compute` and caching its result on first request. The lock is
+    /// dropped while `compute` runs, so two hypotheses racing on the
+    /// same group may both compute — they produce identical results
+    /// (mode extraction is deterministic in the memoized indicator),
+    /// and last-write-wins is harmless.
+    pub fn modes_or_compute(
+        &self,
+        idx: &[usize],
+        rel_threshold: f64,
+        compute: impl FnOnce() -> Vec<crate::centroid::CentroidEstimate>,
+    ) -> Vec<crate::centroid::CentroidEstimate> {
+        let key = (idx.to_vec(), rel_threshold.to_bits());
+        if let Some(modes) = self
+            .modes_memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
+            return modes.clone();
+        }
+        let modes = compute();
+        self.modes_memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, modes.clone());
+        modes
     }
 
     /// Cumulative memo and solver statistics (see [`SensingStats`]).
@@ -353,6 +390,7 @@ pub struct CsRecovery {
     radio_range: f64,
     solver: AnySolver,
     orthogonalize: bool,
+    fused_factorization: bool,
     accel: SolverAccel,
 }
 
@@ -374,8 +412,31 @@ impl CsRecovery {
                     .expect("default tolerance is valid"),
             ),
             orthogonalize: true,
+            fused_factorization: true,
             accel: SolverAccel::disabled(),
         }
+    }
+
+    /// Selects how the Proposition-1 operator is built (default: fused).
+    ///
+    /// The fused path runs **one** SVD of the normalized sensing matrix
+    /// and reads both pieces off it — `Q = V_rᵀ` (an orthonormal row
+    /// basis of the row space) and `y' = Q A† y = Σ_r⁻¹ U_rᵀ y` — where
+    /// the unfused path pays a Gram–Schmidt orthogonalization *plus* a
+    /// separate SVD for `A†` *plus* an `r × pruned-N × m` matmul for
+    /// `T = Q A†`. Both produce an orthonormal row basis of the same
+    /// row space, so the ℓ1 program (and its recovered support) is the
+    /// same; only the basis rotation — and hence the exact float path —
+    /// differs. The unfused path is kept for the kernel-acceleration
+    /// bench baseline and the support-equivalence tests.
+    pub fn with_fused_factorization(mut self, fused: bool) -> Self {
+        self.fused_factorization = fused;
+        self
+    }
+
+    /// Whether the fused one-SVD factorization is active.
+    pub fn fused_factorization(&self) -> bool {
+        self.fused_factorization
     }
 
     /// Sets the solver-acceleration configuration (default: all off —
@@ -500,6 +561,7 @@ impl CsRecovery {
             shifted_rss,
             warm_field: None,
             memo: Mutex::new(HashMap::new()),
+            modes_memo: Mutex::new(HashMap::new()),
             lookups: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             solves: AtomicU64::new(0),
@@ -633,6 +695,44 @@ impl CsRecovery {
         }
     }
 
+    /// Recovers a whole window's worth of hypothesis groups — the
+    /// batched counterpart of [`CsRecovery::recover_group`], returning
+    /// one indicator per input group, aligned with `groups`.
+    ///
+    /// A hypothesis fan-out repeats the same reading-index set across
+    /// k values and EM passes, so the batch is deduplicated first:
+    /// each distinct set is solved (or served from the window memo)
+    /// exactly once and its `Arc` is cloned into every duplicate slot.
+    /// Results are identical to calling `recover_group` per slot — the
+    /// memo already guarantees one solve per distinct set — but the
+    /// dedup keeps a parallel fan-out from racing duplicate solves of
+    /// the same group within one batch.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`CsRecovery::recover_group`], applied
+    /// to every group.
+    pub fn recover_groups(
+        &self,
+        sensing: &WindowSensing,
+        groups: &[Vec<usize>],
+    ) -> Result<Vec<Arc<Vec<f64>>>> {
+        let mut solved: HashMap<&[usize], Arc<Vec<f64>>> = HashMap::with_capacity(groups.len());
+        let mut out = Vec::with_capacity(groups.len());
+        for idx in groups {
+            let theta = match solved.get(idx.as_slice()) {
+                Some(hit) => hit.clone(),
+                None => {
+                    let theta = self.recover_group(sensing, idx)?;
+                    solved.insert(idx.as_slice(), theta.clone());
+                    theta
+                }
+            };
+            out.push(theta);
+        }
+        Ok(out)
+    }
+
     /// Applies the active [`SolverAccel`] switches to the configured
     /// solver, returning `None` when the stock solver should run
     /// unchanged (acceleration off, or a solver family with no
@@ -689,7 +789,7 @@ impl CsRecovery {
         // unit-column convention CS theory assumes; the solution is
         // un-scaled afterwards so θ keeps its indicator interpretation.
         let norms: Vec<f64> = (0..candidates.len())
-            .map(|j| crowdwifi_linalg::vector::norm2(&a_raw.col(j)).max(1e-12))
+            .map(|j| a_raw.col_norm2(j).max(1e-12))
             .collect();
         let a = Matrix::from_fn(m, candidates.len(), |i, j| a_raw.get(i, j) / norms[j]);
 
@@ -710,12 +810,42 @@ impl CsRecovery {
             }
         }
         let recovery = if self.orthogonalize {
-            // Proposition 1: Q = orth(Aᵀ)ᵀ, T = Q A†, y' = T y.
-            let q_cols = orth(&a.transpose()); // pruned-N × r
-            let q = q_cols.transpose(); // r × pruned-N
-            let pinv = pseudo_inverse(&a).map_err(|e| CoreError::Solver(e.to_string()))?;
-            let t = q.matmul(&pinv); // r × m
-            let y_prime = t.matvec(y);
+            let (q, y_prime) = if self.fused_factorization {
+                // Fused Proposition 1: one SVD A = U Σ Vᵀ yields both
+                // the orthonormal row basis Q = V_rᵀ and the
+                // transformed observation y' = Q A† y = Σ_r⁻¹ U_rᵀ y
+                // (V_rᵀ V Σ⁺ collapses to Σ_r⁻¹ on the kept columns).
+                // No Gram–Schmidt pass, no second SVD for A†, no
+                // r × pruned-N × m matmul for T.
+                let svd = Svd::new(&a).map_err(|e| CoreError::Solver(e.to_string()))?;
+                let sigma = svd.singular_values();
+                // Rank cutoff at √ε·σ_max, NOT the pseudo-inverse's
+                // 1e-10·σ_max: the SVD comes from the Gram
+                // eigendecomposition, whose eigenvalues carry ~ε·λ_max
+                // absolute error, so singular values below √ε·σ_max are
+                // numerical noise. Dividing y' by a noise σ inflates
+                // ‖Qᵀy'‖∞ — and with it the relative ℓ1 weight λ —
+                // enough to shrink away genuinely weak APs.
+                let tol = f64::EPSILON.sqrt() * sigma.first().copied().unwrap_or(0.0);
+                let kept: Vec<usize> = (0..sigma.len()).filter(|&i| sigma[i] > tol).collect();
+                let v = svd.v();
+                let q = Matrix::from_fn(kept.len(), v.rows(), |r, c| v.get(c, kept[r]));
+                let y_prime: Vec<f64> = kept
+                    .iter()
+                    .map(|&i| svd.u().col_dot(i, y) / sigma[i])
+                    .collect();
+                (q, y_prime)
+            } else {
+                // Unfused Proposition 1: Q = orth(Aᵀ)ᵀ, T = Q A†,
+                // y' = T y — the historical route, kept as the bench
+                // baseline for the fused factorization.
+                let q_cols = orth(&a.transpose()); // pruned-N × r
+                let q = q_cols.transpose(); // r × pruned-N
+                let pinv = pseudo_inverse(&a).map_err(|e| CoreError::Solver(e.to_string()))?;
+                let t = q.matmul(&pinv); // r × m
+                let y_prime = t.matvec(y);
+                (q, y_prime)
+            };
             match self.accel_solver(true) {
                 Some(s) => s.recover_with(&q, &y_prime, &mut ws)?,
                 None => self.solver.recover_with(&q, &y_prime, &mut ws)?,
@@ -762,14 +892,19 @@ impl CsRecovery {
         {
             let ynorm = crowdwifi_linalg::vector::norm2(y).max(1e-12);
             let mut scored: Vec<(usize, f64, f64)> = Vec::with_capacity(pruned.len());
+            // One residual buffer for the whole rescoring loop; the
+            // column itself is read straight out of the matrix storage
+            // (`col_sumsq`/`col_dot`/`col_iter`) instead of being
+            // copied into a fresh `Vec` per candidate.
+            let mut res: Vec<f64> = Vec::with_capacity(m);
             for j in 0..pruned.len() {
-                let col = a_raw.col(j);
-                let cc = crowdwifi_linalg::vector::dot(&col, &col);
+                let cc = a_raw.col_sumsq(j);
                 if cc <= 0.0 {
                     continue;
                 }
-                let cj = (crowdwifi_linalg::vector::dot(&col, y) / cc).max(0.0);
-                let res: Vec<f64> = y.iter().zip(&col).map(|(yy, aa)| yy - cj * aa).collect();
+                let cj = (a_raw.col_dot(j, y) / cc).max(0.0);
+                res.clear();
+                res.extend(y.iter().zip(a_raw.col_iter(j)).map(|(yy, aa)| yy - cj * aa));
                 let relres = crowdwifi_linalg::vector::norm2(&res) / ynorm;
                 scored.push((j, cj, relres));
             }
@@ -981,6 +1116,77 @@ mod tests {
         let sensing = engine.prepare_window(&grid, &readings);
         assert!(engine.recover_group(&sensing, &[]).is_err());
         assert!(engine.recover_group(&sensing, &[5]).is_err());
+    }
+
+    /// Fused (one-SVD) and unfused (Gram–Schmidt + pseudo-inverse)
+    /// factorizations build different orthonormal bases of the same row
+    /// space; the ℓ1 program is invariant under that rotation, so the
+    /// recovered peak and support must agree.
+    #[test]
+    fn fused_factorization_preserves_support() {
+        let grid = grid_100();
+        let ap_idx = grid.nearest_index(Point::new(45.0, 45.0));
+        let ap = grid.point(ap_idx);
+        let positions = l_route();
+        let rss = clean_rss(ap, &positions);
+        let fused = engine().recover_single_ap(&grid, &positions, &rss).unwrap();
+        let unfused = engine()
+            .with_fused_factorization(false)
+            .recover_single_ap(&grid, &positions, &rss)
+            .unwrap();
+        let peak = |t: &[f64]| {
+            (0..t.len())
+                .max_by(|&a, &b| t[a].partial_cmp(&t[b]).unwrap())
+                .unwrap()
+        };
+        assert_eq!(peak(&fused), ap_idx);
+        assert_eq!(peak(&unfused), ap_idx);
+        let support = |t: &[f64]| {
+            let m = t.iter().cloned().fold(0.0_f64, f64::max);
+            (0..t.len()).filter(|&j| t[j] > 0.3 * m).collect::<Vec<_>>()
+        };
+        assert_eq!(support(&fused), support(&unfused));
+        // And under the full acceleration stack, too.
+        let fused_accel = engine()
+            .with_accel(SolverAccel::enabled())
+            .recover_single_ap(&grid, &positions, &rss)
+            .unwrap();
+        assert_eq!(support(&fused_accel), support(&fused));
+    }
+
+    #[test]
+    fn recover_groups_aligns_and_dedups() {
+        let grid = grid_100();
+        let ap = grid.point(grid.nearest_index(Point::new(45.0, 45.0)));
+        let route = l_route();
+        let readings: Vec<crowdwifi_channel::RssReading> = route
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                crowdwifi_channel::RssReading::new(
+                    p,
+                    PathLossModel::uci_campus().mean_rss(p.distance(ap)),
+                    i as f64,
+                )
+            })
+            .collect();
+        let engine = engine();
+        let sensing = engine.prepare_window(&grid, &readings);
+        let g_all: Vec<usize> = (0..readings.len()).collect();
+        let g_prefix: Vec<usize> = (0..4).collect();
+        // The duplicate of `g_all` must be served from the batch dedup
+        // (same Arc), and each slot must match the per-group path.
+        let batch = vec![g_all.clone(), g_prefix.clone(), g_all.clone()];
+        let thetas = engine.recover_groups(&sensing, &batch).unwrap();
+        assert_eq!(thetas.len(), 3);
+        assert!(Arc::ptr_eq(&thetas[0], &thetas[2]));
+        assert_eq!(sensing.cached_groups(), 2);
+        for (idx, theta) in batch.iter().zip(&thetas) {
+            let single = engine.recover_group(&sensing, idx).unwrap();
+            assert_eq!(**theta, *single, "group {idx:?} diverged");
+        }
+        // Error propagation: one bad group fails the batch.
+        assert!(engine.recover_groups(&sensing, &[vec![99]]).is_err());
     }
 
     #[test]

@@ -43,17 +43,23 @@ pub fn global_bic_selection(
     let data: Vec<(Point, f64)> = readings.iter().map(|r| (r.position, r.rss_dbm)).collect();
     let m = readings.len();
 
-    let score_of = |aps: &[Point]| -> f64 {
-        let ll = gmm.hard_log_likelihood(&data, aps);
+    // The search below scores hundreds of subsets of one fixed candidate
+    // pool; the per-(reading, candidate) transcendentals are hoisted into
+    // a cache once, which is bit-identical to direct scoring (see
+    // [`crowdwifi_channel::gmm::HardFitCache`]).
+    let pool: Vec<Point> = candidates.iter().map(|e| e.position).collect();
+    let cache = gmm.hard_fit_cache(&data, &pool);
+    let score_of = |sel: &[usize]| -> f64 {
+        let ll = cache.hard_log_likelihood(sel);
         if ll.is_finite() {
-            bic(ll, free_params_for_ap_count(aps.len()), m)
+            bic(ll, free_params_for_ap_count(sel.len()), m)
         } else {
             f64::NEG_INFINITY
         }
     };
 
-    let mut chosen: Vec<ApEstimate> = Vec::new();
-    let mut remaining: Vec<ApEstimate> = candidates.to_vec();
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut remaining: Vec<usize> = (0..candidates.len()).collect();
     let mut current_bic = f64::NEG_INFINITY;
 
     // Alternate greedy additions with swap/removal local search. Plain
@@ -67,10 +73,10 @@ pub fn global_bic_selection(
         // Additions.
         loop {
             let mut best: Option<(usize, f64)> = None;
-            for (i, cand) in remaining.iter().enumerate() {
-                let mut aps: Vec<Point> = chosen.iter().map(|e| e.position).collect();
-                aps.push(cand.position);
-                let score = score_of(&aps);
+            for (i, &cand) in remaining.iter().enumerate() {
+                let mut sel = chosen.clone();
+                sel.push(cand);
+                let score = score_of(&sel);
                 if score.is_finite() && best.is_none_or(|(_, b)| score > b) {
                     best = Some((i, score));
                 }
@@ -88,9 +94,9 @@ pub fn global_bic_selection(
         // Swaps: replace one selected estimate with one candidate.
         'swap: for i in 0..chosen.len() {
             for j in 0..remaining.len() {
-                let mut aps: Vec<Point> = chosen.iter().map(|e| e.position).collect();
-                aps[i] = remaining[j].position;
-                let score = score_of(&aps);
+                let mut sel = chosen.clone();
+                sel[i] = remaining[j];
+                let score = score_of(&sel);
                 if score > current_bic + 1e-9 {
                     std::mem::swap(&mut chosen[i], &mut remaining[j]);
                     current_bic = score;
@@ -103,12 +109,12 @@ pub fn global_bic_selection(
         // Removals.
         let mut i = 0;
         while i < chosen.len() {
-            let mut aps: Vec<Point> = chosen.iter().map(|e| e.position).collect();
-            aps.remove(i);
-            let score = if aps.is_empty() {
+            let mut sel = chosen.clone();
+            sel.remove(i);
+            let score = if sel.is_empty() {
                 f64::NEG_INFINITY
             } else {
-                score_of(&aps)
+                score_of(&sel)
             };
             if score > current_bic + 1e-9 {
                 remaining.push(chosen.remove(i));
@@ -123,7 +129,7 @@ pub fn global_bic_selection(
             break;
         }
     }
-    chosen
+    chosen.into_iter().map(|i| candidates[i]).collect()
 }
 
 /// Polishes selected AP positions with whole-drive EM passes: readings

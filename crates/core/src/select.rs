@@ -255,6 +255,15 @@ fn recover_group_modes(
     sensing: &WindowSensing,
     rel_threshold: f64,
 ) -> Result<Option<Vec<Vec<crate::centroid::CentroidEstimate>>>> {
+    // Groups are recovered one at a time so a degenerate group aborts
+    // the hypothesis *before* solving its remaining siblings: extra
+    // solves would be pure waste, and their memoized fields would leak
+    // into the cross-window warm-start state
+    // ([`crate::recovery::WarmStartCache::absorb`] folds every memoized
+    // field of a finished window). Duplicate groupings across
+    // hypotheses and EM passes still hit the [`WindowSensing`] memo;
+    // callers without early-out semantics batch through
+    // [`CsRecovery::recover_groups`] instead.
     let mut groups = Vec::with_capacity(k);
     for ap in 0..k {
         let idx: Vec<usize> = labels
@@ -264,11 +273,16 @@ fn recover_group_modes(
             .map(|(i, _)| i)
             .collect();
         if idx.is_empty() {
-            continue; // empty group: hypothesis effectively smaller k
+            // Empty group: hypothesis effectively smaller k.
+            continue;
         }
         let theta = recovery.recover_group(sensing, &idx)?;
-        let modes =
-            crate::centroid::candidate_modes(&theta, grid, rel_threshold, 2.0 * grid.lattice(), 3);
+        // Mode extraction scans the whole grid; groupings recur across
+        // hypotheses and EM passes just like the recoveries themselves,
+        // so the modes are memoized alongside them.
+        let modes = sensing.modes_or_compute(&idx, rel_threshold, || {
+            crate::centroid::candidate_modes(&theta, grid, rel_threshold, 2.0 * grid.lattice(), 3)
+        });
         if modes.is_empty() {
             return Ok(None);
         }

@@ -52,36 +52,62 @@ impl SymmetricEigen {
         }
 
         // Symmetrize to be robust to tiny asymmetries in the input.
-        let mut m = Matrix::from_fn(n, n, |r, c| 0.5 * (a.get(r, c) + a.get(c, r)));
-        let mut v = Matrix::identity(n);
+        // The sweep works on a raw row-major buffer (`md`) and keeps the
+        // eigenvector accumulator *transposed* (`vt`: row `i` holds what
+        // the textbook form stores in column `i`), so every rotation
+        // below touches contiguous rows instead of strided columns and
+        // bounds checks hoist out of the inner loops. Each element still
+        // sees exactly the FP operations, in the order, of the classic
+        // three-loop update, so results are bit-identical to it.
+        let mut md: Vec<f64> = Vec::with_capacity(n * n);
+        for r in 0..n {
+            for c in 0..n {
+                md.push(0.5 * (a.get(r, c) + a.get(c, r)));
+            }
+        }
+        let mut vt = vec![0.0_f64; n * n];
+        for i in 0..n {
+            vt[i * n + i] = 1.0;
+        }
 
-        let off = |m: &Matrix| -> f64 {
+        let off = |md: &[f64]| -> f64 {
             let mut s = 0.0;
-            for r in 0..n {
-                for c in (r + 1)..n {
-                    s += m.get(r, c) * m.get(r, c);
+            for (r, row) in md.chunks_exact(n).enumerate() {
+                for &x in &row[r + 1..] {
+                    s += x * x;
                 }
             }
             s.sqrt()
         };
 
-        let scale = m.max_abs().max(1.0);
+        let scale = md.iter().fold(0.0_f64, |m, &a| m.max(a.abs())).max(1.0);
         let tol = 1e-14 * scale * (n as f64);
 
+        // Plane rotation of two equal-length slices: x' = c·x − s·y,
+        // y' = s·x + c·y. Elements are independent, so the slice form
+        // computes the same floats as the indexed loop it replaces.
+        let rot = |c: f64, s: f64, x: &mut [f64], y: &mut [f64]| {
+            for (xi, yi) in x.iter_mut().zip(y) {
+                let (a, b) = (*xi, *yi);
+                *xi = c * a - s * b;
+                *yi = s * a + c * b;
+            }
+        };
+
         let mut sweeps = 0;
-        while off(&m) > tol {
+        while off(&md) > tol {
             sweeps += 1;
             if sweeps > MAX_SWEEPS {
                 return Err(LinalgError::NoConvergence { iterations: sweeps });
             }
             for p in 0..n {
                 for q in (p + 1)..n {
-                    let apq = m.get(p, q);
+                    let apq = md[p * n + q];
                     if apq.abs() <= tol / (n as f64) {
                         continue;
                     }
-                    let app = m.get(p, p);
-                    let aqq = m.get(q, q);
+                    let app = md[p * n + p];
+                    let aqq = md[q * n + q];
                     // Classic Jacobi rotation.
                     let tau = (aqq - app) / (2.0 * apq);
                     let t = if tau >= 0.0 {
@@ -92,36 +118,32 @@ impl SymmetricEigen {
                     let c = 1.0 / (1.0 + t * t).sqrt();
                     let s = t * c;
 
-                    // Update rows/columns p and q of m.
-                    for k in 0..n {
-                        let mkp = m.get(k, p);
-                        let mkq = m.get(k, q);
-                        m.set(k, p, c * mkp - s * mkq);
-                        m.set(k, q, s * mkp + c * mkq);
+                    // Columns p and q of m: one pass over the rows.
+                    for row in md.chunks_exact_mut(n) {
+                        let mkp = row[p];
+                        let mkq = row[q];
+                        row[p] = c * mkp - s * mkq;
+                        row[q] = s * mkp + c * mkq;
                     }
-                    for k in 0..n {
-                        let mpk = m.get(p, k);
-                        let mqk = m.get(q, k);
-                        m.set(p, k, c * mpk - s * mqk);
-                        m.set(q, k, s * mpk + c * mqk);
-                    }
-                    // Accumulate eigenvectors.
-                    for k in 0..n {
-                        let vkp = v.get(k, p);
-                        let vkq = v.get(k, q);
-                        v.set(k, p, c * vkp - s * vkq);
-                        v.set(k, q, s * vkp + c * vkq);
-                    }
+                    // Rows p and q of m (contiguous; p < q).
+                    let (head, tail) = md.split_at_mut(q * n);
+                    rot(c, s, &mut head[p * n..p * n + n], &mut tail[..n]);
+                    // Accumulate eigenvectors: the textbook column update
+                    // is a row update on the transposed accumulator.
+                    let (vh, vtl) = vt.split_at_mut(q * n);
+                    rot(c, s, &mut vh[p * n..p * n + n], &mut vtl[..n]);
                 }
             }
         }
 
         // Extract and sort descending.
         let mut order: Vec<usize> = (0..n).collect();
-        let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+        let diag: Vec<f64> = (0..n).map(|i| md[i * n + i]).collect();
         order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("NaN eigenvalue"));
         let eigenvalues: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
-        let eigenvectors = v.select_cols(&order);
+        // Column j of the result is eigenvector order[j] — row order[j]
+        // of the transposed accumulator.
+        let eigenvectors = Matrix::from_fn(n, n, |r, c| vt[order[c] * n + r]);
 
         Ok(SymmetricEigen {
             eigenvalues,

@@ -9,7 +9,10 @@
 //!   ([`svd`]) used by the Proposition 1 orthogonalization,
 //! * LU/Cholesky solvers ([`solve`]) used by the ADMM basis-pursuit solver,
 //! * a matrix-free conjugate-gradient solver ([`cg`]) for city-scale
-//!   grids where factoring is too expensive.
+//!   grids where factoring is too expensive,
+//! * runtime-dispatched unrolled kernels ([`kernels`]) behind the hot
+//!   `Matrix`/[`vector`] operations — bit-identical to the reference
+//!   loops, with `CROWDWIFI_FORCE_SCALAR=1` pinning the scalar path.
 //!
 //! Everything is hand-rolled on `f64` — the problem sizes in the paper
 //! (grids of `N ≤ ~1000` points, windows of `M ≤ ~200` measurements) are
@@ -30,6 +33,7 @@
 
 pub mod cg;
 pub mod eigen;
+pub mod kernels;
 pub mod matrix;
 pub mod qr;
 pub mod solve;

@@ -4,6 +4,7 @@
 // rewrites obscure the math.
 #![allow(clippy::needless_range_loop)]
 
+use crate::kernels;
 use crate::{LinalgError, Result};
 
 /// A dense, row-major `f64` matrix.
@@ -168,12 +169,75 @@ impl Matrix {
 
     /// Copies column `c` into a new `Vec`.
     ///
+    /// Hot loops that only need to *read* a column should prefer
+    /// [`Matrix::col_iter`] (or the fused [`Matrix::col_dot`] /
+    /// [`Matrix::col_sumsq`]), which walk the strided storage without
+    /// allocating.
+    ///
     /// # Panics
     ///
     /// Panics if out of bounds.
     pub fn col(&self, c: usize) -> Vec<f64> {
         assert!(c < self.cols, "column out of bounds");
-        (0..self.rows).map(|r| self.get(r, c)).collect()
+        self.col_iter(c).collect()
+    }
+
+    /// Iterates over column `c` (top to bottom) without allocating —
+    /// the borrowing counterpart of [`Matrix::col`] for hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn col_iter(&self, c: usize) -> impl Iterator<Item = f64> + '_ {
+        assert!(c < self.cols, "column out of bounds");
+        let tail = if self.rows == 0 {
+            &[][..]
+        } else {
+            &self.data[c..]
+        };
+        tail.iter().step_by(self.cols.max(1)).copied()
+    }
+
+    /// Dot product of column `c` with `v`, accumulated top to bottom —
+    /// exactly the floats `vector::dot(&self.col(c), v)` would produce,
+    /// without materializing the column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds or `v.len() != self.rows()`.
+    pub fn col_dot(&self, c: usize, v: &[f64]) -> f64 {
+        assert_eq!(v.len(), self.rows, "col_dot length mismatch");
+        // -0.0 is `dot`'s fold identity; see `kernels::vector::dot`.
+        let mut acc = -0.0;
+        for (x, &y) in self.col_iter(c).zip(v) {
+            acc += x * y;
+        }
+        acc
+    }
+
+    /// Sum of squares of column `c`, accumulated top to bottom — the
+    /// same floats as `vector::dot(&col, &col)` on the copied column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn col_sumsq(&self, c: usize) -> f64 {
+        // -0.0 is `dot`'s fold identity; see `kernels::vector::dot`.
+        let mut acc = -0.0;
+        for x in self.col_iter(c) {
+            acc += x * x;
+        }
+        acc
+    }
+
+    /// ℓ2 norm of column `c` (`col_sumsq(c).sqrt()`), matching
+    /// `vector::norm2(&self.col(c))` bit for bit without the copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn col_norm2(&self, c: usize) -> f64 {
+        self.col_sumsq(c).sqrt()
     }
 
     /// Underlying row-major buffer.
@@ -209,19 +273,14 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(r, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let dst = &mut out.data[r * other.cols..(r + 1) * other.cols];
-                for (d, &o) in dst.iter_mut().zip(orow) {
-                    *d += a * o;
-                }
-            }
-        }
+        kernels::matmul(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
         out
     }
 
@@ -246,9 +305,22 @@ impl Matrix {
     pub fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
         assert_eq!(v.len(), self.cols, "matvec shape mismatch");
         out.clear();
-        out.extend(
-            (0..self.rows).map(|r| self.row(r).iter().zip(v).map(|(&a, &x)| a * x).sum::<f64>()),
-        );
+        out.resize(self.rows, 0.0);
+        kernels::matvec(self.cols, &self.data, v, out);
+    }
+
+    /// Batched [`Matrix::matvec_into`]: `outs[j] = self · vs[j]` for
+    /// every right-hand side in one pass over the matrix rows (each row
+    /// is loaded once and dotted against all of `vs`), instead of one
+    /// full traversal per vector. Each output is bit-identical to the
+    /// corresponding single-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `vs[j].len() != self.cols()` or
+    /// `outs.len() != vs.len()`.
+    pub fn matvec_batch_into(&self, vs: &[Vec<f64>], outs: &mut [Vec<f64>]) {
+        kernels::matvec_batch(self.rows, self.cols, &self.data, vs, outs);
     }
 
     /// Transposed matrix–vector product `selfᵀ * v`.
@@ -274,15 +346,25 @@ impl Matrix {
         assert_eq!(v.len(), self.rows, "matvec_transposed shape mismatch");
         out.clear();
         out.resize(self.cols, 0.0);
-        for r in 0..self.rows {
-            let a = v[r];
-            if a == 0.0 {
-                continue;
-            }
-            for (o, &x) in out.iter_mut().zip(self.row(r)) {
-                *o += a * x;
-            }
+        kernels::acc_rows(self.cols, &self.data, v, out);
+    }
+
+    /// Batched [`Matrix::matvec_transposed_into`]: `outs[j] = selfᵀ ·
+    /// vs[j]` for every right-hand side in one pass over the matrix
+    /// rows. The per-column zero-coefficient skip and accumulation
+    /// order match the single-vector form, so each output is
+    /// bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `vs[j].len() != self.rows()` or
+    /// `outs.len() != vs.len()`.
+    pub fn matvec_transposed_batch_into(&self, vs: &[Vec<f64>], outs: &mut [Vec<f64>]) {
+        for out in outs.iter_mut() {
+            out.clear();
+            out.resize(self.cols, 0.0);
         }
+        kernels::acc_rows_batch(self.rows, self.cols, &self.data, vs, outs);
     }
 
     /// Gram matrix `selfᵀ * self` (`cols × cols`, symmetric).
@@ -295,25 +377,7 @@ impl Matrix {
     pub fn gram(&self) -> Matrix {
         let n = self.cols;
         let mut g = Matrix::zeros(n, n);
-        for r in 0..self.rows {
-            let row = self.row(r);
-            for i in 0..n {
-                let a = row[i];
-                if a == 0.0 {
-                    continue;
-                }
-                let dst = &mut g.data[i * n..(i + 1) * n];
-                for j in i..n {
-                    dst[j] += a * row[j];
-                }
-            }
-        }
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let v = g.data[i * n + j];
-                g.data[j * n + i] = v;
-            }
-        }
+        kernels::gram(self.rows, n, &self.data, &mut g.data);
         g
     }
 
@@ -334,15 +398,7 @@ impl Matrix {
         assert_eq!(c.len(), self.cols, "matvec_transposed_sub rhs mismatch");
         out.clear();
         out.extend(c.iter().map(|&x| -x));
-        for r in 0..self.rows {
-            let a = v[r];
-            if a == 0.0 {
-                continue;
-            }
-            for (o, &x) in out.iter_mut().zip(self.row(r)) {
-                *o += a * x;
-            }
-        }
+        kernels::acc_rows(self.cols, &self.data, v, out);
     }
 
     /// Element-wise sum `self + other`.

@@ -72,19 +72,28 @@ impl Svd {
         let tol = 1e-12 * scale.max(1e-300) * (m.max(n) as f64);
 
         let small_vecs = eig.eigenvectors().select_cols(&(0..p).collect::<Vec<_>>());
+        // Columns above the rank tolerance get a singular vector on the
+        // other side; the rest are zeroed. The back-multiplication
+        // (`A V` or `Aᵀ U`) runs as one batched pass over `a` for all
+        // kept columns — bit-identical per column to the one-vector
+        // products it replaces.
+        let keep: Vec<usize> = (0..p).filter(|&j| singular_values[j] > tol).collect();
+        for j in 0..p {
+            if singular_values[j] <= tol {
+                singular_values[j] = 0.0;
+            }
+        }
+        let mut outs: Vec<Vec<f64>> = vec![Vec::new(); keep.len()];
         let (u, v) = if tall {
             // V from the eigenvectors of AᵀA; U = A V / σ.
             let v = small_vecs;
             let mut u = Matrix::zeros(m, p);
-            for j in 0..p {
+            let vs: Vec<Vec<f64>> = keep.iter().map(|&j| v.col(j)).collect();
+            a.matvec_batch_into(&vs, &mut outs);
+            for (&j, col) in keep.iter().zip(&outs) {
                 let s = singular_values[j];
-                if s > tol {
-                    let col = a.matvec(&v.col(j));
-                    for (r, &x) in col.iter().enumerate() {
-                        u.set(r, j, x / s);
-                    }
-                } else {
-                    singular_values[j] = 0.0;
+                for (r, &x) in col.iter().enumerate() {
+                    u.set(r, j, x / s);
                 }
             }
             (u, v)
@@ -92,15 +101,12 @@ impl Svd {
             // U from the eigenvectors of AAᵀ; V = Aᵀ U / σ.
             let u = small_vecs;
             let mut v = Matrix::zeros(n, p);
-            for j in 0..p {
+            let us: Vec<Vec<f64>> = keep.iter().map(|&j| u.col(j)).collect();
+            a.matvec_transposed_batch_into(&us, &mut outs);
+            for (&j, col) in keep.iter().zip(&outs) {
                 let s = singular_values[j];
-                if s > tol {
-                    let col = a.matvec_transposed(&u.col(j));
-                    for (r, &x) in col.iter().enumerate() {
-                        v.set(r, j, x / s);
-                    }
-                } else {
-                    singular_values[j] = 0.0;
+                for (r, &x) in col.iter().enumerate() {
+                    v.set(r, j, x / s);
                 }
             }
             (u, v)

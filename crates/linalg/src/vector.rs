@@ -10,8 +10,7 @@
 ///
 /// Panics if lengths differ.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    crate::kernels::dot(a, b)
 }
 
 /// Euclidean (ℓ2) norm.
@@ -35,10 +34,7 @@ pub fn norm_inf(v: &[f64]) -> f64 {
 ///
 /// Panics if lengths differ.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), y.len(), "axpy length mismatch");
-    for (yi, &xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    crate::kernels::axpy(alpha, x, y)
 }
 
 /// Element-wise difference `a - b` as a new vector.
@@ -75,12 +71,7 @@ pub fn scale(v: &[f64], s: f64) -> Vec<f64> {
 ///
 /// Panics if lengths differ.
 pub fn distance(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "distance length mismatch");
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt()
+    crate::kernels::distance_sq(a, b).sqrt()
 }
 
 /// Number of entries with absolute value above `tol` (empirical sparsity).

@@ -143,6 +143,17 @@ impl AdmmLasso {
         self.nonnegative = nonnegative;
         self
     }
+
+    /// Factors `(AᵀA + ρI)` — the per-operator work every solve against
+    /// `a` shares, hoisted so [`SparseRecovery::recover_multi`] pays it
+    /// once per batch instead of once per column.
+    fn factor(&self, a: &Matrix) -> Result<Cholesky> {
+        let mut gram = a.transpose().matmul(a);
+        for i in 0..a.cols() {
+            gram.set(i, i, gram.get(i, i) + self.rho);
+        }
+        Ok(Cholesky::new(&gram)?)
+    }
 }
 
 impl SparseRecovery for AdmmLasso {
@@ -152,6 +163,46 @@ impl SparseRecovery for AdmmLasso {
 
     fn recover_with(&self, a: &Matrix, y: &[f64], ws: &mut SolverWorkspace) -> Result<Recovery> {
         validate_problem(a, y)?;
+        let chol = self.factor(a)?;
+        self.solve_factored(a, y, &chol, ws)
+    }
+
+    fn recover_multi(
+        &self,
+        a: &Matrix,
+        ys: &[Vec<f64>],
+        ws: &mut SolverWorkspace,
+    ) -> Result<Vec<Recovery>> {
+        ws.clear_warm_start();
+        for y in ys {
+            validate_problem(a, y)?;
+        }
+        if ys.is_empty() {
+            return Ok(Vec::new());
+        }
+        // The Cholesky factor of (AᵀA + ρI) depends only on `a`: one
+        // factorization serves every right-hand side, bit-identically.
+        let chol = self.factor(a)?;
+        ys.iter()
+            .map(|y| self.solve_factored(a, y, &chol, ws))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "admm-lasso"
+    }
+}
+
+impl AdmmLasso {
+    /// One ADMM solve against a pre-factored `(AᵀA + ρI)`; the whole
+    /// iteration of the historical `recover_with`, unchanged.
+    fn solve_factored(
+        &self,
+        a: &Matrix,
+        y: &[f64],
+        chol: &Cholesky,
+        ws: &mut SolverWorkspace,
+    ) -> Result<Recovery> {
         let n = a.cols();
         let rho = self.rho;
 
@@ -159,13 +210,6 @@ impl SparseRecovery for AdmmLasso {
         // reads it every iteration).
         a.matvec_transposed_into(y, &mut ws.grad);
         let lambda = self.lambda_rel * vector::norm_inf(&ws.grad);
-
-        // Factor (AᵀA + ρI) once.
-        let mut gram = a.transpose().matmul(a);
-        for i in 0..n {
-            gram.set(i, i, gram.get(i, i) + rho);
-        }
-        let chol = Cholesky::new(&gram)?;
 
         ws.x.clear();
         ws.x.resize(n, 0.0);
@@ -262,10 +306,6 @@ impl SparseRecovery for AdmmLasso {
             },
         })
     }
-
-    fn name(&self) -> &'static str {
-        "admm-lasso"
-    }
 }
 
 /// ADMM solver for equality-constrained basis pursuit
@@ -330,10 +370,48 @@ impl SparseRecovery for BasisPursuit {
 
     fn recover_with(&self, a: &Matrix, y: &[f64], ws: &mut SolverWorkspace) -> Result<Recovery> {
         validate_problem(a, y)?;
+        let pinv = pseudo_inverse(a)?;
+        self.solve_with_pinv(a, y, &pinv, ws)
+    }
+
+    fn recover_multi(
+        &self,
+        a: &Matrix,
+        ys: &[Vec<f64>],
+        ws: &mut SolverWorkspace,
+    ) -> Result<Vec<Recovery>> {
+        ws.clear_warm_start();
+        for y in ys {
+            validate_problem(a, y)?;
+        }
+        if ys.is_empty() {
+            return Ok(Vec::new());
+        }
+        // A† depends only on `a`: one SVD serves every right-hand side.
+        let pinv = pseudo_inverse(a)?;
+        ys.iter()
+            .map(|y| self.solve_with_pinv(a, y, &pinv, ws))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "admm-bp"
+    }
+}
+
+impl BasisPursuit {
+    /// One basis-pursuit solve against a precomputed `A†`; the whole
+    /// iteration of the historical `recover_with`, unchanged.
+    fn solve_with_pinv(
+        &self,
+        a: &Matrix,
+        y: &[f64],
+        pinv: &Matrix,
+        ws: &mut SolverWorkspace,
+    ) -> Result<Recovery> {
         let n = a.cols();
 
         // Projection onto {x : Ax = y} is x ↦ x − A†(Ax − y).
-        let pinv = pseudo_inverse(a)?;
         pinv.matvec_into(y, &mut ws.x); // feasible start
 
         ws.z.clear();
@@ -398,10 +476,6 @@ impl SparseRecovery for BasisPursuit {
                 0
             },
         })
-    }
-
-    fn name(&self) -> &'static str {
-        "admm-bp"
     }
 }
 
@@ -489,6 +563,47 @@ mod tests {
             .unwrap();
         assert_eq!(rec.support(0.5), vec![2]);
         assert!(rec.solution.iter().all(|&x| x >= -1e-9));
+    }
+
+    /// The batched entry point shares one factorization (Cholesky for
+    /// the LASSO, the SVD pseudo-inverse for basis pursuit) across the
+    /// batch; every column must stay bit-identical to a cold standalone
+    /// solve.
+    #[test]
+    fn multi_rhs_matches_solo_bitwise() {
+        let (m, n) = (20, 44);
+        let a = bernoulli_matrix(m, n, 27);
+        let ys: Vec<Vec<f64>> = (0..3)
+            .map(|s: usize| {
+                let mut theta = vec![0.0; n];
+                theta[(3 + 13 * s) % n] = 1.0;
+                theta[(29 * (s + 1)) % n] = if s == 1 { -1.5 } else { 0.7 };
+                a.matvec(&theta)
+            })
+            .collect();
+        let solvers: Vec<Box<dyn SparseRecovery>> = vec![
+            Box::new(AdmmLasso::default()),
+            Box::new(AdmmLasso::default().with_gap_tolerance(1e-9).unwrap()),
+            Box::new(AdmmLasso::default().with_nonnegative(false)),
+            Box::new(BasisPursuit::default()),
+        ];
+        for solver in &solvers {
+            let mut ws = SolverWorkspace::new();
+            let multi = solver.recover_multi(&a, &ys, &mut ws).unwrap();
+            assert_eq!(multi.len(), ys.len());
+            for (y, rec) in ys.iter().zip(&multi) {
+                let solo = solver.recover(&a, y).unwrap();
+                assert_eq!(rec.solution, solo.solution, "{} drifted", solver.name());
+                assert_eq!(rec.iterations, solo.iterations, "{}", solver.name());
+                assert_eq!(
+                    rec.residual_norm.to_bits(),
+                    solo.residual_norm.to_bits(),
+                    "{} residual drifted",
+                    solver.name()
+                );
+                assert_eq!(rec.converged, solo.converged, "{}", solver.name());
+            }
+        }
     }
 
     #[test]

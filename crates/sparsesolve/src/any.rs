@@ -75,22 +75,58 @@ fn record_solve(name: &'static str, result: &Result<Recovery>) {
     }
     reg.counter(&format!("sparsesolve.{name}.solves")).inc();
     match result {
-        Ok(rec) => {
-            reg.histogram(
-                &format!("sparsesolve.{name}.iterations"),
-                crowdwifi_obs::ITERATION_BOUNDS,
-            )
-            .observe(rec.iterations as f64);
-            if !rec.converged {
-                reg.counter(&format!("sparsesolve.{name}.unconverged"))
-                    .inc();
+        Ok(rec) => record_recovery(reg, name, rec),
+        Err(_) => {
+            reg.counter(&format!("sparsesolve.{name}.errors")).inc();
+        }
+    }
+}
+
+/// The per-[`Recovery`] portion of [`record_solve`], shared with the
+/// batched path (which records one outcome per right-hand side).
+fn record_recovery(reg: &crowdwifi_obs::Registry, name: &'static str, rec: &Recovery) {
+    reg.histogram(
+        &format!("sparsesolve.{name}.iterations"),
+        crowdwifi_obs::ITERATION_BOUNDS,
+    )
+    .observe(rec.iterations as f64);
+    if !rec.converged {
+        reg.counter(&format!("sparsesolve.{name}.unconverged"))
+            .inc();
+    }
+    // Acceleration accounting: columns removed by gap-safe
+    // screening and iteration-budget headroom from early stops.
+    reg.counter(&format!("sparsesolve.{name}.screened_cols"))
+        .add(rec.screened_cols as u64);
+    reg.counter(&format!("sparsesolve.{name}.iterations_saved"))
+        .add(rec.iterations_saved as u64);
+}
+
+/// Records one batched multi-RHS solve: per-column outcomes under the
+/// solver-family keys (so batched and solo solves aggregate together)
+/// plus `sparsesolve.kernel.*` counters tracking how much work the
+/// batched entry point absorbs and which kernel dispatch served it.
+fn record_multi(name: &'static str, rhs: usize, result: &Result<Vec<Recovery>>) {
+    let reg = crowdwifi_obs::global();
+    if !reg.is_enabled() {
+        return;
+    }
+    reg.counter("sparsesolve.kernel.batches").inc();
+    reg.counter("sparsesolve.kernel.batched_rhs")
+        .add(rhs as u64);
+    let mode = if crowdwifi_linalg::kernels::vectorized() {
+        "sparsesolve.kernel.vectorized_batches"
+    } else {
+        "sparsesolve.kernel.scalar_batches"
+    };
+    reg.counter(mode).inc();
+    match result {
+        Ok(recs) => {
+            reg.counter(&format!("sparsesolve.{name}.solves"))
+                .add(recs.len() as u64);
+            for rec in recs {
+                record_recovery(reg, name, rec);
             }
-            // Acceleration accounting: columns removed by gap-safe
-            // screening and iteration-budget headroom from early stops.
-            reg.counter(&format!("sparsesolve.{name}.screened_cols"))
-                .add(rec.screened_cols as u64);
-            reg.counter(&format!("sparsesolve.{name}.iterations_saved"))
-                .add(rec.iterations_saved as u64);
         }
         Err(_) => {
             reg.counter(&format!("sparsesolve.{name}.errors")).inc();
@@ -120,6 +156,23 @@ impl SparseRecovery for AnySolver {
             AnySolver::Irls(s) => s.recover_with(a, y, ws),
         };
         record_solve(self.name(), &result);
+        result
+    }
+
+    fn recover_multi(
+        &self,
+        a: &Matrix,
+        ys: &[Vec<f64>],
+        ws: &mut SolverWorkspace,
+    ) -> Result<Vec<Recovery>> {
+        let result = match self {
+            AnySolver::Fista(s) => s.recover_multi(a, ys, ws),
+            AnySolver::AdmmLasso(s) => s.recover_multi(a, ys, ws),
+            AnySolver::BasisPursuit(s) => s.recover_multi(a, ys, ws),
+            AnySolver::Omp(s) => s.recover_multi(a, ys, ws),
+            AnySolver::Irls(s) => s.recover_multi(a, ys, ws),
+        };
+        record_multi(self.name(), ys.len(), &result);
         result
     }
 

@@ -238,6 +238,29 @@ impl SparseRecovery for Fista {
         }
     }
 
+    fn recover_multi(
+        &self,
+        a: &Matrix,
+        ys: &[Vec<f64>],
+        ws: &mut SolverWorkspace,
+    ) -> Result<Vec<Recovery>> {
+        ws.clear_warm_start();
+        for y in ys {
+            validate_problem(a, y)?;
+        }
+        if ys.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.screening {
+            // Screening compacts a per-column active set, so the columns
+            // stop sharing one operator after the first drop; fall back
+            // to the per-column loop (each solve keeps its own
+            // screening benefit).
+            return ys.iter().map(|y| self.recover_with(a, y, ws)).collect();
+        }
+        self.recover_lockstep(a, ys, ws)
+    }
+
     fn name(&self) -> &'static str {
         match self.acceleration {
             Acceleration::Nesterov => "fista",
@@ -566,6 +589,212 @@ impl Fista {
             },
         })
     }
+
+    /// Batched multi-RHS solve: every column marches in lockstep
+    /// through the proximal-gradient iteration, sharing one Lipschitz
+    /// estimate, one optional Gram matrix, and — via the batched
+    /// kernels — one traversal of `A` (and `Aᵀ`) per gradient pass
+    /// instead of one per column. Columns freeze as they converge.
+    ///
+    /// Each column's [`Recovery`] is bit-identical to a cold standalone
+    /// [`SparseRecovery::recover_with`]: batching only changes *which
+    /// column* is touched when, never the arithmetic sequence within a
+    /// column.
+    fn recover_lockstep(
+        &self,
+        a: &Matrix,
+        ys: &[Vec<f64>],
+        ws: &mut SolverWorkspace,
+    ) -> Result<Vec<Recovery>> {
+        let n = a.cols();
+        let k_cols = ys.len();
+
+        let lipschitz = match self.lipschitz {
+            Some(l) => l,
+            None => spectral_norm_sq(a, 30) * 1.02,
+        };
+        if lipschitz == 0.0 {
+            return Ok(ys
+                .iter()
+                .map(|y| Recovery {
+                    solution: vec![0.0; n],
+                    iterations: 0,
+                    residual_norm: vector::norm2(y),
+                    converged: true,
+                    screened_cols: 0,
+                    iterations_saved: 0,
+                })
+                .collect());
+        }
+        let step = 1.0 / lipschitz;
+
+        // One transposed pass computes every column's correlations Aᵀy.
+        let mut bs: Vec<Vec<f64>> = vec![Vec::new(); k_cols];
+        a.matvec_transposed_batch_into(ys, &mut bs);
+        let lambdas: Vec<f64> = bs
+            .iter()
+            .map(|b| self.lambda_rel * vector::norm_inf(b))
+            .collect();
+
+        let gram = self.gram_pays(a).then(|| a.gram());
+
+        let mut xs: Vec<Vec<f64>> = vec![vec![0.0; n]; k_cols];
+        let mut zs: Vec<Vec<f64>> = vec![vec![0.0; n]; k_cols];
+        let mut ts = vec![1.0_f64; k_cols];
+        let mut iterations = vec![0_usize; k_cols];
+        let mut converged = vec![false; k_cols];
+        let mut done = vec![false; k_cols];
+
+        // Batch scratch: `gather` stages the live columns' vectors
+        // (moved in and out, never copied) for the fused kernel passes;
+        // the rest are per-column outputs.
+        let mut gather: Vec<Vec<f64>> = Vec::with_capacity(k_cols);
+        let mut az: Vec<Vec<f64>> = vec![Vec::new(); k_cols];
+        let mut residuals: Vec<Vec<f64>> = vec![Vec::new(); k_cols];
+        let mut grads: Vec<Vec<f64>> = vec![Vec::new(); k_cols];
+
+        let mut live: Vec<usize> = (0..k_cols).collect();
+        let mut it = 0;
+        while !live.is_empty() && it < self.max_iterations {
+            it += 1;
+            // Gradients at z for all live columns: one batched A / Aᵀ
+            // traversal, or one shared-Gram pass per column.
+            match &gram {
+                Some(g) => {
+                    for (idx, &j) in live.iter().enumerate() {
+                        g.matvec_transposed_sub_into(&zs[j], &bs[j], &mut grads[idx]);
+                    }
+                }
+                None => {
+                    gather.clear();
+                    for &j in &live {
+                        gather.push(std::mem::take(&mut zs[j]));
+                    }
+                    a.matvec_batch_into(&gather, &mut az[..live.len()]);
+                    for (idx, &j) in live.iter().enumerate() {
+                        zs[j] = std::mem::take(&mut gather[idx]);
+                    }
+                    for (idx, &j) in live.iter().enumerate() {
+                        vector::sub_into(&az[idx], &ys[j], &mut residuals[idx]);
+                    }
+                    a.matvec_transposed_batch_into(
+                        &residuals[..live.len()],
+                        &mut grads[..live.len()],
+                    );
+                }
+            }
+
+            // Proximal + momentum step per column — the exact
+            // single-RHS iteration body, with `ws.x_alt` as the shared
+            // x_new scratch.
+            for (idx, &j) in live.iter().enumerate() {
+                iterations[j] = it;
+                ws.x_alt.clear();
+                ws.x_alt.extend_from_slice(&zs[j]);
+                vector::axpy(-step, &grads[idx], &mut ws.x_alt);
+                if self.nonnegative {
+                    soft_threshold_nonneg_vec(&mut ws.x_alt, step * lambdas[j]);
+                } else {
+                    soft_threshold_vec(&mut ws.x_alt, step * lambdas[j]);
+                }
+
+                let delta = vector::distance(&ws.x_alt, &xs[j]);
+                let scale = vector::norm2(&ws.x_alt).max(1e-12);
+
+                match self.acceleration {
+                    Acceleration::Nesterov => {
+                        let t_new = 0.5 * (1.0 + (1.0 + 4.0 * ts[j] * ts[j]).sqrt());
+                        let beta = (ts[j] - 1.0) / t_new;
+                        zs[j].clear();
+                        zs[j].extend(
+                            ws.x_alt
+                                .iter()
+                                .zip(&xs[j])
+                                .map(|(&xn, &xo)| xn + beta * (xn - xo)),
+                        );
+                        ts[j] = t_new;
+                    }
+                    Acceleration::None => {
+                        zs[j].clear();
+                        zs[j].extend_from_slice(&ws.x_alt);
+                    }
+                }
+                std::mem::swap(&mut xs[j], &mut ws.x_alt);
+
+                if delta <= self.tolerance * scale {
+                    done[j] = true;
+                    converged[j] = true;
+                }
+            }
+
+            // Periodic duality-gap certificate, batched across the
+            // columns still running — they share the iteration counter,
+            // so the every-GAP_CHECK_EVERY cadence lines up exactly
+            // with the single-RHS schedule.
+            if self.gap_tolerance > 0.0 && it % GAP_CHECK_EVERY == 0 {
+                let checking: Vec<usize> = live
+                    .iter()
+                    .copied()
+                    .filter(|&j| !done[j] && lambdas[j] > 0.0)
+                    .collect();
+                if !checking.is_empty() {
+                    gather.clear();
+                    for &j in &checking {
+                        gather.push(std::mem::take(&mut xs[j]));
+                    }
+                    a.matvec_batch_into(&gather, &mut az[..checking.len()]);
+                    for (idx, &j) in checking.iter().enumerate() {
+                        xs[j] = std::mem::take(&mut gather[idx]);
+                    }
+                    for (idx, &j) in checking.iter().enumerate() {
+                        // r = y − Ax, as in the single-RHS gap check.
+                        vector::sub_into(&ys[j], &az[idx], &mut residuals[idx]);
+                    }
+                    a.matvec_transposed_batch_into(
+                        &residuals[..checking.len()],
+                        &mut grads[..checking.len()],
+                    );
+                    for (idx, &j) in checking.iter().enumerate() {
+                        let gap = duality_gap(
+                            &ys[j],
+                            &residuals[idx],
+                            &grads[idx],
+                            vector::norm1(&xs[j]),
+                            lambdas[j],
+                            self.nonnegative,
+                        );
+                        if gap.gap <= self.gap_tolerance * gap.primal.max(1e-300) {
+                            done[j] = true;
+                            converged[j] = true;
+                        }
+                    }
+                }
+            }
+
+            live.retain(|&j| !done[j]);
+        }
+
+        // Final residuals: one batched pass over all solutions.
+        a.matvec_batch_into(&xs, &mut az);
+        let mut out = Vec::with_capacity(k_cols);
+        for (j, x) in xs.into_iter().enumerate() {
+            vector::sub_into(&az[j], &ys[j], &mut ws.m_scratch2);
+            let residual_norm = vector::norm2(&ws.m_scratch2);
+            out.push(Recovery {
+                solution: x,
+                iterations: iterations[j],
+                residual_norm,
+                converged: converged[j],
+                screened_cols: 0,
+                iterations_saved: if converged[j] {
+                    self.max_iterations - iterations[j]
+                } else {
+                    0
+                },
+            });
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -821,6 +1050,114 @@ mod tests {
             Fista::default().recover(&a, &[1.0; 3]),
             Err(SolverError::ShapeMismatch { .. })
         ));
+    }
+
+    fn batch_problem(m: usize, n: usize, seed: u64, rhs: usize) -> (Matrix, Vec<Vec<f64>>) {
+        let a = bernoulli_matrix(m, n, seed);
+        let ys = (0..rhs)
+            .map(|s| {
+                let mut theta = vec![0.0; n];
+                theta[(5 + 11 * s) % n] = 1.0 + s as f64 * 0.25;
+                theta[(37 * (s + 1)) % n] = 0.8;
+                a.matvec(&theta)
+            })
+            .collect();
+        (a, ys)
+    }
+
+    /// The batched entry point's contract: every column of
+    /// `recover_multi` is bit-identical to a cold standalone
+    /// `recover_with`, across the classic path, every acceleration
+    /// feature, and the screening fallback.
+    #[test]
+    fn multi_rhs_matches_solo_bitwise() {
+        let configs = [
+            Fista::default(),
+            Fista::default()
+                .with_acceleration(Acceleration::None)
+                .with_max_iterations(400),
+            Fista::default().with_gap_tolerance(1e-9).unwrap(),
+            Fista::default().with_gram(true),
+            Fista::default().with_nonnegative(false),
+            Fista::default().with_fixed_lipschitz(1.5).unwrap(),
+            Fista::default()
+                .with_screening(true)
+                .with_gap_tolerance(1e-9)
+                .unwrap(),
+        ];
+        // Wide (two-pass gradients) and narrow (Gram pays) shapes.
+        let problems = [batch_problem(20, 56, 31, 4), batch_problem(24, 40, 43, 3)];
+        for solver in &configs {
+            for (a, ys) in &problems {
+                let mut ws = SolverWorkspace::new();
+                let multi = solver.recover_multi(a, ys, &mut ws).unwrap();
+                assert_eq!(multi.len(), ys.len());
+                for (y, rec) in ys.iter().zip(&multi) {
+                    let solo = solver
+                        .recover_with(a, y, &mut SolverWorkspace::new())
+                        .unwrap();
+                    assert_eq!(rec.solution, solo.solution, "{} drifted", solver.name());
+                    assert_eq!(rec.iterations, solo.iterations, "{}", solver.name());
+                    assert_eq!(
+                        rec.residual_norm.to_bits(),
+                        solo.residual_norm.to_bits(),
+                        "{} residual drifted",
+                        solver.name()
+                    );
+                    assert_eq!(rec.converged, solo.converged, "{}", solver.name());
+                    assert_eq!(rec.screened_cols, solo.screened_cols, "{}", solver.name());
+                    assert_eq!(
+                        rec.iterations_saved,
+                        solo.iterations_saved,
+                        "{}",
+                        solver.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// A pending warm-start seed (inherently per-column) must be
+    /// dropped by the batched path: every column starts cold.
+    #[test]
+    fn multi_rhs_ignores_pending_warm_start() {
+        let (a, ys) = batch_problem(16, 32, 19, 2);
+        let solver = Fista::default().with_gap_tolerance(1e-8).unwrap();
+        let cold = solver.recover(&a, &ys[0]).unwrap();
+        let mut ws = SolverWorkspace::new();
+        ws.set_warm_start(&cold.solution);
+        let multi = solver.recover_multi(&a, &ys, &mut ws).unwrap();
+        assert!(!ws.has_warm_start(), "seed must be cleared");
+        assert_eq!(multi[0].solution, cold.solution);
+        assert_eq!(multi[0].iterations, cold.iterations);
+    }
+
+    #[test]
+    fn multi_rhs_edge_cases() {
+        let a = bernoulli_matrix(8, 16, 3);
+        let mut ws = SolverWorkspace::new();
+        assert!(Fista::default()
+            .recover_multi(&a, &[], &mut ws)
+            .unwrap()
+            .is_empty());
+        let bad = vec![vec![1.0; 7]];
+        assert!(matches!(
+            Fista::default().recover_multi(&a, &bad, &mut ws),
+            Err(SolverError::ShapeMismatch { .. })
+        ));
+        // Zero operator: every column is the zero solution.
+        let z = Matrix::zeros(4, 8);
+        let ys = vec![vec![1.0; 4], vec![2.0; 4]];
+        let recs = Fista::default().recover_multi(&z, &ys, &mut ws).unwrap();
+        for (rec, y) in recs.iter().zip(&ys) {
+            assert!(rec.converged);
+            assert_eq!(rec.solution, vec![0.0; 8]);
+            assert_eq!(
+                rec.residual_norm.to_bits(),
+                vector::norm2(y).to_bits(),
+                "zero-operator residual must be ‖y‖"
+            );
+        }
     }
 
     #[test]

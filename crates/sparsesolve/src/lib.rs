@@ -174,6 +174,38 @@ pub trait SparseRecovery {
         self.recover(a, y)
     }
 
+    /// Recovers one sparse vector per right-hand side in `ys`, all
+    /// sharing the sensing matrix `a` — the batched entry point for
+    /// call sites that solve many programs against one operator (the
+    /// CS pipeline's per-window group solves, the SVD-application step
+    /// of the orthogonalization).
+    ///
+    /// Each returned [`Recovery`] is **bit-identical** to what a
+    /// standalone [`SparseRecovery::recover_with`] on that column would
+    /// produce from a cold start; batching only amortizes the work the
+    /// columns share (Lipschitz estimation, Gram/Cholesky
+    /// factorizations, matrix traversals). Because a warm-start seed is
+    /// inherently per-column, any pending seed in `ws` is cleared
+    /// before the batch so every column starts cold.
+    ///
+    /// The default implementation is the per-column loop; solvers with
+    /// shareable per-operator work (`Fista`, `AdmmLasso`,
+    /// `BasisPursuit`) override it.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`SparseRecovery::recover_with`],
+    /// applied to every column.
+    fn recover_multi(
+        &self,
+        a: &Matrix,
+        ys: &[Vec<f64>],
+        ws: &mut SolverWorkspace,
+    ) -> Result<Vec<Recovery>> {
+        ws.clear_warm_start();
+        ys.iter().map(|y| self.recover_with(a, y, ws)).collect()
+    }
+
     /// Short human-readable solver name (used in benches and logs).
     fn name(&self) -> &'static str;
 }

@@ -75,6 +75,12 @@ impl SolverWorkspace {
         self.warm_set
     }
 
+    /// Drops any pending warm-start seed (batched solves always start
+    /// cold — a seed is inherently per-column).
+    pub(crate) fn clear_warm_start(&mut self) {
+        self.warm_set = false;
+    }
+
     /// Consumes the pending seed if it matches a problem with `n`
     /// columns. Always clears the pending flag.
     pub(crate) fn take_warm_start(&mut self, n: usize) -> Option<Vec<f64>> {
@@ -163,6 +169,54 @@ mod tests {
                     solver.name()
                 );
                 assert_eq!(fresh.converged, reused.converged, "{}", solver.name());
+            }
+        }
+    }
+
+    /// The batched contract, for every family through the `AnySolver`
+    /// dispatch: `recover_multi` on a shared (dirty) workspace returns,
+    /// per column, exactly the `Recovery` of a fresh cold `recover`.
+    #[test]
+    fn recover_multi_is_bit_identical_per_column() {
+        let solvers = [
+            AnySolver::Fista(Fista::default()),
+            AnySolver::Fista(Fista::default().with_acceleration(Acceleration::None)),
+            AnySolver::AdmmLasso(AdmmLasso::default()),
+            AnySolver::BasisPursuit(BasisPursuit::default()),
+            AnySolver::Irls(Irls::default()),
+            AnySolver::Omp(Omp::new(4)),
+        ];
+        let (a, _) = problem(20, 44, 9, &[]);
+        let ys: Vec<Vec<f64>> = [vec![3, 17], vec![8, 40], vec![25]]
+            .iter()
+            .map(|support| {
+                let mut theta = vec![0.0; 44];
+                for &j in support {
+                    theta[j] = 1.0;
+                }
+                a.matvec(&theta)
+            })
+            .collect();
+        for solver in &solvers {
+            let mut ws = SolverWorkspace::new();
+            let multi = solver.recover_multi(&a, &ys, &mut ws).unwrap();
+            assert_eq!(multi.len(), ys.len());
+            for (y, rec) in ys.iter().zip(&multi) {
+                let solo = solver.recover(&a, y).unwrap();
+                assert_eq!(
+                    rec.solution,
+                    solo.solution,
+                    "{} batched solution drifted",
+                    solver.name()
+                );
+                assert_eq!(rec.iterations, solo.iterations, "{}", solver.name());
+                assert_eq!(
+                    rec.residual_norm.to_bits(),
+                    solo.residual_norm.to_bits(),
+                    "{} residual drifted",
+                    solver.name()
+                );
+                assert_eq!(rec.converged, solo.converged, "{}", solver.name());
             }
         }
     }

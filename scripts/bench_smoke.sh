@@ -61,6 +61,22 @@ gate "solver workspace speedup" "$(num "$P" speedup)" ">=" 1.02
 # unaccelerated path (smoke mode replays the same drive, so the ratio
 # does not move with repetitions).
 gate "l1 iteration reduction" "$(num "$P" iteration_reduction)" ">=" 0.30
+# The vectorized-kernel + fused-factorization layer must keep a real
+# wall-clock margin over the scalar/unfused path. Both legs run the
+# *same* binary, so the scalar leg also benefits from this PR's shared
+# algorithmic wins (eigensolver restructure, cached BIC refinement):
+# the honest in-binary ratio sits at 1.4-1.65x on a quiet core (the
+# committed full run records 1.64x; against PR 5's committed accel wall
+# the new path is 2.05x). Smoke repetitions on a shared core are noisy,
+# so the gate is a regression floor under the measured band, not the
+# headline.
+gate "kernel accel wall speedup" "$(num "$P" kernel_wall_speedup)" ">=" 1.3
+if ! grep -q '"kernel_support_identical": true' "$P"; then
+    echo "FAIL: kernel_accel support not identical between kernel paths" >&2
+    fail=1
+else
+    echo "  ok: kernel accel support identical"
+fi
 # Enabled recording budget is 2% of pipeline time; the smoke gate
 # allows noise on top of it. The disabled path must stay a few atomic
 # loads (nanoseconds), since it is compiled into every hot loop.

@@ -31,18 +31,33 @@ cargo test -q --workspace --doc
 # paths (crashes, stragglers, lossy links); run it by name so a
 # workspace filter can never silently skip it.
 cargo test -q --test failure_injection
+# The vectorized kernels must match the scalar reference bit for bit
+# across shapes, ragged tails and non-finite inputs; run the property
+# suite by name so a workspace filter can never silently skip it, and
+# run it under both dispatch modes so the batch entry points are pinned
+# on each path.
+cargo test -q -p crowdwifi-linalg --test kernel_equivalence
+CROWDWIFI_FORCE_SCALAR=1 cargo test -q -p crowdwifi-linalg --test kernel_equivalence
 # Cross-backend determinism: same seed + fault plan must produce
 # byte-identical deterministic projections on the threaded runtime and
-# the virtual-clock simulator.
+# the virtual-clock simulator. Run twice — default dispatch and with
+# the scalar kernels pinned — so the byte-equivalence contract is
+# proven independent of the kernel path.
 cargo test -q --test transport_equivalence
+CROWDWIFI_FORCE_SCALAR=1 cargo test -q --test transport_equivalence
 # The solver-acceleration layer must never change what is recovered:
 # gap-safe screening has to land on the same minimizer as the plain
 # solve (property test), and the accelerated campus drive must keep the
 # unaccelerated support while cutting >=30% of total l1 iterations.
-# Run both by name so a workspace filter can never silently skip them.
+# Run both by name so a workspace filter can never silently skip them,
+# and under both kernel dispatch modes: the solver invariants may not
+# depend on which kernel path computed them.
 cargo test -q -p crowdwifi-sparsesolve --test recovery_properties \
     screening_preserves_support_and_solution
+CROWDWIFI_FORCE_SCALAR=1 cargo test -q -p crowdwifi-sparsesolve --test recovery_properties \
+    screening_preserves_support_and_solution
 cargo test -q --test solver_accel
+CROWDWIFI_FORCE_SCALAR=1 cargo test -q --test solver_accel
 # The observability layer ships a compile-out mode; it must stay green
 # with recording compiled to nothing.
 cargo test -q -p crowdwifi-obs --no-default-features

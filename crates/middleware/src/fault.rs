@@ -26,7 +26,7 @@ use crate::{MiddlewareError, Result};
 use crossbeam::channel::{SendError, Sender};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -59,6 +59,8 @@ pub struct FaultTally {
     dropped: AtomicU64,
     duplicated: AtomicU64,
     delayed: AtomicU64,
+    server_crashes: AtomicU64,
+    torn_wal_tails: AtomicU64,
 }
 
 impl FaultTally {
@@ -82,9 +84,34 @@ impl FaultTally {
         self.delayed.load(Ordering::Relaxed)
     }
 
+    /// Injected server crashes (any [`ServerFault`] variant).
+    pub fn server_crashes(&self) -> u64 {
+        self.server_crashes.load(Ordering::Relaxed)
+    }
+
+    /// Injected crashes that also mangled the WAL tail (truncation or
+    /// corruption).
+    pub fn torn_wal_tails(&self) -> u64 {
+        self.torn_wal_tails.load(Ordering::Relaxed)
+    }
+
     /// Total injected faults of any kind.
     pub fn total(&self) -> u64 {
-        self.dropped() + self.duplicated() + self.delayed()
+        self.dropped()
+            + self.duplicated()
+            + self.delayed()
+            + self.server_crashes()
+            + self.torn_wal_tails()
+    }
+
+    /// Records one injected server crash.
+    pub(crate) fn count_server_crash(&self) {
+        self.server_crashes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one injected torn WAL tail.
+    pub(crate) fn count_torn_wal_tail(&self) {
+        self.torn_wal_tails.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -119,6 +146,30 @@ impl Misbehavior {
     }
 }
 
+/// A scheduled crash of the *server* process, keyed to the index of
+/// the event being handled when it fires. The crash model is
+/// append-then-apply against the durability write-ahead log: what a
+/// restart recovers depends on where in that sequence the process
+/// died and what state the log was left in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerFault {
+    /// The process dies before the in-flight event reaches the log:
+    /// that event is lost outright, exactly like a message the network
+    /// never delivered.
+    CrashBeforeAppend,
+    /// The process dies after the event is logged but before any of
+    /// its effects (sends, acks) leave the building: recovery replays
+    /// the event, its outputs are re-derived or retried.
+    CrashAfterAppend,
+    /// The process dies after appending, and the unsynced log suffix
+    /// loses its last `n` bytes (a torn write at the tail).
+    CrashTruncateTail(usize),
+    /// The process dies after appending, and the last byte of the log
+    /// is corrupted — recovery must detect the bad CRC and drop the
+    /// torn tail.
+    CrashCorruptTail,
+}
+
 /// Direction of a platform link, used to key per-link RNG streams.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkDirection {
@@ -150,6 +201,13 @@ pub struct FaultPlan {
     /// Maximum number of later messages a delayed message lets pass.
     pub max_delay: usize,
     vehicle_faults: BTreeMap<VehicleId, Misbehavior>,
+    /// Server crash schedule, keyed by the 0-based index of the event
+    /// the server is handling when the crash fires. Each entry fires
+    /// at most once.
+    server_faults: BTreeMap<u64, ServerFault>,
+    /// Campaign snapshot writes (by 0-based write sequence) that are
+    /// torn mid-write.
+    torn_snapshots: BTreeSet<u64>,
 }
 
 impl Default for FaultPlan {
@@ -168,6 +226,8 @@ impl FaultPlan {
             delay_prob: 0.0,
             max_delay: 2,
             vehicle_faults: BTreeMap::new(),
+            server_faults: BTreeMap::new(),
+            torn_snapshots: BTreeSet::new(),
         }
     }
 
@@ -199,6 +259,40 @@ impl FaultPlan {
     /// The misbehavior scheduled for `vehicle`, if any.
     pub fn misbehavior(&self, vehicle: VehicleId) -> Option<Misbehavior> {
         self.vehicle_faults.get(&vehicle).copied()
+    }
+
+    /// Schedules a server crash at the event with 0-based sequence
+    /// index `event_index`. The decision is a pure function of the
+    /// index, so the same plan over the same event stream always
+    /// crashes at the same place — the chaos harness's replayability
+    /// contract.
+    pub fn server_crash(mut self, event_index: u64, fault: ServerFault) -> Self {
+        self.server_faults.insert(event_index, fault);
+        self
+    }
+
+    /// Schedules the campaign snapshot with write sequence `seq` to be
+    /// torn mid-write.
+    pub fn torn_snapshot(mut self, seq: u64) -> Self {
+        self.torn_snapshots.insert(seq);
+        self
+    }
+
+    /// The server crash scheduled for the event at `event_index`, if
+    /// any.
+    pub fn server_fault(&self, event_index: u64) -> Option<ServerFault> {
+        self.server_faults.get(&event_index).copied()
+    }
+
+    /// Whether any server-side crash is scheduled.
+    pub fn has_server_faults(&self) -> bool {
+        !self.server_faults.is_empty()
+    }
+
+    /// Whether the snapshot write with sequence `seq` is scheduled to
+    /// be torn.
+    pub fn snapshot_torn(&self, seq: u64) -> bool {
+        self.torn_snapshots.contains(&seq)
     }
 
     /// Whether the plan perturbs messages at all.
@@ -505,6 +599,25 @@ mod tests {
             tally.total(),
             tally.dropped() + tally.duplicated() + tally.delayed()
         );
+    }
+
+    #[test]
+    fn server_crash_schedule_is_a_pure_function_of_the_index() {
+        let plan = FaultPlan::none()
+            .server_crash(3, ServerFault::CrashBeforeAppend)
+            .server_crash(9, ServerFault::CrashTruncateTail(5))
+            .torn_snapshot(1);
+        assert_eq!(plan.server_fault(3), Some(ServerFault::CrashBeforeAppend));
+        assert_eq!(
+            plan.server_fault(9),
+            Some(ServerFault::CrashTruncateTail(5))
+        );
+        assert_eq!(plan.server_fault(4), None);
+        assert!(plan.has_server_faults());
+        assert!(!FaultPlan::none().has_server_faults());
+        assert!(plan.snapshot_torn(1));
+        assert!(!plan.snapshot_torn(0));
+        assert!(plan.validate().is_ok());
     }
 
     #[test]

@@ -40,6 +40,7 @@
 
 #![deny(missing_docs)]
 
+pub mod durability;
 pub mod fault;
 pub mod messages;
 pub mod platform;
@@ -67,6 +68,9 @@ pub enum MiddlewareError {
     Crowd(String),
     /// A wire-encoded message or segment map failed to decode.
     Codec(String),
+    /// The durability layer failed: write-ahead-log or snapshot I/O
+    /// broke, or a recovered server diverged from the logged history.
+    Durability(String),
     /// Too few vehicles survived the round to meet the completion
     /// quorum: `alive` out of `total` finished, `required` were needed.
     QuorumLost {
@@ -87,6 +91,7 @@ impl std::fmt::Display for MiddlewareError {
             MiddlewareError::Estimator(e) => write!(f, "estimator failure: {e}"),
             MiddlewareError::Crowd(e) => write!(f, "crowdsourcing failure: {e}"),
             MiddlewareError::Codec(e) => write!(f, "codec failure: {e}"),
+            MiddlewareError::Durability(e) => write!(f, "durability failure: {e}"),
             MiddlewareError::QuorumLost {
                 alive,
                 required,

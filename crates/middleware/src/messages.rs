@@ -163,6 +163,12 @@ impl<'a> TokenReader<'a> {
             .map_err(|_| codec_err(format!("bad u32 token {t:?}")))
     }
 
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        let t = self.next()?;
+        t.parse()
+            .map_err(|_| codec_err(format!("bad u64 token {t:?}")))
+    }
+
     pub(crate) fn usize(&mut self) -> Result<usize> {
         let t = self.next()?;
         t.parse()
@@ -225,7 +231,7 @@ impl<'a> TokenReader<'a> {
 /// Caps a length prefix read from the wire so a malformed message
 /// cannot force a huge allocation before the (inevitable) truncation
 /// error surfaces.
-fn wire_capacity(n: usize) -> usize {
+pub(crate) fn wire_capacity(n: usize) -> usize {
     n.min(1024)
 }
 

@@ -33,6 +33,9 @@ pub enum VehicleFate {
     /// Its link closed (with every other outstanding vehicle) before
     /// responding.
     Vanished(RoundPhase),
+    /// It sent a frame that failed to decode; the server stopped
+    /// trusting it rather than fail the round.
+    Quarantined,
 }
 
 /// Per-vehicle fate plus how many retries it cost the server.
@@ -51,6 +54,7 @@ pub fn fate_label(fate: &VehicleFate) -> &'static str {
         VehicleFate::Reported(_) => "reported",
         VehicleFate::TimedOut(_) => "timed_out",
         VehicleFate::Vanished(_) => "vanished",
+        VehicleFate::Quarantined => "quarantined",
     }
 }
 
@@ -70,5 +74,6 @@ mod tests {
             fate_label(&VehicleFate::Vanished(RoundPhase::Labeling)),
             "vanished"
         );
+        assert_eq!(fate_label(&VehicleFate::Quarantined), "quarantined");
     }
 }

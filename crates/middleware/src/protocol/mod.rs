@@ -43,6 +43,7 @@ pub use shards::{ShardState, ShardTable, ShardedDatabase};
 
 use self::quorum::RoundLedger;
 use self::rounds::{LabelingState, DEAD_RELIABILITY_FACTOR};
+use crate::messages::{codec_err, push_str, push_u64, TokenReader};
 use crate::messages::{MappingTask, ToServer, ToVehicle, VehicleId};
 use crate::segment::SegmentMap;
 use crate::server::CrowdServer;
@@ -103,7 +104,7 @@ pub struct TimerId {
 
 /// A stimulus fed into [`ServerCore::handle`], stamped with the
 /// driver's current instant.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Event {
     /// A message arrived from a vehicle.
     Message {
@@ -126,6 +127,67 @@ pub enum Event {
         /// Driver time at disconnect.
         now: VirtualInstant,
     },
+}
+
+impl Event {
+    /// Encodes the event for the durability write-ahead log, using the
+    /// same token codec as the protocol messages: `EM` (message, with
+    /// the inner [`ToServer`] wire string nested as one string token),
+    /// `ET` (timer fired) or `EL` (links closed), each stamped with the
+    /// event's virtual timestamp in microseconds.
+    pub fn to_wire(&self) -> String {
+        let mut out = String::new();
+        match self {
+            Event::Message { now, from, msg } => {
+                out.push_str("EM");
+                push_u64(&mut out, now.as_micros());
+                push_u64(&mut out, u64::from(from.0));
+                push_str(&mut out, &msg.to_wire());
+            }
+            Event::TimerFired { now, timer } => {
+                out.push_str("ET");
+                push_u64(&mut out, now.as_micros());
+                push_u64(&mut out, u64::from(timer.vehicle.0));
+                push_u64(&mut out, timer.generation);
+            }
+            Event::LinksClosed { now } => {
+                out.push_str("EL");
+                push_u64(&mut out, now.as_micros());
+            }
+        }
+        out
+    }
+
+    /// Decodes an event produced by [`Event::to_wire`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MiddlewareError::Codec`] on unknown tags, truncated
+    /// input, malformed tokens, or trailing garbage.
+    pub fn from_wire(s: &str) -> Result<Self> {
+        let mut r = TokenReader::new(s);
+        let event = match r.tag()? {
+            "EM" => {
+                let now = VirtualInstant::from_micros(r.u64()?);
+                let from = VehicleId(r.u32()?);
+                let msg = ToServer::from_wire(&r.string()?)?;
+                Event::Message { now, from, msg }
+            }
+            "ET" => Event::TimerFired {
+                now: VirtualInstant::from_micros(r.u64()?),
+                timer: TimerId {
+                    vehicle: VehicleId(r.u32()?),
+                    generation: r.u64()?,
+                },
+            },
+            "EL" => Event::LinksClosed {
+                now: VirtualInstant::from_micros(r.u64()?),
+            },
+            t => return Err(codec_err(format!("unknown Event tag {t:?}"))),
+        };
+        r.finish()?;
+        Ok(event)
+    }
 }
 
 /// An effect the driver must perform on behalf of the core.
@@ -223,6 +285,78 @@ impl ServerCore {
         })
     }
 
+    /// Rebuilds a crashed server from its durable round history: a
+    /// fresh core is built exactly as [`ServerCore::new`] would, started
+    /// at [`VirtualInstant::ZERO`], and the logged events are replayed
+    /// in order. Because the protocol RNG is seeded from the config and
+    /// consumed only at phase transitions, the replayed core is
+    /// byte-identical (see [`ServerCore::state_digest`]) to a server
+    /// that processed the same events without crashing.
+    ///
+    /// Returns the recovered core together with the replay's surviving
+    /// actions: every `SetTimer` — with its **original** deadline, so
+    /// generation-tagged timers re-arm correctly against the virtual
+    /// clock (a past-due deadline simply fires at the driver's next
+    /// check) — plus any terminal `Completed`/`Failed`. `Send` actions
+    /// are dropped: the crash already lost them, and the deadline/retry
+    /// machinery re-sends whatever still matters.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServerCore::new`].
+    pub fn recover(
+        segments: SegmentMap,
+        fleet: &[VehicleId],
+        config: PlatformConfig,
+        registry: Registry,
+        events: &[Event],
+    ) -> Result<(Self, Vec<Action>)> {
+        let mut core = ServerCore::new(segments, fleet, config, registry)?;
+        let mut survived = core.start(VirtualInstant::ZERO);
+        for event in events {
+            survived.extend(core.handle(event.clone()));
+        }
+        survived.retain(|a| !matches!(a, Action::Send { .. }));
+        Ok((core, survived))
+    }
+
+    /// A deterministic fingerprint of the full protocol state —
+    /// everything that decides future behavior (phase, ledger, labeling
+    /// book, shard table, RNG stream position, crowd-server state), and
+    /// nothing that does not (the metrics registry, whose timing
+    /// histograms are driver-dependent). Two cores with equal digests
+    /// respond identically to every future event sequence; the chaos
+    /// harness uses this to verify a recovered server against the
+    /// never-crashed one.
+    pub fn state_digest(&self) -> String {
+        format!(
+            "phase={:?} started={:?} finished={} waiting={:?} gens={:?} rng={:?} \
+             fates={:?} retries={:?} dead={:?} outstanding={:?} answered={:?} \
+             reassigned={} lost={} shards={:?} server={:?}",
+            self.phase,
+            self.phase_started,
+            self.finished,
+            self.waiting,
+            self.timer_gen,
+            self.rng,
+            self.ledger.fates,
+            self.ledger.retries,
+            self.ledger.dead,
+            self.labeling.outstanding,
+            self.labeling.answered,
+            self.labeling.reassigned,
+            self.labeling.lost,
+            self.shards,
+            self.server,
+        )
+    }
+
+    /// A handle on the registry this core records its metrics into
+    /// (clones share state).
+    pub(crate) fn registry_handle(&self) -> Registry {
+        self.registry.clone()
+    }
+
     /// Whether the round has emitted [`Action::Completed`] or
     /// [`Action::Failed`]; all later events are ignored.
     pub fn is_finished(&self) -> bool {
@@ -251,6 +385,52 @@ impl ServerCore {
             Event::TimerFired { now, timer } => self.on_timer(now, timer),
             Event::LinksClosed { now } => self.on_links_closed(now),
         }
+    }
+
+    /// Decodes one raw wire frame from `from` and feeds it through the
+    /// state machine. A frame that fails to decode **quarantines its
+    /// sender** instead of failing the round: the vehicle is declared
+    /// dead with [`VehicleFate::Quarantined`], its outstanding work is
+    /// reassigned, and the `platform.quarantine` counter is bumped —
+    /// one malformed (or malicious) frame must never cost the other
+    /// vehicles their round.
+    pub fn handle_frame(
+        &mut self,
+        now: VirtualInstant,
+        from: VehicleId,
+        frame: &str,
+    ) -> Vec<Action> {
+        if self.finished {
+            return Vec::new();
+        }
+        match ToServer::from_wire(frame) {
+            Ok(msg) => self.on_message(now, from, msg),
+            Err(_) => self.quarantine(now, from),
+        }
+    }
+
+    /// Declares `from` dead with [`VehicleFate::Quarantined`] after a
+    /// malformed frame, keeping the round alive for everyone else.
+    fn quarantine(&mut self, now: VirtualInstant, from: VehicleId) -> Vec<Action> {
+        if self.ledger.dead.contains(&from) || !self.server.vehicles().contains(&from) {
+            return Vec::new();
+        }
+        self.registry.counter("platform.quarantine").inc();
+        let mut actions = Vec::new();
+        self.ledger
+            .mark_dead(&mut self.server, from, VehicleFate::Quarantined);
+        match self.phase {
+            Phase::Uploads => {
+                self.disarm(from);
+                self.maybe_finish_uploads(now, &mut actions);
+            }
+            Phase::Labeling => {
+                self.reassign(now, from, &mut actions);
+                self.maybe_finish_labeling(now, &mut actions);
+            }
+            Phase::Done => {}
+        }
+        actions
     }
 
     /// Arms (or re-arms) `v`'s deadline; any previously armed timer for

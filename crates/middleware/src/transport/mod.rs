@@ -23,15 +23,63 @@ mod thread;
 pub use sim::SimTransport;
 pub use thread::ThreadTransport;
 
+use crate::durability::{LogSink, SnapshotStore};
 use crate::fault::{FaultPlan, FaultTally};
 use crate::protocol::rounds::smooth_reliabilities;
-use crate::protocol::{PlatformConfig, PlatformReport, ShardedDatabase};
+use crate::protocol::{Action, Event, PlatformConfig, PlatformReport, ServerCore, ShardedDatabase};
 use crate::segment::SegmentMap;
 use crate::vehicle::{CrowdVehicle, VehicleExit};
 use crate::{messages::VehicleId, MiddlewareError, Result};
 use crowdwifi_channel::RssReading;
 use crowdwifi_obs::Registry;
 use std::collections::BTreeMap;
+
+/// The server-shaped thing a backend's event loop drives: a bare
+/// [`ServerCore`], or the durability layer's crash-injecting
+/// [`crate::durability`] host wrapping one. Backends are generic over
+/// this, so the plain and durable round drivers are one loop.
+pub(crate) trait EventHost {
+    /// Starts the round (arms the initial deadlines).
+    ///
+    /// # Errors
+    ///
+    /// Durable hosts propagate log I/O failures.
+    fn begin(&mut self) -> Result<Vec<Action>>;
+
+    /// Feeds one event through the host.
+    ///
+    /// # Errors
+    ///
+    /// Durable hosts propagate log I/O and recovery failures.
+    fn handle(&mut self, event: Event) -> Result<Vec<Action>>;
+
+    /// End-of-round hook (final log sync, durability counters).
+    ///
+    /// # Errors
+    ///
+    /// Durable hosts propagate log I/O failures.
+    fn finish(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// The metrics registry the sealed report must snapshot. Fetched at
+    /// seal time because recovery replaces it with a fresh one.
+    fn registry(&self) -> Registry;
+}
+
+impl EventHost for ServerCore {
+    fn begin(&mut self) -> Result<Vec<Action>> {
+        Ok(self.start(crate::protocol::VirtualInstant::ZERO))
+    }
+
+    fn handle(&mut self, event: Event) -> Result<Vec<Action>> {
+        Ok(ServerCore::handle(self, event))
+    }
+
+    fn registry(&self) -> Registry {
+        self.registry_handle()
+    }
+}
 
 /// One round-running backend. Implementations drive the whole fleet
 /// plus the [`crate::protocol::ServerCore`] to completion and seal the
@@ -66,6 +114,26 @@ pub trait Transport {
     ) -> Result<PlatformReport> {
         self.run_round_with_faults(segments, fleet, config, &FaultPlan::none())
     }
+
+    /// Runs one crash-consistent round: every server event is
+    /// write-ahead logged to `wal` before it is applied, and the plan's
+    /// [`crate::fault::ServerFault`] schedule may kill and recover the
+    /// server mid-round. The report's metrics gain the `durability.*`
+    /// counters (appends, fsync batches, recoveries, truncated tails).
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::run_round_with_faults`], plus
+    /// [`MiddlewareError::Durability`] on log I/O failures or when a
+    /// recovered server's state diverges from the never-crashed one.
+    fn run_round_durable(
+        &self,
+        segments: SegmentMap,
+        fleet: Vec<(CrowdVehicle, Vec<RssReading>)>,
+        config: PlatformConfig,
+        plan: &FaultPlan,
+        wal: &mut dyn LogSink,
+    ) -> Result<PlatformReport>;
 }
 
 /// Result of a campaign: the per-round reports plus the sharded AP
@@ -139,6 +207,60 @@ pub fn run_campaign_with_faults_on<T: Transport + ?Sized>(
     Ok(CampaignOutcome { reports, database })
 }
 
+/// [`run_campaign_with_faults_on`] over the durable round driver:
+/// every round write-ahead logs into `wal` (surviving injected
+/// [`crate::fault::ServerFault`] crashes), and each round close writes
+/// a [`SnapshotStore`] snapshot of the campaign database and compacts
+/// the log — the snapshot owns everything up to its round, so the WAL
+/// only ever carries the round in flight. Round `i`'s snapshot write
+/// is torn when `plans[i].snapshot_torn(i)` says so.
+///
+/// # Errors
+///
+/// As [`run_campaign_with_faults_on`], plus
+/// [`MiddlewareError::Durability`] on log or snapshot I/O failures.
+#[allow(clippy::too_many_arguments)]
+pub fn run_durable_campaign_on<T: Transport + ?Sized>(
+    transport: &T,
+    segments: SegmentMap,
+    rounds: Vec<Vec<(CrowdVehicle, Vec<RssReading>)>>,
+    config: PlatformConfig,
+    smoothing: f64,
+    plans: &[FaultPlan],
+    wal: &mut dyn LogSink,
+    snapshots: &mut SnapshotStore,
+) -> Result<CampaignOutcome> {
+    if rounds.is_empty() {
+        return Err(MiddlewareError::InvalidConfig(
+            "campaign needs at least one round".to_string(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&smoothing) || !smoothing.is_finite() {
+        return Err(MiddlewareError::InvalidConfig(format!(
+            "smoothing must lie in [0, 1], got {smoothing}"
+        )));
+    }
+    let none = FaultPlan::none();
+    let mut long_run: BTreeMap<VehicleId, f64> = BTreeMap::new();
+    let mut reports = Vec::with_capacity(rounds.len());
+    let mut database = ShardedDatabase::new();
+    for (i, fleet) in rounds.into_iter().enumerate() {
+        let mut round_config = config;
+        round_config.seed = config.seed.wrapping_add(i as u64 * 1000);
+        let plan = plans.get(i).unwrap_or(&none);
+        let mut report =
+            transport.run_round_durable(segments.clone(), fleet, round_config, plan, &mut *wal)?;
+        smooth_reliabilities(&mut report, &mut long_run, smoothing);
+        database.absorb(i, &segments, &report.fused);
+        // Round close: snapshot the database, then compact the WAL —
+        // the snapshot now owns everything this round contributed.
+        snapshots.write(i, &database, plan.snapshot_torn(i as u64))?;
+        wal.reset(&[])?;
+        reports.push(report);
+    }
+    Ok(CampaignOutcome { reports, database })
+}
+
 /// Extracts a readable message from a caught panic payload.
 pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -169,6 +291,12 @@ pub(crate) fn seal_report(
     registry
         .counter("platform.faults.delayed")
         .add(tally.delayed());
+    registry
+        .counter("platform.faults.server_crashes")
+        .add(tally.server_crashes());
+    registry
+        .counter("platform.faults.torn_wal_tails")
+        .add(tally.torn_wal_tails());
     report.metrics = registry.snapshot();
     report
 }

@@ -8,6 +8,7 @@
 //! retry backoff) replays here in microseconds, with a bit-identical
 //! [`PlatformReport::deterministic`] projection.
 
+use crate::durability::{DurableRound, LogSink};
 use crate::fault::FaultPlan;
 use crate::fault::{FaultTally, FaultySender, LinkDirection, MessageSink};
 use crate::messages::{ToServer, ToVehicle, VehicleId};
@@ -15,7 +16,7 @@ use crate::protocol::{
     Action, Event, PlatformConfig, PlatformReport, ServerCore, TimerId, VirtualInstant,
 };
 use crate::segment::SegmentMap;
-use crate::transport::{panic_message, seal_report, Transport};
+use crate::transport::{panic_message, seal_report, EventHost, Transport};
 use crate::vehicle::{CrowdVehicle, VehicleCore, VehicleExit, VehicleStep};
 use crate::{MiddlewareError, Result};
 use crowdwifi_channel::RssReading;
@@ -44,6 +45,28 @@ impl Transport for SimTransport {
         plan: &FaultPlan,
     ) -> Result<PlatformReport> {
         sim_round(segments, fleet, config, plan)
+    }
+
+    fn run_round_durable(
+        &self,
+        segments: SegmentMap,
+        fleet: Vec<(CrowdVehicle, Vec<RssReading>)>,
+        config: PlatformConfig,
+        plan: &FaultPlan,
+        wal: &mut dyn LogSink,
+    ) -> Result<PlatformReport> {
+        let ids: Vec<VehicleId> = fleet.iter().map(|(v, _)| v.id()).collect();
+        plan.validate()?;
+        let tally = Arc::new(FaultTally::new());
+        let mut host = DurableRound::new(
+            segments.clone(),
+            &ids,
+            config,
+            plan,
+            wal,
+            Arc::clone(&tally),
+        )?;
+        sim_drive(&mut host, segments, fleet, config, plan, tally)
     }
 }
 
@@ -140,10 +163,22 @@ fn sim_round(
 ) -> Result<PlatformReport> {
     let ids: Vec<VehicleId> = fleet.iter().map(|(v, _)| v.id()).collect();
     let registry = Registry::new();
-    let mut core = ServerCore::new(segments.clone(), &ids, config, registry.clone())?;
+    let mut core = ServerCore::new(segments.clone(), &ids, config, registry)?;
     plan.validate()?;
     let tally = Arc::new(FaultTally::new());
+    sim_drive(&mut core, segments, fleet, config, plan, tally)
+}
 
+/// The simulator's event loop, generic over the server-shaped host so
+/// plain and durable (crash-injecting) rounds share one driver.
+fn sim_drive<H: EventHost>(
+    host: &mut H,
+    segments: SegmentMap,
+    fleet: Vec<(CrowdVehicle, Vec<RssReading>)>,
+    config: PlatformConfig,
+    plan: &FaultPlan,
+    tally: Arc<FaultTally>,
+) -> Result<PlatformReport> {
     let server_queue: Rc<RefCell<VecDeque<(VehicleId, ToServer)>>> =
         Rc::new(RefCell::new(VecDeque::new()));
     let mut vehicles: BTreeMap<VehicleId, SimVehicle> = BTreeMap::new();
@@ -183,7 +218,7 @@ fn sim_round(
     let mut timers: BTreeMap<TimerId, VirtualInstant> = BTreeMap::new();
     let mut outcome: Option<Result<PlatformReport>> = None;
 
-    apply(core.start(now), &mut downlinks, &mut timers, &mut outcome);
+    apply(host.begin()?, &mut downlinks, &mut timers, &mut outcome);
 
     // Every vehicle runs its drive "at once" (virtual time zero).
     for v in vehicles.values_mut() {
@@ -203,7 +238,7 @@ fn sim_round(
                 let Some((from, msg)) = next else { break };
                 progressed = true;
                 apply(
-                    core.handle(Event::Message { now, from, msg }),
+                    host.handle(Event::Message { now, from, msg })?,
                     &mut downlinks,
                     &mut timers,
                     &mut outcome,
@@ -224,16 +259,25 @@ fn sim_round(
         // Quiescent. If every uplink is closed the server would see a
         // disconnect; otherwise jump the clock to the next deadline.
         if vehicles.values().all(|v| v.uplink.is_none()) {
-            apply(
-                core.handle(Event::LinksClosed { now }),
-                &mut downlinks,
-                &mut timers,
-                &mut outcome,
-            );
-            if outcome.is_none() {
-                return Err(MiddlewareError::Crowd(
-                    "simulation stalled: links closed but round undecided".to_string(),
-                ));
+            // A crash-injecting host may consume the disconnect event
+            // itself (the crash eats it), so retry a bounded number of
+            // times — like a supervisor restarting the process and the
+            // runtime re-reporting the closed links.
+            for attempt in 0.. {
+                apply(
+                    host.handle(Event::LinksClosed { now })?,
+                    &mut downlinks,
+                    &mut timers,
+                    &mut outcome,
+                );
+                if outcome.is_some() {
+                    break;
+                }
+                if attempt >= 8 {
+                    return Err(MiddlewareError::Crowd(
+                        "simulation stalled: links closed but round undecided".to_string(),
+                    ));
+                }
             }
             continue;
         }
@@ -257,7 +301,7 @@ fn sim_round(
                 continue;
             }
             apply(
-                core.handle(Event::TimerFired { now, timer }),
+                host.handle(Event::TimerFired { now, timer })?,
                 &mut downlinks,
                 &mut timers,
                 &mut outcome,
@@ -281,7 +325,8 @@ fn sim_round(
             (id, exit)
         })
         .collect();
-    Ok(seal_report(report, exits, &registry, &tally))
+    host.finish()?;
+    Ok(seal_report(report, exits, &host.registry(), &tally))
 }
 
 fn apply(

@@ -3,13 +3,14 @@
 //! [`ServerCore`]; this driver only moves messages, keeps wall-clock
 //! timers, and stamps events with the elapsed time since round start.
 
+use crate::durability::{DurableRound, LogSink};
 use crate::fault::{FaultPlan, FaultTally, FaultySender, LinkDirection};
 use crate::messages::{ToServer, ToVehicle, VehicleId};
 use crate::protocol::{
     Action, Event, PlatformConfig, PlatformReport, ServerCore, TimerId, VirtualInstant,
 };
 use crate::segment::SegmentMap;
-use crate::transport::{panic_message, seal_report, Transport};
+use crate::transport::{panic_message, seal_report, EventHost, Transport};
 use crate::vehicle::{run_protocol, CrowdVehicle, VehicleCore, VehicleExit};
 use crate::Result;
 use crossbeam::channel::{self, RecvTimeoutError};
@@ -41,6 +42,30 @@ impl Transport for ThreadTransport {
     ) -> Result<PlatformReport> {
         thread_round(segments, fleet, config, plan)
     }
+
+    fn run_round_durable(
+        &self,
+        segments: SegmentMap,
+        fleet: Vec<(CrowdVehicle, Vec<RssReading>)>,
+        config: PlatformConfig,
+        plan: &FaultPlan,
+        wal: &mut dyn LogSink,
+    ) -> Result<PlatformReport> {
+        let ids: Vec<VehicleId> = fleet.iter().map(|(v, _)| v.id()).collect();
+        plan.validate()?;
+        let tally = Arc::new(FaultTally::new());
+        // The durable host lives on the scope's main thread only; the
+        // vehicle threads never touch it.
+        let host = DurableRound::new(
+            segments.clone(),
+            &ids,
+            config,
+            plan,
+            wal,
+            Arc::clone(&tally),
+        )?;
+        thread_drive_round(host, segments, fleet, config, plan, tally)
+    }
 }
 
 /// Server-side handle to one vehicle: the (possibly noisy) downlink
@@ -53,15 +78,30 @@ struct VehicleLink {
 
 fn thread_round(
     segments: SegmentMap,
-    mut fleet: Vec<(CrowdVehicle, Vec<RssReading>)>,
+    fleet: Vec<(CrowdVehicle, Vec<RssReading>)>,
     config: PlatformConfig,
     plan: &FaultPlan,
 ) -> Result<PlatformReport> {
     let ids: Vec<VehicleId> = fleet.iter().map(|(v, _)| v.id()).collect();
     let registry = Registry::new();
-    let mut core = ServerCore::new(segments.clone(), &ids, config, registry.clone())?;
+    let core = ServerCore::new(segments.clone(), &ids, config, registry)?;
     plan.validate()?;
     let tally = Arc::new(FaultTally::new());
+    thread_drive_round(core, segments, fleet, config, plan, tally)
+}
+
+/// Spawns the fleet and drives `host` to completion: the backend's
+/// shared round body, generic over the server-shaped host so plain and
+/// durable (crash-injecting) rounds use the same loop.
+fn thread_drive_round<H: EventHost>(
+    mut host: H,
+    segments: SegmentMap,
+    mut fleet: Vec<(CrowdVehicle, Vec<RssReading>)>,
+    config: PlatformConfig,
+    plan: &FaultPlan,
+    tally: Arc<FaultTally>,
+) -> Result<PlatformReport> {
+    let ids: Vec<VehicleId> = fleet.iter().map(|(v, _)| v.id()).collect();
 
     let (to_server_tx, to_server_rx) = channel::unbounded::<(VehicleId, ToServer)>();
     let mut links: BTreeMap<VehicleId, VehicleLink> = BTreeMap::new();
@@ -118,7 +158,7 @@ fn thread_round(
         }
         drop(to_server_tx);
 
-        let result = drive(&mut core, &to_server_rx, &mut links);
+        let result = drive(&mut host, &to_server_rx, &mut links);
         // Success or failure, release every vehicle before the scope
         // joins: dropping the downlinks turns any blocked `rx.recv()`
         // into a clean disconnect-and-exit. (On failure the core has
@@ -129,9 +169,10 @@ fn thread_round(
 
     let report = server_result?;
     let exits = exits.into_inner().expect("exit log lock");
+    host.finish()?;
     // Fault totals are read only after the scope joins, when every
     // sender (including the uplinks owned by vehicle threads) is done.
-    Ok(seal_report(report, exits, &registry, &tally))
+    Ok(seal_report(report, exits, &host.registry(), &tally))
 }
 
 /// Maps wall time onto the core's virtual clock: microseconds since
@@ -143,8 +184,8 @@ fn virtual_now(start: Instant) -> VirtualInstant {
 /// The event loop: waits for uplink messages up to the earliest armed
 /// deadline, fires due timers in (deadline, timer) order, and performs
 /// whatever actions the core returns.
-fn drive(
-    core: &mut ServerCore,
+fn drive<H: EventHost>(
+    host: &mut H,
     rx: &channel::Receiver<(VehicleId, ToServer)>,
     links: &mut BTreeMap<VehicleId, VehicleLink>,
 ) -> Result<PlatformReport> {
@@ -152,8 +193,7 @@ fn drive(
     let mut timers: BTreeMap<TimerId, VirtualInstant> = BTreeMap::new();
     let mut outcome: Option<Result<PlatformReport>> = None;
 
-    let actions = core.start(VirtualInstant::ZERO);
-    apply(actions, links, &mut timers, &mut outcome);
+    apply(host.begin()?, links, &mut timers, &mut outcome);
 
     while outcome.is_none() {
         // Fire every due timer, earliest deadline first. Stale
@@ -170,10 +210,10 @@ fn drive(
             if outcome.is_some() {
                 continue;
             }
-            let actions = core.handle(Event::TimerFired {
+            let actions = host.handle(Event::TimerFired {
                 now: virtual_now(start),
                 timer,
-            });
+            })?;
             apply(actions, links, &mut timers, &mut outcome);
         }
         if outcome.is_some() {
@@ -213,7 +253,7 @@ fn drive(
             },
         };
         if let Some(event) = event {
-            let actions = core.handle(event);
+            let actions = host.handle(event)?;
             apply(actions, links, &mut timers, &mut outcome);
         }
     }

@@ -88,6 +88,13 @@ gate "obs enabled counter ns" "$(num "$O" enabled_ns)" "<=" 500
 # threaded backend on a degraded round whose timeouts really sleep.
 gate "sim platform rounds/sec" "$(num "$R" sim_rounds_per_sec)" ">=" 0.2
 gate "sim vs threaded speedup" "$(num "$R" sim_speedup)" ">=" 1.5
+# Durability budgets: the write-ahead log must stay invisible next to
+# the estimator maths that dominates a round (the measured percentage
+# hovers around zero and can go negative with scheduler noise), and
+# crash recovery must replay a mid-round log far faster than vehicles
+# can fill one.
+gate "WAL overhead pct" "$(num "$R" wal_overhead_pct)" "<=" 5
+gate "recovery replay events/sec" "$(num "$R" recovery_replay_events_per_sec)" ">=" 50000
 
 if [ "$fail" -ne 0 ]; then
     echo "bench smoke: FAILED" >&2

@@ -45,6 +45,14 @@ CROWDWIFI_FORCE_SCALAR=1 cargo test -q -p crowdwifi-linalg --test kernel_equival
 # proven independent of the kernel path.
 cargo test -q --test transport_equivalence
 CROWDWIFI_FORCE_SCALAR=1 cargo test -q --test transport_equivalence
+# The chaos harness: deterministic server-kill schedules over durable
+# rounds on the simulator — crash before/after the WAL append, torn and
+# corrupted log tails, torn snapshot writes — each followed by replay
+# recovery and checked byte-identical against the fault-free round. Run
+# by name so a workspace filter can never silently skip it; the sweep
+# is trimmed from its 32-schedule default to keep the gate quick (all
+# four fault flavors are still covered — the test asserts so).
+CROWDWIFI_CHAOS_SCHEDULES=12 cargo test -q --test chaos_recovery
 # The solver-acceleration layer must never change what is recovered:
 # gap-safe screening has to land on the same minimizer as the plain
 # solve (property test), and the accelerated campus drive must keep the

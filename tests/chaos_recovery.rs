@@ -1,0 +1,346 @@
+//! The chaos harness: deterministic server-kill schedules over full
+//! crowdsensing rounds on the virtual-clock simulator.
+//!
+//! Every schedule in the sweep crashes the server at a different event
+//! index with a different [`ServerFault`] flavor — before the
+//! write-ahead append, after it, and with the log tail truncated or
+//! corrupted — then lets recovery rebuild the server from the log and
+//! the protocol's retry machinery repair whatever the crash dropped.
+//! The invariants asserted are the durability layer's contract:
+//!
+//! * the round still completes (a server crash is a recoverable event,
+//!   not a round-fatal one);
+//! * recovery happened and was counted;
+//! * whenever no vehicle died, the final fused segment map and the
+//!   inferred reliabilities are byte-identical to the fault-free run —
+//!   no acked contribution lost, no un-acked contribution
+//!   double-counted.
+//!
+//! The sweep size defaults to 32 schedules and can be reduced for
+//! quick CI runs via `CROWDWIFI_CHAOS_SCHEDULES`.
+
+use crowdwifi::channel::{PathLossModel, RssReading};
+use crowdwifi::core::pipeline::{OnlineCs, OnlineCsConfig};
+use crowdwifi::geo::{Point, Rect};
+use crowdwifi::middleware::durability::{read_wal, LogSink, MemorySink, SnapshotStore};
+use crowdwifi::middleware::fault::{FaultPlan, ServerFault};
+use crowdwifi::middleware::messages::VehicleId;
+use crowdwifi::middleware::platform::{FaultTolerance, PlatformConfig, PlatformReport};
+use crowdwifi::middleware::protocol::ServerCore;
+use crowdwifi::middleware::segment::SegmentMap;
+use crowdwifi::middleware::transport::{
+    run_campaign_on, run_durable_campaign_on, SimTransport, Transport,
+};
+use crowdwifi::middleware::vehicle::{Behavior, CrowdVehicle};
+use crowdwifi::obs::Registry;
+use std::time::Duration;
+
+/// Fading-free staggered drive past two roadside APs.
+fn drive(lane_offset: f64) -> Vec<RssReading> {
+    let model = PathLossModel::uci_campus();
+    let aps = [Point::new(60.0, 30.0), Point::new(220.0, 30.0)];
+    (0..50)
+        .map(|i| {
+            let p = Point::new(
+                6.0 * i as f64,
+                lane_offset + if (i / 5) % 2 == 0 { 0.0 } else { 12.0 },
+            );
+            let nearest = aps
+                .iter()
+                .min_by(|a, b| p.distance(**a).partial_cmp(&p.distance(**b)).unwrap())
+                .unwrap();
+            RssReading::new(p, model.mean_rss(p.distance(*nearest)), i as f64)
+        })
+        .collect()
+}
+
+fn segments() -> SegmentMap {
+    SegmentMap::new(
+        Rect::new(Point::new(0.0, -20.0), Point::new(300.0, 80.0)).unwrap(),
+        150.0,
+    )
+}
+
+fn fleet(n: u32) -> Vec<(CrowdVehicle, Vec<RssReading>)> {
+    (0..n)
+        .map(|v| {
+            let estimator =
+                OnlineCs::new(OnlineCsConfig::default(), PathLossModel::uci_campus()).unwrap();
+            (
+                CrowdVehicle::new(VehicleId(v), estimator, Behavior::Honest),
+                drive(v as f64 * 0.5),
+            )
+        })
+        .collect()
+}
+
+fn config() -> PlatformConfig {
+    PlatformConfig {
+        workers_per_task: 3,
+        seed: 7,
+        tolerance: FaultTolerance {
+            retry_backoff: Duration::from_millis(100),
+            ..FaultTolerance::default()
+        },
+        ..PlatformConfig::default()
+    }
+}
+
+fn counter(report: &PlatformReport, name: &str) -> u64 {
+    report.metrics.counters.get(name).copied().unwrap_or(0)
+}
+
+/// One fault-free durable round; also returns the WAL image left
+/// behind (header + every event of the round, uncompacted).
+fn durable_baseline() -> (PlatformReport, Vec<u8>) {
+    let mut wal = MemorySink::new();
+    let report = SimTransport
+        .run_round_durable(segments(), fleet(3), config(), &FaultPlan::none(), &mut wal)
+        .expect("fault-free durable round");
+    let bytes = wal.contents().expect("in-memory contents");
+    (report, bytes)
+}
+
+fn sweep_size() -> u64 {
+    std::env::var("CROWDWIFI_CHAOS_SCHEDULES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(32)
+}
+
+#[test]
+fn fault_free_durable_round_matches_plain_round_and_logs_everything() {
+    let plain = SimTransport
+        .run_round(segments(), fleet(3), config())
+        .expect("plain round");
+    let (durable, wal) = durable_baseline();
+
+    // Durability is transparent to the protocol outcome.
+    assert_eq!(
+        format!("{:?}", durable.fused),
+        format!("{:?}", plain.fused),
+        "WAL layer changed the fused map"
+    );
+    assert_eq!(
+        format!("{:?}", durable.outcome.reliabilities),
+        format!("{:?}", plain.outcome.reliabilities)
+    );
+    assert_eq!(durable.exits, plain.exits);
+
+    // Every event the server handled is in the log, and the log is a
+    // faithful transcript: appends == replayable events.
+    let replay = read_wal(&wal).expect("intact WAL");
+    assert_eq!(replay.dropped_tail_bytes, 0);
+    assert_eq!(
+        counter(&durable, "durability.appends"),
+        replay.events.len() as u64
+    );
+    assert!(counter(&durable, "durability.fsync_batches") >= 2);
+    assert_eq!(counter(&durable, "durability.recoveries"), 0);
+    assert_eq!(counter(&durable, "durability.truncated_tail"), 0);
+    assert_eq!(counter(&durable, "platform.faults.server_crashes"), 0);
+}
+
+/// Every WAL prefix replays to the exact state the live server had at
+/// that point: the byte-identity half of the crash-recovery contract,
+/// checked at every possible crash position of a real round.
+#[test]
+fn every_wal_prefix_recovers_to_the_live_server_state() {
+    let (_, wal) = durable_baseline();
+    let replay = read_wal(&wal).expect("intact WAL");
+    assert!(!replay.events.is_empty(), "round logged no events");
+
+    for k in 0..=replay.events.len() {
+        let prefix = &replay.events[..k];
+        let (recovered, _) = ServerCore::recover(
+            replay.header.segments.clone(),
+            &replay.header.fleet,
+            replay.header.config,
+            Registry::new(),
+            prefix,
+        )
+        .expect("prefix recovery");
+
+        // The reference: a live server stepped through the same
+        // events, never crashed, never recovered.
+        let mut live = ServerCore::new(
+            replay.header.segments.clone(),
+            &replay.header.fleet,
+            replay.header.config,
+            Registry::new(),
+        )
+        .expect("live server");
+        live.start(crowdwifi::middleware::protocol::VirtualInstant::ZERO);
+        for event in prefix {
+            live.handle(event.clone());
+        }
+        assert_eq!(
+            recovered.state_digest(),
+            live.state_digest(),
+            "replay diverged from live state after {k} events"
+        );
+    }
+}
+
+/// The seeded crash sweep: schedules cycle through all four server
+/// fault flavors at varying event indices. Every schedule must
+/// complete its round after in-flight recovery, and — whenever the
+/// crash cost no vehicle its round — converge to the exact fault-free
+/// fused map and reliabilities.
+#[test]
+fn seeded_crash_sweep_recovers_every_schedule() {
+    let plain = SimTransport
+        .run_round(segments(), fleet(3), config())
+        .expect("plain round");
+    let (_, wal) = durable_baseline();
+    let total_events = read_wal(&wal).expect("intact WAL").events.len() as u64;
+    assert!(total_events > 0);
+
+    let schedules = sweep_size();
+    let mut exercised = [false; 4];
+    for s in 0..schedules {
+        let fault = match s % 4 {
+            0 => ServerFault::CrashBeforeAppend,
+            1 => ServerFault::CrashAfterAppend,
+            2 => ServerFault::CrashTruncateTail(3 + (s % 37) as usize),
+            _ => ServerFault::CrashCorruptTail,
+        };
+        exercised[(s % 4) as usize] = true;
+        let idx = (s * 7 + 1) % total_events;
+        let plan = FaultPlan::none().server_crash(idx, fault);
+
+        let mut wal = MemorySink::new();
+        let report = SimTransport
+            .run_round_durable(segments(), fleet(3), config(), &plan, &mut wal)
+            .unwrap_or_else(|e| panic!("schedule {s} ({fault:?} at event {idx}) failed: {e}"));
+
+        assert_eq!(
+            counter(&report, "platform.faults.server_crashes"),
+            1,
+            "schedule {s} did not fire its crash"
+        );
+        assert!(
+            counter(&report, "durability.recoveries") >= 1,
+            "schedule {s} never recovered"
+        );
+        if matches!(
+            fault,
+            ServerFault::CrashTruncateTail(_) | ServerFault::CrashCorruptTail
+        ) {
+            assert_eq!(
+                counter(&report, "platform.faults.torn_wal_tails"),
+                1,
+                "schedule {s} lost its torn-tail count"
+            );
+        }
+
+        // The crash may cost retries (Degraded health) but, as long as
+        // every vehicle finished, the consolidated segment map and the
+        // inferred reliabilities must be byte-identical to the
+        // fault-free round: nothing acked was lost, nothing un-acked
+        // was double-counted.
+        if report.dead_vehicles().is_empty() {
+            assert_eq!(
+                format!("{:?}", report.fused),
+                format!("{:?}", plain.fused),
+                "schedule {s} ({fault:?} at event {idx}): fused map diverged"
+            );
+            assert_eq!(
+                format!("{:?}", report.outcome.reliabilities),
+                format!("{:?}", plain.outcome.reliabilities),
+                "schedule {s}: reliabilities diverged"
+            );
+        }
+    }
+    assert!(
+        exercised.iter().all(|&e| e),
+        "sweep too small to cover every ServerFault flavor"
+    );
+}
+
+/// Campaign-level durability: round-close snapshots alternate slots, a
+/// torn snapshot write never destroys the previous good one, and a
+/// mid-campaign server crash leaves the campaign database identical to
+/// the undisturbed run.
+#[test]
+fn durable_campaign_survives_torn_snapshots_and_mid_round_crashes() {
+    let rounds = || vec![fleet(3), fleet(3), fleet(3)];
+    let reference = run_campaign_on(&SimTransport, segments(), rounds(), config(), 0.5)
+        .expect("reference campaign");
+
+    // Round 1's snapshot write is torn, and round 1 also crashes the
+    // server mid-round.
+    let plans = [
+        FaultPlan::none(),
+        FaultPlan::none()
+            .server_crash(2, ServerFault::CrashAfterAppend)
+            .torn_snapshot(1),
+        FaultPlan::none(),
+    ];
+    let mut wal = MemorySink::new();
+    let mut snapshots = SnapshotStore::in_memory();
+    let outcome = run_durable_campaign_on(
+        &SimTransport,
+        segments(),
+        rounds(),
+        config(),
+        0.5,
+        &plans,
+        &mut wal,
+        &mut snapshots,
+    )
+    .expect("durable campaign");
+
+    assert_eq!(
+        format!("{:?}", outcome.database),
+        format!("{:?}", reference.database),
+        "crash-recovered campaign database diverged"
+    );
+    assert_eq!(snapshots.writes(), 3);
+    assert_eq!(snapshots.torn_writes(), 1);
+
+    // The newest intact snapshot is round 2's; round 1's torn write is
+    // invisible.
+    let loaded = snapshots
+        .load()
+        .expect("snapshot slots readable")
+        .expect("some snapshot intact");
+    assert_eq!(loaded.seq, 2);
+    assert_eq!(loaded.round, 2);
+    assert_eq!(
+        format!("{:?}", loaded.database),
+        format!("{:?}", outcome.database)
+    );
+
+    // Round close compacted the WAL: nothing left in flight.
+    assert!(wal.contents().expect("in-memory contents").is_empty());
+}
+
+/// A torn snapshot with no later round falls back to the previous good
+/// slot on load.
+#[test]
+fn torn_final_snapshot_falls_back_to_previous_slot() {
+    let rounds = || vec![fleet(3), fleet(3)];
+    let plans = [FaultPlan::none(), FaultPlan::none().torn_snapshot(1)];
+    let mut wal = MemorySink::new();
+    let mut snapshots = SnapshotStore::in_memory();
+    run_durable_campaign_on(
+        &SimTransport,
+        segments(),
+        rounds(),
+        config(),
+        0.5,
+        &plans,
+        &mut wal,
+        &mut snapshots,
+    )
+    .expect("durable campaign");
+
+    let loaded = snapshots
+        .load()
+        .expect("snapshot slots readable")
+        .expect("round 0 snapshot intact");
+    assert_eq!(loaded.seq, 0, "must fall back past the torn slot");
+    assert_eq!(loaded.round, 0);
+}

@@ -8,6 +8,7 @@
 use crowdwifi::channel::{PathLossModel, RssReading};
 use crowdwifi::core::pipeline::{OnlineCs, OnlineCsConfig};
 use crowdwifi::geo::{Point, Rect};
+use crowdwifi::middleware::durability::MemorySink;
 use crowdwifi::middleware::fault::{FaultPlan, FaultPoint};
 use crowdwifi::middleware::messages::VehicleId;
 use crowdwifi::middleware::platform::{FaultTolerance, PlatformConfig};
@@ -137,6 +138,95 @@ fn quorum_loss_fails_identically_on_both_backends() {
         .run_round_with_faults(segments(), fleet(3), config(), &plan)
         .expect_err("quorum must fail");
     assert_eq!(threaded, simulated);
+}
+
+#[test]
+fn injected_fault_tallies_are_backend_equivalent() {
+    // The observed fault totals land in the sealed report's metrics
+    // under the same names with the same values on both backends —
+    // the fault layer is keyed by per-link RNG streams, not by
+    // scheduling.
+    let plan = FaultPlan::noisy(13, 0.12, 0.08, 0.04)
+        .crash(VehicleId(1), FaultPoint::Upload)
+        .stall(VehicleId(3), FaultPoint::Answer);
+    let threaded = ThreadTransport
+        .run_round_with_faults(segments(), fleet(5), config(), &plan)
+        .expect("threaded round");
+    let simulated = SimTransport
+        .run_round_with_faults(segments(), fleet(5), config(), &plan)
+        .expect("simulated round");
+    for name in [
+        "platform.faults.dropped",
+        "platform.faults.duplicated",
+        "platform.faults.delayed",
+        "platform.faults.server_crashes",
+        "platform.faults.torn_wal_tails",
+    ] {
+        assert_eq!(
+            threaded.metrics.counters.get(name),
+            simulated.metrics.counters.get(name),
+            "injected-fault counter {name} diverged across backends"
+        );
+    }
+    // The schedule injected message noise, so something was counted.
+    assert!(
+        threaded
+            .metrics
+            .counters
+            .get("platform.faults.dropped")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "noise plan injected nothing — test is vacuous"
+    );
+}
+
+#[test]
+fn clean_durable_round_is_backend_equivalent() {
+    // With no injected crashes the WAL is a pure transcript, and its
+    // count-based fsync batching makes even the durability counters
+    // backend-identical: same events handled, same appends, same
+    // batches, zero recoveries.
+    let mut thread_wal = MemorySink::new();
+    let threaded = ThreadTransport
+        .run_round_durable(
+            segments(),
+            fleet(3),
+            config(),
+            &FaultPlan::none(),
+            &mut thread_wal,
+        )
+        .expect("threaded durable round");
+    let mut sim_wal = MemorySink::new();
+    let simulated = SimTransport
+        .run_round_durable(
+            segments(),
+            fleet(3),
+            config(),
+            &FaultPlan::none(),
+            &mut sim_wal,
+        )
+        .expect("simulated durable round");
+    assert_eq!(
+        format!("{:?}", threaded.deterministic()),
+        format!("{:?}", simulated.deterministic()),
+        "durable deterministic projections diverged"
+    );
+    assert_eq!(
+        threaded.metrics.deterministic().to_json(),
+        simulated.metrics.deterministic().to_json(),
+        "durable deterministic metrics diverged (durability.* included)"
+    );
+    for name in ["durability.appends", "durability.fsync_batches"] {
+        assert!(
+            threaded.metrics.counters.get(name).copied().unwrap_or(0) > 0,
+            "{name} missing from durable round metrics"
+        );
+    }
+    assert_eq!(
+        threaded.metrics.counters.get("durability.recoveries"),
+        Some(&0)
+    );
 }
 
 #[test]

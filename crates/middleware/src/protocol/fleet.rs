@@ -1,0 +1,457 @@
+//! Segment-sharded round core for fleet-scale rounds.
+//!
+//! [`FleetCore`] splits one round's server between a single **control
+//! plane** and many **data shards**:
+//!
+//! * the control plane is a plain [`ServerCore`] — phases, deadlines,
+//!   retries, quorum, fates and the protocol RNG all live there, so the
+//!   protocol semantics (and the RNG stream, which is consumed at phase
+//!   transitions) are exactly those of the unsharded core;
+//! * the data plane is a set of `SegmentShard`s, one per
+//!   segment-shard, routed by [`ShardRouter`]: every accepted upload's
+//!   estimates are bucketed per road segment and mirrored into the
+//!   owning shard, and at round close each shard fuses its own segments
+//!   independently (optionally in parallel across a worker budget).
+//!
+//! Cross-shard consolidation happens once, when the control plane emits
+//! [`Action::Completed`]: the per-shard fusion results are merged in
+//! segment-id order — the same order the in-line
+//! [`fuse_sharded`](super::shards::fuse_sharded) pass produces — the
+//! merged map is installed back into the control core, and the
+//! quorum/fate bookkeeping of the report is left untouched (it was
+//! computed by the control plane, which saw every vehicle). The result
+//! is byte-identical `state_digest` and fused maps to the unsharded
+//! core on the same seed and event sequence, which is what lets the
+//! fleet transport swap [`FleetCore`] in without perturbing a single
+//! test vector.
+
+use super::{Action, Event, PlatformConfig, ServerCore, VirtualInstant};
+use crate::messages::{ToServer, VehicleId};
+use crate::segment::{SegmentId, SegmentMap};
+use crate::Result;
+use crowdwifi_core::par::par_map;
+use crowdwifi_crowd::fusion::{fuse_submissions, FusedAp, Submission};
+use crowdwifi_geo::Point;
+use crowdwifi_obs::Registry;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Maps road segments onto segment-shards. Any deterministic
+/// segment-to-shard function preserves byte-equality with the in-line
+/// fusion pass, because consolidation re-merges per segment id; the
+/// modulo rule keeps neighbouring segments on different shards, which
+/// balances load when activity is spatially clustered.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRouter {
+    shard_count: usize,
+}
+
+impl ShardRouter {
+    /// A router over `shard_count` shards (clamped to at least one).
+    pub fn new(shard_count: usize) -> Self {
+        ShardRouter {
+            shard_count: shard_count.max(1),
+        }
+    }
+
+    /// Number of shards routed over.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// The shard owning `segment`.
+    pub fn shard_of(&self, segment: SegmentId) -> usize {
+        segment.0 as usize % self.shard_count
+    }
+}
+
+/// One data shard: the per-segment upload estimates it owns. Vehicles
+/// iterate in id order within each segment and positions keep their
+/// estimate order, so per-segment fusion sees submissions in exactly
+/// the order the unsharded pass builds them.
+#[derive(Debug, Default)]
+struct SegmentShard {
+    uploads: BTreeMap<SegmentId, BTreeMap<VehicleId, Vec<Point>>>,
+}
+
+impl SegmentShard {
+    fn insert(&mut self, segment: SegmentId, vehicle: VehicleId, positions: Vec<Point>) {
+        self.uploads
+            .entry(segment)
+            .or_default()
+            .insert(vehicle, positions);
+    }
+
+    fn remove(&mut self, segment: SegmentId, vehicle: VehicleId) {
+        if let Some(per_vehicle) = self.uploads.get_mut(&segment) {
+            per_vehicle.remove(&vehicle);
+            if per_vehicle.is_empty() {
+                self.uploads.remove(&segment);
+            }
+        }
+    }
+
+    /// Fuses every segment this shard owns, reproducing
+    /// [`fuse_sharded`](super::shards::fuse_sharded) per segment:
+    /// submissions in vehicle-id order, reliability defaulted to the
+    /// 0.5 prior and clamped, same `fuse_submissions` parameters.
+    fn fuse(
+        &self,
+        reliabilities: &BTreeMap<VehicleId, f64>,
+        merge_radius: f64,
+        spammer_cutoff: f64,
+    ) -> BTreeMap<SegmentId, Vec<FusedAp>> {
+        self.uploads
+            .iter()
+            .map(|(&segment, by_vehicle)| {
+                let subs: Vec<Submission> = by_vehicle
+                    .iter()
+                    .map(|(vehicle, positions)| {
+                        let reliability = reliabilities
+                            .get(vehicle)
+                            .copied()
+                            .unwrap_or(0.5)
+                            .clamp(0.0, 1.0);
+                        Submission::new(positions.clone(), reliability)
+                    })
+                    .collect();
+                (
+                    segment,
+                    fuse_submissions(&subs, merge_radius, spammer_cutoff, 0.0),
+                )
+            })
+            .collect()
+    }
+}
+
+/// A sharded [`ServerCore`]: one control plane plus per-segment-shard
+/// data cores, consolidated at round close. See the [module
+/// docs](self) for the split and the byte-equality argument.
+#[derive(Debug)]
+pub struct FleetCore {
+    control: ServerCore,
+    router: ShardRouter,
+    shards: Vec<SegmentShard>,
+    /// Segments each vehicle's current upload occupies, so a replacing
+    /// upload evicts its predecessor from every shard it touched.
+    placements: BTreeMap<VehicleId, Vec<SegmentId>>,
+    workers: usize,
+}
+
+impl FleetCore {
+    /// Builds the sharded core: the control plane is constructed
+    /// exactly as [`ServerCore::new`] (same validation, same RNG seed)
+    /// with in-core fusion deferred to consolidation. `shard_count`
+    /// and `workers` are clamped to at least one; `workers` bounds the
+    /// parallel fan-out of shard fusion at round close.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServerCore::new`].
+    pub fn new(
+        segments: SegmentMap,
+        fleet: &[VehicleId],
+        config: PlatformConfig,
+        registry: Registry,
+        shard_count: usize,
+        workers: usize,
+    ) -> Result<Self> {
+        let control = ServerCore::new(segments, fleet, config, registry)?.with_deferred_fusion();
+        let router = ShardRouter::new(shard_count);
+        let shards = (0..router.shard_count())
+            .map(|_| SegmentShard::default())
+            .collect();
+        Ok(FleetCore {
+            control,
+            router,
+            shards,
+            placements: BTreeMap::new(),
+            workers: workers.max(1),
+        })
+    }
+
+    /// The shard layout in force.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// Opens the round; see [`ServerCore::start`].
+    pub fn start(&mut self, now: VirtualInstant) -> Vec<Action> {
+        self.control.start(now)
+    }
+
+    /// Whether the round has completed or failed.
+    pub fn is_finished(&self) -> bool {
+        self.control.is_finished()
+    }
+
+    /// The control plane's state digest. After consolidation this is
+    /// byte-identical to an unsharded core fed the same events.
+    pub fn state_digest(&self) -> String {
+        self.control.state_digest()
+    }
+
+    /// A handle on the metrics registry (clones share state).
+    pub(crate) fn registry_handle(&self) -> Registry {
+        self.control.registry_handle()
+    }
+
+    /// Feeds one event through the control plane, mirrors any accepted
+    /// upload into the owning shards, and consolidates the data plane
+    /// when the control plane closes the round.
+    pub fn handle(&mut self, event: Event) -> Vec<Action> {
+        let upload_from = match &event {
+            Event::Message {
+                from,
+                msg: ToServer::Upload(_),
+                ..
+            } => Some(*from),
+            _ => None,
+        };
+        let mut actions = self.control.handle(event);
+        if let Some(vehicle) = upload_from {
+            self.sync_upload(vehicle);
+        }
+        self.consolidate(&mut actions);
+        actions
+    }
+
+    /// Mirrors `vehicle`'s stored upload (if the control plane accepted
+    /// one) into the data shards, evicting whatever that vehicle had
+    /// placed before — uploads replace, exactly like
+    /// [`CrowdServer::receive_upload`](crate::server::CrowdServer::receive_upload).
+    fn sync_upload(&mut self, vehicle: VehicleId) {
+        let Some(upload) = self.control.upload_of(vehicle) else {
+            return; // rejected (unknown sender) or consumed by an abort
+        };
+        let segments = self.control.segment_map();
+        let mut buckets: BTreeMap<SegmentId, Vec<Point>> = BTreeMap::new();
+        for est in &upload.estimates {
+            buckets
+                .entry(segments.segment_of(est.position))
+                .or_default()
+                .push(est.position);
+        }
+        if let Some(old) = self.placements.remove(&vehicle) {
+            for segment in old {
+                self.shards[self.router.shard_of(segment)].remove(segment, vehicle);
+            }
+        }
+        let mut placed = Vec::with_capacity(buckets.len());
+        for (segment, positions) in buckets {
+            self.shards[self.router.shard_of(segment)].insert(segment, vehicle, positions);
+            placed.push(segment);
+        }
+        self.placements.insert(vehicle, placed);
+    }
+
+    /// On [`Action::Completed`]: fuse every shard (fanning out across
+    /// the worker budget), merge per segment id, install the result
+    /// into both the report and the control core, and record the
+    /// `platform.shards.fused` gauge the in-line path would have set.
+    fn consolidate(&mut self, actions: &mut [Action]) {
+        for action in actions.iter_mut() {
+            let Action::Completed(report) = action else {
+                continue;
+            };
+            let (merge_radius, spammer_cutoff) = self.control.fusion_params();
+            let fused: Vec<FusedAp> = {
+                // Reliabilities in the sealed outcome already carry the
+                // dead-vehicle penalties and cover every registered
+                // vehicle, so they equal the crowd-server's internal
+                // map that in-line fusion reads.
+                let reliabilities = &report.outcome.reliabilities;
+                let per_shard = par_map(&self.shards, self.workers, |_, shard| {
+                    shard.fuse(reliabilities, merge_radius, spammer_cutoff)
+                });
+                // Shards own disjoint segment sets, so folding the
+                // per-shard maps re-creates the global segment-id order
+                // regardless of how segments were partitioned.
+                let mut merged: BTreeMap<SegmentId, Vec<FusedAp>> = BTreeMap::new();
+                for shard_result in per_shard {
+                    merged.extend(shard_result);
+                }
+                merged.into_values().flatten().collect()
+            };
+            let segments = self.control.segment_map();
+            let fused_segments: BTreeSet<SegmentId> = fused
+                .iter()
+                .map(|ap| segments.segment_of(ap.position))
+                .collect();
+            self.registry_handle()
+                .gauge("platform.shards.fused")
+                .set(fused_segments.len() as i64);
+            report.fused = fused.clone();
+            self.control.install_fused(fused);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{MappingAnswer, SensingUpload, ToVehicle};
+    use crowdwifi_core::ApEstimate;
+    use crowdwifi_geo::Rect;
+    use std::collections::VecDeque;
+
+    fn segments() -> SegmentMap {
+        SegmentMap::new(
+            Rect::new(Point::new(0.0, 0.0), Point::new(300.0, 300.0)).unwrap(),
+            150.0,
+        )
+    }
+
+    fn fleet() -> Vec<VehicleId> {
+        (0..5).map(VehicleId).collect()
+    }
+
+    fn upload(v: u32, shift: f64) -> ToServer {
+        // Each vehicle senses two APs in different segments so uploads
+        // straddle shards.
+        let base = 40.0 + f64::from(v) + shift;
+        ToServer::Upload(SensingUpload {
+            vehicle: VehicleId(v),
+            estimates: vec![
+                ApEstimate {
+                    position: Point::new(base, 60.0),
+                    credit: 2.0,
+                },
+                ApEstimate {
+                    position: Point::new(base + 160.0, 220.0),
+                    credit: 2.0,
+                },
+            ],
+        })
+    }
+
+    /// Drives a core through a fixed script: every vehicle uploads
+    /// (vehicle 0 twice, exercising upload replacement), then answers
+    /// every assigned task affirmatively. Returns the Completed report.
+    fn run_script<F>(mut start: Vec<Action>, mut handle: F) -> super::super::PlatformReport
+    where
+        F: FnMut(Event) -> Vec<Action>,
+    {
+        let mut queue: VecDeque<Event> = VecDeque::new();
+        let mut t = 0u64;
+        let next = |t: &mut u64| {
+            *t += 1_000;
+            VirtualInstant::from_micros(*t)
+        };
+        for v in 0..4 {
+            queue.push_back(Event::Message {
+                now: next(&mut t),
+                from: VehicleId(v),
+                msg: upload(v, 0.0),
+            });
+        }
+        // Replacement upload from vehicle 0 while uploads are open.
+        queue.push_back(Event::Message {
+            now: next(&mut t),
+            from: VehicleId(0),
+            msg: upload(0, 7.0),
+        });
+        queue.push_back(Event::Message {
+            now: next(&mut t),
+            from: VehicleId(4),
+            msg: upload(4, 0.0),
+        });
+        let mut report = None;
+        let mut pending: Vec<Action> = std::mem::take(&mut start);
+        loop {
+            for action in pending.drain(..) {
+                match action {
+                    Action::Send {
+                        to,
+                        msg: ToVehicle::Assign(tasks),
+                    } if !tasks.is_empty() => {
+                        let answers: Vec<MappingAnswer> = tasks
+                            .iter()
+                            .map(|task| MappingAnswer {
+                                vehicle: to,
+                                task_id: task.task_id,
+                                label: 1,
+                            })
+                            .collect();
+                        queue.push_back(Event::Message {
+                            now: next(&mut t),
+                            from: to,
+                            msg: ToServer::Answers(answers),
+                        });
+                    }
+                    Action::Completed(r) => report = Some(*r),
+                    Action::Failed(e) => panic!("round failed: {e}"),
+                    _ => {}
+                }
+            }
+            let Some(event) = queue.pop_front() else {
+                break;
+            };
+            pending = handle(event);
+        }
+        report.expect("round must complete")
+    }
+
+    #[test]
+    fn sharded_core_matches_inline_core_byte_for_byte() {
+        let config = PlatformConfig {
+            workers_per_task: 3,
+            seed: 11,
+            ..PlatformConfig::default()
+        };
+        let mut inline = ServerCore::new(segments(), &fleet(), config, Registry::new()).unwrap();
+        let inline_report = run_script(inline.start(VirtualInstant::ZERO), |e| inline.handle(e));
+        let mut sharded =
+            FleetCore::new(segments(), &fleet(), config, Registry::new(), 3, 2).unwrap();
+        let sharded_report = run_script(sharded.start(VirtualInstant::ZERO), |e| sharded.handle(e));
+
+        assert!(inline.is_finished() && sharded.is_finished());
+        assert_eq!(inline.state_digest(), sharded.state_digest());
+        assert!(!inline_report.fused.is_empty());
+        assert_eq!(
+            format!("{:?}", inline_report.fused),
+            format!("{:?}", sharded_report.fused)
+        );
+        assert_eq!(
+            format!("{:?}", inline_report.outcome),
+            format!("{:?}", sharded_report.outcome)
+        );
+        assert_eq!(inline_report.health, sharded_report.health);
+    }
+
+    #[test]
+    fn shard_count_does_not_change_the_fused_map() {
+        let config = PlatformConfig {
+            workers_per_task: 3,
+            seed: 23,
+            ..PlatformConfig::default()
+        };
+        let mut baseline: Option<(String, String)> = None;
+        for shard_count in [1usize, 2, 7] {
+            let mut core = FleetCore::new(
+                segments(),
+                &fleet(),
+                config,
+                Registry::new(),
+                shard_count,
+                1,
+            )
+            .unwrap();
+            let report = run_script(core.start(VirtualInstant::ZERO), |e| core.handle(e));
+            let key = (core.state_digest(), format!("{:?}", report.fused));
+            match &baseline {
+                None => baseline = Some(key),
+                Some(b) => assert_eq!(*b, key, "shard_count {shard_count} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn router_covers_all_shards_and_clamps() {
+        let router = ShardRouter::new(0);
+        assert_eq!(router.shard_count(), 1);
+        assert_eq!(router.shard_of(SegmentId(42)), 0);
+        let router = ShardRouter::new(4);
+        let hit: BTreeSet<usize> = (0..16).map(|s| router.shard_of(SegmentId(s))).collect();
+        assert_eq!(hit.len(), 4, "modulo routing uses every shard");
+    }
+}

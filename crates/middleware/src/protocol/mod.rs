@@ -32,11 +32,13 @@
 //! advances each segment independently.
 
 pub mod fates;
+pub mod fleet;
 pub mod quorum;
 pub mod rounds;
 pub mod shards;
 
 pub use fates::{FateRecord, RoundHealth, RoundPhase, VehicleFate};
+pub use fleet::{FleetCore, ShardRouter};
 pub use quorum::quorum_required;
 pub use rounds::{validate_config, FaultTolerance, PlatformConfig, PlatformReport};
 pub use shards::{ShardState, ShardTable, ShardedDatabase};
@@ -242,6 +244,11 @@ pub struct ServerCore {
     labeling: LabelingState,
     shards: ShardTable,
     finished: bool,
+    /// When set, round close skips the in-core fusion pass and reports
+    /// an empty fused map; the embedding [`FleetCore`] consolidates its
+    /// segment shards instead and installs the (byte-identical) merge
+    /// via [`ServerCore::install_fused`].
+    deferred_fusion: bool,
 }
 
 impl ServerCore {
@@ -282,7 +289,17 @@ impl ServerCore {
             labeling: LabelingState::default(),
             shards: ShardTable::default(),
             finished: false,
+            deferred_fusion: false,
         })
+    }
+
+    /// Defers round-close fusion to an external consolidator (the
+    /// sharded [`FleetCore`]): `maybe_finish_labeling` skips
+    /// `finalize_sharded` and the `platform.shards.fused` gauge, leaving
+    /// `PlatformReport::fused` empty for the consolidator to fill.
+    pub(crate) fn with_deferred_fusion(mut self) -> Self {
+        self.deferred_fusion = true;
+        self
     }
 
     /// Rebuilds a crashed server from its durable round history: a
@@ -357,6 +374,29 @@ impl ServerCore {
         self.registry.clone()
     }
 
+    /// The stored upload for `v`, if one arrived this round.
+    pub(crate) fn upload_of(&self, v: VehicleId) -> Option<&crate::messages::SensingUpload> {
+        self.server.upload_of(v)
+    }
+
+    /// The segment map this round runs over.
+    pub(crate) fn segment_map(&self) -> &SegmentMap {
+        self.server.segments()
+    }
+
+    /// `(merge_radius, spammer_cutoff)` — the fusion parameters an
+    /// external consolidator must reproduce.
+    pub(crate) fn fusion_params(&self) -> (f64, f64) {
+        (self.config.merge_radius, self.config.spammer_cutoff)
+    }
+
+    /// Installs an externally consolidated fused map, making the
+    /// crowd-server state (and hence [`ServerCore::state_digest`])
+    /// byte-identical to a core that fused in-line.
+    pub(crate) fn install_fused(&mut self, fused: Vec<crowdwifi_crowd::fusion::FusedAp>) {
+        self.server.set_fused(fused);
+    }
+
     /// Whether the round has emitted [`Action::Completed`] or
     /// [`Action::Failed`]; all later events are ignored.
     pub fn is_finished(&self) -> bool {
@@ -412,7 +452,7 @@ impl ServerCore {
     /// Declares `from` dead with [`VehicleFate::Quarantined`] after a
     /// malformed frame, keeping the round alive for everyone else.
     fn quarantine(&mut self, now: VirtualInstant, from: VehicleId) -> Vec<Action> {
-        if self.ledger.dead.contains(&from) || !self.server.vehicles().contains(&from) {
+        if self.ledger.dead.contains(&from) || !self.server.is_registered(from) {
             return Vec::new();
         }
         self.registry.counter("platform.quarantine").inc();
@@ -753,10 +793,13 @@ impl ServerCore {
             let q = self.server.penalize(v, DEAD_RELIABILITY_FACTOR);
             outcome.reliabilities.insert(v, q);
         }
-        let fused = self
-            .server
-            .finalize_sharded(self.config.merge_radius, self.config.spammer_cutoff)
-            .to_vec();
+        let fused = if self.deferred_fusion {
+            Vec::new()
+        } else {
+            self.server
+                .finalize_sharded(self.config.merge_radius, self.config.spammer_cutoff)
+                .to_vec()
+        };
         self.observe_phase("platform.phase.inference_seconds", now);
 
         let reassigned_tasks = self.labeling.reassigned;
@@ -816,12 +859,14 @@ impl ServerCore {
         reg.gauge("platform.quorum_margin")
             .set(alive as i64 - quorum_required(total, self.config.tolerance.quorum) as i64);
         reg.gauge("platform.shards").set(self.shards.len() as i64);
-        let fused_shards: BTreeSet<_> = fused
-            .iter()
-            .map(|ap| self.server.segments().segment_of(ap.position))
-            .collect();
-        reg.gauge("platform.shards.fused")
-            .set(fused_shards.len() as i64);
+        if !self.deferred_fusion {
+            let fused_shards: BTreeSet<_> = fused
+                .iter()
+                .map(|ap| self.server.segments().segment_of(ap.position))
+                .collect();
+            reg.gauge("platform.shards.fused")
+                .set(fused_shards.len() as i64);
+        }
 
         self.phase = Phase::Done;
         self.finished = true;

@@ -247,11 +247,17 @@ impl LabelingState {
         let alive = ledger.alive(server);
         // Per-vehicle load = labels already given + labels still owed;
         // picking the min keeps the degraded assignment as close to
-        // γ-balanced as the survivors allow.
+        // γ-balanced as the survivors allow. Done-counts come from one
+        // pass over `answered` rather than a scan per survivor, which
+        // matters when a fleet-scale round loses a vehicle late.
+        let mut done_counts: BTreeMap<VehicleId, usize> = BTreeMap::new();
+        for &(aw, _) in &self.answered {
+            *done_counts.entry(aw).or_insert(0) += 1;
+        }
         let mut load: BTreeMap<VehicleId, usize> = alive
             .iter()
             .map(|&w| {
-                let done = self.answered.iter().filter(|&&(aw, _)| aw == w).count();
+                let done = done_counts.get(&w).copied().unwrap_or(0);
                 let owed = self.outstanding.get(&w).map_or(0, |s| s.len());
                 (w, done + owed)
             })

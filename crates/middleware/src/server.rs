@@ -13,6 +13,14 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::BTreeMap;
 
+/// Participating-fleet size at which task assignment switches from the
+/// full-pool shuffle to index sampling. Small fleets keep the original
+/// RNG draw sequence (seed-stable against the existing test corpus);
+/// large fleets draw `workers_per_task` indices per task instead of
+/// shuffling the whole pool per task, turning an `O(tasks × fleet)`
+/// assignment into `O(tasks × workers_per_task)`.
+const SAMPLED_ASSIGNMENT_FLOOR: usize = 65;
+
 /// Outcome of one crowdsourcing round.
 #[derive(Debug, Clone)]
 pub struct RoundOutcome {
@@ -30,6 +38,9 @@ pub struct RoundOutcome {
 pub struct CrowdServer {
     segments: SegmentMap,
     vehicles: Vec<VehicleId>,
+    /// Set mirror of `vehicles` for `O(log n)` membership checks; the
+    /// `Vec` stays authoritative for registration order.
+    registered: std::collections::BTreeSet<VehicleId>,
     opted_out: std::collections::BTreeSet<VehicleId>,
     uploads: BTreeMap<VehicleId, SensingUpload>,
     patterns: Vec<Pattern>,
@@ -47,6 +58,7 @@ impl CrowdServer {
         CrowdServer {
             segments,
             vehicles: Vec::new(),
+            registered: std::collections::BTreeSet::new(),
             opted_out: std::collections::BTreeSet::new(),
             uploads: BTreeMap::new(),
             patterns: Vec::new(),
@@ -81,9 +93,14 @@ impl CrowdServer {
 
     /// Registers a crowd-vehicle (idempotent).
     pub fn register(&mut self, vehicle: VehicleId) {
-        if !self.vehicles.contains(&vehicle) {
+        if self.registered.insert(vehicle) {
             self.vehicles.push(vehicle);
         }
+    }
+
+    /// Whether a vehicle has been registered.
+    pub fn is_registered(&self, vehicle: VehicleId) -> bool {
+        self.registered.contains(&vehicle)
     }
 
     /// Registered vehicles, in registration order.
@@ -115,11 +132,16 @@ impl CrowdServer {
     /// Returns [`MiddlewareError::UnknownVehicle`] for unregistered
     /// senders.
     pub fn receive_upload(&mut self, upload: SensingUpload) -> Result<()> {
-        if !self.vehicles.contains(&upload.vehicle) {
+        if !self.registered.contains(&upload.vehicle) {
             return Err(MiddlewareError::UnknownVehicle(upload.vehicle.0));
         }
         self.uploads.insert(upload.vehicle, upload);
         Ok(())
+    }
+
+    /// The stored upload for a vehicle, if it has sent one this round.
+    pub fn upload_of(&self, vehicle: VehicleId) -> Option<&SensingUpload> {
+        self.uploads.get(&vehicle)
     }
 
     /// Generates the mapping-task pattern set: one pattern per segment
@@ -128,8 +150,13 @@ impl CrowdServer {
     /// bootstrapping, so the inference has negatives to reject).
     pub fn generate_patterns<R: Rng + ?Sized>(&mut self, bootstrap: usize, rng: &mut R) {
         self.patterns.clear();
-        // Candidate patterns from uploads, grouped per segment.
+        // Candidate patterns from uploads, grouped per segment. Two
+        // patterns can only be similar within one segment, so dedup
+        // scans a per-segment index instead of the whole pattern list —
+        // same accept/reject decisions, `O(uploads-per-segment)` per
+        // candidate instead of `O(total patterns)`.
         let mut seen_segments = std::collections::BTreeSet::new();
+        let mut by_segment_index: BTreeMap<crate::segment::SegmentId, Vec<usize>> = BTreeMap::new();
         for upload in self.uploads.values() {
             let mut by_segment: BTreeMap<_, Vec<Point>> = BTreeMap::new();
             for est in &upload.estimates {
@@ -141,11 +168,12 @@ impl CrowdServer {
             for (segment, aps) in by_segment {
                 seen_segments.insert(segment);
                 let pattern = Pattern { segment, aps };
-                if !self
-                    .patterns
+                let peers = by_segment_index.entry(segment).or_default();
+                if !peers
                     .iter()
-                    .any(|p| patterns_similar(p, &pattern, 15.0))
+                    .any(|&i| patterns_similar(&self.patterns[i], &pattern, 15.0))
                 {
+                    peers.push(self.patterns.len());
                     self.patterns.push(pattern);
                 }
             }
@@ -208,14 +236,35 @@ impl CrowdServer {
         }
         self.answers.clear();
         let mut out: BTreeMap<VehicleId, Vec<MappingTask>> = BTreeMap::new();
+        let sampled = participating.len() >= SAMPLED_ASSIGNMENT_FLOOR;
+        // Reusable index pool for the sampled path: a partial
+        // Fisher–Yates draws `workers_per_task` distinct entries per
+        // task; leaving the pool permuted between tasks keeps every
+        // draw uniform without re-shuffling (or re-allocating) it.
+        let mut pool_idx: Vec<usize> = if sampled {
+            (0..participating.len()).collect()
+        } else {
+            Vec::new()
+        };
         for (task_id, pattern) in self.patterns.iter().enumerate() {
-            let mut pool = participating.clone();
-            pool.shuffle(rng);
-            for &vehicle in pool.iter().take(workers_per_task) {
+            let assign = |out: &mut BTreeMap<VehicleId, Vec<MappingTask>>, vehicle: VehicleId| {
                 out.entry(vehicle).or_default().push(MappingTask {
                     task_id,
                     pattern: pattern.clone(),
                 });
+            };
+            if sampled {
+                for k in 0..workers_per_task {
+                    let j = rng.random_range(k..pool_idx.len());
+                    pool_idx.swap(k, j);
+                    assign(&mut out, participating[pool_idx[k]]);
+                }
+            } else {
+                let mut pool = participating.clone();
+                pool.shuffle(rng);
+                for &vehicle in pool.iter().take(workers_per_task) {
+                    assign(&mut out, vehicle);
+                }
             }
         }
         Ok(out)
@@ -369,6 +418,14 @@ impl CrowdServer {
     /// The fused AP database (empty before [`CrowdServer::finalize`]).
     pub fn fused(&self) -> &[FusedAp] {
         &self.fused
+    }
+
+    /// Installs an externally computed fused database. Shard
+    /// consolidation uses this to land the cross-shard merge so that
+    /// downloads and state digests match the single-core path byte for
+    /// byte.
+    pub(crate) fn set_fused(&mut self, fused: Vec<FusedAp>) {
+        self.fused = fused;
     }
 
     /// Serves a user-vehicle download: fused APs within `radius` of

@@ -1,7 +1,7 @@
 //! Pluggable transports driving the sans-I/O [`crate::protocol`] core.
 //!
 //! A transport owns everything the core refuses to: channels, clocks,
-//! scheduling, and the vehicle side of each link. Two backends ship:
+//! scheduling, and the vehicle side of each link. Three backends ship:
 //!
 //! * [`ThreadTransport`] — the original runtime: one scoped OS thread
 //!   per vehicle, crossbeam channels, wall-clock deadlines. Faithful to
@@ -12,15 +12,23 @@
 //!   by sleeping. A multi-second degraded round replays in
 //!   milliseconds, which is what makes fault-matrix testing and
 //!   rounds/sec benchmarking practical.
+//! * [`FleetTransport`] — the fleet-scale engine: vehicle sessions are
+//!   batched state machines multiplexed over a clamped worker pool
+//!   (not one thread or inline drain per vehicle), and the server is
+//!   the segment-sharded [`crate::protocol::FleetCore`]. Same virtual
+//!   clock, same fault layer, byte-identical same-seed rounds to
+//!   [`SimTransport`] at 10k–100k vehicles.
 //!
-//! Both backends wrap every link in the same [`crate::fault`] layer and
+//! All backends wrap every link in the same [`crate::fault`] layer and
 //! drive the same core, so a given seed + fault plan yields the same
-//! [`PlatformReport::deterministic`] projection on either.
+//! [`PlatformReport::deterministic`] projection on any of them.
 
+mod fleet;
 mod sim;
 mod thread;
 
-pub use sim::SimTransport;
+pub use fleet::FleetTransport;
+pub use sim::{sim_round_with_digest, SimTransport};
 pub use thread::ThreadTransport;
 
 use crate::durability::{LogSink, SnapshotStore};

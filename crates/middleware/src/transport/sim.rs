@@ -71,8 +71,9 @@ impl Transport for SimTransport {
 }
 
 /// A [`MessageSink`] backed by a shared in-memory queue; the sim's
-/// stand-in for a channel sender. Never disconnects.
-struct QueueSink<T>(Rc<RefCell<VecDeque<T>>>);
+/// stand-in for a channel sender. Never disconnects. Shared with the
+/// fleet backend, whose links are the same in-memory queues.
+pub(super) struct QueueSink<T>(pub(super) Rc<RefCell<VecDeque<T>>>);
 
 impl<T> MessageSink<T> for QueueSink<T> {
     fn deliver(&mut self, msg: T) -> std::result::Result<(), T> {
@@ -81,8 +82,8 @@ impl<T> MessageSink<T> for QueueSink<T> {
     }
 }
 
-type Uplink = FaultySender<(VehicleId, ToServer), QueueSink<(VehicleId, ToServer)>>;
-type Downlink = FaultySender<ToVehicle, QueueSink<ToVehicle>>;
+pub(super) type Uplink = FaultySender<(VehicleId, ToServer), QueueSink<(VehicleId, ToServer)>>;
+pub(super) type Downlink = FaultySender<ToVehicle, QueueSink<ToVehicle>>;
 
 /// One simulated vehicle: its pure state machine, its inbox queue, and
 /// its (noisy) uplink. The uplink is dropped the moment the vehicle
@@ -161,12 +162,31 @@ fn sim_round(
     config: PlatformConfig,
     plan: &FaultPlan,
 ) -> Result<PlatformReport> {
+    Ok(sim_round_with_digest(segments, fleet, config, plan)?.0)
+}
+
+/// Runs one faulted round on the simulator and returns the report
+/// together with the server core's final
+/// [`state_digest`](ServerCore::state_digest) — the reference string
+/// the fleet backend's equivalence tests compare byte-for-byte.
+///
+/// # Errors
+///
+/// As [`Transport::run_round_with_faults`].
+pub fn sim_round_with_digest(
+    segments: SegmentMap,
+    fleet: Vec<(CrowdVehicle, Vec<RssReading>)>,
+    config: PlatformConfig,
+    plan: &FaultPlan,
+) -> Result<(PlatformReport, String)> {
     let ids: Vec<VehicleId> = fleet.iter().map(|(v, _)| v.id()).collect();
     let registry = Registry::new();
     let mut core = ServerCore::new(segments.clone(), &ids, config, registry)?;
     plan.validate()?;
     let tally = Arc::new(FaultTally::new());
-    sim_drive(&mut core, segments, fleet, config, plan, tally)
+    let report = sim_drive(&mut core, segments, fleet, config, plan, tally)?;
+    let digest = core.state_digest();
+    Ok((report, digest))
 }
 
 /// The simulator's event loop, generic over the server-shaped host so
@@ -329,7 +349,10 @@ fn sim_drive<H: EventHost>(
     Ok(seal_report(report, exits, &host.registry(), &tally))
 }
 
-fn apply(
+/// Folds one batch of core actions into the driver state: sends go to
+/// the (faulty) downlinks, timers into the deadline map, terminal
+/// actions into `outcome`. Shared with the fleet backend.
+pub(super) fn apply(
     actions: Vec<Action>,
     downlinks: &mut BTreeMap<VehicleId, Downlink>,
     timers: &mut BTreeMap<TimerId, VirtualInstant>,

@@ -10,17 +10,40 @@
 # numbers in BENCH_pipeline.json / BENCH_obs.json: smoke repetitions on
 # a shared CI core are noisy, and the gate is for *regressions* (an
 # algorithmic win disappearing), not for benchmarking the runner.
+#
+# An optional first argument filters which benches run (and which gates
+# apply): "core" runs the pipeline/obs/platform benches, "fleet" runs
+# only the fleet-scale round bench (CI's fleet-smoke job), "all" (the
+# default) runs everything.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+only="${1:-all}"
+case "$only" in
+    all | core | fleet) ;;
+    *)
+        echo "usage: $0 [all|core|fleet]" >&2
+        exit 2
+        ;;
+esac
+run_core=1
+run_fleet=1
+[ "$only" = fleet ] && run_core=0
+[ "$only" = core ] && run_fleet=0
 
 export BENCH_OUT_DIR="${BENCH_OUT_DIR:-bench-artifacts}"
 export BENCH_SMOKE=1
 mkdir -p "$BENCH_OUT_DIR"
 
 cargo build -q --release -p crowdwifi-bench
-./target/release/pipeline_throughput
-./target/release/obs_overhead
-./target/release/platform_rounds
+if [ "$run_core" -eq 1 ]; then
+    ./target/release/pipeline_throughput
+    ./target/release/obs_overhead
+    ./target/release/platform_rounds
+fi
+if [ "$run_fleet" -eq 1 ]; then
+    ./target/release/fleet_rounds
+fi
 
 # Pulls a numeric field out of one of the bench JSONs (no python in the
 # gate; the emitters write one "key": value pair per occurrence).
@@ -45,8 +68,13 @@ gate() { # label value op threshold
 P="$BENCH_OUT_DIR/BENCH_pipeline.json"
 O="$BENCH_OUT_DIR/BENCH_obs.json"
 R="$BENCH_OUT_DIR/BENCH_platform.json"
+F="$BENCH_OUT_DIR/BENCH_fleet.json"
 
 echo "bench smoke thresholds:"
+if [ "$run_core" -eq 0 ]; then
+    echo "  (core benches skipped: filter '$only')"
+fi
+if [ "$run_core" -eq 1 ]; then
 # The machine-independent algorithmic gains over the seed
 # implementation must not regress away. The cold-path ratio sits near
 # 1.05-1.08 with ~±0.1 of scheduler noise in smoke runs (the solve
@@ -95,6 +123,25 @@ gate "sim vs threaded speedup" "$(num "$R" sim_speedup)" ">=" 1.5
 # can fill one.
 gate "WAL overhead pct" "$(num "$R" wal_overhead_pct)" "<=" 5
 gate "recovery replay events/sec" "$(num "$R" recovery_replay_events_per_sec)" ">=" 50000
+fi
+
+if [ "$run_fleet" -eq 1 ]; then
+# The fleet engine's headline: simulated vehicle-rounds per hour on a
+# faulted round. The smoke row is 2k vehicles; the committed full run
+# records ~15M/hour at 10k-100k on one core, so gating at the 1M
+# project target leaves an order of magnitude of headroom for a noisy
+# shared runner while still catching the engine going quadratic.
+gate "fleet vehicle-rounds/hour" "$(num "$F" headline_vehicle_rounds_per_hour)" ">=" 1000000
+# The bench refuses to time anything unless a small fleet on the
+# batched sharded engine was byte-identical to the reference simulator;
+# the written flag records that the assertion ran.
+if ! grep -q '"digest_match": true' "$F"; then
+    echo "FAIL: fleet round not byte-identical to the reference simulator" >&2
+    fail=1
+else
+    echo "  ok: fleet round matches sim byte-for-byte"
+fi
+fi
 
 if [ "$fail" -ne 0 ]; then
     echo "bench smoke: FAILED" >&2

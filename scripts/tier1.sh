@@ -45,6 +45,13 @@ CROWDWIFI_FORCE_SCALAR=1 cargo test -q -p crowdwifi-linalg --test kernel_equival
 # proven independent of the kernel path.
 cargo test -q --test transport_equivalence
 CROWDWIFI_FORCE_SCALAR=1 cargo test -q --test transport_equivalence
+# The fleet-scale engine's contract is byte-equality with the reference
+# simulator: batched session multiplexing and segment-sharded fusion
+# may never change a round's outcome, digest or metrics. The fleet_*
+# tests live in the same suite, but run them by name too so a future
+# test filter can never silently drop the contract (release mode: a
+# faulted multi-vehicle round per test is slow unoptimized).
+cargo test -q --release --test transport_equivalence fleet_
 # The chaos harness: deterministic server-kill schedules over durable
 # rounds on the simulator — crash before/after the WAL append, torn and
 # corrupted log tails, torn snapshot writes — each followed by replay

@@ -14,7 +14,8 @@ use crowdwifi::middleware::messages::VehicleId;
 use crowdwifi::middleware::platform::{FaultTolerance, PlatformConfig};
 use crowdwifi::middleware::segment::SegmentMap;
 use crowdwifi::middleware::transport::{
-    run_campaign_with_faults_on, SimTransport, ThreadTransport, Transport,
+    run_campaign_with_faults_on, sim_round_with_digest, FleetTransport, SimTransport,
+    ThreadTransport, Transport,
 };
 use crowdwifi::middleware::vehicle::{Behavior, CrowdVehicle};
 use std::time::Duration;
@@ -226,6 +227,113 @@ fn clean_durable_round_is_backend_equivalent() {
     assert_eq!(
         threaded.metrics.counters.get("durability.recoveries"),
         Some(&0)
+    );
+}
+
+/// Runs one faulted round on the virtual-clock simulator and on the
+/// fleet-scale engine, asserting the issue's contract: byte-identical
+/// server state digests and fused maps on the same seed, plus equal
+/// deterministic projections, metrics and exits.
+fn assert_fleet_round_equivalent(n: u32, plan: &FaultPlan, shards: usize, workers: usize) {
+    let (sim_report, sim_digest) =
+        sim_round_with_digest(segments(), fleet(n), config(), plan).expect("sim round");
+    let engine = FleetTransport::new()
+        .with_shards(shards)
+        .with_workers(workers);
+    let (fleet_report, fleet_digest) = engine
+        .run_round_with_digest(segments(), fleet(n), config(), plan)
+        .expect("fleet round");
+    assert_eq!(
+        sim_digest, fleet_digest,
+        "state digests diverged for plan {plan:?}"
+    );
+    assert_eq!(
+        format!("{:?}", sim_report.fused),
+        format!("{:?}", fleet_report.fused),
+        "fused maps diverged for plan {plan:?}"
+    );
+    assert_eq!(
+        format!("{:?}", sim_report.deterministic()),
+        format!("{:?}", fleet_report.deterministic()),
+        "deterministic projections diverged for plan {plan:?}"
+    );
+    assert_eq!(
+        sim_report.metrics.deterministic().to_json(),
+        fleet_report.metrics.deterministic().to_json(),
+        "deterministic metrics diverged for plan {plan:?}"
+    );
+    assert_eq!(sim_report.exits, fleet_report.exits, "exits diverged");
+}
+
+#[test]
+fn fleet_round_matches_sim_byte_for_byte() {
+    // Faults on: message noise plus a crash and a straggler, the same
+    // classes the sim-vs-threaded suite exercises.
+    let plan = FaultPlan::noisy(17, 0.08, 0.1, 0.05)
+        .crash(VehicleId(1), FaultPoint::Upload)
+        .stall(VehicleId(3), FaultPoint::Answer);
+    assert_fleet_round_equivalent(6, &plan, 3, 2);
+}
+
+#[test]
+fn fleet_results_are_invariant_to_shard_and_worker_counts() {
+    let plan = FaultPlan::noisy(29, 0.05, 0.05, 0.05);
+    let mut baseline: Option<(String, String)> = None;
+    for (shards, workers) in [(1, 1), (4, 2), (9, 3)] {
+        let engine = FleetTransport::new()
+            .with_shards(shards)
+            .with_workers(workers);
+        let (report, digest) = engine
+            .run_round_with_digest(segments(), fleet(5), config(), &plan)
+            .expect("fleet round");
+        let key = (digest, format!("{:?}", report.deterministic()));
+        match &baseline {
+            None => baseline = Some(key),
+            Some(b) => assert_eq!(
+                *b, key,
+                "results changed at shards={shards} workers={workers}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn fleet_durable_round_matches_sim() {
+    // The fleet engine composes with the WAL + server-crash layer from
+    // the durability work: same crash schedule, same recovery, same
+    // deterministic metrics (durability.* included).
+    let plan = FaultPlan::noisy(31, 0.05, 0.05, 0.0).server_crash(
+        2,
+        crowdwifi::middleware::fault::ServerFault::CrashAfterAppend,
+    );
+    let mut sim_wal = MemorySink::new();
+    let simulated = SimTransport
+        .run_round_durable(segments(), fleet(4), config(), &plan, &mut sim_wal)
+        .expect("simulated durable round");
+    let mut fleet_wal = MemorySink::new();
+    let fleeted = FleetTransport::new()
+        .with_workers(2)
+        .run_round_durable(segments(), fleet(4), config(), &plan, &mut fleet_wal)
+        .expect("fleet durable round");
+    assert_eq!(
+        format!("{:?}", simulated.deterministic()),
+        format!("{:?}", fleeted.deterministic()),
+        "durable deterministic projections diverged"
+    );
+    assert_eq!(
+        simulated.metrics.deterministic().to_json(),
+        fleeted.metrics.deterministic().to_json(),
+        "durable deterministic metrics diverged"
+    );
+    assert!(
+        fleeted
+            .metrics
+            .counters
+            .get("durability.recoveries")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "crash schedule injected no recovery — test is vacuous"
     );
 }
 

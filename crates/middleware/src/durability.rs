@@ -40,6 +40,7 @@ use crate::messages::{codec_err, push_str, push_u64, wire_capacity, TokenReader,
 use crate::protocol::{Action, Event, PlatformConfig, ServerCore, ShardedDatabase, VirtualInstant};
 use crate::segment::SegmentMap;
 use crate::transport::EventHost;
+use crate::wire::{self, WireMessage, WireReader};
 use crate::{MiddlewareError, Result};
 use crowdwifi_obs::Registry;
 use std::io::Write as _;
@@ -51,40 +52,10 @@ use std::sync::Arc;
 pub const DEFAULT_SYNC_EVERY: u64 = 8;
 
 // ---------------------------------------------------------------------
-// CRC32 + framing
+// Framing (shared with the binary wire codec)
 // ---------------------------------------------------------------------
 
-const fn crc_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xedb8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
-
-static CRC_TABLE: [u32; 256] = crc_table();
-
-/// IEEE CRC32 (the zlib/PNG polynomial), table-driven. Self-contained
-/// because the offline build bakes in no checksum crate.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xffff_ffffu32;
-    for &b in bytes {
-        c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
-    }
-    c ^ 0xffff_ffff
-}
+pub use crate::wire::crc32;
 
 /// Frames `payload` as `[len: u32 LE][crc32(payload): u32 LE][payload]`.
 pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
@@ -342,33 +313,69 @@ impl WalHeader {
     }
 }
 
-/// Appends events to a [`LogSink`] as CRC-framed records, fsyncing
-/// every [`DEFAULT_SYNC_EVERY`] appends (count-based, so batching is
+impl WireMessage for WalHeader {
+    fn encode_binary(&self, out: &mut Vec<u8>) {
+        wire::put_header(out, wire::TAG_WAL_HEADER);
+        self.config.encode_binary(out);
+        self.segments.encode_binary(out);
+        wire::put_varint(out, self.fleet.len() as u64);
+        for v in &self.fleet {
+            wire::put_varint(out, u64::from(v.0));
+        }
+    }
+
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self> {
+        match r.header()? {
+            wire::TAG_WAL_HEADER => {}
+            t => return Err(codec_err(format!("unknown WalHeader binary tag {t:#04x}"))),
+        }
+        let config = PlatformConfig::decode_body(r)?;
+        let segments = SegmentMap::decode_body(r)?;
+        let n = r.usize()?;
+        let mut fleet = Vec::with_capacity(wire_capacity(n));
+        for _ in 0..n {
+            fleet.push(VehicleId(r.u32()?));
+        }
+        Ok(WalHeader {
+            segments,
+            fleet,
+            config,
+        })
+    }
+}
+
+/// Appends events to a [`LogSink`] as CRC-framed records — in the
+/// binary wire encoding since codec version 2 — fsyncing every
+/// [`DEFAULT_SYNC_EVERY`] appends (count-based, so batching is
 /// deterministic across backends). Created with the round's header as
-/// the first frame; `rewrite` compacts the log in place.
+/// the first frame; `rewrite` compacts the log in place. One scratch
+/// buffer is reused across appends, so the steady-state log path
+/// performs zero per-event allocations.
 pub struct WalWriter<'a> {
     sink: &'a mut dyn LogSink,
     sync_every: u64,
     unsynced: u64,
     appends: u64,
     syncs: u64,
+    scratch: Vec<u8>,
 }
 
 impl<'a> WalWriter<'a> {
-    /// Resets `sink` to a fresh log holding only the header frame, and
-    /// syncs it.
+    /// Resets `sink` to a fresh log holding only the (binary) header
+    /// frame, and syncs it.
     ///
     /// # Errors
     ///
     /// Propagates sink I/O failures.
     pub fn create(sink: &'a mut dyn LogSink, header: &WalHeader, sync_every: u64) -> Result<Self> {
-        sink.reset(&encode_frame(header.to_wire().as_bytes()))?;
+        sink.reset(&header.to_frame())?;
         let mut w = WalWriter {
             sink,
             sync_every: sync_every.max(1),
             unsynced: 0,
             appends: 0,
             syncs: 0,
+            scratch: Vec::new(),
         };
         w.sync()?;
         Ok(w)
@@ -381,8 +388,9 @@ impl<'a> WalWriter<'a> {
     ///
     /// Propagates sink I/O failures.
     pub fn append_event(&mut self, event: &Event) -> Result<()> {
-        self.sink
-            .append(&encode_frame(event.to_wire().as_bytes()))?;
+        self.scratch.clear();
+        event.encode_frame_into(&mut self.scratch);
+        self.sink.append(&self.scratch)?;
         self.appends += 1;
         self.unsynced += 1;
         if self.unsynced >= self.sync_every {
@@ -420,9 +428,9 @@ impl<'a> WalWriter<'a> {
     ///
     /// Propagates sink I/O failures.
     pub fn rewrite(&mut self, header: &WalHeader, events: &[Event]) -> Result<()> {
-        let mut bytes = encode_frame(header.to_wire().as_bytes());
+        let mut bytes = header.to_frame();
         for event in events {
-            bytes.extend_from_slice(&encode_frame(event.to_wire().as_bytes()));
+            event.encode_frame_into(&mut bytes);
         }
         self.sink.reset(&bytes)?;
         self.sync()
@@ -449,6 +457,11 @@ pub struct WalReplay {
     pub events: Vec<Event>,
     /// Bytes dropped from the tail (0 for a cleanly closed log).
     pub dropped_tail_bytes: usize,
+    /// The codec the log was written with, dispatched from the header
+    /// frame's first payload byte: [`wire::WIRE_VERSION`] for binary
+    /// logs, [`wire::TEXT_VERSION`] for logs written before the binary
+    /// switch.
+    pub codec: u8,
 }
 
 /// Parses a WAL byte image, tolerating a torn tail: the first
@@ -456,6 +469,12 @@ pub struct WalReplay {
 /// (that suffix was never durably synced). Frames that pass the CRC
 /// but fail to decode are *not* tail damage — they mean the log was
 /// written by something else entirely, and surface as errors.
+///
+/// The header frame carries the codec version: a first payload byte of
+/// [`wire::WIRE_VERSION`] selects the binary decoders, anything else
+/// (text headers start with ASCII `H`) routes the whole log through
+/// the retained text decoders — so WALs written before the binary
+/// switch still recover byte-identically.
 ///
 /// # Errors
 ///
@@ -469,18 +488,32 @@ pub fn read_wal(bytes: &[u8]) -> Result<WalReplay> {
             "WAL unrecoverable: no intact header frame".to_string(),
         ));
     };
+    let binary = first.first() == Some(&wire::WIRE_VERSION);
     fn text(p: &[u8]) -> Result<&str> {
         std::str::from_utf8(p).map_err(|_| codec_err("non-UTF-8 WAL frame"))
     }
-    let header = WalHeader::from_wire(text(first)?)?;
+    let header = if binary {
+        WalHeader::decode_binary(first)?
+    } else {
+        WalHeader::from_wire(text(first)?)?
+    };
     let mut events = Vec::with_capacity(rest.len());
     for payload in rest {
-        events.push(Event::from_wire(text(payload)?)?);
+        events.push(if binary {
+            Event::decode_binary(payload)?
+        } else {
+            Event::from_wire(text(payload)?)?
+        });
     }
     Ok(WalReplay {
         header,
         events,
         dropped_tail_bytes,
+        codec: if binary {
+            wire::WIRE_VERSION
+        } else {
+            wire::TEXT_VERSION
+        },
     })
 }
 
@@ -561,11 +594,13 @@ impl SnapshotStore {
     /// Propagates sink I/O failures.
     pub fn write(&mut self, round: usize, database: &ShardedDatabase, torn: bool) -> Result<()> {
         let seq = self.writes;
-        let mut payload = String::from("P");
-        push_u64(&mut payload, seq);
-        push_u64(&mut payload, round as u64);
-        push_str(&mut payload, &database.to_wire());
-        let mut frame = encode_frame(payload.as_bytes());
+        let mut frame = Vec::new();
+        wire::frame_into(&mut frame, |out| {
+            wire::put_header(out, wire::TAG_SNAPSHOT);
+            wire::put_varint(out, seq);
+            wire::put_varint(out, round as u64);
+            database.encode_binary(out);
+        });
         if torn {
             frame.truncate(frame.len() * 2 / 5);
             self.torn_writes += 1;
@@ -615,6 +650,23 @@ impl SnapshotStore {
 }
 
 fn decode_snapshot(payload: &[u8]) -> Option<LoadedSnapshot> {
+    // Codec dispatch mirrors read_wal: a leading version byte selects
+    // the binary decoder; text-era snapshots start with ASCII `P`.
+    if payload.first() == Some(&wire::WIRE_VERSION) {
+        let mut r = WireReader::new(payload);
+        if r.header().ok()? != wire::TAG_SNAPSHOT {
+            return None;
+        }
+        let seq = r.varint().ok()?;
+        let round = r.usize().ok()?;
+        let database = ShardedDatabase::decode_body(&mut r).ok()?;
+        r.finish().ok()?;
+        return Some(LoadedSnapshot {
+            seq,
+            round,
+            database,
+        });
+    }
     let s = std::str::from_utf8(payload).ok()?;
     let mut r = TokenReader::new(s);
     if r.tag().ok()? != "P" {

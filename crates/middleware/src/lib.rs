@@ -47,9 +47,11 @@ pub mod platform;
 pub mod protocol;
 pub mod segment;
 pub mod server;
+pub mod store;
 pub mod transport;
 pub mod user;
 pub mod vehicle;
+pub mod wire;
 
 pub use server::CrowdServer;
 pub use user::UserVehicle;

@@ -1,13 +1,18 @@
 //! Client–server protocol messages, with a self-contained wire codec.
 //!
-//! The codec is a whitespace-separated token format built for exact
-//! round trips: floats travel as the 16-hex-digit bit pattern of their
-//! IEEE-754 representation (so `-0.0`, subnormals, `f64::MAX` and even
-//! NaN payloads survive), strings are percent-escaped. It keeps the
-//! transports free to move real bytes without pulling a serialization
-//! crate into the offline build.
+//! Two codecs coexist. The live one is the compact binary encoding of
+//! [`crate::wire`] (every type here implements
+//! [`crate::wire::WireMessage`]); the original text codec — a
+//! whitespace-separated token format where floats travel as the
+//! 16-hex-digit bit pattern of their IEEE-754 representation (so
+//! `-0.0`, subnormals, `f64::MAX` and even NaN payloads survive) and
+//! strings are percent-escaped — is retained in full so logs written
+//! before the binary switch still decode. Both round-trip every value
+//! bit-exactly without pulling a serialization crate into the offline
+//! build.
 
 use crate::segment::SegmentId;
+use crate::wire::{self, WireMessage, WireReader};
 use crate::{MiddlewareError, Result};
 use crowdwifi_core::ApEstimate;
 use crowdwifi_geo::Point;
@@ -372,6 +377,120 @@ impl ToVehicle {
         };
         r.finish()?;
         Ok(msg)
+    }
+}
+
+impl WireMessage for ToServer {
+    fn encode_binary(&self, out: &mut Vec<u8>) {
+        match self {
+            ToServer::Upload(u) => {
+                wire::put_header(out, wire::TAG_UPLOAD);
+                wire::put_varint(out, u64::from(u.vehicle.0));
+                wire::put_varint(out, u.estimates.len() as u64);
+                for e in &u.estimates {
+                    wire::put_f64(out, e.position.x);
+                    wire::put_f64(out, e.position.y);
+                    wire::put_f64(out, e.credit);
+                }
+            }
+            ToServer::Answers(answers) => {
+                wire::put_header(out, wire::TAG_ANSWERS);
+                wire::put_varint(out, answers.len() as u64);
+                for a in answers {
+                    wire::put_varint(out, u64::from(a.vehicle.0));
+                    wire::put_varint(out, a.task_id as u64);
+                    wire::put_i8(out, a.label);
+                }
+            }
+            ToServer::Failed(reason) => {
+                wire::put_header(out, wire::TAG_FAILED);
+                wire::put_str(out, reason);
+            }
+        }
+    }
+
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(match r.header()? {
+            wire::TAG_UPLOAD => {
+                let vehicle = VehicleId(r.u32()?);
+                let n = r.usize()?;
+                let mut estimates = Vec::with_capacity(wire_capacity(n));
+                for _ in 0..n {
+                    estimates.push(ApEstimate {
+                        position: r.point()?,
+                        credit: r.f64()?,
+                    });
+                }
+                ToServer::Upload(SensingUpload { vehicle, estimates })
+            }
+            wire::TAG_ANSWERS => {
+                let n = r.usize()?;
+                let mut answers = Vec::with_capacity(wire_capacity(n));
+                for _ in 0..n {
+                    answers.push(MappingAnswer {
+                        vehicle: VehicleId(r.u32()?),
+                        task_id: r.usize()?,
+                        label: r.i8()?,
+                    });
+                }
+                ToServer::Answers(answers)
+            }
+            wire::TAG_FAILED => ToServer::Failed(r.string()?),
+            t => return Err(codec_err(format!("unknown ToServer binary tag {t:#04x}"))),
+        })
+    }
+}
+
+impl WireMessage for ToVehicle {
+    fn encode_binary(&self, out: &mut Vec<u8>) {
+        match self {
+            ToVehicle::Assign(tasks) => {
+                wire::put_header(out, wire::TAG_ASSIGN);
+                wire::put_varint(out, tasks.len() as u64);
+                for t in tasks {
+                    wire::put_varint(out, t.task_id as u64);
+                    wire::put_varint(out, u64::from(t.pattern.segment.0));
+                    wire::put_varint(out, t.pattern.aps.len() as u64);
+                    for ap in &t.pattern.aps {
+                        wire::put_f64(out, ap.x);
+                        wire::put_f64(out, ap.y);
+                    }
+                }
+            }
+            ToVehicle::RequestUpload => wire::put_header(out, wire::TAG_REQUEST_UPLOAD),
+            ToVehicle::Done => wire::put_header(out, wire::TAG_DONE),
+            ToVehicle::Abort(reason) => {
+                wire::put_header(out, wire::TAG_ABORT);
+                wire::put_str(out, reason);
+            }
+        }
+    }
+
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(match r.header()? {
+            wire::TAG_ASSIGN => {
+                let n = r.usize()?;
+                let mut tasks = Vec::with_capacity(wire_capacity(n));
+                for _ in 0..n {
+                    let task_id = r.usize()?;
+                    let segment = SegmentId(r.u32()?);
+                    let m = r.usize()?;
+                    let mut aps = Vec::with_capacity(wire_capacity(m));
+                    for _ in 0..m {
+                        aps.push(r.point()?);
+                    }
+                    tasks.push(MappingTask {
+                        task_id,
+                        pattern: Pattern { segment, aps },
+                    });
+                }
+                ToVehicle::Assign(tasks)
+            }
+            wire::TAG_REQUEST_UPLOAD => ToVehicle::RequestUpload,
+            wire::TAG_DONE => ToVehicle::Done,
+            wire::TAG_ABORT => ToVehicle::Abort(r.string()?),
+            t => return Err(codec_err(format!("unknown ToVehicle binary tag {t:#04x}"))),
+        })
     }
 }
 

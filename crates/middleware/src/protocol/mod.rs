@@ -49,6 +49,7 @@ use crate::messages::{codec_err, push_str, push_u64, TokenReader};
 use crate::messages::{MappingTask, ToServer, ToVehicle, VehicleId};
 use crate::segment::SegmentMap;
 use crate::server::CrowdServer;
+use crate::wire::{self, WireMessage, WireReader};
 use crate::{MiddlewareError, Result};
 use crowdwifi_obs::{EventValue, Registry, Snapshot};
 use rand::SeedableRng;
@@ -129,6 +130,16 @@ pub enum Event {
         /// Driver time at disconnect.
         now: VirtualInstant,
     },
+    /// A frame from `from` arrived but failed to decode (bad CRC,
+    /// truncation, unknown tag). Recorded as an event — rather than
+    /// handled transport-side — so the resulting quarantine replays
+    /// deterministically from the write-ahead log.
+    Garbled {
+        /// Driver time at delivery.
+        now: VirtualInstant,
+        /// The vehicle whose link produced the undecodable frame.
+        from: VehicleId,
+    },
 }
 
 impl Event {
@@ -155,6 +166,11 @@ impl Event {
             Event::LinksClosed { now } => {
                 out.push_str("EL");
                 push_u64(&mut out, now.as_micros());
+            }
+            Event::Garbled { now, from } => {
+                out.push_str("EG");
+                push_u64(&mut out, now.as_micros());
+                push_u64(&mut out, u64::from(from.0));
             }
         }
         out
@@ -185,10 +201,70 @@ impl Event {
             "EL" => Event::LinksClosed {
                 now: VirtualInstant::from_micros(r.u64()?),
             },
+            "EG" => Event::Garbled {
+                now: VirtualInstant::from_micros(r.u64()?),
+                from: VehicleId(r.u32()?),
+            },
             t => return Err(codec_err(format!("unknown Event tag {t:?}"))),
         };
         r.finish()?;
         Ok(event)
+    }
+}
+
+impl WireMessage for Event {
+    fn encode_binary(&self, out: &mut Vec<u8>) {
+        match self {
+            Event::Message { now, from, msg } => {
+                wire::put_header(out, wire::TAG_EVENT_MESSAGE);
+                wire::put_varint(out, now.as_micros());
+                wire::put_varint(out, u64::from(from.0));
+                // The inner message nests inline, version byte and all:
+                // its own decoder consumes exactly its fields.
+                msg.encode_binary(out);
+            }
+            Event::TimerFired { now, timer } => {
+                wire::put_header(out, wire::TAG_EVENT_TIMER);
+                wire::put_varint(out, now.as_micros());
+                wire::put_varint(out, u64::from(timer.vehicle.0));
+                wire::put_varint(out, timer.generation);
+            }
+            Event::LinksClosed { now } => {
+                wire::put_header(out, wire::TAG_EVENT_LINKS_CLOSED);
+                wire::put_varint(out, now.as_micros());
+            }
+            Event::Garbled { now, from } => {
+                wire::put_header(out, wire::TAG_EVENT_GARBLED);
+                wire::put_varint(out, now.as_micros());
+                wire::put_varint(out, u64::from(from.0));
+            }
+        }
+    }
+
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self> {
+        Ok(match r.header()? {
+            wire::TAG_EVENT_MESSAGE => {
+                let now = VirtualInstant::from_micros(r.varint()?);
+                let from = VehicleId(r.u32()?);
+                let msg = ToServer::decode_body(r)?;
+                Event::Message { now, from, msg }
+            }
+            wire::TAG_EVENT_TIMER => Event::TimerFired {
+                now: VirtualInstant::from_micros(r.varint()?),
+                timer: TimerId {
+                    vehicle: VehicleId(r.u32()?),
+                    generation: r.varint()?,
+                },
+            },
+            wire::TAG_EVENT_LINKS_CLOSED => Event::LinksClosed {
+                now: VirtualInstant::from_micros(r.varint()?),
+            },
+            wire::TAG_EVENT_GARBLED => Event::Garbled {
+                now: VirtualInstant::from_micros(r.varint()?),
+                from: VehicleId(r.u32()?),
+            },
+            t => return Err(codec_err(format!("unknown Event binary tag {t:#04x}"))),
+        })
     }
 }
 
@@ -424,6 +500,7 @@ impl ServerCore {
             Event::Message { now, from, msg } => self.on_message(now, from, msg),
             Event::TimerFired { now, timer } => self.on_timer(now, timer),
             Event::LinksClosed { now } => self.on_links_closed(now),
+            Event::Garbled { now, from } => self.quarantine(now, from),
         }
     }
 
@@ -444,6 +521,26 @@ impl ServerCore {
             return Vec::new();
         }
         match ToServer::from_wire(frame) {
+            Ok(msg) => self.on_message(now, from, msg),
+            Err(_) => self.quarantine(now, from),
+        }
+    }
+
+    /// [`ServerCore::handle_frame`] for the binary codec: validates and
+    /// decodes one raw CRC-framed binary record from `from`. A frame
+    /// that fails framing (bad CRC, bad length prefix) or decoding (bad
+    /// version byte, unknown tag, truncated varint) quarantines its
+    /// sender exactly as the text variant does.
+    pub fn handle_frame_binary(
+        &mut self,
+        now: VirtualInstant,
+        from: VehicleId,
+        frame: &[u8],
+    ) -> Vec<Action> {
+        if self.finished {
+            return Vec::new();
+        }
+        match ToServer::from_frame(frame) {
             Ok(msg) => self.on_message(now, from, msg),
             Err(_) => self.quarantine(now, from),
         }

@@ -7,6 +7,7 @@ use crate::messages::{codec_err, push_f64, push_u64, TokenReader};
 use crate::messages::{MappingTask, VehicleId};
 use crate::server::{CrowdServer, RoundOutcome};
 use crate::vehicle::VehicleExit;
+use crate::wire::{self, WireMessage, WireReader};
 use crate::{MiddlewareError, Result};
 use crowdwifi_crowd::fusion::FusedAp;
 use crowdwifi_obs::Snapshot;
@@ -121,6 +122,45 @@ impl PlatformConfig {
         };
         r.finish()?;
         Ok(config)
+    }
+}
+
+impl WireMessage for PlatformConfig {
+    fn encode_binary(&self, out: &mut Vec<u8>) {
+        wire::put_header(out, wire::TAG_CONFIG);
+        wire::put_varint(out, self.bootstrap_patterns as u64);
+        wire::put_varint(out, self.workers_per_task as u64);
+        wire::put_f64(out, self.merge_radius);
+        wire::put_f64(out, self.spammer_cutoff);
+        wire::put_varint(out, self.seed);
+        wire::put_varint(out, self.tolerance.deadline.as_micros() as u64);
+        wire::put_varint(out, self.tolerance.retry_backoff.as_micros() as u64);
+        wire::put_varint(out, u64::from(self.tolerance.max_retries));
+        wire::put_f64(out, self.tolerance.quorum);
+    }
+
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self> {
+        match r.header()? {
+            wire::TAG_CONFIG => {}
+            t => {
+                return Err(codec_err(format!(
+                    "unknown PlatformConfig binary tag {t:#04x}"
+                )))
+            }
+        }
+        Ok(PlatformConfig {
+            bootstrap_patterns: r.usize()?,
+            workers_per_task: r.usize()?,
+            merge_radius: r.f64()?,
+            spammer_cutoff: r.f64()?,
+            seed: r.varint()?,
+            tolerance: FaultTolerance {
+                deadline: Duration::from_micros(r.varint()?),
+                retry_backoff: Duration::from_micros(r.varint()?),
+                max_retries: r.u32()?,
+                quorum: r.f64()?,
+            },
+        })
     }
 }
 

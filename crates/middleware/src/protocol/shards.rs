@@ -18,6 +18,7 @@
 use crate::messages::{codec_err, push_f64, push_u64, wire_capacity, TokenReader};
 use crate::messages::{Pattern, SensingUpload, VehicleId};
 use crate::segment::{SegmentId, SegmentMap};
+use crate::wire::{self, WireMessage, WireReader};
 use crate::Result;
 use crowdwifi_crowd::fusion::{fuse_submissions, FusedAp, Submission};
 use crowdwifi_geo::Point;
@@ -264,6 +265,52 @@ impl ShardedDatabase {
             shards.insert(seg, ShardState { fused, round });
         }
         r.finish()?;
+        Ok(ShardedDatabase { shards })
+    }
+}
+
+impl WireMessage for ShardedDatabase {
+    fn encode_binary(&self, out: &mut Vec<u8>) {
+        wire::put_header(out, wire::TAG_DATABASE);
+        wire::put_varint(out, self.shards.len() as u64);
+        for (seg, state) in &self.shards {
+            wire::put_varint(out, u64::from(seg.0));
+            wire::put_varint(out, state.round as u64);
+            wire::put_varint(out, state.fused.len() as u64);
+            for ap in &state.fused {
+                wire::put_f64(out, ap.position.x);
+                wire::put_f64(out, ap.position.y);
+                wire::put_f64(out, ap.support);
+                wire::put_varint(out, ap.contributors as u64);
+            }
+        }
+    }
+
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self> {
+        match r.header()? {
+            wire::TAG_DATABASE => {}
+            t => {
+                return Err(codec_err(format!(
+                    "unknown ShardedDatabase binary tag {t:#04x}"
+                )))
+            }
+        }
+        let n = r.usize()?;
+        let mut shards = BTreeMap::new();
+        for _ in 0..n {
+            let seg = SegmentId(r.u32()?);
+            let round = r.usize()?;
+            let m = r.usize()?;
+            let mut fused = Vec::with_capacity(wire_capacity(m));
+            for _ in 0..m {
+                fused.push(FusedAp {
+                    position: r.point()?,
+                    support: r.f64()?,
+                    contributors: r.usize()?,
+                });
+            }
+            shards.insert(seg, ShardState { fused, round });
+        }
         Ok(ShardedDatabase { shards })
     }
 }

@@ -4,6 +4,7 @@
 //! sensing uploads and mapping tasks are keyed by segment.
 
 use crate::messages::{codec_err, push_f64, TokenReader};
+use crate::wire::{self, WireMessage, WireReader};
 use crate::Result;
 use crowdwifi_geo::{Point, Rect};
 use serde::{Deserialize, Serialize};
@@ -131,6 +132,32 @@ impl SegmentMap {
         let max = r.point()?;
         let segment_size = r.f64()?;
         r.finish()?;
+        let area = Rect::new(min, max).map_err(|e| codec_err(format!("bad segment area: {e}")))?;
+        if !(segment_size > 0.0 && segment_size.is_finite()) {
+            return Err(codec_err(format!("bad segment size {segment_size}")));
+        }
+        Ok(SegmentMap::new(area, segment_size))
+    }
+}
+
+impl WireMessage for SegmentMap {
+    fn encode_binary(&self, out: &mut Vec<u8>) {
+        wire::put_header(out, wire::TAG_SEGMENT_MAP);
+        wire::put_f64(out, self.area.min().x);
+        wire::put_f64(out, self.area.min().y);
+        wire::put_f64(out, self.area.max().x);
+        wire::put_f64(out, self.area.max().y);
+        wire::put_f64(out, self.segment_size);
+    }
+
+    fn decode_body(r: &mut WireReader<'_>) -> Result<Self> {
+        match r.header()? {
+            wire::TAG_SEGMENT_MAP => {}
+            t => return Err(codec_err(format!("unknown SegmentMap binary tag {t:#04x}"))),
+        }
+        let min = r.point()?;
+        let max = r.point()?;
+        let segment_size = r.f64()?;
         let area = Rect::new(min, max).map_err(|e| codec_err(format!("bad segment area: {e}")))?;
         if !(segment_size > 0.0 && segment_size.is_finite()) {
             return Err(codec_err(format!("bad segment size {segment_size}")));

@@ -29,7 +29,7 @@
 //! per-segment-shard data cores, cross-shard consolidation at round
 //! close (see [`crate::protocol::fleet`]).
 
-use super::sim::{apply, Downlink, QueueSink, Uplink};
+use super::sim::{apply, Downlink, QueueSink, ServerQueue, Uplink};
 use super::{panic_message, seal_report, EventHost, Transport};
 use crate::durability::{DurableRound, LogSink};
 use crate::fault::{FaultPlan, FaultTally, LinkDirection};
@@ -39,6 +39,7 @@ use crate::protocol::{
 };
 use crate::segment::SegmentMap;
 use crate::vehicle::{CrowdVehicle, VehicleCore, VehicleExit, VehicleStep};
+use crate::wire::{WireDigest, WireMessage};
 use crate::{MiddlewareError, Result};
 use crowdwifi_channel::RssReading;
 use crowdwifi_obs::Registry;
@@ -99,8 +100,9 @@ impl FleetTransport {
     }
 
     /// Runs one faulted round and returns the report plus the sharded
-    /// core's final [`state_digest`](crate::protocol::ServerCore::state_digest),
-    /// for byte-for-byte comparison against
+    /// core's final [`state_digest`](crate::protocol::ServerCore::state_digest)
+    /// extended with a [`WireDigest`] over the binary uplink frames, for
+    /// byte-for-byte comparison against
     /// [`sim_round_with_digest`](super::sim_round_with_digest).
     ///
     /// # Errors
@@ -124,6 +126,7 @@ impl FleetTransport {
         )?;
         plan.validate()?;
         let tally = Arc::new(FaultTally::new());
+        let mut wire = WireDigest::new();
         let report = fleet_drive(
             &mut core,
             segments,
@@ -132,8 +135,9 @@ impl FleetTransport {
             plan,
             tally,
             self.workers,
+            &mut wire,
         )?;
-        let digest = core.state_digest();
+        let digest = format!("{} | {}", core.state_digest(), wire.render());
         Ok((report, digest))
     }
 }
@@ -178,6 +182,7 @@ impl Transport for FleetTransport {
             wal,
             Arc::clone(&tally),
         )?;
+        let mut wire = WireDigest::new();
         fleet_drive(
             &mut host,
             segments,
@@ -186,6 +191,7 @@ impl Transport for FleetTransport {
             plan,
             tally,
             self.workers,
+            &mut wire,
         )
     }
 }
@@ -228,7 +234,7 @@ type StepOutcome = std::result::Result<Result<VehicleStep>, Box<dyn std::any::An
 struct ComputeCell {
     core: VehicleCore,
     readings: Vec<RssReading>,
-    pending: Vec<ToVehicle>,
+    pending: Vec<Vec<u8>>,
     staged: Vec<StepOutcome>,
     start_pending: bool,
     /// Mirrors "no exit recorded yet" from the link half; an inactive
@@ -260,12 +266,20 @@ impl ComputeCell {
             .staged
             .last()
             .is_some_and(|out| !matches!(out, Ok(Ok(VehicleStep::Continue(_)))));
-        for msg in std::mem::take(&mut self.pending) {
+        for bytes in std::mem::take(&mut self.pending) {
             if exited {
                 continue;
             }
-            let core = &mut self.core;
-            let out = catch_unwind(AssertUnwindSafe(|| Ok(core.on_message(msg, segments))));
+            // A garbled downlink frame stages the decode error, which
+            // the link half reports as `ToServer::Failed` — identical
+            // to the simulator's inline drain.
+            let out = match ToVehicle::from_frame(&bytes) {
+                Ok(msg) => {
+                    let core = &mut self.core;
+                    catch_unwind(AssertUnwindSafe(|| Ok(core.on_message(msg, segments))))
+                }
+                Err(e) => Ok(Err(e)),
+            };
             exited = !matches!(out, Ok(Ok(VehicleStep::Continue(_))));
             self.staged.push(out);
         }
@@ -276,7 +290,7 @@ impl ComputeCell {
 /// and uplink queues are `Rc`-shared with the fault layer).
 struct LinkCell {
     id: VehicleId,
-    inbox: Rc<RefCell<VecDeque<ToVehicle>>>,
+    inbox: Rc<RefCell<VecDeque<Vec<u8>>>>,
     uplink: Option<Uplink>,
     exit: Option<VehicleExit>,
 }
@@ -295,7 +309,7 @@ impl LinkCell {
             VehicleStep::Continue(msgs) => {
                 if let Some(uplink) = self.uplink.as_mut() {
                     for m in msgs {
-                        let _ = uplink.send((self.id, m));
+                        let _ = uplink.send((self.id, m.to_frame()));
                     }
                 }
             }
@@ -309,7 +323,8 @@ impl LinkCell {
 
     fn fail(&mut self, reason: String, active: &mut bool) {
         if let Some(uplink) = self.uplink.as_mut() {
-            let _ = uplink.send((self.id, ToServer::Failed(reason.clone())));
+            let frame = ToServer::Failed(reason.clone()).to_frame();
+            let _ = uplink.send((self.id, frame));
         }
         self.exit = Some(VehicleExit::Failed(reason));
         self.uplink = None;
@@ -355,7 +370,7 @@ fn absorb_batch(links: &mut [LinkCell], cells: &mut [ComputeCell]) {
 /// The fleet event loop, generic over the server-shaped host exactly
 /// like the simulator's driver; see the [module docs](self) for the
 /// tick structure and the equivalence argument.
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn fleet_drive<H: EventHost>(
     host: &mut H,
     segments: SegmentMap,
@@ -364,9 +379,9 @@ fn fleet_drive<H: EventHost>(
     plan: &FaultPlan,
     tally: Arc<FaultTally>,
     workers: usize,
+    wire: &mut WireDigest,
 ) -> Result<PlatformReport> {
-    let server_queue: Rc<RefCell<VecDeque<(VehicleId, ToServer)>>> =
-        Rc::new(RefCell::new(VecDeque::new()));
+    let server_queue: ServerQueue = Rc::new(RefCell::new(VecDeque::new()));
     // Seeds follow fleet order (matching every other backend); the
     // session arrays are then sorted into vehicle-id order, the order
     // ticks absorb in.
@@ -428,10 +443,15 @@ fn fleet_drive<H: EventHost>(
             let mut progressed = false;
             loop {
                 let next = server_queue.borrow_mut().pop_front();
-                let Some((from, msg)) = next else { break };
+                let Some((from, bytes)) = next else { break };
                 progressed = true;
+                wire.absorb(&bytes);
+                let event = match ToServer::from_frame(&bytes) {
+                    Ok(msg) => Event::Message { now, from, msg },
+                    Err(_) => Event::Garbled { now, from },
+                };
                 apply(
-                    host.handle(Event::Message { now, from, msg })?,
+                    host.handle(event)?,
                     &mut downlinks,
                     &mut timers,
                     &mut outcome,

@@ -18,6 +18,7 @@ use crate::protocol::{
 use crate::segment::SegmentMap;
 use crate::transport::{panic_message, seal_report, EventHost, Transport};
 use crate::vehicle::{CrowdVehicle, VehicleCore, VehicleExit, VehicleStep};
+use crate::wire::{WireDigest, WireMessage};
 use crate::{MiddlewareError, Result};
 use crowdwifi_channel::RssReading;
 use crowdwifi_obs::Registry;
@@ -66,7 +67,8 @@ impl Transport for SimTransport {
             wal,
             Arc::clone(&tally),
         )?;
-        sim_drive(&mut host, segments, fleet, config, plan, tally)
+        let mut wire = WireDigest::new();
+        sim_drive(&mut host, segments, fleet, config, plan, tally, &mut wire)
     }
 }
 
@@ -82,8 +84,13 @@ impl<T> MessageSink<T> for QueueSink<T> {
     }
 }
 
-pub(super) type Uplink = FaultySender<(VehicleId, ToServer), QueueSink<(VehicleId, ToServer)>>;
-pub(super) type Downlink = FaultySender<ToVehicle, QueueSink<ToVehicle>>;
+// The links carry raw binary frames, not typed messages: encoding
+// happens at the sender, decoding at the receiver, so the bytes the
+// fault layer drops, duplicates and delays are the real wire bytes.
+pub(super) type Uplink = FaultySender<(VehicleId, Vec<u8>), QueueSink<(VehicleId, Vec<u8>)>>;
+pub(super) type Downlink = FaultySender<Vec<u8>, QueueSink<Vec<u8>>>;
+/// The server's shared uplink inbox: frames tagged with their sender.
+pub(super) type ServerQueue = Rc<RefCell<VecDeque<(VehicleId, Vec<u8>)>>>;
 
 /// One simulated vehicle: its pure state machine, its inbox queue, and
 /// its (noisy) uplink. The uplink is dropped the moment the vehicle
@@ -92,7 +99,7 @@ pub(super) type Downlink = FaultySender<ToVehicle, QueueSink<ToVehicle>>;
 struct SimVehicle {
     core: VehicleCore,
     readings: Vec<RssReading>,
-    inbox: Rc<RefCell<VecDeque<ToVehicle>>>,
+    inbox: Rc<RefCell<VecDeque<Vec<u8>>>>,
     uplink: Option<Uplink>,
     exit: Option<VehicleExit>,
 }
@@ -115,7 +122,7 @@ impl SimVehicle {
                 if let Some(uplink) = self.uplink.as_mut() {
                     let id = self.core.id();
                     for m in msgs {
-                        let _ = uplink.send((id, m));
+                        let _ = uplink.send((id, m.to_frame()));
                     }
                 }
             }
@@ -130,7 +137,8 @@ impl SimVehicle {
     /// the server, then exit.
     fn fail(&mut self, reason: String) {
         if let Some(uplink) = self.uplink.as_mut() {
-            let _ = uplink.send((self.core.id(), ToServer::Failed(reason.clone())));
+            let frame = ToServer::Failed(reason.clone()).to_frame();
+            let _ = uplink.send((self.core.id(), frame));
         }
         self.exit = Some(VehicleExit::Failed(reason));
         self.uplink = None;
@@ -142,14 +150,21 @@ impl SimVehicle {
     fn drain_inbox(&mut self, segments: &SegmentMap) -> bool {
         let mut progressed = false;
         loop {
-            let msg = self.inbox.borrow_mut().pop_front();
-            let Some(msg) = msg else { break };
+            let bytes = self.inbox.borrow_mut().pop_front();
+            let Some(bytes) = bytes else { break };
             progressed = true;
             if self.exit.is_some() {
                 continue;
             }
-            let core = &mut self.core;
-            let step = catch_unwind(AssertUnwindSafe(|| Ok(core.on_message(msg, segments))));
+            // A frame the fault layer garbled fails the vehicle with
+            // the decode error, exactly like the threaded receive loop.
+            let step = match ToVehicle::from_frame(&bytes) {
+                Ok(msg) => {
+                    let core = &mut self.core;
+                    catch_unwind(AssertUnwindSafe(|| Ok(core.on_message(msg, segments))))
+                }
+                Err(e) => Ok(Err(e)),
+            };
             self.absorb(step);
         }
         progressed
@@ -167,8 +182,10 @@ fn sim_round(
 
 /// Runs one faulted round on the simulator and returns the report
 /// together with the server core's final
-/// [`state_digest`](ServerCore::state_digest) — the reference string
-/// the fleet backend's equivalence tests compare byte-for-byte.
+/// [`state_digest`](ServerCore::state_digest), extended with a
+/// [`WireDigest`] over the binary uplink frames the server received —
+/// the reference string the fleet backend's equivalence tests compare
+/// byte-for-byte (state *and* wire bytes must match).
 ///
 /// # Errors
 ///
@@ -184,13 +201,17 @@ pub fn sim_round_with_digest(
     let mut core = ServerCore::new(segments.clone(), &ids, config, registry)?;
     plan.validate()?;
     let tally = Arc::new(FaultTally::new());
-    let report = sim_drive(&mut core, segments, fleet, config, plan, tally)?;
-    let digest = core.state_digest();
+    let mut wire = WireDigest::new();
+    let report = sim_drive(&mut core, segments, fleet, config, plan, tally, &mut wire)?;
+    let digest = format!("{} | {}", core.state_digest(), wire.render());
     Ok((report, digest))
 }
 
 /// The simulator's event loop, generic over the server-shaped host so
-/// plain and durable (crash-injecting) rounds share one driver.
+/// plain and durable (crash-injecting) rounds share one driver. Every
+/// uplink frame the server receives is absorbed into `wire` before it
+/// is decoded, so the digest covers the raw bytes in arrival order.
+#[allow(clippy::too_many_arguments)]
 fn sim_drive<H: EventHost>(
     host: &mut H,
     segments: SegmentMap,
@@ -198,9 +219,9 @@ fn sim_drive<H: EventHost>(
     config: PlatformConfig,
     plan: &FaultPlan,
     tally: Arc<FaultTally>,
+    wire: &mut WireDigest,
 ) -> Result<PlatformReport> {
-    let server_queue: Rc<RefCell<VecDeque<(VehicleId, ToServer)>>> =
-        Rc::new(RefCell::new(VecDeque::new()));
+    let server_queue: ServerQueue = Rc::new(RefCell::new(VecDeque::new()));
     let mut vehicles: BTreeMap<VehicleId, SimVehicle> = BTreeMap::new();
     let mut downlinks: BTreeMap<VehicleId, Downlink> = BTreeMap::new();
     // Seeds follow fleet order, matching the threaded spawn loop.
@@ -255,10 +276,15 @@ fn sim_drive<H: EventHost>(
             let mut progressed = false;
             loop {
                 let next = server_queue.borrow_mut().pop_front();
-                let Some((from, msg)) = next else { break };
+                let Some((from, bytes)) = next else { break };
                 progressed = true;
+                wire.absorb(&bytes);
+                let event = match ToServer::from_frame(&bytes) {
+                    Ok(msg) => Event::Message { now, from, msg },
+                    Err(_) => Event::Garbled { now, from },
+                };
                 apply(
-                    host.handle(Event::Message { now, from, msg })?,
+                    host.handle(event)?,
                     &mut downlinks,
                     &mut timers,
                     &mut outcome,
@@ -362,7 +388,7 @@ pub(super) fn apply(
         match action {
             Action::Send { to, msg } => {
                 if let Some(link) = downlinks.get_mut(&to) {
-                    let _ = link.send(msg);
+                    let _ = link.send(msg.to_frame());
                 }
             }
             Action::SetTimer { timer, deadline } => {

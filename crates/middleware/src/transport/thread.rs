@@ -5,13 +5,14 @@
 
 use crate::durability::{DurableRound, LogSink};
 use crate::fault::{FaultPlan, FaultTally, FaultySender, LinkDirection};
-use crate::messages::{ToServer, ToVehicle, VehicleId};
+use crate::messages::{ToServer, VehicleId};
 use crate::protocol::{
     Action, Event, PlatformConfig, PlatformReport, ServerCore, TimerId, VirtualInstant,
 };
 use crate::segment::SegmentMap;
 use crate::transport::{panic_message, seal_report, EventHost, Transport};
 use crate::vehicle::{run_protocol, CrowdVehicle, VehicleCore, VehicleExit};
+use crate::wire::WireMessage;
 use crate::Result;
 use crossbeam::channel::{self, RecvTimeoutError};
 use crowdwifi_channel::RssReading;
@@ -72,8 +73,8 @@ impl Transport for ThreadTransport {
 /// sender plus a receiver clone that keeps the channel open, so sends
 /// to an already-dead vehicle are quietly absorbed instead of erroring.
 struct VehicleLink {
-    tx: FaultySender<ToVehicle>,
-    _keepalive: channel::Receiver<ToVehicle>,
+    tx: FaultySender<Vec<u8>>,
+    _keepalive: channel::Receiver<Vec<u8>>,
 }
 
 fn thread_round(
@@ -103,11 +104,11 @@ fn thread_drive_round<H: EventHost>(
 ) -> Result<PlatformReport> {
     let ids: Vec<VehicleId> = fleet.iter().map(|(v, _)| v.id()).collect();
 
-    let (to_server_tx, to_server_rx) = channel::unbounded::<(VehicleId, ToServer)>();
+    let (to_server_tx, to_server_rx) = channel::unbounded::<(VehicleId, Vec<u8>)>();
     let mut links: BTreeMap<VehicleId, VehicleLink> = BTreeMap::new();
-    let mut vehicle_rxs: BTreeMap<VehicleId, channel::Receiver<ToVehicle>> = BTreeMap::new();
+    let mut vehicle_rxs: BTreeMap<VehicleId, channel::Receiver<Vec<u8>>> = BTreeMap::new();
     for &id in &ids {
-        let (tx, rx) = channel::unbounded::<ToVehicle>();
+        let (tx, rx) = channel::unbounded::<Vec<u8>>();
         vehicle_rxs.insert(id, rx.clone());
         links.insert(
             id,
@@ -144,12 +145,14 @@ fn thread_drive_round<H: EventHost>(
                     Ok(Err(e)) => {
                         let reason = e.to_string();
                         // Best-effort: the server may already be gone.
-                        let _ = to_server.send((id, ToServer::Failed(reason.clone())));
+                        let frame = ToServer::Failed(reason.clone()).to_frame();
+                        let _ = to_server.send((id, frame));
                         VehicleExit::Failed(reason)
                     }
                     Err(payload) => {
                         let reason = format!("panic: {}", panic_message(payload));
-                        let _ = to_server.send((id, ToServer::Failed(reason.clone())));
+                        let frame = ToServer::Failed(reason.clone()).to_frame();
+                        let _ = to_server.send((id, frame));
                         VehicleExit::Failed(reason)
                     }
                 };
@@ -186,9 +189,16 @@ fn virtual_now(start: Instant) -> VirtualInstant {
 /// whatever actions the core returns.
 fn drive<H: EventHost>(
     host: &mut H,
-    rx: &channel::Receiver<(VehicleId, ToServer)>,
+    rx: &channel::Receiver<(VehicleId, Vec<u8>)>,
     links: &mut BTreeMap<VehicleId, VehicleLink>,
 ) -> Result<PlatformReport> {
+    // Uplink frames that fail to decode (the fault layer garbled them)
+    // become `Event::Garbled`, quarantining the sender.
+    let decode =
+        |now: VirtualInstant, from: VehicleId, bytes: &[u8]| match ToServer::from_frame(bytes) {
+            Ok(msg) => Event::Message { now, from, msg },
+            Err(_) => Event::Garbled { now, from },
+        };
     let start = Instant::now();
     let mut timers: BTreeMap<TimerId, VirtualInstant> = BTreeMap::new();
     let mut outcome: Option<Result<PlatformReport>> = None;
@@ -228,11 +238,7 @@ fn drive<H: EventHost>(
                     .saturating_duration_since(Instant::now())
                     .max(Duration::from_millis(1));
                 match rx.recv_timeout(timeout) {
-                    Ok((from, msg)) => Some(Event::Message {
-                        now: virtual_now(start),
-                        from,
-                        msg,
-                    }),
+                    Ok((from, bytes)) => Some(decode(virtual_now(start), from, &bytes)),
                     Err(RecvTimeoutError::Timeout) => None,
                     Err(RecvTimeoutError::Disconnected) => Some(Event::LinksClosed {
                         now: virtual_now(start),
@@ -242,11 +248,7 @@ fn drive<H: EventHost>(
             // No armed deadlines (the core is between phases only
             // momentarily, so this is defensive): block on traffic.
             None => match rx.recv() {
-                Ok((from, msg)) => Some(Event::Message {
-                    now: virtual_now(start),
-                    from,
-                    msg,
-                }),
+                Ok((from, bytes)) => Some(decode(virtual_now(start), from, &bytes)),
                 Err(_) => Some(Event::LinksClosed {
                     now: virtual_now(start),
                 }),
@@ -270,7 +272,7 @@ fn apply(
         match action {
             Action::Send { to, msg } => {
                 if let Some(link) = links.get_mut(&to) {
-                    let _ = link.tx.send(msg);
+                    let _ = link.tx.send(msg.to_frame());
                 }
             }
             Action::SetTimer { timer, deadline } => {

@@ -3,6 +3,7 @@
 use crate::fault::{FaultPoint, FaultySender, Misbehavior};
 use crate::messages::{MappingAnswer, MappingTask, SensingUpload, ToServer, ToVehicle, VehicleId};
 use crate::segment::SegmentMap;
+use crate::wire::WireMessage;
 use crate::Result;
 use crossbeam::channel;
 use crowdwifi_channel::RssReading;
@@ -278,21 +279,29 @@ impl VehicleCore {
 /// server already knows why it hung up, and the platform reports the
 /// vehicle-side view alongside the server-side fate.
 ///
+/// The channels carry binary frames, so the uplink bytes the fault
+/// layer perturbs are the same bytes every backend would put on a real
+/// socket; a garbled downlink frame fails the vehicle with the decode
+/// error (the caller reports it as [`ToServer::Failed`]).
+///
 /// # Errors
 ///
-/// Propagates estimator failures from sensing; the caller reports them
-/// to the server as [`ToServer::Failed`].
+/// Propagates estimator failures from sensing and downlink decode
+/// failures; the caller reports them to the server as
+/// [`ToServer::Failed`].
 pub(crate) fn run_protocol(
     core: &mut VehicleCore,
     readings: &[RssReading],
     segments: &SegmentMap,
-    to_server: &mut FaultySender<(VehicleId, ToServer)>,
-    rx: &channel::Receiver<ToVehicle>,
+    to_server: &mut FaultySender<(VehicleId, Vec<u8>)>,
+    rx: &channel::Receiver<Vec<u8>>,
 ) -> Result<VehicleExit> {
     let id = core.id();
-    let dispatch = |msgs: Vec<ToServer>,
-                    to_server: &mut FaultySender<(VehicleId, ToServer)>|
-     -> bool { msgs.into_iter().all(|m| to_server.send((id, m)).is_ok()) };
+    let dispatch =
+        |msgs: Vec<ToServer>, to_server: &mut FaultySender<(VehicleId, Vec<u8>)>| -> bool {
+            msgs.into_iter()
+                .all(|m| to_server.send((id, m.to_frame())).is_ok())
+        };
     match core.start(readings)? {
         VehicleStep::Exit(exit) => return Ok(exit),
         VehicleStep::Continue(msgs) => {
@@ -303,14 +312,17 @@ pub(crate) fn run_protocol(
     }
     loop {
         match rx.recv() {
-            Ok(msg) => match core.on_message(msg, segments) {
-                VehicleStep::Exit(exit) => return Ok(exit),
-                VehicleStep::Continue(msgs) => {
-                    if !dispatch(msgs, to_server) {
-                        return Ok(VehicleExit::Disconnected);
+            Ok(bytes) => {
+                let msg = ToVehicle::from_frame(&bytes)?;
+                match core.on_message(msg, segments) {
+                    VehicleStep::Exit(exit) => return Ok(exit),
+                    VehicleStep::Continue(msgs) => {
+                        if !dispatch(msgs, to_server) {
+                            return Ok(VehicleExit::Disconnected);
+                        }
                     }
                 }
-            },
+            }
             Err(_) => return Ok(core.on_disconnect()),
         }
     }

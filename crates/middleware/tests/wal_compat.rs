@@ -1,0 +1,144 @@
+//! Cross-codec WAL compatibility: a write-ahead log written with the
+//! retired text codec (the on-disk format before the binary switch)
+//! must recover byte-identically through the same `read_wal` +
+//! `ServerCore::recover` path as a binary-era log of the same round.
+//! The dispatch point is the header frame's first payload byte.
+
+use crowdwifi_channel::{PathLossModel, RssReading};
+use crowdwifi_core::pipeline::{OnlineCs, OnlineCsConfig};
+use crowdwifi_geo::{Point, Rect};
+use crowdwifi_middleware::durability::{
+    encode_frame, read_wal, recover_round, LogSink, MemorySink,
+};
+use crowdwifi_middleware::fault::{FaultPlan, FaultPoint};
+use crowdwifi_middleware::messages::VehicleId;
+use crowdwifi_middleware::protocol::PlatformConfig;
+use crowdwifi_middleware::segment::SegmentMap;
+use crowdwifi_middleware::transport::{SimTransport, Transport};
+use crowdwifi_middleware::vehicle::{Behavior, CrowdVehicle};
+use crowdwifi_middleware::wire;
+use crowdwifi_obs::Registry;
+
+fn drive(lane_offset: f64) -> Vec<RssReading> {
+    let model = PathLossModel::uci_campus();
+    let ap = Point::new(75.0, 25.0);
+    (0..40)
+        .map(|i| {
+            let p = Point::new(5.0 + 7.0 * i as f64, lane_offset);
+            RssReading::new(p, model.mean_rss(p.distance(ap)), i as f64)
+        })
+        .collect()
+}
+
+fn segments() -> SegmentMap {
+    SegmentMap::new(
+        Rect::new(Point::new(0.0, -20.0), Point::new(300.0, 80.0)).unwrap(),
+        150.0,
+    )
+}
+
+fn fleet(n: u32) -> Vec<(CrowdVehicle, Vec<RssReading>)> {
+    (0..n)
+        .map(|v| {
+            let estimator =
+                OnlineCs::new(OnlineCsConfig::default(), PathLossModel::uci_campus()).unwrap();
+            (
+                CrowdVehicle::new(VehicleId(v), estimator, Behavior::Honest),
+                drive(20.0 + f64::from(v)),
+            )
+        })
+        .collect()
+}
+
+fn config() -> PlatformConfig {
+    PlatformConfig {
+        workers_per_task: 3,
+        seed: 23,
+        ..PlatformConfig::default()
+    }
+}
+
+/// Runs one faulted durable round to get a real binary WAL, transcodes
+/// it frame-for-frame into the pre-binary text format, and proves the
+/// codec dispatch recovers both logs to the same server state.
+#[test]
+fn text_era_wal_recovers_identically_to_binary_wal() {
+    // A plan with noise and a crash, so the log carries the interesting
+    // event shapes: uploads, answers, failures, timers, disconnects.
+    let plan = FaultPlan::noisy(41, 0.05, 0.08, 0.04).crash(VehicleId(2), FaultPoint::Answer);
+    let mut wal = MemorySink::new();
+    SimTransport
+        .run_round_durable(segments(), fleet(4), config(), &plan, &mut wal)
+        .expect("durable round");
+    let binary_bytes = wal.contents().expect("wal contents");
+
+    let binary_replay = read_wal(&binary_bytes).expect("binary replay");
+    assert_eq!(binary_replay.codec, wire::WIRE_VERSION);
+    assert!(
+        !binary_replay.events.is_empty(),
+        "round logged no events — test is vacuous"
+    );
+
+    // Transcode to the text-era on-disk format: same framing, text
+    // payloads. This is byte-exactly what a pre-binary deployment wrote.
+    let mut text_bytes = encode_frame(binary_replay.header.to_wire().as_bytes());
+    for event in &binary_replay.events {
+        text_bytes.extend_from_slice(&encode_frame(event.to_wire().as_bytes()));
+    }
+    assert_ne!(text_bytes, binary_bytes, "transcode did nothing");
+
+    let text_replay = read_wal(&text_bytes).expect("text replay");
+    assert_eq!(text_replay.codec, wire::TEXT_VERSION);
+    assert_eq!(
+        format!("{:?}", binary_replay.header),
+        format!("{:?}", text_replay.header),
+        "headers diverged across codecs"
+    );
+    assert_eq!(
+        format!("{:?}", binary_replay.events),
+        format!("{:?}", text_replay.events),
+        "event streams diverged across codecs"
+    );
+
+    // Full recovery through ServerCore::recover from each log.
+    let mut binary_sink = MemorySink::new();
+    binary_sink.reset(&binary_bytes).unwrap();
+    let (binary_core, binary_actions, _) =
+        recover_round(&mut binary_sink, Registry::new()).expect("binary recovery");
+    let mut text_sink = MemorySink::new();
+    text_sink.reset(&text_bytes).unwrap();
+    let (text_core, text_actions, _) =
+        recover_round(&mut text_sink, Registry::new()).expect("text recovery");
+    assert_eq!(
+        binary_core.state_digest(),
+        text_core.state_digest(),
+        "recovered state diverged across codecs"
+    );
+    assert_eq!(
+        format!("{binary_actions:?}"),
+        format!("{text_actions:?}"),
+        "recovery actions diverged across codecs"
+    );
+}
+
+/// A torn tail on a text-era log still salvages the intact prefix —
+/// the tail-drop logic is codec-independent.
+#[test]
+fn torn_text_wal_salvages_prefix() {
+    let plan = FaultPlan::none();
+    let mut wal = MemorySink::new();
+    SimTransport
+        .run_round_durable(segments(), fleet(3), config(), &plan, &mut wal)
+        .expect("durable round");
+    let replay = read_wal(&wal.contents().unwrap()).expect("binary replay");
+
+    let mut text_bytes = encode_frame(replay.header.to_wire().as_bytes());
+    for event in &replay.events {
+        text_bytes.extend_from_slice(&encode_frame(event.to_wire().as_bytes()));
+    }
+    let torn_len = text_bytes.len() - 3;
+    let torn = read_wal(&text_bytes[..torn_len]).expect("torn text replay");
+    assert_eq!(torn.codec, wire::TEXT_VERSION);
+    assert_eq!(torn.events.len(), replay.events.len() - 1);
+    assert!(torn.dropped_tail_bytes > 0);
+}

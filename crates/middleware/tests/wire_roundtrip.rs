@@ -13,6 +13,7 @@ use crowdwifi_middleware::protocol::{
     Action, Event, PlatformConfig, ServerCore, TimerId, VehicleFate, VirtualInstant,
 };
 use crowdwifi_middleware::segment::{SegmentId, SegmentMap};
+use crowdwifi_middleware::wire::{self, WireMessage};
 use crowdwifi_middleware::MiddlewareError;
 use crowdwifi_obs::Registry;
 use proptest::collection::vec;
@@ -21,17 +22,27 @@ use proptest::prelude::*;
 /// Bit-pattern-exact equality via the canonical encoding: two messages
 /// are "the same on the wire" iff they re-encode identically. This is
 /// the right comparison for floats, where `==` lies about NaN and
-/// `-0.0`.
+/// `-0.0`. Both codecs are checked on the same value, plus the
+/// cross-codec trip: binary-decode then text-encode must match the
+/// direct text encoding.
 fn assert_to_server_roundtrips(msg: &ToServer) {
     let wire = msg.to_wire();
-    let decoded = ToServer::from_wire(&wire).expect("decode");
-    assert_eq!(wire, decoded.to_wire(), "re-encode diverged for {msg:?}");
+    let decoded = ToServer::from_wire(&wire).expect("text decode");
+    assert_eq!(wire, decoded.to_wire(), "text re-encode diverged: {msg:?}");
+    let frame = msg.to_frame();
+    let decoded = ToServer::from_frame(&frame).expect("binary decode");
+    assert_eq!(frame, decoded.to_frame(), "binary re-encode: {msg:?}");
+    assert_eq!(wire, decoded.to_wire(), "cross-codec diverged: {msg:?}");
 }
 
 fn assert_to_vehicle_roundtrips(msg: &ToVehicle) {
     let wire = msg.to_wire();
-    let decoded = ToVehicle::from_wire(&wire).expect("decode");
-    assert_eq!(wire, decoded.to_wire(), "re-encode diverged for {msg:?}");
+    let decoded = ToVehicle::from_wire(&wire).expect("text decode");
+    assert_eq!(wire, decoded.to_wire(), "text re-encode diverged: {msg:?}");
+    let frame = msg.to_frame();
+    let decoded = ToVehicle::from_frame(&frame).expect("binary decode");
+    assert_eq!(frame, decoded.to_frame(), "binary re-encode: {msg:?}");
+    assert_eq!(wire, decoded.to_wire(), "cross-codec diverged: {msg:?}");
 }
 
 /// An arbitrary f64 bit pattern (covers NaNs, infinities, subnormals).
@@ -165,6 +176,10 @@ proptest! {
             let wire = event.to_wire();
             let decoded = Event::from_wire(&wire).expect("decode");
             prop_assert_eq!(&wire, &decoded.to_wire(), "re-encode diverged for {:?}", event);
+            let frame = event.to_frame();
+            let decoded = Event::from_frame(&frame).expect("binary decode");
+            prop_assert_eq!(&frame, &decoded.to_frame(), "binary re-encode diverged for {:?}", event);
+            prop_assert_eq!(&wire, &decoded.to_wire(), "cross-codec diverged for {:?}", event);
         }
     }
 
@@ -181,10 +196,14 @@ proptest! {
         let decoded = SegmentMap::from_wire(&map.to_wire()).expect("decode");
         prop_assert_eq!(map.to_wire(), decoded.to_wire());
         prop_assert_eq!(map.len(), decoded.len());
+        let binary = SegmentMap::from_frame(&map.to_frame()).expect("binary decode");
+        prop_assert_eq!(map.to_frame(), binary.to_frame());
+        prop_assert_eq!(map.len(), binary.len());
         // Same partition: probe a few points.
         for (fx, fy) in [(0.1, 0.2), (0.5, 0.5), (0.9, 0.7)] {
             let p = Point::new(x0 + fx * w, y0 + fy * h);
             prop_assert_eq!(map.segment_of(p), decoded.segment_of(p));
+            prop_assert_eq!(map.segment_of(p), binary.segment_of(p));
         }
     }
 }
@@ -227,6 +246,16 @@ fn extreme_floats_roundtrip_bit_exactly() {
         };
         assert_eq!(upload.estimates[0].credit.to_bits(), credit.to_bits());
         assert_eq!(wire, decoded.to_wire());
+        // Binary codec: the varint float packing must preserve the
+        // exact bit pattern, NaN payload bits included.
+        let frame = msg.to_frame();
+        let decoded = ToServer::from_frame(&frame).expect("binary decode");
+        let ToServer::Upload(upload) = &decoded else {
+            panic!("binary decoded to {decoded:?}");
+        };
+        assert_eq!(upload.estimates[0].credit.to_bits(), credit.to_bits());
+        assert_eq!(upload.estimates[0].position.x.to_bits(), credit.to_bits());
+        assert_eq!(frame, decoded.to_frame());
     }
 }
 
@@ -392,5 +421,145 @@ fn corrupted_frames_quarantine_the_sender_instead_of_failing_the_round() {
         registry.snapshot().counters.get("platform.quarantine"),
         Some(&1)
     );
+    assert!(report.dead_vehicles().contains(&VehicleId(2)));
+}
+
+/// The binary-framing twin of the corpus above: every class of frame
+/// damage the binary codec can meet — flipped payload bits under a now
+/// stale CRC, a mangled CRC itself, a wrong codec version, an oversized
+/// length prefix, truncated frames and truncated varints — quarantines
+/// the sender and leaves the round running.
+#[test]
+fn corrupted_binary_frames_quarantine_the_sender() {
+    let segments = SegmentMap::new(
+        Rect::new(Point::new(0.0, -20.0), Point::new(300.0, 80.0)).unwrap(),
+        150.0,
+    );
+    let fleet = [VehicleId(0), VehicleId(1), VehicleId(2)];
+    let registry = Registry::new();
+    let mut core = ServerCore::new(
+        segments,
+        &fleet,
+        PlatformConfig::default(),
+        registry.clone(),
+    )
+    .expect("valid core");
+    let _ = core.start(VirtualInstant::ZERO);
+
+    let valid = ToServer::Upload(SensingUpload {
+        vehicle: VehicleId(2),
+        estimates: vec![ApEstimate {
+            position: Point::new(62.0, 30.0),
+            credit: 1.5,
+        }],
+    })
+    .to_frame();
+
+    // Bit-flipped payload: the CRC no longer matches.
+    let mut bad_crc = valid.clone();
+    *bad_crc.last_mut().unwrap() ^= 0x40;
+    // Mangled CRC field itself.
+    let mut mangled_crc = valid.clone();
+    mangled_crc[4] ^= 0xff;
+    // Wrong codec version byte, but internally consistent CRC/length —
+    // the damage is only caught by the payload header check.
+    let mut bad_version = Vec::new();
+    wire::frame_into(&mut bad_version, |out| {
+        out.push(0x07);
+        out.push(wire::TAG_UPLOAD);
+    });
+    // Length prefix claims more bytes than the buffer holds.
+    let mut oversized = valid.clone();
+    oversized[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+    // A varint cut off mid-continuation, inside a CRC-clean frame.
+    let mut truncated_varint = Vec::new();
+    wire::frame_into(&mut truncated_varint, |out| {
+        out.push(wire::WIRE_VERSION);
+        out.push(wire::TAG_UPLOAD);
+        out.push(0x80);
+    });
+    // Unknown message tag, CRC-clean.
+    let mut unknown_tag = Vec::new();
+    wire::frame_into(&mut unknown_tag, |out| {
+        out.push(wire::WIRE_VERSION);
+        out.push(0x7f);
+    });
+    let corpus: Vec<Vec<u8>> = vec![
+        bad_crc,
+        mangled_crc,
+        bad_version,
+        oversized,
+        truncated_varint,
+        unknown_tag,
+        valid[..valid.len() - 1].to_vec(),   // truncated frame
+        valid[..5].to_vec(),                 // shorter than the header
+        Vec::new(),                          // empty
+        [valid.clone(), vec![0u8]].concat(), // trailing garbage
+    ];
+
+    let now = VirtualInstant::from_micros(10);
+    for (i, frame) in corpus.iter().enumerate() {
+        let actions = core.handle_frame_binary(now, VehicleId(2), frame);
+        assert!(
+            !core.is_finished(),
+            "round must survive corrupted binary frame {i}"
+        );
+        if i > 0 {
+            assert!(actions.is_empty(), "frame {i} was not inert: {actions:?}");
+        }
+    }
+    assert_eq!(
+        registry.snapshot().counters.get("platform.quarantine"),
+        Some(&1),
+        "one quarantine despite ten bad frames"
+    );
+
+    // The survivors finish the round over binary frames.
+    let mut last = Vec::new();
+    for v in [VehicleId(0), VehicleId(1)] {
+        let upload = ToServer::Upload(SensingUpload {
+            vehicle: v,
+            estimates: vec![ApEstimate {
+                position: Point::new(60.0 + f64::from(v.0), 30.0),
+                credit: 1.0,
+            }],
+        });
+        last = core.handle_frame_binary(now, v, &upload.to_frame());
+    }
+    let assignments: Vec<(VehicleId, Vec<MappingTask>)> = last
+        .iter()
+        .filter_map(|a| match a {
+            Action::Send {
+                to,
+                msg: ToVehicle::Assign(tasks),
+            } => Some((*to, tasks.clone())),
+            _ => None,
+        })
+        .collect();
+    let find_completed = |actions: &[Action]| {
+        actions.iter().find_map(|a| match a {
+            Action::Completed(report) => Some((**report).clone()),
+            _ => None,
+        })
+    };
+    let mut report = find_completed(&last);
+    for (v, tasks) in assignments {
+        if report.is_some() || tasks.is_empty() {
+            continue;
+        }
+        let answers = ToServer::Answers(
+            tasks
+                .iter()
+                .map(|t| MappingAnswer {
+                    vehicle: v,
+                    task_id: t.task_id,
+                    label: 1,
+                })
+                .collect(),
+        );
+        report = find_completed(&core.handle_frame_binary(now, v, &answers.to_frame()));
+    }
+    let report = report.expect("round completes without the quarantined vehicle");
+    assert_eq!(report.fates[&VehicleId(2)].fate, VehicleFate::Quarantined);
     assert!(report.dead_vehicles().contains(&VehicleId(2)));
 }

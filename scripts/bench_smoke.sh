@@ -13,23 +13,31 @@
 #
 # An optional first argument filters which benches run (and which gates
 # apply): "core" runs the pipeline/obs/platform benches, "fleet" runs
-# only the fleet-scale round bench (CI's fleet-smoke job), "all" (the
-# default) runs everything.
+# only the fleet-scale round bench (CI's fleet-smoke job), "wire" runs
+# only the binary-codec + columnar-store bench, "all" (the default)
+# runs everything.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 only="${1:-all}"
 case "$only" in
-    all | core | fleet) ;;
+    all | core | fleet | wire) ;;
     *)
-        echo "usage: $0 [all|core|fleet]" >&2
+        echo "usage: $0 [all|core|fleet|wire]" >&2
         exit 2
         ;;
 esac
 run_core=1
 run_fleet=1
-[ "$only" = fleet ] && run_core=0
-[ "$only" = core ] && run_fleet=0
+run_wire=1
+if [ "$only" != all ]; then
+    run_core=0
+    run_fleet=0
+    run_wire=0
+    [ "$only" = core ] && run_core=1
+    [ "$only" = fleet ] && run_fleet=1
+    [ "$only" = wire ] && run_wire=1
+fi
 
 export BENCH_OUT_DIR="${BENCH_OUT_DIR:-bench-artifacts}"
 export BENCH_SMOKE=1
@@ -43,6 +51,9 @@ if [ "$run_core" -eq 1 ]; then
 fi
 if [ "$run_fleet" -eq 1 ]; then
     ./target/release/fleet_rounds
+fi
+if [ "$run_wire" -eq 1 ]; then
+    ./target/release/wire_store
 fi
 
 # Pulls a numeric field out of one of the bench JSONs (no python in the
@@ -69,6 +80,7 @@ P="$BENCH_OUT_DIR/BENCH_pipeline.json"
 O="$BENCH_OUT_DIR/BENCH_obs.json"
 R="$BENCH_OUT_DIR/BENCH_platform.json"
 F="$BENCH_OUT_DIR/BENCH_fleet.json"
+W="$BENCH_OUT_DIR/BENCH_wire.json"
 
 echo "bench smoke thresholds:"
 if [ "$run_core" -eq 0 ]; then
@@ -141,6 +153,16 @@ if ! grep -q '"digest_match": true' "$F"; then
 else
     echo "  ok: fleet round matches sim byte-for-byte"
 fi
+fi
+
+if [ "$run_wire" -eq 1 ]; then
+# The binary codec's two headline wins over the retired text codec,
+# measured on a deterministic corpus so the byte ratio is exact (no
+# machine noise) and the throughput ratio only has scheduler noise on
+# both legs at once. The bench itself asserts the same bounds, so these
+# gates are the CI-visible restatement, not the only line of defense.
+gate "wire payload bytes ratio" "$(num "$W" payload_bytes_ratio)" "<=" 0.35
+gate "wire encode+decode speedup" "$(num "$W" encode_decode_speedup)" ">=" 5
 fi
 
 if [ "$fail" -ne 0 ]; then

@@ -73,6 +73,21 @@ CROWDWIFI_FORCE_SCALAR=1 cargo test -q -p crowdwifi-sparsesolve --test recovery_
     screening_preserves_support_and_solution
 cargo test -q --test solver_accel
 CROWDWIFI_FORCE_SCALAR=1 cargo test -q --test solver_accel
+# The binary wire codec's contracts: proptest round-trips over every
+# message variant (NaN bit-exact, text and binary codecs agreeing), the
+# adversarial corrupted-frame corpus landing in quarantine, and
+# text-era WAL logs recovering byte-identically through codec-version
+# dispatch. Run by name so a workspace filter can never silently skip
+# them, and under both kernel dispatch modes: frame bytes are part of
+# the cross-backend digest, so they may not depend on the kernel path.
+cargo test -q -p crowdwifi-middleware --test wire_roundtrip
+CROWDWIFI_FORCE_SCALAR=1 cargo test -q -p crowdwifi-middleware --test wire_roundtrip
+cargo test -q -p crowdwifi-middleware --test wal_compat
+CROWDWIFI_FORCE_SCALAR=1 cargo test -q -p crowdwifi-middleware --test wal_compat
+# The codec primitives and the columnar observation store unit suites,
+# by module name for the same reason.
+cargo test -q -p crowdwifi-middleware --lib wire::
+cargo test -q -p crowdwifi-middleware --lib store::
 # The observability layer ships a compile-out mode; it must stay green
 # with recording compiled to nothing.
 cargo test -q -p crowdwifi-obs --no-default-features

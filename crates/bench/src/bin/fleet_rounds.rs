@@ -191,7 +191,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"fleet_rounds\",\n  \"schema_version\": 6,\n  \"machine\": {{\"physical_parallelism\": {}, \"worker_budget\": {worker_budget}, \"smoke\": {smoke}}},\n  \"equivalence\": {{\"vehicles\": {eq_n}, \"digest_match\": true}},\n  \"shards\": {},\n  \"rows\": [\n{}\n  ],\n  \"headline_vehicle_rounds_per_hour\": {headline:.0},\n  \"target_vehicle_rounds_per_hour\": 1000000,\n  \"notes\": \"Each row is one full crowdsensing round on FleetTransport with faults on (1% drop, 0.5% duplication, one crash and one stall per 2048 vehicles): sensing, upload, labeling with retries and reassignment, sharded fusion, reliability scoring. vehicle_rounds_per_hour = vehicles / wall_secs * 3600; headline is the worst row. Vehicles run a deliberately cheap estimator (one 12-sample window, 10 m lattice, 60 m radio range, no global refine, single-threaded solves) so the number measures the round engine — event batching, shard routing, timer machinery — not estimator maths. machine.worker_budget is the transport's worker-pool size after clamping to detected parallelism (CROWDWIFI_THREADS rules). Before timing, a 200-vehicle round is asserted byte-identical (state digest and fused map) between FleetTransport and the reference SimTransport on the same seed and plan.\"\n}}\n",
+        "{{\n  \"bench\": \"fleet_rounds\",\n  \"schema_version\": 7,\n  \"machine\": {{\"physical_parallelism\": {}, \"worker_budget\": {worker_budget}, \"smoke\": {smoke}}},\n  \"equivalence\": {{\"vehicles\": {eq_n}, \"digest_match\": true}},\n  \"shards\": {},\n  \"rows\": [\n{}\n  ],\n  \"headline_vehicle_rounds_per_hour\": {headline:.0},\n  \"target_vehicle_rounds_per_hour\": 1000000,\n  \"notes\": \"Each row is one full crowdsensing round on FleetTransport with faults on (1% drop, 0.5% duplication, one crash and one stall per 2048 vehicles): sensing, upload, labeling with retries and reassignment, sharded fusion, reliability scoring. vehicle_rounds_per_hour = vehicles / wall_secs * 3600; headline is the worst row. Vehicles run a deliberately cheap estimator (one 12-sample window, 10 m lattice, 60 m radio range, no global refine, single-threaded solves) so the number measures the round engine — event batching, shard routing, timer machinery — not estimator maths. machine.worker_budget is the transport's worker-pool size after clamping to detected parallelism (CROWDWIFI_THREADS rules). Before timing, a 200-vehicle round is asserted byte-identical (state digest and fused map) between FleetTransport and the reference SimTransport on the same seed and plan.\"\n}}\n",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
         transport.shard_count(),
         rows.join(",\n"),

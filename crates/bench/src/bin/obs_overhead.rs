@@ -138,7 +138,7 @@ fn main() {
         .collect();
 
     let json = format!(
-        "{{\n  \"bench\": \"obs_overhead\",\n  \"schema_version\": 6,\n  \"machine\": {{\"physical_parallelism\": {}, \"smoke\": {smoke}}},\n  \"pipeline\": {{\"readings\": {}, \"reps\": {reps}, \"noop_ms\": {:.3}, \"enabled_ms\": {:.3}, \"overhead_pct\": {overhead_pct:.3}, \"budget_pct\": 2.0}},\n  \"counter_inc\": {{\"iters\": {micro_iters}, \"disabled_ns\": {disabled_ns:.3}, \"enabled_ns\": {enabled_ns:.3}}},\n  \"pipeline_counters\": {{\n{}\n  }},\n  \"notes\": \"overhead_pct compares OnlineCs::run with the default disabled global registry against an enabled local registry on one core; single-digit-millisecond runs make the percentage noisy, so CI gates it loosely while the budget stays 2%. The compile-out configuration (--no-default-features) removes recording entirely and is covered by the tier-1 gate, not measured here.\"\n}}\n",
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"schema_version\": 7,\n  \"machine\": {{\"physical_parallelism\": {}, \"smoke\": {smoke}}},\n  \"pipeline\": {{\"readings\": {}, \"reps\": {reps}, \"noop_ms\": {:.3}, \"enabled_ms\": {:.3}, \"overhead_pct\": {overhead_pct:.3}, \"budget_pct\": 2.0}},\n  \"counter_inc\": {{\"iters\": {micro_iters}, \"disabled_ns\": {disabled_ns:.3}, \"enabled_ns\": {enabled_ns:.3}}},\n  \"pipeline_counters\": {{\n{}\n  }},\n  \"notes\": \"overhead_pct compares OnlineCs::run with the default disabled global registry against an enabled local registry on one core; single-digit-millisecond runs make the percentage noisy, so CI gates it loosely while the budget stays 2%. The compile-out configuration (--no-default-features) removes recording entirely and is covered by the tier-1 gate, not measured here.\"\n}}\n",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
         readings.len(),
         plain_secs * 1e3,

@@ -265,7 +265,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"platform_rounds\",\n  \"schema_version\": 6,\n  \"machine\": {{\"physical_parallelism\": {}, \"smoke\": {smoke}}},\n  \"sim\": {{\"reps\": {reps}, \"clean_ms\": {:.3}, \"degraded_ms\": {:.3}, \"sim_rounds_per_sec\": {sim_rounds_per_sec:.3}}},\n  \"threaded\": {{\"reps\": {thread_reps}, \"degraded_ms\": {:.3}}},\n  \"sim_speedup\": {sim_speedup:.3},\n  \"durability\": {{\n    \"wal_reps\": {wal_reps},\n    \"plain_ms\": {:.3},\n    \"durable_ms\": {:.3},\n    \"wal_overhead_pct\": {wal_overhead_pct:.3},\n    \"wal_overhead_budget_pct\": 5.0,\n    \"replay_reps\": {replay_reps},\n    \"replay_events\": {replayed_events},\n    \"replay_ms\": {:.4},\n    \"recovery_replay_events_per_sec\": {recovery_replay_events_per_sec:.0},\n    \"recovery_replay_floor_per_sec\": 50000\n  }},\n  \"notes\": \"clean round = 5 honest vehicles over a 2-AP drive; degraded adds one crash, one stall and 10% message drop. sim_speedup compares the degraded round's wall time on the threaded backend (timeouts and backoffs are real sleeps) against the virtual-clock simulator, at an 800 ms phase deadline — longer production deadlines widen the ratio. Determinism (same seed, byte-identical deterministic projection) is asserted before measuring. durability.wal_overhead_pct compares best-of-interleaved-runs wall times (plain_ms, durable_ms) of the plain clean round against the same round with a write-ahead log on the in-memory sink (count-batched syncs); the appends cost microseconds against a round dominated by estimator maths, so the percentage hovers around zero (residual noise, possibly negative) and CI gates it at 5%. recovery_replay_events_per_sec decodes a synthetic 64-vehicle mid-round WAL and rebuilds the server by replay; the floor is 50k events/sec.\"\n}}\n",
+        "{{\n  \"bench\": \"platform_rounds\",\n  \"schema_version\": 7,\n  \"machine\": {{\"physical_parallelism\": {}, \"smoke\": {smoke}}},\n  \"sim\": {{\"reps\": {reps}, \"clean_ms\": {:.3}, \"degraded_ms\": {:.3}, \"sim_rounds_per_sec\": {sim_rounds_per_sec:.3}}},\n  \"threaded\": {{\"reps\": {thread_reps}, \"degraded_ms\": {:.3}}},\n  \"sim_speedup\": {sim_speedup:.3},\n  \"durability\": {{\n    \"wal_reps\": {wal_reps},\n    \"plain_ms\": {:.3},\n    \"durable_ms\": {:.3},\n    \"wal_overhead_pct\": {wal_overhead_pct:.3},\n    \"wal_overhead_budget_pct\": 5.0,\n    \"replay_reps\": {replay_reps},\n    \"replay_events\": {replayed_events},\n    \"replay_ms\": {:.4},\n    \"recovery_replay_events_per_sec\": {recovery_replay_events_per_sec:.0},\n    \"recovery_replay_floor_per_sec\": 50000\n  }},\n  \"notes\": \"clean round = 5 honest vehicles over a 2-AP drive; degraded adds one crash, one stall and 10% message drop. sim_speedup compares the degraded round's wall time on the threaded backend (timeouts and backoffs are real sleeps) against the virtual-clock simulator, at an 800 ms phase deadline — longer production deadlines widen the ratio. Determinism (same seed, byte-identical deterministic projection) is asserted before measuring. durability.wal_overhead_pct compares best-of-interleaved-runs wall times (plain_ms, durable_ms) of the plain clean round against the same round with a write-ahead log on the in-memory sink (count-batched syncs); the appends cost microseconds against a round dominated by estimator maths, so the percentage hovers around zero (residual noise, possibly negative) and CI gates it at 5%. recovery_replay_events_per_sec decodes a synthetic 64-vehicle mid-round WAL and rebuilds the server by replay; the floor is 50k events/sec.\"\n}}\n",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
         sim_clean_secs * 1e3,
         sim_degraded_secs * 1e3,

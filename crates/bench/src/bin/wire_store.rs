@@ -275,7 +275,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"wire_store\",\n  \"schema_version\": 6,\n  \"machine\": {{\"physical_parallelism\": {}, \"smoke\": {smoke}}},\n  \"codec\": {{\n    \"corpus_messages\": {corpus_n},\n    \"text_bytes_per_message\": {:.2},\n    \"binary_payload_bytes_per_message\": {:.2},\n    \"binary_framed_bytes_per_message\": {:.2},\n    \"payload_bytes_ratio\": {payload_ratio:.4},\n    \"framed_bytes_ratio\": {framed_ratio:.4},\n    \"target_payload_bytes_ratio\": 0.35,\n    \"text_msgs_per_sec\": {text_mps:.0},\n    \"binary_msgs_per_sec\": {binary_mps:.0},\n    \"encode_decode_speedup\": {speedup:.2},\n    \"target_encode_decode_speedup\": 5.0\n  }},\n  \"store\": {{\n    \"observations\": {store_n},\n    \"ingest_obs_per_sec\": {ingest_rate:.0},\n    \"buckets\": {},\n    \"column_bytes\": {},\n    \"aggregate_query\": \"mean_rssi over a 10-minute window\",\n    \"aggregate_query_p50_us\": {p50:.3},\n    \"aggregate_query_p99_us\": {p99:.3},\n    \"static_aps\": {static_aps}\n  }},\n  \"notes\": \"Codec rows compare the length-prefixed CRC32 binary framing against the retired text codec on a deterministic 20k-message corpus shaped like real round traffic (60% lattice-position uploads, 20% assignments, 15% answer batches, 5% control). payload_bytes_ratio is binary payload over text payload (both codecs' WAL frames carry the same 8-byte len+CRC header); the ≤0.35 target holds because f64s are varint-packed byte-swapped, so lattice coordinates cost 2-4 bytes instead of 17 text bytes. Throughput is single-threaded frame-to-message round trips, best of three trials per codec: both sides pay full framing (len+CRC backfill on encode, CRC validation on decode, scratch buffer reused) exactly as the transports and WAL ship them — the text era framed its payloads the same way, so neither leg skips integrity work. Store rows ingest observations into the time-bucketed SoA columns (10 bytes/observation) and report mean_rssi latency percentiles reading per-minute per-AP aggregates only — flat in total observation count.\"\n}}\n",
+        "{{\n  \"bench\": \"wire_store\",\n  \"schema_version\": 7,\n  \"machine\": {{\"physical_parallelism\": {}, \"smoke\": {smoke}}},\n  \"codec\": {{\n    \"corpus_messages\": {corpus_n},\n    \"text_bytes_per_message\": {:.2},\n    \"binary_payload_bytes_per_message\": {:.2},\n    \"binary_framed_bytes_per_message\": {:.2},\n    \"payload_bytes_ratio\": {payload_ratio:.4},\n    \"framed_bytes_ratio\": {framed_ratio:.4},\n    \"target_payload_bytes_ratio\": 0.35,\n    \"text_msgs_per_sec\": {text_mps:.0},\n    \"binary_msgs_per_sec\": {binary_mps:.0},\n    \"encode_decode_speedup\": {speedup:.2},\n    \"target_encode_decode_speedup\": 5.0\n  }},\n  \"store\": {{\n    \"observations\": {store_n},\n    \"ingest_obs_per_sec\": {ingest_rate:.0},\n    \"buckets\": {},\n    \"column_bytes\": {},\n    \"aggregate_query\": \"mean_rssi over a 10-minute window\",\n    \"aggregate_query_p50_us\": {p50:.3},\n    \"aggregate_query_p99_us\": {p99:.3},\n    \"static_aps\": {static_aps}\n  }},\n  \"notes\": \"Codec rows compare the length-prefixed CRC32 binary framing against the retired text codec on a deterministic 20k-message corpus shaped like real round traffic (60% lattice-position uploads, 20% assignments, 15% answer batches, 5% control). payload_bytes_ratio is binary payload over text payload (both codecs' WAL frames carry the same 8-byte len+CRC header); the ≤0.35 target holds because f64s are varint-packed byte-swapped, so lattice coordinates cost 2-4 bytes instead of 17 text bytes. Throughput is single-threaded frame-to-message round trips, best of three trials per codec: both sides pay full framing (len+CRC backfill on encode, CRC validation on decode, scratch buffer reused) exactly as the transports and WAL ship them — the text era framed its payloads the same way, so neither leg skips integrity work. Store rows ingest observations into the time-bucketed SoA columns (10 bytes/observation) and report mean_rssi latency percentiles reading per-minute per-AP aggregates only — flat in total observation count.\"\n}}\n",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
         text_payload as f64 / msgs.len() as f64,
         binary_payload as f64 / msgs.len() as f64,

@@ -1,0 +1,286 @@
+//! Planar geohash: Morton/Z-order cell codes over a bounded world.
+//!
+//! CrowdWiFi's coordinates are planar meters (map-projected), so the
+//! map uses a quadtree geohash over a fixed world [`Rect`] rather than
+//! the base-32 lat/lon alphabet: a point is quantized to `2^level`
+//! slots per axis and the two axis indices are bit-interleaved into a
+//! single `u64` code. Truncating the code (dropping the low bit pairs)
+//! yields the enclosing coarser cell — that prefix property is what the
+//! shard router and the corridor walk exploit.
+
+use crowdwifi_geo::{Point, Rect};
+
+/// Maximum quantization level (bits per axis). 30 bits per axis keeps
+/// the interleaved code inside 60 bits of a `u64`.
+pub const MAX_LEVEL: u8 = 30;
+
+/// A geohash cell: an interleaved Morton code plus its level.
+///
+/// Codes are only comparable between cells of the same level; use
+/// [`GeoCell::parent`] to move between levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GeoCell {
+    /// Interleaved Morton code (x bits even, y bits odd).
+    pub code: u64,
+    /// Quantization level: bits per axis, `1..=MAX_LEVEL`.
+    pub level: u8,
+}
+
+impl GeoCell {
+    /// The enclosing cell at a coarser `level` (prefix truncation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is coarser than this cell's level is fine but
+    /// finer (`level > self.level`) is not meaningful and panics.
+    pub fn parent(self, level: u8) -> GeoCell {
+        assert!(level <= self.level, "parent level must be coarser");
+        GeoCell {
+            code: self.code >> (2 * u64::from(self.level - level)),
+            level,
+        }
+    }
+}
+
+/// Spreads the low 32 bits of `v` into the even bit positions.
+#[inline]
+fn spread(v: u64) -> u64 {
+    let mut v = v & 0xffff_ffff;
+    v = (v | (v << 16)) & 0x0000_ffff_0000_ffff;
+    v = (v | (v << 8)) & 0x00ff_00ff_00ff_00ff;
+    v = (v | (v << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+    v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+    v
+}
+
+/// Inverse of [`spread`]: gathers the even bit positions into the low 32.
+#[inline]
+fn compact(v: u64) -> u64 {
+    let mut v = v & 0x5555_5555_5555_5555;
+    v = (v | (v >> 1)) & 0x3333_3333_3333_3333;
+    v = (v | (v >> 2)) & 0x0f0f_0f0f_0f0f_0f0f;
+    v = (v | (v >> 4)) & 0x00ff_00ff_00ff_00ff;
+    v = (v | (v >> 8)) & 0x0000_ffff_0000_ffff;
+    v = (v | (v >> 16)) & 0xffff_ffff;
+    v
+}
+
+/// Interleaves two axis indices into a Morton code.
+#[inline]
+pub(crate) fn interleave(ix: u64, iy: u64) -> u64 {
+    spread(ix) | (spread(iy) << 1)
+}
+
+/// Splits a Morton code back into `(ix, iy)`.
+#[inline]
+pub(crate) fn deinterleave(code: u64) -> (u64, u64) {
+    (compact(code), compact(code >> 1))
+}
+
+/// The bounded world a geohash is defined over.
+///
+/// All encode/decode operations clamp into the world rectangle, so
+/// out-of-bounds points land in the nearest edge cell rather than
+/// wrapping or erroring.
+#[derive(Debug, Clone, Copy)]
+pub struct World {
+    area: Rect,
+}
+
+impl World {
+    /// Creates a geohash world over `area`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the area has zero width or height (every cell would be
+    /// degenerate).
+    pub fn new(area: Rect) -> Self {
+        assert!(
+            area.width() > 0.0 && area.height() > 0.0,
+            "geohash world must have positive extent"
+        );
+        World { area }
+    }
+
+    /// The world rectangle.
+    pub fn area(&self) -> Rect {
+        self.area
+    }
+
+    /// Number of cells per axis at `level`.
+    #[inline]
+    fn slots(level: u8) -> u64 {
+        1u64 << level
+    }
+
+    /// Quantizes one coordinate into its axis index at `level`.
+    #[inline]
+    fn axis_index(v: f64, lo: f64, extent: f64, level: u8) -> u64 {
+        let n = Self::slots(level);
+        let t = ((v - lo) / extent * n as f64).floor();
+        if t <= 0.0 {
+            0
+        } else if t >= (n - 1) as f64 {
+            n - 1
+        } else {
+            t as u64
+        }
+    }
+
+    /// Encodes a point into its cell at `level` (clamping into the world).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is 0 or exceeds [`MAX_LEVEL`].
+    pub fn encode(&self, p: Point, level: u8) -> GeoCell {
+        assert!(
+            (1..=MAX_LEVEL).contains(&level),
+            "level must be in 1..={MAX_LEVEL}"
+        );
+        let ix = Self::axis_index(p.x, self.area.min().x, self.area.width(), level);
+        let iy = Self::axis_index(p.y, self.area.min().y, self.area.height(), level);
+        GeoCell {
+            code: interleave(ix, iy),
+            level,
+        }
+    }
+
+    /// The rectangle a cell covers.
+    pub fn cell_rect(&self, cell: GeoCell) -> Rect {
+        let (ix, iy) = deinterleave(cell.code);
+        let n = Self::slots(cell.level) as f64;
+        let w = self.area.width() / n;
+        let h = self.area.height() / n;
+        let min = Point::new(
+            self.area.min().x + ix as f64 * w,
+            self.area.min().y + iy as f64 * h,
+        );
+        Rect::new(min, Point::new(min.x + w, min.y + h)).expect("cell rect is well-formed")
+    }
+
+    /// The up-to-8 neighbor cells at the same level, clipped at the
+    /// world boundary, in deterministic (dy, dx) scan order.
+    pub fn neighbors(&self, cell: GeoCell) -> Vec<GeoCell> {
+        let (ix, iy) = deinterleave(cell.code);
+        let n = Self::slots(cell.level);
+        let mut out = Vec::with_capacity(8);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let nx = ix as i64 + dx;
+                let ny = iy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= n as i64 || ny >= n as i64 {
+                    continue;
+                }
+                out.push(GeoCell {
+                    code: interleave(nx as u64, ny as u64),
+                    level: cell.level,
+                });
+            }
+        }
+        out
+    }
+
+    /// Calls `f` for every cell at `level` intersecting `rect` (clipped
+    /// to the world), in row-major (iy, ix) order. The allocation-free
+    /// core of [`World::cells_covering`] — the map's lookup hot path
+    /// walks cells through this without building a `Vec`.
+    pub fn for_each_cell_covering<F: FnMut(GeoCell)>(&self, rect: Rect, level: u8, mut f: F) {
+        let lo = self.encode(rect.min(), level);
+        let hi = self.encode(rect.max(), level);
+        let (x0, y0) = deinterleave(lo.code);
+        let (x1, y1) = deinterleave(hi.code);
+        for iy in y0..=y1 {
+            for ix in x0..=x1 {
+                f(GeoCell {
+                    code: interleave(ix, iy),
+                    level,
+                });
+            }
+        }
+    }
+
+    /// All cells at `level` intersecting `rect` (clipped to the world),
+    /// in row-major (iy, ix) order.
+    pub fn cells_covering(&self, rect: Rect, level: u8) -> Vec<GeoCell> {
+        let mut out = Vec::new();
+        self.for_each_cell_covering(rect, level, |c| out.push(c));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::new(Rect::new(Point::new(0.0, 0.0), Point::new(1024.0, 1024.0)).unwrap())
+    }
+
+    #[test]
+    fn interleave_roundtrip() {
+        for &(ix, iy) in &[(0u64, 0u64), (1, 0), (0, 1), (123, 456), (0x3fff_ffff, 7)] {
+            assert_eq!(deinterleave(interleave(ix, iy)), (ix, iy));
+        }
+    }
+
+    #[test]
+    fn encode_is_contained_in_cell_rect() {
+        let w = world();
+        let p = Point::new(513.7, 100.2);
+        for level in 1..=10 {
+            let c = w.encode(p, level);
+            assert!(w.cell_rect(c).contains(p));
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_points_clamp_to_edge_cells() {
+        let w = world();
+        let c = w.encode(Point::new(-50.0, 2000.0), 4);
+        let (ix, iy) = deinterleave(c.code);
+        assert_eq!((ix, iy), (0, 15));
+    }
+
+    #[test]
+    fn parent_is_prefix_truncation() {
+        let w = world();
+        let fine = w.encode(Point::new(700.0, 300.0), 8);
+        let coarse = w.encode(Point::new(700.0, 300.0), 3);
+        assert_eq!(fine.parent(3), coarse);
+    }
+
+    #[test]
+    fn neighbors_are_adjacent_and_clipped() {
+        let w = world();
+        // Interior cell: all 8 neighbors.
+        let c = w.encode(Point::new(512.0, 512.0), 4);
+        assert_eq!(w.neighbors(c).len(), 8);
+        // Corner cell: only 3.
+        let corner = w.encode(Point::new(0.0, 0.0), 4);
+        assert_eq!(w.neighbors(corner).len(), 3);
+        let (cx, cy) = deinterleave(c.code);
+        for n in w.neighbors(c) {
+            let (nx, ny) = deinterleave(n.code);
+            assert!(nx.abs_diff(cx) <= 1 && ny.abs_diff(cy) <= 1);
+            assert_ne!((nx, ny), (cx, cy));
+        }
+    }
+
+    #[test]
+    fn covering_contains_the_cell_of_every_interior_point() {
+        let w = world();
+        let r = Rect::new(Point::new(100.0, 200.0), Point::new(300.0, 280.0)).unwrap();
+        let cells = w.cells_covering(r, 5);
+        for &p in &[
+            Point::new(100.0, 200.0),
+            Point::new(299.9, 279.9),
+            Point::new(205.0, 240.0),
+        ] {
+            assert!(cells.contains(&w.encode(p, 5)));
+        }
+    }
+}

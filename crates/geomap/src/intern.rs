@@ -1,0 +1,125 @@
+//! Shared AP-identifier interning.
+//!
+//! Both the middleware's columnar observation store and the global AP
+//! map name APs by small dense `u32` ids. Before this module each kept
+//! its own intern table, which meant the same AP key could map to
+//! different ids on the two sides. The [`Interner`] here is the single
+//! implementation; [`SharedInterner`] lets the store and the map hang
+//! off *one* table so ids can never disagree.
+
+use crowdwifi_geo::Point;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// First-come-first-serve string intern table handing out dense,
+/// stable `u32` ids.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    ids: BTreeMap<String, u32>,
+}
+
+impl Interner {
+    /// An empty table.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns `name`, returning its stable id. Idempotent: the same
+    /// name always yields the same id; new names get sequential ids.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up `name` without interning it.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name behind `id`, if it was handed out by [`Interner::intern`].
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All interned names in id order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+/// An intern table shared between producers (e.g. the observation
+/// store and the AP map), so both hand out identical ids for identical
+/// keys.
+pub type SharedInterner = Arc<Mutex<Interner>>;
+
+/// A fresh shareable intern table.
+pub fn shared_interner() -> SharedInterner {
+    Arc::new(Mutex::new(Interner::new()))
+}
+
+/// The canonical grid-quantized AP key for a position: `ap(ix,iy)`
+/// with `ix = floor(x / resolution)` (same for `iy`). This is the key
+/// scheme `middleware::store` has always used at 10 m resolution; the
+/// map founds new entries under the same keys so a shared [`Interner`]
+/// yields matching ids.
+///
+/// # Panics
+///
+/// Panics if `resolution` is not a positive finite number.
+pub fn grid_key(p: Point, resolution: f64) -> String {
+    assert!(
+        resolution > 0.0 && resolution.is_finite(),
+        "grid resolution must be positive and finite"
+    );
+    let ix = (p.x / resolution).floor() as i64;
+    let iy = (p.y / resolution).floor() as i64;
+    format!("ap({ix},{iy})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_sequential() {
+        let mut t = Interner::new();
+        assert_eq!(t.intern("a"), 0);
+        assert_eq!(t.intern("b"), 1);
+        assert_eq!(t.intern("a"), 0);
+        assert_eq!(t.name(1), Some("b"));
+        assert_eq!(t.get("b"), Some(1));
+        assert_eq!(t.get("c"), None);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.names(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn grid_key_matches_store_scheme() {
+        assert_eq!(grid_key(Point::new(75.0, 25.0), 10.0), "ap(7,2)");
+        assert_eq!(grid_key(Point::new(-0.1, 0.0), 10.0), "ap(-1,0)");
+    }
+
+    #[test]
+    fn shared_table_hands_out_one_id_per_key() {
+        let shared = shared_interner();
+        let a = shared.lock().unwrap().intern("ap(7,2)");
+        let b = Arc::clone(&shared).lock().unwrap().intern("ap(7,2)");
+        assert_eq!(a, b);
+    }
+}

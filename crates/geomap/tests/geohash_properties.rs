@@ -1,0 +1,133 @@
+//! Property tests for the planar geohash: encode/decode/neighbor
+//! round-trips over randomized worlds, points, and levels.
+
+use crowdwifi_geo::{Point, Rect};
+use crowdwifi_geomap::geohash::{World, MAX_LEVEL};
+use proptest::prelude::*;
+
+fn world_rect() -> impl Strategy<Value = Rect> {
+    (
+        -5000.0..5000.0f64,
+        -5000.0..5000.0f64,
+        10.0..20000.0f64,
+        10.0..20000.0f64,
+    )
+        .prop_map(|(x, y, w, h)| {
+            Rect::new(Point::new(x, y), Point::new(x + w, y + h)).expect("valid world")
+        })
+}
+
+/// A unit-square coordinate pair mapped into a given world later.
+fn unit() -> impl Strategy<Value = (f64, f64)> {
+    (0.0..1.0f64, 0.0..1.0f64)
+}
+
+fn at(world: &Rect, u: (f64, f64)) -> Point {
+    Point::new(
+        world.min().x + u.0 * world.width(),
+        world.min().y + u.1 * world.height(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn encode_lands_in_its_own_cell(area in world_rect(), u in unit(), level in 1u8..=16) {
+        let w = World::new(area);
+        let p = at(&area, u);
+        let cell = w.encode(p, level);
+        prop_assert!(w.cell_rect(cell).contains(p));
+    }
+
+    #[test]
+    fn cell_center_reencodes_to_the_same_cell(area in world_rect(), u in unit(), level in 1u8..=16) {
+        let w = World::new(area);
+        let cell = w.encode(at(&area, u), level);
+        // Decode → center → encode is the identity on cells.
+        prop_assert_eq!(w.encode(w.cell_rect(cell).center(), level), cell);
+    }
+
+    #[test]
+    fn parent_truncation_matches_coarse_encode(
+        area in world_rect(),
+        u in unit(),
+        fine in 2u8..=MAX_LEVEL,
+        coarse_off in 1u8..=8,
+    ) {
+        let w = World::new(area);
+        let p = at(&area, u);
+        let coarse = fine.saturating_sub(coarse_off).max(1);
+        // Truncating a fine code is the same as encoding coarsely.
+        prop_assert_eq!(w.encode(p, fine).parent(coarse), w.encode(p, coarse));
+    }
+
+    #[test]
+    fn neighbors_are_mutual_and_touch(area in world_rect(), u in unit(), level in 1u8..=12) {
+        let w = World::new(area);
+        let cell = w.encode(at(&area, u), level);
+        let rect = w.cell_rect(cell);
+        let neighbors = w.neighbors(cell);
+        prop_assert!(neighbors.len() <= 8);
+        // Allow a 1-ulp-scale gap: cell corners are recomputed per cell
+        // and can round apart by a relative epsilon.
+        let eps = (rect.width().max(rect.height())) * 1e-9;
+        for n in &neighbors {
+            // Adjacent cells share at least a corner.
+            prop_assert!(w.cell_rect(*n).expanded(eps).intersection(&rect).is_some());
+            // The neighbor relation is symmetric.
+            prop_assert!(w.neighbors(*n).contains(&cell));
+        }
+        // Cells away from the world border have the full ring.
+        let n_axis = 1u64 << level;
+        let margin_x = area.width() / n_axis as f64;
+        let margin_y = area.height() / n_axis as f64;
+        let p = at(&area, u);
+        let interior = p.x >= area.min().x + margin_x
+            && p.x < area.max().x - margin_x
+            && p.y >= area.min().y + margin_y
+            && p.y < area.max().y - margin_y;
+        if interior {
+            prop_assert_eq!(neighbors.len(), 8);
+        }
+    }
+
+    #[test]
+    fn covering_cells_contain_every_sampled_interior_point(
+        area in world_rect(),
+        a in unit(),
+        b in unit(),
+        t in 0.0..1.0f64,
+        level in 1u8..=7,
+    ) {
+        let w = World::new(area);
+        let (pa, pb) = (at(&area, a), at(&area, b));
+        let query = Rect::bounding(&[pa, pb]).expect("two points");
+        let cells = w.cells_covering(query, level);
+        prop_assert!(!cells.is_empty());
+        // Any point inside the query rect encodes to a covered cell.
+        let probe = pa.lerp(pb, t);
+        prop_assert!(cells.contains(&w.encode(probe, level)));
+        // Covering is tight: every covered cell intersects the query.
+        for c in cells {
+            prop_assert!(w.cell_rect(c).intersection(&query).is_some());
+        }
+    }
+
+    #[test]
+    fn out_of_world_points_clamp_deterministically(
+        area in world_rect(),
+        dx in -3.0..3.0f64,
+        dy in -3.0..3.0f64,
+        level in 1u8..=12,
+    ) {
+        let w = World::new(area);
+        // A point pushed arbitrarily outside encodes like its clamp.
+        let outside = Point::new(
+            area.min().x + dx * area.width(),
+            area.min().y + dy * area.height(),
+        );
+        let clamped = area.clamp(outside);
+        prop_assert_eq!(w.encode(outside, level), w.encode(clamped, level));
+    }
+}

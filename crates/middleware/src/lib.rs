@@ -42,6 +42,7 @@
 
 pub mod durability;
 pub mod fault;
+pub mod mapsink;
 pub mod messages;
 pub mod platform;
 pub mod protocol;

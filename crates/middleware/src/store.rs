@@ -28,8 +28,13 @@
 
 use crate::messages::SensingUpload;
 use crate::protocol::VirtualInstant;
+use crowdwifi_geomap::{grid_key, shared_interner, SharedInterner};
 use std::collections::BTreeMap;
 use std::time::Duration;
+
+/// Grid resolution (meters) of the synthetic AP keys
+/// [`ObsStore::absorb_upload`] files estimates under.
+pub const KEY_RESOLUTION_M: f64 = 10.0;
 
 /// Interned identifier of one observed AP.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -121,8 +126,7 @@ pub struct PresenceCell {
 #[derive(Debug)]
 pub struct ObsStore {
     bucket_micros: u64,
-    names: Vec<String>,
-    ids: BTreeMap<String, u32>,
+    interner: SharedInterner,
     buckets: BTreeMap<u64, Bucket>,
     total: u64,
 }
@@ -141,6 +145,22 @@ impl ObsStore {
     /// Panics if `bucket` is zero or wider than a `u32` of microseconds
     /// (≈ 71 min) — the timestamp column stores 4-byte offsets.
     pub fn with_bucket(bucket: Duration) -> Self {
+        ObsStore::with_bucket_and_interner(bucket, shared_interner())
+    }
+
+    /// A per-minute-bucket store interning AP identifiers into a shared
+    /// table — hand the same handle to a `crowdwifi_geomap::GeoMap` and
+    /// the two sides can never disagree on ids.
+    pub fn with_shared_interner(interner: SharedInterner) -> Self {
+        ObsStore::with_bucket_and_interner(Duration::from_secs(60), interner)
+    }
+
+    /// A store with a custom bucket width and intern table.
+    ///
+    /// # Panics
+    ///
+    /// As [`ObsStore::with_bucket`].
+    pub fn with_bucket_and_interner(bucket: Duration, interner: SharedInterner) -> Self {
         let micros = bucket.as_micros();
         assert!(
             micros > 0 && micros <= u128::from(u32::MAX),
@@ -148,8 +168,7 @@ impl ObsStore {
         );
         ObsStore {
             bucket_micros: micros as u64,
-            names: Vec::new(),
-            ids: BTreeMap::new(),
+            interner,
             buckets: BTreeMap::new(),
             total: 0,
         }
@@ -157,19 +176,28 @@ impl ObsStore {
 
     /// Interns `name`, returning its stable id.
     pub fn intern(&mut self, name: &str) -> ApId {
-        if let Some(&id) = self.ids.get(name) {
-            return ApId(id);
-        }
-        let id = self.names.len() as u32;
-        self.names.push(name.to_string());
-        self.ids.insert(name.to_string(), id);
-        ApId(id)
+        ApId(
+            self.interner
+                .lock()
+                .expect("interner poisoned")
+                .intern(name),
+        )
     }
 
-    /// The interned name of `ap`, if the id was handed out by
-    /// [`ObsStore::intern`].
-    pub fn ap_name(&self, ap: ApId) -> Option<&str> {
-        self.names.get(ap.0 as usize).map(String::as_str)
+    /// The interned name of `ap`, if the id is known to the backing
+    /// table.
+    pub fn ap_name(&self, ap: ApId) -> Option<String> {
+        self.interner
+            .lock()
+            .expect("interner poisoned")
+            .name(ap.0)
+            .map(str::to_string)
+    }
+
+    /// A handle to the intern table, for sharing with other consumers
+    /// (the geo-sharded AP map in particular).
+    pub fn interner_handle(&self) -> SharedInterner {
+        std::sync::Arc::clone(&self.interner)
     }
 
     /// Ingests one observation of `ap` at absolute time `t_micros` with
@@ -200,11 +228,7 @@ impl ObsStore {
         let estimates: Vec<(String, f64)> = upload
             .estimates
             .iter()
-            .map(|e| {
-                let ix = (e.position.x / 10.0).floor() as i64;
-                let iy = (e.position.y / 10.0).floor() as i64;
-                (format!("ap({ix},{iy})"), e.credit)
-            })
+            .map(|e| (grid_key(e.position, KEY_RESOLUTION_M), e.credit))
             .collect();
         for (key, credit) in estimates {
             let ap = self.intern(&key);
@@ -227,9 +251,10 @@ impl ObsStore {
         self.buckets.len()
     }
 
-    /// Number of distinct interned APs.
+    /// Number of distinct identifiers in the backing intern table
+    /// (shared tables count every producer's names).
     pub fn ap_count(&self) -> usize {
-        self.names.len()
+        self.interner.lock().expect("interner poisoned").len()
     }
 
     /// The bucket width in microseconds.
@@ -351,7 +376,7 @@ mod tests {
         let a = s.intern("ap-a");
         let b = s.intern("ap-b");
         assert_eq!(s.intern("ap-a"), a, "interning is idempotent");
-        assert_eq!(s.ap_name(a), Some("ap-a"));
+        assert_eq!(s.ap_name(a).as_deref(), Some("ap-a"));
 
         s.ingest(a, 10, -70.0);
         s.ingest(a, MIN - 1, -72.0);

@@ -155,6 +155,25 @@ pub struct CampaignOutcome {
     pub database: ShardedDatabase,
 }
 
+/// Observer of campaign round closes. The campaign drivers call
+/// [`RoundSink::round_closed`] exactly once per round, after
+/// reliability smoothing and the database fold, with the sealed
+/// report — this is how downstream consumers (the geo-sharded AP map
+/// via [`crate::mapsink::GeoMapSink`], metrics scrapers, ...) tap the
+/// round stream without owning the campaign loop.
+pub trait RoundSink {
+    /// Called after round `round` closed with its sealed report.
+    fn round_closed(&mut self, round: usize, report: &PlatformReport);
+}
+
+/// The do-nothing sink the plain campaign entry points use.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoSink;
+
+impl RoundSink for NoSink {
+    fn round_closed(&mut self, _round: usize, _report: &PlatformReport) {}
+}
+
 /// Runs several crowdsourcing rounds back-to-back on `transport` with
 /// reliability smoothing: each round re-senses, re-labels and
 /// re-infers; per-vehicle reliability is the EMA across rounds, so a
@@ -188,6 +207,34 @@ pub fn run_campaign_with_faults_on<T: Transport + ?Sized>(
     smoothing: f64,
     plans: &[FaultPlan],
 ) -> Result<CampaignOutcome> {
+    run_campaign_with_faults_into(
+        transport,
+        segments,
+        rounds,
+        config,
+        smoothing,
+        plans,
+        &mut NoSink,
+    )
+}
+
+/// [`run_campaign_with_faults_on`] with a [`RoundSink`] observing each
+/// round close — the wiring point that makes the geo-sharded AP map
+/// the sink of [`FleetTransport`] (or any transport's) round closes.
+///
+/// # Errors
+///
+/// As [`run_campaign_on`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_with_faults_into<T: Transport + ?Sized>(
+    transport: &T,
+    segments: SegmentMap,
+    rounds: Vec<Vec<(CrowdVehicle, Vec<RssReading>)>>,
+    config: PlatformConfig,
+    smoothing: f64,
+    plans: &[FaultPlan],
+    sink: &mut dyn RoundSink,
+) -> Result<CampaignOutcome> {
     if rounds.is_empty() {
         return Err(MiddlewareError::InvalidConfig(
             "campaign needs at least one round".to_string(),
@@ -210,6 +257,7 @@ pub fn run_campaign_with_faults_on<T: Transport + ?Sized>(
             transport.run_round_with_faults(segments.clone(), fleet, round_config, plan)?;
         smooth_reliabilities(&mut report, &mut long_run, smoothing);
         database.absorb(i, &segments, &report.fused);
+        sink.round_closed(i, &report);
         reports.push(report);
     }
     Ok(CampaignOutcome { reports, database })
@@ -238,6 +286,37 @@ pub fn run_durable_campaign_on<T: Transport + ?Sized>(
     wal: &mut dyn LogSink,
     snapshots: &mut SnapshotStore,
 ) -> Result<CampaignOutcome> {
+    run_durable_campaign_into(
+        transport,
+        segments,
+        rounds,
+        config,
+        smoothing,
+        plans,
+        wal,
+        snapshots,
+        &mut NoSink,
+    )
+}
+
+/// [`run_durable_campaign_on`] with a [`RoundSink`] observing each
+/// round close, after the snapshot write and WAL compaction.
+///
+/// # Errors
+///
+/// As [`run_durable_campaign_on`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_durable_campaign_into<T: Transport + ?Sized>(
+    transport: &T,
+    segments: SegmentMap,
+    rounds: Vec<Vec<(CrowdVehicle, Vec<RssReading>)>>,
+    config: PlatformConfig,
+    smoothing: f64,
+    plans: &[FaultPlan],
+    wal: &mut dyn LogSink,
+    snapshots: &mut SnapshotStore,
+    sink: &mut dyn RoundSink,
+) -> Result<CampaignOutcome> {
     if rounds.is_empty() {
         return Err(MiddlewareError::InvalidConfig(
             "campaign needs at least one round".to_string(),
@@ -264,6 +343,7 @@ pub fn run_durable_campaign_on<T: Transport + ?Sized>(
         // the snapshot now owns everything this round contributed.
         snapshots.write(i, &database, plan.snapshot_torn(i as u64))?;
         wal.reset(&[])?;
+        sink.round_closed(i, &report);
         reports.push(report);
     }
     Ok(CampaignOutcome { reports, database })

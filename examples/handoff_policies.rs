@@ -1,13 +1,20 @@
-//! BRR vs AllAP handoff on the VanLan-like campus (§6.3).
+//! BRR vs AllAP handoff on the VanLan-like campus (§6.3), fed end to
+//! end from the geo-sharded AP map.
 //!
-//! A user-vehicle downloads the crowdsensed AP map and drives a van
-//! round under both association policies; the example prints
-//! connectivity, session statistics and 10 KB transfer performance.
+//! Crowd rounds ingest fused AP estimates into a [`GeoMap`]; the
+//! user-vehicle then asks the map for "APs ahead on my trajectory" via
+//! the geohash corridor query and drives the van round under both
+//! association policies. To show the map path loses nothing, the BRR
+//! trace is also compared against a static ground-truth AP list in the
+//! same canonical order — the two must be identical.
 //!
 //! ```sh
 //! cargo run --release --example handoff_policies
 //! ```
 
+use crowdwifi::core::ApEstimate;
+use crowdwifi::geo::Point;
+use crowdwifi::geomap::{GeoMap, MapConfig};
 use crowdwifi::handoff::connectivity::{simulate, ConnectivityConfig, Policy};
 use crowdwifi::handoff::db::ApDatabase;
 use crowdwifi::handoff::session::{median_session_length, session_lengths};
@@ -19,29 +26,72 @@ use rand_chacha::ChaCha8Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = Scenario::vanlan();
-    // Assume a perfect crowdsensed database (error injection is
-    // explored by the fig11_transfers bench binary).
-    let db = ApDatabase::new(scenario.ap_positions());
     let route = vanlan_round(0.0);
+    let cfg = ConnectivityConfig::default();
+
+    // Crowdsense the global map: two campaign rounds each contribute a
+    // fused estimate per AP (credit 2 ≈ two supporting drives), so
+    // every AP consolidates to credit 4 — well above the transient
+    // floor — at its exact position.
+    let map = GeoMap::new(MapConfig::new(scenario.area()))?;
+    for round in 0u64..2 {
+        let estimates: Vec<ApEstimate> = scenario
+            .ap_positions()
+            .into_iter()
+            .map(|position| ApEstimate {
+                position,
+                credit: 2.0,
+            })
+            .collect();
+        map.absorb_estimates((round + 1) * 60_000_000, &estimates);
+    }
+
+    // The user-vehicle's download is a corridor query along its planned
+    // route: the corridor half-width matches the believed association
+    // range, so every AP the policies could ever consider is included.
+    let path: Vec<Point> = route.waypoints().iter().map(|w| w.position).collect();
+    let ahead = map.aps_ahead(&path, cfg.believed_range);
+    let db = ApDatabase::new(ahead.iter().map(|a| a.position).collect());
     println!(
-        "van round of {:.0} s through {} APs; policies: BRR (hard handoff) vs AllAP (opportunistic)",
+        "van round of {:.0} s; map holds {} APs, corridor query returned {} candidates",
         route.duration(),
-        scenario.aps().len()
+        map.len(),
+        db.len()
     );
+
+    // Sanity: the map-fed BRR trace must match a static ground-truth
+    // list in the same canonical order.
+    let mut baseline = scenario.ap_positions();
+    baseline.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
+    let static_db = ApDatabase::new(baseline);
+    let map_trace = simulate(
+        Policy::Brr,
+        &scenario,
+        &route,
+        &db,
+        cfg,
+        &mut ChaCha8Rng::seed_from_u64(9),
+    )?;
+    let static_trace = simulate(
+        Policy::Brr,
+        &scenario,
+        &route,
+        &static_db,
+        cfg,
+        &mut ChaCha8Rng::seed_from_u64(9),
+    )?;
+    assert_eq!(
+        map_trace, static_trace,
+        "map-fed BRR must match the static-list baseline"
+    );
+    println!("map-fed BRR trace is identical to the static-list baseline\n");
 
     for policy in [Policy::Brr, Policy::AllAp] {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
-        let trace = simulate(
-            policy,
-            &scenario,
-            &route,
-            &db,
-            ConnectivityConfig::default(),
-            &mut rng,
-        )?;
+        let trace = simulate(policy, &scenario, &route, &db, cfg, &mut rng)?;
         let lengths = session_lengths(&trace);
         let stats = run_transfers(&trace, TransferConfig::default(), &mut rng);
-        println!("\n{policy}:");
+        println!("{policy}:");
         println!(
             "  connected {:.1} % of the drive, {} interruptions",
             trace.connectivity_fraction() * 100.0,

@@ -21,22 +21,25 @@ cd "$(dirname "$0")/.."
 
 only="${1:-all}"
 case "$only" in
-    all | core | fleet | wire) ;;
+    all | core | fleet | wire | map) ;;
     *)
-        echo "usage: $0 [all|core|fleet|wire]" >&2
+        echo "usage: $0 [all|core|fleet|wire|map]" >&2
         exit 2
         ;;
 esac
 run_core=1
 run_fleet=1
 run_wire=1
+run_map=1
 if [ "$only" != all ]; then
     run_core=0
     run_fleet=0
     run_wire=0
+    run_map=0
     [ "$only" = core ] && run_core=1
     [ "$only" = fleet ] && run_fleet=1
     [ "$only" = wire ] && run_wire=1
+    [ "$only" = map ] && run_map=1
 fi
 
 export BENCH_OUT_DIR="${BENCH_OUT_DIR:-bench-artifacts}"
@@ -54,6 +57,9 @@ if [ "$run_fleet" -eq 1 ]; then
 fi
 if [ "$run_wire" -eq 1 ]; then
     ./target/release/wire_store
+fi
+if [ "$run_map" -eq 1 ]; then
+    ./target/release/ap_map
 fi
 
 # Pulls a numeric field out of one of the bench JSONs (no python in the
@@ -81,6 +87,7 @@ O="$BENCH_OUT_DIR/BENCH_obs.json"
 R="$BENCH_OUT_DIR/BENCH_platform.json"
 F="$BENCH_OUT_DIR/BENCH_fleet.json"
 W="$BENCH_OUT_DIR/BENCH_wire.json"
+M="$BENCH_OUT_DIR/BENCH_map.json"
 
 echo "bench smoke thresholds:"
 if [ "$run_core" -eq 0 ]; then
@@ -163,6 +170,28 @@ if [ "$run_wire" -eq 1 ]; then
 # gates are the CI-visible restatement, not the only line of defense.
 gate "wire payload bytes ratio" "$(num "$W" payload_bytes_ratio)" "<=" 0.35
 gate "wire encode+decode speedup" "$(num "$W" encode_decode_speedup)" ">=" 5
+fi
+
+if [ "$run_map" -eq 1 ]; then
+# The geo-sharded AP map's contract: the epoch read path must sustain
+# >=1M radius lookups/sec while a paced writer concurrently re-ingests
+# the estimate stream (smoke stores ~250k APs instead of the full run's
+# 1.2M; the rate gates are scale-independent because lookups only touch
+# the queried corridor's buckets). Latency gates pin the lock-light
+# claim: p99 under ingest stays in single-digit microseconds and within
+# 2x of the ingest-off p99. The bench asserts the same bounds (plus the
+# stored-AP floor) before writing JSON.
+gate "map lookups/sec under ingest" "$(num "$M" lookups_per_sec_with_ingest)" ">=" 1000000
+gate "map lookup p99 us under ingest" "$(num "$M" p99_us_with_ingest)" "<=" 10
+gate "map p99 ratio ingest on/off" "$(num "$M" p99_ratio_on_off)" "<=" 2.0
+# Map-fed BRR handoff must be indistinguishable from the static AP
+# list on the same seed; the flag records the in-bench assertion.
+if ! grep -q '"brr_identical": true' "$M"; then
+    echo "FAIL: map-fed BRR handoff diverged from the static-list baseline" >&2
+    fail=1
+else
+    echo "  ok: map-fed BRR identical to static baseline"
+fi
 fi
 
 if [ "$fail" -ne 0 ]; then

@@ -88,6 +88,21 @@ CROWDWIFI_FORCE_SCALAR=1 cargo test -q -p crowdwifi-middleware --test wal_compat
 # by module name for the same reason.
 cargo test -q -p crowdwifi-middleware --lib wire::
 cargo test -q -p crowdwifi-middleware --lib store::
+# The geo-sharded AP map's contracts: geohash encode/decode/neighbor
+# round-trips (property suite), TTL-eviction determinism under a seeded
+# clock, snapshot→compact→recover byte-identity, and the full-stack
+# suite (campaign rounds draining into the map through the round sink,
+# map-fed BRR handoff identical to the static-list baseline, store/map
+# intern-table agreement). Run by name so a workspace filter can never
+# silently skip them, and under both kernel dispatch modes: the map
+# consumes fused campaign output, which is part of the cross-backend
+# digest, so its contracts may not depend on the kernel path.
+cargo test -q -p crowdwifi-geomap --test geohash_properties
+CROWDWIFI_FORCE_SCALAR=1 cargo test -q -p crowdwifi-geomap --test geohash_properties
+cargo test -q -p crowdwifi-geomap --test map_properties
+CROWDWIFI_FORCE_SCALAR=1 cargo test -q -p crowdwifi-geomap --test map_properties
+cargo test -q --test geomap_stack
+CROWDWIFI_FORCE_SCALAR=1 cargo test -q --test geomap_stack
 # The observability layer ships a compile-out mode; it must stay green
 # with recording compiled to nothing.
 cargo test -q -p crowdwifi-obs --no-default-features

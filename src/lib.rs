@@ -21,6 +21,7 @@
 //! | [`crowd`] | `crowdwifi-crowd` | bipartite crowdsourcing + iterative inference (§5) |
 //! | [`baselines`] | `crowdwifi-baselines` | LGMM, MDS and Skyhook comparators |
 //! | [`handoff`] | `crowdwifi-handoff` | BRR/AllAP policies, sessions, transfers (§6.3) |
+//! | [`geomap`] | `crowdwifi-geomap` | geo-sharded global AP map: lock-light reads, TTL eviction, snapshots |
 //! | [`middleware`] | `crowdwifi-middleware` | crowd-server / vehicle / user roles, fault-tolerant rounds (§3, §5.5) |
 //!
 //! # Quickstart
@@ -48,6 +49,7 @@ pub use crowdwifi_channel as channel;
 pub use crowdwifi_core as core;
 pub use crowdwifi_crowd as crowd;
 pub use crowdwifi_geo as geo;
+pub use crowdwifi_geomap as geomap;
 pub use crowdwifi_handoff as handoff;
 pub use crowdwifi_linalg as linalg;
 pub use crowdwifi_middleware as middleware;
